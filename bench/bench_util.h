@@ -1,0 +1,31 @@
+#ifndef IFPROB_BENCH_BENCH_UTIL_H
+#define IFPROB_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "support/str.h"
+
+namespace ifprob::bench {
+
+/** Standard banner so the concatenated bench output reads as a report. */
+inline void
+heading(const char *experiment, const char *paper_ref, const char *what)
+{
+    std::string bar(78, '=');
+    std::printf("\n%s\n%s  [%s]\n%s\n%s\n\n", bar.c_str(), experiment,
+                paper_ref, what, bar.c_str());
+}
+
+/** Format instructions-per-break values the way the paper's axes read. */
+inline std::string
+perBreak(double v)
+{
+    if (v >= 1000.0)
+        return ifprob::withCommas(static_cast<long long>(v + 0.5));
+    return ifprob::strPrintf("%.1f", v);
+}
+
+} // namespace ifprob::bench
+
+#endif // IFPROB_BENCH_BENCH_UTIL_H

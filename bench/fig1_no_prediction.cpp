@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Figures 1a and 1b: instructions per break in control when
+ * branches are NOT predicted. Black bars count all conditional branches
+ * plus unavoidable breaks (indirect calls and their returns); white bars
+ * additionally count direct subroutine calls and returns.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness/experiments.h"
+#include "metrics/report.h"
+
+using namespace ifprob;
+
+namespace {
+
+void
+render(const std::vector<harness::Fig1Row> &rows, bool fortran_like,
+       const char *title)
+{
+    std::printf("--- %s ---\n", title);
+    double max_v = 0.0;
+    for (const auto &r : rows) {
+        if (r.fortran_like == fortran_like)
+            max_v = std::max(max_v, r.per_break);
+    }
+    metrics::TextTable table;
+    table.setHeader({"program", "dataset", "instrs/break",
+                     "instrs/break (+calls)", "no-prediction bar"});
+    for (const auto &r : rows) {
+        if (r.fortran_like != fortran_like)
+            continue;
+        table.addRow({r.program, r.dataset, bench::perBreak(r.per_break),
+                      bench::perBreak(r.per_break_with_calls),
+                      metrics::asciiBar(r.per_break, max_v, 30)});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::heading("Figure 1a / 1b", "Fisher & Freudenberger 1992, Fig 1",
+                   "Instructions per break in control, branches NOT "
+                   "predicted.\nPaper shape: fpppp ~150-170; other FORTRAN "
+                   "~15-25; C programs ~5-17.\nBlack bar = conditional "
+                   "branches + indirect calls/returns; white (+calls)\n"
+                   "column adds direct calls and returns.");
+    harness::Runner runner;
+    auto rows = harness::figure1(runner);
+    render(rows, true, "Figure 1a: FORTRAN / floating point");
+    render(rows, false, "Figure 1b: C / integer");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Inlining and breaks in control (paper §2, "Calls and returns"): "an
+ * executed call that is not inlined will cost two breaks ... Below we
+ * show the instructions per break in control with calls and returns
+ * left in and with them ignored. The differences in our sample set are
+ * reasonably small." This bench reproduces that comparison and then
+ * actually performs the inlining, showing how much of the call/return
+ * cost a simple inliner recovers.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compiler/inline.h"
+#include "harness/experiments.h"
+#include "metrics/breaks.h"
+#include "metrics/report.h"
+#include "predict/profile_predictor.h"
+#include "support/str.h"
+#include "vm/machine.h"
+
+using namespace ifprob;
+
+int
+main()
+{
+    bench::heading("Inlining vs call/return breaks",
+                   "Fisher & Freudenberger 1992, §2 (calls and returns)",
+                   "Instructions per break with direct calls/returns "
+                   "counted, before and after\ninlining small callees. "
+                   "The no-calls column is the paper's assumption "
+                   "(perfect\ninlining); real inlining should close most "
+                   "of the gap.");
+    harness::Runner runner;
+    metrics::TextTable table;
+    table.setHeader({"program", "dataset", "calls ignored",
+                     "calls counted", "after inlining",
+                     "dyn calls removed"});
+    for (const auto &w : workloads::all()) {
+        const auto &dataset = w.datasets.front();
+        const auto &baseline = runner.stats(w.name, dataset.name);
+        profile::ProfileDb db =
+            harness::profileOf(runner, w.name, dataset.name);
+        predict::ProfilePredictor self(db);
+
+        metrics::BreakConfig no_calls{.count_calls = false};
+        metrics::BreakConfig with_calls{.count_calls = true};
+        double ignored = metrics::breaksWithPredictor(baseline, self,
+                                                      no_calls)
+                             .instructionsPerBreak();
+        double counted = metrics::breaksWithPredictor(baseline, self,
+                                                      with_calls)
+                             .instructionsPerBreak();
+
+        // Inline and re-run. Branch sites are preserved, so the same
+        // profile/predictor still applies to the inlined image.
+        isa::Program inlined = runner.program(w.name);
+        inlineProgram(inlined);
+        vm::Machine machine(inlined);
+        vm::RunLimits limits;
+        limits.max_instructions = 4'000'000'000ll;
+        auto run = machine.run(dataset.input, limits);
+        double after = metrics::breaksWithPredictor(run.stats, self,
+                                                    with_calls)
+                           .instructionsPerBreak();
+        double removed =
+            baseline.direct_calls > 0
+                ? 100.0 * (1.0 -
+                           static_cast<double>(run.stats.direct_calls) /
+                               static_cast<double>(baseline.direct_calls))
+                : 0.0;
+        table.addRow({w.name, dataset.name, bench::perBreak(ignored),
+                      bench::perBreak(counted), bench::perBreak(after),
+                      strPrintf("%.0f%%", removed)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the infrastructure itself:
+ * compiler throughput, VM dispatch rate on arithmetic- and branch-heavy
+ * kernels, profile merging, and predictor evaluation. These guard the
+ * experiment harness's performance rather than reproducing a paper
+ * result.
+ */
+#include <benchmark/benchmark.h>
+
+#include "compiler/pipeline.h"
+#include "harness/runner.h"
+#include "metrics/breaks.h"
+#include "predict/evaluate.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace ifprob;
+
+const char *kArithKernel = R"(
+int main() {
+    int i, sum;
+    sum = 0;
+    for (i = 0; i < 100000; i++)
+        sum = sum + (i * 3 & 1023) - (i >> 2);
+    return sum & 255;
+})";
+
+const char *kBranchKernel = R"(
+int main() {
+    int i, x, count;
+    x = 12345;
+    count = 0;
+    for (i = 0; i < 50000; i++) {
+        x = (x * 1103515245 + 12345) % 2147483648;
+        if (x & 1)
+            count = count + 1;
+        if (x & 2)
+            count = count + 2;
+        if ((x & 7) == 3)
+            count = count - 1;
+    }
+    return count & 255;
+})";
+
+void
+BM_CompileLiSource(benchmark::State &state)
+{
+    const auto &li = workloads::get("li");
+    for (auto _ : state) {
+        isa::Program p = compile(li.source);
+        benchmark::DoNotOptimize(p.staticSize());
+    }
+}
+BENCHMARK(BM_CompileLiSource)->Unit(benchmark::kMillisecond);
+
+void
+BM_VmArithmeticDispatch(benchmark::State &state)
+{
+    isa::Program p = compile(kArithKernel);
+    vm::Machine m(p);
+    int64_t instructions = 0;
+    for (auto _ : state) {
+        auto r = m.run("");
+        instructions += r.stats.instructions;
+    }
+    state.counters["Mips"] = benchmark::Counter(
+        static_cast<double>(instructions) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmArithmeticDispatch)->Unit(benchmark::kMillisecond);
+
+void
+BM_VmBranchDispatch(benchmark::State &state)
+{
+    isa::Program p = compile(kBranchKernel);
+    vm::Machine m(p);
+    int64_t instructions = 0;
+    for (auto _ : state) {
+        auto r = m.run("");
+        instructions += r.stats.instructions;
+    }
+    state.counters["Mips"] = benchmark::Counter(
+        static_cast<double>(instructions) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmBranchDispatch)->Unit(benchmark::kMillisecond);
+
+void
+BM_ProfileMergeScaled(benchmark::State &state)
+{
+    isa::Program p = compile(kBranchKernel);
+    vm::Machine m(p);
+    auto stats = m.run("").stats;
+    std::vector<profile::ProfileDb> dbs;
+    for (int i = 0; i < 8; ++i)
+        dbs.emplace_back("kernel", p.fingerprint(), stats);
+    for (auto _ : state) {
+        auto merged = profile::ProfileDb::merge(
+            dbs, profile::MergeMode::kScaled);
+        benchmark::DoNotOptimize(merged.totalExecuted());
+    }
+}
+BENCHMARK(BM_ProfileMergeScaled);
+
+void
+BM_PredictorEvaluation(benchmark::State &state)
+{
+    isa::Program p = compile(kBranchKernel);
+    vm::Machine m(p);
+    auto stats = m.run("").stats;
+    profile::ProfileDb db("kernel", p.fingerprint(), stats);
+    predict::ProfilePredictor predictor(db);
+    for (auto _ : state) {
+        auto q = predict::evaluate(stats, predictor);
+        benchmark::DoNotOptimize(q.mispredicted);
+    }
+}
+BENCHMARK(BM_PredictorEvaluation);
+
+void
+BM_BreakAccounting(benchmark::State &state)
+{
+    isa::Program p = compile(kBranchKernel);
+    vm::Machine m(p);
+    auto stats = m.run("").stats;
+    profile::ProfileDb db("kernel", p.fingerprint(), stats);
+    predict::ProfilePredictor predictor(db);
+    for (auto _ : state) {
+        auto summary = metrics::breaksWithPredictor(stats, predictor);
+        benchmark::DoNotOptimize(summary.instructionsPerBreak());
+    }
+}
+BENCHMARK(BM_BreakAccounting);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SELECT-lowering ablation (paper footnote 2): the Trace compiler front
+ * ends converted simple ifs into a select instruction, suppressing a few
+ * branches; the authors left this on and report selects were "typically
+ * less than 0.2% (sometimes up to 0.3%, and in one case 0.7%) of all
+ * instructions executed". This bench measures our select density and
+ * what turning the lowering off does to branch counts and
+ * predictability.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compiler/pipeline.h"
+#include "harness/runner.h"
+#include "metrics/breaks.h"
+#include "metrics/report.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+#include "support/str.h"
+#include "vm/machine.h"
+
+using namespace ifprob;
+
+int
+main()
+{
+    bench::heading("SELECT lowering ablation",
+                   "Fisher & Freudenberger 1992, footnote 2",
+                   "Simple ?: expressions compile to SELECT (branch-free)."
+                   " Paper: selects were\ntypically <0.2% of executed "
+                   "instructions, up to 0.7%. Turning the lowering\noff "
+                   "converts them back into conditional branches.");
+    CompileOptions with_select = harness::Runner::experimentOptions();
+    CompileOptions without_select = with_select;
+    without_select.use_select = false;
+    harness::Runner on(with_select);
+    harness::Runner off(without_select);
+
+    metrics::TextTable table;
+    table.setHeader({"program", "dataset", "selects (% of instrs)",
+                     "branches (+select off)", "instrs/break on",
+                     "instrs/break off"});
+    for (const auto &w : workloads::all()) {
+        const std::string &dataset = w.datasets.front().name;
+        const auto &stats_on = on.stats(w.name, dataset);
+        const auto &stats_off = off.stats(w.name, dataset);
+
+        auto self_per_break = [](harness::Runner &runner,
+                                 const std::string &name,
+                                 const vm::RunStats &stats) {
+            profile::ProfileDb db(name,
+                                  runner.program(name).fingerprint(),
+                                  stats);
+            predict::ProfilePredictor self(db);
+            return metrics::breaksWithPredictor(stats, self)
+                .instructionsPerBreak();
+        };
+        double pct_selects =
+            100.0 * static_cast<double>(stats_on.selects) /
+            static_cast<double>(stats_on.instructions);
+        double extra_branches =
+            100.0 * (static_cast<double>(stats_off.cond_branches) /
+                         static_cast<double>(stats_on.cond_branches) -
+                     1.0);
+        table.addRow(
+            {w.name, dataset, strPrintf("%.2f%%", pct_selects),
+             strPrintf("+%.1f%%", extra_branches),
+             bench::perBreak(self_per_break(on, w.name, stats_on)),
+             bench::perBreak(
+                 self_per_break(off, w.name, stats_off))});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

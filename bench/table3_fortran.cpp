@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Table 3: instructions per break for the FORTRAN programs
+ * with little or no dataset variability, under best-possible (self)
+ * static prediction.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness/experiments.h"
+#include "metrics/report.h"
+
+using namespace ifprob;
+
+int
+main()
+{
+    bench::heading("Table 3", "Fisher & Freudenberger 1992, Table 3",
+                   "Instructions per break, FORTRAN programs with little "
+                   "dataset variability.\nPaper values: tomcatv 7461, "
+                   "matrix300 4853, nasa7 3400, fpppp 951-1028,\nLFK 399, "
+                   "doduc 257-275. Expect the same ordering: the dense "
+                   "numeric codes\nsit orders of magnitude above the "
+                   "branchy reactor simulation.");
+    harness::Runner runner;
+    metrics::TextTable table;
+    table.setHeader({"program", "dataset", "instrs/break (self-predicted)",
+                     "paper"});
+    struct Ref
+    {
+        const char *program;
+        const char *paper;
+    };
+    const Ref refs[] = {
+        {"tomcatv", "7461"}, {"matrix300", "4853"}, {"nasa7", "3400"},
+        {"fpppp", "951-1028"}, {"lfk", "399"}, {"doduc", "257-275"},
+    };
+    for (const auto &ref : refs) {
+        for (const std::string &ds : runner.datasetNames(ref.program)) {
+            double v = harness::selfPredictedPerBreak(runner, ref.program,
+                                                      ds);
+            table.addRow({ref.program, ds, bench::perBreak(v), ref.paper});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

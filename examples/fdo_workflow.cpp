@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The full profile-feedback workflow from the paper, end to end:
+ *
+ *   1. compile a program (the eqntott workload),
+ *   2. run it over several *training* datasets, accumulating one
+ *      IFPROBBER database across runs (with a save/load round trip, as
+ *      the real tool persisted its counts between runs),
+ *   3. predict a *held-out* dataset from the accumulated database,
+ *   4. compare against the best-possible bound and the compiler's naive
+ *      heuristics — the paper's central comparison.
+ *
+ *   $ ./examples/fdo_workflow
+ */
+#include <cstdio>
+#include <sstream>
+
+#include "compiler/pipeline.h"
+#include "metrics/breaks.h"
+#include "predict/evaluate.h"
+#include "predict/heuristic_predictor.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+int
+main()
+{
+    using namespace ifprob;
+
+    const workloads::Workload &eqntott = workloads::get("eqntott");
+    isa::Program program = compile(eqntott.source);
+    vm::Machine machine(program);
+
+    const std::string held_out = "intpri";
+    std::printf("training on:");
+
+    // Accumulate one database over every dataset except the held-out one.
+    profile::ProfileDb db("eqntott", program.fingerprint(),
+                          program.branch_sites.size());
+    vm::RunStats held_out_stats;
+    for (const auto &dataset : eqntott.datasets) {
+        vm::RunResult run = machine.run(dataset.input);
+        if (dataset.name == held_out) {
+            held_out_stats = run.stats;
+            continue;
+        }
+        std::printf(" %s", dataset.name.c_str());
+        db.accumulate(run.stats); // "the database of branch counts is
+                                  //  augmented" after each run
+    }
+    std::printf("; predicting: %s\n", held_out.c_str());
+
+    // Persist and reload, as the IFPROBBER did between runs.
+    std::stringstream disk;
+    db.save(disk);
+    profile::ProfileDb reloaded = profile::ProfileDb::load(disk);
+
+    // Score everything on the held-out run.
+    predict::ProfilePredictor feedback(reloaded);
+    predict::ProfilePredictor bound(
+        profile::ProfileDb("eqntott", program.fingerprint(),
+                           held_out_stats));
+    predict::HeuristicPredictor naive(program,
+                                      predict::Heuristic::kBackwardTaken);
+    predict::HeuristicPredictor opcode(program,
+                                       predict::Heuristic::kOpcodeRules);
+
+    auto report = [&](const char *name,
+                      const predict::StaticPredictor &predictor) {
+        auto quality = predict::evaluate(held_out_stats, predictor);
+        auto breaks =
+            metrics::breaksWithPredictor(held_out_stats, predictor);
+        std::printf("  %-22s %6.2f%% correct, %8.1f instrs/break\n", name,
+                    quality.percentCorrect(),
+                    breaks.instructionsPerBreak());
+    };
+    report("self (bound)", bound);
+    report("profile feedback", feedback);
+    report("loop heuristic", naive);
+    report("opcode heuristics", opcode);
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The whole ILP story on one program, end to end — what the paper's
+ * static branch predictions are *for*. Starting from the mcc workload
+ * (the compiler, the branchiest program in the suite):
+ *
+ *   1. profile it and measure instructions per break in control;
+ *   2. inline the small callees (call/return breaks disappear);
+ *   3. lay the code out along feedback-selected traces (jumps
+ *      disappear);
+ *   4. select scheduling traces and report the candidate-set sizes a
+ *      trace scheduler would obtain at each stage.
+ *
+ *   $ ./examples/ilp_pipeline
+ */
+#include <cstdio>
+
+#include "compiler/inline.h"
+#include "compiler/layout.h"
+#include "compiler/pipeline.h"
+#include "ilp/runlength.h"
+#include "ilp/trace.h"
+#include "metrics/breaks.h"
+#include "metrics/report.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+#include "support/str.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+using namespace ifprob;
+
+namespace {
+
+struct StageReport
+{
+    std::string name;
+    double per_break_no_calls = 0.0;
+    double per_break_with_calls = 0.0;
+    double trace_instrs_per_exit = 0.0;
+    int64_t instructions = 0;
+    int64_t jumps = 0;
+    int64_t calls = 0;
+};
+
+StageReport
+measure(const char *name, const isa::Program &program,
+        const std::string &input)
+{
+    vm::Machine machine(program);
+    vm::RunResult run = machine.run(input);
+    profile::ProfileDb db("stage", program.fingerprint(), run.stats);
+    predict::ProfilePredictor predictor(db);
+
+    StageReport report;
+    report.name = name;
+    report.per_break_no_calls =
+        metrics::breaksWithPredictor(run.stats, predictor,
+                                     {.count_calls = false})
+            .instructionsPerBreak();
+    report.per_break_with_calls =
+        metrics::breaksWithPredictor(run.stats, predictor,
+                                     {.count_calls = true})
+            .instructionsPerBreak();
+    report.trace_instrs_per_exit =
+        ilp::selectTraces(program, predictor, db).instructionsPerExit();
+    report.instructions = run.stats.instructions;
+    report.jumps = run.stats.jumps;
+    report.calls = run.stats.direct_calls + run.stats.indirect_calls;
+    return report;
+}
+
+} // namespace
+
+int
+main()
+{
+    const workloads::Workload &mcc = workloads::get("mcc");
+    const std::string &input = mcc.datasets.front().input;
+
+    // Stage 0: the experiment configuration (classical opts, no DCE).
+    isa::Program baseline = compile(mcc.source);
+
+    // Profile once; feedback drives both transformations.
+    vm::Machine machine(baseline);
+    vm::RunResult profile_run = machine.run(input);
+    profile::ProfileDb db("mcc", baseline.fingerprint(),
+                          profile_run.stats);
+    predict::ProfilePredictor feedback(db);
+
+    // Stage 1: inline the small callees (site ids survive, so the same
+    // profile db still applies).
+    isa::Program inlined = baseline;
+    int inlined_calls = inlineProgram(inlined);
+
+    // Stage 2: lay out along feedback traces.
+    isa::Program laid_out = inlined;
+    predict::ProfilePredictor inlined_feedback(db); // same sites
+    layoutProgram(laid_out, inlined_feedback, db);
+
+    std::printf("workload: mcc/%s   (inlined %d call sites)\n\n",
+                mcc.datasets.front().name.c_str(), inlined_calls);
+
+    metrics::TextTable table;
+    table.setHeader({"stage", "instrs", "dyn jumps", "dyn calls",
+                     "instrs/break", "instrs/break (+calls)",
+                     "trace instrs/exit"});
+    for (const auto &r :
+         {measure("baseline", baseline, input),
+          measure("+ inlining", inlined, input),
+          measure("+ layout", laid_out, input)}) {
+        table.addRow({r.name, withCommas(r.instructions),
+                      withCommas(r.jumps), withCommas(r.calls),
+                      strPrintf("%.1f", r.per_break_no_calls),
+                      strPrintf("%.1f", r.per_break_with_calls),
+                      strPrintf("%.1f", r.trace_instrs_per_exit)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Run-length distribution on the final image.
+    vm::Machine final_machine(laid_out);
+    vm::RunResult final_profile = final_machine.run(input);
+    profile::ProfileDb final_db("mcc", laid_out.fingerprint(),
+                                final_profile.stats);
+    predict::ProfilePredictor final_predictor(final_db);
+    ilp::RunLengthAnalyzer analyzer(final_predictor);
+    auto run = final_machine.run(input, {}, &analyzer);
+    auto summary = std::move(analyzer).summary(run.stats.instructions);
+    std::printf("final run-length distribution between breaks: "
+                "mean %.0f, p10 %lld, p50 %lld, p90 %lld\n"
+                "%.0f%% of instructions live in runs of >= 32.\n",
+                summary.mean, static_cast<long long>(summary.p10),
+                static_cast<long long>(summary.p50),
+                static_cast<long long>(summary.p90),
+                100.0 * summary.fractionInRunsAtLeast(32));
+    return 0;
+}

@@ -1,0 +1,1465 @@
+#include "compiler/codegen.h"
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob {
+
+using isa::BranchKind;
+using isa::Instruction;
+using isa::Opcode;
+using lang::BinaryOp;
+using lang::Expr;
+using lang::ExprKind;
+using lang::SourceLoc;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::Type;
+using lang::UnaryOp;
+
+namespace {
+
+/** A compile-time constant value (for global initializers). */
+struct ConstVal
+{
+    Type type = Type::kInt;
+    int64_t i = 0;
+    double f = 0.0;
+
+    int64_t
+    asInt() const
+    {
+        return type == Type::kInt ? i : static_cast<int64_t>(f);
+    }
+
+    double
+    asFloat() const
+    {
+        return type == Type::kFloat ? f : static_cast<double>(i);
+    }
+
+    /** Bit pattern as stored in data memory. */
+    int64_t
+    bits() const
+    {
+        return type == Type::kInt ? i : std::bit_cast<int64_t>(f);
+    }
+};
+
+/** Recognized builtin functions. */
+enum class Builtin {
+    kGetc, kPutc, kPutF, kPuts, kHalt,
+    kItoF, kFtoI,
+    kSqrt, kExp, kLog, kSin, kCos, kFAbs,
+    kICall,
+};
+
+const std::unordered_map<std::string, Builtin> kBuiltins = {
+    {"getc", Builtin::kGetc},   {"putc", Builtin::kPutc},
+    {"putf", Builtin::kPutF},   {"puts", Builtin::kPuts},
+    {"halt", Builtin::kHalt},   {"itof", Builtin::kItoF},
+    {"ftoi", Builtin::kFtoI},   {"sqrt", Builtin::kSqrt},
+    {"exp", Builtin::kExp},     {"log", Builtin::kLog},
+    {"sin", Builtin::kSin},     {"cos", Builtin::kCos},
+    {"fabs", Builtin::kFAbs},   {"icall", Builtin::kICall},
+};
+
+struct GlobalInfo
+{
+    Type type = Type::kInt;
+    bool is_array = false;
+    int64_t size = 1;
+    int64_t address = 0;
+};
+
+struct FuncInfo
+{
+    int index = -1;
+    Type return_type = Type::kVoid;
+    std::vector<Type> param_types;
+};
+
+struct LocalInfo
+{
+    int reg = -1;
+    Type type = Type::kInt;
+};
+
+/** An evaluated expression: the register holding it plus its type. */
+struct Value
+{
+    int reg = -1;
+    Type type = Type::kInt;
+};
+
+/** Resolved assignable location. */
+struct LValue
+{
+    enum Kind { kLocal, kGlobalScalar, kArrayElem } kind = kLocal;
+    Type type = Type::kInt;
+    int reg = -1;       ///< local: variable register; array: index register
+    int64_t addr = 0;   ///< global scalar / array base address
+};
+
+class CodeGen
+{
+  public:
+    CodeGen(const std::vector<const lang::Unit *> &units,
+            const CompileOptions &options)
+        : units_(units), options_(options)
+    {
+    }
+
+    isa::Program
+    run()
+    {
+        declareAll();
+        for (const lang::Unit *unit : units_) {
+            for (const lang::FuncDecl &fn : unit->functions)
+                genFunction(fn);
+        }
+        finishProgram();
+        if (!diags_.empty()) {
+            std::string msg;
+            for (const auto &d : diags_) {
+                if (!msg.empty())
+                    msg.push_back('\n');
+                msg += d;
+            }
+            throw CompileError(msg);
+        }
+        return std::move(program_);
+    }
+
+  private:
+    // --- diagnostics -------------------------------------------------------
+
+    void
+    error(SourceLoc loc, const std::string &msg)
+    {
+        diags_.push_back(strPrintf("%d:%d: error: %s", loc.line, loc.col,
+                                   msg.c_str()));
+    }
+
+    // --- declaration pass --------------------------------------------------
+
+    void
+    declareAll()
+    {
+        for (const lang::Unit *unit : units_) {
+            for (const lang::GlobalVarDecl &g : unit->globals)
+                declareGlobal(g);
+            for (const lang::FuncDecl &fn : unit->functions)
+                declareFunction(fn);
+        }
+    }
+
+    void
+    declareGlobal(const lang::GlobalVarDecl &g)
+    {
+        if (globals_.count(g.name) || functions_.count(g.name)) {
+            error(g.loc, "redefinition of '" + g.name + "'");
+            return;
+        }
+        GlobalInfo info;
+        info.type = g.type;
+        info.is_array = g.array_size >= 0;
+        info.size = info.is_array ? g.array_size : 1;
+        if (info.is_array && info.size <= 0) {
+            error(g.loc, "array '" + g.name + "' must have positive size");
+            info.size = 1;
+        }
+        info.address = next_address_;
+        next_address_ += info.size;
+        globals_.emplace(g.name, info);
+        program_.globals.push_back(
+            isa::GlobalSlot{g.name, info.address, info.size});
+
+        // Initializers.
+        auto init_word = [&](int64_t addr, const Expr &e) {
+            std::optional<ConstVal> v = constEval(e);
+            if (!v) {
+                error(e.loc, "global initializer must be a constant "
+                             "expression");
+                return;
+            }
+            ConstVal converted;
+            converted.type = g.type;
+            if (g.type == Type::kInt)
+                converted.i = v->asInt();
+            else
+                converted.f = v->asFloat();
+            if (converted.bits() != 0)
+                data_init_.push_back({addr, converted.bits()});
+        };
+        if (g.init)
+            init_word(info.address, *g.init);
+        if (!g.init_list.empty()) {
+            if (static_cast<int64_t>(g.init_list.size()) > info.size) {
+                error(g.loc, strPrintf("too many initializers for '%s' "
+                                       "(%zu > %lld)", g.name.c_str(),
+                                       g.init_list.size(),
+                                       static_cast<long long>(info.size)));
+            } else {
+                for (size_t i = 0; i < g.init_list.size(); ++i)
+                    init_word(info.address + static_cast<int64_t>(i),
+                              *g.init_list[i]);
+            }
+        }
+    }
+
+    void
+    declareFunction(const lang::FuncDecl &fn)
+    {
+        if (kBuiltins.count(fn.name)) {
+            error(fn.loc, "'" + fn.name + "' redefines a builtin function");
+            return;
+        }
+        if (functions_.count(fn.name) || globals_.count(fn.name)) {
+            error(fn.loc, "redefinition of '" + fn.name + "'");
+            return;
+        }
+        FuncInfo info;
+        info.index = static_cast<int>(program_.functions.size());
+        info.return_type = fn.return_type;
+        for (const auto &p : fn.params)
+            info.param_types.push_back(p.type);
+        functions_.emplace(fn.name, info);
+
+        isa::Function out;
+        out.name = fn.name;
+        out.num_params = static_cast<int>(fn.params.size());
+        out.returns_float = fn.return_type == Type::kFloat;
+        program_.functions.push_back(std::move(out));
+    }
+
+    // --- constant evaluation ------------------------------------------------
+
+    std::optional<ConstVal>
+    constEval(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::kIntLit:
+            return ConstVal{Type::kInt,
+                            static_cast<const lang::IntLit &>(e).value, 0.0};
+          case ExprKind::kFloatLit:
+            return ConstVal{Type::kFloat, 0,
+                            static_cast<const lang::FloatLit &>(e).value};
+          case ExprKind::kUnary: {
+            const auto &u = static_cast<const lang::UnaryExpr &>(e);
+            auto v = constEval(*u.operand);
+            if (!v)
+                return std::nullopt;
+            switch (u.op) {
+              case UnaryOp::kNeg:
+                if (v->type == Type::kInt)
+                    return ConstVal{Type::kInt, -v->i, 0.0};
+                return ConstVal{Type::kFloat, 0, -v->f};
+              case UnaryOp::kBitNot:
+                if (v->type != Type::kInt)
+                    return std::nullopt;
+                return ConstVal{Type::kInt, ~v->i, 0.0};
+              case UnaryOp::kLogNot:
+                if (v->type == Type::kInt)
+                    return ConstVal{Type::kInt, v->i == 0 ? 1 : 0, 0.0};
+                return ConstVal{Type::kInt, v->f == 0.0 ? 1 : 0, 0.0};
+              default:
+                return std::nullopt;
+            }
+          }
+          case ExprKind::kBinary: {
+            const auto &b = static_cast<const lang::BinaryExpr &>(e);
+            auto l = constEval(*b.lhs);
+            auto r = constEval(*b.rhs);
+            if (!l || !r)
+                return std::nullopt;
+            bool fp = l->type == Type::kFloat || r->type == Type::kFloat;
+            if (fp) {
+                double x = l->asFloat(), y = r->asFloat();
+                switch (b.op) {
+                  case BinaryOp::kAdd: return ConstVal{Type::kFloat, 0, x + y};
+                  case BinaryOp::kSub: return ConstVal{Type::kFloat, 0, x - y};
+                  case BinaryOp::kMul: return ConstVal{Type::kFloat, 0, x * y};
+                  case BinaryOp::kDiv:
+                    if (y == 0.0)
+                        return std::nullopt;
+                    return ConstVal{Type::kFloat, 0, x / y};
+                  case BinaryOp::kLt: return ConstVal{Type::kInt, x < y, 0.0};
+                  case BinaryOp::kLe: return ConstVal{Type::kInt, x <= y, 0.0};
+                  case BinaryOp::kGt: return ConstVal{Type::kInt, x > y, 0.0};
+                  case BinaryOp::kGe: return ConstVal{Type::kInt, x >= y, 0.0};
+                  case BinaryOp::kEq: return ConstVal{Type::kInt, x == y, 0.0};
+                  case BinaryOp::kNe: return ConstVal{Type::kInt, x != y, 0.0};
+                  default: return std::nullopt;
+                }
+            }
+            int64_t x = l->i, y = r->i;
+            switch (b.op) {
+              case BinaryOp::kAdd: return ConstVal{Type::kInt, x + y, 0.0};
+              case BinaryOp::kSub: return ConstVal{Type::kInt, x - y, 0.0};
+              case BinaryOp::kMul: return ConstVal{Type::kInt, x * y, 0.0};
+              case BinaryOp::kDiv:
+                if (y == 0)
+                    return std::nullopt;
+                return ConstVal{Type::kInt, x / y, 0.0};
+              case BinaryOp::kRem:
+                if (y == 0)
+                    return std::nullopt;
+                return ConstVal{Type::kInt, x % y, 0.0};
+              case BinaryOp::kBitAnd: return ConstVal{Type::kInt, x & y, 0.0};
+              case BinaryOp::kBitOr: return ConstVal{Type::kInt, x | y, 0.0};
+              case BinaryOp::kBitXor: return ConstVal{Type::kInt, x ^ y, 0.0};
+              case BinaryOp::kShl:
+                return ConstVal{Type::kInt,
+                                static_cast<int64_t>(
+                                    static_cast<uint64_t>(x) << (y & 63)),
+                                0.0};
+              case BinaryOp::kShr: return ConstVal{Type::kInt, x >> (y & 63), 0.0};
+              case BinaryOp::kLt: return ConstVal{Type::kInt, x < y, 0.0};
+              case BinaryOp::kLe: return ConstVal{Type::kInt, x <= y, 0.0};
+              case BinaryOp::kGt: return ConstVal{Type::kInt, x > y, 0.0};
+              case BinaryOp::kGe: return ConstVal{Type::kInt, x >= y, 0.0};
+              case BinaryOp::kEq: return ConstVal{Type::kInt, x == y, 0.0};
+              case BinaryOp::kNe: return ConstVal{Type::kInt, x != y, 0.0};
+              case BinaryOp::kLogAnd:
+                return ConstVal{Type::kInt, (x != 0) && (y != 0), 0.0};
+              case BinaryOp::kLogOr:
+                return ConstVal{Type::kInt, (x != 0) || (y != 0), 0.0};
+            }
+            return std::nullopt;
+          }
+          case ExprKind::kTernary: {
+            const auto &t = static_cast<const lang::TernaryExpr &>(e);
+            auto c = constEval(*t.cond);
+            if (!c)
+                return std::nullopt;
+            bool truth = c->type == Type::kInt ? c->i != 0 : c->f != 0.0;
+            return constEval(truth ? *t.then_value : *t.else_value);
+          }
+          default:
+            return std::nullopt;
+        }
+    }
+
+    // --- function body generation -------------------------------------------
+
+    int
+    newReg()
+    {
+        return num_regs_++;
+    }
+
+    int
+    newLabel()
+    {
+        labels_.push_back(-1);
+        return static_cast<int>(labels_.size()) - 1;
+    }
+
+    void
+    bind(int label)
+    {
+        labels_[static_cast<size_t>(label)] = static_cast<int>(code_.size());
+    }
+
+    void
+    emit(Instruction insn)
+    {
+        code_.push_back(insn);
+    }
+
+    /** Emit a conditional branch whose targets are *labels* (fixed up at
+     *  function end) and register its static branch site. */
+    void
+    emitBranch(int cond_reg, int true_label, int false_label,
+               BranchKind kind, SourceLoc loc, Opcode compare)
+    {
+        int id = static_cast<int>(program_.branch_sites.size());
+        isa::BranchSite site;
+        site.function = cur_func_index_;
+        site.line = loc.line;
+        site.kind = kind;
+        site.compare = compare;
+        program_.branch_sites.push_back(site);
+        emit(isa::makeBr(cond_reg, true_label, false_label, id));
+    }
+
+    void
+    emitJump(int label)
+    {
+        emit(isa::makeJmp(label));
+    }
+
+    void
+    genFunction(const lang::FuncDecl &fn)
+    {
+        auto it = functions_.find(fn.name);
+        if (it == functions_.end() || it->second.index < 0)
+            return; // declaration failed
+        cur_func_index_ = it->second.index;
+        cur_return_type_ = fn.return_type;
+        num_regs_ = 0;
+        code_.clear();
+        labels_.clear();
+        scopes_.clear();
+        break_labels_.clear();
+        continue_labels_.clear();
+
+        pushScope();
+        for (const auto &p : fn.params) {
+            int reg = newReg();
+            if (!declareLocal(p.name, LocalInfo{reg, p.type}))
+                error(p.loc, "duplicate parameter '" + p.name + "'");
+        }
+        genStmt(*fn.body);
+        popScope();
+
+        // Implicit epilogue: void functions just return; value-returning
+        // functions fall off the end with 0 (defensive — well-formed
+        // workloads return explicitly).
+        if (fn.return_type == Type::kVoid) {
+            emit(isa::makeRet(-1));
+        } else {
+            int r = newReg();
+            if (fn.return_type == Type::kFloat)
+                emit(isa::makeMovF(r, 0.0));
+            else
+                emit(isa::makeMovI(r, 0));
+            emit(isa::makeRet(r));
+        }
+
+        // Fix up label references into instruction indices.
+        for (size_t pc = 0; pc < code_.size(); ++pc) {
+            Instruction &insn = code_[pc];
+            if (insn.op == Opcode::kBr) {
+                insn.b = resolveLabel(insn.b, fn.loc);
+                insn.c = resolveLabel(insn.c, fn.loc);
+                // Record the loop-shape bit used by heuristic predictors.
+                auto &site = program_.branch_sites[static_cast<size_t>(insn.imm)];
+                site.backward = insn.b <= static_cast<int>(pc);
+            } else if (insn.op == Opcode::kJmp) {
+                insn.a = resolveLabel(insn.a, fn.loc);
+            }
+        }
+
+        isa::Function &out = program_.functions[static_cast<size_t>(cur_func_index_)];
+        out.num_regs = std::max(num_regs_, out.num_params);
+        out.code = std::move(code_);
+        code_.clear();
+    }
+
+    int
+    resolveLabel(int label, SourceLoc loc)
+    {
+        if (label < 0 || label >= static_cast<int>(labels_.size()) ||
+            labels_[static_cast<size_t>(label)] < 0) {
+            error(loc, "internal: unresolved label");
+            return 0;
+        }
+        return labels_[static_cast<size_t>(label)];
+    }
+
+    // --- scopes -------------------------------------------------------------
+
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+
+    bool
+    declareLocal(const std::string &name, LocalInfo info)
+    {
+        auto &scope = scopes_.back();
+        if (scope.count(name))
+            return false;
+        scope.emplace(name, info);
+        return true;
+    }
+
+    const LocalInfo *
+    lookupLocal(const std::string &name) const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return &found->second;
+        }
+        return nullptr;
+    }
+
+    // --- type helpers -------------------------------------------------------
+
+    /** Convert @p v to @p want, emitting itof/ftoi as needed. */
+    Value
+    convert(Value v, Type want, SourceLoc loc)
+    {
+        if (v.type == want)
+            return v;
+        if (v.type == Type::kVoid || want == Type::kVoid) {
+            error(loc, "void value used");
+            return {materializeZero(want), want};
+        }
+        int dst = newReg();
+        emit(isa::makeUnary(want == Type::kFloat ? Opcode::kItoF
+                                                 : Opcode::kFtoI,
+                            dst, v.reg));
+        return {dst, want};
+    }
+
+    int
+    materializeZero(Type type)
+    {
+        int r = newReg();
+        if (type == Type::kFloat)
+            emit(isa::makeMovF(r, 0.0));
+        else
+            emit(isa::makeMovI(r, 0));
+        return r;
+    }
+
+    /** Normalize a value for use as a branch condition: ints pass through,
+     *  floats become (f != 0.0). Returns the condition register. */
+    int
+    condReg(Value v, SourceLoc loc)
+    {
+        if (v.type == Type::kVoid) {
+            error(loc, "void value used as condition");
+            return materializeZero(Type::kInt);
+        }
+        if (v.type == Type::kInt)
+            return v.reg;
+        int zero = materializeZero(Type::kFloat);
+        int dst = newReg();
+        emit(isa::makeBinary(Opcode::kFCmpNe, dst, v.reg, zero));
+        return dst;
+    }
+
+    // --- conditions (short-circuit lowering) ---------------------------------
+
+    static bool
+    isCompare(BinaryOp op)
+    {
+        switch (op) {
+          case BinaryOp::kEq: case BinaryOp::kNe: case BinaryOp::kLt:
+          case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    static Opcode
+    compareOpcode(BinaryOp op, bool fp)
+    {
+        switch (op) {
+          case BinaryOp::kEq: return fp ? Opcode::kFCmpEq : Opcode::kCmpEq;
+          case BinaryOp::kNe: return fp ? Opcode::kFCmpNe : Opcode::kCmpNe;
+          case BinaryOp::kLt: return fp ? Opcode::kFCmpLt : Opcode::kCmpLt;
+          case BinaryOp::kLe: return fp ? Opcode::kFCmpLe : Opcode::kCmpLe;
+          case BinaryOp::kGt: return fp ? Opcode::kFCmpGt : Opcode::kCmpGt;
+          case BinaryOp::kGe: return fp ? Opcode::kFCmpGe : Opcode::kCmpGe;
+          default: return Opcode::kNop;
+        }
+    }
+
+    /**
+     * Emit control flow so execution reaches @p true_label when @p e is
+     * truthy and @p false_label otherwise. Short-circuit operators expand
+     * into separate branch sites, as a conventional compiler generates.
+     */
+    void
+    genCond(const Expr &e, int true_label, int false_label, BranchKind kind)
+    {
+        if (e.kind == ExprKind::kBinary) {
+            const auto &b = static_cast<const lang::BinaryExpr &>(e);
+            if (b.op == BinaryOp::kLogAnd) {
+                int mid = newLabel();
+                genCond(*b.lhs, mid, false_label, kind);
+                bind(mid);
+                genCond(*b.rhs, true_label, false_label, kind);
+                return;
+            }
+            if (b.op == BinaryOp::kLogOr) {
+                int mid = newLabel();
+                genCond(*b.lhs, true_label, mid, kind);
+                bind(mid);
+                genCond(*b.rhs, true_label, false_label, kind);
+                return;
+            }
+            if (isCompare(b.op)) {
+                Value lhs = genExpr(*b.lhs);
+                Value rhs = genExpr(*b.rhs);
+                bool fp = lhs.type == Type::kFloat || rhs.type == Type::kFloat;
+                Type operand_type = fp ? Type::kFloat : Type::kInt;
+                lhs = convert(lhs, operand_type, b.loc);
+                rhs = convert(rhs, operand_type, b.loc);
+                Opcode cmp = compareOpcode(b.op, fp);
+                int dst = newReg();
+                emit(isa::makeBinary(cmp, dst, lhs.reg, rhs.reg));
+                emitBranch(dst, true_label, false_label, kind, b.loc, cmp);
+                return;
+            }
+        }
+        if (e.kind == ExprKind::kUnary) {
+            const auto &u = static_cast<const lang::UnaryExpr &>(e);
+            if (u.op == UnaryOp::kLogNot) {
+                genCond(*u.operand, false_label, true_label, kind);
+                return;
+            }
+        }
+        // Constant conditions become unconditional jumps — even without
+        // dead-code elimination a compiler does not emit a test for
+        // `while (1)`.
+        if (auto cv = constEval(e)) {
+            bool truth = cv->type == Type::kInt ? cv->i != 0 : cv->f != 0.0;
+            emitJump(truth ? true_label : false_label);
+            return;
+        }
+        Value v = genExpr(e);
+        int reg = condReg(v, e.loc);
+        emitBranch(reg, true_label, false_label, kind, e.loc, Opcode::kNop);
+    }
+
+    // --- lvalues -------------------------------------------------------------
+
+    std::optional<LValue>
+    genLValue(const Expr &e)
+    {
+        if (e.kind == ExprKind::kVarRef) {
+            const auto &v = static_cast<const lang::VarRef &>(e);
+            if (const LocalInfo *local = lookupLocal(v.name))
+                return LValue{LValue::kLocal, local->type, local->reg, 0};
+            auto git = globals_.find(v.name);
+            if (git != globals_.end()) {
+                if (git->second.is_array) {
+                    error(e.loc, "array '" + v.name +
+                                 "' used without an index");
+                    return std::nullopt;
+                }
+                return LValue{LValue::kGlobalScalar, git->second.type, -1,
+                              git->second.address};
+            }
+            if (functions_.count(v.name)) {
+                error(e.loc, "'" + v.name + "' is a function; use &" +
+                             v.name + " to take its address");
+                return std::nullopt;
+            }
+            error(e.loc, "use of undeclared identifier '" + v.name + "'");
+            return std::nullopt;
+        }
+        if (e.kind == ExprKind::kIndex) {
+            const auto &ix = static_cast<const lang::IndexExpr &>(e);
+            auto git = globals_.find(ix.array);
+            if (git == globals_.end()) {
+                error(e.loc, "use of undeclared array '" + ix.array + "'");
+                return std::nullopt;
+            }
+            if (!git->second.is_array) {
+                error(e.loc, "'" + ix.array + "' is not an array");
+                return std::nullopt;
+            }
+            Value index = convert(genExpr(*ix.index), Type::kInt, ix.loc);
+            return LValue{LValue::kArrayElem, git->second.type, index.reg,
+                          git->second.address};
+        }
+        error(e.loc, "expression is not assignable");
+        return std::nullopt;
+    }
+
+    Value
+    readLValue(const LValue &lv)
+    {
+        switch (lv.kind) {
+          case LValue::kLocal:
+            return {lv.reg, lv.type};
+          case LValue::kGlobalScalar: {
+            int dst = newReg();
+            emit(isa::makeLoad(dst, -1, lv.addr));
+            return {dst, lv.type};
+          }
+          case LValue::kArrayElem: {
+            int dst = newReg();
+            emit(isa::makeLoad(dst, lv.reg, lv.addr));
+            return {dst, lv.type};
+          }
+        }
+        return {materializeZero(Type::kInt), Type::kInt};
+    }
+
+    void
+    writeLValue(const LValue &lv, int reg)
+    {
+        switch (lv.kind) {
+          case LValue::kLocal:
+            emit(isa::makeUnary(Opcode::kMov, lv.reg, reg));
+            return;
+          case LValue::kGlobalScalar:
+            emit(isa::makeStore(reg, -1, lv.addr));
+            return;
+          case LValue::kArrayElem:
+            emit(isa::makeStore(reg, lv.reg, lv.addr));
+            return;
+        }
+    }
+
+    // --- expressions ---------------------------------------------------------
+
+    Value
+    genExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::kIntLit: {
+            int dst = newReg();
+            emit(isa::makeMovI(dst, static_cast<const lang::IntLit &>(e).value));
+            return {dst, Type::kInt};
+          }
+          case ExprKind::kFloatLit: {
+            int dst = newReg();
+            emit(isa::makeMovF(dst,
+                               static_cast<const lang::FloatLit &>(e).value));
+            return {dst, Type::kFloat};
+          }
+          case ExprKind::kStringLit:
+            error(e.loc, "string literals are only allowed as the argument "
+                         "of puts()");
+            return {materializeZero(Type::kInt), Type::kInt};
+          case ExprKind::kVarRef:
+          case ExprKind::kIndex: {
+            auto lv = genLValue(e);
+            if (!lv)
+                return {materializeZero(Type::kInt), Type::kInt};
+            return readLValue(*lv);
+          }
+          case ExprKind::kFuncAddr: {
+            const auto &fa = static_cast<const lang::FuncAddrExpr &>(e);
+            auto it = functions_.find(fa.name);
+            if (it == functions_.end()) {
+                error(e.loc, "unknown function '" + fa.name + "'");
+                return {materializeZero(Type::kInt), Type::kInt};
+            }
+            int dst = newReg();
+            emit(isa::makeMovI(dst, it->second.index));
+            return {dst, Type::kInt};
+          }
+          case ExprKind::kUnary:
+            return genUnary(static_cast<const lang::UnaryExpr &>(e));
+          case ExprKind::kBinary:
+            return genBinary(static_cast<const lang::BinaryExpr &>(e));
+          case ExprKind::kAssign:
+            return genAssign(static_cast<const lang::AssignExpr &>(e));
+          case ExprKind::kTernary:
+            return genTernary(static_cast<const lang::TernaryExpr &>(e));
+          case ExprKind::kCall:
+            return genCall(static_cast<const lang::CallExpr &>(e));
+        }
+        error(e.loc, "internal: unhandled expression kind");
+        return {materializeZero(Type::kInt), Type::kInt};
+    }
+
+    Value
+    genUnary(const lang::UnaryExpr &u)
+    {
+        switch (u.op) {
+          case UnaryOp::kNeg: {
+            Value v = genExpr(*u.operand);
+            if (v.type == Type::kVoid) {
+                error(u.loc, "void value used");
+                return {materializeZero(Type::kInt), Type::kInt};
+            }
+            int dst = newReg();
+            emit(isa::makeUnary(v.type == Type::kFloat ? Opcode::kFNeg
+                                                       : Opcode::kNeg,
+                                dst, v.reg));
+            return {dst, v.type};
+          }
+          case UnaryOp::kBitNot: {
+            Value v = convert(genExpr(*u.operand), Type::kInt, u.loc);
+            int dst = newReg();
+            emit(isa::makeUnary(Opcode::kNot, dst, v.reg));
+            return {dst, Type::kInt};
+          }
+          case UnaryOp::kLogNot: {
+            Value v = genExpr(*u.operand);
+            int zero = materializeZero(v.type == Type::kFloat ? Type::kFloat
+                                                              : Type::kInt);
+            int dst = newReg();
+            emit(isa::makeBinary(v.type == Type::kFloat ? Opcode::kFCmpEq
+                                                        : Opcode::kCmpEq,
+                                 dst, condOperand(v, u.loc), zero));
+            return {dst, Type::kInt};
+          }
+          case UnaryOp::kPreInc:
+          case UnaryOp::kPreDec:
+          case UnaryOp::kPostInc:
+          case UnaryOp::kPostDec: {
+            auto lv = genLValue(*u.operand);
+            if (!lv)
+                return {materializeZero(Type::kInt), Type::kInt};
+            Value old_value = readLValue(*lv);
+            bool post = u.op == UnaryOp::kPostInc || u.op == UnaryOp::kPostDec;
+            bool inc = u.op == UnaryOp::kPreInc || u.op == UnaryOp::kPostInc;
+            int saved = -1;
+            if (post) {
+                saved = newReg();
+                emit(isa::makeUnary(Opcode::kMov, saved, old_value.reg));
+            }
+            int one = newReg();
+            int updated = newReg();
+            if (lv->type == Type::kFloat) {
+                emit(isa::makeMovF(one, 1.0));
+                emit(isa::makeBinary(inc ? Opcode::kFAdd : Opcode::kFSub,
+                                     updated, old_value.reg, one));
+            } else {
+                emit(isa::makeMovI(one, 1));
+                emit(isa::makeBinary(inc ? Opcode::kAdd : Opcode::kSub,
+                                     updated, old_value.reg, one));
+            }
+            writeLValue(*lv, updated);
+            return {post ? saved : updated, lv->type};
+          }
+        }
+        error(u.loc, "internal: unhandled unary operator");
+        return {materializeZero(Type::kInt), Type::kInt};
+    }
+
+    /** Like condReg but for already-evaluated values of int type; used where
+     *  the operand register is needed directly. */
+    int
+    condOperand(Value v, SourceLoc loc)
+    {
+        if (v.type == Type::kVoid) {
+            error(loc, "void value used");
+            return materializeZero(Type::kInt);
+        }
+        return v.reg;
+    }
+
+    Value
+    genBinary(const lang::BinaryExpr &b)
+    {
+        // Short-circuit operators in value position materialize 0/1 through
+        // control flow — they create real branch sites, exactly as C
+        // compilers of the paper's era generated them.
+        if (b.op == BinaryOp::kLogAnd || b.op == BinaryOp::kLogOr) {
+            int result = newReg();
+            int l_true = newLabel();
+            int l_false = newLabel();
+            int l_end = newLabel();
+            genCond(b, l_true, l_false, BranchKind::kLogical);
+            bind(l_true);
+            emit(isa::makeMovI(result, 1));
+            emitJump(l_end);
+            bind(l_false);
+            emit(isa::makeMovI(result, 0));
+            bind(l_end);
+            return {result, Type::kInt};
+        }
+
+        Value lhs = genExpr(*b.lhs);
+        Value rhs = genExpr(*b.rhs);
+        if (lhs.type == Type::kVoid || rhs.type == Type::kVoid) {
+            error(b.loc, "void value used in binary expression");
+            return {materializeZero(Type::kInt), Type::kInt};
+        }
+        bool fp = lhs.type == Type::kFloat || rhs.type == Type::kFloat;
+
+        if (isCompare(b.op)) {
+            Type operand_type = fp ? Type::kFloat : Type::kInt;
+            lhs = convert(lhs, operand_type, b.loc);
+            rhs = convert(rhs, operand_type, b.loc);
+            int dst = newReg();
+            emit(isa::makeBinary(compareOpcode(b.op, fp), dst, lhs.reg,
+                                 rhs.reg));
+            return {dst, Type::kInt};
+        }
+
+        switch (b.op) {
+          case BinaryOp::kRem: case BinaryOp::kBitAnd: case BinaryOp::kBitOr:
+          case BinaryOp::kBitXor: case BinaryOp::kShl: case BinaryOp::kShr:
+            if (fp) {
+                error(b.loc, "integer operator applied to float operands");
+                return {materializeZero(Type::kInt), Type::kInt};
+            }
+            break;
+          default:
+            break;
+        }
+
+        Type result_type = fp ? Type::kFloat : Type::kInt;
+        lhs = convert(lhs, result_type, b.loc);
+        rhs = convert(rhs, result_type, b.loc);
+        Opcode op;
+        switch (b.op) {
+          case BinaryOp::kAdd: op = fp ? Opcode::kFAdd : Opcode::kAdd; break;
+          case BinaryOp::kSub: op = fp ? Opcode::kFSub : Opcode::kSub; break;
+          case BinaryOp::kMul: op = fp ? Opcode::kFMul : Opcode::kMul; break;
+          case BinaryOp::kDiv: op = fp ? Opcode::kFDiv : Opcode::kDiv; break;
+          case BinaryOp::kRem: op = Opcode::kRem; break;
+          case BinaryOp::kBitAnd: op = Opcode::kAnd; break;
+          case BinaryOp::kBitOr: op = Opcode::kOr; break;
+          case BinaryOp::kBitXor: op = Opcode::kXor; break;
+          case BinaryOp::kShl: op = Opcode::kShl; break;
+          case BinaryOp::kShr: op = Opcode::kShr; break;
+          default:
+            error(b.loc, "internal: unhandled binary operator");
+            return {materializeZero(Type::kInt), Type::kInt};
+        }
+        int dst = newReg();
+        emit(isa::makeBinary(op, dst, lhs.reg, rhs.reg));
+        return {dst, result_type};
+    }
+
+    Value
+    genAssign(const lang::AssignExpr &a)
+    {
+        auto lv = genLValue(*a.target);
+        if (!lv)
+            return {materializeZero(Type::kInt), Type::kInt};
+        Value value;
+        if (a.compound) {
+            Value current = readLValue(*lv);
+            Value rhs = genExpr(*a.value);
+            if (rhs.type == Type::kVoid) {
+                error(a.loc, "void value used in assignment");
+                return {materializeZero(Type::kInt), Type::kInt};
+            }
+            bool fp = current.type == Type::kFloat ||
+                      rhs.type == Type::kFloat;
+            if (fp && (*a.compound == BinaryOp::kRem)) {
+                error(a.loc, "%= applied to float operands");
+                return {materializeZero(Type::kInt), Type::kInt};
+            }
+            Type op_type = fp ? Type::kFloat : Type::kInt;
+            current = convert(current, op_type, a.loc);
+            rhs = convert(rhs, op_type, a.loc);
+            Opcode op;
+            switch (*a.compound) {
+              case BinaryOp::kAdd: op = fp ? Opcode::kFAdd : Opcode::kAdd; break;
+              case BinaryOp::kSub: op = fp ? Opcode::kFSub : Opcode::kSub; break;
+              case BinaryOp::kMul: op = fp ? Opcode::kFMul : Opcode::kMul; break;
+              case BinaryOp::kDiv: op = fp ? Opcode::kFDiv : Opcode::kDiv; break;
+              case BinaryOp::kRem: op = Opcode::kRem; break;
+              default:
+                error(a.loc, "internal: unhandled compound operator");
+                return {materializeZero(Type::kInt), Type::kInt};
+            }
+            int dst = newReg();
+            emit(isa::makeBinary(op, dst, current.reg, rhs.reg));
+            value = {dst, op_type};
+        } else {
+            value = genExpr(*a.value);
+        }
+        value = convert(value, lv->type, a.loc);
+        writeLValue(*lv, value.reg);
+        return value;
+    }
+
+    /** Purity/cost test for lowering ?: to SELECT: both arms will execute
+     *  unconditionally, so they must be side-effect free, trap free (no
+     *  loads, divides) and cheap. */
+    bool
+    selectable(const Expr &e, int *budget) const
+    {
+        if (--(*budget) < 0)
+            return false;
+        switch (e.kind) {
+          case ExprKind::kIntLit:
+          case ExprKind::kFloatLit:
+            return true;
+          case ExprKind::kVarRef: {
+            const auto &v = static_cast<const lang::VarRef &>(e);
+            if (lookupLocal(v.name))
+                return true;
+            auto git = globals_.find(v.name);
+            return git != globals_.end() && !git->second.is_array;
+          }
+          case ExprKind::kUnary: {
+            const auto &u = static_cast<const lang::UnaryExpr &>(e);
+            if (u.op == UnaryOp::kNeg || u.op == UnaryOp::kBitNot)
+                return selectable(*u.operand, budget);
+            return false;
+          }
+          case ExprKind::kBinary: {
+            const auto &b = static_cast<const lang::BinaryExpr &>(e);
+            switch (b.op) {
+              case BinaryOp::kAdd: case BinaryOp::kSub: case BinaryOp::kMul:
+              case BinaryOp::kBitAnd: case BinaryOp::kBitOr:
+              case BinaryOp::kBitXor: case BinaryOp::kShl: case BinaryOp::kShr:
+              case BinaryOp::kEq: case BinaryOp::kNe: case BinaryOp::kLt:
+              case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
+                return selectable(*b.lhs, budget) && selectable(*b.rhs, budget);
+              default:
+                return false;
+            }
+          }
+          default:
+            return false;
+        }
+    }
+
+    Value
+    genTernary(const lang::TernaryExpr &t)
+    {
+        int budget = 6;
+        if (options_.use_select && selectable(*t.then_value, &budget) &&
+            selectable(*t.else_value, &budget)) {
+            Value cond = genExpr(*t.cond);
+            int cond_reg = condReg(cond, t.loc);
+            Value a = genExpr(*t.then_value);
+            Value b = genExpr(*t.else_value);
+            bool fp = a.type == Type::kFloat || b.type == Type::kFloat;
+            Type rt = fp ? Type::kFloat : Type::kInt;
+            a = convert(a, rt, t.loc);
+            b = convert(b, rt, t.loc);
+            int dst = newReg();
+            emit(isa::makeSelect(dst, cond_reg, a.reg, b.reg));
+            return {dst, rt};
+        }
+
+        // Branch diamond. The result type must be computed up front; we
+        // cheat slightly by generating the then-arm first and converting
+        // the else-arm to its type (int unless either arm is float, which
+        // we cannot know before generating — so convert at the join).
+        int l_then = newLabel();
+        int l_else = newLabel();
+        int l_end = newLabel();
+        int result = newReg();
+        genCond(*t.cond, l_then, l_else, BranchKind::kTernary);
+        bind(l_then);
+        Value a = genExpr(*t.then_value);
+        // Provisional: move, then patch type below via convert on both arms.
+        // To keep single-pass generation simple, the result type is the
+        // type of the then-arm; the else-arm converts to it.
+        Type rt = a.type == Type::kVoid ? Type::kInt : a.type;
+        a = convert(a, rt, t.loc);
+        emit(isa::makeUnary(Opcode::kMov, result, a.reg));
+        emitJump(l_end);
+        bind(l_else);
+        Value b = convert(genExpr(*t.else_value), rt, t.loc);
+        emit(isa::makeUnary(Opcode::kMov, result, b.reg));
+        bind(l_end);
+        return {result, rt};
+    }
+
+    Value
+    genCall(const lang::CallExpr &call)
+    {
+        auto bit = kBuiltins.find(call.callee);
+        if (bit != kBuiltins.end())
+            return genBuiltin(call, bit->second);
+
+        auto it = functions_.find(call.callee);
+        if (it == functions_.end()) {
+            error(call.loc, "call to undeclared function '" + call.callee +
+                            "'");
+            return {materializeZero(Type::kInt), Type::kInt};
+        }
+        const FuncInfo &fn = it->second;
+        if (call.args.size() != fn.param_types.size()) {
+            error(call.loc,
+                  strPrintf("'%s' expects %zu arguments, got %zu",
+                            call.callee.c_str(), fn.param_types.size(),
+                            call.args.size()));
+            return {materializeZero(Type::kInt), Type::kInt};
+        }
+        // Evaluate every argument fully (nested calls complete their own
+        // arg staging), then stage contiguously so the VM's pending-args
+        // buffer cannot be clobbered.
+        std::vector<int> arg_regs;
+        arg_regs.reserve(call.args.size());
+        for (size_t i = 0; i < call.args.size(); ++i) {
+            Value v = convert(genExpr(*call.args[i]), fn.param_types[i],
+                              call.args[i]->loc);
+            arg_regs.push_back(v.reg);
+        }
+        for (size_t i = 0; i < arg_regs.size(); ++i)
+            emit(isa::makeArg(static_cast<int>(i), arg_regs[i]));
+        if (fn.return_type == Type::kVoid) {
+            emit(isa::makeCall(-1, fn.index));
+            return {-1, Type::kVoid};
+        }
+        int dst = newReg();
+        emit(isa::makeCall(dst, fn.index));
+        return {dst, fn.return_type};
+    }
+
+    Value
+    genBuiltin(const lang::CallExpr &call, Builtin builtin)
+    {
+        auto expect_args = [&](size_t n) {
+            if (call.args.size() != n) {
+                error(call.loc,
+                      strPrintf("'%s' expects %zu argument(s), got %zu",
+                                call.callee.c_str(), n, call.args.size()));
+                return false;
+            }
+            return true;
+        };
+
+        switch (builtin) {
+          case Builtin::kGetc: {
+            if (!expect_args(0))
+                return {materializeZero(Type::kInt), Type::kInt};
+            int dst = newReg();
+            emit({Opcode::kGetc, dst, -1, -1, -1, 0});
+            return {dst, Type::kInt};
+          }
+          case Builtin::kPutc: {
+            if (!expect_args(1))
+                return {materializeZero(Type::kInt), Type::kInt};
+            Value v = convert(genExpr(*call.args[0]), Type::kInt, call.loc);
+            emit({Opcode::kPutc, v.reg, -1, -1, -1, 0});
+            return {v.reg, Type::kInt};
+          }
+          case Builtin::kPutF: {
+            if (!expect_args(1))
+                return {-1, Type::kVoid};
+            Value v = convert(genExpr(*call.args[0]), Type::kFloat, call.loc);
+            emit({Opcode::kPutF, v.reg, -1, -1, -1, 0});
+            return {-1, Type::kVoid};
+          }
+          case Builtin::kPuts: {
+            if (!expect_args(1))
+                return {-1, Type::kVoid};
+            if (call.args[0]->kind != ExprKind::kStringLit) {
+                error(call.loc, "puts() requires a string literal");
+                return {-1, Type::kVoid};
+            }
+            const auto &lit =
+                static_cast<const lang::StringLit &>(*call.args[0]);
+            int reg = newReg();
+            for (char c : lit.value) {
+                emit(isa::makeMovI(reg, static_cast<unsigned char>(c)));
+                emit({Opcode::kPutc, reg, -1, -1, -1, 0});
+            }
+            return {-1, Type::kVoid};
+          }
+          case Builtin::kHalt:
+            if (expect_args(0))
+                emit({Opcode::kHalt, -1, -1, -1, -1, 0});
+            return {-1, Type::kVoid};
+          case Builtin::kItoF: {
+            if (!expect_args(1))
+                return {materializeZero(Type::kFloat), Type::kFloat};
+            Value v = convert(genExpr(*call.args[0]), Type::kInt, call.loc);
+            int dst = newReg();
+            emit(isa::makeUnary(Opcode::kItoF, dst, v.reg));
+            return {dst, Type::kFloat};
+          }
+          case Builtin::kFtoI: {
+            if (!expect_args(1))
+                return {materializeZero(Type::kInt), Type::kInt};
+            Value v = convert(genExpr(*call.args[0]), Type::kFloat, call.loc);
+            int dst = newReg();
+            emit(isa::makeUnary(Opcode::kFtoI, dst, v.reg));
+            return {dst, Type::kInt};
+          }
+          case Builtin::kSqrt: case Builtin::kExp: case Builtin::kLog:
+          case Builtin::kSin: case Builtin::kCos: case Builtin::kFAbs: {
+            if (!expect_args(1))
+                return {materializeZero(Type::kFloat), Type::kFloat};
+            Value v = convert(genExpr(*call.args[0]), Type::kFloat, call.loc);
+            Opcode op;
+            switch (builtin) {
+              case Builtin::kSqrt: op = Opcode::kFSqrt; break;
+              case Builtin::kExp: op = Opcode::kFExp; break;
+              case Builtin::kLog: op = Opcode::kFLog; break;
+              case Builtin::kSin: op = Opcode::kFSin; break;
+              case Builtin::kCos: op = Opcode::kFCos; break;
+              default: op = Opcode::kFAbs; break;
+            }
+            int dst = newReg();
+            emit(isa::makeUnary(op, dst, v.reg));
+            return {dst, Type::kFloat};
+          }
+          case Builtin::kICall: {
+            if (call.args.empty()) {
+                error(call.loc, "icall() requires a function value");
+                return {materializeZero(Type::kInt), Type::kInt};
+            }
+            Value target = convert(genExpr(*call.args[0]), Type::kInt,
+                                   call.loc);
+            std::vector<int> arg_regs;
+            for (size_t i = 1; i < call.args.size(); ++i) {
+                Value v = genExpr(*call.args[i]);
+                if (v.type == Type::kVoid) {
+                    error(call.args[i]->loc, "void argument in icall");
+                    v = {materializeZero(Type::kInt), Type::kInt};
+                }
+                arg_regs.push_back(v.reg);
+            }
+            for (size_t i = 0; i < arg_regs.size(); ++i)
+                emit(isa::makeArg(static_cast<int>(i), arg_regs[i]));
+            int dst = newReg();
+            emit(isa::makeICall(dst, target.reg));
+            return {dst, Type::kInt};
+          }
+        }
+        error(call.loc, "internal: unhandled builtin");
+        return {materializeZero(Type::kInt), Type::kInt};
+    }
+
+    // --- statements ----------------------------------------------------------
+
+    void
+    genStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::kBlock: {
+            const auto &block = static_cast<const lang::BlockStmt &>(s);
+            pushScope();
+            for (const auto &stmt : block.stmts)
+                genStmt(*stmt);
+            popScope();
+            return;
+          }
+          case StmtKind::kExpr:
+            genExpr(*static_cast<const lang::ExprStmt &>(s).expr);
+            return;
+          case StmtKind::kVarDecl: {
+            const auto &decl = static_cast<const lang::VarDeclStmt &>(s);
+            for (const auto &d : decl.vars) {
+                int reg = newReg();
+                if (!declareLocal(d.name, LocalInfo{reg, decl.type})) {
+                    error(d.loc, "redefinition of '" + d.name + "'");
+                    continue;
+                }
+                if (d.init) {
+                    Value v = convert(genExpr(*d.init), decl.type, d.loc);
+                    emit(isa::makeUnary(Opcode::kMov, reg, v.reg));
+                } else {
+                    // Deterministic zero initialization.
+                    if (decl.type == Type::kFloat)
+                        emit(isa::makeMovF(reg, 0.0));
+                    else
+                        emit(isa::makeMovI(reg, 0));
+                }
+            }
+            return;
+          }
+          case StmtKind::kIf: {
+            const auto &stmt = static_cast<const lang::IfStmt &>(s);
+            int l_then = newLabel();
+            int l_else = newLabel();
+            int l_end = newLabel();
+            genCond(*stmt.cond, l_then, l_else, BranchKind::kIf);
+            bind(l_then);
+            genStmt(*stmt.then_stmt);
+            if (stmt.else_stmt) {
+                emitJump(l_end);
+                bind(l_else);
+                genStmt(*stmt.else_stmt);
+                bind(l_end);
+            } else {
+                bind(l_else);
+                bind(l_end);
+            }
+            return;
+          }
+          case StmtKind::kWhile: {
+            const auto &stmt = static_cast<const lang::WhileStmt &>(s);
+            // Rotated loop: the test lives at the bottom, so the loop
+            // branch is backward-taken — the shape the heuristic
+            // predictors key on.
+            int l_body = newLabel();
+            int l_test = newLabel();
+            int l_exit = newLabel();
+            emitJump(l_test);
+            bind(l_body);
+            break_labels_.push_back(l_exit);
+            continue_labels_.push_back(l_test);
+            genStmt(*stmt.body);
+            continue_labels_.pop_back();
+            break_labels_.pop_back();
+            bind(l_test);
+            genCond(*stmt.cond, l_body, l_exit, BranchKind::kLoop);
+            bind(l_exit);
+            return;
+          }
+          case StmtKind::kDoWhile: {
+            const auto &stmt = static_cast<const lang::DoWhileStmt &>(s);
+            int l_body = newLabel();
+            int l_test = newLabel();
+            int l_exit = newLabel();
+            bind(l_body);
+            break_labels_.push_back(l_exit);
+            continue_labels_.push_back(l_test);
+            genStmt(*stmt.body);
+            continue_labels_.pop_back();
+            break_labels_.pop_back();
+            bind(l_test);
+            genCond(*stmt.cond, l_body, l_exit, BranchKind::kLoop);
+            bind(l_exit);
+            return;
+          }
+          case StmtKind::kFor: {
+            const auto &stmt = static_cast<const lang::ForStmt &>(s);
+            pushScope(); // for-init declarations scope to the loop
+            if (stmt.init)
+                genStmt(*stmt.init);
+            int l_body = newLabel();
+            int l_step = newLabel();
+            int l_test = newLabel();
+            int l_exit = newLabel();
+            emitJump(l_test);
+            bind(l_body);
+            break_labels_.push_back(l_exit);
+            continue_labels_.push_back(l_step);
+            genStmt(*stmt.body);
+            continue_labels_.pop_back();
+            break_labels_.pop_back();
+            bind(l_step);
+            if (stmt.step)
+                genExpr(*stmt.step);
+            bind(l_test);
+            if (stmt.cond)
+                genCond(*stmt.cond, l_body, l_exit, BranchKind::kLoop);
+            else
+                emitJump(l_body);
+            bind(l_exit);
+            popScope();
+            return;
+          }
+          case StmtKind::kSwitch:
+            genSwitch(static_cast<const lang::SwitchStmt &>(s));
+            return;
+          case StmtKind::kBreak:
+            if (break_labels_.empty())
+                error(s.loc, "'break' outside of loop or switch");
+            else
+                emitJump(break_labels_.back());
+            return;
+          case StmtKind::kContinue:
+            if (continue_labels_.empty())
+                error(s.loc, "'continue' outside of loop");
+            else
+                emitJump(continue_labels_.back());
+            return;
+          case StmtKind::kReturn: {
+            const auto &stmt = static_cast<const lang::ReturnStmt &>(s);
+            if (cur_return_type_ == Type::kVoid) {
+                if (stmt.value)
+                    error(s.loc, "void function returns a value");
+                emit(isa::makeRet(-1));
+                return;
+            }
+            if (!stmt.value) {
+                error(s.loc, "non-void function must return a value");
+                emit(isa::makeRet(-1));
+                return;
+            }
+            Value v = convert(genExpr(*stmt.value), cur_return_type_, s.loc);
+            emit(isa::makeRet(v.reg));
+            return;
+          }
+          case StmtKind::kEmpty:
+            return;
+        }
+        error(s.loc, "internal: unhandled statement kind");
+    }
+
+    /**
+     * Lower switch to a linear cascade of equality tests — the same
+     * transformation the paper's compiler applied to multi-destination
+     * branches, which it argues captures the needed information: if the
+     * lowered branches are predictable, conditional branches were the
+     * right encoding anyway.
+     */
+    void
+    genSwitch(const lang::SwitchStmt &stmt)
+    {
+        Value v = convert(genExpr(*stmt.value), Type::kInt, stmt.loc);
+        int l_end = newLabel();
+        int l_default = l_end;
+
+        std::vector<int> arm_labels;
+        arm_labels.reserve(stmt.arms.size());
+        for (const auto &arm : stmt.arms) {
+            arm_labels.push_back(newLabel());
+            if (arm.is_default)
+                l_default = arm_labels.back();
+        }
+
+        // Dispatch cascade.
+        for (size_t i = 0; i < stmt.arms.size(); ++i) {
+            for (int64_t label_value : stmt.arms[i].labels) {
+                int lit = newReg();
+                emit(isa::makeMovI(lit, label_value));
+                int cmp = newReg();
+                emit(isa::makeBinary(Opcode::kCmpEq, cmp, v.reg, lit));
+                int l_next = newLabel();
+                emitBranch(cmp, arm_labels[i], l_next,
+                           BranchKind::kSwitchCase, stmt.arms[i].loc,
+                           Opcode::kCmpEq);
+                bind(l_next);
+            }
+        }
+        emitJump(l_default);
+
+        // Arm bodies, in order, with C fallthrough.
+        break_labels_.push_back(l_end);
+        for (size_t i = 0; i < stmt.arms.size(); ++i) {
+            bind(arm_labels[i]);
+            pushScope();
+            for (const auto &body_stmt : stmt.arms[i].body)
+                genStmt(*body_stmt);
+            popScope();
+        }
+        break_labels_.pop_back();
+        bind(l_end);
+    }
+
+    // --- final assembly -------------------------------------------------------
+
+    void
+    finishProgram()
+    {
+        program_.memory_words = next_address_;
+        program_.data_init = std::move(data_init_);
+        int entry = -1;
+        auto it = functions_.find("main");
+        if (it == functions_.end()) {
+            diags_.push_back("error: no main() function defined");
+        } else if (!it->second.param_types.empty()) {
+            diags_.push_back("error: main() must take no parameters");
+        } else {
+            entry = it->second.index;
+        }
+        program_.entry = entry;
+    }
+
+    const std::vector<const lang::Unit *> &units_;
+    const CompileOptions &options_;
+
+    isa::Program program_;
+    std::vector<std::string> diags_;
+
+    std::unordered_map<std::string, GlobalInfo> globals_;
+    std::unordered_map<std::string, FuncInfo> functions_;
+    int64_t next_address_ = 0;
+    std::vector<isa::Program::DataInit> data_init_;
+
+    // Per-function state.
+    int cur_func_index_ = -1;
+    Type cur_return_type_ = Type::kVoid;
+    int num_regs_ = 0;
+    std::vector<Instruction> code_;
+    std::vector<int> labels_;
+    std::vector<std::unordered_map<std::string, LocalInfo>> scopes_;
+    std::vector<int> break_labels_;
+    std::vector<int> continue_labels_;
+};
+
+} // namespace
+
+isa::Program
+generate(const std::vector<const lang::Unit *> &units,
+         const CompileOptions &options)
+{
+    return CodeGen(units, options).run();
+}
+
+} // namespace ifprob

@@ -1,0 +1,26 @@
+#ifndef IFPROB_COMPILER_CODEGEN_H
+#define IFPROB_COMPILER_CODEGEN_H
+
+#include <vector>
+
+#include "compiler/options.h"
+#include "isa/program.h"
+#include "lang/ast.h"
+
+namespace ifprob {
+
+/**
+ * Translate one or more parsed minic units (prelude first, then user code)
+ * into an isa::Program.
+ *
+ * Performs name resolution and type checking as it goes; all semantic
+ * errors are collected and reported together in a thrown CompileError.
+ * Branch site ids are assigned in deterministic emission order, giving the
+ * stable source-keyed identity the profile machinery relies on.
+ */
+isa::Program generate(const std::vector<const lang::Unit *> &units,
+                      const CompileOptions &options);
+
+} // namespace ifprob
+
+#endif // IFPROB_COMPILER_CODEGEN_H

@@ -1,0 +1,254 @@
+#include "compiler/inline.h"
+
+#include <vector>
+
+#include "compiler/passes.h"
+#include "isa/instruction.h"
+
+namespace ifprob {
+
+using isa::Function;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/** A callee is inlinable when it is small, makes no self-call, and is
+ *  not the program entry. Calls to *other* functions inside the body
+ *  are fine — they stay calls (and may inline in a later round). */
+bool
+inlinable(const isa::Program &program, int callee, int caller,
+          const InlineOptions &options)
+{
+    if (callee == caller || callee == program.entry)
+        return false;
+    const Function &fn = program.functions[static_cast<size_t>(callee)];
+    if (static_cast<int>(fn.code.size()) > options.max_callee_size)
+        return false;
+    for (const Instruction &insn : fn.code) {
+        if (insn.op == Opcode::kCall && insn.b == callee)
+            return false; // direct recursion
+        if (insn.op == Opcode::kICall)
+            return false; // could reach itself indirectly
+    }
+    return true;
+}
+
+/**
+ * Expand one call: rebuild @p caller's code with the callee body
+ * spliced over the kCall at @p call_pc. The preceding kArg run (the
+ * code generator emits it contiguously) becomes moves into the
+ * callee's remapped parameter registers.
+ */
+void
+expandCall(Function &caller, int call_pc, const Function &callee)
+{
+    const Instruction call = caller.code[static_cast<size_t>(call_pc)];
+    const int reg_base = caller.num_regs;
+    caller.num_regs += callee.num_regs;
+    const int dst = call.a;
+
+    // Rewrite the kArg run feeding this call into parameter moves.
+    {
+        int arg_pc = call_pc - 1;
+        while (arg_pc >= 0 &&
+               caller.code[static_cast<size_t>(arg_pc)].op == Opcode::kArg) {
+            Instruction &arg = caller.code[static_cast<size_t>(arg_pc)];
+            arg = isa::makeUnary(Opcode::kMov, reg_base + arg.a, arg.b);
+            --arg_pc;
+        }
+    }
+    // No zero-init prologue is needed: minic's code generator writes
+    // every register before reading it on every path (locals without
+    // initializers get explicit zero moves), so a fresh-frame guarantee
+    // is not load-bearing for inlined bodies.
+
+    // Build the inlined body.
+    std::vector<Instruction> body;
+    body.reserve(callee.code.size() + 4);
+    // First pass: compute per-callee-pc offsets in the expanded body
+    // (returns expand to up to 2 instructions).
+    std::vector<int> new_pos(callee.code.size() + 1, 0);
+    {
+        int pos = 0;
+        for (size_t pc = 0; pc < callee.code.size(); ++pc) {
+            new_pos[pc] = pos;
+            const Instruction &insn = callee.code[pc];
+            if (insn.op == Opcode::kRet)
+                pos += (dst != -1) ? 2 : 1;
+            else
+                pos += 1;
+        }
+        new_pos[callee.code.size()] = pos;
+    }
+    const int body_len = new_pos[callee.code.size()];
+    const int continuation = call_pc + body_len; // pc after the body
+
+    const int prologue_len = 0;
+
+    for (size_t pc = 0; pc < callee.code.size(); ++pc) {
+        Instruction insn = callee.code[pc];
+        // Remap register operands.
+        auto remap = [&](int32_t &r) {
+            if (r != -1)
+                r += reg_base;
+        };
+        switch (insn.op) {
+          case Opcode::kMovI: case Opcode::kMovF: case Opcode::kGetc:
+            remap(insn.a);
+            break;
+          case Opcode::kMov:
+            remap(insn.a);
+            remap(insn.b);
+            break;
+          case Opcode::kLoad:
+            remap(insn.a);
+            if (insn.b != -1)
+                remap(insn.b);
+            break;
+          case Opcode::kStore:
+            remap(insn.a);
+            if (insn.b != -1)
+                remap(insn.b);
+            break;
+          case Opcode::kBr:
+            remap(insn.a);
+            insn.b = call_pc + prologue_len + new_pos[static_cast<size_t>(insn.b)];
+            insn.c = call_pc + prologue_len + new_pos[static_cast<size_t>(insn.c)];
+            body.push_back(insn);
+            continue;
+          case Opcode::kJmp:
+            insn.a = call_pc + prologue_len + new_pos[static_cast<size_t>(insn.a)];
+            body.push_back(insn);
+            continue;
+          case Opcode::kArg:
+            remap(insn.b);
+            break;
+          case Opcode::kCall:
+            if (insn.a != -1)
+                remap(insn.a);
+            break;
+          case Opcode::kICall:
+            if (insn.a != -1)
+                remap(insn.a);
+            remap(insn.b);
+            break;
+          case Opcode::kRet: {
+            if (dst != -1) {
+                if (insn.a != -1) {
+                    body.push_back(isa::makeUnary(Opcode::kMov, dst,
+                                                  insn.a + reg_base));
+                } else {
+                    body.push_back(isa::makeMovI(dst, 0));
+                }
+            }
+            body.push_back(isa::makeJmp(continuation + prologue_len));
+            continue;
+          }
+          case Opcode::kSelect:
+            remap(insn.a);
+            remap(insn.b);
+            remap(insn.c);
+            remap(insn.d);
+            break;
+          case Opcode::kPutc: case Opcode::kPutF:
+            remap(insn.a);
+            break;
+          case Opcode::kHalt: case Opcode::kNop:
+            break;
+          default:
+            // Three-address ALU forms.
+            remap(insn.a);
+            remap(insn.b);
+            if (isa::isBinaryAlu(insn.op))
+                remap(insn.c);
+            break;
+        }
+        body.push_back(insn);
+    }
+
+    // Splice: prologue + body replace the single kCall instruction.
+    const int delta = prologue_len + body_len - 1;
+    std::vector<Instruction> out;
+    out.reserve(caller.code.size() + static_cast<size_t>(delta));
+    for (int pc = 0; pc < static_cast<int>(caller.code.size()); ++pc) {
+        if (pc == call_pc) {
+            out.insert(out.end(), body.begin(), body.end());
+            continue;
+        }
+        Instruction insn = caller.code[static_cast<size_t>(pc)];
+        // Shift caller control targets that point past the call site.
+        if (insn.op == Opcode::kBr) {
+            if (insn.b > call_pc)
+                insn.b += delta;
+            if (insn.c > call_pc)
+                insn.c += delta;
+        } else if (insn.op == Opcode::kJmp) {
+            if (insn.a > call_pc)
+                insn.a += delta;
+        }
+        out.push_back(insn);
+    }
+    caller.code = std::move(out);
+}
+
+} // namespace
+
+int
+inlineProgram(isa::Program &program, const InlineOptions &options)
+{
+    int total = 0;
+    for (int round = 0; round < options.rounds; ++round) {
+        int inlined_this_round = 0;
+        for (size_t fi = 0; fi < program.functions.size(); ++fi) {
+            Function &caller = program.functions[fi];
+            // Scan repeatedly: each expansion shifts positions.
+            bool changed = true;
+            while (changed &&
+                   static_cast<int>(caller.code.size()) <
+                       options.max_caller_size) {
+                changed = false;
+                for (int pc = 0;
+                     pc < static_cast<int>(caller.code.size()); ++pc) {
+                    const Instruction &insn =
+                        caller.code[static_cast<size_t>(pc)];
+                    if (insn.op != Opcode::kCall)
+                        continue;
+                    if (!inlinable(program, insn.b, static_cast<int>(fi),
+                                   options)) {
+                        continue;
+                    }
+                    expandCall(caller, pc,
+                               program.functions[static_cast<size_t>(
+                                   insn.b)]);
+                    ++inlined_this_round;
+                    ++total;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if (inlined_this_round == 0)
+            break;
+    }
+    if (total > 0) {
+        // Clean up the expansion residue (return-jumps to the next
+        // instruction, result-move chains) with the site-safe passes,
+        // so inlining actually removes the dynamic call overhead.
+        for (auto &fn : program.functions) {
+            for (int round = 0; round < 3; ++round) {
+                bool changed = false;
+                changed |= propagateCopies(fn);
+                changed |= removeDeadWrites(fn);
+                changed |= threadJumps(fn, /*fold_trivial_branches=*/false);
+                changed |= compactCode(fn);
+                if (!changed)
+                    break;
+            }
+        }
+    }
+    program.validate();
+    return total;
+}
+
+} // namespace ifprob

@@ -1,0 +1,40 @@
+#ifndef IFPROB_COMPILER_INLINE_H
+#define IFPROB_COMPILER_INLINE_H
+
+#include "isa/program.h"
+
+namespace ifprob {
+
+/** Controls for the inliner. */
+struct InlineOptions
+{
+    /** Callees larger than this (static instructions) stay calls. */
+    int max_callee_size = 60;
+    /** Stop growing a caller beyond this many instructions. */
+    int max_caller_size = 20000;
+    /** Rounds of inlining (chains of small calls collapse round by
+     *  round). */
+    int rounds = 3;
+};
+
+/**
+ * Procedure inlining — the capability the paper calls essential for ILP
+ * compilers ("an executed call that is not inlined will cost two breaks
+ * in control — a deadly effect when a short routine is called in an
+ * inner loop"). Small non-recursive callees are spliced into their
+ * callers: argument staging becomes register moves, returns become
+ * moves plus jumps to the continuation.
+ *
+ * Branch sites inside an inlined body keep their original site ids, so
+ * multiple inlined copies of one source branch share a counter — the
+ * same source-level keying the IFPROBBER used (its results "reflect the
+ * probabilities associated with the static source branches",
+ * independent of compiler transformations).
+ *
+ * @returns the number of call sites inlined.
+ */
+int inlineProgram(isa::Program &program, const InlineOptions &options = {});
+
+} // namespace ifprob
+
+#endif // IFPROB_COMPILER_INLINE_H

@@ -1,0 +1,171 @@
+#include "compiler/layout.h"
+
+#include <algorithm>
+
+#include "compiler/passes.h"
+#include "ilp/trace.h"
+#include "isa/cfg.h"
+
+namespace ifprob {
+
+using isa::BlockGraph;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/** New block order for one function: hot traces first, entry block
+ *  forced to position 0. */
+std::vector<int>
+blockOrder(const ilp::TraceSet &traces, int function, int num_blocks)
+{
+    // Traces of this function, hottest first (selectTraces already seeds
+    // in weight order, but sort defensively).
+    std::vector<const ilp::Trace *> own;
+    for (const auto &t : traces.traces) {
+        if (t.function == function)
+            own.push_back(&t);
+    }
+    std::stable_sort(own.begin(), own.end(),
+                     [](const ilp::Trace *a, const ilp::Trace *b) {
+                         return a->weight > b->weight;
+                     });
+
+    std::vector<int> order;
+    order.reserve(static_cast<size_t>(num_blocks));
+    // Execution starts at pc 0, so block 0 must lead the layout: emit
+    // its trace first, rotated to start at block 0 (any blocks grown
+    // before the entry are placed right after the trace tail).
+    for (const ilp::Trace *t : own) {
+        auto entry_pos = std::find(t->blocks.begin(), t->blocks.end(), 0);
+        if (entry_pos == t->blocks.end())
+            continue;
+        order.insert(order.end(), entry_pos, t->blocks.end());
+        order.insert(order.end(), t->blocks.begin(), entry_pos);
+        break;
+    }
+    for (const ilp::Trace *t : own) {
+        if (std::find(t->blocks.begin(), t->blocks.end(), 0) !=
+            t->blocks.end()) {
+            continue; // already emitted
+        }
+        order.insert(order.end(), t->blocks.begin(), t->blocks.end());
+    }
+    return order;
+}
+
+bool
+layoutFunction(isa::Function &function, const ilp::TraceSet &traces,
+               int function_index, std::vector<isa::BranchSite> &sites)
+{
+    BlockGraph graph(function);
+    const int n = graph.numBlocks();
+    if (n <= 1)
+        return false;
+    std::vector<int> order = blockOrder(traces, function_index, n);
+    if (static_cast<int>(order.size()) != n)
+        return false; // traces didn't cover the function; leave as-is
+
+    bool identity = true;
+    for (int i = 0; i < n; ++i)
+        identity = identity && order[static_cast<size_t>(i)] == i;
+    if (identity)
+        return false;
+
+    // A block needs a compensation jump when it falls through (ends in
+    // a non-control instruction) — its successor may move.
+    auto falls_through = [&](int b) {
+        const Instruction &last =
+            function.code[static_cast<size_t>(graph.end(b) - 1)];
+        switch (last.op) {
+          case Opcode::kBr: case Opcode::kJmp: case Opcode::kRet:
+          case Opcode::kHalt:
+            return false;
+          default:
+            return graph.end(b) < static_cast<int>(function.code.size());
+        }
+    };
+
+    // First pass: new start pc of every block (with room for jumps).
+    std::vector<int> new_start(static_cast<size_t>(n), 0);
+    std::vector<int> position_of(static_cast<size_t>(n), 0);
+    int pc = 0;
+    for (int i = 0; i < n; ++i) {
+        int b = order[static_cast<size_t>(i)];
+        position_of[static_cast<size_t>(b)] = i;
+        new_start[static_cast<size_t>(b)] = pc;
+        pc += graph.size(b);
+        if (falls_through(b)) {
+            int succ = graph.blockOf(graph.end(b));
+            bool succ_is_next =
+                i + 1 < n && order[static_cast<size_t>(i + 1)] == succ;
+            if (!succ_is_next)
+                pc += 1; // compensation jump
+        }
+    }
+
+    // Second pass: emit.
+    std::vector<Instruction> out;
+    out.reserve(static_cast<size_t>(pc));
+    for (int i = 0; i < n; ++i) {
+        int b = order[static_cast<size_t>(i)];
+        for (int old_pc = graph.start(b); old_pc < graph.end(b);
+             ++old_pc) {
+            Instruction insn = function.code[static_cast<size_t>(old_pc)];
+            if (insn.op == Opcode::kBr) {
+                insn.b = new_start[static_cast<size_t>(
+                    graph.blockOf(insn.b))];
+                insn.c = new_start[static_cast<size_t>(
+                    graph.blockOf(insn.c))];
+            } else if (insn.op == Opcode::kJmp) {
+                insn.a = new_start[static_cast<size_t>(
+                    graph.blockOf(insn.a))];
+            }
+            out.push_back(insn);
+        }
+        if (falls_through(b)) {
+            int succ = graph.blockOf(graph.end(b));
+            bool succ_is_next =
+                i + 1 < n && order[static_cast<size_t>(i + 1)] == succ;
+            if (!succ_is_next) {
+                out.push_back(isa::makeJmp(
+                    new_start[static_cast<size_t>(succ)]));
+            }
+        }
+    }
+    function.code = std::move(out);
+
+    // Clean up jumps the new order made redundant, then refresh the
+    // loop-shape flags for the new positions.
+    threadJumps(function, /*fold_trivial_branches=*/false);
+    compactCode(function);
+    for (size_t p = 0; p < function.code.size(); ++p) {
+        const Instruction &insn = function.code[p];
+        if (insn.op == Opcode::kBr) {
+            sites[static_cast<size_t>(insn.imm)].backward =
+                insn.b <= static_cast<int>(p);
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+layoutProgram(isa::Program &program,
+              const predict::StaticPredictor &predictor,
+              const profile::ProfileDb &profile)
+{
+    ilp::TraceSet traces = ilp::selectTraces(program, predictor, profile);
+    int changed = 0;
+    for (size_t fi = 0; fi < program.functions.size(); ++fi) {
+        if (layoutFunction(program.functions[fi], traces,
+                           static_cast<int>(fi), program.branch_sites)) {
+            ++changed;
+        }
+    }
+    program.validate();
+    return changed;
+}
+
+} // namespace ifprob

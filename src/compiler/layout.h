@@ -1,0 +1,34 @@
+#ifndef IFPROB_COMPILER_LAYOUT_H
+#define IFPROB_COMPILER_LAYOUT_H
+
+#include "isa/program.h"
+#include "predict/static_predictor.h"
+#include "profile/profile_db.h"
+
+namespace ifprob {
+
+/**
+ * Profile-guided code layout.
+ *
+ * The paper assumes an ILP compiler "can eliminate many of these
+ * unconditional breaks in control by rearranging the static position of
+ * the code". This pass does that: it reorders each function's basic
+ * blocks along predictor-selected traces (hot paths become straight
+ * lines), appends compensation jumps where a fallthrough successor
+ * moved away, and re-threads/compacts so jumps to the next instruction
+ * disappear.
+ *
+ * Branch site ids are preserved (layout never adds or removes
+ * conditional branches), so profiles remain applicable; the sites'
+ * backward/forward flags are recomputed for the new positions. The
+ * program fingerprint changes.
+ *
+ * @returns the number of functions whose code actually moved.
+ */
+int layoutProgram(isa::Program &program,
+                  const predict::StaticPredictor &predictor,
+                  const profile::ProfileDb &profile);
+
+} // namespace ifprob
+
+#endif // IFPROB_COMPILER_LAYOUT_H

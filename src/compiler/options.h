@@ -1,0 +1,43 @@
+#ifndef IFPROB_COMPILER_OPTIONS_H
+#define IFPROB_COMPILER_OPTIONS_H
+
+namespace ifprob {
+
+/**
+ * Compilation controls.
+ *
+ * The defaults mirror the paper's experimental configuration: classical
+ * intraprocedural optimizations enabled, but global dead-code elimination
+ * disabled so that the static branch sites (and thus profile identities)
+ * are not perturbed — the paper had to run this way to keep IFPROBBER and
+ * MFPixie branch counts synchronized, and measured the cost in its Table 1.
+ */
+struct CompileOptions
+{
+    /** Classical optimizations: constant folding, copy propagation,
+     *  jump threading. Never removes or folds conditional branches. */
+    bool optimize = true;
+
+    /**
+     * Global dead-code elimination: folds conditional branches with
+     * constant outcome to jumps, removes unreachable code and dead
+     * register writes, and renumbers the surviving branch sites.
+     * Profiles do not transfer between images compiled with different
+     * values of this flag (the fingerprint changes).
+     */
+    bool eliminate_dead_code = false;
+
+    /**
+     * Lower simple `?:` expressions (both arms pure and cheap) to the
+     * SELECT operation instead of a branch diamond, as the Trace compiler
+     * front ends did (paper footnote 2).
+     */
+    bool use_select = true;
+
+    /** Include the minic runtime prelude (puti/geti/getf/...). */
+    bool include_prelude = true;
+};
+
+} // namespace ifprob
+
+#endif // IFPROB_COMPILER_OPTIONS_H

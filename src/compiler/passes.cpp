@@ -1,0 +1,681 @@
+#include "compiler/passes.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "isa/alu.h"
+#include "support/error.h"
+
+namespace ifprob {
+
+using isa::Function;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/** Apply @p fn to every register-operand *read* by @p insn. The callback
+ *  receives a mutable reference so passes can rewrite uses in place. */
+template <typename F>
+void
+forEachUse(Instruction &insn, F &&fn)
+{
+    switch (insn.op) {
+      case Opcode::kMovI: case Opcode::kMovF: case Opcode::kGetc:
+      case Opcode::kHalt: case Opcode::kNop: case Opcode::kJmp:
+      case Opcode::kCall:
+        return;
+      case Opcode::kMov:
+        fn(insn.b);
+        return;
+      case Opcode::kLoad:
+        if (insn.b != -1)
+            fn(insn.b);
+        return;
+      case Opcode::kStore:
+        fn(insn.a);
+        if (insn.b != -1)
+            fn(insn.b);
+        return;
+      case Opcode::kBr:
+        fn(insn.a);
+        return;
+      case Opcode::kArg:
+        fn(insn.b);
+        return;
+      case Opcode::kICall:
+        fn(insn.b);
+        return;
+      case Opcode::kRet:
+        if (insn.a != -1)
+            fn(insn.a);
+        return;
+      case Opcode::kSelect:
+        fn(insn.b);
+        fn(insn.c);
+        fn(insn.d);
+        return;
+      case Opcode::kPutc: case Opcode::kPutF:
+        fn(insn.a);
+        return;
+      default:
+        if (isBinaryAlu(insn.op)) {
+            fn(insn.b);
+            fn(insn.c);
+        } else if (isUnaryAlu(insn.op)) {
+            fn(insn.b);
+        }
+        return;
+    }
+}
+
+/** Register written by @p insn, or -1. Covers calls with a result. */
+int
+writtenReg(const Instruction &insn)
+{
+    if (isa::writesDst(insn.op))
+        return insn.a;
+    if ((insn.op == Opcode::kCall || insn.op == Opcode::kICall) &&
+        insn.a != -1) {
+        return insn.a;
+    }
+    return -1;
+}
+
+/** Pure register write: safe to delete when the destination is dead. */
+bool
+isRemovableWrite(const Instruction &insn)
+{
+    switch (insn.op) {
+      case Opcode::kMovI: case Opcode::kMovF: case Opcode::kMov:
+      case Opcode::kLoad: case Opcode::kSelect:
+        return true;
+      default:
+        return isBinaryAlu(insn.op) || isUnaryAlu(insn.op);
+    }
+}
+
+/** Leader flags for basic-block analysis. */
+std::vector<bool>
+computeLeaders(const Function &fn)
+{
+    const size_t n = fn.code.size();
+    std::vector<bool> leader(n, false);
+    if (n == 0)
+        return leader;
+    leader[0] = true;
+    for (size_t pc = 0; pc < n; ++pc) {
+        const Instruction &insn = fn.code[pc];
+        switch (insn.op) {
+          case Opcode::kBr:
+            leader[static_cast<size_t>(insn.b)] = true;
+            leader[static_cast<size_t>(insn.c)] = true;
+            if (pc + 1 < n)
+                leader[pc + 1] = true;
+            break;
+          case Opcode::kJmp:
+            leader[static_cast<size_t>(insn.a)] = true;
+            if (pc + 1 < n)
+                leader[pc + 1] = true;
+            break;
+          case Opcode::kRet:
+          case Opcode::kHalt:
+            if (pc + 1 < n)
+                leader[pc + 1] = true;
+            break;
+          default:
+            break;
+        }
+    }
+    return leader;
+}
+
+/** Successor pcs of the instruction at @p pc (for reachability/liveness). */
+void
+successors(const Function &fn, size_t pc, std::vector<int> &out)
+{
+    out.clear();
+    const Instruction &insn = fn.code[pc];
+    switch (insn.op) {
+      case Opcode::kBr:
+        out.push_back(insn.b);
+        out.push_back(insn.c);
+        return;
+      case Opcode::kJmp:
+        out.push_back(insn.a);
+        return;
+      case Opcode::kRet:
+      case Opcode::kHalt:
+        return;
+      default:
+        if (pc + 1 < fn.code.size())
+            out.push_back(static_cast<int>(pc + 1));
+        return;
+    }
+}
+
+} // namespace
+
+bool
+foldConstants(Function &fn, bool fold_branches)
+{
+    bool changed = false;
+    std::vector<bool> leader = computeLeaders(fn);
+    // Known constant bit-pattern per register, valid within one block.
+    std::vector<std::optional<int64_t>> known(
+        static_cast<size_t>(fn.num_regs));
+
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (leader[pc])
+            std::fill(known.begin(), known.end(), std::nullopt);
+        Instruction &insn = fn.code[pc];
+        switch (insn.op) {
+          case Opcode::kMovI:
+          case Opcode::kMovF:
+            known[static_cast<size_t>(insn.a)] = insn.imm;
+            continue;
+          case Opcode::kMov: {
+            auto v = known[static_cast<size_t>(insn.b)];
+            known[static_cast<size_t>(insn.a)] = v;
+            continue;
+          }
+          case Opcode::kSelect: {
+            auto cond = known[static_cast<size_t>(insn.b)];
+            if (cond) {
+                int src = *cond != 0 ? insn.c : insn.d;
+                insn = isa::makeUnary(Opcode::kMov, insn.a, src);
+                known[static_cast<size_t>(insn.a)] =
+                    known[static_cast<size_t>(src)];
+                changed = true;
+            } else {
+                known[static_cast<size_t>(insn.a)] = std::nullopt;
+            }
+            continue;
+          }
+          case Opcode::kBr: {
+            auto cond = known[static_cast<size_t>(insn.a)];
+            if (cond && fold_branches) {
+                insn = isa::makeJmp(*cond != 0 ? insn.b : insn.c);
+                changed = true;
+            }
+            continue;
+          }
+          default:
+            break;
+        }
+
+        if (isBinaryAlu(insn.op)) {
+            auto x = known[static_cast<size_t>(insn.b)];
+            auto y = known[static_cast<size_t>(insn.c)];
+            if (x && y) {
+                if (auto result = isa::evalBinaryAlu(insn.op, *x, *y)) {
+                    // Integer ops get movi, float-valued ops get movf —
+                    // identical semantics, clearer disassembly.
+                    bool fp = insn.op >= Opcode::kFAdd &&
+                              insn.op <= Opcode::kFDiv;
+                    Instruction folded = fp
+                        ? Instruction{Opcode::kMovF, insn.a, -1, -1, -1,
+                                      *result}
+                        : Instruction{Opcode::kMovI, insn.a, -1, -1, -1,
+                                      *result};
+                    insn = folded;
+                    known[static_cast<size_t>(insn.a)] = *result;
+                    changed = true;
+                    continue;
+                }
+            }
+            known[static_cast<size_t>(insn.a)] = std::nullopt;
+            continue;
+        }
+        if (isUnaryAlu(insn.op)) {
+            auto x = known[static_cast<size_t>(insn.b)];
+            if (x) {
+                if (auto result = isa::evalUnaryAlu(insn.op, *x)) {
+                    bool fp = insn.op == Opcode::kFNeg ||
+                              insn.op == Opcode::kFAbs ||
+                              insn.op == Opcode::kFSqrt ||
+                              insn.op == Opcode::kFExp ||
+                              insn.op == Opcode::kFLog ||
+                              insn.op == Opcode::kFSin ||
+                              insn.op == Opcode::kFCos ||
+                              insn.op == Opcode::kItoF;
+                    insn = fp ? Instruction{Opcode::kMovF, insn.a, -1, -1, -1,
+                                            *result}
+                              : Instruction{Opcode::kMovI, insn.a, -1, -1, -1,
+                                            *result};
+                    known[static_cast<size_t>(insn.a)] = *result;
+                    changed = true;
+                    continue;
+                }
+            }
+            known[static_cast<size_t>(insn.a)] = std::nullopt;
+            continue;
+        }
+
+        int w = writtenReg(insn);
+        if (w != -1)
+            known[static_cast<size_t>(w)] = std::nullopt;
+    }
+    return changed;
+}
+
+bool
+propagateCopies(Function &fn)
+{
+    bool changed = false;
+    std::vector<bool> leader = computeLeaders(fn);
+
+    struct Copy
+    {
+        int src = -1;
+        uint64_t stamp = 0; ///< last_write of src when the copy was made
+    };
+    std::vector<Copy> copy_of(static_cast<size_t>(fn.num_regs));
+    std::vector<uint64_t> last_write(static_cast<size_t>(fn.num_regs), 0);
+    uint64_t clock = 0;
+
+    auto reset = [&]() {
+        std::fill(copy_of.begin(), copy_of.end(), Copy{});
+        // last_write can persist: stamps only need to be unique.
+    };
+
+    auto resolve = [&](int reg) {
+        // Follow the copy chain while each link is still valid.
+        for (int depth = 0; depth < 8; ++depth) {
+            const Copy &c = copy_of[static_cast<size_t>(reg)];
+            if (c.src == -1 || last_write[static_cast<size_t>(c.src)] != c.stamp)
+                return reg;
+            reg = c.src;
+        }
+        return reg;
+    };
+
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (leader[pc])
+            reset();
+        Instruction &insn = fn.code[pc];
+
+        forEachUse(insn, [&](int32_t &reg) {
+            int resolved = resolve(reg);
+            if (resolved != reg) {
+                reg = resolved;
+                changed = true;
+            }
+        });
+
+        int w = writtenReg(insn);
+        if (w != -1) {
+            last_write[static_cast<size_t>(w)] = ++clock;
+            if (insn.op == Opcode::kMov && insn.b != w) {
+                copy_of[static_cast<size_t>(w)] =
+                    Copy{insn.b, last_write[static_cast<size_t>(insn.b)]};
+            } else {
+                copy_of[static_cast<size_t>(w)] = Copy{};
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+threadJumps(Function &fn, bool fold_trivial_branches)
+{
+    bool changed = false;
+    const int n = static_cast<int>(fn.code.size());
+
+    auto finalTarget = [&](int t) {
+        for (int depth = 0; depth < 64; ++depth) {
+            if (t < 0 || t >= n)
+                return t;
+            const Instruction &insn = fn.code[static_cast<size_t>(t)];
+            if (insn.op == Opcode::kNop) {
+                // Fall through a nop (created by earlier threading).
+                if (t + 1 >= n)
+                    return t;
+                t = t + 1;
+                continue;
+            }
+            if (insn.op != Opcode::kJmp || insn.a == t)
+                return t;
+            t = insn.a;
+        }
+        return t;
+    };
+
+    for (int pc = 0; pc < n; ++pc) {
+        Instruction &insn = fn.code[static_cast<size_t>(pc)];
+        if (insn.op == Opcode::kJmp) {
+            int t = finalTarget(insn.a);
+            if (t != insn.a) {
+                insn.a = t;
+                changed = true;
+            }
+            if (insn.a == pc + 1) {
+                insn = isa::makeNop();
+                changed = true;
+            }
+        } else if (insn.op == Opcode::kBr) {
+            int tb = finalTarget(insn.b);
+            int tc = finalTarget(insn.c);
+            if (tb != insn.b || tc != insn.c) {
+                insn.b = tb;
+                insn.c = tc;
+                changed = true;
+            }
+            if (fold_trivial_branches && insn.b == insn.c) {
+                insn = isa::makeJmp(insn.b);
+                changed = true;
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+removeUnreachable(Function &fn)
+{
+    const size_t n = fn.code.size();
+    std::vector<bool> reachable(n, false);
+    std::vector<int> stack{0};
+    std::vector<int> succs;
+    while (!stack.empty()) {
+        int pc = stack.back();
+        stack.pop_back();
+        if (pc < 0 || pc >= static_cast<int>(n) ||
+            reachable[static_cast<size_t>(pc)]) {
+            continue;
+        }
+        reachable[static_cast<size_t>(pc)] = true;
+        successors(fn, static_cast<size_t>(pc), succs);
+        for (int s : succs)
+            stack.push_back(s);
+    }
+    bool changed = false;
+    for (size_t pc = 0; pc < n; ++pc) {
+        if (!reachable[pc] && fn.code[pc].op != Opcode::kNop) {
+            fn.code[pc] = isa::makeNop();
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+bool
+removeDeadWrites(Function &fn)
+{
+    const size_t n = fn.code.size();
+    if (n == 0 || fn.num_regs == 0)
+        return false;
+    const size_t words = (static_cast<size_t>(fn.num_regs) + 63) / 64;
+
+    // Block structure.
+    std::vector<bool> leader = computeLeaders(fn);
+    std::vector<int> block_of(n, 0);
+    std::vector<int> block_start, block_end; // [start, end)
+    for (size_t pc = 0; pc < n; ++pc) {
+        if (leader[pc]) {
+            if (!block_start.empty())
+                block_end.push_back(static_cast<int>(pc));
+            block_start.push_back(static_cast<int>(pc));
+        }
+        block_of[pc] = static_cast<int>(block_start.size()) - 1;
+    }
+    block_end.push_back(static_cast<int>(n));
+    const size_t num_blocks = block_start.size();
+
+    // Block successors.
+    std::vector<std::vector<int>> block_succs(num_blocks);
+    std::vector<int> succs;
+    for (size_t b = 0; b < num_blocks; ++b) {
+        size_t last = static_cast<size_t>(block_end[b]) - 1;
+        successors(fn, last, succs);
+        for (int s : succs)
+            block_succs[b].push_back(block_of[static_cast<size_t>(s)]);
+    }
+
+    // Iterative backward liveness at block granularity.
+    std::vector<uint64_t> live_in(num_blocks * words, 0);
+    std::vector<uint64_t> live_out(num_blocks * words, 0);
+    std::vector<uint64_t> scratch(words);
+
+    auto set_bit = [](std::vector<uint64_t> &bits, size_t base, int reg) {
+        bits[base + static_cast<size_t>(reg) / 64] |=
+            1ull << (static_cast<size_t>(reg) % 64);
+    };
+    auto test_bit = [](const std::vector<uint64_t> &bits, size_t base,
+                       int reg) {
+        return (bits[base + static_cast<size_t>(reg) / 64] >>
+                (static_cast<size_t>(reg) % 64)) & 1;
+    };
+
+    bool iterate = true;
+    while (iterate) {
+        iterate = false;
+        for (size_t b_plus_1 = num_blocks; b_plus_1 > 0; --b_plus_1) {
+            size_t b = b_plus_1 - 1;
+            // live_out = union of successor live_in.
+            std::fill(scratch.begin(), scratch.end(), 0);
+            for (int s : block_succs[b]) {
+                for (size_t w = 0; w < words; ++w)
+                    scratch[w] |= live_in[static_cast<size_t>(s) * words + w];
+            }
+            for (size_t w = 0; w < words; ++w)
+                live_out[b * words + w] = scratch[w];
+            // Walk the block backward to get live_in.
+            for (int pc = block_end[b] - 1; pc >= block_start[b]; --pc) {
+                Instruction &insn = fn.code[static_cast<size_t>(pc)];
+                int w = writtenReg(insn);
+                if (w != -1) {
+                    scratch[static_cast<size_t>(w) / 64] &=
+                        ~(1ull << (static_cast<size_t>(w) % 64));
+                }
+                forEachUse(insn, [&](int32_t &reg) {
+                    scratch[static_cast<size_t>(reg) / 64] |=
+                        1ull << (static_cast<size_t>(reg) % 64);
+                });
+            }
+            for (size_t w = 0; w < words; ++w) {
+                if (live_in[b * words + w] != scratch[w]) {
+                    live_in[b * words + w] = scratch[w];
+                    iterate = true;
+                }
+            }
+        }
+    }
+
+    // Deletion sweep: within each block, track liveness backward and drop
+    // pure writes to dead registers.
+    bool changed = false;
+    std::vector<uint64_t> live(words);
+    for (size_t b = 0; b < num_blocks; ++b) {
+        for (size_t w = 0; w < words; ++w)
+            live[w] = live_out[b * words + w];
+        for (int pc = block_end[b] - 1; pc >= block_start[b]; --pc) {
+            Instruction &insn = fn.code[static_cast<size_t>(pc)];
+            int w = writtenReg(insn);
+            bool write_live =
+                w != -1 && test_bit(live, 0, w) != 0;
+            if (w != -1 && !write_live && isRemovableWrite(insn)) {
+                insn = isa::makeNop();
+                changed = true;
+                continue;
+            }
+            if (w != -1) {
+                live[static_cast<size_t>(w) / 64] &=
+                    ~(1ull << (static_cast<size_t>(w) % 64));
+            }
+            forEachUse(insn, [&](int32_t &reg) {
+                set_bit(live, 0, reg);
+            });
+        }
+    }
+    return changed;
+}
+
+bool
+compactCode(Function &fn)
+{
+    const size_t n = fn.code.size();
+    std::vector<int> new_pc(n + 1, 0);
+    int next = 0;
+    for (size_t pc = 0; pc < n; ++pc) {
+        new_pc[pc] = next;
+        if (fn.code[pc].op != Opcode::kNop)
+            ++next;
+    }
+    new_pc[n] = next;
+    if (next == static_cast<int>(n))
+        return false;
+
+    std::vector<Instruction> out;
+    out.reserve(static_cast<size_t>(next));
+    for (size_t pc = 0; pc < n; ++pc) {
+        Instruction insn = fn.code[pc];
+        if (insn.op == Opcode::kNop)
+            continue;
+        if (insn.op == Opcode::kBr) {
+            insn.b = new_pc[static_cast<size_t>(insn.b)];
+            insn.c = new_pc[static_cast<size_t>(insn.c)];
+        } else if (insn.op == Opcode::kJmp) {
+            insn.a = new_pc[static_cast<size_t>(insn.a)];
+        }
+        out.push_back(insn);
+    }
+    if (out.empty())
+        out.push_back(isa::makeRet(-1)); // fully-dead function body
+    fn.code = std::move(out);
+    return true;
+}
+
+bool
+promoteReadOnlyGlobals(isa::Program &program)
+{
+    // Collect every address that any store can touch. Absolute stores
+    // (b == -1) touch exactly their immediate; indexed stores use the
+    // owning array's base address as the immediate and touch that whole
+    // object (negative indices are undefined behaviour, as in C).
+    std::vector<bool> written(static_cast<size_t>(program.memory_words),
+                              false);
+    auto mark_object = [&](int64_t base) {
+        for (const auto &slot : program.globals) {
+            if (slot.address == base) {
+                for (int64_t a = slot.address;
+                     a < slot.address + slot.size &&
+                     a < program.memory_words; ++a) {
+                    written[static_cast<size_t>(a)] = true;
+                }
+                return;
+            }
+        }
+        // Unknown base (shouldn't happen with our code generator): be
+        // conservative and poison everything.
+        std::fill(written.begin(), written.end(), true);
+    };
+    for (const auto &fn : program.functions) {
+        for (const auto &insn : fn.code) {
+            if (insn.op != Opcode::kStore)
+                continue;
+            if (insn.b == -1) {
+                if (insn.imm >= 0 && insn.imm < program.memory_words)
+                    written[static_cast<size_t>(insn.imm)] = true;
+            } else {
+                mark_object(insn.imm);
+            }
+        }
+    }
+
+    // Replace loads of never-written scalars with their initial value.
+    bool changed = false;
+    for (auto &fn : program.functions) {
+        for (auto &insn : fn.code) {
+            if (insn.op != Opcode::kLoad || insn.b != -1)
+                continue;
+            int64_t addr = insn.imm;
+            if (addr < 0 || addr >= program.memory_words ||
+                written[static_cast<size_t>(addr)]) {
+                continue;
+            }
+            // Only promote scalar objects; a read-only array load with a
+            // constant address is rare and not worth the bookkeeping.
+            bool is_scalar = false;
+            for (const auto &slot : program.globals) {
+                if (slot.address == addr) {
+                    is_scalar = slot.size == 1;
+                    break;
+                }
+            }
+            if (!is_scalar)
+                continue;
+            int64_t value = 0;
+            for (const auto &di : program.data_init) {
+                if (di.address == addr) {
+                    value = di.value;
+                    break;
+                }
+            }
+            insn = Instruction{Opcode::kMovI, insn.a, -1, -1, -1, value};
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+void
+compactBranchSites(isa::Program &program)
+{
+    std::vector<int> remap(program.branch_sites.size(), -1);
+    std::vector<isa::BranchSite> new_sites;
+    for (auto &fn : program.functions) {
+        for (auto &insn : fn.code) {
+            if (insn.op != Opcode::kBr)
+                continue;
+            size_t old_id = static_cast<size_t>(insn.imm);
+            if (remap[old_id] == -1) {
+                remap[old_id] = static_cast<int>(new_sites.size());
+                new_sites.push_back(program.branch_sites[old_id]);
+            }
+            insn.imm = remap[old_id];
+        }
+    }
+    program.branch_sites = std::move(new_sites);
+}
+
+void
+optimizeProgram(isa::Program &program, bool optimize,
+                bool eliminate_dead_code)
+{
+    if (optimize) {
+        for (auto &fn : program.functions) {
+            for (int round = 0; round < 4; ++round) {
+                bool changed = false;
+                changed |= foldConstants(fn, /*fold_branches=*/false);
+                changed |= propagateCopies(fn);
+                changed |= removeDeadWrites(fn);
+                changed |= threadJumps(fn, /*fold_trivial_branches=*/false);
+                changed |= compactCode(fn);
+                if (!changed)
+                    break;
+            }
+        }
+    }
+    if (eliminate_dead_code) {
+        promoteReadOnlyGlobals(program);
+        for (auto &fn : program.functions) {
+            for (int round = 0; round < 6; ++round) {
+                bool changed = false;
+                changed |= foldConstants(fn, /*fold_branches=*/true);
+                changed |= propagateCopies(fn);
+                changed |= threadJumps(fn, /*fold_trivial_branches=*/true);
+                changed |= removeUnreachable(fn);
+                changed |= removeDeadWrites(fn);
+                changed |= compactCode(fn);
+                if (!changed)
+                    break;
+            }
+        }
+        compactBranchSites(program);
+    }
+}
+
+} // namespace ifprob

@@ -1,0 +1,69 @@
+#ifndef IFPROB_COMPILER_PASSES_H
+#define IFPROB_COMPILER_PASSES_H
+
+#include "isa/program.h"
+
+namespace ifprob {
+
+/**
+ * Classical intraprocedural optimization passes over compiled functions.
+ *
+ * Each pass returns true when it changed the code. The default pipeline
+ * (see pipeline.cpp) runs the "safe" passes — those that never remove a
+ * conditional branch site, so profile identities are preserved. The
+ * dead-code pipeline additionally folds constant branches and removes
+ * unreachable code, mirroring the global dead-code elimination the paper
+ * had to disable (and whose dynamic cost its Table 1 quantifies).
+ */
+
+/**
+ * Fold constant computations within basic blocks. When @p fold_branches
+ * is set, conditional branches with a known condition become jumps
+ * (this removes branch sites from execution and is only legal in the
+ * dead-code pipeline).
+ */
+bool foldConstants(isa::Function &fn, bool fold_branches);
+
+/** Forward-propagate register copies within basic blocks. */
+bool propagateCopies(isa::Function &fn);
+
+/**
+ * Retarget branches/jumps through jump chains and turn jumps to the next
+ * instruction into nops. When @p fold_trivial_branches is set, a branch
+ * whose two targets coincide becomes a jump (dead-code pipeline only).
+ */
+bool threadJumps(isa::Function &fn, bool fold_trivial_branches);
+
+/** Replace instructions unreachable from the function entry with nops. */
+bool removeUnreachable(isa::Function &fn);
+
+/** Remove side-effect-free writes to registers that are never read. */
+bool removeDeadWrites(isa::Function &fn);
+
+/** Delete nop instructions and remap control-flow targets. */
+bool compactCode(isa::Function &fn);
+
+/**
+ * Whole-program promotion of read-only scalar globals: a scalar that no
+ * instruction in the program ever stores to is replaced, at each load,
+ * by its initial value. This is what lets dead-code elimination fold
+ * branches guarded by compiled-in-but-disabled configuration flags —
+ * the dominant source of the dynamic dead code the paper's Table 1
+ * measures. Only run in the dead-code pipeline.
+ */
+bool promoteReadOnlyGlobals(isa::Program &program);
+
+/**
+ * Renumber branch sites after dead-code elimination: sites whose kBr was
+ * deleted are dropped and the survivors are renumbered densely in
+ * (function, pc) order. Changes the program fingerprint.
+ */
+void compactBranchSites(isa::Program &program);
+
+/** Run the configured pipelines over every function of @p program. */
+void optimizeProgram(isa::Program &program, bool optimize,
+                     bool eliminate_dead_code);
+
+} // namespace ifprob
+
+#endif // IFPROB_COMPILER_PASSES_H

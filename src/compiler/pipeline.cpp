@@ -1,0 +1,29 @@
+#include "compiler/pipeline.h"
+
+#include "compiler/codegen.h"
+#include "compiler/passes.h"
+#include "compiler/prelude.h"
+#include "lang/parser.h"
+
+namespace ifprob {
+
+isa::Program
+compile(std::string_view source, const CompileOptions &options)
+{
+    lang::Unit prelude_unit;
+    if (options.include_prelude)
+        prelude_unit = lang::parse(preludeSource());
+    lang::Unit user_unit = lang::parse(source);
+
+    std::vector<const lang::Unit *> units;
+    if (options.include_prelude)
+        units.push_back(&prelude_unit);
+    units.push_back(&user_unit);
+
+    isa::Program program = generate(units, options);
+    optimizeProgram(program, options.optimize, options.eliminate_dead_code);
+    program.validate();
+    return program;
+}
+
+} // namespace ifprob

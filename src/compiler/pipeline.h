@@ -1,0 +1,26 @@
+#ifndef IFPROB_COMPILER_PIPELINE_H
+#define IFPROB_COMPILER_PIPELINE_H
+
+#include <string_view>
+
+#include "compiler/options.h"
+#include "isa/program.h"
+
+namespace ifprob {
+
+/**
+ * Compile minic source text to an executable isa::Program.
+ *
+ * Runs: prelude parse (unless disabled) -> user parse -> code generation
+ * (name resolution + type checking) -> optimization pipelines per the
+ * options -> structural validation.
+ *
+ * Throws CompileError on invalid source, Error on internal invariant
+ * violations.
+ */
+isa::Program compile(std::string_view source,
+                     const CompileOptions &options = {});
+
+} // namespace ifprob
+
+#endif // IFPROB_COMPILER_PIPELINE_H

@@ -1,0 +1,145 @@
+#include "compiler/prelude.h"
+
+namespace ifprob {
+
+namespace {
+
+const char kPrelude[] = R"PRELUDE(
+// ---- minic runtime prelude (see prelude.h) ----
+
+int __ungot = -2;
+int geti_eof = 0;
+
+int ngetc() {
+    int c;
+    if (__ungot != -2) {
+        c = __ungot;
+        __ungot = -2;
+        return c;
+    }
+    return getc();
+}
+
+void ungetch(int c) {
+    __ungot = c;
+}
+
+int geti() {
+    int c, sign, value;
+    c = ngetc();
+    while (c == ' ' || c == '\n' || c == '\t' || c == '\r' || c == ',')
+        c = ngetc();
+    sign = 1;
+    if (c == '-') {
+        sign = -1;
+        c = ngetc();
+    }
+    if (c < '0' || c > '9') {
+        geti_eof = 1;
+        ungetch(c);
+        return 0;
+    }
+    value = 0;
+    while (c >= '0' && c <= '9') {
+        value = value * 10 + (c - '0');
+        c = ngetc();
+    }
+    ungetch(c);
+    return sign * value;
+}
+
+float getf() {
+    int c, sign, esign, e, i;
+    float value, scale;
+    c = ngetc();
+    while (c == ' ' || c == '\n' || c == '\t' || c == '\r' || c == ',')
+        c = ngetc();
+    sign = 1;
+    if (c == '-') {
+        sign = -1;
+        c = ngetc();
+    }
+    if ((c < '0' || c > '9') && c != '.') {
+        geti_eof = 1;
+        ungetch(c);
+        return 0.0;
+    }
+    value = 0.0;
+    while (c >= '0' && c <= '9') {
+        value = value * 10.0 + itof(c - '0');
+        c = ngetc();
+    }
+    if (c == '.') {
+        c = ngetc();
+        scale = 0.1;
+        while (c >= '0' && c <= '9') {
+            value = value + scale * itof(c - '0');
+            scale = scale * 0.1;
+            c = ngetc();
+        }
+    }
+    if (c == 'e' || c == 'E') {
+        c = ngetc();
+        esign = 1;
+        if (c == '-') {
+            esign = -1;
+            c = ngetc();
+        } else if (c == '+') {
+            c = ngetc();
+        }
+        e = 0;
+        while (c >= '0' && c <= '9') {
+            e = e * 10 + (c - '0');
+            c = ngetc();
+        }
+        i = 0;
+        while (i < e) {
+            if (esign > 0)
+                value = value * 10.0;
+            else
+                value = value / 10.0;
+            i = i + 1;
+        }
+    }
+    ungetch(c);
+    return itof(sign) * value;
+}
+
+int __pbuf[32];
+
+void puti(int n) {
+    int i, neg;
+    neg = 0;
+    if (n < 0) {
+        neg = 1;
+        n = -n;
+    }
+    i = 0;
+    do {
+        __pbuf[i] = n % 10;
+        n = n / 10;
+        i = i + 1;
+    } while (n > 0);
+    if (neg)
+        putc('-');
+    while (i > 0) {
+        i = i - 1;
+        putc('0' + __pbuf[i]);
+    }
+}
+
+int imin(int a, int b) { return a < b ? a : b; }
+int imax(int a, int b) { return a > b ? a : b; }
+float fmin2(float a, float b) { return a < b ? a : b; }
+float fmax2(float a, float b) { return a > b ? a : b; }
+)PRELUDE";
+
+} // namespace
+
+std::string_view
+preludeSource()
+{
+    return kPrelude;
+}
+
+} // namespace ifprob

@@ -1,0 +1,30 @@
+#ifndef IFPROB_COMPILER_PRELUDE_H
+#define IFPROB_COMPILER_PRELUDE_H
+
+#include <string_view>
+
+namespace ifprob {
+
+/**
+ * The minic runtime prelude: formatted integer/float input and output and
+ * small numeric helpers, written in minic itself so that the character
+ * parsing/formatting loops contribute realistic branch behaviour to every
+ * workload (exactly as libc's atoi/printf did for the paper's C programs).
+ *
+ * Provided functions:
+ *   int   ngetc()        — getc with one-character pushback
+ *   void  ungetch(int c) — push a character back
+ *   int   geti()         — parse a (possibly signed) decimal integer,
+ *                          skipping whitespace and commas; sets geti_eof
+ *   float getf()         — parse a decimal floating-point number with
+ *                          optional fraction and exponent; sets geti_eof
+ *   void  puti(int n)    — print a decimal integer
+ *   int   imin/imax(int, int), float fmin2/fmax2(float, float)
+ *
+ * Globals: int geti_eof — set to 1 when geti/getf hits end of input.
+ */
+std::string_view preludeSource();
+
+} // namespace ifprob
+
+#endif // IFPROB_COMPILER_PRELUDE_H

@@ -1,0 +1,297 @@
+#include "harness/experiments.h"
+
+#include "compiler/pipeline.h"
+#include "metrics/breaks.h"
+#include "predict/profile_predictor.h"
+#include "vm/machine.h"
+
+namespace ifprob::harness {
+
+using metrics::BreakConfig;
+using predict::ProfilePredictor;
+using profile::MergeMode;
+using profile::ProfileDb;
+
+profile::ProfileDb
+profileOf(Runner &runner, const std::string &workload,
+          const std::string &dataset)
+{
+    const isa::Program &prog = runner.program(workload);
+    return ProfileDb(workload, prog.fingerprint(),
+                     runner.stats(workload, dataset));
+}
+
+double
+selfPredictedPerBreak(Runner &runner, const std::string &workload,
+                      const std::string &dataset)
+{
+    const vm::RunStats &stats = runner.stats(workload, dataset);
+    ProfilePredictor self(profileOf(runner, workload, dataset));
+    return metrics::breaksWithPredictor(stats, self).instructionsPerBreak();
+}
+
+double
+othersPredictedPerBreak(Runner &runner, const std::string &workload,
+                        const std::string &dataset, MergeMode mode)
+{
+    std::vector<ProfileDb> others;
+    for (const std::string &name : runner.datasetNames(workload)) {
+        if (name != dataset)
+            others.push_back(profileOf(runner, workload, name));
+    }
+    if (others.empty())
+        return selfPredictedPerBreak(runner, workload, dataset);
+    ProfileDb merged = ProfileDb::merge(others, mode);
+    ProfilePredictor predictor(merged);
+    const vm::RunStats &stats = runner.stats(workload, dataset);
+    return metrics::breaksWithPredictor(stats, predictor)
+        .instructionsPerBreak();
+}
+
+std::vector<Fig1Row>
+figure1(Runner &runner)
+{
+    std::vector<Fig1Row> rows;
+    for (const auto &w : workloads::all()) {
+        for (const auto &d : w.datasets) {
+            const vm::RunStats &stats = runner.stats(w.name, d.name);
+            Fig1Row row;
+            row.program = w.name;
+            row.dataset = d.name;
+            row.fortran_like = w.fortran_like;
+            BreakConfig no_calls{.count_calls = false};
+            BreakConfig with_calls{.count_calls = true};
+            row.per_break = metrics::breaksWithoutPrediction(stats, no_calls)
+                                .instructionsPerBreak();
+            row.per_break_with_calls =
+                metrics::breaksWithoutPrediction(stats, with_calls)
+                    .instructionsPerBreak();
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+std::vector<Fig2Row>
+figure2(Runner &runner, MergeMode mode)
+{
+    std::vector<Fig2Row> rows;
+    for (const auto &w : workloads::all()) {
+        for (const auto &d : w.datasets) {
+            Fig2Row row;
+            row.program = w.name;
+            row.dataset = d.name;
+            row.fortran_like = w.fortran_like;
+            row.num_datasets = static_cast<int>(w.datasets.size());
+            row.self_per_break =
+                selfPredictedPerBreak(runner, w.name, d.name);
+            row.others_per_break =
+                othersPredictedPerBreak(runner, w.name, d.name, mode);
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+std::vector<Fig3Row>
+figure3(Runner &runner)
+{
+    std::vector<Fig3Row> rows;
+    for (const auto &w : workloads::all()) {
+        if (w.datasets.size() < 2)
+            continue;
+        // Precompute per-dataset profiles once.
+        std::vector<ProfileDb> profiles;
+        for (const auto &d : w.datasets)
+            profiles.push_back(profileOf(runner, w.name, d.name));
+        for (size_t t = 0; t < w.datasets.size(); ++t) {
+            const vm::RunStats &target = runner.stats(w.name,
+                                                      w.datasets[t].name);
+            double self = selfPredictedPerBreak(runner, w.name,
+                                                w.datasets[t].name);
+            Fig3Row row;
+            row.program = w.name;
+            row.dataset = w.datasets[t].name;
+            row.fortran_like = w.fortran_like;
+            row.best_pct = -1.0;
+            row.worst_pct = 1e300;
+            for (size_t p = 0; p < w.datasets.size(); ++p) {
+                if (p == t)
+                    continue;
+                ProfilePredictor predictor(profiles[p]);
+                double per_break =
+                    metrics::breaksWithPredictor(target, predictor)
+                        .instructionsPerBreak();
+                double pct = self > 0.0 ? 100.0 * per_break / self : 100.0;
+                if (pct > row.best_pct) {
+                    row.best_pct = pct;
+                    row.best_predictor = w.datasets[p].name;
+                }
+                if (pct < row.worst_pct) {
+                    row.worst_pct = pct;
+                    row.worst_predictor = w.datasets[p].name;
+                }
+            }
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+std::vector<Table1Row>
+table1()
+{
+    // Dead-code measurement needs a second compilation per program, so it
+    // bypasses the Runner's shared image and builds both pipelines here.
+    std::vector<Table1Row> rows;
+    Runner plain(Runner::experimentOptions());
+    CompileOptions dce_options = Runner::experimentOptions();
+    dce_options.eliminate_dead_code = true;
+    Runner dce(dce_options);
+    for (const auto &w : workloads::all()) {
+        const std::string &primary = w.datasets.front().name;
+        Table1Row row;
+        row.program = w.name;
+        row.dead_fraction = metrics::deadCodeFraction(
+            plain.stats(w.name, primary).instructions,
+            dce.stats(w.name, primary).instructions);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<TakenRow>
+percentTaken(Runner &runner)
+{
+    std::vector<TakenRow> rows;
+    for (const auto &w : workloads::all()) {
+        for (const auto &d : w.datasets) {
+            rows.push_back({w.name, d.name,
+                            runner.stats(w.name, d.name).percentTaken()});
+        }
+    }
+    return rows;
+}
+
+std::vector<HeuristicRow>
+heuristics(Runner &runner)
+{
+    using predict::Heuristic;
+    using predict::HeuristicPredictor;
+    std::vector<HeuristicRow> rows;
+    for (const auto &w : workloads::all()) {
+        const isa::Program &prog = runner.program(w.name);
+        HeuristicPredictor backward(prog, Heuristic::kBackwardTaken);
+        HeuristicPredictor opcode(prog, Heuristic::kOpcodeRules);
+        HeuristicPredictor taken(prog, Heuristic::kAlwaysTaken);
+        for (const auto &d : w.datasets) {
+            const vm::RunStats &stats = runner.stats(w.name, d.name);
+            HeuristicRow row;
+            row.program = w.name;
+            row.dataset = d.name;
+            row.self_per_break =
+                selfPredictedPerBreak(runner, w.name, d.name);
+            row.others_per_break = othersPredictedPerBreak(
+                runner, w.name, d.name, MergeMode::kScaled);
+            row.backward_taken_per_break =
+                metrics::breaksWithPredictor(stats, backward)
+                    .instructionsPerBreak();
+            row.opcode_rules_per_break =
+                metrics::breaksWithPredictor(stats, opcode)
+                    .instructionsPerBreak();
+            row.always_taken_per_break =
+                metrics::breaksWithPredictor(stats, taken)
+                    .instructionsPerBreak();
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+std::vector<CoverageRow>
+coverageStudy(Runner &runner)
+{
+    std::vector<CoverageRow> rows;
+    for (const auto &w : workloads::all()) {
+        if (w.datasets.size() < 2)
+            continue;
+        std::vector<ProfileDb> profiles;
+        for (const auto &d : w.datasets)
+            profiles.push_back(profileOf(runner, w.name, d.name));
+        for (size_t t = 0; t < w.datasets.size(); ++t) {
+            const vm::RunStats &target =
+                runner.stats(w.name, w.datasets[t].name);
+            double self_bound = selfPredictedPerBreak(
+                runner, w.name, w.datasets[t].name);
+            for (size_t p = 0; p < w.datasets.size(); ++p) {
+                if (p == t)
+                    continue;
+                CoverageRow row;
+                row.program = w.name;
+                row.target = w.datasets[t].name;
+                row.predictor = w.datasets[p].name;
+
+                int64_t total = 0, unseen = 0, disagree = 0;
+                for (size_t site = 0; site < target.branches.size();
+                     ++site) {
+                    int64_t executed = target.branches[site].executed;
+                    if (executed == 0)
+                        continue;
+                    total += executed;
+                    const auto &pw = profiles[p].site(site);
+                    if (pw.executed <= 0.0) {
+                        unseen += executed;
+                        continue;
+                    }
+                    bool predictor_taken = pw.taken * 2.0 > pw.executed;
+                    bool target_taken = 2 * target.branches[site].taken >
+                                        executed;
+                    if (predictor_taken != target_taken)
+                        disagree += executed;
+                }
+                if (total > 0) {
+                    row.coverage_gap_pct =
+                        100.0 * static_cast<double>(unseen) /
+                        static_cast<double>(total);
+                    row.disagreement_pct =
+                        100.0 * static_cast<double>(disagree) /
+                        static_cast<double>(total);
+                }
+                ProfilePredictor cross(profiles[p]);
+                double per_break =
+                    metrics::breaksWithPredictor(target, cross)
+                        .instructionsPerBreak();
+                row.quality_pct = self_bound > 0.0
+                                      ? 100.0 * per_break / self_bound
+                                      : 100.0;
+                rows.push_back(std::move(row));
+            }
+        }
+    }
+    return rows;
+}
+
+std::vector<CombineRow>
+combineAblation(Runner &runner)
+{
+    std::vector<CombineRow> rows;
+    for (const auto &w : workloads::all()) {
+        if (w.datasets.size() < 3)
+            continue; // combination is interesting with >= 2 others
+        for (const auto &d : w.datasets) {
+            CombineRow row;
+            row.program = w.name;
+            row.dataset = d.name;
+            row.scaled_per_break = othersPredictedPerBreak(
+                runner, w.name, d.name, MergeMode::kScaled);
+            row.unscaled_per_break = othersPredictedPerBreak(
+                runner, w.name, d.name, MergeMode::kUnscaled);
+            row.polling_per_break = othersPredictedPerBreak(
+                runner, w.name, d.name, MergeMode::kPolling);
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+} // namespace ifprob::harness

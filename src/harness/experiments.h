@@ -1,0 +1,147 @@
+#ifndef IFPROB_HARNESS_EXPERIMENTS_H
+#define IFPROB_HARNESS_EXPERIMENTS_H
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "predict/heuristic_predictor.h"
+#include "profile/profile_db.h"
+
+namespace ifprob::harness {
+
+/**
+ * The paper's experiments, each returning typed rows. The bench binaries
+ * render these as tables/ASCII charts and EXPERIMENTS.md records the
+ * measured values next to the paper's.
+ */
+
+/** Figure 1: instructions per break in control, no prediction. */
+struct Fig1Row
+{
+    std::string program;
+    std::string dataset;
+    bool fortran_like = false;
+    double per_break = 0.0;            ///< black bar: calls not counted
+    double per_break_with_calls = 0.0; ///< white bar: + direct calls/returns
+};
+std::vector<Fig1Row> figure1(Runner &runner);
+
+/** Figure 2 / Table 3: instructions per mispredicted branch. */
+struct Fig2Row
+{
+    std::string program;
+    std::string dataset;
+    bool fortran_like = false;
+    int num_datasets = 1;
+    double self_per_break = 0.0;   ///< black bar: dataset predicts itself
+    double others_per_break = 0.0; ///< white bar: scaled sum of the others
+                                   ///< (== self when only one dataset)
+};
+std::vector<Fig2Row> figure2(Runner &runner,
+                             profile::MergeMode mode =
+                                 profile::MergeMode::kScaled);
+
+/** Figure 3: best/worst single-other-dataset predictor, % of self. */
+struct Fig3Row
+{
+    std::string program;
+    std::string dataset;
+    bool fortran_like = false;
+    double best_pct = 0.0;
+    double worst_pct = 0.0;
+    std::string best_predictor;
+    std::string worst_predictor;
+};
+std::vector<Fig3Row> figure3(Runner &runner);
+
+/** Table 1: dynamic dead-code fraction per program (primary dataset). */
+struct Table1Row
+{
+    std::string program;
+    double dead_fraction = 0.0; ///< 0.18 == 18% of dynamic instructions
+};
+std::vector<Table1Row> table1();
+
+/** Percent-taken per dataset ("branch percent taken as a program
+ *  constant", §3 informal observations). */
+struct TakenRow
+{
+    std::string program;
+    std::string dataset;
+    double percent_taken = 0.0;
+};
+std::vector<TakenRow> percentTaken(Runner &runner);
+
+/** Heuristic-vs-profile comparison (§3: heuristics give up ~2x). */
+struct HeuristicRow
+{
+    std::string program;
+    std::string dataset;
+    double self_per_break = 0.0;
+    double others_per_break = 0.0;
+    double backward_taken_per_break = 0.0;
+    double opcode_rules_per_break = 0.0;
+    double always_taken_per_break = 0.0;
+};
+std::vector<HeuristicRow> heuristics(Runner &runner);
+
+/** Combination-strategy ablation (scaled / unscaled / polling). */
+struct CombineRow
+{
+    std::string program;
+    std::string dataset;
+    double scaled_per_break = 0.0;
+    double unscaled_per_break = 0.0;
+    double polling_per_break = 0.0;
+};
+std::vector<CombineRow> combineAblation(Runner &runner);
+
+/**
+ * The "Coverage" investigation (§3 informal observations): the authors
+ * suspected bad predictor pairs emphasized *different parts of the
+ * program* rather than flipping branch directions, but "nothing we
+ * tried seemed to correlate well". This experiment computes, for every
+ * predictor/target dataset pair, (a) the coverage gap — the share of the
+ * target's dynamic branches at sites the predictor never executed — and
+ * (b) the direction-flip loss — mispredictions at sites both datasets
+ * executed but disagree on; the bench correlates both against the
+ * prediction loss.
+ */
+struct CoverageRow
+{
+    std::string program;
+    std::string target;
+    std::string predictor;
+    /** % of target's dynamic branches at predictor-unseen sites. */
+    double coverage_gap_pct = 0.0;
+    /** % of target's dynamic branches at sites where the two datasets'
+     *  majority directions disagree. */
+    double disagreement_pct = 0.0;
+    /** Cross-prediction quality: instrs/break as % of the self bound. */
+    double quality_pct = 0.0;
+};
+std::vector<CoverageRow> coverageStudy(Runner &runner);
+
+// --- shared helpers ---------------------------------------------------------
+
+/** Instructions per break for @p target under self-prediction. */
+double selfPredictedPerBreak(Runner &runner, const std::string &workload,
+                             const std::string &dataset);
+
+/**
+ * Instructions per break for @p target predicted by the (mode-combined)
+ * profiles of every *other* dataset of the program. Falls back to
+ * self-prediction when the program has a single dataset.
+ */
+double othersPredictedPerBreak(Runner &runner, const std::string &workload,
+                               const std::string &dataset,
+                               profile::MergeMode mode);
+
+/** Build the profile database of one run. */
+profile::ProfileDb profileOf(Runner &runner, const std::string &workload,
+                             const std::string &dataset);
+
+} // namespace ifprob::harness
+
+#endif // IFPROB_HARNESS_EXPERIMENTS_H

@@ -1,0 +1,128 @@
+#include "harness/runner.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "compiler/pipeline.h"
+#include "support/error.h"
+#include "support/str.h"
+#include "vm/machine.h"
+
+namespace ifprob::harness {
+
+namespace {
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out.push_back(c);
+        else
+            out.push_back('_');
+    }
+    return out;
+}
+
+} // namespace
+
+CompileOptions
+Runner::experimentOptions()
+{
+    CompileOptions options;
+    options.optimize = true;
+    options.eliminate_dead_code = false; // as in the paper (see Table 1)
+    options.use_select = true;
+    return options;
+}
+
+Runner::Runner(CompileOptions options) : options_(options)
+{
+    const char *env = std::getenv("IFPROB_CACHE");
+    if (env && std::string_view(env) == "off") {
+        cache_dir_.clear();
+    } else {
+        cache_dir_ = env ? env : ".ifprob-cache";
+        std::error_code ec;
+        std::filesystem::create_directories(cache_dir_, ec);
+        if (ec)
+            cache_dir_.clear(); // fall back to uncached operation
+    }
+}
+
+const isa::Program &
+Runner::program(const std::string &workload)
+{
+    auto it = programs_.find(workload);
+    if (it != programs_.end())
+        return it->second;
+    const workloads::Workload &w = workloads::get(workload);
+    isa::Program compiled = compile(w.source, options_);
+    return programs_.emplace(workload, std::move(compiled)).first->second;
+}
+
+std::string
+Runner::cachePath(const std::string &workload, const std::string &dataset,
+                  uint64_t fingerprint) const
+{
+    return strPrintf("%s/%s.%s.%016llx.stats", cache_dir_.c_str(),
+                     sanitize(workload).c_str(), sanitize(dataset).c_str(),
+                     static_cast<unsigned long long>(fingerprint));
+}
+
+const vm::RunStats &
+Runner::stats(const std::string &workload, const std::string &dataset)
+{
+    auto key = std::make_pair(workload, dataset);
+    auto it = stats_.find(key);
+    if (it != stats_.end())
+        return it->second;
+
+    const isa::Program &prog = program(workload);
+    if (!cache_dir_.empty()) {
+        std::ifstream in(cachePath(workload, dataset, prog.fingerprint()));
+        if (in) {
+            try {
+                vm::RunStats cached = vm::RunStats::load(in);
+                return stats_.emplace(key, std::move(cached)).first->second;
+            } catch (const Error &) {
+                // Corrupt cache entry: fall through and re-run.
+            }
+        }
+    }
+
+    const workloads::Workload &w = workloads::get(workload);
+    const workloads::Dataset *ds = nullptr;
+    for (const auto &d : w.datasets) {
+        if (d.name == dataset)
+            ds = &d;
+    }
+    if (!ds)
+        throw Error("workload " + workload + " has no dataset " + dataset);
+
+    vm::Machine machine(prog);
+    vm::RunLimits limits;
+    limits.max_instructions = 4'000'000'000ll;
+    vm::RunResult result = machine.run(ds->input, limits);
+
+    if (!cache_dir_.empty()) {
+        std::ofstream out(cachePath(workload, dataset, prog.fingerprint()));
+        if (out)
+            result.stats.save(out);
+    }
+    return stats_.emplace(key, std::move(result.stats)).first->second;
+}
+
+std::vector<std::string>
+Runner::datasetNames(const std::string &workload) const
+{
+    std::vector<std::string> out;
+    for (const auto &d : workloads::get(workload).datasets)
+        out.push_back(d.name);
+    return out;
+}
+
+} // namespace ifprob::harness

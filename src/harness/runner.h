@@ -1,0 +1,60 @@
+#ifndef IFPROB_HARNESS_RUNNER_H
+#define IFPROB_HARNESS_RUNNER_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "compiler/options.h"
+#include "isa/program.h"
+#include "vm/run_stats.h"
+#include "workloads/workload.h"
+
+namespace ifprob::harness {
+
+/**
+ * Compiles workloads and collects per-dataset run statistics, with an
+ * on-disk cache so that the eight benchmark binaries do not re-execute
+ * the full program x dataset matrix each.
+ *
+ * Cache entries are keyed by workload, dataset, and the compiled image's
+ * fingerprint, so a compiler change silently invalidates stale entries.
+ * Set the IFPROB_CACHE environment variable to relocate the cache
+ * directory (default: ./.ifprob-cache); set it to "off" to disable.
+ */
+class Runner
+{
+  public:
+    explicit Runner(CompileOptions options = experimentOptions());
+
+    /**
+     * The paper's experimental compiler configuration: classical
+     * optimizations on, dead-code elimination off (to keep branch sites
+     * stable), select lowering on.
+     */
+    static CompileOptions experimentOptions();
+
+    /** Compiled image for @p workload (cached in memory). */
+    const isa::Program &program(const std::string &workload);
+
+    /** Run statistics for one workload/dataset (memory + disk cached). */
+    const vm::RunStats &stats(const std::string &workload,
+                              const std::string &dataset);
+
+    /** Convenience: every dataset of @p workload, in registry order. */
+    std::vector<std::string> datasetNames(const std::string &workload) const;
+
+  private:
+    std::string cachePath(const std::string &workload,
+                          const std::string &dataset,
+                          uint64_t fingerprint) const;
+
+    CompileOptions options_;
+    std::string cache_dir_; ///< empty = caching disabled
+    std::map<std::string, isa::Program> programs_;
+    std::map<std::pair<std::string, std::string>, vm::RunStats> stats_;
+};
+
+} // namespace ifprob::harness
+
+#endif // IFPROB_HARNESS_RUNNER_H

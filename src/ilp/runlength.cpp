@@ -1,0 +1,58 @@
+#include "ilp/runlength.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ifprob::ilp {
+
+double
+RunLengthSummary::fractionInRunsAtLeast(int64_t min_len) const
+{
+    if (instructions <= 0)
+        return 0.0;
+    int64_t covered = 0;
+    for (int64_t run : runs) {
+        if (run >= min_len)
+            covered += run;
+    }
+    return static_cast<double>(covered) /
+           static_cast<double>(instructions);
+}
+
+RunLengthSummary
+RunLengthAnalyzer::summary(int64_t total_instructions) &&
+{
+    RunLengthSummary s;
+    // The tail after the final break counts as one more run.
+    if (total_instructions > last_break_)
+        runs_.push_back(total_instructions - last_break_);
+    s.runs = std::move(runs_);
+    std::sort(s.runs.begin(), s.runs.end());
+    s.breaks = static_cast<int64_t>(s.runs.size());
+    double log_sum = 0.0;
+    for (int64_t run : s.runs) {
+        s.instructions += run;
+        log_sum += std::log(static_cast<double>(run));
+        int bucket = std::bit_width(static_cast<uint64_t>(run)) - 1;
+        if (bucket > 31)
+            bucket = 31;
+        ++s.histogram[static_cast<size_t>(bucket)];
+    }
+    if (s.breaks > 0) {
+        s.mean = static_cast<double>(s.instructions) /
+                 static_cast<double>(s.breaks);
+        s.geomean = std::exp(log_sum / static_cast<double>(s.breaks));
+        auto pct = [&](double q) {
+            size_t index = static_cast<size_t>(
+                q * static_cast<double>(s.runs.size() - 1) + 0.5);
+            return s.runs[index];
+        };
+        s.p10 = pct(0.10);
+        s.p50 = pct(0.50);
+        s.p90 = pct(0.90);
+    }
+    return s;
+}
+
+} // namespace ifprob::ilp

@@ -1,0 +1,95 @@
+#ifndef IFPROB_ILP_RUNLENGTH_H
+#define IFPROB_ILP_RUNLENGTH_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "predict/static_predictor.h"
+#include "vm/observer.h"
+
+namespace ifprob::ilp {
+
+/**
+ * Distribution of run lengths between breaks in control.
+ *
+ * The paper points out (§3, "ILP compilers will get larger candidate
+ * sets...") that the *distribution* of instructions between mispredicted
+ * branches matters for ILP, not just the mean: 80 instructions followed
+ * by two breaks offers far more parallelism than two runs of 40. This
+ * summary captures that distribution.
+ */
+struct RunLengthSummary
+{
+    int64_t breaks = 0;            ///< number of runs observed
+    int64_t instructions = 0;      ///< total instructions covered
+    /** Power-of-two histogram: bucket b counts runs in [2^b, 2^(b+1)). */
+    std::array<int64_t, 32> histogram{};
+
+    double mean = 0.0;
+    double geomean = 0.0;
+    int64_t p10 = 0; ///< 10th percentile run length
+    int64_t p50 = 0;
+    int64_t p90 = 0;
+
+    /**
+     * Fraction of all instructions that live in runs of at least
+     * @p min_len — the share of the program an ILP compiler could pack
+     * into candidate sets of that size.
+     */
+    double fractionInRunsAtLeast(int64_t min_len) const;
+
+    /** Raw run lengths (kept for percentile computation and tests). */
+    std::vector<int64_t> runs;
+};
+
+/**
+ * VM observer that measures run lengths between breaks under a given
+ * static predictor: a break is a mispredicted conditional branch or an
+ * unavoidable transfer (indirect call / its return), matching the
+ * paper's Figure 2 accounting. Attach to Machine::run, then call
+ * summary().
+ */
+class RunLengthAnalyzer : public vm::BranchObserver
+{
+  public:
+    explicit RunLengthAnalyzer(const predict::StaticPredictor &predictor)
+        : predictor_(predictor)
+    {
+    }
+
+    void
+    onBranch(int site_id, bool taken, int64_t instructions) override
+    {
+        if (predictor_.predictTaken(site_id) != taken)
+            recordBreak(instructions);
+    }
+
+    void
+    onUnavoidableBreak(int64_t instructions) override
+    {
+        recordBreak(instructions);
+    }
+
+    /** Finalize (sorts runs, computes percentiles) and return the
+     *  summary. Call once, after the run completes. */
+    RunLengthSummary summary(int64_t total_instructions) &&;
+
+  private:
+    void
+    recordBreak(int64_t instructions)
+    {
+        int64_t run = instructions - last_break_;
+        last_break_ = instructions;
+        if (run > 0)
+            runs_.push_back(run);
+    }
+
+    const predict::StaticPredictor &predictor_;
+    int64_t last_break_ = 0;
+    std::vector<int64_t> runs_;
+};
+
+} // namespace ifprob::ilp
+
+#endif // IFPROB_ILP_RUNLENGTH_H

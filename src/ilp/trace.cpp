@@ -1,0 +1,237 @@
+#include "ilp/trace.h"
+
+#include <algorithm>
+
+namespace ifprob::ilp {
+
+using isa::BlockGraph;
+using isa::CfgEdge;
+using isa::EdgeKind;
+
+namespace {
+
+/**
+ * Estimate per-block execution weights from branch-site counts: a block
+ * ending in a conditional branch executed exactly `site.executed` times;
+ * other blocks inherit flow from their predecessors (branch edges carry
+ * exact taken / not-taken counts). A few forward passes propagate the
+ * flow through jump/fallthrough chains.
+ */
+std::vector<double>
+blockWeights(const BlockGraph &graph, const isa::Function &function,
+             const profile::ProfileDb &profile)
+{
+    const int n = graph.numBlocks();
+    std::vector<double> weight(static_cast<size_t>(n), 0.0);
+    for (int b = 0; b < n; ++b) {
+        const isa::Instruction &last =
+            function.code[static_cast<size_t>(graph.end(b) - 1)];
+        if (last.op == isa::Opcode::kBr) {
+            weight[static_cast<size_t>(b)] =
+                profile.site(static_cast<size_t>(last.imm)).executed;
+        }
+    }
+    for (int pass = 0; pass < 4; ++pass) {
+        for (int b = 0; b < n; ++b) {
+            double incoming = 0.0;
+            for (const CfgEdge &edge : graph.predecessors(b)) {
+                int p = edge.to; // predecessor block
+                double flow;
+                if (edge.kind == EdgeKind::kBranchTaken) {
+                    flow = profile.site(static_cast<size_t>(
+                                            edge.branch_site))
+                               .taken;
+                } else if (edge.kind == EdgeKind::kBranchFall) {
+                    const auto &w = profile.site(
+                        static_cast<size_t>(edge.branch_site));
+                    flow = w.notTaken();
+                } else {
+                    flow = weight[static_cast<size_t>(p)];
+                }
+                incoming += flow;
+            }
+            weight[static_cast<size_t>(b)] =
+                std::max(weight[static_cast<size_t>(b)], incoming);
+        }
+    }
+    return weight;
+}
+
+} // namespace
+
+double
+TraceSet::instructionsPerExit() const
+{
+    if (exit_flow <= 0.0)
+        return dynamic_instructions;
+    return dynamic_instructions / exit_flow;
+}
+
+double
+TraceSet::weightedMeanLength() const
+{
+    double num = 0.0, den = 0.0;
+    for (const Trace &t : traces) {
+        num += t.weight * static_cast<double>(t.instructions);
+        den += t.weight;
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+double
+TraceSet::meanLength() const
+{
+    if (traces.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const Trace &t : traces)
+        total += static_cast<double>(t.instructions);
+    return total / static_cast<double>(traces.size());
+}
+
+TraceSet
+selectTraces(const isa::Program &program,
+             const predict::StaticPredictor &predictor,
+             const profile::ProfileDb &profile)
+{
+    TraceSet result;
+    for (size_t fi = 0; fi < program.functions.size(); ++fi) {
+        const isa::Function &function = program.functions[fi];
+        BlockGraph graph(function);
+        const int n = graph.numBlocks();
+        if (n == 0)
+            continue;
+        std::vector<double> weight = blockWeights(graph, function,
+                                                  profile);
+        std::vector<bool> assigned(static_cast<size_t>(n), false);
+
+        // Seeds in decreasing weight order.
+        std::vector<int> order(static_cast<size_t>(n));
+        for (int b = 0; b < n; ++b)
+            order[static_cast<size_t>(b)] = b;
+        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+            return weight[static_cast<size_t>(a)] >
+                   weight[static_cast<size_t>(b)];
+        });
+
+        /** The successor edge the predictor follows out of block b, or
+         *  nullptr at trace-ending terminators. */
+        auto predicted_successor = [&](int b) -> const CfgEdge * {
+            const auto &succs = graph.successors(b);
+            if (succs.empty())
+                return nullptr;
+            if (succs.size() == 1)
+                return &succs[0];
+            // Conditional branch: follow the predicted direction.
+            bool taken = predictor.predictTaken(succs[0].branch_site);
+            for (const CfgEdge &edge : succs) {
+                if ((edge.kind == EdgeKind::kBranchTaken) == taken)
+                    return &edge;
+            }
+            return nullptr;
+        };
+
+        for (int seed : order) {
+            if (assigned[static_cast<size_t>(seed)])
+                continue;
+            Trace trace;
+            trace.function = static_cast<int>(fi);
+            trace.weight = weight[static_cast<size_t>(seed)];
+            trace.blocks.push_back(seed);
+            assigned[static_cast<size_t>(seed)] = true;
+
+            // Grow forward along predicted edges; stop at assigned
+            // blocks and loop back-edges.
+            int cur = seed;
+            while (const CfgEdge *edge = predicted_successor(cur)) {
+                int next = edge->to;
+                if (assigned[static_cast<size_t>(next)] ||
+                    graph.start(next) <= graph.start(cur)) {
+                    break; // joins an existing trace or closes a loop
+                }
+                trace.blocks.push_back(next);
+                assigned[static_cast<size_t>(next)] = true;
+                cur = next;
+            }
+
+            // Grow backward: a predecessor joins only if the predictor
+            // would flow from it into the trace head (mutual most
+            // likely), preferring the heaviest such predecessor.
+            cur = seed;
+            while (true) {
+                int best = -1;
+                double best_weight = -1.0;
+                for (const CfgEdge &edge : graph.predecessors(cur)) {
+                    int p = edge.to;
+                    if (assigned[static_cast<size_t>(p)] ||
+                        graph.start(p) >= graph.start(cur)) {
+                        continue;
+                    }
+                    const CfgEdge *follow = predicted_successor(p);
+                    if (!follow || follow->to != cur)
+                        continue;
+                    if (weight[static_cast<size_t>(p)] > best_weight) {
+                        best_weight = weight[static_cast<size_t>(p)];
+                        best = p;
+                    }
+                }
+                if (best == -1)
+                    break;
+                trace.blocks.insert(trace.blocks.begin(), best);
+                assigned[static_cast<size_t>(best)] = true;
+                cur = best;
+            }
+
+            for (int b : trace.blocks)
+                trace.instructions += graph.size(b);
+            result.traces.push_back(std::move(trace));
+        }
+
+        // Dynamic trace quality: estimated on-trace instructions vs the
+        // flow that departs a trace (side exits, loop closures, and
+        // function returns).
+        std::vector<int> trace_of(static_cast<size_t>(n), -1);
+        for (size_t t = result.traces.size(); t-- > 0;) {
+            const Trace &trace = result.traces[t];
+            if (trace.function != static_cast<int>(fi))
+                continue;
+            for (int b : trace.blocks)
+                trace_of[static_cast<size_t>(b)] = static_cast<int>(t);
+        }
+        for (int b = 0; b < n; ++b) {
+            double w = weight[static_cast<size_t>(b)];
+            result.dynamic_instructions += w * graph.size(b);
+            const auto &succs = graph.successors(b);
+            if (succs.empty()) {
+                result.exit_flow += w; // return/halt ends the trace
+                continue;
+            }
+            for (const CfgEdge &edge : succs) {
+                double flow;
+                if (edge.kind == EdgeKind::kBranchTaken) {
+                    flow = profile.site(static_cast<size_t>(
+                                            edge.branch_site))
+                               .taken;
+                } else if (edge.kind == EdgeKind::kBranchFall) {
+                    flow = profile.site(static_cast<size_t>(
+                                            edge.branch_site))
+                               .notTaken();
+                } else {
+                    flow = w;
+                }
+                bool same_trace =
+                    trace_of[static_cast<size_t>(edge.to)] ==
+                    trace_of[static_cast<size_t>(b)];
+                // A backward edge within the trace (the loop closing on
+                // itself) re-enters at the top: conventional trace
+                // scheduling still treats it as a trace boundary.
+                bool backward = graph.start(edge.to) <= graph.start(b);
+                if (!same_trace || backward)
+                    result.exit_flow += flow;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace ifprob::ilp

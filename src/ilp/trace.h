@@ -1,0 +1,76 @@
+#ifndef IFPROB_ILP_TRACE_H
+#define IFPROB_ILP_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/cfg.h"
+#include "isa/program.h"
+#include "predict/static_predictor.h"
+#include "profile/profile_db.h"
+
+namespace ifprob::ilp {
+
+/**
+ * Trace selection, the compiler consumer of static branch prediction
+ * that motivates the paper: a trace-scheduling compiler [Fisher 81]
+ * picks a likely acyclic path through the flow graph (a *trace*) and
+ * schedules it as one long candidate set, using branch predictions to
+ * decide which successor to follow at each conditional branch.
+ *
+ * This implements the classic greedy mutual-most-likely algorithm:
+ * repeatedly seed at the hottest unassigned block and grow forward and
+ * backward along predicted edges, stopping at loop back-edges, already
+ * assigned blocks, and returns.
+ */
+struct Trace
+{
+    int function = -1;
+    std::vector<int> blocks;   ///< block indices, in control order
+    int64_t instructions = 0;  ///< static length of the trace
+    double weight = 0.0;       ///< execution weight of the seed block
+};
+
+struct TraceSet
+{
+    std::vector<Trace> traces;
+
+    /** Dynamic instructions executed inside traces (estimated). */
+    double dynamic_instructions = 0.0;
+    /** Dynamic control transfers that leave their trace (side exits,
+     *  loop closures, and function returns). */
+    double exit_flow = 0.0;
+
+    /**
+     * The trace-quality measure: estimated dynamic instructions executed
+     * per departure from a trace. A scheduler compacts whole traces, so
+     * this is the effective candidate-set size it obtains; longer is
+     * better. (Static trace length is a poor proxy — a predictor that
+     * chains cold fallthrough blocks makes long traces nobody executes.)
+     */
+    double instructionsPerExit() const;
+
+    /**
+     * Average trace length in instructions, weighted by each trace's
+     * execution weight.
+     */
+    double weightedMeanLength() const;
+
+    /** Unweighted mean static trace length. */
+    double meanLength() const;
+};
+
+/**
+ * Select traces for every function of @p program, following
+ * @p predictor at conditional branches. Block execution weights come
+ * from @p profile (branch-site executed counts); blocks with no
+ * terminating branch inherit weight from their hottest predecessor
+ * edge.
+ */
+TraceSet selectTraces(const isa::Program &program,
+                      const predict::StaticPredictor &predictor,
+                      const profile::ProfileDb &profile);
+
+} // namespace ifprob::ilp
+
+#endif // IFPROB_ILP_TRACE_H

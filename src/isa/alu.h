@@ -1,0 +1,122 @@
+#ifndef IFPROB_ISA_ALU_H
+#define IFPROB_ISA_ALU_H
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "isa/opcode.h"
+
+namespace ifprob::isa {
+
+/**
+ * Scalar operation semantics, shared by the interpreter and the constant
+ * folder so that folding can never diverge from execution.
+ *
+ * Register values are raw 64-bit patterns; float operations reinterpret
+ * them as IEEE doubles. Shift counts are masked to 6 bits (no UB); integer
+ * division by zero is not evaluable (the interpreter traps, the folder
+ * declines to fold).
+ */
+
+inline double
+asF(int64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+inline int64_t
+fromF(double v)
+{
+    return std::bit_cast<int64_t>(v);
+}
+
+/** Evaluate a two-source ALU operation; nullopt when not evaluable. */
+inline std::optional<int64_t>
+evalBinaryAlu(Opcode op, int64_t x, int64_t y)
+{
+    switch (op) {
+      // Two's-complement wraparound, computed through unsigned so the
+      // semantics are defined (and match real hardware) even at the
+      // extremes.
+      case Opcode::kAdd:
+        return static_cast<int64_t>(static_cast<uint64_t>(x) +
+                                    static_cast<uint64_t>(y));
+      case Opcode::kSub:
+        return static_cast<int64_t>(static_cast<uint64_t>(x) -
+                                    static_cast<uint64_t>(y));
+      case Opcode::kMul:
+        return static_cast<int64_t>(static_cast<uint64_t>(x) *
+                                    static_cast<uint64_t>(y));
+      case Opcode::kDiv:
+        if (y == 0 || (x == INT64_MIN && y == -1))
+            return std::nullopt;
+        return x / y;
+      case Opcode::kRem:
+        if (y == 0 || (x == INT64_MIN && y == -1))
+            return std::nullopt;
+        return x % y;
+      case Opcode::kAnd: return x & y;
+      case Opcode::kOr: return x | y;
+      case Opcode::kXor: return x ^ y;
+      case Opcode::kShl:
+        return static_cast<int64_t>(static_cast<uint64_t>(x) << (y & 63));
+      case Opcode::kShr: return x >> (y & 63);
+      case Opcode::kCmpEq: return x == y;
+      case Opcode::kCmpNe: return x != y;
+      case Opcode::kCmpLt: return x < y;
+      case Opcode::kCmpLe: return x <= y;
+      case Opcode::kCmpGt: return x > y;
+      case Opcode::kCmpGe: return x >= y;
+      case Opcode::kFAdd: return fromF(asF(x) + asF(y));
+      case Opcode::kFSub: return fromF(asF(x) - asF(y));
+      case Opcode::kFMul: return fromF(asF(x) * asF(y));
+      case Opcode::kFDiv: return fromF(asF(x) / asF(y));
+      case Opcode::kFCmpEq: return asF(x) == asF(y);
+      case Opcode::kFCmpNe: return asF(x) != asF(y);
+      case Opcode::kFCmpLt: return asF(x) < asF(y);
+      case Opcode::kFCmpLe: return asF(x) <= asF(y);
+      case Opcode::kFCmpGt: return asF(x) > asF(y);
+      case Opcode::kFCmpGe: return asF(x) >= asF(y);
+      default:
+        return std::nullopt;
+    }
+}
+
+/** Evaluate a single-source ALU operation; nullopt when not evaluable. */
+inline std::optional<int64_t>
+evalUnaryAlu(Opcode op, int64_t x)
+{
+    switch (op) {
+      case Opcode::kNeg:
+        return static_cast<int64_t>(0 - static_cast<uint64_t>(x));
+      case Opcode::kNot: return ~x;
+      case Opcode::kFNeg: return fromF(-asF(x));
+      case Opcode::kFAbs: return fromF(std::fabs(asF(x)));
+      case Opcode::kFSqrt: return fromF(std::sqrt(asF(x)));
+      case Opcode::kFExp: return fromF(std::exp(asF(x)));
+      case Opcode::kFLog: return fromF(std::log(asF(x)));
+      case Opcode::kFSin: return fromF(std::sin(asF(x)));
+      case Opcode::kFCos: return fromF(std::cos(asF(x)));
+      case Opcode::kItoF: return fromF(static_cast<double>(x));
+      case Opcode::kFtoI: {
+        double v = asF(x);
+        // Saturate instead of UB on out-of-range conversions.
+        if (std::isnan(v))
+            return 0;
+        if (v >= 9.2233720368547758e18)
+            return INT64_MAX;
+        if (v <= -9.2233720368547758e18)
+            return INT64_MIN;
+        return static_cast<int64_t>(v);
+      }
+      case Opcode::kMov: return x;
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace ifprob::isa
+
+#endif // IFPROB_ISA_ALU_H

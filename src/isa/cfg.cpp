@@ -1,0 +1,79 @@
+#include "isa/cfg.h"
+
+namespace ifprob::isa {
+
+BlockGraph::BlockGraph(const Function &function)
+{
+    const auto &code = function.code;
+    const int n = static_cast<int>(code.size());
+    std::vector<bool> leader(static_cast<size_t>(n), false);
+    if (n == 0)
+        return;
+    leader[0] = true;
+    for (int pc = 0; pc < n; ++pc) {
+        const Instruction &insn = code[static_cast<size_t>(pc)];
+        switch (insn.op) {
+          case Opcode::kBr:
+            leader[static_cast<size_t>(insn.b)] = true;
+            leader[static_cast<size_t>(insn.c)] = true;
+            if (pc + 1 < n)
+                leader[static_cast<size_t>(pc + 1)] = true;
+            break;
+          case Opcode::kJmp:
+            leader[static_cast<size_t>(insn.a)] = true;
+            if (pc + 1 < n)
+                leader[static_cast<size_t>(pc + 1)] = true;
+            break;
+          case Opcode::kRet:
+          case Opcode::kHalt:
+            if (pc + 1 < n)
+                leader[static_cast<size_t>(pc + 1)] = true;
+            break;
+          default:
+            break;
+        }
+    }
+
+    block_of_.resize(static_cast<size_t>(n));
+    for (int pc = 0; pc < n; ++pc) {
+        if (leader[static_cast<size_t>(pc)]) {
+            if (!starts_.empty())
+                ends_.push_back(pc);
+            starts_.push_back(pc);
+        }
+        block_of_[static_cast<size_t>(pc)] =
+            static_cast<int>(starts_.size()) - 1;
+    }
+    ends_.push_back(n);
+
+    succs_.resize(starts_.size());
+    preds_.resize(starts_.size());
+    for (int b = 0; b < numBlocks(); ++b) {
+        const Instruction &last = code[static_cast<size_t>(end(b) - 1)];
+        auto add = [&](int target_pc, EdgeKind kind, int site) {
+            CfgEdge edge{blockOf(target_pc), kind, site};
+            succs_[static_cast<size_t>(b)].push_back(edge);
+            preds_[static_cast<size_t>(edge.to)].push_back(
+                CfgEdge{b, kind, site});
+        };
+        switch (last.op) {
+          case Opcode::kBr:
+            add(last.b, EdgeKind::kBranchTaken,
+                static_cast<int>(last.imm));
+            add(last.c, EdgeKind::kBranchFall, static_cast<int>(last.imm));
+            break;
+          case Opcode::kJmp:
+            add(last.a, EdgeKind::kJump, -1);
+            break;
+          case Opcode::kRet:
+          case Opcode::kHalt:
+            break;
+          default:
+            if (end(b) < n)
+                add(end(b), EdgeKind::kFallthrough, -1);
+            break;
+        }
+    }
+}
+
+} // namespace ifprob::isa

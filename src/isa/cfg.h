@@ -1,0 +1,74 @@
+#ifndef IFPROB_ISA_CFG_H
+#define IFPROB_ISA_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace ifprob::isa {
+
+/** How control reaches a successor block. */
+enum class EdgeKind : uint8_t {
+    kFallthrough, ///< straight-line or past a call
+    kJump,        ///< unconditional kJmp
+    kBranchTaken, ///< kBr condition true
+    kBranchFall,  ///< kBr condition false
+};
+
+/** One control-flow edge between basic blocks. */
+struct CfgEdge
+{
+    int to = -1;           ///< successor block index
+    EdgeKind kind = EdgeKind::kFallthrough;
+    int branch_site = -1;  ///< static site id for branch edges, else -1
+};
+
+/**
+ * Basic-block view of one function: block boundaries, per-pc block
+ * membership, and the successor/predecessor edge lists. Used by the
+ * trace-selection analysis (and available to optimization passes).
+ */
+class BlockGraph
+{
+  public:
+    explicit BlockGraph(const Function &function);
+
+    int numBlocks() const { return static_cast<int>(starts_.size()); }
+
+    /** First pc of block @p b. */
+    int start(int b) const { return starts_[static_cast<size_t>(b)]; }
+
+    /** One-past-last pc of block @p b. */
+    int end(int b) const { return ends_[static_cast<size_t>(b)]; }
+
+    /** Number of instructions in block @p b. */
+    int size(int b) const { return end(b) - start(b); }
+
+    /** Block containing @p pc. */
+    int blockOf(int pc) const { return block_of_[static_cast<size_t>(pc)]; }
+
+    const std::vector<CfgEdge> &
+    successors(int b) const
+    {
+        return succs_[static_cast<size_t>(b)];
+    }
+
+    const std::vector<CfgEdge> &
+    predecessors(int b) const
+    {
+        // Each predecessor edge's `to` field holds the predecessor block.
+        return preds_[static_cast<size_t>(b)];
+    }
+
+  private:
+    std::vector<int> starts_;
+    std::vector<int> ends_;
+    std::vector<int> block_of_;
+    std::vector<std::vector<CfgEdge>> succs_;
+    std::vector<std::vector<CfgEdge>> preds_;
+};
+
+} // namespace ifprob::isa
+
+#endif // IFPROB_ISA_CFG_H

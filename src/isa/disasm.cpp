@@ -1,0 +1,101 @@
+#include "isa/disasm.h"
+
+#include "support/str.h"
+
+namespace ifprob::isa {
+
+std::string
+disassemble(const Instruction &insn)
+{
+    const std::string name(opcodeName(insn.op));
+    switch (insn.op) {
+      case Opcode::kMovI:
+        return strPrintf("%-7s r%d, %lld", name.c_str(), insn.a,
+                         static_cast<long long>(insn.imm));
+      case Opcode::kMovF:
+        return strPrintf("%-7s r%d, %g", name.c_str(), insn.a, insn.fimm());
+      case Opcode::kLoad:
+        if (insn.b == -1)
+            return strPrintf("%-7s r%d, [%lld]", name.c_str(), insn.a,
+                             static_cast<long long>(insn.imm));
+        return strPrintf("%-7s r%d, [r%d+%lld]", name.c_str(), insn.a, insn.b,
+                         static_cast<long long>(insn.imm));
+      case Opcode::kStore:
+        if (insn.b == -1)
+            return strPrintf("%-7s [%lld], r%d", name.c_str(),
+                             static_cast<long long>(insn.imm), insn.a);
+        return strPrintf("%-7s [r%d+%lld], r%d", name.c_str(), insn.b,
+                         static_cast<long long>(insn.imm), insn.a);
+      case Opcode::kBr:
+        return strPrintf("%-7s r%d, @%d, @%d   ; site %lld", name.c_str(),
+                         insn.a, insn.b, insn.c,
+                         static_cast<long long>(insn.imm));
+      case Opcode::kJmp:
+        return strPrintf("%-7s @%d", name.c_str(), insn.a);
+      case Opcode::kArg:
+        return strPrintf("%-7s #%d, r%d", name.c_str(), insn.a, insn.b);
+      case Opcode::kCall:
+        if (insn.a == -1)
+            return strPrintf("%-7s f%d", name.c_str(), insn.b);
+        return strPrintf("%-7s r%d, f%d", name.c_str(), insn.a, insn.b);
+      case Opcode::kICall:
+        if (insn.a == -1)
+            return strPrintf("%-7s (r%d)", name.c_str(), insn.b);
+        return strPrintf("%-7s r%d, (r%d)", name.c_str(), insn.a, insn.b);
+      case Opcode::kRet:
+        if (insn.a == -1)
+            return name;
+        return strPrintf("%-7s r%d", name.c_str(), insn.a);
+      case Opcode::kSelect:
+        return strPrintf("%-7s r%d, r%d ? r%d : r%d", name.c_str(), insn.a,
+                         insn.b, insn.c, insn.d);
+      case Opcode::kGetc:
+      case Opcode::kPutc:
+      case Opcode::kPutF:
+        return strPrintf("%-7s r%d", name.c_str(), insn.a);
+      case Opcode::kHalt:
+      case Opcode::kNop:
+        return name;
+      default:
+        break;
+    }
+    if (isBinaryAlu(insn.op)) {
+        return strPrintf("%-7s r%d, r%d, r%d", name.c_str(), insn.a, insn.b,
+                         insn.c);
+    }
+    // Unary ALU / mov.
+    return strPrintf("%-7s r%d, r%d", name.c_str(), insn.a, insn.b);
+}
+
+std::string
+disassemble(const Function &function)
+{
+    std::string out = strPrintf("%s(params=%d, regs=%d)%s:\n",
+                                function.name.c_str(), function.num_params,
+                                function.num_regs,
+                                function.returns_float ? " -> float" : "");
+    for (size_t pc = 0; pc < function.code.size(); ++pc) {
+        out += strPrintf("  %4zu: %s\n", pc,
+                         disassemble(function.code[pc]).c_str());
+    }
+    return out;
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::string out = strPrintf(
+        "; program: %zu functions, %lld memory words, %zu branch sites\n",
+        program.functions.size(),
+        static_cast<long long>(program.memory_words),
+        program.branch_sites.size());
+    for (size_t i = 0; i < program.functions.size(); ++i) {
+        if (static_cast<int>(i) == program.entry)
+            out += "; entry\n";
+        out += disassemble(program.functions[i]);
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace ifprob::isa

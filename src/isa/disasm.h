@@ -1,0 +1,21 @@
+#ifndef IFPROB_ISA_DISASM_H
+#define IFPROB_ISA_DISASM_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace ifprob::isa {
+
+/** Render one instruction as text, e.g. "add r3, r1, r2". */
+std::string disassemble(const Instruction &insn);
+
+/** Render a whole function with pc labels. */
+std::string disassemble(const Function &function);
+
+/** Render the whole program (all functions, entry marked). */
+std::string disassemble(const Program &program);
+
+} // namespace ifprob::isa
+
+#endif // IFPROB_ISA_DISASM_H

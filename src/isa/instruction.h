@@ -1,0 +1,134 @@
+#ifndef IFPROB_ISA_INSTRUCTION_H
+#define IFPROB_ISA_INSTRUCTION_H
+
+#include <bit>
+#include <cstdint>
+
+#include "isa/opcode.h"
+
+namespace ifprob::isa {
+
+/**
+ * One RISC operation.
+ *
+ * Operand meaning depends on the opcode; see the per-opcode comments in
+ * opcode.h. Register operands are indices into the executing function's
+ * (unbounded) register frame; -1 means "no register" where permitted.
+ * Branch / jump targets are instruction indices within the same function.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::kNop;
+    int32_t a = -1;
+    int32_t b = -1;
+    int32_t c = -1;
+    int32_t d = -1;      ///< fourth operand, used only by kSelect
+    int64_t imm = 0;     ///< integer immediate / float bit pattern / branch id
+
+    /** Float immediate accessor for kMovF. */
+    double
+    fimm() const
+    {
+        return std::bit_cast<double>(imm);
+    }
+
+    /** Set the float immediate (stores the bit pattern in imm). */
+    void
+    setFimm(double v)
+    {
+        imm = std::bit_cast<int64_t>(v);
+    }
+};
+
+// --- Factories. Keeping construction in named helpers keeps the code
+// generator readable and makes operand roles explicit at the call site. ---
+
+inline Instruction
+makeBinary(Opcode op, int dst, int src1, int src2)
+{
+    return {op, dst, src1, src2, -1, 0};
+}
+
+inline Instruction
+makeUnary(Opcode op, int dst, int src)
+{
+    return {op, dst, src, -1, -1, 0};
+}
+
+inline Instruction
+makeMovI(int dst, int64_t value)
+{
+    return {Opcode::kMovI, dst, -1, -1, -1, value};
+}
+
+inline Instruction
+makeMovF(int dst, double value)
+{
+    Instruction insn{Opcode::kMovF, dst, -1, -1, -1, 0};
+    insn.setFimm(value);
+    return insn;
+}
+
+inline Instruction
+makeLoad(int dst, int addr_reg, int64_t offset)
+{
+    return {Opcode::kLoad, dst, addr_reg, -1, -1, offset};
+}
+
+inline Instruction
+makeStore(int src, int addr_reg, int64_t offset)
+{
+    return {Opcode::kStore, src, addr_reg, -1, -1, offset};
+}
+
+inline Instruction
+makeBr(int cond_reg, int taken_pc, int fall_pc, int branch_id)
+{
+    return {Opcode::kBr, cond_reg, taken_pc, fall_pc, -1, branch_id};
+}
+
+inline Instruction
+makeJmp(int target_pc)
+{
+    return {Opcode::kJmp, target_pc, -1, -1, -1, 0};
+}
+
+inline Instruction
+makeArg(int index, int src_reg)
+{
+    return {Opcode::kArg, index, src_reg, -1, -1, 0};
+}
+
+inline Instruction
+makeCall(int dst_reg, int callee)
+{
+    return {Opcode::kCall, dst_reg, callee, -1, -1, 0};
+}
+
+inline Instruction
+makeICall(int dst_reg, int callee_reg)
+{
+    return {Opcode::kICall, dst_reg, callee_reg, -1, -1, 0};
+}
+
+inline Instruction
+makeRet(int src_reg)
+{
+    return {Opcode::kRet, src_reg, -1, -1, -1, 0};
+}
+
+inline Instruction
+makeSelect(int dst, int cond, int if_true, int if_false)
+{
+    return {Opcode::kSelect, dst, cond, if_true, if_false, 0};
+}
+
+inline Instruction
+makeNop()
+{
+    return {Opcode::kNop, -1, -1, -1, -1, 0};
+}
+
+} // namespace ifprob::isa
+
+#endif // IFPROB_ISA_INSTRUCTION_H

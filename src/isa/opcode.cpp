@@ -1,0 +1,132 @@
+#include "isa/opcode.h"
+
+namespace ifprob::isa {
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::kAdd: return "add";
+      case Opcode::kSub: return "sub";
+      case Opcode::kMul: return "mul";
+      case Opcode::kDiv: return "div";
+      case Opcode::kRem: return "rem";
+      case Opcode::kAnd: return "and";
+      case Opcode::kOr: return "or";
+      case Opcode::kXor: return "xor";
+      case Opcode::kShl: return "shl";
+      case Opcode::kShr: return "shr";
+      case Opcode::kCmpEq: return "cmpeq";
+      case Opcode::kCmpNe: return "cmpne";
+      case Opcode::kCmpLt: return "cmplt";
+      case Opcode::kCmpLe: return "cmple";
+      case Opcode::kCmpGt: return "cmpgt";
+      case Opcode::kCmpGe: return "cmpge";
+      case Opcode::kNeg: return "neg";
+      case Opcode::kNot: return "not";
+      case Opcode::kFAdd: return "fadd";
+      case Opcode::kFSub: return "fsub";
+      case Opcode::kFMul: return "fmul";
+      case Opcode::kFDiv: return "fdiv";
+      case Opcode::kFCmpEq: return "fcmpeq";
+      case Opcode::kFCmpNe: return "fcmpne";
+      case Opcode::kFCmpLt: return "fcmplt";
+      case Opcode::kFCmpLe: return "fcmple";
+      case Opcode::kFCmpGt: return "fcmpgt";
+      case Opcode::kFCmpGe: return "fcmpge";
+      case Opcode::kFNeg: return "fneg";
+      case Opcode::kFAbs: return "fabs";
+      case Opcode::kFSqrt: return "fsqrt";
+      case Opcode::kFExp: return "fexp";
+      case Opcode::kFLog: return "flog";
+      case Opcode::kFSin: return "fsin";
+      case Opcode::kFCos: return "fcos";
+      case Opcode::kItoF: return "itof";
+      case Opcode::kFtoI: return "ftoi";
+      case Opcode::kMovI: return "movi";
+      case Opcode::kMovF: return "movf";
+      case Opcode::kMov: return "mov";
+      case Opcode::kLoad: return "load";
+      case Opcode::kStore: return "store";
+      case Opcode::kBr: return "br";
+      case Opcode::kJmp: return "jmp";
+      case Opcode::kArg: return "arg";
+      case Opcode::kCall: return "call";
+      case Opcode::kICall: return "icall";
+      case Opcode::kRet: return "ret";
+      case Opcode::kSelect: return "select";
+      case Opcode::kGetc: return "getc";
+      case Opcode::kPutc: return "putc";
+      case Opcode::kPutF: return "putf";
+      case Opcode::kHalt: return "halt";
+      case Opcode::kNop: return "nop";
+    }
+    return "?";
+}
+
+bool
+isBinaryAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+      case Opcode::kDiv: case Opcode::kRem:
+      case Opcode::kAnd: case Opcode::kOr: case Opcode::kXor:
+      case Opcode::kShl: case Opcode::kShr:
+      case Opcode::kCmpEq: case Opcode::kCmpNe: case Opcode::kCmpLt:
+      case Opcode::kCmpLe: case Opcode::kCmpGt: case Opcode::kCmpGe:
+      case Opcode::kFAdd: case Opcode::kFSub: case Opcode::kFMul:
+      case Opcode::kFDiv:
+      case Opcode::kFCmpEq: case Opcode::kFCmpNe: case Opcode::kFCmpLt:
+      case Opcode::kFCmpLe: case Opcode::kFCmpGt: case Opcode::kFCmpGe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isUnaryAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::kNeg: case Opcode::kNot:
+      case Opcode::kFNeg: case Opcode::kFAbs: case Opcode::kFSqrt:
+      case Opcode::kFExp: case Opcode::kFLog: case Opcode::kFSin:
+      case Opcode::kFCos:
+      case Opcode::kItoF: case Opcode::kFtoI:
+      case Opcode::kMov:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesDst(Opcode op)
+{
+    if (isBinaryAlu(op) || isUnaryAlu(op))
+        return true;
+    switch (op) {
+      case Opcode::kMovI: case Opcode::kMovF:
+      case Opcode::kLoad: case Opcode::kSelect: case Opcode::kGetc:
+        return true;
+      // Calls write `a` as well, but only when a != -1; callers that care
+      // must check. They are excluded here because they also have side
+      // effects and must never be treated as pure register writes.
+      default:
+        return false;
+    }
+}
+
+bool
+isControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::kBr: case Opcode::kJmp: case Opcode::kCall:
+      case Opcode::kICall: case Opcode::kRet: case Opcode::kHalt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace ifprob::isa

@@ -1,0 +1,88 @@
+#ifndef IFPROB_ISA_OPCODE_H
+#define IFPROB_ISA_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace ifprob::isa {
+
+/**
+ * The RISC-level operation set of the simulated machine.
+ *
+ * This models the individual RISC operations of a Multiflow-Trace-like CPU:
+ * fixed-format three-register operations, memory accessed only through
+ * explicit loads and stores, a two-target conditional branch, direct and
+ * indirect calls, and a SELECT operation (the Trace front ends converted
+ * simple ifs to selects; see paper footnote 2).
+ *
+ * Every *executed* operation counts as exactly one instruction for the
+ * "instructions per break in control" measure, matching how the paper
+ * counted Trace RISC operations with speculation disabled.
+ */
+enum class Opcode : uint8_t {
+    // Integer ALU: a=dst, b=src1, c=src2.
+    kAdd, kSub, kMul, kDiv, kRem,
+    kAnd, kOr, kXor, kShl, kShr,
+    // Integer compares produce 0/1 in dst.
+    kCmpEq, kCmpNe, kCmpLt, kCmpLe, kCmpGt, kCmpGe,
+    // Integer unary: a=dst, b=src.
+    kNeg, kNot,
+
+    // Floating-point ALU: a=dst, b=src1, c=src2 (doubles).
+    kFAdd, kFSub, kFMul, kFDiv,
+    kFCmpEq, kFCmpNe, kFCmpLt, kFCmpLe, kFCmpGt, kFCmpGe,
+    // Floating-point unary: a=dst, b=src.
+    kFNeg, kFAbs, kFSqrt, kFExp, kFLog, kFSin, kFCos,
+
+    // Conversions: a=dst, b=src.
+    kItoF, kFtoI,
+
+    // Moves and constants.
+    kMovI,   ///< a=dst, imm = 64-bit integer constant
+    kMovF,   ///< a=dst, imm = bit pattern of a double constant
+    kMov,    ///< a=dst, b=src
+
+    // Memory. Addresses are word indices into the flat data memory.
+    kLoad,   ///< a=dst, b=addr reg (or -1 for absolute), imm=offset
+    kStore,  ///< a=src, b=addr reg (or -1 for absolute), imm=offset
+
+    // Control.
+    kBr,     ///< a=cond reg, b=taken pc, c=fallthrough pc, imm=branch site id
+    kJmp,    ///< a=target pc
+    kArg,    ///< a=argument index, b=src reg (stages a call argument)
+    kCall,   ///< a=dst reg (or -1), b=callee function index
+    kICall,  ///< a=dst reg (or -1), b=reg holding callee function index
+    kRet,    ///< a=src reg (or -1 for void return)
+    kSelect, ///< a=dst, b=cond reg, c=src if cond!=0, d=src if cond==0
+
+    // Environment.
+    kGetc,   ///< a=dst; next input byte, or -1 at end of input
+    kPutc,   ///< a=src; append byte to output
+    kPutF,   ///< a=src; append formatted double ("%.6g") to output
+    kHalt,   ///< stop the machine (exit code 0)
+
+    // Compiler-internal no-op; removed by code compaction, never executed.
+    kNop,
+};
+
+/** Number of distinct opcodes (for table sizing). */
+constexpr int kNumOpcodes = static_cast<int>(Opcode::kNop) + 1;
+
+/** Mnemonic for @p op, e.g. "add", "br", "fmul". */
+std::string_view opcodeName(Opcode op);
+
+/** True for the two-source integer/float ALU operations. */
+bool isBinaryAlu(Opcode op);
+
+/** True for single-source register-to-register operations (incl. conversions). */
+bool isUnaryAlu(Opcode op);
+
+/** True when the operation writes register operand `a` as a destination. */
+bool writesDst(Opcode op);
+
+/** True for operations that transfer control (br/jmp/call/icall/ret/halt). */
+bool isControl(Opcode op);
+
+} // namespace ifprob::isa
+
+#endif // IFPROB_ISA_OPCODE_H

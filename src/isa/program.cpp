@@ -1,0 +1,186 @@
+#include "isa/program.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::isa {
+
+std::string_view
+branchKindName(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::kIf: return "if";
+      case BranchKind::kLoop: return "loop";
+      case BranchKind::kLogical: return "logical";
+      case BranchKind::kSwitchCase: return "switch-case";
+      case BranchKind::kTernary: return "ternary";
+    }
+    return "?";
+}
+
+int
+Program::findFunction(std::string_view name) const
+{
+    for (size_t i = 0; i < functions.size(); ++i) {
+        if (functions[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int64_t
+Program::staticSize() const
+{
+    int64_t n = 0;
+    for (const auto &f : functions)
+        n += static_cast<int64_t>(f.code.size());
+    return n;
+}
+
+uint64_t
+Program::fingerprint() const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(functions.size());
+    for (const auto &f : functions) {
+        mix(f.code.size());
+        mix(static_cast<uint64_t>(f.num_params));
+        for (const auto &insn : f.code) {
+            mix(static_cast<uint64_t>(insn.op));
+            mix(static_cast<uint64_t>(static_cast<int64_t>(insn.a)));
+            mix(static_cast<uint64_t>(static_cast<int64_t>(insn.b)));
+            mix(static_cast<uint64_t>(static_cast<int64_t>(insn.c)));
+            mix(static_cast<uint64_t>(static_cast<int64_t>(insn.d)));
+            mix(static_cast<uint64_t>(insn.imm));
+        }
+    }
+    mix(static_cast<uint64_t>(memory_words));
+    for (const auto &di : data_init) {
+        mix(static_cast<uint64_t>(di.address));
+        mix(static_cast<uint64_t>(di.value));
+    }
+    mix(branch_sites.size());
+    return h;
+}
+
+void
+Program::validate() const
+{
+    auto fail = [](const std::string &msg) { throw Error("program validation: " + msg); };
+
+    if (entry < 0 || entry >= static_cast<int>(functions.size()))
+        fail("entry function index out of range");
+
+    std::vector<bool> branch_id_seen(branch_sites.size(), false);
+
+    for (size_t fi = 0; fi < functions.size(); ++fi) {
+        const Function &f = functions[fi];
+        const int code_size = static_cast<int>(f.code.size());
+        if (f.num_params > f.num_regs) {
+            fail(strPrintf("%s: %d params exceed %d regs",
+                           f.name.c_str(), f.num_params, f.num_regs));
+        }
+        if (code_size == 0)
+            fail(f.name + ": empty function body");
+
+        auto check_reg = [&](int r, const char *what, int pc) {
+            if (r < 0 || r >= f.num_regs) {
+                fail(strPrintf("%s+%d: %s register %d out of frame [0,%d)",
+                               f.name.c_str(), pc, what, r, f.num_regs));
+            }
+        };
+        auto check_target = [&](int t, int pc) {
+            if (t < 0 || t >= code_size) {
+                fail(strPrintf("%s+%d: control target %d out of range [0,%d)",
+                               f.name.c_str(), pc, t, code_size));
+            }
+        };
+
+        for (int pc = 0; pc < code_size; ++pc) {
+            const Instruction &insn = f.code[pc];
+            switch (insn.op) {
+              case Opcode::kBr: {
+                check_reg(insn.a, "condition", pc);
+                check_target(insn.b, pc);
+                check_target(insn.c, pc);
+                int id = static_cast<int>(insn.imm);
+                if (id < 0 || id >= static_cast<int>(branch_sites.size()))
+                    fail(strPrintf("%s+%d: branch id %d out of site table",
+                                   f.name.c_str(), pc, id));
+                branch_id_seen[id] = true;
+                break;
+              }
+              case Opcode::kJmp:
+                check_target(insn.a, pc);
+                break;
+              case Opcode::kCall:
+                if (insn.b < 0 || insn.b >= static_cast<int>(functions.size()))
+                    fail(strPrintf("%s+%d: callee index %d out of range",
+                                   f.name.c_str(), pc, insn.b));
+                if (insn.a != -1)
+                    check_reg(insn.a, "call dst", pc);
+                break;
+              case Opcode::kICall:
+                check_reg(insn.b, "callee", pc);
+                if (insn.a != -1)
+                    check_reg(insn.a, "icall dst", pc);
+                break;
+              case Opcode::kRet:
+                if (insn.a != -1)
+                    check_reg(insn.a, "return value", pc);
+                break;
+              case Opcode::kSelect:
+                check_reg(insn.a, "dst", pc);
+                check_reg(insn.b, "cond", pc);
+                check_reg(insn.c, "if-true", pc);
+                check_reg(insn.d, "if-false", pc);
+                break;
+              case Opcode::kLoad:
+                check_reg(insn.a, "dst", pc);
+                if (insn.b != -1)
+                    check_reg(insn.b, "address", pc);
+                break;
+              case Opcode::kStore:
+                check_reg(insn.a, "src", pc);
+                if (insn.b != -1)
+                    check_reg(insn.b, "address", pc);
+                break;
+              case Opcode::kArg:
+                check_reg(insn.b, "argument", pc);
+                break;
+              default:
+                if (isBinaryAlu(insn.op)) {
+                    check_reg(insn.a, "dst", pc);
+                    check_reg(insn.b, "src1", pc);
+                    check_reg(insn.c, "src2", pc);
+                } else if (isUnaryAlu(insn.op)) {
+                    check_reg(insn.a, "dst", pc);
+                    check_reg(insn.b, "src", pc);
+                } else if (insn.op == Opcode::kMovI || insn.op == Opcode::kMovF ||
+                           insn.op == Opcode::kGetc) {
+                    check_reg(insn.a, "dst", pc);
+                } else if (insn.op == Opcode::kPutc || insn.op == Opcode::kPutF) {
+                    check_reg(insn.a, "src", pc);
+                }
+                break;
+            }
+        }
+    }
+
+    for (const auto &di : data_init) {
+        if (di.address < 0 || di.address >= memory_words)
+            fail("data_init address outside the memory segment");
+    }
+    for (size_t i = 0; i < branch_id_seen.size(); ++i) {
+        if (!branch_id_seen[i])
+            fail(strPrintf("branch site %zu has no kBr instruction", i));
+    }
+}
+
+} // namespace ifprob::isa

@@ -1,0 +1,117 @@
+#ifndef IFPROB_ISA_PROGRAM_H
+#define IFPROB_ISA_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace ifprob::isa {
+
+/**
+ * Source-level classification of a conditional branch site.
+ *
+ * The static heuristic predictors (paper §3, "Simple opcode heuristics")
+ * and the feedback annotations both key off this information, which the
+ * front end records at code-generation time.
+ */
+enum class BranchKind : uint8_t {
+    kIf,         ///< if-statement condition
+    kLoop,       ///< loop back-edge test (while/for/do)
+    kLogical,    ///< short-circuit && / || evaluation
+    kSwitchCase, ///< one arm of a lowered switch cascade
+    kTernary,    ///< ?: lowered to a branch diamond (not a select)
+};
+
+/** Name of a BranchKind, for reports. */
+std::string_view branchKindName(BranchKind kind);
+
+/**
+ * Static description of one conditional branch site.
+ *
+ * Branch site ids are assigned in deterministic program order at code
+ * generation time, so they are stable across runs and across datasets of
+ * the same program — the property the paper's IFPROBBER achieved by keying
+ * counters to source branches.
+ */
+struct BranchSite
+{
+    int function = -1;     ///< index of the containing function
+    int line = 0;          ///< source line of the condition
+    BranchKind kind = BranchKind::kIf;
+    bool backward = false; ///< taken target precedes the branch (loop-shaped)
+    /** Comparison opcode feeding the branch, or kNop if not a compare. */
+    Opcode compare = Opcode::kNop;
+};
+
+/**
+ * A global memory object (scalar or array). The code generator records
+ * one slot per global; dynamic (indexed) stores always use the owning
+ * array's base address as their immediate, so this table lets
+ * whole-program passes reason about which scalars are never written.
+ */
+struct GlobalSlot
+{
+    std::string name;
+    int64_t address = 0;
+    int64_t size = 1; ///< 1 for scalars
+};
+
+/** One compiled function. */
+struct Function
+{
+    std::string name;
+    int num_params = 0;
+    int num_regs = 0;          ///< register frame size (params occupy 0..n-1)
+    bool returns_float = false;
+    std::vector<Instruction> code;
+};
+
+/**
+ * A complete compiled program: functions + flat word-addressed data memory
+ * layout + the static branch site table.
+ */
+struct Program
+{
+    /** One initialized memory word (sparse: most globals start at 0). */
+    struct DataInit
+    {
+        int64_t address = 0;
+        int64_t value = 0;
+    };
+
+    std::vector<Function> functions;
+    int entry = -1;                   ///< index of main()
+    int64_t memory_words = 0;         ///< data segment size, in 64-bit words
+    /** Sparse initial memory image; unlisted words start at 0. */
+    std::vector<DataInit> data_init;
+    /** Static branch sites, indexed by the kBr instruction's imm field. */
+    std::vector<BranchSite> branch_sites;
+    /** Global memory objects, in address order. */
+    std::vector<GlobalSlot> globals;
+
+    /** Find a function index by name; -1 when absent. */
+    int findFunction(std::string_view name) const;
+
+    /** Total static instruction count across all functions. */
+    int64_t staticSize() const;
+
+    /**
+     * Structural checksum over the code (FNV-1a). Profiles carry this
+     * fingerprint so a profile database can detect being applied to a
+     * different compilation of the program.
+     */
+    uint64_t fingerprint() const;
+
+    /**
+     * Validate structural invariants: branch/jump targets in range,
+     * register indices within frames, branch ids dense and within the
+     * site table, entry resolvable. Throws ifprob::Error on violation.
+     */
+    void validate() const;
+};
+
+} // namespace ifprob::isa
+
+#endif // IFPROB_ISA_PROGRAM_H

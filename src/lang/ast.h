@@ -1,0 +1,305 @@
+#ifndef IFPROB_LANG_AST_H
+#define IFPROB_LANG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace ifprob::lang {
+
+/** minic value types. kVoid appears only as a function return type. */
+enum class Type : uint8_t { kInt, kFloat, kVoid };
+
+/** Name of a Type, for diagnostics. */
+std::string_view typeName(Type type);
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : uint8_t {
+    kIntLit, kFloatLit, kStringLit,
+    kVarRef, kIndex,
+    kUnary, kBinary, kAssign, kTernary,
+    kCall, kFuncAddr,
+};
+
+enum class UnaryOp : uint8_t {
+    kNeg,      // -x
+    kLogNot,   // !x
+    kBitNot,   // ~x
+    kPreInc, kPreDec, kPostInc, kPostDec,
+};
+
+enum class BinaryOp : uint8_t {
+    kAdd, kSub, kMul, kDiv, kRem,
+    kBitAnd, kBitOr, kBitXor, kShl, kShr,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kLogAnd, kLogOr,
+};
+
+struct Expr
+{
+    ExprKind kind;
+    SourceLoc loc;
+    /** Filled in by the compiler's type checker. */
+    Type type = Type::kInt;
+
+    explicit Expr(ExprKind k) : kind(k) {}
+    virtual ~Expr() = default;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLit : Expr
+{
+    int64_t value = 0;
+    IntLit() : Expr(ExprKind::kIntLit) {}
+};
+
+struct FloatLit : Expr
+{
+    double value = 0.0;
+    FloatLit() : Expr(ExprKind::kFloatLit) {}
+};
+
+/** String literals are only legal as the argument of puts(). */
+struct StringLit : Expr
+{
+    std::string value;
+    StringLit() : Expr(ExprKind::kStringLit) {}
+};
+
+struct VarRef : Expr
+{
+    std::string name;
+    VarRef() : Expr(ExprKind::kVarRef) {}
+};
+
+/** array[index]; arrays are global and one-dimensional. */
+struct IndexExpr : Expr
+{
+    std::string array;
+    ExprPtr index;
+    IndexExpr() : Expr(ExprKind::kIndex) {}
+};
+
+struct UnaryExpr : Expr
+{
+    UnaryOp op = UnaryOp::kNeg;
+    ExprPtr operand;
+    UnaryExpr() : Expr(ExprKind::kUnary) {}
+};
+
+struct BinaryExpr : Expr
+{
+    BinaryOp op = BinaryOp::kAdd;
+    ExprPtr lhs;
+    ExprPtr rhs;
+    BinaryExpr() : Expr(ExprKind::kBinary) {}
+};
+
+/**
+ * target = value, or compound (target op= value). The target must be a
+ * VarRef or IndexExpr; the expression's value is the assigned value.
+ */
+struct AssignExpr : Expr
+{
+    ExprPtr target;
+    /** Compound operator, absent for plain '='. */
+    std::optional<BinaryOp> compound;
+    ExprPtr value;
+    AssignExpr() : Expr(ExprKind::kAssign) {}
+};
+
+struct TernaryExpr : Expr
+{
+    ExprPtr cond;
+    ExprPtr then_value;
+    ExprPtr else_value;
+    TernaryExpr() : Expr(ExprKind::kTernary) {}
+};
+
+/**
+ * Direct call of a named function or builtin, or an indirect call via the
+ * builtin spelling icall(fn_expr, args...).
+ */
+struct CallExpr : Expr
+{
+    std::string callee;
+    std::vector<ExprPtr> args;
+    CallExpr() : Expr(ExprKind::kCall) {}
+};
+
+/** &name — the address (function table index) of a function. */
+struct FuncAddrExpr : Expr
+{
+    std::string name;
+    FuncAddrExpr() : Expr(ExprKind::kFuncAddr) {}
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : uint8_t {
+    kExpr, kVarDecl, kIf, kWhile, kDoWhile, kFor, kSwitch,
+    kBreak, kContinue, kReturn, kBlock, kEmpty,
+};
+
+struct Stmt
+{
+    StmtKind kind;
+    SourceLoc loc;
+    explicit Stmt(StmtKind k) : kind(k) {}
+    virtual ~Stmt() = default;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct ExprStmt : Stmt
+{
+    ExprPtr expr;
+    ExprStmt() : Stmt(StmtKind::kExpr) {}
+};
+
+/** Local scalar declarations: `int a = 1, b;`. */
+struct VarDeclStmt : Stmt
+{
+    Type type = Type::kInt;
+    struct Declarator
+    {
+        std::string name;
+        ExprPtr init; ///< may be null
+        SourceLoc loc;
+    };
+    std::vector<Declarator> vars;
+    VarDeclStmt() : Stmt(StmtKind::kVarDecl) {}
+};
+
+struct IfStmt : Stmt
+{
+    ExprPtr cond;
+    StmtPtr then_stmt;
+    StmtPtr else_stmt; ///< may be null
+    IfStmt() : Stmt(StmtKind::kIf) {}
+};
+
+struct WhileStmt : Stmt
+{
+    ExprPtr cond;
+    StmtPtr body;
+    WhileStmt() : Stmt(StmtKind::kWhile) {}
+};
+
+struct DoWhileStmt : Stmt
+{
+    StmtPtr body;
+    ExprPtr cond;
+    DoWhileStmt() : Stmt(StmtKind::kDoWhile) {}
+};
+
+struct ForStmt : Stmt
+{
+    StmtPtr init;  ///< VarDeclStmt, ExprStmt, or null
+    ExprPtr cond;  ///< may be null (infinite)
+    ExprPtr step;  ///< may be null
+    StmtPtr body;
+    ForStmt() : Stmt(StmtKind::kFor) {}
+};
+
+/**
+ * switch with C semantics (fallthrough between arms unless break).
+ * Lowered by the code generator to a cascade of conditional branches, the
+ * transformation the paper's compiler applied to multi-destination branches.
+ */
+struct SwitchStmt : Stmt
+{
+    ExprPtr value;
+    struct Arm
+    {
+        std::vector<int64_t> labels; ///< empty plus is_default for default:
+        bool is_default = false;
+        std::vector<StmtPtr> body;
+        SourceLoc loc;
+    };
+    std::vector<Arm> arms;
+    SwitchStmt() : Stmt(StmtKind::kSwitch) {}
+};
+
+struct BreakStmt : Stmt
+{
+    BreakStmt() : Stmt(StmtKind::kBreak) {}
+};
+
+struct ContinueStmt : Stmt
+{
+    ContinueStmt() : Stmt(StmtKind::kContinue) {}
+};
+
+struct ReturnStmt : Stmt
+{
+    ExprPtr value; ///< null for void return
+    ReturnStmt() : Stmt(StmtKind::kReturn) {}
+};
+
+struct BlockStmt : Stmt
+{
+    std::vector<StmtPtr> stmts;
+    BlockStmt() : Stmt(StmtKind::kBlock) {}
+};
+
+struct EmptyStmt : Stmt
+{
+    EmptyStmt() : Stmt(StmtKind::kEmpty) {}
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+/** A global scalar or one-dimensional array. */
+struct GlobalVarDecl
+{
+    Type type = Type::kInt;
+    std::string name;
+    /** -1 for scalars; otherwise the compile-time array size. */
+    int64_t array_size = -1;
+    /** Scalar initializer (constant expression), may be null. */
+    ExprPtr init;
+    /** Array initializer list (constant expressions); shorter than the
+     *  array is allowed, the tail is zero. */
+    std::vector<ExprPtr> init_list;
+    SourceLoc loc;
+};
+
+struct Param
+{
+    Type type = Type::kInt;
+    std::string name;
+    SourceLoc loc;
+};
+
+struct FuncDecl
+{
+    Type return_type = Type::kVoid;
+    std::string name;
+    std::vector<Param> params;
+    std::unique_ptr<BlockStmt> body;
+    SourceLoc loc;
+};
+
+/** One parsed translation unit. */
+struct Unit
+{
+    std::vector<GlobalVarDecl> globals;
+    std::vector<FuncDecl> functions;
+};
+
+} // namespace ifprob::lang
+
+#endif // IFPROB_LANG_AST_H

@@ -1,0 +1,381 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::lang {
+
+std::string_view
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::kEof: return "end of input";
+      case TokenKind::kIdent: return "identifier";
+      case TokenKind::kIntLit: return "integer literal";
+      case TokenKind::kFloatLit: return "float literal";
+      case TokenKind::kCharLit: return "character literal";
+      case TokenKind::kStringLit: return "string literal";
+      case TokenKind::kKwInt: return "'int'";
+      case TokenKind::kKwFloat: return "'float'";
+      case TokenKind::kKwVoid: return "'void'";
+      case TokenKind::kKwIf: return "'if'";
+      case TokenKind::kKwElse: return "'else'";
+      case TokenKind::kKwWhile: return "'while'";
+      case TokenKind::kKwFor: return "'for'";
+      case TokenKind::kKwDo: return "'do'";
+      case TokenKind::kKwSwitch: return "'switch'";
+      case TokenKind::kKwCase: return "'case'";
+      case TokenKind::kKwDefault: return "'default'";
+      case TokenKind::kKwBreak: return "'break'";
+      case TokenKind::kKwContinue: return "'continue'";
+      case TokenKind::kKwReturn: return "'return'";
+      case TokenKind::kLParen: return "'('";
+      case TokenKind::kRParen: return "')'";
+      case TokenKind::kLBrace: return "'{'";
+      case TokenKind::kRBrace: return "'}'";
+      case TokenKind::kLBracket: return "'['";
+      case TokenKind::kRBracket: return "']'";
+      case TokenKind::kComma: return "','";
+      case TokenKind::kSemi: return "';'";
+      case TokenKind::kColon: return "':'";
+      case TokenKind::kQuestion: return "'?'";
+      case TokenKind::kAssign: return "'='";
+      case TokenKind::kPlus: return "'+'";
+      case TokenKind::kMinus: return "'-'";
+      case TokenKind::kStar: return "'*'";
+      case TokenKind::kSlash: return "'/'";
+      case TokenKind::kPercent: return "'%'";
+      case TokenKind::kPlusAssign: return "'+='";
+      case TokenKind::kMinusAssign: return "'-='";
+      case TokenKind::kStarAssign: return "'*='";
+      case TokenKind::kSlashAssign: return "'/='";
+      case TokenKind::kPercentAssign: return "'%='";
+      case TokenKind::kPlusPlus: return "'++'";
+      case TokenKind::kMinusMinus: return "'--'";
+      case TokenKind::kAmp: return "'&'";
+      case TokenKind::kPipe: return "'|'";
+      case TokenKind::kCaret: return "'^'";
+      case TokenKind::kTilde: return "'~'";
+      case TokenKind::kShl: return "'<<'";
+      case TokenKind::kShr: return "'>>'";
+      case TokenKind::kAmpAmp: return "'&&'";
+      case TokenKind::kPipePipe: return "'||'";
+      case TokenKind::kBang: return "'!'";
+      case TokenKind::kEq: return "'=='";
+      case TokenKind::kNe: return "'!='";
+      case TokenKind::kLt: return "'<'";
+      case TokenKind::kLe: return "'<='";
+      case TokenKind::kGt: return "'>'";
+      case TokenKind::kGe: return "'>='";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+    {"int", TokenKind::kKwInt},       {"float", TokenKind::kKwFloat},
+    {"void", TokenKind::kKwVoid},     {"if", TokenKind::kKwIf},
+    {"else", TokenKind::kKwElse},     {"while", TokenKind::kKwWhile},
+    {"for", TokenKind::kKwFor},       {"do", TokenKind::kKwDo},
+    {"switch", TokenKind::kKwSwitch}, {"case", TokenKind::kKwCase},
+    {"default", TokenKind::kKwDefault}, {"break", TokenKind::kKwBreak},
+    {"continue", TokenKind::kKwContinue}, {"return", TokenKind::kKwReturn},
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view src) : src_(src) {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> out;
+        while (true) {
+            skipWhitespaceAndComments();
+            Token tok = next();
+            bool eof = tok.kind == TokenKind::kEof;
+            out.push_back(std::move(tok));
+            if (eof)
+                break;
+        }
+        return out;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        throw CompileError(strPrintf("lex error at %d:%d: %s", line_, col_,
+                                     msg.c_str()));
+    }
+
+    bool atEnd() const { return pos_ >= src_.size(); }
+    char peek() const { return atEnd() ? '\0' : src_[pos_]; }
+    char
+    peek2() const
+    {
+        return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    bool
+    match(char expected)
+    {
+        if (peek() != expected)
+            return false;
+        advance();
+        return true;
+    }
+
+    void
+    skipWhitespaceAndComments()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                advance();
+            } else if (c == '/' && peek2() == '/') {
+                while (!atEnd() && peek() != '\n')
+                    advance();
+            } else if (c == '/' && peek2() == '*') {
+                advance();
+                advance();
+                while (!atEnd() && !(peek() == '*' && peek2() == '/'))
+                    advance();
+                if (atEnd())
+                    fail("unterminated block comment");
+                advance();
+                advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    char
+    readEscape()
+    {
+        if (atEnd())
+            fail("unterminated escape");
+        char c = advance();
+        switch (c) {
+          case 'n': return '\n';
+          case 't': return '\t';
+          case 'r': return '\r';
+          case '0': return '\0';
+          case '\\': return '\\';
+          case '\'': return '\'';
+          case '"': return '"';
+          default:
+            fail(strPrintf("unknown escape '\\%c'", c));
+        }
+    }
+
+    Token
+    next()
+    {
+        Token tok;
+        tok.loc = {line_, col_};
+        if (atEnd()) {
+            tok.kind = TokenKind::kEof;
+            return tok;
+        }
+        char c = advance();
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string ident(1, c);
+            while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                                peek() == '_')) {
+                ident.push_back(advance());
+            }
+            auto it = kKeywords.find(ident);
+            if (it != kKeywords.end()) {
+                tok.kind = it->second;
+            } else {
+                tok.kind = TokenKind::kIdent;
+                tok.text = std::move(ident);
+            }
+            return tok;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string num(1, c);
+            bool is_float = false;
+            if (c == '0' && (peek() == 'x' || peek() == 'X')) {
+                num.push_back(advance());
+                while (!atEnd() && std::isxdigit(static_cast<unsigned char>(peek())))
+                    num.push_back(advance());
+                tok.kind = TokenKind::kIntLit;
+                tok.int_value = std::strtoll(num.c_str(), nullptr, 16);
+                return tok;
+            }
+            while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+                num.push_back(advance());
+            if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek2()))) {
+                is_float = true;
+                num.push_back(advance());
+                while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+                    num.push_back(advance());
+            }
+            if (peek() == 'e' || peek() == 'E') {
+                char after = peek2();
+                size_t save = pos_;
+                if (std::isdigit(static_cast<unsigned char>(after)) ||
+                    after == '+' || after == '-') {
+                    is_float = true;
+                    num.push_back(advance()); // e
+                    if (peek() == '+' || peek() == '-')
+                        num.push_back(advance());
+                    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+                        pos_ = save; // malformed exponent: back off
+                        is_float = num.find('.') != std::string::npos;
+                    } else {
+                        while (!atEnd() &&
+                               std::isdigit(static_cast<unsigned char>(peek())))
+                            num.push_back(advance());
+                    }
+                }
+            }
+            if (is_float) {
+                tok.kind = TokenKind::kFloatLit;
+                tok.float_value = std::strtod(num.c_str(), nullptr);
+            } else {
+                tok.kind = TokenKind::kIntLit;
+                tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+            }
+            return tok;
+        }
+
+        if (c == '\'') {
+            if (atEnd())
+                fail("unterminated character literal");
+            char v = advance();
+            if (v == '\\')
+                v = readEscape();
+            if (!match('\''))
+                fail("unterminated character literal");
+            tok.kind = TokenKind::kCharLit;
+            tok.int_value = static_cast<unsigned char>(v);
+            return tok;
+        }
+
+        if (c == '"') {
+            std::string text;
+            while (!atEnd() && peek() != '"') {
+                char v = advance();
+                if (v == '\\')
+                    v = readEscape();
+                text.push_back(v);
+            }
+            if (!match('"'))
+                fail("unterminated string literal");
+            tok.kind = TokenKind::kStringLit;
+            tok.text = std::move(text);
+            return tok;
+        }
+
+        switch (c) {
+          case '(': tok.kind = TokenKind::kLParen; return tok;
+          case ')': tok.kind = TokenKind::kRParen; return tok;
+          case '{': tok.kind = TokenKind::kLBrace; return tok;
+          case '}': tok.kind = TokenKind::kRBrace; return tok;
+          case '[': tok.kind = TokenKind::kLBracket; return tok;
+          case ']': tok.kind = TokenKind::kRBracket; return tok;
+          case ',': tok.kind = TokenKind::kComma; return tok;
+          case ';': tok.kind = TokenKind::kSemi; return tok;
+          case ':': tok.kind = TokenKind::kColon; return tok;
+          case '?': tok.kind = TokenKind::kQuestion; return tok;
+          case '~': tok.kind = TokenKind::kTilde; return tok;
+          case '^': tok.kind = TokenKind::kCaret; return tok;
+          case '+':
+            if (match('='))
+                tok.kind = TokenKind::kPlusAssign;
+            else if (match('+'))
+                tok.kind = TokenKind::kPlusPlus;
+            else
+                tok.kind = TokenKind::kPlus;
+            return tok;
+          case '-':
+            if (match('='))
+                tok.kind = TokenKind::kMinusAssign;
+            else if (match('-'))
+                tok.kind = TokenKind::kMinusMinus;
+            else
+                tok.kind = TokenKind::kMinus;
+            return tok;
+          case '*':
+            tok.kind = match('=') ? TokenKind::kStarAssign : TokenKind::kStar;
+            return tok;
+          case '/':
+            tok.kind = match('=') ? TokenKind::kSlashAssign : TokenKind::kSlash;
+            return tok;
+          case '%':
+            tok.kind = match('=') ? TokenKind::kPercentAssign : TokenKind::kPercent;
+            return tok;
+          case '&':
+            tok.kind = match('&') ? TokenKind::kAmpAmp : TokenKind::kAmp;
+            return tok;
+          case '|':
+            tok.kind = match('|') ? TokenKind::kPipePipe : TokenKind::kPipe;
+            return tok;
+          case '!':
+            tok.kind = match('=') ? TokenKind::kNe : TokenKind::kBang;
+            return tok;
+          case '=':
+            tok.kind = match('=') ? TokenKind::kEq : TokenKind::kAssign;
+            return tok;
+          case '<':
+            if (match('<'))
+                tok.kind = TokenKind::kShl;
+            else if (match('='))
+                tok.kind = TokenKind::kLe;
+            else
+                tok.kind = TokenKind::kLt;
+            return tok;
+          case '>':
+            if (match('>'))
+                tok.kind = TokenKind::kShr;
+            else if (match('='))
+                tok.kind = TokenKind::kGe;
+            else
+                tok.kind = TokenKind::kGt;
+            return tok;
+          default:
+            fail(strPrintf("stray character '%c' (0x%02x)", c,
+                           static_cast<unsigned char>(c)));
+        }
+    }
+
+    std::string_view src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(std::string_view source)
+{
+    return Lexer(source).run();
+}
+
+} // namespace ifprob::lang

@@ -1,0 +1,22 @@
+#ifndef IFPROB_LANG_LEXER_H
+#define IFPROB_LANG_LEXER_H
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace ifprob::lang {
+
+/**
+ * Tokenize a whole minic source buffer.
+ *
+ * The returned vector always ends with a kEof token. Lexical errors
+ * (unterminated literals, stray characters) raise ifprob::CompileError
+ * with a line/column in the message.
+ */
+std::vector<Token> lex(std::string_view source);
+
+} // namespace ifprob::lang
+
+#endif // IFPROB_LANG_LEXER_H

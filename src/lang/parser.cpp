@@ -1,0 +1,704 @@
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::lang {
+
+std::string_view
+typeName(Type type)
+{
+    switch (type) {
+      case Type::kInt: return "int";
+      case Type::kFloat: return "float";
+      case Type::kVoid: return "void";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Recursive-descent parser with precedence climbing for binary operators.
+ *
+ * Error strategy: the first syntax error aborts the parse (minic sources
+ * are machine-generated or small, so cascading recovery buys little), but
+ * the thrown CompileError message carries the precise location.
+ */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view src) : tokens_(lex(src)) {}
+
+    Unit
+    run()
+    {
+        Unit unit;
+        while (!at(TokenKind::kEof))
+            parseTopLevel(unit);
+        return unit;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        const Token &tok = cur();
+        throw CompileError(strPrintf("parse error at %d:%d: %s (found %s)",
+                                     tok.loc.line, tok.loc.col, msg.c_str(),
+                                     std::string(tokenKindName(tok.kind)).c_str()));
+    }
+
+    const Token &cur() const { return tokens_[pos_]; }
+    const Token &
+    peekAhead(int n) const
+    {
+        size_t i = pos_ + static_cast<size_t>(n);
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+
+    bool at(TokenKind kind) const { return cur().kind == kind; }
+
+    Token
+    advance()
+    {
+        Token tok = cur();
+        if (tok.kind != TokenKind::kEof)
+            ++pos_;
+        return tok;
+    }
+
+    bool
+    accept(TokenKind kind)
+    {
+        if (!at(kind))
+            return false;
+        advance();
+        return true;
+    }
+
+    Token
+    expect(TokenKind kind, const char *context)
+    {
+        if (!at(kind))
+            fail(strPrintf("expected %s %s",
+                           std::string(tokenKindName(kind)).c_str(), context));
+        return advance();
+    }
+
+    bool
+    atType() const
+    {
+        return at(TokenKind::kKwInt) || at(TokenKind::kKwFloat) ||
+               at(TokenKind::kKwVoid);
+    }
+
+    Type
+    parseType()
+    {
+        if (accept(TokenKind::kKwInt))
+            return Type::kInt;
+        if (accept(TokenKind::kKwFloat))
+            return Type::kFloat;
+        if (accept(TokenKind::kKwVoid))
+            return Type::kVoid;
+        fail("expected a type");
+    }
+
+    // --- top level ---------------------------------------------------------
+
+    void
+    parseTopLevel(Unit &unit)
+    {
+        SourceLoc loc = cur().loc;
+        Type type = parseType();
+        Token name = expect(TokenKind::kIdent, "after type");
+
+        if (at(TokenKind::kLParen)) {
+            unit.functions.push_back(parseFunction(type, name, loc));
+            return;
+        }
+        if (type == Type::kVoid)
+            fail("global variables cannot be void");
+
+        // One or more global declarators.
+        parseGlobalDeclarator(unit, type, name, loc);
+        while (accept(TokenKind::kComma)) {
+            Token next_name = expect(TokenKind::kIdent, "in declaration list");
+            parseGlobalDeclarator(unit, type, next_name, loc);
+        }
+        expect(TokenKind::kSemi, "after global declaration");
+    }
+
+    void
+    parseGlobalDeclarator(Unit &unit, Type type, const Token &name,
+                          SourceLoc loc)
+    {
+        GlobalVarDecl decl;
+        decl.type = type;
+        decl.name = name.text;
+        decl.loc = loc;
+        if (accept(TokenKind::kLBracket)) {
+            decl.array_size = parseConstSize();
+            expect(TokenKind::kRBracket, "after array size");
+            if (accept(TokenKind::kAssign)) {
+                expect(TokenKind::kLBrace, "to open array initializer");
+                if (!at(TokenKind::kRBrace)) {
+                    decl.init_list.push_back(parseTernary());
+                    while (accept(TokenKind::kComma)) {
+                        if (at(TokenKind::kRBrace))
+                            break; // trailing comma
+                        decl.init_list.push_back(parseTernary());
+                    }
+                }
+                expect(TokenKind::kRBrace, "to close array initializer");
+            }
+        } else if (accept(TokenKind::kAssign)) {
+            decl.init = parseTernary();
+        }
+        unit.globals.push_back(std::move(decl));
+    }
+
+    int64_t
+    parseConstSize()
+    {
+        // Array sizes must be plain integer literals; anything fancier is
+        // evaluated by the compiler's constant folder at a later stage, but
+        // sizes must be known here to keep the grammar simple.
+        Token tok = expect(TokenKind::kIntLit, "as array size");
+        return tok.int_value;
+    }
+
+    FuncDecl
+    parseFunction(Type ret, const Token &name, SourceLoc loc)
+    {
+        FuncDecl fn;
+        fn.return_type = ret;
+        fn.name = name.text;
+        fn.loc = loc;
+        expect(TokenKind::kLParen, "to open parameter list");
+        if (!at(TokenKind::kRParen)) {
+            do {
+                Param p;
+                p.loc = cur().loc;
+                p.type = parseType();
+                if (p.type == Type::kVoid) {
+                    // Allow the C idiom f(void).
+                    if (fn.params.empty() && at(TokenKind::kRParen))
+                        break;
+                    fail("parameters cannot be void");
+                }
+                Token pname = expect(TokenKind::kIdent, "as parameter name");
+                p.name = pname.text;
+                fn.params.push_back(std::move(p));
+            } while (accept(TokenKind::kComma));
+        }
+        expect(TokenKind::kRParen, "to close parameter list");
+        fn.body = parseBlock();
+        return fn;
+    }
+
+    // --- statements --------------------------------------------------------
+
+    std::unique_ptr<BlockStmt>
+    parseBlock()
+    {
+        auto block = std::make_unique<BlockStmt>();
+        block->loc = cur().loc;
+        expect(TokenKind::kLBrace, "to open block");
+        while (!at(TokenKind::kRBrace)) {
+            if (at(TokenKind::kEof))
+                fail("unterminated block");
+            block->stmts.push_back(parseStmt());
+        }
+        expect(TokenKind::kRBrace, "to close block");
+        return block;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        SourceLoc loc = cur().loc;
+        switch (cur().kind) {
+          case TokenKind::kLBrace:
+            return parseBlock();
+          case TokenKind::kKwInt:
+          case TokenKind::kKwFloat:
+            return parseVarDecl();
+          case TokenKind::kKwIf: {
+            advance();
+            auto stmt = std::make_unique<IfStmt>();
+            stmt->loc = loc;
+            expect(TokenKind::kLParen, "after 'if'");
+            stmt->cond = parseExpr();
+            expect(TokenKind::kRParen, "after if condition");
+            stmt->then_stmt = parseStmt();
+            if (accept(TokenKind::kKwElse))
+                stmt->else_stmt = parseStmt();
+            return stmt;
+          }
+          case TokenKind::kKwWhile: {
+            advance();
+            auto stmt = std::make_unique<WhileStmt>();
+            stmt->loc = loc;
+            expect(TokenKind::kLParen, "after 'while'");
+            stmt->cond = parseExpr();
+            expect(TokenKind::kRParen, "after while condition");
+            stmt->body = parseStmt();
+            return stmt;
+          }
+          case TokenKind::kKwDo: {
+            advance();
+            auto stmt = std::make_unique<DoWhileStmt>();
+            stmt->loc = loc;
+            stmt->body = parseStmt();
+            expect(TokenKind::kKwWhile, "after do body");
+            expect(TokenKind::kLParen, "after 'while'");
+            stmt->cond = parseExpr();
+            expect(TokenKind::kRParen, "after do-while condition");
+            expect(TokenKind::kSemi, "after do-while");
+            return stmt;
+          }
+          case TokenKind::kKwFor: {
+            advance();
+            auto stmt = std::make_unique<ForStmt>();
+            stmt->loc = loc;
+            expect(TokenKind::kLParen, "after 'for'");
+            if (at(TokenKind::kKwInt) || at(TokenKind::kKwFloat)) {
+                stmt->init = parseVarDecl();
+            } else if (!accept(TokenKind::kSemi)) {
+                auto init = std::make_unique<ExprStmt>();
+                init->loc = cur().loc;
+                init->expr = parseExpr();
+                stmt->init = std::move(init);
+                expect(TokenKind::kSemi, "after for initializer");
+            }
+            if (!at(TokenKind::kSemi))
+                stmt->cond = parseExpr();
+            expect(TokenKind::kSemi, "after for condition");
+            if (!at(TokenKind::kRParen))
+                stmt->step = parseExpr();
+            expect(TokenKind::kRParen, "after for clauses");
+            stmt->body = parseStmt();
+            return stmt;
+          }
+          case TokenKind::kKwSwitch:
+            return parseSwitch();
+          case TokenKind::kKwBreak: {
+            advance();
+            expect(TokenKind::kSemi, "after 'break'");
+            auto stmt = std::make_unique<BreakStmt>();
+            stmt->loc = loc;
+            return stmt;
+          }
+          case TokenKind::kKwContinue: {
+            advance();
+            expect(TokenKind::kSemi, "after 'continue'");
+            auto stmt = std::make_unique<ContinueStmt>();
+            stmt->loc = loc;
+            return stmt;
+          }
+          case TokenKind::kKwReturn: {
+            advance();
+            auto stmt = std::make_unique<ReturnStmt>();
+            stmt->loc = loc;
+            if (!at(TokenKind::kSemi))
+                stmt->value = parseExpr();
+            expect(TokenKind::kSemi, "after return");
+            return stmt;
+          }
+          case TokenKind::kSemi: {
+            advance();
+            auto stmt = std::make_unique<EmptyStmt>();
+            stmt->loc = loc;
+            return stmt;
+          }
+          default: {
+            auto stmt = std::make_unique<ExprStmt>();
+            stmt->loc = loc;
+            stmt->expr = parseExpr();
+            expect(TokenKind::kSemi, "after expression statement");
+            return stmt;
+          }
+        }
+    }
+
+    StmtPtr
+    parseVarDecl()
+    {
+        auto stmt = std::make_unique<VarDeclStmt>();
+        stmt->loc = cur().loc;
+        stmt->type = parseType();
+        if (stmt->type == Type::kVoid)
+            fail("local variables cannot be void");
+        do {
+            VarDeclStmt::Declarator d;
+            d.loc = cur().loc;
+            Token name = expect(TokenKind::kIdent, "as variable name");
+            d.name = name.text;
+            if (at(TokenKind::kLBracket))
+                fail("local arrays are not supported; declare arrays at "
+                     "global scope");
+            if (accept(TokenKind::kAssign))
+                d.init = parseAssignment();
+            stmt->vars.push_back(std::move(d));
+        } while (accept(TokenKind::kComma));
+        expect(TokenKind::kSemi, "after variable declaration");
+        return stmt;
+    }
+
+    StmtPtr
+    parseSwitch()
+    {
+        SourceLoc loc = cur().loc;
+        advance(); // switch
+        auto stmt = std::make_unique<SwitchStmt>();
+        stmt->loc = loc;
+        expect(TokenKind::kLParen, "after 'switch'");
+        stmt->value = parseExpr();
+        expect(TokenKind::kRParen, "after switch value");
+        expect(TokenKind::kLBrace, "to open switch body");
+
+        bool saw_default = false;
+        while (!at(TokenKind::kRBrace)) {
+            if (at(TokenKind::kEof))
+                fail("unterminated switch");
+            SwitchStmt::Arm arm;
+            arm.loc = cur().loc;
+            // Collect one run of case/default labels.
+            bool have_label = false;
+            while (at(TokenKind::kKwCase) || at(TokenKind::kKwDefault)) {
+                if (accept(TokenKind::kKwCase)) {
+                    bool neg = accept(TokenKind::kMinus);
+                    Token v;
+                    if (at(TokenKind::kCharLit))
+                        v = advance();
+                    else
+                        v = expect(TokenKind::kIntLit, "as case label");
+                    arm.labels.push_back(neg ? -v.int_value : v.int_value);
+                } else {
+                    advance(); // default
+                    if (saw_default)
+                        fail("duplicate default label");
+                    saw_default = true;
+                    arm.is_default = true;
+                }
+                expect(TokenKind::kColon, "after case label");
+                have_label = true;
+            }
+            if (!have_label)
+                fail("expected 'case' or 'default' in switch body");
+            // Statements up to the next label or the closing brace.
+            while (!at(TokenKind::kKwCase) && !at(TokenKind::kKwDefault) &&
+                   !at(TokenKind::kRBrace)) {
+                if (at(TokenKind::kEof))
+                    fail("unterminated switch");
+                arm.body.push_back(parseStmt());
+            }
+            stmt->arms.push_back(std::move(arm));
+        }
+        expect(TokenKind::kRBrace, "to close switch body");
+        return stmt;
+    }
+
+    // --- expressions --------------------------------------------------------
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseAssignment();
+    }
+
+    static bool
+    isLvalue(const Expr &e)
+    {
+        return e.kind == ExprKind::kVarRef || e.kind == ExprKind::kIndex;
+    }
+
+    ExprPtr
+    parseAssignment()
+    {
+        ExprPtr lhs = parseTernary();
+        std::optional<BinaryOp> compound;
+        switch (cur().kind) {
+          case TokenKind::kAssign: break;
+          case TokenKind::kPlusAssign: compound = BinaryOp::kAdd; break;
+          case TokenKind::kMinusAssign: compound = BinaryOp::kSub; break;
+          case TokenKind::kStarAssign: compound = BinaryOp::kMul; break;
+          case TokenKind::kSlashAssign: compound = BinaryOp::kDiv; break;
+          case TokenKind::kPercentAssign: compound = BinaryOp::kRem; break;
+          default:
+            return lhs;
+        }
+        SourceLoc loc = cur().loc;
+        advance();
+        if (!isLvalue(*lhs))
+            fail("left-hand side of assignment is not assignable");
+        auto assign = std::make_unique<AssignExpr>();
+        assign->loc = loc;
+        assign->target = std::move(lhs);
+        assign->compound = compound;
+        assign->value = parseAssignment();
+        return assign;
+    }
+
+    ExprPtr
+    parseTernary()
+    {
+        ExprPtr cond = parseBinary(0);
+        if (!at(TokenKind::kQuestion))
+            return cond;
+        SourceLoc loc = cur().loc;
+        advance();
+        auto expr = std::make_unique<TernaryExpr>();
+        expr->loc = loc;
+        expr->cond = std::move(cond);
+        expr->then_value = parseExpr();
+        expect(TokenKind::kColon, "in conditional expression");
+        expr->else_value = parseTernary();
+        return expr;
+    }
+
+    /** Binding power of a binary operator token; -1 when not binary. */
+    static int
+    precedence(TokenKind kind)
+    {
+        switch (kind) {
+          case TokenKind::kPipePipe: return 1;
+          case TokenKind::kAmpAmp: return 2;
+          case TokenKind::kPipe: return 3;
+          case TokenKind::kCaret: return 4;
+          case TokenKind::kAmp: return 5;
+          case TokenKind::kEq:
+          case TokenKind::kNe: return 6;
+          case TokenKind::kLt:
+          case TokenKind::kLe:
+          case TokenKind::kGt:
+          case TokenKind::kGe: return 7;
+          case TokenKind::kShl:
+          case TokenKind::kShr: return 8;
+          case TokenKind::kPlus:
+          case TokenKind::kMinus: return 9;
+          case TokenKind::kStar:
+          case TokenKind::kSlash:
+          case TokenKind::kPercent: return 10;
+          default: return -1;
+        }
+    }
+
+    static BinaryOp
+    binaryOpFor(TokenKind kind)
+    {
+        switch (kind) {
+          case TokenKind::kPipePipe: return BinaryOp::kLogOr;
+          case TokenKind::kAmpAmp: return BinaryOp::kLogAnd;
+          case TokenKind::kPipe: return BinaryOp::kBitOr;
+          case TokenKind::kCaret: return BinaryOp::kBitXor;
+          case TokenKind::kAmp: return BinaryOp::kBitAnd;
+          case TokenKind::kEq: return BinaryOp::kEq;
+          case TokenKind::kNe: return BinaryOp::kNe;
+          case TokenKind::kLt: return BinaryOp::kLt;
+          case TokenKind::kLe: return BinaryOp::kLe;
+          case TokenKind::kGt: return BinaryOp::kGt;
+          case TokenKind::kGe: return BinaryOp::kGe;
+          case TokenKind::kShl: return BinaryOp::kShl;
+          case TokenKind::kShr: return BinaryOp::kShr;
+          case TokenKind::kPlus: return BinaryOp::kAdd;
+          case TokenKind::kMinus: return BinaryOp::kSub;
+          case TokenKind::kStar: return BinaryOp::kMul;
+          case TokenKind::kSlash: return BinaryOp::kDiv;
+          case TokenKind::kPercent: return BinaryOp::kRem;
+          default: return BinaryOp::kAdd; // unreachable
+        }
+    }
+
+    ExprPtr
+    parseBinary(int min_prec)
+    {
+        ExprPtr lhs = parseUnary();
+        while (true) {
+            int prec = precedence(cur().kind);
+            if (prec < 0 || prec < min_prec)
+                return lhs;
+            Token op = advance();
+            ExprPtr rhs = parseBinary(prec + 1);
+            auto expr = std::make_unique<BinaryExpr>();
+            expr->loc = op.loc;
+            expr->op = binaryOpFor(op.kind);
+            expr->lhs = std::move(lhs);
+            expr->rhs = std::move(rhs);
+            lhs = std::move(expr);
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        SourceLoc loc = cur().loc;
+        if (accept(TokenKind::kMinus)) {
+            auto expr = std::make_unique<UnaryExpr>();
+            expr->loc = loc;
+            expr->op = UnaryOp::kNeg;
+            expr->operand = parseUnary();
+            return expr;
+        }
+        if (accept(TokenKind::kBang)) {
+            auto expr = std::make_unique<UnaryExpr>();
+            expr->loc = loc;
+            expr->op = UnaryOp::kLogNot;
+            expr->operand = parseUnary();
+            return expr;
+        }
+        if (accept(TokenKind::kTilde)) {
+            auto expr = std::make_unique<UnaryExpr>();
+            expr->loc = loc;
+            expr->op = UnaryOp::kBitNot;
+            expr->operand = parseUnary();
+            return expr;
+        }
+        if (accept(TokenKind::kPlus))
+            return parseUnary();
+        if (accept(TokenKind::kPlusPlus)) {
+            auto expr = std::make_unique<UnaryExpr>();
+            expr->loc = loc;
+            expr->op = UnaryOp::kPreInc;
+            expr->operand = parseUnary();
+            if (!isLvalue(*expr->operand))
+                fail("operand of ++ is not assignable");
+            return expr;
+        }
+        if (accept(TokenKind::kMinusMinus)) {
+            auto expr = std::make_unique<UnaryExpr>();
+            expr->loc = loc;
+            expr->op = UnaryOp::kPreDec;
+            expr->operand = parseUnary();
+            if (!isLvalue(*expr->operand))
+                fail("operand of -- is not assignable");
+            return expr;
+        }
+        if (accept(TokenKind::kAmp)) {
+            // &name takes the address of a function.
+            Token name = expect(TokenKind::kIdent, "after '&'");
+            auto expr = std::make_unique<FuncAddrExpr>();
+            expr->loc = loc;
+            expr->name = name.text;
+            return expr;
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr expr = parsePrimary();
+        while (true) {
+            SourceLoc loc = cur().loc;
+            if (accept(TokenKind::kPlusPlus)) {
+                if (!isLvalue(*expr))
+                    fail("operand of ++ is not assignable");
+                auto unary = std::make_unique<UnaryExpr>();
+                unary->loc = loc;
+                unary->op = UnaryOp::kPostInc;
+                unary->operand = std::move(expr);
+                expr = std::move(unary);
+            } else if (accept(TokenKind::kMinusMinus)) {
+                if (!isLvalue(*expr))
+                    fail("operand of -- is not assignable");
+                auto unary = std::make_unique<UnaryExpr>();
+                unary->loc = loc;
+                unary->op = UnaryOp::kPostDec;
+                unary->operand = std::move(expr);
+                expr = std::move(unary);
+            } else {
+                return expr;
+            }
+        }
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        SourceLoc loc = cur().loc;
+        switch (cur().kind) {
+          case TokenKind::kIntLit: {
+            Token tok = advance();
+            auto lit = std::make_unique<IntLit>();
+            lit->loc = loc;
+            lit->value = tok.int_value;
+            return lit;
+          }
+          case TokenKind::kCharLit: {
+            Token tok = advance();
+            auto lit = std::make_unique<IntLit>();
+            lit->loc = loc;
+            lit->value = tok.int_value;
+            return lit;
+          }
+          case TokenKind::kFloatLit: {
+            Token tok = advance();
+            auto lit = std::make_unique<FloatLit>();
+            lit->loc = loc;
+            lit->value = tok.float_value;
+            return lit;
+          }
+          case TokenKind::kStringLit: {
+            Token tok = advance();
+            auto lit = std::make_unique<StringLit>();
+            lit->loc = loc;
+            lit->value = tok.text;
+            return lit;
+          }
+          case TokenKind::kLParen: {
+            advance();
+            ExprPtr expr = parseExpr();
+            expect(TokenKind::kRParen, "to close parenthesized expression");
+            return expr;
+          }
+          case TokenKind::kIdent: {
+            Token name = advance();
+            if (at(TokenKind::kLParen)) {
+                advance();
+                auto call = std::make_unique<CallExpr>();
+                call->loc = loc;
+                call->callee = name.text;
+                if (!at(TokenKind::kRParen)) {
+                    do {
+                        call->args.push_back(parseAssignment());
+                    } while (accept(TokenKind::kComma));
+                }
+                expect(TokenKind::kRParen, "to close call arguments");
+                return call;
+            }
+            if (at(TokenKind::kLBracket)) {
+                advance();
+                auto index = std::make_unique<IndexExpr>();
+                index->loc = loc;
+                index->array = name.text;
+                index->index = parseExpr();
+                expect(TokenKind::kRBracket, "to close array index");
+                return index;
+            }
+            auto var = std::make_unique<VarRef>();
+            var->loc = loc;
+            var->name = name.text;
+            return var;
+          }
+          default:
+            fail("expected an expression");
+        }
+    }
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Unit
+parse(std::string_view source)
+{
+    return Parser(source).run();
+}
+
+} // namespace ifprob::lang

@@ -1,0 +1,20 @@
+#ifndef IFPROB_LANG_PARSER_H
+#define IFPROB_LANG_PARSER_H
+
+#include <string_view>
+
+#include "lang/ast.h"
+
+namespace ifprob::lang {
+
+/**
+ * Parse a minic translation unit.
+ *
+ * Throws ifprob::CompileError with all collected diagnostics (one per
+ * line, each prefixed "line:col:") if the source is syntactically invalid.
+ */
+Unit parse(std::string_view source);
+
+} // namespace ifprob::lang
+
+#endif // IFPROB_LANG_PARSER_H

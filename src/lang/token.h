@@ -1,0 +1,59 @@
+#ifndef IFPROB_LANG_TOKEN_H
+#define IFPROB_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ifprob::lang {
+
+/** A position in minic source text (1-based). */
+struct SourceLoc
+{
+    int line = 1;
+    int col = 1;
+};
+
+/** Lexical token kinds for the minic language. */
+enum class TokenKind : uint8_t {
+    kEof,
+    kIdent,
+    kIntLit,
+    kFloatLit,
+    kCharLit,    ///< value carried in int_value
+    kStringLit,  ///< text carried in text (escapes resolved)
+
+    // Keywords.
+    kKwInt, kKwFloat, kKwVoid,
+    kKwIf, kKwElse, kKwWhile, kKwFor, kKwDo,
+    kKwSwitch, kKwCase, kKwDefault,
+    kKwBreak, kKwContinue, kKwReturn,
+
+    // Punctuation / operators.
+    kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+    kComma, kSemi, kColon, kQuestion,
+    kAssign,            // =
+    kPlus, kMinus, kStar, kSlash, kPercent,
+    kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign, kPercentAssign,
+    kPlusPlus, kMinusMinus,
+    kAmp, kPipe, kCaret, kTilde, kShl, kShr,
+    kAmpAmp, kPipePipe, kBang,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+/** Human-readable token kind name, used in parse diagnostics. */
+std::string_view tokenKindName(TokenKind kind);
+
+/** One lexed token. */
+struct Token
+{
+    TokenKind kind = TokenKind::kEof;
+    SourceLoc loc;
+    std::string text;      ///< identifier spelling or resolved string literal
+    int64_t int_value = 0; ///< for kIntLit / kCharLit
+    double float_value = 0.0;
+};
+
+} // namespace ifprob::lang
+
+#endif // IFPROB_LANG_TOKEN_H

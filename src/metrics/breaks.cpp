@@ -1,0 +1,44 @@
+#include "metrics/breaks.h"
+
+#include "predict/evaluate.h"
+
+namespace ifprob::metrics {
+
+BreakSummary
+breaksWithoutPrediction(const vm::RunStats &stats, const BreakConfig &config)
+{
+    BreakSummary s;
+    s.instructions = stats.instructions;
+    s.cond_branch_breaks = stats.cond_branches;
+    s.unavoidable_breaks = stats.indirect_calls + stats.indirect_returns;
+    if (config.count_calls)
+        s.call_breaks = stats.direct_calls + stats.direct_returns;
+    return s;
+}
+
+BreakSummary
+breaksWithPredictor(const vm::RunStats &stats,
+                    const predict::StaticPredictor &predictor,
+                    const BreakConfig &config)
+{
+    BreakSummary s;
+    s.instructions = stats.instructions;
+    s.cond_branch_breaks = predict::evaluate(stats, predictor).mispredicted;
+    s.unavoidable_breaks = stats.indirect_calls + stats.indirect_returns;
+    if (config.count_calls)
+        s.call_breaks = stats.direct_calls + stats.direct_returns;
+    return s;
+}
+
+double
+deadCodeFraction(int64_t instructions_without_dce,
+                 int64_t instructions_with_dce)
+{
+    if (instructions_without_dce <= 0)
+        return 0.0;
+    double fraction = 1.0 - static_cast<double>(instructions_with_dce) /
+                                static_cast<double>(instructions_without_dce);
+    return fraction < 0.0 ? 0.0 : fraction;
+}
+
+} // namespace ifprob::metrics

@@ -1,0 +1,72 @@
+#ifndef IFPROB_METRICS_BREAKS_H
+#define IFPROB_METRICS_BREAKS_H
+
+#include <cstdint>
+
+#include "predict/static_predictor.h"
+#include "vm/run_stats.h"
+
+namespace ifprob::metrics {
+
+/**
+ * Breaks-in-control accounting, following the paper's taxonomy (§2):
+ *
+ *  - Unavoidable breaks: indirect calls and their returns. Always counted.
+ *  - Direct calls and returns: avoidable via inlining; counted only when
+ *    @ref BreakConfig::count_calls is set (the paper's Figure 1 reports
+ *    both ways; its Figure 2 ignores them).
+ *  - Unconditional jumps: assumed eliminated by an ILP compiler through
+ *    code layout; never counted.
+ *  - Conditional branches: all counted when no prediction is used
+ *    (Figure 1); only mispredicted ones counted when a predictor is in
+ *    play (Figure 2 / Table 3).
+ */
+struct BreakConfig
+{
+    /** Count direct calls and their returns as breaks. */
+    bool count_calls = false;
+};
+
+/** Decomposition of the break count for one run under one predictor. */
+struct BreakSummary
+{
+    int64_t instructions = 0;
+    int64_t cond_branch_breaks = 0; ///< all branches, or mispredicted only
+    int64_t unavoidable_breaks = 0; ///< indirect calls + their returns
+    int64_t call_breaks = 0;        ///< direct calls + returns (if counted)
+
+    int64_t
+    totalBreaks() const
+    {
+        return cond_branch_breaks + unavoidable_breaks + call_breaks;
+    }
+
+    /** The paper's headline measure. Infinite-break-free runs return the
+     *  instruction count itself (at least one break would end the run). */
+    double
+    instructionsPerBreak() const
+    {
+        int64_t breaks = totalBreaks();
+        if (breaks == 0)
+            return static_cast<double>(instructions);
+        return static_cast<double>(instructions) /
+               static_cast<double>(breaks);
+    }
+};
+
+/** Figure-1 accounting: no prediction, every conditional branch breaks. */
+BreakSummary breaksWithoutPrediction(const vm::RunStats &stats,
+                                     const BreakConfig &config = {});
+
+/** Figure-2 accounting: only mispredicted conditional branches break. */
+BreakSummary breaksWithPredictor(const vm::RunStats &stats,
+                                 const predict::StaticPredictor &predictor,
+                                 const BreakConfig &config = {});
+
+/** Fraction of dynamic instructions DCE would have removed (Table 1). */
+double deadCodeFraction(int64_t instructions_without_dce,
+                        int64_t instructions_with_dce);
+
+} // namespace ifprob::metrics
+
+#endif // IFPROB_METRICS_BREAKS_H

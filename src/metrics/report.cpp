@@ -1,0 +1,123 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ifprob::metrics {
+
+namespace {
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    for (char c : cell) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != ',' && c != '%' && c != 'e' &&
+            c != 'E' && c != 'x') {
+            return false;
+        }
+    }
+    return std::isdigit(static_cast<unsigned char>(cell.front())) ||
+           cell.front() == '-' || cell.front() == '+' ||
+           cell.front() == '.';
+}
+
+} // namespace
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addRule()
+{
+    rows_.emplace_back(); // sentinel
+}
+
+std::string
+TextTable::render() const
+{
+    size_t columns = header_.size();
+    for (const auto &row : rows_)
+        columns = std::max(columns, row.size());
+    if (columns == 0)
+        return "";
+
+    std::vector<size_t> widths(columns, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    measure(header_);
+    for (const auto &row : rows_)
+        measure(row);
+
+    auto render_rule = [&]() {
+        std::string line;
+        for (size_t i = 0; i < columns; ++i) {
+            line += std::string(widths[i] + 2, '-');
+            if (i + 1 < columns)
+                line += "+";
+        }
+        line += "\n";
+        return line;
+    };
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t i = 0; i < columns; ++i) {
+            const std::string cell = i < row.size() ? row[i] : "";
+            bool right = looksNumeric(cell);
+            line += " ";
+            if (right)
+                line += std::string(widths[i] - cell.size(), ' ') + cell;
+            else
+                line += cell + std::string(widths[i] - cell.size(), ' ');
+            line += " ";
+            if (i + 1 < columns)
+                line += "|";
+        }
+        // Trim trailing spaces.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        line += "\n";
+        return line;
+    };
+
+    std::string out;
+    if (!header_.empty()) {
+        out += render_row(header_);
+        out += render_rule();
+    }
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out += render_rule();
+        else
+            out += render_row(row);
+    }
+    return out;
+}
+
+std::string
+asciiBar(double value, double max_value, int width)
+{
+    if (width <= 0)
+        return "";
+    double fraction = max_value > 0.0 ? value / max_value : 0.0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    int filled = static_cast<int>(fraction * width + 0.5);
+    return std::string(static_cast<size_t>(filled), '#') +
+           std::string(static_cast<size_t>(width - filled), ' ');
+}
+
+} // namespace ifprob::metrics

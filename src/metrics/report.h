@@ -1,0 +1,41 @@
+#ifndef IFPROB_METRICS_REPORT_H
+#define IFPROB_METRICS_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace ifprob::metrics {
+
+/**
+ * Fixed-width text table renderer for the experiment reports. Numeric
+ * cells (detected heuristically) are right-aligned, text left-aligned.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal rule. */
+    void addRule();
+
+    /** Render with column separators and a rule under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty row == rule
+};
+
+/**
+ * A proportional ASCII bar for the "figure" reproductions:
+ * barChart(75, 100, 20) -> "###############     ".
+ */
+std::string asciiBar(double value, double max_value, int width);
+
+} // namespace ifprob::metrics
+
+#endif // IFPROB_METRICS_REPORT_H

@@ -1,0 +1,201 @@
+#ifndef IFPROB_PREDICT_DYNAMIC_PREDICTOR_H
+#define IFPROB_PREDICT_DYNAMIC_PREDICTOR_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "predict/static_predictor.h"
+#include "vm/observer.h"
+
+namespace ifprob::predict {
+
+/**
+ * Base for dynamic (hardware-style) predictors, attached to the VM as a
+ * branch observer. These are the baselines the paper's related-work
+ * section cites ([Smith 81], [Lee and Smith 84]): simple schemes predicted
+ * 80-90% of branches in systems codes and 95-100% in scientific FORTRAN.
+ *
+ * Tables are per static site with no aliasing (an idealized
+ * infinite-entry branch history table).
+ */
+class DynamicPredictor : public vm::BranchObserver
+{
+  public:
+    void
+    onBranch(int site_id, bool taken, int64_t /*instructions*/) final
+    {
+        ++total_;
+        if (predict(site_id) == taken)
+            ++correct_;
+        update(site_id, taken);
+    }
+
+    /** Convenience overload for direct (non-VM) event feeding in tests. */
+    void
+    onBranch(int site_id, bool taken)
+    {
+        onBranch(site_id, taken, 0);
+    }
+
+    int64_t total() const { return total_; }
+    int64_t correct() const { return correct_; }
+    int64_t mispredicted() const { return total_ - correct_; }
+
+    double
+    percentCorrect() const
+    {
+        if (total_ == 0)
+            return 100.0;
+        return 100.0 * static_cast<double>(correct_) /
+               static_cast<double>(total_);
+    }
+
+  protected:
+    virtual bool predict(int site_id) const = 0;
+    virtual void update(int site_id, bool taken) = 0;
+
+  private:
+    int64_t total_ = 0;
+    int64_t correct_ = 0;
+};
+
+/** 1-bit last-direction predictor. */
+class OneBitPredictor : public DynamicPredictor
+{
+  public:
+    explicit OneBitPredictor(size_t num_sites, bool initial_taken = false)
+        : last_(num_sites, initial_taken)
+    {
+    }
+
+  protected:
+    bool
+    predict(int site_id) const override
+    {
+        return last_[static_cast<size_t>(site_id)];
+    }
+
+    void
+    update(int site_id, bool taken) override
+    {
+        last_[static_cast<size_t>(site_id)] = taken;
+    }
+
+  private:
+    std::vector<bool> last_;
+};
+
+/** 2-bit saturating-counter predictor (counters start weakly not-taken). */
+class TwoBitPredictor : public DynamicPredictor
+{
+  public:
+    explicit TwoBitPredictor(size_t num_sites, uint8_t initial = 1)
+        : counters_(num_sites, initial)
+    {
+    }
+
+  protected:
+    bool
+    predict(int site_id) const override
+    {
+        return counters_[static_cast<size_t>(site_id)] >= 2;
+    }
+
+    void
+    update(int site_id, bool taken) override
+    {
+        uint8_t &c = counters_[static_cast<size_t>(site_id)];
+        if (taken) {
+            if (c < 3)
+                ++c;
+        } else {
+            if (c > 0)
+                --c;
+        }
+    }
+
+  private:
+    std::vector<uint8_t> counters_;
+};
+
+/**
+ * gshare two-level adaptive predictor [McFarling 93]: a table of 2-bit
+ * counters indexed by (site id XOR global history). Post-dates the paper
+ * — included as the "what came next" baseline for dynamic prediction,
+ * and, unlike the per-site tables above, models a *finite* table, so
+ * aliasing effects are visible at small sizes.
+ */
+class GSharePredictor : public DynamicPredictor
+{
+  public:
+    /** @p log2_entries in [1, 30]; @p history_bits in [0, 30]. */
+    explicit GSharePredictor(int log2_entries, int history_bits = 12)
+        : mask_((1u << log2_entries) - 1),
+          history_mask_((history_bits >= 31)
+                            ? 0x7fffffffu
+                            : (1u << history_bits) - 1),
+          counters_(1u << log2_entries, 1)
+    {
+    }
+
+  protected:
+    bool
+    predict(int site_id) const override
+    {
+        return counters_[index(site_id)] >= 2;
+    }
+
+    void
+    update(int site_id, bool taken) override
+    {
+        uint8_t &c = counters_[index(site_id)];
+        if (taken) {
+            if (c < 3)
+                ++c;
+        } else {
+            if (c > 0)
+                --c;
+        }
+        history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+    }
+
+  private:
+    size_t
+    index(int site_id) const
+    {
+        return (static_cast<uint32_t>(site_id) ^ history_) & mask_;
+    }
+
+    uint32_t mask_;
+    uint32_t history_mask_;
+    uint32_t history_ = 0;
+    std::vector<uint8_t> counters_;
+};
+
+/**
+ * A static predictor observed dynamically. Exists to cross-check
+ * evaluate() (the closed-form scoring) against event-by-event scoring in
+ * tests, and to make static/dynamic comparisons under one interface.
+ */
+class StaticAsDynamic : public DynamicPredictor
+{
+  public:
+    explicit StaticAsDynamic(const StaticPredictor &inner) : inner_(inner) {}
+
+  protected:
+    bool
+    predict(int site_id) const override
+    {
+        return inner_.predictTaken(site_id);
+    }
+
+    void update(int, bool) override {}
+
+  private:
+    const StaticPredictor &inner_;
+};
+
+} // namespace ifprob::predict
+
+#endif // IFPROB_PREDICT_DYNAMIC_PREDICTOR_H

@@ -1,0 +1,23 @@
+#include "predict/evaluate.h"
+
+namespace ifprob::predict {
+
+PredictionQuality
+evaluate(const vm::RunStats &target, const StaticPredictor &predictor)
+{
+    PredictionQuality q;
+    for (size_t i = 0; i < target.branches.size(); ++i) {
+        const auto &b = target.branches[i];
+        if (b.executed == 0)
+            continue;
+        q.executed += b.executed;
+        int64_t correct = predictor.predictTaken(static_cast<int>(i))
+                              ? b.taken
+                              : b.executed - b.taken;
+        q.correct += correct;
+        q.mispredicted += b.executed - correct;
+    }
+    return q;
+}
+
+} // namespace ifprob::predict

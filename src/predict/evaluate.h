@@ -1,0 +1,22 @@
+#ifndef IFPROB_PREDICT_EVALUATE_H
+#define IFPROB_PREDICT_EVALUATE_H
+
+#include "predict/static_predictor.h"
+#include "vm/run_stats.h"
+
+namespace ifprob::predict {
+
+/**
+ * Score a static predictor against one target run.
+ *
+ * Because a static predictor fixes one direction per site, its dynamic
+ * accuracy is fully determined by the per-site (executed, taken) counters:
+ * predicting taken scores `taken` correct, predicting not-taken scores
+ * `executed - taken`. No re-execution is needed.
+ */
+PredictionQuality evaluate(const vm::RunStats &target,
+                           const StaticPredictor &predictor);
+
+} // namespace ifprob::predict
+
+#endif // IFPROB_PREDICT_EVALUATE_H

@@ -1,0 +1,62 @@
+#include "predict/heuristic_predictor.h"
+
+namespace ifprob::predict {
+
+using isa::BranchKind;
+using isa::BranchSite;
+using isa::Opcode;
+
+std::string_view
+heuristicName(Heuristic heuristic)
+{
+    switch (heuristic) {
+      case Heuristic::kAlwaysTaken: return "always-taken";
+      case Heuristic::kAlwaysNotTaken: return "always-not-taken";
+      case Heuristic::kBackwardTaken: return "backward-taken";
+      case Heuristic::kOpcodeRules: return "opcode-rules";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+decide(const BranchSite &site, Heuristic heuristic)
+{
+    switch (heuristic) {
+      case Heuristic::kAlwaysTaken:
+        return true;
+      case Heuristic::kAlwaysNotTaken:
+        return false;
+      case Heuristic::kBackwardTaken:
+        return site.backward;
+      case Heuristic::kOpcodeRules:
+        if (site.kind == BranchKind::kLoop || site.backward)
+            return true;
+        if (site.kind == BranchKind::kSwitchCase)
+            return false; // each arm of a cascade rarely matches
+        switch (site.compare) {
+          case Opcode::kCmpEq:
+          case Opcode::kFCmpEq:
+            return false; // values are rarely equal
+          case Opcode::kCmpNe:
+          case Opcode::kFCmpNe:
+            return true;
+          default:
+            return false;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+HeuristicPredictor::HeuristicPredictor(const isa::Program &program,
+                                       Heuristic heuristic)
+{
+    decisions_.resize(program.branch_sites.size());
+    for (size_t i = 0; i < program.branch_sites.size(); ++i)
+        decisions_[i] = decide(program.branch_sites[i], heuristic);
+}
+
+} // namespace ifprob::predict

@@ -1,0 +1,53 @@
+#ifndef IFPROB_PREDICT_HEURISTIC_PREDICTOR_H
+#define IFPROB_PREDICT_HEURISTIC_PREDICTOR_H
+
+#include <string_view>
+#include <vector>
+
+#include "isa/program.h"
+#include "predict/static_predictor.h"
+
+namespace ifprob::predict {
+
+/**
+ * Compile-time heuristic predictors that look only at the program, never
+ * at a profile — the class of "very naive heuristics" the paper's
+ * compiler used by default and found to give up about a factor of two in
+ * instructions per break.
+ */
+enum class Heuristic {
+    kAlwaysTaken,
+    kAlwaysNotTaken,
+    /** Loop heuristic: backward branches taken, forward not taken (the
+     *  loop/non-loop distinction the paper tried). */
+    kBackwardTaken,
+    /**
+     * Opcode/shape rules, in the spirit of [Bandyopadhyay 87] /
+     * Ball-Larus: loops taken; switch-case tests not taken; equality
+     * tests not taken, inequality tests taken; other comparisons fall
+     * back to the loop rule.
+     */
+    kOpcodeRules,
+};
+
+std::string_view heuristicName(Heuristic heuristic);
+
+/** Static predictor driven by one of the Heuristic rule sets. */
+class HeuristicPredictor : public StaticPredictor
+{
+  public:
+    HeuristicPredictor(const isa::Program &program, Heuristic heuristic);
+
+    bool
+    predictTaken(int site_id) const override
+    {
+        return decisions_[static_cast<size_t>(site_id)];
+    }
+
+  private:
+    std::vector<bool> decisions_;
+};
+
+} // namespace ifprob::predict
+
+#endif // IFPROB_PREDICT_HEURISTIC_PREDICTOR_H

@@ -1,0 +1,31 @@
+#include "predict/profile_predictor.h"
+
+namespace ifprob::predict {
+
+ProfilePredictor::ProfilePredictor(const profile::ProfileDb &db,
+                                   UnseenPolicy unseen)
+{
+    decisions_.resize(db.numSites());
+    for (size_t i = 0; i < db.numSites(); ++i) {
+        const auto &w = db.site(i);
+        if (w.executed <= 0.0)
+            decisions_[i] = unseen == UnseenPolicy::kTaken;
+        else
+            decisions_[i] = w.taken * 2.0 > w.executed;
+    }
+}
+
+ProfilePredictor::ProfilePredictor(const profile::ProfileDb &db,
+                                   const StaticPredictor &fallback)
+{
+    decisions_.resize(db.numSites());
+    for (size_t i = 0; i < db.numSites(); ++i) {
+        const auto &w = db.site(i);
+        if (w.executed <= 0.0)
+            decisions_[i] = fallback.predictTaken(static_cast<int>(i));
+        else
+            decisions_[i] = w.taken * 2.0 > w.executed;
+    }
+}
+
+} // namespace ifprob::predict

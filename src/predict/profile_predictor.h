@@ -1,0 +1,50 @@
+#ifndef IFPROB_PREDICT_PROFILE_PREDICTOR_H
+#define IFPROB_PREDICT_PROFILE_PREDICTOR_H
+
+#include <vector>
+
+#include "predict/static_predictor.h"
+#include "profile/profile_db.h"
+
+namespace ifprob::predict {
+
+/** Direction to predict for branch sites the profile never saw execute. */
+enum class UnseenPolicy {
+    kNotTaken, ///< forward-not-taken default
+    kTaken,
+};
+
+/**
+ * Profile-feedback predictor: each branch site is predicted to go in the
+ * majority direction recorded in a ProfileDb — the static prediction the
+ * paper's IFPROB directives encode. Decisions are precomputed, so the
+ * profile database need not outlive the predictor.
+ *
+ * Ties predict not-taken (either choice mispredicts equally often on the
+ * profiled data); sites with no recorded executions follow @p unseen.
+ */
+class ProfilePredictor : public StaticPredictor
+{
+  public:
+    explicit ProfilePredictor(const profile::ProfileDb &db,
+                              UnseenPolicy unseen = UnseenPolicy::kNotTaken);
+
+    /** Unseen sites delegate to @p fallback (e.g. a heuristic predictor). */
+    ProfilePredictor(const profile::ProfileDb &db,
+                     const StaticPredictor &fallback);
+
+    bool
+    predictTaken(int site_id) const override
+    {
+        return decisions_[static_cast<size_t>(site_id)];
+    }
+
+    size_t numSites() const { return decisions_.size(); }
+
+  private:
+    std::vector<bool> decisions_;
+};
+
+} // namespace ifprob::predict
+
+#endif // IFPROB_PREDICT_PROFILE_PREDICTOR_H

@@ -1,0 +1,41 @@
+#ifndef IFPROB_PREDICT_STATIC_PREDICTOR_H
+#define IFPROB_PREDICT_STATIC_PREDICTOR_H
+
+#include <cstdint>
+
+namespace ifprob::predict {
+
+/**
+ * A static branch predictor: one fixed direction per static branch site,
+ * decided before the program runs (the compile-time annotation the
+ * IFPROBBER directives carried back into the source).
+ */
+class StaticPredictor
+{
+  public:
+    virtual ~StaticPredictor() = default;
+
+    /** True to predict the branch at @p site_id goes taken. */
+    virtual bool predictTaken(int site_id) const = 0;
+};
+
+/** Quality of a static predictor against one target run. */
+struct PredictionQuality
+{
+    int64_t executed = 0;     ///< dynamic conditional branches
+    int64_t correct = 0;
+    int64_t mispredicted = 0;
+
+    double
+    percentCorrect() const
+    {
+        if (executed == 0)
+            return 100.0;
+        return 100.0 * static_cast<double>(correct) /
+               static_cast<double>(executed);
+    }
+};
+
+} // namespace ifprob::predict
+
+#endif // IFPROB_PREDICT_STATIC_PREDICTOR_H

@@ -1,0 +1,169 @@
+#include "profile/profile_db.h"
+
+#include <istream>
+#include <ostream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::profile {
+
+std::string_view
+mergeModeName(MergeMode mode)
+{
+    switch (mode) {
+      case MergeMode::kUnscaled: return "unscaled";
+      case MergeMode::kScaled: return "scaled";
+      case MergeMode::kPolling: return "polling";
+    }
+    return "?";
+}
+
+ProfileDb::ProfileDb(std::string program_name, uint64_t fingerprint,
+                     size_t num_sites)
+    : program_name_(std::move(program_name)), fingerprint_(fingerprint),
+      weights_(num_sites)
+{
+}
+
+ProfileDb::ProfileDb(std::string program_name, uint64_t fingerprint,
+                     const vm::RunStats &stats)
+    : ProfileDb(std::move(program_name), fingerprint, stats.branches.size())
+{
+    accumulate(stats);
+}
+
+double
+ProfileDb::totalExecuted() const
+{
+    double total = 0.0;
+    for (const auto &w : weights_)
+        total += w.executed;
+    return total;
+}
+
+void
+ProfileDb::checkCompatible(uint64_t fingerprint, size_t sites) const
+{
+    if (fingerprint != fingerprint_) {
+        throw Error(strPrintf(
+            "profile for '%s': fingerprint mismatch (%016llx vs %016llx); "
+            "the image was compiled differently",
+            program_name_.c_str(),
+            static_cast<unsigned long long>(fingerprint),
+            static_cast<unsigned long long>(fingerprint_)));
+    }
+    if (sites != weights_.size()) {
+        throw Error(strPrintf(
+            "profile for '%s': branch site count mismatch (%zu vs %zu)",
+            program_name_.c_str(), sites, weights_.size()));
+    }
+}
+
+void
+ProfileDb::accumulate(const vm::RunStats &stats)
+{
+    if (stats.branches.size() != weights_.size()) {
+        throw Error(strPrintf(
+            "profile for '%s': run has %zu branch sites, database has %zu",
+            program_name_.c_str(), stats.branches.size(), weights_.size()));
+    }
+    for (size_t i = 0; i < weights_.size(); ++i) {
+        weights_[i].executed +=
+            static_cast<double>(stats.branches[i].executed);
+        weights_[i].taken += static_cast<double>(stats.branches[i].taken);
+    }
+}
+
+void
+ProfileDb::accumulate(const ProfileDb &other)
+{
+    checkCompatible(other.fingerprint_, other.weights_.size());
+    for (size_t i = 0; i < weights_.size(); ++i) {
+        weights_[i].executed += other.weights_[i].executed;
+        weights_[i].taken += other.weights_[i].taken;
+    }
+}
+
+ProfileDb
+ProfileDb::merge(std::span<const ProfileDb> inputs, MergeMode mode)
+{
+    if (inputs.empty())
+        throw Error("ProfileDb::merge: no inputs");
+    ProfileDb out(inputs[0].program_name_, inputs[0].fingerprint_,
+                  inputs[0].weights_.size());
+    for (const ProfileDb &db : inputs) {
+        out.checkCompatible(db.fingerprint_, db.weights_.size());
+        switch (mode) {
+          case MergeMode::kUnscaled:
+            for (size_t i = 0; i < out.weights_.size(); ++i) {
+                out.weights_[i].executed += db.weights_[i].executed;
+                out.weights_[i].taken += db.weights_[i].taken;
+            }
+            break;
+          case MergeMode::kScaled: {
+            double total = db.totalExecuted();
+            if (total <= 0.0)
+                break; // an empty run contributes nothing
+            for (size_t i = 0; i < out.weights_.size(); ++i) {
+                out.weights_[i].executed += db.weights_[i].executed / total;
+                out.weights_[i].taken += db.weights_[i].taken / total;
+            }
+            break;
+          }
+          case MergeMode::kPolling:
+            // One vote per dataset: a branch votes "taken" when the
+            // dataset saw it go taken more often than not.
+            for (size_t i = 0; i < out.weights_.size(); ++i) {
+                const BranchWeight &w = db.weights_[i];
+                if (w.executed <= 0.0)
+                    continue;
+                out.weights_[i].executed += 1.0;
+                if (w.taken * 2.0 > w.executed)
+                    out.weights_[i].taken += 1.0;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+void
+ProfileDb::save(std::ostream &os) const
+{
+    os << "ifprob-profile v1\n";
+    os << program_name_ << '\n';
+    os << strPrintf("%016llx",
+                    static_cast<unsigned long long>(fingerprint_))
+       << '\n';
+    os << weights_.size() << '\n';
+    os.precision(17);
+    for (const auto &w : weights_)
+        os << w.executed << ' ' << w.taken << '\n';
+}
+
+ProfileDb
+ProfileDb::load(std::istream &is)
+{
+    std::string tag, version;
+    is >> tag >> version;
+    if (tag != "ifprob-profile" || version != "v1")
+        throw Error("ProfileDb::load: bad header");
+    ProfileDb db;
+    is >> db.program_name_;
+    std::string fp_hex;
+    is >> fp_hex;
+    db.fingerprint_ = std::stoull(fp_hex, nullptr, 16);
+    size_t n = 0;
+    is >> n;
+    if (!is || n > (1u << 26))
+        throw Error("ProfileDb::load: corrupt site count");
+    db.weights_.resize(n);
+    for (auto &w : db.weights_)
+        is >> w.executed >> w.taken;
+    if (!is)
+        throw Error("ProfileDb::load: truncated input");
+    return db;
+}
+
+} // namespace ifprob::profile

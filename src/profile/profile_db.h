@@ -1,0 +1,100 @@
+#ifndef IFPROB_PROFILE_PROFILE_DB_H
+#define IFPROB_PROFILE_PROFILE_DB_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vm/run_stats.h"
+
+namespace ifprob::profile {
+
+/**
+ * Accumulated direction weights for one static branch site.
+ *
+ * Weights are doubles: raw databases hold exact integer counts, while
+ * merged databases (scaled mode) hold normalized fractional weights.
+ */
+struct BranchWeight
+{
+    double executed = 0.0;
+    double taken = 0.0;
+
+    double notTaken() const { return executed - taken; }
+};
+
+/** How to combine multiple predictor datasets (paper §3, "Scaled vs
+ *  unscaled summary predictors"). */
+enum class MergeMode {
+    /** Add the raw counts of every dataset. */
+    kUnscaled,
+    /** Divide each dataset's counts by its total executed branches first,
+     *  giving every dataset equal total weight. The paper's reported
+     *  configuration. */
+    kScaled,
+    /** One vote per dataset per branch, regardless of execution count.
+     *  The paper found this performs poorly. */
+    kPolling,
+};
+
+std::string_view mergeModeName(MergeMode mode);
+
+/**
+ * The IFPROBBER database: per-branch (encountered, taken) weights keyed by
+ * static branch site id, tagged with the program name and the compiled
+ * image's fingerprint so that a profile cannot silently be applied to a
+ * different compilation.
+ */
+class ProfileDb
+{
+  public:
+    ProfileDb() = default;
+
+    /** Build an empty database for @p num_sites branch sites. */
+    ProfileDb(std::string program_name, uint64_t fingerprint,
+              size_t num_sites);
+
+    /** Build directly from one run's counters. */
+    ProfileDb(std::string program_name, uint64_t fingerprint,
+              const vm::RunStats &stats);
+
+    const std::string &programName() const { return program_name_; }
+    uint64_t fingerprint() const { return fingerprint_; }
+    size_t numSites() const { return weights_.size(); }
+    const BranchWeight &site(size_t id) const { return weights_[id]; }
+    const std::vector<BranchWeight> &weights() const { return weights_; }
+
+    /** Total branch executions recorded (the scaling denominator). */
+    double totalExecuted() const;
+
+    /**
+     * Add another run of the same image into this database — the
+     * "database of branch counts is augmented" step after every
+     * IFPROBBER run. Throws on fingerprint or size mismatch.
+     */
+    void accumulate(const vm::RunStats &stats);
+    void accumulate(const ProfileDb &other);
+
+    /**
+     * Combine several databases (one per predictor dataset) into a single
+     * summary predictor using @p mode. All inputs must share a fingerprint.
+     */
+    static ProfileDb merge(std::span<const ProfileDb> inputs, MergeMode mode);
+
+    /** Plain-text round-trippable serialization. */
+    void save(std::ostream &os) const;
+    static ProfileDb load(std::istream &is);
+
+  private:
+    void checkCompatible(uint64_t fingerprint, size_t sites) const;
+
+    std::string program_name_;
+    uint64_t fingerprint_ = 0;
+    std::vector<BranchWeight> weights_;
+};
+
+} // namespace ifprob::profile
+
+#endif // IFPROB_PROFILE_PROFILE_DB_H

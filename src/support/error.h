@@ -1,0 +1,42 @@
+#ifndef IFPROB_SUPPORT_ERROR_H
+#define IFPROB_SUPPORT_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace ifprob {
+
+/**
+ * Base class for all errors raised by the ifprob library.
+ *
+ * The library separates two failure domains:
+ *  - CompileError: the minic source presented to the compiler is invalid
+ *    (syntax error, type error, unresolved name, ...). The message contains
+ *    every diagnostic collected by the front end, one per line.
+ *  - RuntimeError: a compiled program trapped while executing on the VM
+ *    (out-of-bounds access, division by zero, stack overflow, instruction
+ *    budget exceeded, ...).
+ */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Raised when minic source fails to compile. */
+class CompileError : public Error
+{
+  public:
+    explicit CompileError(const std::string &msg) : Error(msg) {}
+};
+
+/** Raised when a program traps while running on the VM. */
+class RuntimeError : public Error
+{
+  public:
+    explicit RuntimeError(const std::string &msg) : Error(msg) {}
+};
+
+} // namespace ifprob
+
+#endif // IFPROB_SUPPORT_ERROR_H

@@ -1,0 +1,39 @@
+#ifndef IFPROB_SUPPORT_STR_H
+#define IFPROB_SUPPORT_STR_H
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ifprob {
+
+/**
+ * printf-style formatting into a std::string.
+ *
+ * GCC 12 (our toolchain) does not ship std::format, so the library uses
+ * this small helper for all diagnostics and report rendering.
+ */
+std::string strPrintf(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Split @p text on @p sep; empty fields are preserved. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Split @p text into whitespace-separated tokens; empty tokens dropped. */
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/** True when @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view text);
+
+/**
+ * Render a number with thousands separators ("12,345,678") for the
+ * human-readable experiment tables.
+ */
+std::string withCommas(long long value);
+
+} // namespace ifprob
+
+#endif // IFPROB_SUPPORT_STR_H

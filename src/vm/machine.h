@@ -1,0 +1,62 @@
+#ifndef IFPROB_VM_MACHINE_H
+#define IFPROB_VM_MACHINE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "isa/program.h"
+#include "vm/observer.h"
+#include "vm/run_stats.h"
+
+namespace ifprob::vm {
+
+/** Execution limits; exceeding either raises RuntimeError. */
+struct RunLimits
+{
+    int64_t max_instructions = 1ll << 40;
+    int max_call_depth = 65536;
+};
+
+/** The result of one run: counters plus everything the program printed. */
+struct RunResult
+{
+    RunStats stats;
+    std::string output;
+};
+
+/**
+ * The simulated machine: executes an isa::Program against an input byte
+ * stream, counting every RISC operation by category (MFPixie) and every
+ * conditional branch direction by static site (IFPROBBER).
+ *
+ * Registers are 64-bit patterns, zero-initialized per frame. Data memory
+ * is a flat array of 64-bit words. Runtime violations (bad address,
+ * division by zero, call-depth or instruction-budget overflow, argument
+ * count mismatch on indirect calls) raise RuntimeError with a
+ * function+pc context string.
+ */
+class Machine
+{
+  public:
+    /** @p program must outlive the machine. */
+    explicit Machine(const isa::Program &program);
+
+    /** Deleted: binding a temporary would leave a dangling reference
+     *  (e.g. Machine(compile(src))). Name the program first. */
+    explicit Machine(isa::Program &&) = delete;
+
+    /**
+     * Run the program to completion over @p input.
+     * @param observer optional per-branch event sink (may be nullptr).
+     */
+    RunResult run(std::string_view input, const RunLimits &limits = {},
+                  BranchObserver *observer = nullptr) const;
+
+  private:
+    const isa::Program &program_;
+};
+
+} // namespace ifprob::vm
+
+#endif // IFPROB_VM_MACHINE_H

@@ -1,0 +1,41 @@
+#ifndef IFPROB_VM_OBSERVER_H
+#define IFPROB_VM_OBSERVER_H
+
+#include <cstdint>
+
+namespace ifprob::vm {
+
+/**
+ * Receives dynamic control-flow events in execution order.
+ *
+ * Aggregate counts (RunStats) suffice for evaluating *static* predictors,
+ * but two analyses need the event sequence: dynamic baseline predictors
+ * (1-bit, 2-bit) and the ILP run-length analysis, which measures the
+ * *spacing* of breaks in control rather than just their rate.
+ *
+ * @p instructions is the number of instructions executed so far,
+ * including the one raising the event.
+ */
+class BranchObserver
+{
+  public:
+    virtual ~BranchObserver() = default;
+
+    /** Called after each executed conditional branch. */
+    virtual void onBranch(int site_id, bool taken,
+                          int64_t instructions) = 0;
+
+    /**
+     * Called on each unavoidable break in control: an indirect call, or
+     * the return matching one. Default: ignored (dynamic predictors only
+     * care about conditional branches).
+     */
+    virtual void onUnavoidableBreak(int64_t instructions)
+    {
+        (void)instructions;
+    }
+};
+
+} // namespace ifprob::vm
+
+#endif // IFPROB_VM_OBSERVER_H

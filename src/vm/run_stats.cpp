@@ -1,0 +1,89 @@
+#include "vm/run_stats.h"
+
+#include <istream>
+#include <ostream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::vm {
+
+double
+RunStats::branchDensity() const
+{
+    if (instructions == 0)
+        return 0.0;
+    return static_cast<double>(cond_branches) /
+           static_cast<double>(instructions);
+}
+
+double
+RunStats::percentTaken() const
+{
+    if (cond_branches == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(taken_branches) /
+           static_cast<double>(cond_branches);
+}
+
+void
+RunStats::accumulate(const RunStats &other)
+{
+    if (branches.size() != other.branches.size()) {
+        throw Error(strPrintf(
+            "RunStats::accumulate: branch table size mismatch (%zu vs %zu)",
+            branches.size(), other.branches.size()));
+    }
+    instructions += other.instructions;
+    cond_branches += other.cond_branches;
+    taken_branches += other.taken_branches;
+    jumps += other.jumps;
+    direct_calls += other.direct_calls;
+    indirect_calls += other.indirect_calls;
+    direct_returns += other.direct_returns;
+    indirect_returns += other.indirect_returns;
+    selects += other.selects;
+    for (size_t i = 0; i < branches.size(); ++i) {
+        branches[i].executed += other.branches[i].executed;
+        branches[i].taken += other.branches[i].taken;
+    }
+}
+
+void
+RunStats::save(std::ostream &os) const
+{
+    os << "runstats v1\n";
+    os << instructions << ' ' << cond_branches << ' ' << taken_branches
+       << ' ' << jumps << ' ' << direct_calls << ' ' << indirect_calls
+       << ' ' << direct_returns << ' ' << indirect_returns << ' ' << selects
+       << ' ' << exit_code << '\n';
+    os << branches.size() << '\n';
+    for (const auto &b : branches)
+        os << b.executed << ' ' << b.taken << '\n';
+}
+
+RunStats
+RunStats::load(std::istream &is)
+{
+    std::string tag, version;
+    is >> tag >> version;
+    if (tag != "runstats" || version != "v1")
+        throw Error("RunStats::load: bad header");
+    RunStats stats;
+    is >> stats.instructions >> stats.cond_branches >> stats.taken_branches >>
+        stats.jumps >> stats.direct_calls >> stats.indirect_calls >>
+        stats.direct_returns >> stats.indirect_returns >> stats.selects >>
+        stats.exit_code;
+    size_t n = 0;
+    is >> n;
+    if (!is || n > (1u << 26))
+        throw Error("RunStats::load: corrupt branch table size");
+    stats.branches.resize(n);
+    for (auto &b : stats.branches)
+        is >> b.executed >> b.taken;
+    if (!is)
+        throw Error("RunStats::load: truncated input");
+    return stats;
+}
+
+} // namespace ifprob::vm

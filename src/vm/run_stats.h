@@ -1,0 +1,57 @@
+#ifndef IFPROB_VM_RUN_STATS_H
+#define IFPROB_VM_RUN_STATS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace ifprob::vm {
+
+/** Per-branch-site counters: the IFPROBBER's (encountered, taken) pair. */
+struct BranchCounts
+{
+    int64_t executed = 0;
+    int64_t taken = 0;
+};
+
+/**
+ * Everything one run of a program produces for the experiment machinery:
+ * the MFPixie-style dynamic instruction counters by category, plus the
+ * IFPROBBER-style per-branch-site direction counters.
+ */
+struct RunStats
+{
+    int64_t instructions = 0;     ///< every executed RISC operation
+    int64_t cond_branches = 0;    ///< executed kBr
+    int64_t taken_branches = 0;   ///< kBr that went to the taken target
+    int64_t jumps = 0;            ///< executed kJmp
+    int64_t direct_calls = 0;     ///< executed kCall
+    int64_t indirect_calls = 0;   ///< executed kICall
+    int64_t direct_returns = 0;   ///< kRet matching a kCall
+    int64_t indirect_returns = 0; ///< kRet matching a kICall
+    int64_t selects = 0;          ///< executed kSelect
+    int64_t exit_code = 0;        ///< main()'s return value (0 for kHalt)
+
+    /** Indexed by static branch site id. */
+    std::vector<BranchCounts> branches;
+
+    /** Dynamic fraction of executed instructions that were conditional
+     *  branches (the branch density that motivates the paper's
+     *  instructions-per-mispredict measure). */
+    double branchDensity() const;
+
+    /** Percent of executed conditional branches that were taken. */
+    double percentTaken() const;
+
+    /** Merge another run's counters into this one (the IFPROBBER database
+     *  accumulation across runs). Branch tables must be the same size. */
+    void accumulate(const RunStats &other);
+
+    /** Plain-text serialization, used by the experiment cache. */
+    void save(std::ostream &os) const;
+    static RunStats load(std::istream &is);
+};
+
+} // namespace ifprob::vm
+
+#endif // IFPROB_VM_RUN_STATS_H

@@ -1,0 +1,185 @@
+#include "workloads/datagen.h"
+
+#include <array>
+
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace ifprob::workloads {
+
+namespace {
+
+const std::array<const char *, 24> kIdentifiers = {
+    "buf", "ptr", "len", "count", "index", "state", "flags", "node", "next",
+    "head", "tail", "size", "offset", "value", "result", "tmp", "ch",
+    "line", "token", "table", "entry", "key", "mask", "depth",
+};
+
+const std::array<const char *, 12> kCKeywords = {
+    "if", "while", "for", "return", "break", "else", "switch", "case",
+    "static", "int", "char", "struct",
+};
+
+const std::array<const char *, 40> kWords = {
+    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he",
+    "was", "for", "on", "are", "as", "with", "his", "they", "at", "be",
+    "this", "have", "from", "or", "one", "had", "by", "word", "but", "not",
+    "what", "all", "were", "we", "when", "your", "can", "said", "there",
+};
+
+} // namespace
+
+std::string
+generateCSource(uint64_t seed, size_t target_bytes)
+{
+    Rng rng(seed);
+    std::string out;
+    out.reserve(target_bytes + 256);
+    int fn = 0;
+    while (out.size() < target_bytes) {
+        out += strPrintf("static int fn_%d(int %s, int %s)\n{\n", fn++,
+                         kIdentifiers[rng.below(kIdentifiers.size())],
+                         kIdentifiers[rng.below(kIdentifiers.size())]);
+        int stmts = static_cast<int>(rng.range(4, 14));
+        for (int s = 0; s < stmts; ++s) {
+            int indent = static_cast<int>(rng.range(1, 3));
+            out.append(static_cast<size_t>(indent * 4), ' ');
+            switch (rng.below(5)) {
+              case 0:
+                out += strPrintf("%s = %s + %lld;\n",
+                                 kIdentifiers[rng.below(kIdentifiers.size())],
+                                 kIdentifiers[rng.below(kIdentifiers.size())],
+                                 static_cast<long long>(rng.range(0, 255)));
+                break;
+              case 1:
+                out += strPrintf("%s (%s %s %lld) {\n",
+                                 kCKeywords[rng.below(3)],
+                                 kIdentifiers[rng.below(kIdentifiers.size())],
+                                 rng.chance(0.5) ? "<" : "==",
+                                 static_cast<long long>(rng.range(0, 64)));
+                break;
+              case 2:
+                out += strPrintf("%s[%s] = %s(%s);\n",
+                                 kIdentifiers[rng.below(kIdentifiers.size())],
+                                 kIdentifiers[rng.below(kIdentifiers.size())],
+                                 kIdentifiers[rng.below(kIdentifiers.size())],
+                                 kIdentifiers[rng.below(kIdentifiers.size())]);
+                break;
+              case 3:
+                out += "}\n";
+                break;
+              default:
+                out += strPrintf("return %s & 0x%llx;\n",
+                                 kIdentifiers[rng.below(kIdentifiers.size())],
+                                 static_cast<unsigned long long>(
+                                     rng.below(4096)));
+                break;
+            }
+        }
+        out += "}\n\n";
+    }
+    out.resize(target_bytes);
+    return out;
+}
+
+std::string
+generateFortranSource(uint64_t seed, size_t target_bytes)
+{
+    Rng rng(seed);
+    std::string out;
+    out.reserve(target_bytes + 256);
+    int label = 10;
+    int sub = 0;
+    while (out.size() < target_bytes) {
+        out += strPrintf("      SUBROUTINE SUB%d(A, B, N)\n", sub++);
+        out += "      DIMENSION A(N), B(N)\n";
+        int loops = static_cast<int>(rng.range(2, 6));
+        for (int l = 0; l < loops; ++l) {
+            out += strPrintf("      DO %d I = 1, N\n", label);
+            int stmts = static_cast<int>(rng.range(1, 4));
+            for (int s = 0; s < stmts; ++s) {
+                out += strPrintf("         A(I) = B(I) * %lld.%lldE%lld + "
+                                 "A(I)\n",
+                                 static_cast<long long>(rng.range(1, 9)),
+                                 static_cast<long long>(rng.range(0, 99)),
+                                 static_cast<long long>(rng.range(-3, 3)));
+            }
+            out += strPrintf("%d    CONTINUE\n", label);
+            label += 10;
+        }
+        out += "      RETURN\n      END\n\n";
+    }
+    out.resize(target_bytes);
+    return out;
+}
+
+std::string
+generateProse(uint64_t seed, size_t target_bytes)
+{
+    Rng rng(seed);
+    std::string out;
+    out.reserve(target_bytes + 64);
+    size_t line_len = 0;
+    while (out.size() < target_bytes) {
+        const char *word = kWords[rng.below(kWords.size())];
+        out += word;
+        line_len += std::string_view(word).size() + 1;
+        if (line_len > 60) {
+            out += "\n";
+            line_len = 0;
+        } else {
+            out += " ";
+        }
+        if (rng.chance(0.08))
+            out += rng.chance(0.5) ? ". " : ", ";
+    }
+    out.resize(target_bytes);
+    return out;
+}
+
+std::string
+generateNumberTable(uint64_t seed, size_t rows, size_t cols)
+{
+    Rng rng(seed);
+    std::string out;
+    out.reserve(rows * cols * 12);
+    double walk = 1.0;
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+            walk += (rng.real() - 0.5) * 0.25;
+            out += strPrintf("%.6f", walk + static_cast<double>(c));
+            out += c + 1 < cols ? " " : "\n";
+        }
+    }
+    return out;
+}
+
+std::string
+generateBinaryish(uint64_t seed, size_t target_bytes)
+{
+    Rng rng(seed);
+    std::string out;
+    out.reserve(target_bytes);
+    while (out.size() < target_bytes) {
+        if (rng.chance(0.3)) {
+            // A run (compressible).
+            char b = static_cast<char>(rng.below(256));
+            size_t run = static_cast<size_t>(rng.range(4, 40));
+            out.append(run, b);
+        } else if (rng.chance(0.5)) {
+            // Structured record: small values with zero padding.
+            for (int i = 0; i < 8; ++i)
+                out.push_back(static_cast<char>(rng.below(16)));
+            out.append(8, '\0');
+        } else {
+            // Noise (incompressible).
+            size_t n = static_cast<size_t>(rng.range(4, 24));
+            for (size_t i = 0; i < n; ++i)
+                out.push_back(static_cast<char>(rng.below(256)));
+        }
+    }
+    out.resize(target_bytes);
+    return out;
+}
+
+} // namespace ifprob::workloads

@@ -1,0 +1,34 @@
+#ifndef IFPROB_WORKLOADS_DATAGEN_H
+#define IFPROB_WORKLOADS_DATAGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace ifprob::workloads {
+
+/**
+ * Deterministic text generators for the dataset inputs. The paper's
+ * datasets were real files (C sources, FORTRAN sources, SPEC reference
+ * inputs); these produce synthetic streams with the same statistical
+ * texture (identifier/keyword mix, indentation, numeric density) from a
+ * fixed seed, so the whole experiment is reproducible offline.
+ */
+
+/** Systems-style C source text of roughly @p target_bytes. */
+std::string generateCSource(uint64_t seed, size_t target_bytes);
+
+/** Numeric FORTRAN-style source text of roughly @p target_bytes. */
+std::string generateFortranSource(uint64_t seed, size_t target_bytes);
+
+/** English-like word text (the SPEC "long" reference flavour). */
+std::string generateProse(uint64_t seed, size_t target_bytes);
+
+/** Whitespace-separated decimal numbers, e.g. tabulated simulator output. */
+std::string generateNumberTable(uint64_t seed, size_t rows, size_t cols);
+
+/** Semi-compressible binary-ish byte stream (object-file flavour). */
+std::string generateBinaryish(uint64_t seed, size_t target_bytes);
+
+} // namespace ifprob::workloads
+
+#endif // IFPROB_WORKLOADS_DATAGEN_H

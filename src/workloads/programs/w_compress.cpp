@@ -1,0 +1,233 @@
+#include "workloads/workload.h"
+
+#include "compiler/pipeline.h"
+#include "support/error.h"
+#include "vm/machine.h"
+#include "workloads/datagen.h"
+
+namespace ifprob::workloads {
+
+namespace {
+
+/**
+ * LZW with 12-bit codes and dictionary reset, modelled on SPEC `compress`.
+ * As in the paper, compression and decompression are ONE program selected
+ * by a switch (here: the first input byte, 'C' or 'D'), so the two
+ * workloads share every static branch site — which is what let the
+ * authors observe that using one mode to predict the other "is a very
+ * bad idea".
+ */
+const char kCompressSource[] = R"(
+// LZW compress/uncompress (12-bit codes, CLEAR resets).
+// Disabled compression-ratio bookkeeping (small dead-code carrier).
+int show_ratio = 0;
+int bytes_in = 0;
+int codes_out = 0;
+int ht_key[8192];
+int ht_code[8192];
+int dict_prefix[4096];
+int dict_char[4096];
+int stack[4096];
+int next_code = 257;
+int pending = -1;   // write-side half-pair buffer
+int rpending = -1;  // read-side second-code buffer
+
+void reset_table() {
+    int i;
+    for (i = 0; i < 8192; i++)
+        ht_key[i] = -1;
+    next_code = 257;
+}
+
+void putcode(int code) {
+    if (show_ratio)
+        codes_out = codes_out + 1;
+    if (pending < 0) {
+        pending = code;
+    } else {
+        putc(pending >> 4);
+        putc(((pending & 15) << 4) | (code >> 8));
+        putc(code & 255);
+        pending = -1;
+    }
+}
+
+void flushcode() {
+    if (pending >= 0) {
+        putc(pending >> 4);
+        putc((pending & 15) << 4);
+        pending = -1;
+    }
+}
+
+int find(int key) {
+    int h;
+    h = (key * 40503) & 8191;
+    while (ht_key[h] != -1 && ht_key[h] != key)
+        h = (h + 1) & 8191;
+    return h;
+}
+
+void compress() {
+    int prefix, c, key, slot;
+    reset_table();
+    prefix = getc();
+    if (prefix == -1) {
+        flushcode();
+        return;
+    }
+    c = getc();
+    while (c != -1) {
+        key = prefix * 256 + c;
+        slot = find(key);
+        if (ht_key[slot] == key) {
+            prefix = ht_code[slot];
+        } else {
+            putcode(prefix);
+            if (next_code < 4096) {
+                ht_key[slot] = key;
+                ht_code[slot] = next_code;
+                next_code = next_code + 1;
+            } else {
+                putcode(256);   // CLEAR
+                reset_table();
+            }
+            prefix = c;
+        }
+        c = getc();
+    }
+    putcode(prefix);
+    flushcode();
+}
+
+int getcode() {
+    int b0, b1, b2, code;
+    if (rpending != -1) {
+        code = rpending;
+        rpending = -1;
+        return code;
+    }
+    b0 = getc();
+    if (b0 == -1)
+        return -1;
+    b1 = getc();
+    if (b1 == -1)
+        return -1;
+    code = (b0 << 4) | (b1 >> 4);
+    b2 = getc();
+    if (b2 == -1)
+        return code;
+    rpending = ((b1 & 15) << 8) | b2;
+    return code;
+}
+
+void decompress() {
+    int code, old, in, k, sp;
+    next_code = 257;
+    old = getcode();
+    if (old == -1)
+        return;
+    putc(old);
+    k = old;
+    code = getcode();
+    while (code != -1) {
+        if (code == 256) {      // CLEAR
+            next_code = 257;
+            old = getcode();
+            if (old == -1)
+                return;
+            putc(old);
+            k = old;
+            code = getcode();
+            continue;
+        }
+        in = code;
+        sp = 0;
+        if (code >= next_code) { // KwKwK special case
+            stack[sp] = k;
+            sp = sp + 1;
+            code = old;
+        }
+        while (code >= 256) {
+            stack[sp] = dict_char[code];
+            sp = sp + 1;
+            code = dict_prefix[code];
+        }
+        k = code;
+        stack[sp] = k;
+        sp = sp + 1;
+        while (sp > 0) {
+            sp = sp - 1;
+            putc(stack[sp]);
+        }
+        if (next_code < 4096) {
+            dict_prefix[next_code] = old;
+            dict_char[next_code] = k;
+            next_code = next_code + 1;
+        }
+        old = in;
+        code = getcode();
+    }
+}
+
+int main() {
+    int mode;
+    mode = getc();
+    if (mode == 'C')
+        compress();
+    else
+        decompress();
+    return 0;
+}
+)";
+
+/** Raw (pre-switch) inputs shared by the compress/uncompress datasets. */
+std::vector<Dataset>
+rawDatasets()
+{
+    std::vector<Dataset> out;
+    out.push_back({"cmprssc", generateCSource(0x11, 60000)});
+    out.push_back({"cmprss", generateBinaryish(0x22, 60000)});
+    out.push_back({"long", generateProse(0x33, 180000)});
+    out.push_back({"spicef", generateFortranSource(0x44, 60000)});
+    out.push_back({"spice", generateNumberTable(0x55, 900, 6)});
+    return out;
+}
+
+} // namespace
+
+Workload
+makeCompress()
+{
+    Workload w;
+    w.name = "compress";
+    w.description = "LZW file compression (12-bit codes)";
+    w.fortran_like = false;
+    w.source = kCompressSource;
+    for (auto &d : rawDatasets())
+        w.datasets.push_back({d.name, "C" + d.input});
+    return w;
+}
+
+Workload
+makeUncompress()
+{
+    Workload w;
+    w.name = "uncompress";
+    w.description = "LZW decompression (same program, decompress switch)";
+    w.fortran_like = false;
+    w.source = kCompressSource;
+
+    // The uncompress inputs are the actual compressed outputs: compile the
+    // shared program once and run it in compress mode over each raw
+    // dataset.
+    isa::Program program = compile(kCompressSource);
+    vm::Machine machine(program);
+    for (auto &d : rawDatasets()) {
+        vm::RunResult r = machine.run("C" + d.input);
+        w.datasets.push_back({d.name, "D" + r.output});
+    }
+    return w;
+}
+
+} // namespace ifprob::workloads

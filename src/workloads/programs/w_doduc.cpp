@@ -1,0 +1,144 @@
+#include "workloads/workload.h"
+
+namespace ifprob::workloads {
+
+/**
+ * doduc analogue: Monte-Carlo-flavoured time-stepped simulation of a
+ * nuclear reactor's thermo-hydraulics. Many small routines with
+ * data-dependent floating-point threshold branches — a FORTRAN program
+ * with comparatively *low* instructions-per-break (paper Table 3:
+ * ~257-275). Datasets vary only in simulated length, as in SPEC
+ * (tiny/small/ref).
+ */
+Workload
+makeDoduc()
+{
+    Workload w;
+    w.name = "doduc";
+    w.description = "time-stepped reactor simulation with threshold branches";
+    w.fortran_like = true;
+    w.source = R"(
+// doduc analogue: lots of small routines, data-dependent FP branches.
+// Disabled event logging (paper: 2% dynamic dead code).
+int log_events = 0;
+int events = 0;
+float temp[64];
+float flow[64];
+float press[64];
+int seed = 99;
+int trips = 0;
+int interp_hits = 0;
+
+float frand() {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed / 2147483648.0;
+}
+
+// Table interpolation with a linear scan: classic doduc-style hot spot.
+float tabx[32] = {0};
+float taby[32] = {0};
+
+void mktable() {
+    int i;
+    for (i = 0; i < 32; i++) {
+        tabx[i] = i * 0.125;
+        taby[i] = sin(i * 0.125) + 0.3 * cos(i * 0.4);
+    }
+}
+
+float interp(float v) {
+    int i;
+    i = 0;
+    while (i < 31 && tabx[i + 1] < v)
+        i = i + 1;
+    interp_hits = interp_hits + 1;
+    if (i >= 31)
+        return taby[31];
+    return taby[i] + (taby[i + 1] - taby[i]) * (v - tabx[i]) /
+           (tabx[i + 1] - tabx[i] + 1.0e-12);
+}
+
+float channel(int c, float dt) {
+    float q, dq, t;
+    if (log_events)
+        events = events + 1;
+    t = temp[c];
+    q = flow[c];
+    dq = (press[c] - q * q * 0.37) * dt;
+    q = q + dq;
+    if (q < 0.01)
+        q = 0.01;
+    // Heat transfer regime selection: data-dependent branch nest.
+    if (t > 2.8) {
+        t = t - (0.11 + 0.02 * q) * dt * (t - 1.9);
+        if (q > 1.2)
+            t = t - 0.01 * dt;
+    } else if (t > 1.4) {
+        t = t + dt * (interp(q) * 0.35 - (t - 1.4) * 0.08);
+    } else {
+        t = t + dt * (0.21 * q + 0.02);
+        if (t > 1.4)
+            trips = trips + 1;
+    }
+    flow[c] = q;
+    temp[c] = t;
+    return t;
+}
+
+void pressures(float dt) {
+    int c;
+    float avg;
+    avg = 0.0;
+    for (c = 0; c < 64; c++)
+        avg = avg + press[c];
+    avg = avg / 64.0;
+    for (c = 0; c < 64; c++) {
+        press[c] = press[c] + dt * (avg - press[c]) * 0.4
+                 + (frand() - 0.5) * 0.02;
+        if (press[c] < 0.1)
+            press[c] = 0.1;
+        if (press[c] > 4.0)
+            press[c] = 4.0;
+    }
+}
+
+int main() {
+    int steps, s, c;
+    float dt, tmax, checksum;
+    steps = geti();
+    dt = 0.01;
+    for (c = 0; c < 64; c++) {
+        temp[c] = 1.0 + 0.03 * c;
+        flow[c] = 0.8;
+        press[c] = 1.0 + 0.01 * c;
+    }
+    mktable();
+    tmax = 0.0;
+    for (s = 0; s < steps; s++) {
+        pressures(dt);
+        for (c = 0; c < 64; c++)
+            tmax = fmax2(tmax, channel(c, dt));
+        // Control system: another data-dependent regime.
+        if (tmax > 3.5) {
+            for (c = 0; c < 64; c++)
+                flow[c] = flow[c] * 1.02;
+            tmax = tmax * 0.98;
+        }
+    }
+    checksum = 0.0;
+    for (c = 0; c < 64; c++)
+        checksum = checksum + temp[c] + flow[c] + press[c];
+    putf(checksum);
+    putc('\n');
+    puti(trips);
+    putc('\n');
+    return 0;
+}
+)";
+    w.datasets.push_back({"tiny", "400\n"});
+    w.datasets.push_back({"small", "1200\n"});
+    w.datasets.push_back({"ref", "4000\n"});
+    return w;
+}
+
+} // namespace ifprob::workloads

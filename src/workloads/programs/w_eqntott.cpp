@@ -1,0 +1,206 @@
+#include "workloads/workload.h"
+
+#include "support/str.h"
+
+namespace ifprob::workloads {
+
+namespace {
+
+/**
+ * Equation text for an N-bit ripple-carry adder in the "naive sum and
+ * carry equations" style of the paper's add4/add5/add6 datasets.
+ * Inputs: x0..xN-1 = a, xN..x2N-1 = b, x2N = carry-in. Outputs are
+ * defined in order and may reference earlier outputs (z-references), as
+ * eqntott's intermediate definitions allowed.
+ */
+std::string
+adderEquations(int bits)
+{
+    std::string out = strPrintf("i %d\no %d\n", 2 * bits + 1, 2 * bits);
+    int z = 0;
+    int carry_ref = -1; // -1 means carry-in input x(2*bits)
+    auto carry_term = [&](void) -> std::string {
+        if (carry_ref < 0)
+            return strPrintf("x%d", 2 * bits);
+        return strPrintf("z%d", carry_ref);
+    };
+    for (int i = 0; i < bits; ++i) {
+        std::string a = strPrintf("x%d", i);
+        std::string b = strPrintf("x%d", bits + i);
+        std::string c = carry_term();
+        // Sum bit: 3-variable XOR as a naive sum of products.
+        out += strPrintf(
+            "z%d = (%s & !%s & !%s) | (!%s & %s & !%s) | "
+            "(!%s & !%s & %s) | (%s & %s & %s) ;\n",
+            z, a.c_str(), b.c_str(), c.c_str(), a.c_str(), b.c_str(),
+            c.c_str(), a.c_str(), b.c_str(), c.c_str(), a.c_str(),
+            b.c_str(), c.c_str());
+        ++z;
+        // Carry out: majority.
+        out += strPrintf("z%d = (%s & %s) | (%s & %s) | (%s & %s) ;\n", z,
+                         a.c_str(), b.c_str(), a.c_str(), c.c_str(),
+                         b.c_str(), c.c_str());
+        carry_ref = z;
+        ++z;
+    }
+    return out;
+}
+
+/** Priority encoder: z_k = x_k & !x_{k+1} & ... & !x_{n-1}. */
+std::string
+priorityEquations(int bits)
+{
+    std::string out = strPrintf("i %d\no %d\n", bits, bits);
+    for (int k = 0; k < bits; ++k) {
+        out += strPrintf("z%d = x%d", k, k);
+        for (int j = k + 1; j < bits; ++j)
+            out += strPrintf(" & !x%d", j);
+        out += " ;\n";
+    }
+    return out;
+}
+
+} // namespace
+
+/**
+ * eqntott analogue: parses boolean equations (infix with & | ! and
+ * parentheses, inputs x<i>, back-references z<i>) and prints the full
+ * truth table by enumerating every input vector. Recursive-descent
+ * parsing plus a recursive tree-walking evaluator with short-circuit
+ * logic make this the paper's canonical branchy C/integer program.
+ */
+Workload
+makeEqntott()
+{
+    Workload w;
+    w.name = "eqntott";
+    w.description = "boolean equations to truth table";
+    w.fortran_like = false;
+    w.source = R"(
+// eqntott analogue: equation parser + truth table enumeration.
+// Disabled minterm statistics (paper: eqntott carried 4% dead code).
+int tally_ones = 0;
+int ones = 0;
+int node_op[20000];   // 0=input var, 1=and, 2=or, 3=not, 4=output ref
+int node_a[20000];
+int node_b[20000];
+int nnodes = 0;
+int roots[64];
+int zval[64];
+int ninputs = 0;
+int noutputs = 0;
+int lookahead = -2;
+
+int peekch() {
+    int c;
+    if (lookahead == -2) {
+        c = ngetc();
+        while (c == ' ' || c == '\n' || c == '\t' || c == '\r')
+            c = ngetc();
+        lookahead = c;
+    }
+    return lookahead;
+}
+
+int nextch() {
+    int c;
+    c = peekch();
+    lookahead = -2;
+    return c;
+}
+
+int newnode(int op, int a, int b) {
+    node_op[nnodes] = op;
+    node_a[nnodes] = a;
+    node_b[nnodes] = b;
+    nnodes = nnodes + 1;
+    return nnodes - 1;
+}
+
+// Note: minic resolves function names program-wide, so the mutual
+// recursion parse_factor -> parse_expr needs no forward declaration.
+int parse_factor() {
+    int c, n;
+    c = nextch();
+    if (c == '!')
+        return newnode(3, parse_factor(), -1);
+    if (c == '(') {
+        n = parse_expr();
+        nextch();   // ')'
+        return n;
+    }
+    if (c == 'x')
+        return newnode(0, geti(), -1);
+    if (c == 'z')
+        return newnode(4, geti(), -1);
+    return newnode(0, 0, -1);   // malformed input: treat as x0
+}
+
+int parse_term() {
+    int n;
+    n = parse_factor();
+    while (peekch() == '&') {
+        nextch();
+        n = newnode(1, n, parse_factor());
+    }
+    return n;
+}
+
+int parse_expr() {
+    int n;
+    n = parse_term();
+    while (peekch() == '|') {
+        nextch();
+        n = newnode(2, n, parse_term());
+    }
+    return n;
+}
+
+int eval(int n, int row) {
+    int op;
+    op = node_op[n];
+    if (op == 0)
+        return (row >> node_a[n]) & 1;
+    if (op == 1)
+        return eval(node_a[n], row) && eval(node_b[n], row);
+    if (op == 2)
+        return eval(node_a[n], row) || eval(node_b[n], row);
+    if (op == 3)
+        return !eval(node_a[n], row);
+    return zval[node_a[n]];
+}
+
+int main() {
+    int i, row, rows, z;
+    nextch();              // 'i'
+    ninputs = geti();
+    nextch();              // 'o'
+    noutputs = geti();
+    for (i = 0; i < noutputs; i++) {
+        nextch();          // 'z'
+        geti();            // output index (sequential)
+        nextch();          // '='
+        roots[i] = parse_expr();
+        nextch();          // ';'
+    }
+    rows = 1 << ninputs;
+    for (row = 0; row < rows; row++) {
+        for (z = 0; z < noutputs; z++) {
+            zval[z] = eval(roots[z], row);
+            if (tally_ones)
+                ones = ones + zval[z];
+            putc('0' + zval[z]);
+        }
+        putc('\n');
+    }
+    return 0;
+}
+)";
+    w.datasets.push_back({"add4", adderEquations(4)});
+    w.datasets.push_back({"add5", adderEquations(5)});
+    w.datasets.push_back({"add6", adderEquations(6)});
+    w.datasets.push_back({"intpri", priorityEquations(12)});
+    return w;
+}
+
+} // namespace ifprob::workloads

@@ -1,0 +1,282 @@
+#include "workloads/workload.h"
+
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace ifprob::workloads {
+
+namespace {
+
+/**
+ * Generate a PLA in espresso's .i/.o format: @p cubes product terms over
+ * @p inputs variables with @p outputs output columns. Literal density and
+ * output density shape how much minimization is possible, which is what
+ * distinguishes the bca/cps/ti/tial reference datasets.
+ */
+std::string
+generatePla(uint64_t seed, int inputs, int outputs, int cubes,
+            double literal_density, double output_density)
+{
+    Rng rng(seed);
+    std::string out = strPrintf(".i %d\n.o %d\n.p %d\n", inputs, outputs,
+                                cubes);
+    for (int c = 0; c < cubes; ++c) {
+        for (int v = 0; v < inputs; ++v) {
+            if (rng.chance(literal_density))
+                out.push_back(rng.chance(0.5) ? '1' : '0');
+            else
+                out.push_back('-');
+        }
+        out.push_back(' ');
+        bool any = false;
+        for (int o = 0; o < outputs; ++o) {
+            bool on = rng.chance(output_density) || (!any && o == outputs - 1);
+            any = any || on;
+            out.push_back(on ? '1' : '0');
+        }
+        out.push_back('\n');
+    }
+    out += ".e\n";
+    return out;
+}
+
+} // namespace
+
+/**
+ * espresso analogue: two-level PLA minimization via EXPAND (greedily
+ * raising literals to don't-care, validated against the original cover)
+ * followed by single-cube CONTAINMENT removal. The cube scans and
+ * minterm-membership tests reproduce espresso's irregular bit-twiddling
+ * control flow.
+ */
+Workload
+makeEspresso()
+{
+    Workload w;
+    w.name = "espresso";
+    w.description = "PLA two-level minimizer (expand + containment)";
+    w.fortran_like = false;
+    w.source = R"(
+// espresso analogue. Cube literals: 0, 1, 2='-'.
+// Disabled diagnostics (paper: espresso carried 18% dynamic dead code,
+// enough that the authors called out the difference as significant).
+int verbose = 0;
+int gather_stats = 0;
+int probes = 0;
+int covers_checked = 0;
+int ni = 0;
+int no = 0;
+int ncubes = 0;
+int cin_[8192];    // current cover: cube c literal v at c*ni+v
+int cout_[4096];   // output part at c*no+o
+int oin_[8192];    // original cover (the function definition)
+int oout_[4096];
+int ocubes = 0;
+int alive[512];
+int mt[16];        // scratch minterm (one value per input)
+int free_[16];     // free-variable positions during a raise check
+
+// Does cube c of the ORIGINAL cover cover scratch minterm mt for output o?
+int ocovers(int c, int o) {
+    int v, lit;
+    if (gather_stats)
+        covers_checked = covers_checked + 1;
+    if (oout_[c * no + o] == 0)
+        return 0;
+    for (v = 0; v < ni; v++) {
+        lit = oin_[c * ni + v];
+        if (gather_stats)
+            probes = probes + 1;
+        if (lit != 2 && lit != mt[v])
+            return 0;
+    }
+    return 1;
+}
+
+// Is scratch minterm mt in the function for output o?
+int infunction(int o) {
+    int c;
+    for (c = 0; c < ocubes; c++) {
+        if (ocovers(c, o))
+            return 1;
+    }
+    return 0;
+}
+
+// Enumerate the minterms newly covered when literal v of cube c is raised
+// (those with variable v at the opposite value); each must lie inside the
+// function for every asserted output.
+int raise_ok(int c, int v) {
+    int nfree, i, j, combo, ncombo, o, oldlit;
+    oldlit = cin_[c * ni + v];
+    nfree = 0;
+    for (i = 0; i < ni; i++) {
+        if (i == v) {
+            mt[i] = 1 - oldlit;   // the newly covered half-space
+        } else if (cin_[c * ni + i] == 2) {
+            free_[nfree] = i;
+            nfree = nfree + 1;
+        } else {
+            mt[i] = cin_[c * ni + i];
+        }
+    }
+    ncombo = 1 << nfree;
+    for (combo = 0; combo < ncombo; combo++) {
+        for (j = 0; j < nfree; j++) {
+            if (verbose)
+                putc('0' + ((combo >> j) & 1));
+            mt[free_[j]] = (combo >> j) & 1;
+        }
+        for (o = 0; o < no; o++) {
+            if (cout_[c * no + o] == 1) {
+                if (!infunction(o))
+                    return 0;
+            }
+        }
+    }
+    return 1;
+}
+
+void expand() {
+    int c, v;
+    for (c = 0; c < ncubes; c++) {
+        for (v = 0; v < ni; v++) {
+            if (cin_[c * ni + v] != 2) {
+                if (raise_ok(c, v))
+                    cin_[c * ni + v] = 2;
+            }
+        }
+    }
+}
+
+// Cube d single-cube-contains cube c: d's input part covers c's and d's
+// outputs include c's.
+int contains(int d, int c) {
+    int v, o, dl, cl;
+    for (v = 0; v < ni; v++) {
+        dl = cin_[d * ni + v];
+        cl = cin_[c * ni + v];
+        if (dl != 2 && dl != cl)
+            return 0;
+    }
+    for (o = 0; o < no; o++) {
+        if (cout_[c * no + o] == 1 && cout_[d * no + o] == 0)
+            return 0;
+    }
+    return 1;
+}
+
+int contain() {
+    int c, d, removed;
+    removed = 0;
+    for (c = 0; c < ncubes; c++) {
+        if (!alive[c])
+            continue;
+        for (d = 0; d < ncubes; d++) {
+            if (d != c && alive[d] && alive[c] && contains(d, c)) {
+                // Break ties deterministically so exactly one of two
+                // identical cubes survives.
+                if (!contains(c, d) || d < c) {
+                    alive[c] = 0;
+                    removed = removed + 1;
+                }
+            }
+        }
+    }
+    return removed;
+}
+
+void readpla() {
+    int c, v, o, ch;
+    ch = ngetc();
+    while (ch != -1) {
+        if (ch == '.') {
+            ch = ngetc();
+            if (ch == 'i') {
+                ni = geti();
+            } else if (ch == 'o') {
+                no = geti();
+            } else if (ch == 'p') {
+                geti();   // cube count hint, unused
+            } else if (ch == 'e') {
+                return;
+            }
+            // skip to end of line
+            while (ch != '\n' && ch != -1)
+                ch = ngetc();
+        } else if (ch == '0' || ch == '1' || ch == '-') {
+            c = ncubes;
+            v = 0;
+            while (ch == '0' || ch == '1' || ch == '-') {
+                if (ch == '-')
+                    cin_[c * ni + v] = 2;
+                else
+                    cin_[c * ni + v] = ch - '0';
+                v = v + 1;
+                ch = ngetc();
+            }
+            while (ch == ' ' || ch == '\t')
+                ch = ngetc();
+            o = 0;
+            while (ch == '0' || ch == '1') {
+                cout_[c * no + o] = ch - '0';
+                o = o + 1;
+                ch = ngetc();
+            }
+            alive[c] = 1;
+            ncubes = ncubes + 1;
+        } else {
+            ch = ngetc();
+        }
+    }
+}
+
+int main() {
+    int c, v, o, live;
+    readpla();
+    // Snapshot the original cover as the function definition.
+    ocubes = ncubes;
+    for (c = 0; c < ncubes; c++) {
+        for (v = 0; v < ni; v++)
+            oin_[c * ni + v] = cin_[c * ni + v];
+        for (o = 0; o < no; o++)
+            oout_[c * no + o] = cout_[c * no + o];
+    }
+    expand();
+    contain();
+    live = 0;
+    for (c = 0; c < ncubes; c++)
+        if (alive[c])
+            live = live + 1;
+    puts(".p ");
+    puti(live);
+    putc('\n');
+    for (c = 0; c < ncubes; c++) {
+        if (!alive[c]) continue;
+        for (v = 0; v < ni; v++) {
+            if (cin_[c * ni + v] == 2)
+                putc('-');
+            else
+                putc('0' + cin_[c * ni + v]);
+        }
+        putc(' ');
+        for (o = 0; o < no; o++)
+            putc('0' + cout_[c * no + o]);
+        putc('\n');
+    }
+    puts(".e\n");
+    return 0;
+}
+)";
+    w.datasets.push_back(
+        {"bca", generatePla(0xb0a, 8, 6, 48, 0.75, 0.35)});
+    w.datasets.push_back(
+        {"cps", generatePla(0xc95, 8, 4, 36, 0.55, 0.5)});
+    w.datasets.push_back(
+        {"ti", generatePla(0x71, 7, 8, 44, 0.85, 0.25)});
+    w.datasets.push_back(
+        {"tial", generatePla(0x7a1, 8, 8, 56, 0.65, 0.4)});
+    return w;
+}
+
+} // namespace ifprob::workloads

@@ -1,0 +1,132 @@
+#include "workloads/workload.h"
+
+#include "support/str.h"
+
+namespace ifprob::workloads {
+
+namespace {
+
+/**
+ * Build the giant straight-line basic block that characterizes fpppp:
+ * the paper describes its inner loop as "a giant expression with no flow
+ * of control" executing roughly 170 instructions per branch. We generate
+ * a long chain of dependent floating-point statements (a synthetic
+ * two-electron-integral kernel) so the block's size dwarfs its loop
+ * overhead.
+ */
+std::string
+bigBlock(int statements)
+{
+    // Every template is a contraction on [-1.2, 1.2], so the chain of
+    // hundreds of dependent statements stays bounded (no NaN/Inf) while
+    // remaining straight-line floating-point code.
+    std::string out;
+    for (int i = 0; i < statements; ++i) {
+        switch (i % 5) {
+          case 0:
+            out += ifprob::strPrintf(
+                "    t%d = 0.31 * t%d + 0.27 * t%d - 0.24 * t%d;\n",
+                (i + 4) % 8, i % 8, (i + 1) % 8, (i + 2) % 8);
+            break;
+          case 1:
+            out += ifprob::strPrintf(
+                "    t%d = t%d / (t%d * t%d + 1.37) + 0.1 * r12;\n",
+                (i + 4) % 8, (i + 3) % 8, i % 8, i % 8);
+            break;
+          case 2:
+            out += ifprob::strPrintf(
+                "    t%d = 0.5 * t%d * t%d + 0.%03d;\n", (i + 4) % 8,
+                i % 8, (i + 1) % 8, (i * 37) % 300);
+            break;
+          case 3:
+            out += ifprob::strPrintf(
+                "    t%d = 0.8 * t%d + g4 * (0.3 * t%d - 0.4 * t%d);\n",
+                (i + 4) % 8, i % 8, (i + 1) % 8, (i + 2) % 8);
+            break;
+          default:
+            out += ifprob::strPrintf(
+                "    acc = acc + 0.001 * t%d * t%d;\n", i % 8, (i + 4) % 8);
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+/**
+ * fpppp analogue: quantum-chemistry two-electron integral evaluation with
+ * one enormous basic block per shell pair. The dataset is the atom count
+ * (the paper ran 4atoms and 8atoms); more atoms means more shell pairs.
+ */
+Workload
+makeFpppp()
+{
+    Workload w;
+    w.name = "fpppp";
+    w.description = "two-electron integral kernel with a giant basic block";
+    w.fortran_like = true;
+
+    std::string source = R"(
+// fpppp analogue: giant straight-line FP block per shell pair.
+// Disabled integral screening statistics (paper: 1% dead code).
+int count_integrals = 0;
+int integrals = 0;
+float shells[1024];
+float acc = 0.0;
+float g1 = 1.104;
+float g2 = 0.9273;
+float g3 = 0.4181;
+float g4 = 0.2113;
+
+void setup(int nshell) {
+    int i;
+    for (i = 0; i < nshell; i++)
+        shells[i] = 0.31 + 0.07 * sin(i * 0.61);
+}
+
+float pair(float za, float zb) {
+    float t0, t1, t2, t3, t4, t5, t6, t7, r12;
+    int rep;
+    if (count_integrals)
+        integrals = integrals + 1;
+    t0 = za;
+    t1 = zb;
+    t2 = za * zb;
+    t3 = za + zb;
+    t4 = 1.0 / (t3 + 0.001);
+    t5 = exp(0.0 - t2 * t4);
+    t6 = sqrt(t3);
+    t7 = t5 * t6;
+    r12 = t4 * t7 + 0.01;
+    for (rep = 0; rep < 5; rep++) {
+)" + bigBlock(48) + R"(
+    }
+    return acc;
+}
+
+int main() {
+    int natoms, nshell, i, j;
+    float result;
+    natoms = geti();
+    nshell = natoms * 10;
+    setup(nshell);
+    result = 0.0;
+    for (i = 0; i < nshell; i++) {
+        for (j = i + 1; j < nshell; j++) {
+            acc = 0.0;
+            result = result + pair(shells[i], shells[j]);
+        }
+    }
+    putf(result);
+    putc('\n');
+    return 0;
+}
+)";
+    w.source = std::move(source);
+    w.datasets.push_back({"4atoms", "4\n"});
+    w.datasets.push_back({"8atoms", "8\n"});
+    return w;
+}
+
+} // namespace ifprob::workloads

@@ -1,0 +1,631 @@
+#include "workloads/workload.h"
+
+namespace ifprob::workloads {
+
+namespace {
+
+/**
+ * A Lisp interpreter in minic, standing in for SPEC's li (XLISP 1.6).
+ * Tagged cons cells in a large arena, an interning reader, assoc-list
+ * environments, special forms (quote/if/define/set!/lambda/while/begin)
+ * and a builtin table — "constantly looking at lisp instructions and
+ * deciding what to do", the flow-of-control texture the paper highlights.
+ */
+const char kLiSource[] = R"(
+// li analogue: a small Lisp. Cells are parallel arrays; nil is -1.
+// tags: 0=cons, 1=int(car=value), 2=symbol(car=symtab idx),
+//       3=builtin(car=op), 4=lambda(car=(params . body...), cdr=env)
+int tag[16000000];
+int car_[16000000];
+int cdr_[16000000];
+int hp = 0;
+
+int symoff[512];
+int symlen[512];
+int symcell[512];
+int symval[512];
+int nsyms = 0;
+int symchars[8192];
+int nchars = 0;
+int tmpname[64];
+int tmplen = 0;
+
+int s_quote = -1;
+int s_if = -1;
+int s_define = -1;
+int s_set = -1;
+int s_lambda = -1;
+int s_while = -1;
+int s_begin = -1;
+int lk = -2;
+
+int cons(int a, int d) {
+    if (hp >= 16000000) {
+        puts("heap exhausted\n");
+        halt();
+    }
+    tag[hp] = 0;
+    car_[hp] = a;
+    cdr_[hp] = d;
+    hp = hp + 1;
+    return hp - 1;
+}
+
+int mkint(int v) {
+    int c;
+    c = cons(v, -1);
+    tag[c] = 1;
+    return c;
+}
+
+int mkbuiltin(int op) {
+    int c;
+    c = cons(op, -1);
+    tag[c] = 3;
+    return c;
+}
+
+// Intern tmpname[0..tmplen); returns the symbol-table index.
+int intern() {
+    int i, j, off, match;
+    for (i = 0; i < nsyms; i++) {
+        if (symlen[i] == tmplen) {
+            match = 1;
+            off = symoff[i];
+            for (j = 0; j < tmplen; j++) {
+                if (symchars[off + j] != tmpname[j])
+                    match = 0;
+            }
+            if (match)
+                return i;
+        }
+    }
+    symoff[nsyms] = nchars;
+    symlen[nsyms] = tmplen;
+    for (j = 0; j < tmplen; j++) {
+        symchars[nchars] = tmpname[j];
+        nchars = nchars + 1;
+    }
+    symval[nsyms] = -2;   // unbound
+    symcell[nsyms] = cons(nsyms, -1);
+    tag[symcell[nsyms]] = 2;
+    nsyms = nsyms + 1;
+    return nsyms - 1;
+}
+
+// --- reader ---------------------------------------------------------------
+
+int rdch() {
+    int c;
+    if (lk != -2) {
+        c = lk;
+        lk = -2;
+        return c;
+    }
+    return getc();
+}
+
+int peekc() {
+    if (lk == -2)
+        lk = getc();
+    return lk;
+}
+
+void skipws() {
+    int c;
+    c = peekc();
+    while (c == ' ' || c == '\n' || c == '\t' || c == '\r' || c == ';') {
+        if (c == ';') {
+            while (c != '\n' && c != -1)
+                c = rdch();
+        } else {
+            rdch();
+        }
+        c = peekc();
+    }
+}
+
+int issymch(int c) {
+    if (c == -1 || c == ' ' || c == '\n' || c == '\t' || c == '\r')
+        return 0;
+    if (c == '(' || c == ')' || c == ';')
+        return 0;
+    return 1;
+}
+
+int readnum(int sign) {
+    int v, c;
+    v = 0;
+    c = peekc();
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (rdch() - '0');
+        c = peekc();
+    }
+    return mkint(sign * v);
+}
+
+int readx() {
+    int c, head, tail, x, q;
+    skipws();
+    c = peekc();
+    if (c == -1)
+        return -3;              // end of program text
+    if (c == '(') {
+        rdch();
+        head = -1;
+        tail = -1;
+        skipws();
+        while (peekc() != ')' && peekc() != -1) {
+            x = readx();
+            if (x == -3)
+                break;
+            q = cons(x, -1);
+            if (head == -1)
+                head = q;
+            else
+                cdr_[tail] = q;
+            tail = q;
+            skipws();
+        }
+        rdch();                 // ')'
+        return head;
+    }
+    if (c == 39) {              // quote character
+        rdch();
+        x = readx();
+        return cons(symcell[s_quote], cons(x, -1));
+    }
+    if (c >= '0' && c <= '9')
+        return readnum(1);
+    if (c == '-') {
+        rdch();
+        if (peekc() >= '0' && peekc() <= '9')
+            return readnum(-1);
+        tmpname[0] = '-';
+        tmplen = 1;
+        c = peekc();
+        while (issymch(c)) {
+            tmpname[tmplen] = rdch();
+            tmplen = tmplen + 1;
+            c = peekc();
+        }
+        return symcell[intern()];
+    }
+    tmplen = 0;
+    while (issymch(c)) {
+        tmpname[tmplen] = rdch();
+        tmplen = tmplen + 1;
+        c = peekc();
+    }
+    if (tmplen == 0) {
+        rdch();                 // skip a stray character (e.g. lone ')')
+        return readx();
+    }
+    return symcell[intern()];
+}
+
+// --- environments -----------------------------------------------------------
+
+int lookup(int idx, int env) {
+    int e, pair;
+    e = env;
+    while (e != -1) {
+        pair = car_[e];
+        if (car_[pair] == idx)
+            return cdr_[pair];
+        e = cdr_[e];
+    }
+    if (symval[idx] == -2) {
+        puts("unbound symbol\n");
+        halt();
+    }
+    return symval[idx];
+}
+
+void assign(int idx, int val, int env) {
+    int e, pair;
+    e = env;
+    while (e != -1) {
+        pair = car_[e];
+        if (car_[pair] == idx) {
+            cdr_[pair] = val;
+            return;
+        }
+        e = cdr_[e];
+    }
+    symval[idx] = val;
+}
+
+// --- printer ----------------------------------------------------------------
+
+void print_(int x) {
+    int off, j, first;
+    if (x == -1) {
+        puts("nil");
+        return;
+    }
+    if (tag[x] == 1) {
+        puti(car_[x]);
+        return;
+    }
+    if (tag[x] == 2) {
+        off = symoff[car_[x]];
+        for (j = 0; j < symlen[car_[x]]; j++)
+            putc(symchars[off + j]);
+        return;
+    }
+    if (tag[x] == 3) {
+        puts("<builtin>");
+        return;
+    }
+    if (tag[x] == 4) {
+        puts("<lambda>");
+        return;
+    }
+    putc('(');
+    first = 1;
+    while (x != -1 && tag[x] == 0) {
+        if (!first)
+            putc(' ');
+        first = 0;
+        print_(car_[x]);
+        x = cdr_[x];
+    }
+    if (x != -1) {
+        puts(" . ");
+        print_(x);
+    }
+    putc(')');
+}
+
+// --- evaluator ----------------------------------------------------------------
+
+int intval(int x) {
+    if (x == -1 || tag[x] != 1) {
+        puts("expected integer\n");
+        halt();
+    }
+    return car_[x];
+}
+
+int truth(int v) {
+    if (v)
+        return symval[intern_t];
+    return -1;
+}
+
+int intern_t = -1;
+
+int builtin(int op, int args) {
+    int a, b, x;
+    if (op == 11) {             // null
+        if (car_[args] == -1)
+            return truth(1);
+        return -1;
+    }
+    if (op == 12)               // car
+        return car_[car_[args]];
+    if (op == 13)               // cdr
+        return cdr_[car_[args]];
+    if (op == 14)               // cons
+        return cons(car_[args], car_[cdr_[args]]);
+    if (op == 15) {             // not
+        if (car_[args] == -1)
+            return truth(1);
+        return -1;
+    }
+    if (op == 16) {             // print
+        print_(car_[args]);
+        return car_[args];
+    }
+    if (op == 17) {             // terpri
+        putc('\n');
+        return -1;
+    }
+    if (op == 18) {             // eq
+        if (car_[args] == car_[cdr_[args]])
+            return truth(1);
+        return -1;
+    }
+    if (op == 19) {             // atom
+        x = car_[args];
+        if (x == -1 || tag[x] != 0)
+            return truth(1);
+        return -1;
+    }
+    a = intval(car_[args]);
+    b = intval(car_[cdr_[args]]);
+    if (op == 1) return mkint(a + b);
+    if (op == 2) return mkint(a - b);
+    if (op == 3) return mkint(a * b);
+    if (op == 4) {
+        if (b == 0) {
+            puts("division by zero\n");
+            halt();
+        }
+        return mkint(a / b);
+    }
+    if (op == 5) {
+        if (b == 0) {
+            puts("division by zero\n");
+            halt();
+        }
+        return mkint(a % b);
+    }
+    if (op == 6) return truth(a < b);
+    if (op == 7) return truth(a > b);
+    if (op == 8) return truth(a == b);
+    if (op == 9) return truth(a <= b);
+    if (op == 10) return truth(a >= b);
+    puts("unknown builtin\n");
+    halt();
+    return -1;
+}
+
+int apply(int f, int args) {
+    int params, body, env, pair, r;
+    if (f == -1 || (tag[f] != 3 && tag[f] != 4)) {
+        puts("apply: not a function\n");
+        halt();
+    }
+    if (tag[f] == 3)
+        return builtin(car_[f], args);
+    params = car_[car_[f]];
+    body = cdr_[car_[f]];
+    env = cdr_[f];
+    while (params != -1) {
+        if (args == -1) {
+            puts("too few arguments\n");
+            halt();
+        }
+        pair = cons(car_[car_[params]], car_[args]);
+        env = cons(pair, env);
+        params = cdr_[params];
+        args = cdr_[args];
+    }
+    r = -1;
+    while (body != -1) {
+        r = eval(car_[body], env);
+        body = cdr_[body];
+    }
+    return r;
+}
+
+int evlis(int xs, int env) {
+    int head, tail, q;
+    head = -1;
+    tail = -1;
+    while (xs != -1) {
+        q = cons(eval(car_[xs], env), -1);
+        if (head == -1)
+            head = q;
+        else
+            cdr_[tail] = q;
+        tail = q;
+        xs = cdr_[xs];
+    }
+    return head;
+}
+
+int eval(int x, int env) {
+    int t2, h, idx, f, args, b, r, lam;
+    if (x == -1)
+        return -1;
+    t2 = tag[x];
+    if (t2 == 1)
+        return x;
+    if (t2 == 2)
+        return lookup(car_[x], env);
+    if (t2 != 0)
+        return x;
+    h = car_[x];
+    if (h != -1 && tag[h] == 2) {
+        idx = car_[h];
+        if (idx == s_quote)
+            return car_[cdr_[x]];
+        if (idx == s_if) {
+            if (eval(car_[cdr_[x]], env) != -1)
+                return eval(car_[cdr_[cdr_[x]]], env);
+            if (cdr_[cdr_[cdr_[x]]] == -1)
+                return -1;
+            return eval(car_[cdr_[cdr_[cdr_[x]]]], env);
+        }
+        if (idx == s_define) {
+            r = eval(car_[cdr_[cdr_[x]]], env);
+            symval[car_[car_[cdr_[x]]]] = r;
+            return r;
+        }
+        if (idx == s_set) {
+            r = eval(car_[cdr_[cdr_[x]]], env);
+            assign(car_[car_[cdr_[x]]], r, env);
+            return r;
+        }
+        if (idx == s_lambda) {
+            lam = cons(cdr_[x], env);
+            tag[lam] = 4;
+            return lam;
+        }
+        if (idx == s_while) {
+            while (eval(car_[cdr_[x]], env) != -1) {
+                b = cdr_[cdr_[x]];
+                while (b != -1) {
+                    eval(car_[b], env);
+                    b = cdr_[b];
+                }
+            }
+            return -1;
+        }
+        if (idx == s_begin) {
+            r = -1;
+            b = cdr_[x];
+            while (b != -1) {
+                r = eval(car_[b], env);
+                b = cdr_[b];
+            }
+            return r;
+        }
+    }
+    f = eval(h, env);
+    args = evlis(cdr_[x], env);
+    return apply(f, args);
+}
+
+// --- initialization --------------------------------------------------------
+
+// Interned names, 0-separated: 7 special forms, then t, then builtins in
+// op order (+ - * / rem < > = <= >= null car cdr cons not print terpri
+// eq atom).
+int names[140] = {
+    'q','u','o','t','e',0, 'i','f',0, 'd','e','f','i','n','e',0,
+    's','e','t','!',0, 'l','a','m','b','d','a',0, 'w','h','i','l','e',0,
+    'b','e','g','i','n',0, 't',0,
+    '+',0, '-',0, '*',0, '/',0, 'r','e','m',0,
+    '<',0, '>',0, '=',0, '<','=',0, '>','=',0,
+    'n','u','l','l',0, 'c','a','r',0, 'c','d','r',0, 'c','o','n','s',0,
+    'n','o','t',0, 'p','r','i','n','t',0, 't','e','r','p','r','i',0,
+    'e','q',0, 'a','t','o','m',0, 'n','i','l',0
+};
+
+void init() {
+    int p, which, idx;
+    p = 0;
+    which = 0;
+    while (which < 28) {
+        tmplen = 0;
+        while (names[p] != 0) {
+            tmpname[tmplen] = names[p];
+            tmplen = tmplen + 1;
+            p = p + 1;
+        }
+        p = p + 1;
+        idx = intern();
+        if (which == 0) s_quote = idx;
+        else if (which == 1) s_if = idx;
+        else if (which == 2) s_define = idx;
+        else if (which == 3) s_set = idx;
+        else if (which == 4) s_lambda = idx;
+        else if (which == 5) s_while = idx;
+        else if (which == 6) s_begin = idx;
+        else if (which == 7) {
+            intern_t = idx;
+            symval[idx] = symcell[idx];
+        } else if (which == 27) {
+            symval[idx] = -1;   // nil evaluates to the empty list
+        } else {
+            symval[idx] = mkbuiltin(which - 7);
+        }
+        which = which + 1;
+    }
+}
+
+int main() {
+    int x;
+    init();
+    x = readx();
+    while (x != -3) {
+        eval(x, -1);
+        x = readx();
+    }
+    return 0;
+}
+)";
+
+const char kEightQueens[] = R"(
+; classic n-queens search (SPEC li input flavour)
+(define nq 8)
+(define count 0)
+(define conflict (lambda (row placed dist)
+  (if (null placed) nil
+      (if (= (car placed) row) t
+          (if (= (- (car placed) row) dist) t
+              (if (= (- row (car placed)) dist) t
+                  (conflict row (cdr placed) (+ dist 1))))))))
+(define place (lambda (col placed)
+  (if (= col nq)
+      (set! count (+ count 1))
+      (tryrow 1 col placed))))
+(define tryrow (lambda (row col placed)
+  (if (> row nq) nil
+      (begin
+        (if (conflict row placed 1)
+            nil
+            (place (+ col 1) (cons row placed)))
+        (tryrow (+ row 1) col placed)))))
+(place 0 (quote ()))
+(print count)
+(terpri)
+)";
+
+const char kKittyv[] = R"(
+; tomcatv rewritten in lisp: fixed-point 1-D mesh relaxation
+(define build (lambda (n)
+  (if (= n 0) (quote ())
+      (cons (* (rem (* n 37) 19) 100) (build (- n 1))))))
+(define relax (lambda (xs prev)
+  (if (null (cdr xs))
+      (cons (car xs) (quote ()))
+      (cons (/ (+ (+ prev (* 2 (car xs))) (car (cdr xs))) 4)
+            (relax (cdr xs) (car xs))))))
+(define total (lambda (xs)
+  (if (null xs) 0 (+ (car xs) (total (cdr xs))))))
+(define xs (build 200))
+(define iter 0)
+(while (< iter 120)
+  (begin
+    (set! xs (relax xs 0))
+    (set! iter (+ iter 1))))
+(print (total xs))
+(terpri)
+)";
+
+const char kSievel[] = R"(
+; sieve-of-eratosthenes, output of the pseudo-assembly to lisp simulator
+(define upto 600)
+(define build (lambda (n acc)
+  (if (< n 2) acc (build (- n 1) (cons n acc)))))
+(define filt (lambda (p xs)
+  (if (null xs) (quote ())
+      (if (= (rem (car xs) p) 0)
+          (filt p (cdr xs))
+          (cons (car xs) (filt p (cdr xs)))))))
+(define nums (build upto (quote ())))
+(define primes 0)
+(define lastp 0)
+(while (not (null nums))
+  (begin
+    (set! primes (+ primes 1))
+    (set! lastp (car nums))
+    (set! nums (filt (car nums) (cdr nums)))))
+(print primes)
+(terpri)
+(print lastp)
+(terpri)
+)";
+
+std::string
+nineQueens()
+{
+    std::string s = kEightQueens;
+    auto pos = s.find("(define nq 8)");
+    s.replace(pos, 13, "(define nq 9)");
+    return s;
+}
+
+} // namespace
+
+Workload
+makeLi()
+{
+    Workload w;
+    w.name = "li";
+    w.description = "Lisp interpreter (XLISP analogue) over 4 lisp programs";
+    w.fortran_like = false;
+    w.source = kLiSource;
+    w.datasets.push_back({"8queens", kEightQueens});
+    w.datasets.push_back({"9queens", nineQueens()});
+    w.datasets.push_back({"kittyv", kKittyv});
+    w.datasets.push_back({"sievel", kSievel});
+    return w;
+}
+
+} // namespace ifprob::workloads

@@ -1,0 +1,138 @@
+#include "workloads/workload.h"
+
+namespace ifprob::workloads {
+
+/**
+ * matrix300 analogue: dense LU factorization with partial pivoting plus
+ * triangular solves, on a deterministically generated 300x300 system.
+ * Essentially branch-free inner loops; extremely predictable (paper
+ * Table 3: 4853 instructions per break). Reads no dataset.
+ */
+Workload
+makeMatrix300()
+{
+    Workload w;
+    w.name = "matrix300";
+    w.description = "dense LU solver with partial pivoting (300x300)";
+    w.fortran_like = true;
+    w.source = R"(
+// matrix300 analogue: LU factorization + solve.
+// Library-style configuration switches, compiled in but disabled — the
+// paper measured 29% dynamic dead code in matrix300, dominated by
+// exactly this kind of never-taken instrumentation in the hot kernel.
+int count_flops = 0;
+int check_growth = 0;
+int refine_steps = 0;
+int N = 300;
+float a[90000];
+float b[300];
+float xs[300];
+int piv[300];
+int seed = 12345;
+int flops = 0;
+float growth = 0.0;
+
+float frand() {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed / 2147483648.0 - 0.5;
+}
+
+void build() {
+    int i, j;
+    for (i = 0; i < 300; i++) {
+        for (j = 0; j < 300; j++)
+            a[i * 300 + j] = frand();
+        a[i * 300 + i] = a[i * 300 + i] + 8.0;  // diagonal dominance
+        b[i] = frand() * 4.0;
+    }
+}
+
+int factor() {
+    int k, i, j, p;
+    float maxval, v, mult;
+    for (k = 0; k < 300; k++) {
+        // Partial pivot search.
+        p = k;
+        maxval = fabs(a[k * 300 + k]);
+        for (i = k + 1; i < 300; i++) {
+            v = fabs(a[i * 300 + k]);
+            if (v > maxval) {
+                maxval = v;
+                p = i;
+            }
+        }
+        piv[k] = p;
+        if (maxval < 1.0e-12)
+            return 0;
+        if (p != k) {
+            for (j = 0; j < 300; j++) {
+                v = a[k * 300 + j];
+                a[k * 300 + j] = a[p * 300 + j];
+                a[p * 300 + j] = v;
+            }
+            v = b[k];
+            b[k] = b[p];
+            b[p] = v;
+        }
+        // Eliminate below the pivot: the hot, branch-free kernel.
+        for (i = k + 1; i < 300; i++) {
+            mult = a[i * 300 + k] / a[k * 300 + k];
+            a[i * 300 + k] = mult;
+            for (j = k + 1; j < 300; j++) {
+                a[i * 300 + j] = a[i * 300 + j] - mult * a[k * 300 + j];
+                if (count_flops)
+                    flops = flops + 2;
+                if (check_growth)
+                    growth = fmax2(growth, fabs(a[i * 300 + j]));
+            }
+            b[i] = b[i] - mult * b[k];
+        }
+    }
+    return 1;
+}
+
+void solve() {
+    int i, j;
+    float sum;
+    for (i = 299; i >= 0; i--) {
+        sum = b[i];
+        for (j = i + 1; j < 300; j++)
+            sum = sum - a[i * 300 + j] * xs[j];
+        xs[i] = sum / a[i * 300 + i];
+    }
+}
+
+int main() {
+    int i;
+    float norm;
+    build();
+    if (!factor()) {
+        puts("singular\n");
+        return 1;
+    }
+    solve();
+    // Optional iterative refinement, disabled in this configuration.
+    for (i = 0; i < refine_steps; i++) {
+        int r2, c2;
+        float acc;
+        for (r2 = 0; r2 < 300; r2++) {
+            acc = 0.0;
+            for (c2 = 0; c2 < 300; c2++)
+                acc = acc + a[r2 * 300 + c2] * xs[c2];
+            b[r2] = b[r2] - acc;
+        }
+        solve();
+    }
+    norm = 0.0;
+    for (i = 0; i < 300; i++)
+        norm = norm + xs[i] * xs[i];
+    putf(sqrt(norm));
+    putc('\n');
+    return 0;
+}
+)";
+    w.datasets.push_back({"(builtin)", ""});
+    return w;
+}
+
+} // namespace ifprob::workloads

@@ -1,0 +1,435 @@
+#include "workloads/workload.h"
+
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace ifprob::workloads {
+
+namespace {
+
+/**
+ * Generate source text in the "tiny" language mcc compiles. The two
+ * dataset flavours mirror the paper's mfcom inputs: c_metric (systems
+ * C — branchy conditionals, flag twiddling) and fortran_metric
+ * (scientific subroutines — deep loop nests, long arithmetic chains).
+ */
+std::string
+generateTinyProgram(uint64_t seed, size_t target_bytes, bool numeric_flavour)
+{
+    Rng rng(seed);
+    std::string out;
+    out.reserve(target_bytes + 512);
+    const char *vars[12] = {"a", "b", "c", "d", "i", "j", "k", "n", "sum",
+                            "tmp", "flag", "best"};
+    for (const char *v : vars)
+        out += strPrintf("var %s;\n", v);
+
+    auto var = [&]() { return vars[rng.below(12)]; };
+    auto expr = [&]() {
+        std::string e = strPrintf("%s", var());
+        int terms = static_cast<int>(rng.range(1, numeric_flavour ? 5 : 2));
+        for (int t = 0; t < terms; ++t) {
+            const char *ops = numeric_flavour ? "+-*" : "+-";
+            char op = ops[rng.below(numeric_flavour ? 3 : 2)];
+            if (rng.chance(0.4))
+                e += strPrintf(" %c %lld", op,
+                               static_cast<long long>(rng.range(1, 99)));
+            else
+                e += strPrintf(" %c %s", op, var());
+        }
+        return e;
+    };
+
+    while (out.size() < target_bytes) {
+        if (numeric_flavour) {
+            // Loop nest with arithmetic body.
+            out += strPrintf("i = 0;\nwhile (i < %lld) {\n",
+                             static_cast<long long>(rng.range(8, 64)));
+            out += strPrintf("  %s = %s;\n", var(), expr().c_str());
+            if (rng.chance(0.6)) {
+                out += strPrintf("  j = 0;\n  while (j < %lld) {\n"
+                                 "    %s = %s;\n    j = j + 1;\n  }\n",
+                                 static_cast<long long>(rng.range(4, 32)),
+                                 var(), expr().c_str());
+            }
+            out += "  i = i + 1;\n}\n";
+        } else {
+            // Conditional soup.
+            switch (rng.below(4)) {
+              case 0:
+                out += strPrintf("if (%s < %s) {\n  %s = %s;\n} else {\n"
+                                 "  %s = %s;\n}\n",
+                                 var(), var(), var(), expr().c_str(), var(),
+                                 expr().c_str());
+                break;
+              case 1:
+                out += strPrintf("if (%s == %lld) %s = %s;\n", var(),
+                                 static_cast<long long>(rng.range(0, 8)),
+                                 var(), expr().c_str());
+                break;
+              case 2:
+                out += strPrintf("%s = %s;\n", var(), expr().c_str());
+                break;
+              default:
+                out += strPrintf("if (flag != 0) {\n  if (%s > %s) "
+                                 "print %s;\n  flag = 0;\n}\n",
+                                 var(), var(), var());
+                break;
+            }
+        }
+        if (rng.chance(0.1))
+            out += strPrintf("print %s;\n", var());
+    }
+    return out;
+}
+
+} // namespace
+
+/**
+ * mcc: the mfcom (Multiflow compiler) analogue — a complete compiler for
+ * a tiny imperative language, written in minic. Lexing, symbol interning,
+ * recursive-descent parsing and stack-code emission give the keyword-
+ * dispatch / table-scan branch texture of a real compiler front end.
+ */
+Workload
+makeMcc()
+{
+    Workload w;
+    w.name = "mcc";
+    w.description = "compiler for a tiny language (mfcom analogue)";
+    w.fortran_like = false;
+    w.source = R"(
+// mcc: tokenizer + parser + stack-code generator for the tiny language.
+// Tokens: 0=eof 1=num 2=ident 3=punct 4=var 5=if 6=else 7=while 8=print
+// Disabled compiler self-profiling (paper: gcc carried 2% dead code).
+int time_passes = 0;
+int tokens_seen = 0;
+int tok = 0;
+int tokval = 0;
+int nsyms = 0;
+int symoff[256];
+int symlen[256];
+int symchars[4096];
+int nchars = 0;
+int tmpname[64];
+int tmplen = 0;
+int labelno = 0;
+int emitted = 0;
+int errors = 0;
+int lk = -2;
+
+int rdch() {
+    int c;
+    if (lk != -2) {
+        c = lk;
+        lk = -2;
+        return c;
+    }
+    return getc();
+}
+
+int peekc() {
+    if (lk == -2)
+        lk = getc();
+    return lk;
+}
+
+int isalpha_(int c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+int isdigit_(int c) {
+    return c >= '0' && c <= '9';
+}
+
+int intern() {
+    int i, j, off, match;
+    for (i = 0; i < nsyms; i++) {
+        if (symlen[i] == tmplen) {
+            match = 1;
+            off = symoff[i];
+            for (j = 0; j < tmplen; j++)
+                if (symchars[off + j] != tmpname[j])
+                    match = 0;
+            if (match)
+                return i;
+        }
+    }
+    symoff[nsyms] = nchars;
+    symlen[nsyms] = tmplen;
+    for (j = 0; j < tmplen; j++) {
+        symchars[nchars] = tmpname[j];
+        nchars = nchars + 1;
+    }
+    nsyms = nsyms + 1;
+    return nsyms - 1;
+}
+
+// Keyword check over tmpname; returns token type or 2 (ident).
+int kwcheck() {
+    if (tmplen == 3 && tmpname[0] == 'v' && tmpname[1] == 'a' &&
+        tmpname[2] == 'r')
+        return 4;
+    if (tmplen == 2 && tmpname[0] == 'i' && tmpname[1] == 'f')
+        return 5;
+    if (tmplen == 4 && tmpname[0] == 'e' && tmpname[1] == 'l' &&
+        tmpname[2] == 's' && tmpname[3] == 'e')
+        return 6;
+    if (tmplen == 5 && tmpname[0] == 'w' && tmpname[1] == 'h' &&
+        tmpname[2] == 'i' && tmpname[3] == 'l' && tmpname[4] == 'e')
+        return 7;
+    if (tmplen == 5 && tmpname[0] == 'p' && tmpname[1] == 'r' &&
+        tmpname[2] == 'i' && tmpname[3] == 'n' && tmpname[4] == 't')
+        return 8;
+    return 2;
+}
+
+void next() {
+    int c;
+    if (time_passes)
+        tokens_seen = tokens_seen + 1;
+    c = rdch();
+    while (c == ' ' || c == '\n' || c == '\t' || c == '\r')
+        c = rdch();
+    if (c == -1) {
+        tok = 0;
+        return;
+    }
+    if (isdigit_(c)) {
+        tokval = 0;
+        while (isdigit_(c)) {
+            tokval = tokval * 10 + (c - '0');
+            c = peekc();
+            if (isdigit_(c))
+                rdch();
+        }
+        tok = 1;
+        return;
+    }
+    if (isalpha_(c)) {
+        tmplen = 0;
+        while (isalpha_(c) || isdigit_(c)) {
+            tmpname[tmplen] = c;
+            tmplen = tmplen + 1;
+            c = peekc();
+            if (isalpha_(c) || isdigit_(c))
+                rdch();
+        }
+        tok = kwcheck();
+        if (tok == 2)
+            tokval = intern();
+        return;
+    }
+    if (c == '=' && peekc() == '=') {
+        rdch();
+        tok = 3;
+        tokval = 'E';
+        return;
+    }
+    if (c == '!' && peekc() == '=') {
+        rdch();
+        tok = 3;
+        tokval = 'N';
+        return;
+    }
+    tok = 3;
+    tokval = c;
+}
+
+void emit2(int c0, int c1) {
+    putc(c0);
+    putc(c1);
+    putc('\n');
+    emitted = emitted + 1;
+}
+
+void emitarg(int c0, int v) {
+    putc(c0);
+    putc(' ');
+    puti(v);
+    putc('\n');
+    emitted = emitted + 1;
+}
+
+void expect(int punct) {
+    if (tok == 3 && tokval == punct) {
+        next();
+        return;
+    }
+    errors = errors + 1;
+    next();
+}
+
+// expr := rel (('=='|'!='|'<'|'>') rel)?
+// rel  := term (('+'|'-') term)*
+// term := factor (('*'|'/') factor)*
+void factor() {
+    if (tok == 1) {
+        emitarg('P', tokval);   // PUSH n
+        next();
+        return;
+    }
+    if (tok == 2) {
+        emitarg('L', tokval);   // LOAD slot
+        next();
+        return;
+    }
+    if (tok == 3 && tokval == '(') {
+        next();
+        expr();
+        expect(')');
+        return;
+    }
+    if (tok == 3 && tokval == '-') {
+        next();
+        factor();
+        emit2('N', 'G');        // NEG
+        return;
+    }
+    errors = errors + 1;
+    next();
+}
+
+void term() {
+    int op;
+    factor();
+    while (tok == 3 && (tokval == '*' || tokval == '/')) {
+        op = tokval;
+        next();
+        factor();
+        if (op == '*')
+            emit2('M', 'U');
+        else
+            emit2('D', 'V');
+    }
+}
+
+void rel() {
+    int op;
+    term();
+    while (tok == 3 && (tokval == '+' || tokval == '-')) {
+        op = tokval;
+        next();
+        term();
+        if (op == '+')
+            emit2('A', 'D');
+        else
+            emit2('S', 'B');
+    }
+}
+
+void expr() {
+    int op;
+    rel();
+    while (tok == 3 && (tokval == '<' || tokval == '>' || tokval == 'E' ||
+                        tokval == 'N')) {
+        op = tokval;
+        next();
+        rel();
+        if (op == '<')
+            emit2('L', 'T');
+        else if (op == '>')
+            emit2('G', 'T');
+        else if (op == 'E')
+            emit2('E', 'Q');
+        else
+            emit2('N', 'E');
+    }
+}
+
+void stmt() {
+    int slot, l1, l2;
+    if (tok == 4) {             // var decl
+        next();
+        if (tok == 2)
+            next();
+        expect(';');
+        return;
+    }
+    if (tok == 5) {             // if
+        next();
+        expect('(');
+        expr();
+        expect(')');
+        l1 = labelno;
+        labelno = labelno + 1;
+        emitarg('Z', l1);       // JZ l1
+        stmt();
+        if (tok == 6) {         // else
+            next();
+            l2 = labelno;
+            labelno = labelno + 1;
+            emitarg('J', l2);
+            emitarg('B', l1);   // LABEL l1
+            stmt();
+            emitarg('B', l2);
+        } else {
+            emitarg('B', l1);
+        }
+        return;
+    }
+    if (tok == 7) {             // while
+        next();
+        l1 = labelno;
+        labelno = labelno + 1;
+        l2 = labelno;
+        labelno = labelno + 1;
+        emitarg('B', l1);
+        expect('(');
+        expr();
+        expect(')');
+        emitarg('Z', l2);
+        stmt();
+        emitarg('J', l1);
+        emitarg('B', l2);
+        return;
+    }
+    if (tok == 8) {             // print
+        next();
+        expr();
+        emit2('P', 'R');
+        expect(';');
+        return;
+    }
+    if (tok == 3 && tokval == '{') {
+        next();
+        while (!(tok == 3 && tokval == '}') && tok != 0)
+            stmt();
+        expect('}');
+        return;
+    }
+    if (tok == 2) {             // assignment
+        slot = tokval;
+        next();
+        expect('=');
+        expr();
+        emitarg('S', slot);     // STORE slot
+        expect(';');
+        return;
+    }
+    errors = errors + 1;
+    next();
+}
+
+int main() {
+    next();
+    while (tok != 0)
+        stmt();
+    puts("; ops=");
+    puti(emitted);
+    puts(" syms=");
+    puti(nsyms);
+    puts(" errs=");
+    puti(errors);
+    putc('\n');
+    return 0;
+}
+)";
+    w.datasets.push_back(
+        {"c_metric", generateTinyProgram(0xCC, 48000, false)});
+    w.datasets.push_back(
+        {"fortran_metric", generateTinyProgram(0xFF, 48000, true)});
+    return w;
+}
+
+} // namespace ifprob::workloads

@@ -1,0 +1,240 @@
+#include "workloads/workload.h"
+
+namespace ifprob::workloads {
+
+/**
+ * nasa7 analogue: seven numeric kernels (matrix multiply, 1-D complex
+ * FFT, Cholesky factorization, tridiagonal solves, Gaussian elimination,
+ * polynomial emission, successive over-relaxation), each printing a
+ * checksum. Branch behaviour is dominated by highly regular loop tests.
+ * Reads no dataset.
+ */
+Workload
+makeNasa7()
+{
+    Workload w;
+    w.name = "nasa7";
+    w.description = "seven synthetic numeric kernels";
+    w.fortran_like = true;
+    w.source = R"(
+// nasa7 analogue: 7 numeric kernels.
+// Disabled library instrumentation (paper: nasa7 carried 20% dynamic
+// dead code when DCE was off).
+int trace_kernels = 0;
+int count_ops = 0;
+int opcount = 0;
+float ma[4096];
+float mb[4096];
+float mc[4096];
+float re[1024];
+float im[1024];
+float diag[1024];
+float sub[1024];
+float sup[1024];
+float rhs[1024];
+int seed = 31415;
+
+float frand() {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed / 2147483648.0;
+}
+
+// Kernel 1: MXM - 48x48 matrix multiply.
+float mxm() {
+    int i, j, k;
+    float sum;
+    for (i = 0; i < 48; i++)
+        for (j = 0; j < 48; j++) {
+            ma[i * 48 + j] = frand();
+            mb[i * 48 + j] = frand();
+        }
+    for (i = 0; i < 48; i++) {
+        for (j = 0; j < 48; j++) {
+            sum = 0.0;
+            for (k = 0; k < 48; k++) {
+                sum = sum + ma[i * 48 + k] * mb[k * 48 + j];
+                if (count_ops)
+                    opcount = opcount + 2;
+            }
+            mc[i * 48 + j] = sum;
+        }
+    }
+    return mc[7 * 48 + 11];
+}
+
+// Kernel 2: CFFT - iterative radix-2 complex FFT, 512 points.
+float cfft() {
+    int n, i, j, bit, len, half, k, p;
+    float wr, wi, ur, ui, tr, ti, ang;
+    n = 512;
+    for (i = 0; i < n; i++) {
+        re[i] = sin(i * 0.1);
+        im[i] = 0.0;
+    }
+    // Bit reversal permutation.
+    j = 0;
+    for (i = 0; i < n; i++) {
+        if (i < j) {
+            tr = re[i]; re[i] = re[j]; re[j] = tr;
+            ti = im[i]; im[i] = im[j]; im[j] = ti;
+        }
+        bit = n / 2;
+        while (bit >= 1 && j >= bit) {
+            j = j - bit;
+            bit = bit / 2;
+        }
+        j = j + bit;
+    }
+    // Butterflies.
+    len = 2;
+    while (len <= n) {
+        half = len / 2;
+        ang = -6.28318530717958647 / len;
+        for (i = 0; i < n; i += len) {
+            for (k = 0; k < half; k++) {
+                wr = cos(ang * k);
+                wi = sin(ang * k);
+                p = i + k;
+                ur = re[p];
+                ui = im[p];
+                if (count_ops)
+                    opcount = opcount + 10;
+                tr = wr * re[p + half] - wi * im[p + half];
+                ti = wr * im[p + half] + wi * re[p + half];
+                re[p] = ur + tr;
+                im[p] = ui + ti;
+                re[p + half] = ur - tr;
+                im[p + half] = ui - ti;
+            }
+        }
+        len = len * 2;
+    }
+    return re[31] + im[17];
+}
+
+// Kernel 3: CHOLSKY - Cholesky factorization of a 40x40 SPD matrix.
+float cholsky() {
+    int n, i, j, k;
+    float sum;
+    n = 40;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++)
+            ma[i * n + j] = 1.0 / (i + j + 1.0);
+        ma[i * n + i] = ma[i * n + i] + n;
+    }
+    for (i = 0; i < n; i++) {
+        for (j = 0; j <= i; j++) {
+            sum = ma[i * n + j];
+            for (k = 0; k < j; k++)
+                sum = sum - mb[i * n + k] * mb[j * n + k];
+            if (i == j)
+                mb[i * n + j] = sqrt(sum);
+            else
+                mb[i * n + j] = sum / mb[j * n + j];
+        }
+    }
+    return mb[39 * n + 39];
+}
+
+// Kernel 4: VPENTA-flavoured - batched tridiagonal (Thomas) solves.
+float vpenta() {
+    int n, i, pass;
+    float m, last;
+    n = 1000;
+    last = 0.0;
+    for (pass = 0; pass < 40; pass++) {
+        for (i = 0; i < n; i++) {
+            diag[i] = 4.0 + 0.01 * i;
+            sub[i] = 1.0;
+            sup[i] = 1.0;
+            rhs[i] = frand();
+        }
+        for (i = 1; i < n; i++) {
+            if (count_ops)
+                opcount = opcount + 5;
+            m = sub[i] / diag[i - 1];
+            diag[i] = diag[i] - m * sup[i - 1];
+            rhs[i] = rhs[i] - m * rhs[i - 1];
+        }
+        rhs[n - 1] = rhs[n - 1] / diag[n - 1];
+        for (i = n - 2; i >= 0; i--)
+            rhs[i] = (rhs[i] - sup[i] * rhs[i + 1]) / diag[i];
+        last = rhs[0];
+    }
+    return last;
+}
+
+// Kernel 5: GMTRY-flavoured - Gaussian elimination, 40x40.
+float gmtry() {
+    int n, i, j, k;
+    float mult;
+    n = 40;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++)
+            ma[i * n + j] = frand();
+        ma[i * n + i] = ma[i * n + i] + 6.0;
+        rhs[i] = 1.0;
+    }
+    for (k = 0; k < n; k++) {
+        for (i = k + 1; i < n; i++) {
+            mult = ma[i * n + k] / ma[k * n + k];
+            for (j = k; j < n; j++)
+                ma[i * n + j] = ma[i * n + j] - mult * ma[k * n + j];
+            rhs[i] = rhs[i] - mult * rhs[k];
+        }
+    }
+    return ma[(n - 1) * n + (n - 1)];
+}
+
+// Kernel 6: EMIT-flavoured - Horner polynomial evaluation sweep.
+float emit() {
+    int i, d;
+    float xvar, acc, total;
+    total = 0.0;
+    for (i = 0; i < 1200; i++) {
+        xvar = i * 0.0008;
+        acc = 0.0;
+        for (d = 0; d < 48; d++)
+            acc = acc * xvar + (d % 3 == 0 ? 1.5 : -0.5);
+        total = total + acc;
+    }
+    return total;
+}
+
+// Kernel 7: SOR smoothing sweep on a 64x64 grid (BTRIX stand-in).
+float sor() {
+    int i, j, it;
+    for (i = 0; i < 4096; i++)
+        ma[i] = frand();
+    for (it = 0; it < 10; it++) {
+        for (i = 1; i < 63; i++)
+            for (j = 1; j < 63; j++) {
+                if (count_ops)
+                    opcount = opcount + 4;
+                if (trace_kernels)
+                    putf(ma[i * 64 + j]);
+                ma[i * 64 + j] = 0.25 * (ma[i * 64 + j - 1] +
+                                         ma[i * 64 + j + 1] +
+                                         ma[(i - 1) * 64 + j] +
+                                         ma[(i + 1) * 64 + j]);
+            }
+    }
+    return ma[32 * 64 + 32];
+}
+
+int main() {
+    putf(mxm());    putc('\n');
+    putf(cfft());   putc('\n');
+    putf(cholsky());putc('\n');
+    putf(vpenta()); putc('\n');
+    putf(gmtry());  putc('\n');
+    putf(emit());   putc('\n');
+    putf(sor());    putc('\n');
+    return 0;
+}
+)";
+    w.datasets.push_back({"(builtin)", ""});
+    return w;
+}
+
+} // namespace ifprob::workloads

@@ -1,0 +1,510 @@
+#include "workloads/workload.h"
+
+#include "support/str.h"
+
+namespace ifprob::workloads {
+
+namespace {
+
+/**
+ * Netlist helpers. Format, one device per line:
+ *   R a b ohms | C a b farads | D a b | Q c b e | M d g s |
+ *   V a b volts | I a b amps | T steps dt | E
+ * Node 0 is ground.
+ */
+std::string
+bjtGateChain(int gates, int steps, double dt)
+{
+    // A cascade of resistor-transistor inverters with load capacitors:
+    // the "4-bit all nand adders (ttl gates)" flavour.
+    std::string out;
+    out += "V 1 0 5.0\n";   // Vcc
+    out += "V 2 0 0.75\n";  // input drive
+    int node = 3;
+    int in = 2;
+    for (int g = 0; g < gates; ++g) {
+        int base = node++;
+        int coll = node++;
+        out += strPrintf("R %d %d 4700.0\n", in, base);  // base series R
+        out += strPrintf("R 1 %d 2000.0\n", coll);       // collector load
+        out += strPrintf("Q %d %d 0\n", coll, base);     // c b e
+        out += strPrintf("C %d 0 1e-7\n", coll);
+        in = coll;
+    }
+    out += strPrintf("T %d %g\n", steps, dt);
+    out += "E\n";
+    return out;
+}
+
+std::string
+fetGateChain(int gates, int steps, double dt)
+{
+    std::string out;
+    out += "V 1 0 5.0\n";
+    out += "V 2 0 2.5\n";
+    int node = 3;
+    int in = 2;
+    for (int g = 0; g < gates; ++g) {
+        int drain = node++;
+        out += strPrintf("R 1 %d 4000.0\n", drain);      // drain load
+        out += strPrintf("M %d %d 0\n", drain, in);      // d g s
+        out += strPrintf("C %d 0 1e-7\n", drain);
+        in = drain;
+    }
+    out += strPrintf("T %d %g\n", steps, dt);
+    out += "E\n";
+    return out;
+}
+
+std::string
+greyCounter(int steps)
+{
+    // A longer MOSFET chain with feedback resistors and caps — the
+    // grey-code counter stand-in. greysmall and greybig share the
+    // topology and differ only in simulated length, like the SPEC inputs.
+    // No regenerative feedback: a latch would have multiple DC operating
+    // points, which needs .nodeset machinery this simulator (like early
+    // spice) does not provide.
+    std::string out;
+    out += "V 1 0 5.0\n";
+    out += "V 2 0 1.8\n";
+    int node = 3;
+    int in = 2;
+    for (int g = 0; g < 8; ++g) {
+        int drain = node++;
+        out += strPrintf("R 1 %d %d.0\n", drain, g % 2 == 0 ? 3500 : 5100);
+        out += strPrintf("M %d %d 0\n", drain, in);
+        out += strPrintf("C %d 0 2e-7\n", drain);
+        out += strPrintf("R %d 0 68000.0\n", drain); // bleed resistor
+        in = drain;
+    }
+    out += strPrintf("T %d 1e-5\n", steps);
+    out += "E\n";
+    return out;
+}
+
+} // namespace
+
+/**
+ * spice analogue: nodal circuit simulation with Newton iteration over
+ * nonlinear device models (diode, BJT, square-law MOSFET with region
+ * selection), Gaussian elimination, and backward-Euler transient
+ * analysis. Each device model is its own routine, so different netlists
+ * exercise disjoint modules — reproducing spice2g6's reputation as the
+ * hardest program to predict across datasets.
+ */
+Workload
+makeSpice()
+{
+    Workload w;
+    w.name = "spice";
+    w.description = "nodal circuit simulator with nonlinear device models";
+    w.fortran_like = true;
+    w.source = R"(
+// spice analogue. MNA with Norton voltage sources + Newton iteration.
+// Disabled stamp tracing (paper: spice2g6 carried 1% dead code).
+int trace_stamps = 0;
+int stamps = 0;
+int dtype[128];     // 0=R 1=C 2=D 3=Q 4=M 5=V 6=I
+int dna[128];
+int dnb[128];
+int dnc[128];
+float dval[128];
+int ndev = 0;
+int nn = 0;         // highest node index
+int tsteps = 0;
+float tdt = 1.0e-5;
+
+float G[1024];      // conductance matrix (32x32 max)
+float RHS[32];
+float volt[32];
+float vold[32];
+float newv[32];
+int nonconv = 0;
+int total_iters = 0;
+
+void stamp_g(int a, int b, float g) {
+    if (trace_stamps)
+        stamps = stamps + 1;
+    G[a * 32 + a] = G[a * 32 + a] + g;
+    G[b * 32 + b] = G[b * 32 + b] + g;
+    G[a * 32 + b] = G[a * 32 + b] - g;
+    G[b * 32 + a] = G[b * 32 + a] - g;
+}
+
+void stamp_i(int a, int b, float cur) {
+    // Current flowing from a to b through the source.
+    RHS[a] = RHS[a] - cur;
+    RHS[b] = RHS[b] + cur;
+}
+
+void model_resistor(int d) {
+    stamp_g(dna[d], dnb[d], 1.0 / dval[d]);
+}
+
+void model_vsource(int d) {
+    float g0;
+    g0 = 1.0e4;
+    stamp_g(dna[d], dnb[d], g0);
+    stamp_i(dnb[d], dna[d], dval[d] * g0);
+}
+
+void model_isource(int d) {
+    stamp_i(dna[d], dnb[d], dval[d]);
+}
+
+void model_capacitor(int d, int transient) {
+    float g, ieq;
+    if (!transient)
+        return;     // open circuit at DC
+    g = dval[d] / tdt;
+    stamp_g(dna[d], dnb[d], g);
+    // Companion current source reproducing the previous-step charge.
+    ieq = g * (vold[dna[d]] - vold[dnb[d]]);
+    stamp_i(dnb[d], dna[d], ieq);
+}
+
+void model_diode(int d) {
+    float vd, vde, is, vt, ex, g, id, ieq;
+    is = 1.0e-12;
+    vt = 0.026;
+    vd = volt[dna[d]] - volt[dnb[d]];
+    vde = vd;
+    if (vde > 0.9)
+        vde = 0.9;          // junction voltage limiting
+    if (vde < -5.0)
+        vde = -5.0;
+    ex = exp(vde / vt);
+    g = is / vt * ex + 1.0e-12;
+    id = is * (ex - 1.0);
+    ieq = id - g * vde;
+    stamp_g(dna[d], dnb[d], g);
+    stamp_i(dna[d], dnb[d], ieq);
+}
+
+// Ebers-Moll BJT: both junctions modelled, so the device saturates
+// properly when the collector swings below the base.
+void model_bjt(int d) {
+    int c, b, e;
+    float vbe, vbc, is, vt, betaf, betar;
+    float exf, exr, ibe, gbe, ibc, gbc, ict, gmf, gmr;
+    c = dna[d];
+    b = dnb[d];
+    e = dnc[d];
+    is = 1.0e-14;
+    vt = 0.026;
+    betaf = 80.0;
+    betar = 2.0;
+    vbe = volt[b] - volt[e];
+    vbc = volt[b] - volt[c];
+    // Junction voltage limiting.
+    if (vbe > 0.85) vbe = 0.85;
+    if (vbe < -5.0) vbe = -5.0;
+    if (vbc > 0.85) vbc = 0.85;
+    if (vbc < -5.0) vbc = -5.0;
+    exf = exp(vbe / vt);
+    exr = exp(vbc / vt);
+    // Base-emitter diode (scaled by 1/betaf).
+    ibe = is / betaf * (exf - 1.0);
+    gbe = is / betaf / vt * exf + 1.0e-12;
+    stamp_g(b, e, gbe);
+    stamp_i(b, e, ibe - gbe * vbe);
+    // Base-collector diode (scaled by 1/betar).
+    ibc = is / betar * (exr - 1.0);
+    gbc = is / betar / vt * exr + 1.0e-12;
+    stamp_g(b, c, gbc);
+    stamp_i(b, c, ibc - gbc * vbc);
+    // Transfer current c->e: ict = is * (exf - exr).
+    ict = is * (exf - exr);
+    gmf = is / vt * exf;
+    gmr = is / vt * exr;
+    G[c * 32 + b] = G[c * 32 + b] + gmf - gmr;
+    G[c * 32 + e] = G[c * 32 + e] - gmf;
+    G[c * 32 + c] = G[c * 32 + c] + gmr;
+    G[e * 32 + b] = G[e * 32 + b] - (gmf - gmr);
+    G[e * 32 + e] = G[e * 32 + e] + gmf;
+    G[e * 32 + c] = G[e * 32 + c] - gmr;
+    stamp_i(c, e, ict - gmf * vbe + gmr * vbc);
+    // Output conductance for stability.
+    stamp_g(c, e, 1.0e-7);
+}
+
+void model_mosfet(int d) {
+    int dn, gn, sn;
+    float vgs, vds, vt0, k, id, gm, gds, ieq;
+    dn = dna[d];
+    gn = dnb[d];
+    sn = dnc[d];
+    vt0 = 1.0;
+    k = 0.002;
+    vgs = volt[gn] - volt[sn];
+    vds = volt[dn] - volt[sn];
+    if (vds < 0.0)
+        vds = 0.0;          // no body diode in this model
+    if (vgs <= vt0) {
+        // Cutoff region.
+        id = 0.0;
+        gm = 0.0;
+        gds = 1.0e-9;
+    } else if (vds < vgs - vt0) {
+        // Linear (triode) region.
+        id = k * ((vgs - vt0) * vds - 0.5 * vds * vds);
+        gm = k * vds;
+        gds = k * (vgs - vt0 - vds) + 1.0e-9;
+    } else {
+        // Saturation region.
+        id = 0.5 * k * (vgs - vt0) * (vgs - vt0);
+        gm = k * (vgs - vt0);
+        gds = 1.0e-6;
+    }
+    ieq = id - gm * vgs - gds * vds;
+    G[dn * 32 + gn] = G[dn * 32 + gn] + gm;
+    G[dn * 32 + sn] = G[dn * 32 + sn] - gm - gds;
+    G[dn * 32 + dn] = G[dn * 32 + dn] + gds;
+    G[sn * 32 + gn] = G[sn * 32 + gn] - gm;
+    G[sn * 32 + sn] = G[sn * 32 + sn] + gm + gds;
+    G[sn * 32 + dn] = G[sn * 32 + dn] - gds;
+    stamp_i(dn, sn, ieq);
+}
+
+void build(int transient) {
+    int i, d;
+    for (i = 0; i < 1024; i++)
+        G[i] = 0.0;
+    for (i = 0; i < 32; i++)
+        RHS[i] = 0.0;
+    for (i = 0; i <= nn; i++)
+        G[i * 32 + i] = G[i * 32 + i] + 1.0e-9;   // gmin
+    for (d = 0; d < ndev; d++) {
+        switch (dtype[d]) {
+          case 0: model_resistor(d); break;
+          case 1: model_capacitor(d, transient); break;
+          case 2: model_diode(d); break;
+          case 3: model_bjt(d); break;
+          case 4: model_mosfet(d); break;
+          case 5: model_vsource(d); break;
+          default: model_isource(d); break;
+        }
+    }
+    // Ground node 0.
+    for (i = 0; i <= nn; i++) {
+        G[0 * 32 + i] = 0.0;
+        G[i * 32 + 0] = 0.0;
+    }
+    G[0] = 1.0;
+    RHS[0] = 0.0;
+}
+
+// Gaussian elimination with partial pivoting over nodes 0..nn.
+int solve() {
+    int n, i, j, k, p;
+    float maxval, v, mult;
+    n = nn + 1;
+    for (k = 0; k < n; k++) {
+        p = k;
+        maxval = fabs(G[k * 32 + k]);
+        for (i = k + 1; i < n; i++) {
+            v = fabs(G[i * 32 + k]);
+            if (v > maxval) {
+                maxval = v;
+                p = i;
+            }
+        }
+        if (maxval < 1.0e-20)
+            return 0;
+        if (p != k) {
+            for (j = 0; j < n; j++) {
+                v = G[k * 32 + j];
+                G[k * 32 + j] = G[p * 32 + j];
+                G[p * 32 + j] = v;
+            }
+            v = RHS[k];
+            RHS[k] = RHS[p];
+            RHS[p] = v;
+        }
+        for (i = k + 1; i < n; i++) {
+            mult = G[i * 32 + k] / G[k * 32 + k];
+            for (j = k; j < n; j++)
+                G[i * 32 + j] = G[i * 32 + j] - mult * G[k * 32 + j];
+            RHS[i] = RHS[i] - mult * RHS[k];
+        }
+    }
+    for (i = n - 1; i >= 0; i--) {
+        v = RHS[i];
+        for (j = i + 1; j < n; j++)
+            v = v - G[i * 32 + j] * newv[j];
+        newv[i] = v / G[i * 32 + i];
+    }
+    return 1;
+}
+
+// One operating point: Newton iteration with voltage-step limiting.
+void operating_point(int transient) {
+    int iter, i, done;
+    float dv, maxdv, limit;
+    iter = 0;
+    done = 0;
+    while (iter < 200 && !done) {
+        build(transient);
+        if (!solve()) {
+            nonconv = nonconv + 1;
+            return;
+        }
+        // Voltage-step limiting with a tightening schedule: large early
+        // steps find the neighbourhood, shrinking steps break the region-
+        // assignment limit cycles nonsmooth device models can cause.
+        limit = 0.5;
+        if (iter > 40)
+            limit = 10.0 / (20.0 + iter);
+        maxdv = 0.0;
+        for (i = 0; i <= nn; i++) {
+            dv = newv[i] - volt[i];
+            if (dv > limit)
+                dv = limit;
+            if (dv < 0.0 - limit)
+                dv = 0.0 - limit;
+            volt[i] = volt[i] + dv;
+            maxdv = fmax2(maxdv, fabs(dv));
+        }
+        if (maxdv < 1.0e-5)
+            done = 1;
+        iter = iter + 1;
+    }
+    total_iters = total_iters + iter;
+    if (!done)
+        nonconv = nonconv + 1;
+}
+
+void readnet() {
+    int c, maxn;
+    c = ngetc();
+    while (c != -1) {
+        if (c == 'R' || c == 'C' || c == 'V' || c == 'I') {
+            if (c == 'R') dtype[ndev] = 0;
+            else if (c == 'C') dtype[ndev] = 1;
+            else if (c == 'V') dtype[ndev] = 5;
+            else dtype[ndev] = 6;
+            dna[ndev] = geti();
+            dnb[ndev] = geti();
+            dval[ndev] = getf();
+            ndev = ndev + 1;
+        } else if (c == 'D') {
+            dtype[ndev] = 2;
+            dna[ndev] = geti();
+            dnb[ndev] = geti();
+            ndev = ndev + 1;
+        } else if (c == 'Q' || c == 'M') {
+            dtype[ndev] = (c == 'Q') ? 3 : 4;
+            dna[ndev] = geti();
+            dnb[ndev] = geti();
+            dnc[ndev] = geti();
+            ndev = ndev + 1;
+        } else if (c == 'T') {
+            tsteps = geti();
+            tdt = getf();
+        } else if (c == 'E') {
+            break;
+        }
+        // Skip to end of line.
+        while (c != '\n' && c != -1)
+            c = ngetc();
+        c = ngetc();
+    }
+    maxn = 0;
+    for (c = 0; c < ndev; c++) {
+        maxn = imax(maxn, dna[c]);
+        maxn = imax(maxn, dnb[c]);
+        if (dtype[c] == 3 || dtype[c] == 4)
+            maxn = imax(maxn, dnc[c]);
+    }
+    nn = maxn;
+}
+
+int main() {
+    int i, s;
+    readnet();
+    for (i = 0; i <= nn; i++) {
+        volt[i] = 0.0;
+        vold[i] = 0.0;
+    }
+    // DC operating point.
+    operating_point(0);
+    for (i = 0; i <= nn; i++)
+        vold[i] = volt[i];
+    // Transient sweep (backward Euler).
+    for (s = 0; s < tsteps; s++) {
+        operating_point(1);
+        for (i = 0; i <= nn; i++)
+            vold[i] = volt[i];
+    }
+    for (i = 1; i <= nn; i++) {
+        puts("v");
+        puti(i);
+        putc('=');
+        putf(volt[i]);
+        putc('\n');
+    }
+    puts("iters=");
+    puti(total_iters);
+    puts(" nonconv=");
+    puti(nonconv);
+    putc('\n');
+    return 0;
+}
+)";
+    // circuit1: purely resistive divider — linear, one DC solve, tiny.
+    w.datasets.push_back({"circuit1",
+                          "V 1 0 5.0\n"
+                          "R 1 2 1000.0\n"
+                          "R 2 3 1000.0\n"
+                          "R 3 0 2000.0\n"
+                          "E\n"});
+    // circuit2: RC step response — capacitor module, very short run
+    // (the paper notes circuit2 runs ~1/10000 as long as greybig).
+    w.datasets.push_back({"circuit2",
+                          "V 1 0 5.0\n"
+                          "R 1 2 1000.0\n"
+                          "C 2 0 1e-6\n"
+                          "T 20 2e-4\n"
+                          "E\n"});
+    // circuit3: diode ladder — exercises the diode model.
+    w.datasets.push_back({"circuit3",
+                          "V 1 0 3.0\n"
+                          "R 1 2 100.0\n"
+                          "D 2 3\n"
+                          "R 3 0 470.0\n"
+                          "D 3 4\n"
+                          "R 4 0 330.0\n"
+                          "C 4 0 1e-6\n"
+                          "T 60 1e-4\n"
+                          "E\n"});
+    // circuit4: BJT inverter stage.
+    w.datasets.push_back({"circuit4",
+                          "V 1 0 5.0\n"
+                          "V 2 0 0.72\n"
+                          "R 1 3 2200.0\n"
+                          "Q 3 2 0\n"
+                          "C 3 0 5e-8\n"
+                          "T 120 5e-5\n"
+                          "E\n"});
+    // circuit5: mixed R/C/diode/BJT network.
+    w.datasets.push_back({"circuit5",
+                          "V 1 0 5.0\n"
+                          "V 2 0 0.8\n"
+                          "R 1 3 1800.0\n"
+                          "Q 3 2 0\n"
+                          "D 3 4\n"
+                          "R 4 0 910.0\n"
+                          "C 4 0 2e-7\n"
+                          "R 1 5 5600.0\n"
+                          "D 5 0\n"
+                          "T 400 4e-5\n"
+                          "E\n"});
+    w.datasets.push_back({"add_bjt", bjtGateChain(4, 500, 4e-5)});
+    w.datasets.push_back({"add_fet", fetGateChain(4, 500, 4e-5)});
+    w.datasets.push_back({"greysmall", greyCounter(700)});
+    w.datasets.push_back({"greybig", greyCounter(24000)});
+    return w;
+}
+
+} // namespace ifprob::workloads

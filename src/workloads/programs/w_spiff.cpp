@@ -1,0 +1,291 @@
+#include "workloads/workload.h"
+
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace ifprob::workloads {
+
+namespace {
+
+/** Two files in one stream, separated by a 0x01 byte. */
+std::string
+joinFiles(const std::string &a, const std::string &b)
+{
+    return a + "\x01" + b;
+}
+
+/** A file of floating-point columns; @p perturb flips some values. */
+std::string
+numberFile(uint64_t seed, int rows, bool perturb, double noise)
+{
+    // Separate streams for values and perturbation decisions, so the
+    // perturbed file shares the unperturbed file's base values exactly.
+    Rng vals(seed);
+    Rng pert(seed ^ 0x517cc1b727220a95ull);
+    std::string out;
+    for (int r = 0; r < rows; ++r) {
+        double base = 1.0 + 0.37 * r;
+        for (int c = 0; c < 4; ++c) {
+            double v = base * (c + 1) + 0.001 * static_cast<double>(vals.below(100));
+            if (perturb) {
+                if (pert.chance(0.12))
+                    v += noise;           // beyond tolerance: a real diff
+                else
+                    v += 1.0e-9;          // within tolerance: same line
+            }
+            out += strPrintf("%.6f ", v);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+/** Directory-listing flavoured text; last lines differ when @p variant. */
+std::string
+listingFile(uint64_t seed, int rows, bool variant)
+{
+    Rng rng(seed);
+    std::string out;
+    for (int r = 0; r < rows; ++r) {
+        out += strPrintf("-rw-r--r-- 1 user staff %lld file%03d.c\n",
+                         static_cast<long long>(rng.range(100, 99999)), r);
+    }
+    if (variant) {
+        out += "-rw-r--r-- 1 user staff 4242 extra.c\n";
+        out += "-rw-r--r-- 1 user staff 17 notes.txt\n";
+    } else {
+        out += "-rw-r--r-- 1 user staff 99 trailer.c\n";
+    }
+    return out;
+}
+
+} // namespace
+
+/**
+ * spiff analogue: file comparison with numeric tolerance. Lines are
+ * tokenized; numeric tokens compare within a relative tolerance, others
+ * exactly. An O(n*m) LCS over the line-equality relation drives the diff,
+ * exactly the shape of the SPEC-included spiff tool.
+ */
+Workload
+makeSpiff()
+{
+    Workload w;
+    w.name = "spiff";
+    w.description = "file comparison with floating-point tolerance";
+    w.fortran_like = false;
+    w.source = R"(
+// spiff analogue. Input: fileA 0x01 fileB. Lines <= 250 per file.
+int pool[131072];     // character pool for both files
+int npool = 0;
+int astart[256];
+int alen[256];
+int na = 0;
+int bstart[256];
+int blen[256];
+int nb = 0;
+int lcs[65536];       // DP table (na+1) x (nb+1), na,nb <= 250
+int eqcache[65536];   // memoized line equality (-1 unknown)
+
+// Read one file's lines into the pool until sep/EOF. Returns line count.
+int readfile(int sep, int which) {
+    int c, start, count;
+    count = 0;
+    c = getc();
+    while (c != sep && c != -1) {
+        start = npool;
+        while (c != '\n' && c != sep && c != -1) {
+            pool[npool] = c;
+            npool = npool + 1;
+            c = getc();
+        }
+        if (which == 0) {
+            astart[count] = start;
+            alen[count] = npool - start;
+        } else {
+            bstart[count] = start;
+            blen[count] = npool - start;
+        }
+        count = count + 1;
+        if (c == '\n')
+            c = getc();
+    }
+    return count;
+}
+
+int isnumch(int c) {
+    return (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+';
+}
+
+// Parse a float from pool[p..end); returns via globals.
+float numval = 0.0;
+int numend = 0;
+int parsenum(int p, int end) {
+    int sign, anydig;
+    float v, scale;
+    sign = 1;
+    anydig = 0;
+    if (p < end && pool[p] == '-') {
+        sign = -1;
+        p = p + 1;
+    } else if (p < end && pool[p] == '+') {
+        p = p + 1;
+    }
+    v = 0.0;
+    while (p < end && pool[p] >= '0' && pool[p] <= '9') {
+        v = v * 10.0 + itof(pool[p] - '0');
+        p = p + 1;
+        anydig = 1;
+    }
+    if (p < end && pool[p] == '.') {
+        p = p + 1;
+        scale = 0.1;
+        while (p < end && pool[p] >= '0' && pool[p] <= '9') {
+            v = v + scale * itof(pool[p] - '0');
+            scale = scale * 0.1;
+            p = p + 1;
+            anydig = 1;
+        }
+    }
+    numval = itof(sign) * v;
+    numend = p;
+    return anydig;
+}
+
+// Token-wise line comparison with numeric tolerance.
+int lineseq(int i, int j) {
+    int pa, ea, pb, eb, ca, cb;
+    float va, vb, diff, mag;
+    pa = astart[i];
+    ea = pa + alen[i];
+    pb = bstart[j];
+    eb = pb + blen[j];
+    while (1) {
+        while (pa < ea && (pool[pa] == ' ' || pool[pa] == '\t'))
+            pa = pa + 1;
+        while (pb < eb && (pool[pb] == ' ' || pool[pb] == '\t'))
+            pb = pb + 1;
+        if (pa >= ea && pb >= eb)
+            return 1;
+        if (pa >= ea || pb >= eb)
+            return 0;
+        ca = pool[pa];
+        cb = pool[pb];
+        if (isnumch(ca) && isnumch(cb)) {
+            if (parsenum(pa, ea)) {
+                va = numval;
+                pa = numend;
+                if (!parsenum(pb, eb))
+                    return 0;
+                vb = numval;
+                pb = numend;
+                diff = fabs(va - vb);
+                mag = fabs(va) + fabs(vb) + 1.0e-30;
+                if (diff / mag > 1.0e-5)
+                    return 0;
+                continue;
+            }
+        }
+        // Exact token compare.
+        while (pa < ea && pb < eb && pool[pa] != ' ' && pool[pa] != '\t' &&
+               pool[pb] != ' ' && pool[pb] != '\t') {
+            if (pool[pa] != pool[pb])
+                return 0;
+            pa = pa + 1;
+            pb = pb + 1;
+        }
+        // Both must have hit a token boundary together.
+        if (pa < ea && pool[pa] != ' ' && pool[pa] != '\t')
+            return 0;
+        if (pb < eb && pool[pb] != ' ' && pool[pb] != '\t')
+            return 0;
+    }
+    return 0;
+}
+
+int eqlines(int i, int j) {
+    int key, v;
+    key = i * 256 + j;
+    v = eqcache[key];
+    if (v != -1)
+        return v;
+    v = lineseq(i, j);
+    eqcache[key] = v;
+    return v;
+}
+
+int main() {
+    int i, j, common, dels, adds;
+    na = readfile(1, 0);
+    nb = readfile(1, 1);
+    for (i = 0; i < 65536; i++)
+        eqcache[i] = -1;
+    // LCS DP, lcs[i][j] = LCS of a[i..), b[j..).
+    for (i = na; i >= 0; i--) {
+        for (j = nb; j >= 0; j--) {
+            if (i == na || j == nb) {
+                lcs[i * 256 + j] = 0;
+            } else if (eqlines(i, j)) {
+                lcs[i * 256 + j] = lcs[(i + 1) * 256 + j + 1] + 1;
+            } else {
+                lcs[i * 256 + j] = imax(lcs[(i + 1) * 256 + j],
+                                        lcs[i * 256 + j + 1]);
+            }
+        }
+    }
+    // Emit the diff walk.
+    i = 0;
+    j = 0;
+    common = 0;
+    dels = 0;
+    adds = 0;
+    while (i < na && j < nb) {
+        if (eqlines(i, j)) {
+            common = common + 1;
+            i = i + 1;
+            j = j + 1;
+        } else if (lcs[(i + 1) * 256 + j] >= lcs[i * 256 + j + 1]) {
+            putc('<');
+            puti(i);
+            putc('\n');
+            dels = dels + 1;
+            i = i + 1;
+        } else {
+            putc('>');
+            puti(j);
+            putc('\n');
+            adds = adds + 1;
+            j = j + 1;
+        }
+    }
+    while (i < na) {
+        dels = dels + 1;
+        i = i + 1;
+    }
+    while (j < nb) {
+        adds = adds + 1;
+        j = j + 1;
+    }
+    puts("common=");
+    puti(common);
+    puts(" del=");
+    puti(dels);
+    puts(" add=");
+    puti(adds);
+    putc('\n');
+    return 0;
+}
+)";
+    w.datasets.push_back(
+        {"case1", joinFiles(numberFile(0x5a, 220, false, 0.0),
+                            numberFile(0x5a, 220, true, 0.01))});
+    w.datasets.push_back(
+        {"case2", joinFiles(numberFile(0x6b, 180, false, 0.0),
+                            numberFile(0x6b, 180, true, 0.5))});
+    w.datasets.push_back(
+        {"case3", joinFiles(listingFile(0x7c, 26, false),
+                            listingFile(0x7c, 26, true))});
+    return w;
+}
+
+} // namespace ifprob::workloads

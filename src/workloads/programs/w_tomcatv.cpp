@@ -1,0 +1,104 @@
+#include "workloads/workload.h"
+
+namespace ifprob::workloads {
+
+/**
+ * tomcatv analogue: vectorized mesh generation with SOR relaxation on a
+ * 64x64 grid. Long straight-line floating-point loop bodies with almost
+ * no data-dependent branching — per the paper one of the most predictable
+ * programs (Table 3: 7461 instructions per break with self-prediction).
+ * Reads no dataset.
+ */
+Workload
+makeTomcatv()
+{
+    Workload w;
+    w.name = "tomcatv";
+    w.description = "mesh generation with SOR solver (64x64 grid)";
+    w.fortran_like = true;
+    w.source = R"(
+// tomcatv analogue: mesh generation + SOR relaxation.
+// Disabled residual diagnostics (paper: tomcatv carried 14% dynamic
+// dead code with DCE off).
+int track_residuals = 0;
+int residual_bins = 0;
+int bins[16];
+float worst_rx = 0.0;
+int N = 64;
+float x[4096];
+float y[4096];
+float newx[4096];
+float newy[4096];
+
+void init() {
+    int i, j;
+    for (i = 0; i < 64; i++) {
+        for (j = 0; j < 64; j++) {
+            x[i * 64 + j] = j / 63.0 + 0.08 * sin(i * 0.21);
+            y[i * 64 + j] = i / 63.0 + 0.08 * cos(j * 0.17);
+        }
+    }
+}
+
+float relax() {
+    int i, j, p;
+    float xx, yx, xy, yy, a, b, c, rx, ry, maxres, omega;
+    maxres = 0.0;
+    omega = 0.8;
+    for (i = 1; i < 63; i++) {
+        for (j = 1; j < 63; j++) {
+            p = i * 64 + j;
+            // Central differences of the mapping.
+            xx = (x[p + 1] - x[p - 1]) * 0.5;
+            yx = (y[p + 1] - y[p - 1]) * 0.5;
+            xy = (x[p + 64] - x[p - 64]) * 0.5;
+            yy = (y[p + 64] - y[p - 64]) * 0.5;
+            a = xy * xy + yy * yy;
+            b = xx * xy + yx * yy;
+            c = xx * xx + yx * yx;
+            // Residuals of the elliptic grid equations.
+            rx = a * (x[p + 1] - 2.0 * x[p] + x[p - 1])
+               - 0.5 * b * (x[p + 65] - x[p + 63] - x[p - 63] + x[p - 65])
+               + c * (x[p + 64] - 2.0 * x[p] + x[p - 64]);
+            ry = a * (y[p + 1] - 2.0 * y[p] + y[p - 1])
+               - 0.5 * b * (y[p + 65] - y[p + 63] - y[p - 63] + y[p - 65])
+               + c * (y[p + 64] - 2.0 * y[p] + y[p - 64]);
+            if (track_residuals)
+                worst_rx = fmax2(worst_rx, fabs(rx));
+            if (residual_bins)
+                bins[ftoi(fabs(rx) * 1000.0) & 15] =
+                    bins[ftoi(fabs(rx) * 1000.0) & 15] + 1;
+            newx[p] = x[p] + omega * rx / (2.0 * (a + c) + 1.0e-9);
+            newy[p] = y[p] + omega * ry / (2.0 * (a + c) + 1.0e-9);
+            maxres = fmax2(maxres, fabs(rx) + fabs(ry));
+        }
+    }
+    for (i = 1; i < 63; i++) {
+        for (j = 1; j < 63; j++) {
+            p = i * 64 + j;
+            x[p] = newx[p];
+            y[p] = newy[p];
+        }
+    }
+    return maxres;
+}
+
+int main() {
+    int iter;
+    float res;
+    init();
+    res = 0.0;
+    for (iter = 0; iter < 60; iter++)
+        res = relax();
+    putf(res);
+    putc('\n');
+    putf(x[33 * 64 + 33]);
+    putc('\n');
+    return 0;
+}
+)";
+    w.datasets.push_back({"(builtin)", ""});
+    return w;
+}
+
+} // namespace ifprob::workloads

@@ -1,0 +1,55 @@
+#include "workloads/workload.h"
+
+#include <mutex>
+
+#include "support/error.h"
+
+namespace ifprob::workloads {
+
+namespace {
+
+std::vector<Workload>
+build()
+{
+    std::vector<Workload> out;
+    // FORTRAN/floating-point analogues (paper Table 2, upper half).
+    out.push_back(makeSpice());
+    out.push_back(makeDoduc());
+    out.push_back(makeNasa7());
+    out.push_back(makeMatrix300());
+    out.push_back(makeFpppp());
+    out.push_back(makeTomcatv());
+    out.push_back(makeLfk());
+    // C/integer analogues (paper Table 2, lower half).
+    out.push_back(makeEspresso());
+    out.push_back(makeLi());
+    out.push_back(makeEqntott());
+    out.push_back(makeCompress());
+    out.push_back(makeUncompress());
+    out.push_back(makeMcc());
+    out.push_back(makeSpiff());
+    return out;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+all()
+{
+    static std::once_flag once;
+    static std::vector<Workload> cache;
+    std::call_once(once, [] { cache = build(); });
+    return cache;
+}
+
+const Workload &
+get(std::string_view name)
+{
+    for (const Workload &w : all()) {
+        if (w.name == name)
+            return w;
+    }
+    throw Error("unknown workload: " + std::string(name));
+}
+
+} // namespace ifprob::workloads

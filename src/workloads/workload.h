@@ -1,0 +1,63 @@
+#ifndef IFPROB_WORKLOADS_WORKLOAD_H
+#define IFPROB_WORKLOADS_WORKLOAD_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ifprob::workloads {
+
+/** One input dataset for a workload program. */
+struct Dataset
+{
+    std::string name;  ///< e.g. "8queens"; "(builtin)" when input-free
+    std::string input; ///< the raw byte stream fed to the VM
+};
+
+/**
+ * One program of the sample base: minic source plus its datasets.
+ *
+ * The suite mirrors the paper's Table 2: FORTRAN/floating-point analogues
+ * (tomcatv, matrix300, nasa7, fpppp, lfk, doduc, spice) and C/integer
+ * analogues (compress, uncompress, li, eqntott, espresso, mcc, spiff).
+ * Programs the paper lists as "does not read a dataset" get one synthetic
+ * dataset named "(builtin)" with empty input.
+ */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    /** Category used to split Figures 1a/2a (FORTRAN/FP) from 1b/2b
+     *  (C/integer). */
+    bool fortran_like = false;
+    /** minic source text. */
+    std::string source;
+    std::vector<Dataset> datasets;
+};
+
+/** All workloads, constructed once and cached (dataset generation is
+ *  deterministic). Order is stable: FORTRAN programs first. */
+const std::vector<Workload> &all();
+
+/** Look up one workload by name; throws ifprob::Error when missing. */
+const Workload &get(std::string_view name);
+
+// Individual factories (exposed for targeted tests).
+Workload makeTomcatv();
+Workload makeMatrix300();
+Workload makeNasa7();
+Workload makeFpppp();
+Workload makeLfk();
+Workload makeDoduc();
+Workload makeSpice();
+Workload makeCompress();
+Workload makeUncompress();
+Workload makeLi();
+Workload makeEqntott();
+Workload makeEspresso();
+Workload makeMcc();
+Workload makeSpiff();
+
+} // namespace ifprob::workloads
+
+#endif // IFPROB_WORKLOADS_WORKLOAD_H

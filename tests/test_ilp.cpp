@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the ILP run-length analysis: break detection under a
+ * predictor, histogram/percentile math, and consistency with the
+ * aggregate break accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/pipeline.h"
+#include "ilp/runlength.h"
+#include "metrics/breaks.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+#include "vm/machine.h"
+
+namespace ifprob::ilp {
+namespace {
+
+/** Predictor with one fixed answer for every site. */
+class ConstPredictor : public predict::StaticPredictor
+{
+  public:
+    explicit ConstPredictor(bool taken) : taken_(taken) {}
+    bool predictTaken(int) const override { return taken_; }
+
+  private:
+    bool taken_;
+};
+
+TEST(RunLength, PerfectPredictionYieldsOneRun)
+{
+    CompileOptions options;
+    options.include_prelude = false;
+    isa::Program p = compile(
+        "int main() { int n = 0; for (int i = 0; i < 50; i++) n += i; "
+        "return n & 255; }",
+        options);
+    vm::Machine m(p);
+    // The rotated loop branch is taken 50x then falls through once; an
+    // always-taken predictor mispredicts exactly once (the exit).
+    ConstPredictor taken(true);
+    RunLengthAnalyzer analyzer(taken);
+    auto r = m.run("", {}, &analyzer);
+    auto s = std::move(analyzer).summary(r.stats.instructions);
+    EXPECT_EQ(s.breaks, 2); // exit mispredict + final tail run
+    EXPECT_EQ(s.instructions, r.stats.instructions);
+}
+
+TEST(RunLength, SummaryMatchesBreakAccounting)
+{
+    // Mean run length from the analyzer == instructionsPerBreak from the
+    // aggregate metrics (same definition of break), modulo the final
+    // tail run which the aggregate counts as break-free.
+    isa::Program p = compile(R"(
+        int main() {
+            int x = 7, n = 0;
+            for (int i = 0; i < 2000; i++) {
+                x = (x * 1103515245 + 12345) % 2147483648;
+                if (x & 1)
+                    n++;
+            }
+            return n & 255;
+        })");
+    vm::Machine m(p);
+    auto baseline = m.run("");
+    profile::ProfileDb db("p", p.fingerprint(), baseline.stats);
+    predict::ProfilePredictor self(db);
+
+    RunLengthAnalyzer analyzer(self);
+    auto r = m.run("", {}, &analyzer);
+    auto s = std::move(analyzer).summary(r.stats.instructions);
+
+    auto agg = metrics::breaksWithPredictor(r.stats, self);
+    // runs = breaks + 1 (tail); total instructions match exactly.
+    EXPECT_EQ(s.breaks, agg.totalBreaks() + 1);
+    EXPECT_EQ(s.instructions, r.stats.instructions);
+    EXPECT_NEAR(s.mean,
+                static_cast<double>(r.stats.instructions) /
+                    static_cast<double>(s.breaks),
+                1e-9);
+}
+
+TEST(RunLength, PercentilesAndHistogram)
+{
+    RunLengthSummary s;
+    {
+        ConstPredictor dummy(true);
+        RunLengthAnalyzer analyzer(dummy);
+        // Feed synthetic breaks directly: runs of 1,2,4,8,...,512.
+        int64_t at = 0;
+        for (int i = 0; i < 10; ++i) {
+            at += 1ll << i;
+            analyzer.onUnavoidableBreak(at);
+        }
+        s = std::move(analyzer).summary(at); // no tail
+    }
+    EXPECT_EQ(s.breaks, 10);
+    EXPECT_EQ(s.instructions, 1023);
+    for (int b = 0; b < 10; ++b)
+        EXPECT_EQ(s.histogram[static_cast<size_t>(b)], 1) << b;
+    EXPECT_EQ(s.p50, 1 << 5); // index round(0.5*9)=5 on sorted runs
+    EXPECT_EQ(s.p10, 1 << 1);
+    EXPECT_EQ(s.p90, 1 << 8);
+    EXPECT_NEAR(s.mean, 102.3, 0.01);
+    // Geomean of 2^0..2^9 = 2^4.5.
+    EXPECT_NEAR(s.geomean, std::pow(2.0, 4.5), 1e-6);
+    // Runs >= 64: 64+128+256+512 = 960 of 1023.
+    EXPECT_NEAR(s.fractionInRunsAtLeast(64), 960.0 / 1023.0, 1e-12);
+}
+
+TEST(RunLength, UnavoidableBreaksCountEvenWhenPredicted)
+{
+    CompileOptions options;
+    options.include_prelude = false;
+    isa::Program p = compile(R"(
+        int id(int x) { return x; }
+        int main() {
+            int f = &id, n = 0;
+            for (int i = 0; i < 10; i++)
+                n += icall(f, i);
+            return n;
+        })",
+        options);
+    vm::Machine m(p);
+    auto baseline = m.run("");
+    profile::ProfileDb db("p", p.fingerprint(), baseline.stats);
+    predict::ProfilePredictor self(db);
+    RunLengthAnalyzer analyzer(self);
+    auto r = m.run("", {}, &analyzer);
+    auto s = std::move(analyzer).summary(r.stats.instructions);
+    auto agg = metrics::breaksWithPredictor(r.stats, self);
+    // 10 icalls + 10 indirect returns are breaks regardless of branch
+    // prediction quality.
+    EXPECT_GE(agg.unavoidable_breaks, 20);
+    EXPECT_EQ(s.breaks, agg.totalBreaks() + 1);
+}
+
+} // namespace
+} // namespace ifprob::ilp

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the inliner: behaviour preservation, call elimination,
+ * recursion safety, branch-site sharing across inlined copies, and the
+ * caller-growth cap.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/inline.h"
+#include "compiler/pipeline.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+namespace ifprob {
+namespace {
+
+struct InlineFixture
+{
+    InlineFixture(std::string_view src, std::string_view input,
+                  InlineOptions options = {})
+        : program(compile(src))
+    {
+        vm::Machine machine(program);
+        before = machine.run(input);
+        inlined_program = program;
+        inlined_count = inlineProgram(inlined_program, options);
+        vm::Machine inlined_machine(inlined_program);
+        after = inlined_machine.run(input);
+    }
+
+    isa::Program program;
+    isa::Program inlined_program;
+    vm::RunResult before;
+    vm::RunResult after;
+    int inlined_count = 0;
+};
+
+TEST(Inline, EliminatesHotLeafCalls)
+{
+    InlineFixture f(R"(
+        int square(int x) { return x * x; }
+        int main() {
+            int sum = 0;
+            for (int i = 0; i < 1000; i++)
+                sum += square(i) & 1023;
+            return sum & 255;
+        })",
+        "");
+    EXPECT_GT(f.inlined_count, 0);
+    EXPECT_EQ(f.after.stats.exit_code, f.before.stats.exit_code);
+    // The 1000 dynamic calls are gone.
+    EXPECT_EQ(f.after.stats.direct_calls, 0);
+    EXPECT_EQ(f.after.stats.direct_returns, 0);
+    // Fewer instructions overall (call/arg/ret overhead removed).
+    EXPECT_LT(f.after.stats.instructions, f.before.stats.instructions);
+}
+
+TEST(Inline, PreservesBehaviourWithBranchesAndFloats)
+{
+    InlineFixture f(R"(
+        float clamp(float v, float lo, float hi) {
+            if (v < lo)
+                return lo;
+            if (v > hi)
+                return hi;
+            return v;
+        }
+        int mix(int a, int b) {
+            if (a > b)
+                return a - b;
+            return b - a + 1;
+        }
+        int main() {
+            float acc = 0.0;
+            int n = 0;
+            for (int i = 0; i < 500; i++) {
+                acc = acc + clamp(i * 0.37 - 50.0, -3.0, 3.0);
+                n += mix(i & 15, i % 7);
+            }
+            putf(acc);
+            putc(' ');
+            puti(n);
+            return 0;
+        })",
+        "");
+    EXPECT_GT(f.inlined_count, 0);
+    EXPECT_EQ(f.after.output, f.before.output);
+    EXPECT_EQ(f.after.stats.direct_calls, 0);
+}
+
+TEST(Inline, InlinedCopiesShareBranchSites)
+{
+    // `sign` is called from two sites; both inlined copies must share
+    // the same branch-site counters (source-level keying).
+    InlineFixture f(R"(
+        int sign(int v) {
+            if (v < 0)
+                return -1;
+            return 1;
+        }
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 100; i++) {
+                n += sign(i - 50);        // copy 1: ~50/50
+                n += sign(i - 1000);      // copy 2: always negative
+            }
+            return n & 255;
+        })",
+        "");
+    EXPECT_EQ(f.after.stats.exit_code, f.before.stats.exit_code);
+    // Site table unchanged...
+    ASSERT_EQ(f.inlined_program.branch_sites.size(),
+              f.program.branch_sites.size());
+    // ...and per-site dynamic counts identical to the un-inlined run
+    // (copies aggregate into the same counters).
+    for (size_t i = 0; i < f.after.stats.branches.size(); ++i) {
+        EXPECT_EQ(f.after.stats.branches[i].executed,
+                  f.before.stats.branches[i].executed);
+        EXPECT_EQ(f.after.stats.branches[i].taken,
+                  f.before.stats.branches[i].taken);
+    }
+    // The shared site now appears on two kBr instructions.
+    std::vector<int> count(f.inlined_program.branch_sites.size(), 0);
+    for (const auto &fn : f.inlined_program.functions)
+        for (const auto &insn : fn.code)
+            if (insn.op == isa::Opcode::kBr)
+                ++count[static_cast<size_t>(insn.imm)];
+    EXPECT_GE(*std::max_element(count.begin(), count.end()), 2);
+}
+
+TEST(Inline, RecursionIsNotInlined)
+{
+    InlineFixture f(R"(
+        int fib(int n) {
+            if (n < 2)
+                return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(15) & 255; }
+    )",
+        "");
+    EXPECT_EQ(f.after.stats.exit_code, f.before.stats.exit_code);
+    // fib still calls itself.
+    EXPECT_GT(f.after.stats.direct_calls, 100);
+}
+
+TEST(Inline, ChainsCollapseAcrossRounds)
+{
+    InlineFixture f(R"(
+        int add1(int x) { return x + 1; }
+        int add2(int x) { return add1(add1(x)); }
+        int add4(int x) { return add2(add2(x)); }
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 200; i++)
+                n += add4(i);
+            return n & 255;
+        })",
+        "");
+    EXPECT_EQ(f.after.stats.exit_code, f.before.stats.exit_code);
+    EXPECT_EQ(f.after.stats.direct_calls, 0);
+}
+
+TEST(Inline, GrowthCapRespected)
+{
+    InlineOptions tight;
+    tight.max_callee_size = 4; // `work` does not fit (tiny prelude
+                               // helpers like ungetch still may)
+    InlineFixture f(R"(
+        int work(int x) {
+            int a = x * 3, b = x + 7, c = a ^ b;
+            return (a + b + c) & 1023;
+        }
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 100; i++)
+                n += work(i);
+            return n & 255;
+        })",
+        "", tight);
+    EXPECT_EQ(f.after.stats.exit_code, f.before.stats.exit_code);
+    // The 100 calls to `work` survive the size cap.
+    EXPECT_GE(f.after.stats.direct_calls, 100);
+}
+
+TEST(Inline, WholeWorkloadsSurviveInlining)
+{
+    for (const char *name : {"eqntott", "doduc", "spiff"}) {
+        SCOPED_TRACE(name);
+        const auto &w = workloads::get(name);
+        InlineFixture f(w.source, w.datasets.front().input);
+        EXPECT_EQ(f.after.output, f.before.output);
+        EXPECT_LE(f.after.stats.direct_calls, f.before.stats.direct_calls);
+    }
+}
+
+TEST(Inline, IndirectCallsAndTargetsStay)
+{
+    // Functions reached by icall still exist and work; functions that
+    // make icalls are not inlined.
+    InlineFixture f(R"(
+        int dbl(int x) { return x * 2; }
+        int dispatch(int f, int v) { return icall(f, v); }
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 50; i++)
+                n += dispatch(&dbl, i);
+            return n & 255;
+        })",
+        "");
+    EXPECT_EQ(f.after.stats.exit_code, f.before.stats.exit_code);
+    EXPECT_EQ(f.after.stats.indirect_calls, f.before.stats.indirect_calls);
+}
+
+} // namespace
+} // namespace ifprob

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for profile-guided code layout: behaviour preservation, branch
+ * site preservation, jump reduction, and backward-flag refresh.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/layout.h"
+#include "support/error.h"
+#include "compiler/pipeline.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+namespace ifprob {
+namespace {
+
+struct LayoutFixture
+{
+    explicit LayoutFixture(std::string_view src, std::string_view input)
+        : program(compile(src))
+    {
+        vm::Machine machine(program);
+        baseline = machine.run(input);
+        db = std::make_unique<profile::ProfileDb>(
+            "p", program.fingerprint(), baseline.stats);
+        predictor = std::make_unique<predict::ProfilePredictor>(*db);
+        laid_out = program;
+        layoutProgram(laid_out, *predictor, *db);
+    }
+
+    isa::Program program;
+    isa::Program laid_out;
+    vm::RunResult baseline;
+    std::unique_ptr<profile::ProfileDb> db;
+    std::unique_ptr<predict::ProfilePredictor> predictor;
+};
+
+const char *kBranchy = R"(
+    int classify(int x) {
+        if (x % 17 == 0)
+            return 3;       // cold path
+        if (x & 1)
+            return 1;
+        return 2;
+    }
+    int main() {
+        int x = 7, n = 0;
+        for (int i = 0; i < 3000; i++) {
+            x = (x * 1103515245 + 12345) % 2147483648;
+            switch (classify(x)) {
+              case 1: n += 1; break;
+              case 2: n += 2; break;
+              default: n -= 1;
+            }
+        }
+        return n & 255;
+    })";
+
+TEST(Layout, PreservesBehaviour)
+{
+    LayoutFixture f(kBranchy, "");
+    vm::Machine machine(f.laid_out);
+    auto after = machine.run("");
+    EXPECT_EQ(after.stats.exit_code, f.baseline.stats.exit_code);
+    EXPECT_EQ(after.output, f.baseline.output);
+    // Branch behaviour identical site by site.
+    ASSERT_EQ(after.stats.branches.size(),
+              f.baseline.stats.branches.size());
+    for (size_t i = 0; i < after.stats.branches.size(); ++i) {
+        EXPECT_EQ(after.stats.branches[i].executed,
+                  f.baseline.stats.branches[i].executed);
+        EXPECT_EQ(after.stats.branches[i].taken,
+                  f.baseline.stats.branches[i].taken);
+    }
+}
+
+TEST(Layout, ReducesDynamicJumps)
+{
+    LayoutFixture f(kBranchy, "");
+    vm::Machine machine(f.laid_out);
+    auto after = machine.run("");
+    EXPECT_LT(after.stats.jumps, f.baseline.stats.jumps);
+    EXPECT_LT(after.stats.instructions, f.baseline.stats.instructions);
+}
+
+TEST(Layout, PreservesBranchSiteIds)
+{
+    LayoutFixture f(kBranchy, "");
+    EXPECT_EQ(f.laid_out.branch_sites.size(),
+              f.program.branch_sites.size());
+    // Every site id still appears on exactly one kBr.
+    std::vector<int> count(f.laid_out.branch_sites.size(), 0);
+    for (const auto &fn : f.laid_out.functions)
+        for (const auto &insn : fn.code)
+            if (insn.op == isa::Opcode::kBr)
+                ++count[static_cast<size_t>(insn.imm)];
+    for (size_t i = 0; i < count.size(); ++i)
+        EXPECT_EQ(count[i], 1) << "site " << i;
+}
+
+TEST(Layout, RecomputesBackwardFlags)
+{
+    LayoutFixture f(kBranchy, "");
+    for (const auto &fn : f.laid_out.functions) {
+        for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+            const auto &insn = fn.code[pc];
+            if (insn.op != isa::Opcode::kBr)
+                continue;
+            EXPECT_EQ(f.laid_out.branch_sites[static_cast<size_t>(insn.imm)]
+                          .backward,
+                      insn.b <= static_cast<int>(pc));
+        }
+    }
+}
+
+TEST(Layout, FingerprintChangesAndProfilesRefuse)
+{
+    LayoutFixture f(kBranchy, "");
+    EXPECT_NE(f.laid_out.fingerprint(), f.program.fingerprint());
+    // A profile of the old image cannot be accumulated into one of the
+    // new image.
+    vm::Machine machine(f.laid_out);
+    auto after = machine.run("");
+    profile::ProfileDb new_db("p", f.laid_out.fingerprint(), after.stats);
+    EXPECT_THROW(new_db.accumulate(*f.db), Error);
+}
+
+TEST(Layout, WorksOnRealWorkloads)
+{
+    for (const char *name : {"mcc", "eqntott"}) {
+        SCOPED_TRACE(name);
+        const auto &w = workloads::get(name);
+        LayoutFixture f(w.source, w.datasets.front().input);
+        vm::Machine machine(f.laid_out);
+        auto after = machine.run(w.datasets.front().input);
+        EXPECT_EQ(after.output, f.baseline.output);
+        EXPECT_LE(after.stats.jumps, f.baseline.stats.jumps);
+    }
+}
+
+} // namespace
+} // namespace ifprob

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the minic lexer: token kinds, literal values, escapes,
+ * comments, source locations, and lexical errors.
+ */
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+#include "support/error.h"
+
+namespace ifprob::lang {
+namespace {
+
+std::vector<Token>
+lexAll(std::string_view src)
+{
+    return lex(src);
+}
+
+TEST(Lexer, EmptyInputYieldsEof)
+{
+    auto toks = lexAll("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, IdentifiersAndKeywords)
+{
+    auto toks = lexAll("int foo while whilefoo _bar x1");
+    ASSERT_EQ(toks.size(), 7u);
+    EXPECT_EQ(toks[0].kind, TokenKind::kKwInt);
+    EXPECT_EQ(toks[1].kind, TokenKind::kIdent);
+    EXPECT_EQ(toks[1].text, "foo");
+    EXPECT_EQ(toks[2].kind, TokenKind::kKwWhile);
+    EXPECT_EQ(toks[3].kind, TokenKind::kIdent);
+    EXPECT_EQ(toks[3].text, "whilefoo");
+    EXPECT_EQ(toks[4].text, "_bar");
+    EXPECT_EQ(toks[5].text, "x1");
+}
+
+TEST(Lexer, IntegerLiterals)
+{
+    auto toks = lexAll("0 42 123456789012345 0x1f 0XFF");
+    EXPECT_EQ(toks[0].int_value, 0);
+    EXPECT_EQ(toks[1].int_value, 42);
+    EXPECT_EQ(toks[2].int_value, 123456789012345ll);
+    EXPECT_EQ(toks[3].int_value, 0x1f);
+    EXPECT_EQ(toks[4].int_value, 0xff);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(toks[static_cast<size_t>(i)].kind, TokenKind::kIntLit);
+}
+
+TEST(Lexer, FloatLiterals)
+{
+    auto toks = lexAll("1.5 0.25 2.0e3 1.5E-2 7.0e+1");
+    EXPECT_DOUBLE_EQ(toks[0].float_value, 1.5);
+    EXPECT_DOUBLE_EQ(toks[1].float_value, 0.25);
+    EXPECT_DOUBLE_EQ(toks[2].float_value, 2000.0);
+    EXPECT_DOUBLE_EQ(toks[3].float_value, 0.015);
+    EXPECT_DOUBLE_EQ(toks[4].float_value, 70.0);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(toks[static_cast<size_t>(i)].kind, TokenKind::kFloatLit);
+}
+
+TEST(Lexer, IntegerDotDigitDisambiguation)
+{
+    // A fraction requires a digit after the dot; a lone '.' is not a
+    // token in minic at all (there is no member access).
+    auto toks = lexAll("3.14 3 14");
+    EXPECT_EQ(toks[0].kind, TokenKind::kFloatLit);
+    EXPECT_EQ(toks[1].kind, TokenKind::kIntLit);
+    EXPECT_EQ(toks[2].kind, TokenKind::kIntLit);
+    EXPECT_THROW(lexAll("x . y"), ifprob::CompileError);
+}
+
+TEST(Lexer, CharLiterals)
+{
+    auto toks = lexAll(R"('a' '0' '\n' '\t' '\\' '\'' '\0')");
+    EXPECT_EQ(toks[0].int_value, 'a');
+    EXPECT_EQ(toks[1].int_value, '0');
+    EXPECT_EQ(toks[2].int_value, '\n');
+    EXPECT_EQ(toks[3].int_value, '\t');
+    EXPECT_EQ(toks[4].int_value, '\\');
+    EXPECT_EQ(toks[5].int_value, '\'');
+    EXPECT_EQ(toks[6].int_value, 0);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ(toks[static_cast<size_t>(i)].kind, TokenKind::kCharLit);
+}
+
+TEST(Lexer, StringLiteralsResolveEscapes)
+{
+    auto toks = lexAll(R"("hello\nworld" "" "a\"b")");
+    EXPECT_EQ(toks[0].kind, TokenKind::kStringLit);
+    EXPECT_EQ(toks[0].text, "hello\nworld");
+    EXPECT_EQ(toks[1].text, "");
+    EXPECT_EQ(toks[2].text, "a\"b");
+}
+
+TEST(Lexer, CommentsAreSkipped)
+{
+    auto toks = lexAll("a // line comment\nb /* block\ncomment */ c");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, SourceLocations)
+{
+    auto toks = lexAll("a\n  b\n    c");
+    EXPECT_EQ(toks[0].loc.line, 1);
+    EXPECT_EQ(toks[0].loc.col, 1);
+    EXPECT_EQ(toks[1].loc.line, 2);
+    EXPECT_EQ(toks[1].loc.col, 3);
+    EXPECT_EQ(toks[2].loc.line, 3);
+    EXPECT_EQ(toks[2].loc.col, 5);
+}
+
+TEST(Lexer, ErrorOnUnterminatedString)
+{
+    EXPECT_THROW(lexAll("\"oops"), CompileError);
+}
+
+TEST(Lexer, ErrorOnUnterminatedBlockComment)
+{
+    EXPECT_THROW(lexAll("/* never closed"), CompileError);
+}
+
+TEST(Lexer, ErrorOnUnterminatedChar)
+{
+    EXPECT_THROW(lexAll("'a"), CompileError);
+}
+
+TEST(Lexer, ErrorOnStrayCharacter)
+{
+    EXPECT_THROW(lexAll("int $x;"), CompileError);
+    EXPECT_THROW(lexAll("a @ b"), CompileError);
+}
+
+TEST(Lexer, ErrorOnUnknownEscape)
+{
+    EXPECT_THROW(lexAll("'\\q'"), CompileError);
+}
+
+/** Parameterized check that each operator spelling lexes to its kind. */
+struct OperatorCase
+{
+    const char *text;
+    TokenKind kind;
+};
+
+class LexerOperatorTest : public ::testing::TestWithParam<OperatorCase>
+{
+};
+
+TEST_P(LexerOperatorTest, LexesToExpectedKind)
+{
+    auto toks = lexAll(GetParam().text);
+    ASSERT_EQ(toks.size(), 2u) << GetParam().text;
+    EXPECT_EQ(toks[0].kind, GetParam().kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, LexerOperatorTest,
+    ::testing::Values(
+        OperatorCase{"+", TokenKind::kPlus},
+        OperatorCase{"-", TokenKind::kMinus},
+        OperatorCase{"*", TokenKind::kStar},
+        OperatorCase{"/", TokenKind::kSlash},
+        OperatorCase{"%", TokenKind::kPercent},
+        OperatorCase{"+=", TokenKind::kPlusAssign},
+        OperatorCase{"-=", TokenKind::kMinusAssign},
+        OperatorCase{"*=", TokenKind::kStarAssign},
+        OperatorCase{"/=", TokenKind::kSlashAssign},
+        OperatorCase{"%=", TokenKind::kPercentAssign},
+        OperatorCase{"++", TokenKind::kPlusPlus},
+        OperatorCase{"--", TokenKind::kMinusMinus},
+        OperatorCase{"&", TokenKind::kAmp},
+        OperatorCase{"|", TokenKind::kPipe},
+        OperatorCase{"^", TokenKind::kCaret},
+        OperatorCase{"~", TokenKind::kTilde},
+        OperatorCase{"<<", TokenKind::kShl},
+        OperatorCase{">>", TokenKind::kShr},
+        OperatorCase{"&&", TokenKind::kAmpAmp},
+        OperatorCase{"||", TokenKind::kPipePipe},
+        OperatorCase{"!", TokenKind::kBang},
+        OperatorCase{"==", TokenKind::kEq},
+        OperatorCase{"!=", TokenKind::kNe},
+        OperatorCase{"<", TokenKind::kLt},
+        OperatorCase{"<=", TokenKind::kLe},
+        OperatorCase{">", TokenKind::kGt},
+        OperatorCase{">=", TokenKind::kGe},
+        OperatorCase{"=", TokenKind::kAssign},
+        OperatorCase{"?", TokenKind::kQuestion},
+        OperatorCase{":", TokenKind::kColon},
+        OperatorCase{";", TokenKind::kSemi},
+        OperatorCase{",", TokenKind::kComma},
+        OperatorCase{"(", TokenKind::kLParen},
+        OperatorCase{")", TokenKind::kRParen},
+        OperatorCase{"{", TokenKind::kLBrace},
+        OperatorCase{"}", TokenKind::kRBrace},
+        OperatorCase{"[", TokenKind::kLBracket},
+        OperatorCase{"]", TokenKind::kRBracket}));
+
+TEST(Lexer, MaximalMunch)
+{
+    auto toks = lexAll("a+++b");
+    // a ++ + b
+    ASSERT_EQ(toks.size(), 5u);
+    EXPECT_EQ(toks[1].kind, TokenKind::kPlusPlus);
+    EXPECT_EQ(toks[2].kind, TokenKind::kPlus);
+
+    auto toks2 = lexAll("a<<=b"); // << then =
+    EXPECT_EQ(toks2[1].kind, TokenKind::kShl);
+    EXPECT_EQ(toks2[2].kind, TokenKind::kAssign);
+}
+
+} // namespace
+} // namespace ifprob::lang

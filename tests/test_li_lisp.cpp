@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Language-semantics tests for the li workload's Lisp interpreter,
+ * driven by small Lisp programs fed as input. The interpreter is the
+ * largest minic program in the suite, so its evaluator, reader,
+ * environments, and builtins get their own coverage beyond the bundled
+ * datasets.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+namespace ifprob {
+namespace {
+
+class LiLisp : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        program_ = new isa::Program(compile(workloads::get("li").source));
+        machine_ = new vm::Machine(*program_);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete machine_;
+        delete program_;
+        machine_ = nullptr;
+        program_ = nullptr;
+    }
+
+    static std::string
+    eval(const std::string &lisp)
+    {
+        vm::RunLimits limits;
+        limits.max_instructions = 500'000'000;
+        return machine_->run(lisp, limits).output;
+    }
+
+    static isa::Program *program_;
+    static vm::Machine *machine_;
+};
+
+isa::Program *LiLisp::program_ = nullptr;
+vm::Machine *LiLisp::machine_ = nullptr;
+
+TEST_F(LiLisp, Arithmetic)
+{
+    EXPECT_EQ(eval("(print (+ 2 3))"), "5");
+    EXPECT_EQ(eval("(print (- 2 5))"), "-3");
+    EXPECT_EQ(eval("(print (* 6 7))"), "42");
+    EXPECT_EQ(eval("(print (/ 17 5))"), "3");
+    EXPECT_EQ(eval("(print (rem 17 5))"), "2");
+    EXPECT_EQ(eval("(print (+ (* 2 3) (/ 10 2)))"), "11");
+}
+
+TEST_F(LiLisp, Comparisons)
+{
+    EXPECT_EQ(eval("(print (< 1 2))"), "t");
+    EXPECT_EQ(eval("(print (> 1 2))"), "nil");
+    EXPECT_EQ(eval("(print (= 3 3))"), "t");
+    EXPECT_EQ(eval("(print (<= 3 3))"), "t");
+    EXPECT_EQ(eval("(print (>= 2 3))"), "nil");
+}
+
+TEST_F(LiLisp, QuoteAndListOps)
+{
+    EXPECT_EQ(eval("(print (quote (1 2 3)))"), "(1 2 3)");
+    EXPECT_EQ(eval("(print '(a b))"), "(a b)");
+    EXPECT_EQ(eval("(print (car '(1 2 3)))"), "1");
+    EXPECT_EQ(eval("(print (cdr '(1 2 3)))"), "(2 3)");
+    EXPECT_EQ(eval("(print (cons 1 '(2 3)))"), "(1 2 3)");
+    EXPECT_EQ(eval("(print (cons 1 2))"), "(1 . 2)");
+    EXPECT_EQ(eval("(print (null '()))"), "t");
+    EXPECT_EQ(eval("(print (null '(1)))"), "nil");
+    EXPECT_EQ(eval("(print (atom 5))"), "t");
+    EXPECT_EQ(eval("(print (atom '(1)))"), "nil");
+}
+
+TEST_F(LiLisp, IfAndTruthiness)
+{
+    EXPECT_EQ(eval("(print (if t 1 2))"), "1");
+    EXPECT_EQ(eval("(print (if nil 1 2))"), "2");
+    EXPECT_EQ(eval("(print (if nil 1))"), "nil");
+    // Integers (even 0) are truthy; only nil is false.
+    EXPECT_EQ(eval("(print (if 0 'yes 'no))"), "yes");
+    EXPECT_EQ(eval("(print (not nil))"), "t");
+    EXPECT_EQ(eval("(print (not 5))"), "nil");
+}
+
+TEST_F(LiLisp, DefineLambdaClosures)
+{
+    EXPECT_EQ(eval("(define sq (lambda (x) (* x x))) (print (sq 9))"),
+              "81");
+    // Lexical capture: make-adder closes over n.
+    EXPECT_EQ(eval("(define make-adder (lambda (n) (lambda (x) (+ x n))))"
+                   "(define add5 (make-adder 5))"
+                   "(print (add5 37))"),
+              "42");
+    // Shadowing: inner parameter hides outer binding.
+    EXPECT_EQ(eval("(define x 100)"
+                   "(define f (lambda (x) (+ x 1)))"
+                   "(print (f 5)) (terpri) (print x)"),
+              "6\n100");
+}
+
+TEST_F(LiLisp, SetBangMutatesNearestBinding)
+{
+    // set! on a parameter mutates the local binding only.
+    EXPECT_EQ(eval("(define x 1)"
+                   "(define f (lambda (x) (begin (set! x 99) x)))"
+                   "(print (f 5)) (terpri) (print x)"),
+              "99\n1");
+    // set! on a global.
+    EXPECT_EQ(eval("(define g 10) (set! g 20) (print g)"), "20");
+}
+
+TEST_F(LiLisp, WhileAndBegin)
+{
+    EXPECT_EQ(eval("(define i 0) (define sum 0)"
+                   "(while (< i 10)"
+                   "  (begin (set! sum (+ sum i)) (set! i (+ i 1))))"
+                   "(print sum)"),
+              "45");
+    EXPECT_EQ(eval("(print (begin 1 2 3))"), "3");
+}
+
+TEST_F(LiLisp, RecursionDeepEnough)
+{
+    EXPECT_EQ(eval("(define sum-to (lambda (n)"
+                   "  (if (= n 0) 0 (+ n (sum-to (- n 1))))))"
+                   "(print (sum-to 200))"),
+              "20100");
+}
+
+TEST_F(LiLisp, HigherOrderFunctions)
+{
+    EXPECT_EQ(eval("(define map1 (lambda (f xs)"
+                   "  (if (null xs) '()"
+                   "      (cons (f (car xs)) (map1 f (cdr xs))))))"
+                   "(print (map1 (lambda (x) (* x x)) '(1 2 3 4)))"),
+              "(1 4 9 16)");
+}
+
+TEST_F(LiLisp, EqIsIdentity)
+{
+    EXPECT_EQ(eval("(print (eq 'a 'a))"), "t");  // interned symbols
+    EXPECT_EQ(eval("(print (eq 'a 'b))"), "nil");
+    EXPECT_EQ(eval("(define l '(1 2)) (print (eq l l))"), "t");
+    // Fresh conses are distinct objects.
+    EXPECT_EQ(eval("(print (eq (cons 1 2) (cons 1 2)))"), "nil");
+}
+
+TEST_F(LiLisp, NegativeNumbersAndSymbolsWithDash)
+{
+    EXPECT_EQ(eval("(print -5)"), "-5");
+    EXPECT_EQ(eval("(print (+ -3 -4))"), "-7");
+    EXPECT_EQ(eval("(define my-var 7) (print my-var)"), "7");
+    EXPECT_EQ(eval("(define - (lambda (a b) a)) (print 1)"), "1");
+}
+
+TEST_F(LiLisp, CommentsAndWhitespace)
+{
+    EXPECT_EQ(eval("; leading comment\n(print ; inline\n 42)\n; trailing"),
+              "42");
+    EXPECT_EQ(eval("  \t\r\n (print 1)"), "1");
+}
+
+TEST_F(LiLisp, ErrorsHaltWithMessage)
+{
+    EXPECT_EQ(eval("(print undefined-symbol)"), "unbound symbol\n");
+    EXPECT_EQ(eval("(print (/ 1 0))"), "division by zero\n");
+    EXPECT_EQ(eval("(print (+ 'a 1))"), "expected integer\n");
+    EXPECT_EQ(eval("(5 6)"), "apply: not a function\n");
+}
+
+TEST_F(LiLisp, TerpriAndMultiplePrints)
+{
+    EXPECT_EQ(eval("(print 1) (terpri) (print 2) (terpri)"), "1\n2\n");
+}
+
+} // namespace
+} // namespace ifprob

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the breaks-in-control accounting and the text report
+ * renderer.
+ */
+#include <gtest/gtest.h>
+
+#include "metrics/breaks.h"
+#include "metrics/report.h"
+#include "support/str.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+
+namespace ifprob::metrics {
+namespace {
+
+vm::RunStats
+sampleStats()
+{
+    vm::RunStats stats;
+    stats.instructions = 1000;
+    stats.cond_branches = 100;
+    stats.taken_branches = 80;
+    stats.jumps = 50;
+    stats.direct_calls = 10;
+    stats.direct_returns = 10;
+    stats.indirect_calls = 3;
+    stats.indirect_returns = 3;
+    stats.branches = {{60, 55}, {40, 25}};
+    return stats;
+}
+
+TEST(Breaks, NoPredictionCountsEveryBranch)
+{
+    auto stats = sampleStats();
+    BreakSummary s = breaksWithoutPrediction(stats);
+    EXPECT_EQ(s.instructions, 1000);
+    EXPECT_EQ(s.cond_branch_breaks, 100);
+    EXPECT_EQ(s.unavoidable_breaks, 6); // 3 icalls + 3 ireturns
+    EXPECT_EQ(s.call_breaks, 0);
+    EXPECT_EQ(s.totalBreaks(), 106);
+    EXPECT_NEAR(s.instructionsPerBreak(), 1000.0 / 106, 1e-12);
+}
+
+TEST(Breaks, CallCountingIsOptional)
+{
+    auto stats = sampleStats();
+    BreakConfig with_calls{.count_calls = true};
+    BreakSummary s = breaksWithoutPrediction(stats, with_calls);
+    EXPECT_EQ(s.call_breaks, 20); // 10 calls + 10 returns
+    EXPECT_EQ(s.totalBreaks(), 126);
+}
+
+TEST(Breaks, JumpsNeverCount)
+{
+    // The 50 jumps must not appear anywhere (assumed eliminated by code
+    // layout, as the paper assumes).
+    auto stats = sampleStats();
+    BreakConfig with_calls{.count_calls = true};
+    EXPECT_EQ(breaksWithoutPrediction(stats, with_calls).totalBreaks(),
+              100 + 6 + 20);
+}
+
+TEST(Breaks, WithPredictorCountsOnlyMispredicts)
+{
+    auto stats = sampleStats();
+    // Self profile: site0 -> taken (5 misses), site1 -> taken (15
+    // misses); wait 25/40 taken -> predict taken, 15 miss.
+    profile::ProfileDb db("p", 1, stats);
+    predict::ProfilePredictor predictor(db);
+    BreakSummary s = breaksWithPredictor(stats, predictor);
+    EXPECT_EQ(s.cond_branch_breaks, 5 + 15);
+    EXPECT_EQ(s.unavoidable_breaks, 6);
+    EXPECT_EQ(s.totalBreaks(), 26);
+}
+
+TEST(Breaks, ZeroBreaksFallsBackToInstructionCount)
+{
+    vm::RunStats stats;
+    stats.instructions = 777;
+    BreakSummary s = breaksWithoutPrediction(stats);
+    EXPECT_DOUBLE_EQ(s.instructionsPerBreak(), 777.0);
+}
+
+TEST(Breaks, DeadCodeFraction)
+{
+    EXPECT_DOUBLE_EQ(deadCodeFraction(100, 71), 0.29);
+    EXPECT_DOUBLE_EQ(deadCodeFraction(100, 100), 0.0);
+    // DCE can only shrink; a larger "optimized" count clamps to zero.
+    EXPECT_DOUBLE_EQ(deadCodeFraction(100, 110), 0.0);
+    EXPECT_DOUBLE_EQ(deadCodeFraction(0, 0), 0.0);
+}
+
+TEST(Report, TableAlignsColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12,345"});
+    std::string out = t.render();
+    // Header, rule, two rows.
+    auto lines = split(out, '\n');
+    ASSERT_GE(lines.size(), 4u);
+    EXPECT_NE(lines[1].find('+'), std::string::npos); // header rule
+    // Numbers right-aligned: "1" ends in the same column as "12,345".
+    EXPECT_EQ(lines[2].find('1'), lines[3].find("12,345") + 5);
+}
+
+TEST(Report, TableHandlesRulesAndRaggedRows)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"x"});
+    t.addRule();
+    t.addRow({"y", "z", "w"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("-+-"), std::string::npos);
+    EXPECT_NE(out.find('y'), std::string::npos);
+}
+
+TEST(Report, AsciiBar)
+{
+    EXPECT_EQ(asciiBar(50, 100, 10), "#####     ");
+    EXPECT_EQ(asciiBar(100, 100, 4), "####");
+    EXPECT_EQ(asciiBar(0, 100, 4), "    ");
+    EXPECT_EQ(asciiBar(200, 100, 4), "####");  // clamped
+    EXPECT_EQ(asciiBar(5, 0, 4), "    ");      // degenerate max
+    EXPECT_EQ(asciiBar(1, 2, 0), "");
+}
+
+TEST(Report, EmptyTableRendersEmpty)
+{
+    TextTable t;
+    EXPECT_EQ(t.render(), "");
+}
+
+} // namespace
+} // namespace ifprob::metrics

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the minic parser: declaration/statement/expression
+ * structure, operator precedence and associativity, and syntax errors.
+ */
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "support/error.h"
+
+namespace ifprob::lang {
+namespace {
+
+Unit
+parseOk(std::string_view src)
+{
+    return parse(src);
+}
+
+const FuncDecl &
+onlyFunction(const Unit &unit)
+{
+    EXPECT_EQ(unit.functions.size(), 1u);
+    return unit.functions.front();
+}
+
+/** Parse "int f() { return EXPR; }" and hand back the expression. */
+const Expr &
+parseExprFrom(Unit &unit, const std::string &expr)
+{
+    unit = parse("int f() { return " + expr + "; }");
+    auto &ret = static_cast<ReturnStmt &>(
+        *onlyFunction(unit).body->stmts.at(0));
+    return *ret.value;
+}
+
+TEST(Parser, GlobalScalarsAndArrays)
+{
+    Unit unit = parseOk("int a; float b = 1.5; int c[10]; "
+                        "int d[4] = {1, 2, 3}; int e, f = 2;");
+    ASSERT_EQ(unit.globals.size(), 6u);
+    EXPECT_EQ(unit.globals[0].name, "a");
+    EXPECT_EQ(unit.globals[0].array_size, -1);
+    EXPECT_EQ(unit.globals[1].type, Type::kFloat);
+    ASSERT_NE(unit.globals[1].init, nullptr);
+    EXPECT_EQ(unit.globals[2].array_size, 10);
+    EXPECT_EQ(unit.globals[3].init_list.size(), 3u);
+    EXPECT_EQ(unit.globals[4].name, "e");
+    EXPECT_EQ(unit.globals[5].name, "f");
+}
+
+TEST(Parser, FunctionSignatures)
+{
+    Unit unit = parseOk("void f() {} int g(int a, float b) { return 0; } "
+                        "float h(void) { return 1.0; }");
+    ASSERT_EQ(unit.functions.size(), 3u);
+    EXPECT_EQ(unit.functions[0].return_type, Type::kVoid);
+    EXPECT_TRUE(unit.functions[0].params.empty());
+    ASSERT_EQ(unit.functions[1].params.size(), 2u);
+    EXPECT_EQ(unit.functions[1].params[0].type, Type::kInt);
+    EXPECT_EQ(unit.functions[1].params[1].type, Type::kFloat);
+    EXPECT_TRUE(unit.functions[2].params.empty()); // f(void) idiom
+}
+
+TEST(Parser, PrecedenceMulOverAdd)
+{
+    Unit unit;
+    const Expr &e = parseExprFrom(unit, "1 + 2 * 3");
+    ASSERT_EQ(e.kind, ExprKind::kBinary);
+    const auto &add = static_cast<const BinaryExpr &>(e);
+    EXPECT_EQ(add.op, BinaryOp::kAdd);
+    ASSERT_EQ(add.rhs->kind, ExprKind::kBinary);
+    EXPECT_EQ(static_cast<const BinaryExpr &>(*add.rhs).op, BinaryOp::kMul);
+}
+
+TEST(Parser, PrecedenceComparisonOverLogical)
+{
+    Unit unit;
+    const Expr &e = parseExprFrom(unit, "a < b && c > d");
+    const auto &land = static_cast<const BinaryExpr &>(e);
+    EXPECT_EQ(land.op, BinaryOp::kLogAnd);
+    EXPECT_EQ(static_cast<const BinaryExpr &>(*land.lhs).op, BinaryOp::kLt);
+    EXPECT_EQ(static_cast<const BinaryExpr &>(*land.rhs).op, BinaryOp::kGt);
+}
+
+TEST(Parser, PrecedenceShiftBindsTighterThanCompare)
+{
+    Unit unit;
+    const Expr &e = parseExprFrom(unit, "a << 2 < b");
+    const auto &cmp = static_cast<const BinaryExpr &>(e);
+    EXPECT_EQ(cmp.op, BinaryOp::kLt);
+    EXPECT_EQ(static_cast<const BinaryExpr &>(*cmp.lhs).op, BinaryOp::kShl);
+}
+
+TEST(Parser, SubtractionIsLeftAssociative)
+{
+    Unit unit;
+    const Expr &e = parseExprFrom(unit, "10 - 3 - 2");
+    const auto &outer = static_cast<const BinaryExpr &>(e);
+    EXPECT_EQ(outer.op, BinaryOp::kSub);
+    // (10 - 3) - 2: lhs is itself a subtraction.
+    EXPECT_EQ(static_cast<const BinaryExpr &>(*outer.lhs).op,
+              BinaryOp::kSub);
+    EXPECT_EQ(outer.rhs->kind, ExprKind::kIntLit);
+}
+
+TEST(Parser, AssignmentIsRightAssociative)
+{
+    Unit unit = parseOk("int f() { int a, b; a = b = 1; return a; }");
+    const auto &stmt = static_cast<const ExprStmt &>(
+        *onlyFunction(unit).body->stmts.at(1));
+    const auto &outer = static_cast<const AssignExpr &>(*stmt.expr);
+    EXPECT_EQ(outer.value->kind, ExprKind::kAssign);
+}
+
+TEST(Parser, TernaryNestsInElseBranch)
+{
+    Unit unit;
+    const Expr &e = parseExprFrom(unit, "a ? 1 : b ? 2 : 3");
+    const auto &outer = static_cast<const TernaryExpr &>(e);
+    EXPECT_EQ(outer.else_value->kind, ExprKind::kTernary);
+}
+
+TEST(Parser, CallsIndexingAndFuncAddr)
+{
+    Unit unit;
+    const Expr &e = parseExprFrom(unit, "g(a[i + 1], &h, 3)");
+    const auto &call = static_cast<const CallExpr &>(e);
+    EXPECT_EQ(call.callee, "g");
+    ASSERT_EQ(call.args.size(), 3u);
+    EXPECT_EQ(call.args[0]->kind, ExprKind::kIndex);
+    EXPECT_EQ(call.args[1]->kind, ExprKind::kFuncAddr);
+}
+
+TEST(Parser, StatementKinds)
+{
+    Unit unit = parseOk(R"(
+        int f() {
+            int x = 0;
+            if (x) x = 1; else x = 2;
+            while (x) x = x - 1;
+            do x = x + 1; while (x < 3);
+            for (int i = 0; i < 10; i++) x += i;
+            for (;;) break;
+            switch (x) { case 1: break; default: x = 0; }
+            continue;
+            ;
+            return x;
+        })");
+    const auto &stmts = onlyFunction(unit).body->stmts;
+    ASSERT_EQ(stmts.size(), 10u);
+    EXPECT_EQ(stmts[0]->kind, StmtKind::kVarDecl);
+    EXPECT_EQ(stmts[1]->kind, StmtKind::kIf);
+    EXPECT_EQ(stmts[2]->kind, StmtKind::kWhile);
+    EXPECT_EQ(stmts[3]->kind, StmtKind::kDoWhile);
+    EXPECT_EQ(stmts[4]->kind, StmtKind::kFor);
+    EXPECT_EQ(stmts[5]->kind, StmtKind::kFor);
+    EXPECT_EQ(stmts[6]->kind, StmtKind::kSwitch);
+    EXPECT_EQ(stmts[7]->kind, StmtKind::kContinue);
+    EXPECT_EQ(stmts[8]->kind, StmtKind::kEmpty);
+    EXPECT_EQ(stmts[9]->kind, StmtKind::kReturn);
+}
+
+TEST(Parser, DanglingElseBindsToInnerIf)
+{
+    Unit unit = parseOk("int f(int a, int b) {"
+                        " if (a) if (b) return 1; else return 2;"
+                        " return 3; }");
+    const auto &outer = static_cast<const IfStmt &>(
+        *onlyFunction(unit).body->stmts.at(0));
+    EXPECT_EQ(outer.else_stmt, nullptr);
+    const auto &inner = static_cast<const IfStmt &>(*outer.then_stmt);
+    EXPECT_NE(inner.else_stmt, nullptr);
+}
+
+TEST(Parser, SwitchArmsWithSharedAndNegativeLabels)
+{
+    Unit unit = parseOk(R"(
+        int f(int x) {
+            switch (x) {
+              case 1:
+              case 2:
+                return 12;
+              case -3:
+                return 3;
+              case 'a':
+                return 97;
+              default:
+                return 0;
+            }
+        })");
+    const auto &sw = static_cast<const SwitchStmt &>(
+        *onlyFunction(unit).body->stmts.at(0));
+    ASSERT_EQ(sw.arms.size(), 4u);
+    EXPECT_EQ(sw.arms[0].labels, (std::vector<int64_t>{1, 2}));
+    EXPECT_EQ(sw.arms[1].labels, (std::vector<int64_t>{-3}));
+    EXPECT_EQ(sw.arms[2].labels, (std::vector<int64_t>{'a'}));
+    EXPECT_TRUE(sw.arms[3].is_default);
+}
+
+struct BadSource
+{
+    const char *label;
+    const char *source;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadSource>
+{
+};
+
+TEST_P(ParserErrorTest, Rejects)
+{
+    EXPECT_THROW(parse(GetParam().source), ifprob::CompileError)
+        << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SyntaxErrors, ParserErrorTest,
+    ::testing::Values(
+        BadSource{"missing_semi", "int f() { return 1 }"},
+        BadSource{"unclosed_block", "int f() { return 1;"},
+        BadSource{"unclosed_paren", "int f() { return (1; }"},
+        BadSource{"assign_to_literal", "int f() { 1 = 2; return 0; }"},
+        BadSource{"inc_rvalue", "int f() { return (1 + 2)++; }"},
+        BadSource{"local_array", "int f() { int a[4]; return 0; }"},
+        BadSource{"void_global", "void x;"},
+        BadSource{"void_param", "int f(void v) { return 0; }"},
+        BadSource{"case_outside", "int f() { case 1: return 0; }"},
+        BadSource{"duplicate_default",
+                  "int f(int x) { switch (x) { default: return 1; "
+                  "default: return 2; } }"},
+        BadSource{"switch_stmt_before_label",
+                  "int f(int x) { switch (x) { return 1; } }"},
+        BadSource{"missing_while", "int f() { do {} (1); return 0; }"},
+        BadSource{"bad_array_size", "int a[x];"},
+        BadSource{"stray_star_expression", "int f() { * ; return 0; }"}),
+    [](const ::testing::TestParamInfo<BadSource> &info) {
+        return info.param.label;
+    });
+
+} // namespace
+} // namespace ifprob::lang

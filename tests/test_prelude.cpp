@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the minic runtime prelude: formatted input (geti/getf with
+ * signs, whitespace, exponents, pushback, EOF), formatted output (puti),
+ * and the select-based min/max helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "support/str.h"
+#include "vm/machine.h"
+
+namespace ifprob {
+namespace {
+
+vm::RunResult
+run(std::string_view src, std::string_view input)
+{
+    isa::Program p = compile(src);
+    vm::Machine m(p);
+    return m.run(input);
+}
+
+TEST(Prelude, GetiParsesSignsAndSeparators)
+{
+    auto r = run(R"(
+        int main() {
+            puti(geti()); putc(' ');
+            puti(geti()); putc(' ');
+            puti(geti()); putc(' ');
+            puti(geti());
+            return 0;
+        })",
+        "  42,-17\n\t0   +unparsed");
+    // '+' is not consumed by geti; the fourth read hits it and reports 0
+    // with geti_eof set.
+    EXPECT_EQ(r.output, "42 -17 0 0");
+}
+
+TEST(Prelude, GetiSetsEofFlag)
+{
+    auto r = run(R"(
+        int main() {
+            int a = geti();
+            int ok1 = geti_eof;
+            int b = geti();
+            return ok1 * 100 + geti_eof * 10 + (a == 7) + (b == 0);
+        })",
+        "7");
+    // First read fine (flag 0), second read EOF (flag 1).
+    EXPECT_EQ(r.stats.exit_code, 0 * 100 + 10 + 1 + 1);
+}
+
+struct FloatCase
+{
+    const char *text;
+    double expected;
+};
+
+class PreludeGetfTest : public ::testing::TestWithParam<FloatCase>
+{
+};
+
+TEST_P(PreludeGetfTest, ParsesWithinTolerance)
+{
+    std::string src = strPrintf(R"(
+        int main() {
+            float x = getf();
+            float want = %.17g;
+            float mag = fabs(want) + 1.0e-12;
+            if (fabs(x - want) / mag < 1.0e-9)
+                return 1;
+            putf(x);
+            return 0;
+        })",
+        GetParam().expected);
+    auto r = run(src, GetParam().text);
+    EXPECT_EQ(r.stats.exit_code, 1) << GetParam().text << " -> " << r.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, PreludeGetfTest,
+    ::testing::Values(FloatCase{"0", 0.0}, FloatCase{"3", 3.0},
+                      FloatCase{"3.25", 3.25}, FloatCase{"-2.5", -2.5},
+                      FloatCase{".5", 0.5}, FloatCase{"1e3", 1000.0},
+                      FloatCase{"1.5e-3", 0.0015},
+                      FloatCase{"2.5E+2", 250.0},
+                      FloatCase{"  \n 7.125", 7.125},
+                      FloatCase{"0.001", 0.001},
+                      FloatCase{"123456.789", 123456.789}));
+
+TEST(Prelude, GetfThenGetiSequencing)
+{
+    // The pushback character from getf must not corrupt the next geti.
+    auto r = run(R"(
+        int main() {
+            float x = getf();
+            int n = geti();
+            puti(ftoi(x * 10.0));
+            putc(' ');
+            puti(n);
+            return 0;
+        })",
+        "2.5 42");
+    EXPECT_EQ(r.output, "25 42");
+}
+
+TEST(Prelude, PutiEdgeCases)
+{
+    auto r = run(R"(
+        int main() {
+            puti(0); putc(' ');
+            puti(-1); putc(' ');
+            puti(1000000); putc(' ');
+            puti(-987654321);
+            return 0;
+        })",
+        "");
+    EXPECT_EQ(r.output, "0 -1 1000000 -987654321");
+}
+
+TEST(Prelude, MinMaxHelpers)
+{
+    auto r = run(R"(
+        int main() {
+            if (imin(3, 7) != 3) return 1;
+            if (imax(3, 7) != 7) return 2;
+            if (imin(-3, -7) != -7) return 3;
+            if (fmin2(1.5, 2.5) > 1.6) return 4;
+            if (fmax2(1.5, 2.5) < 2.4) return 5;
+            return 0;
+        })",
+        "");
+    EXPECT_EQ(r.stats.exit_code, 0);
+}
+
+TEST(Prelude, UngetchRoundTrip)
+{
+    auto r = run(R"(
+        int main() {
+            int a = ngetc();
+            ungetch(a);
+            int b = ngetc();
+            return (a == 'x') + (b == 'x');
+        })",
+        "x");
+    EXPECT_EQ(r.stats.exit_code, 2);
+}
+
+TEST(Prelude, HelpersAddNoUnexpectedOutput)
+{
+    // geti/getf must not print anything themselves.
+    auto r = run("int main() { geti(); getf(); return 0; }", "1 2.0");
+    EXPECT_TRUE(r.output.empty());
+}
+
+} // namespace
+} // namespace ifprob

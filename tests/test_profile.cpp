@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the profile database: construction from runs,
+ * accumulation across runs, the three merge modes, serialization, and
+ * fingerprint guarding.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "profile/profile_db.h"
+#include "support/error.h"
+
+namespace ifprob::profile {
+namespace {
+
+vm::RunStats
+statsWith(std::vector<std::pair<int64_t, int64_t>> branches)
+{
+    vm::RunStats stats;
+    for (auto [executed, taken] : branches) {
+        stats.branches.push_back({executed, taken});
+        stats.cond_branches += executed;
+        stats.taken_branches += taken;
+    }
+    stats.instructions = stats.cond_branches * 10;
+    return stats;
+}
+
+TEST(ProfileDb, BuildFromRun)
+{
+    ProfileDb db("prog", 0x1234, statsWith({{10, 7}, {0, 0}, {5, 5}}));
+    EXPECT_EQ(db.programName(), "prog");
+    EXPECT_EQ(db.fingerprint(), 0x1234u);
+    ASSERT_EQ(db.numSites(), 3u);
+    EXPECT_DOUBLE_EQ(db.site(0).executed, 10.0);
+    EXPECT_DOUBLE_EQ(db.site(0).taken, 7.0);
+    EXPECT_DOUBLE_EQ(db.site(0).notTaken(), 3.0);
+    EXPECT_DOUBLE_EQ(db.totalExecuted(), 15.0);
+}
+
+TEST(ProfileDb, AccumulateAcrossRuns)
+{
+    ProfileDb db("prog", 1, 2);
+    db.accumulate(statsWith({{10, 3}, {4, 4}}));
+    db.accumulate(statsWith({{2, 2}, {6, 0}}));
+    EXPECT_DOUBLE_EQ(db.site(0).executed, 12.0);
+    EXPECT_DOUBLE_EQ(db.site(0).taken, 5.0);
+    EXPECT_DOUBLE_EQ(db.site(1).executed, 10.0);
+    EXPECT_DOUBLE_EQ(db.site(1).taken, 4.0);
+}
+
+TEST(ProfileDb, AccumulateRejectsMismatchedSizes)
+{
+    ProfileDb db("prog", 1, 2);
+    EXPECT_THROW(db.accumulate(statsWith({{1, 1}})), Error);
+    ProfileDb other("prog", 2, 2); // wrong fingerprint
+    EXPECT_THROW(db.accumulate(other), Error);
+}
+
+TEST(ProfileDb, MergeUnscaledAddsRawCounts)
+{
+    ProfileDb a("p", 9, statsWith({{100, 90}, {10, 1}}));
+    ProfileDb b("p", 9, statsWith({{2, 0}, {2, 2}}));
+    std::vector<ProfileDb> inputs{a, b};
+    ProfileDb merged = ProfileDb::merge(inputs, MergeMode::kUnscaled);
+    EXPECT_DOUBLE_EQ(merged.site(0).executed, 102.0);
+    EXPECT_DOUBLE_EQ(merged.site(0).taken, 90.0);
+    EXPECT_DOUBLE_EQ(merged.site(1).executed, 12.0);
+    EXPECT_DOUBLE_EQ(merged.site(1).taken, 3.0);
+}
+
+TEST(ProfileDb, MergeScaledGivesDatasetsEqualWeight)
+{
+    // Dataset a is 100x bigger; scaled merging must not let it dominate.
+    // Site 0: a says taken (90/100), b says not-taken (0/2 of its 4).
+    ProfileDb a("p", 9, statsWith({{100, 90}, {10, 10}}));
+    ProfileDb b("p", 9, statsWith({{2, 0}, {2, 2}}));
+    std::vector<ProfileDb> inputs{a, b};
+    ProfileDb merged = ProfileDb::merge(inputs, MergeMode::kScaled);
+    // a's weights: site0 (100/110, 90/110); b's: site0 (2/4, 0/4).
+    EXPECT_NEAR(merged.site(0).executed, 100.0 / 110 + 0.5, 1e-12);
+    EXPECT_NEAR(merged.site(0).taken, 90.0 / 110, 1e-12);
+    // In unscaled mode site 0 is predicted taken; in scaled mode the
+    // small dataset's not-taken vote carries weight:
+    // taken (0.818) vs executed (1.409): majority taken still. The
+    // difference is in the weights, which the numbers above pin down.
+}
+
+TEST(ProfileDb, MergePollingOneVotePerDataset)
+{
+    ProfileDb a("p", 9, statsWith({{1000, 1000}, {8, 3}}));
+    ProfileDb b("p", 9, statsWith({{1, 0}, {8, 5}}));
+    ProfileDb c("p", 9, statsWith({{1, 0}, {0, 0}}));
+    std::vector<ProfileDb> inputs{a, b, c};
+    ProfileDb merged = ProfileDb::merge(inputs, MergeMode::kPolling);
+    // Site 0: votes taken/not/not -> executed 3, taken 1.
+    EXPECT_DOUBLE_EQ(merged.site(0).executed, 3.0);
+    EXPECT_DOUBLE_EQ(merged.site(0).taken, 1.0);
+    // Site 1: c never saw it -> only two votes (not-taken, taken).
+    EXPECT_DOUBLE_EQ(merged.site(1).executed, 2.0);
+    EXPECT_DOUBLE_EQ(merged.site(1).taken, 1.0);
+}
+
+TEST(ProfileDb, MergeRejectsEmptyAndMismatched)
+{
+    std::vector<ProfileDb> empty;
+    EXPECT_THROW(ProfileDb::merge(empty, MergeMode::kScaled), Error);
+    ProfileDb a("p", 1, 2);
+    ProfileDb b("p", 2, 2);
+    std::vector<ProfileDb> mismatched{a, b};
+    EXPECT_THROW(ProfileDb::merge(mismatched, MergeMode::kScaled), Error);
+}
+
+TEST(ProfileDb, SaveLoadRoundTrip)
+{
+    ProfileDb db("my_prog", 0xdeadbeefcafe1234ull,
+                 statsWith({{10, 7}, {0, 0}, {123456789, 987654}}));
+    std::stringstream ss;
+    db.save(ss);
+    ProfileDb loaded = ProfileDb::load(ss);
+    EXPECT_EQ(loaded.programName(), "my_prog");
+    EXPECT_EQ(loaded.fingerprint(), 0xdeadbeefcafe1234ull);
+    ASSERT_EQ(loaded.numSites(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(loaded.site(i).executed, db.site(i).executed);
+        EXPECT_DOUBLE_EQ(loaded.site(i).taken, db.site(i).taken);
+    }
+}
+
+TEST(ProfileDb, SaveLoadPreservesFractionalWeights)
+{
+    ProfileDb a("p", 9, statsWith({{3, 1}}));
+    ProfileDb b("p", 9, statsWith({{7, 6}}));
+    std::vector<ProfileDb> inputs{a, b};
+    ProfileDb merged = ProfileDb::merge(inputs, MergeMode::kScaled);
+    std::stringstream ss;
+    merged.save(ss);
+    ProfileDb loaded = ProfileDb::load(ss);
+    EXPECT_DOUBLE_EQ(loaded.site(0).executed, merged.site(0).executed);
+    EXPECT_DOUBLE_EQ(loaded.site(0).taken, merged.site(0).taken);
+}
+
+TEST(ProfileDb, LoadRejectsGarbage)
+{
+    std::stringstream bad1("not a profile");
+    EXPECT_THROW(ProfileDb::load(bad1), Error);
+    std::stringstream bad2("ifprob-profile v1\nprog\n00ff\n5\n1 1\n");
+    EXPECT_THROW(ProfileDb::load(bad2), Error); // truncated table
+}
+
+TEST(ProfileDb, MergeModeNames)
+{
+    EXPECT_EQ(mergeModeName(MergeMode::kScaled), "scaled");
+    EXPECT_EQ(mergeModeName(MergeMode::kUnscaled), "unscaled");
+    EXPECT_EQ(mergeModeName(MergeMode::kPolling), "polling");
+}
+
+} // namespace
+} // namespace ifprob::profile

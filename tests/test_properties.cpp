@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Property-based tests. The central ones:
+ *
+ *  - Random integer expression programs evaluate identically on the VM
+ *    (at every optimization level) and on a host-side oracle that
+ *    mirrors minic's semantics.
+ *  - LZW compress ∘ uncompress is the identity on random byte streams.
+ *  - Self-prediction dominates every other static predictor.
+ *  - Merging a profile with itself never changes predictions.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compiler/pipeline.h"
+#include "predict/evaluate.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+#include "support/rng.h"
+#include "support/str.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+namespace ifprob {
+namespace {
+
+/**
+ * Generate a random integer expression over variables a..d, together
+ * with a host-side evaluation. Division/modulo use guarded divisors
+ * (| 1 masks) so the oracle and the VM never trap.
+ */
+struct ExprGen
+{
+    explicit ExprGen(uint64_t seed) : rng(seed) {}
+
+    std::string
+    gen(int depth, const int64_t *vars, int64_t *value)
+    {
+        if (depth == 0 || rng.chance(0.3)) {
+            if (rng.chance(0.5)) {
+                int v = static_cast<int>(rng.below(4));
+                *value = vars[v];
+                return std::string(1, static_cast<char>('a' + v));
+            }
+            int64_t lit = rng.range(-100, 100);
+            *value = lit;
+            if (lit < 0)
+                return strPrintf("(%lld)", static_cast<long long>(lit));
+            return strPrintf("%lld", static_cast<long long>(lit));
+        }
+        int64_t lhs_value = 0, rhs_value = 0;
+        std::string lhs = gen(depth - 1, vars, &lhs_value);
+        std::string rhs = gen(depth - 1, vars, &rhs_value);
+        // Wraparound helpers matching the VM's defined two's-complement
+        // semantics.
+        auto wadd = [](int64_t x, int64_t y) {
+            return static_cast<int64_t>(static_cast<uint64_t>(x) +
+                                        static_cast<uint64_t>(y));
+        };
+        auto wsub = [](int64_t x, int64_t y) {
+            return static_cast<int64_t>(static_cast<uint64_t>(x) -
+                                        static_cast<uint64_t>(y));
+        };
+        auto wmul = [](int64_t x, int64_t y) {
+            return static_cast<int64_t>(static_cast<uint64_t>(x) *
+                                        static_cast<uint64_t>(y));
+        };
+        switch (rng.below(12)) {
+          case 0:
+            *value = wadd(lhs_value, rhs_value);
+            return "(" + lhs + " + " + rhs + ")";
+          case 1:
+            *value = wsub(lhs_value, rhs_value);
+            return "(" + lhs + " - " + rhs + ")";
+          case 2:
+            *value = wmul(lhs_value, rhs_value);
+            return "(" + lhs + " * " + rhs + ")";
+          case 3: {
+            int64_t divisor = (rhs_value & 1023) | 1; // strictly positive
+            *value = lhs_value / divisor;
+            return "(" + lhs + " / ((" + rhs + " & 1023) | 1))";
+          }
+          case 4: {
+            int64_t divisor = (rhs_value & 1023) | 1;
+            *value = lhs_value % divisor;
+            return "(" + lhs + " % ((" + rhs + " & 1023) | 1))";
+          }
+          case 5:
+            *value = lhs_value & rhs_value;
+            return "(" + lhs + " & " + rhs + ")";
+          case 6:
+            *value = lhs_value | rhs_value;
+            return "(" + lhs + " | " + rhs + ")";
+          case 7:
+            *value = lhs_value ^ rhs_value;
+            return "(" + lhs + " ^ " + rhs + ")";
+          case 8:
+            *value = lhs_value < rhs_value;
+            return "(" + lhs + " < " + rhs + ")";
+          case 9:
+            *value = lhs_value == rhs_value;
+            return "(" + lhs + " == " + rhs + ")";
+          case 10:
+            *value = (lhs_value != 0) && (rhs_value != 0);
+            return "(" + lhs + " && " + rhs + ")";
+          default:
+            *value = lhs_value != 0 ? lhs_value : rhs_value;
+            // Ternary exercising both select and branch lowering.
+            return "(" + lhs + " != 0 ? " + lhs + " : " + rhs + ")";
+        }
+    }
+
+    Rng rng;
+};
+
+class RandomExprTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomExprTest, VmMatchesOracleAtEveryOptLevel)
+{
+    ExprGen gen(0xABCD0000u + static_cast<uint64_t>(GetParam()));
+    const int64_t vars[4] = {
+        gen.rng.range(-1000, 1000), gen.rng.range(-1000, 1000),
+        gen.rng.range(-5, 5), gen.rng.range(0, 7)};
+    int64_t expected = 0;
+    std::string expr = gen.gen(4, vars, &expected);
+    std::string source = strPrintf(
+        "int main() {\n"
+        "    int a = %lld, b = %lld, c = %lld, d = %lld;\n"
+        "    int r = %s;\n"
+        "    puti(r);\n"
+        "    return 0;\n"
+        "}\n",
+        static_cast<long long>(vars[0]), static_cast<long long>(vars[1]),
+        static_cast<long long>(vars[2]), static_cast<long long>(vars[3]),
+        expr.c_str());
+
+    for (int level = 0; level < 3; ++level) {
+        CompileOptions options;
+        options.optimize = level >= 1;
+        options.eliminate_dead_code = level >= 2;
+        isa::Program p = compile(source, options);
+        vm::Machine m(p);
+        auto r = m.run("");
+        EXPECT_EQ(r.output, std::to_string(expected))
+            << "level " << level << "\n" << source;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomExprTest, ::testing::Range(0, 40));
+
+class CompressRoundTripTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CompressRoundTripTest, IdentityOnRandomStreams)
+{
+    Rng rng(0xC0FFEE00u + static_cast<uint64_t>(GetParam()));
+    // Vary the texture: pure noise, runs, tiny alphabet.
+    std::string data;
+    size_t len = 100 + rng.below(8000);
+    int alphabet = GetParam() % 3 == 0 ? 256 : (GetParam() % 3 == 1 ? 4 : 30);
+    while (data.size() < len) {
+        if (rng.chance(0.2)) {
+            data.append(rng.below(20) + 1,
+                        static_cast<char>(rng.below(
+                            static_cast<uint64_t>(alphabet))));
+        } else {
+            data.push_back(static_cast<char>(
+                rng.below(static_cast<uint64_t>(alphabet))));
+        }
+    }
+
+    static const isa::Program program =
+        compile(workloads::get("compress").source);
+    vm::Machine machine(program);
+    auto compressed = machine.run("C" + data);
+    auto restored = machine.run("D" + compressed.output);
+    ASSERT_EQ(restored.output.size(), data.size());
+    EXPECT_TRUE(restored.output == data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressRoundTripTest,
+                         ::testing::Range(0, 12));
+
+TEST(Properties, EmptyAndOneByteCompressRoundTrip)
+{
+    isa::Program program = compile(workloads::get("compress").source);
+    vm::Machine machine(program);
+    for (std::string data : {std::string(), std::string("x"),
+                             std::string("\0", 1), std::string(2, 'a')}) {
+        auto compressed = machine.run("C" + data);
+        auto restored = machine.run("D" + compressed.output);
+        EXPECT_TRUE(restored.output == data) << "len=" << data.size();
+    }
+}
+
+class SelfDominanceTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SelfDominanceTest, SelfProfileBeatsRandomPredictors)
+{
+    Rng rng(0x5E1F0000u + static_cast<uint64_t>(GetParam()));
+    vm::RunStats stats;
+    size_t sites = 1 + rng.below(40);
+    for (size_t i = 0; i < sites; ++i) {
+        int64_t executed = static_cast<int64_t>(rng.below(1000));
+        int64_t taken = executed > 0
+                            ? static_cast<int64_t>(rng.below(
+                                  static_cast<uint64_t>(executed + 1)))
+                            : 0;
+        stats.branches.push_back({executed, taken});
+        stats.cond_branches += executed;
+        stats.taken_branches += taken;
+    }
+    predict::ProfilePredictor self(profile::ProfileDb("p", 1, stats));
+    auto self_quality = predict::evaluate(stats, self);
+
+    class RandomPredictor : public predict::StaticPredictor
+    {
+      public:
+        RandomPredictor(uint64_t seed, size_t n)
+        {
+            Rng r(seed);
+            for (size_t i = 0; i < n; ++i)
+                decisions_.push_back(r.chance(0.5));
+        }
+        bool
+        predictTaken(int site) const override
+        {
+            return decisions_[static_cast<size_t>(site)];
+        }
+
+      private:
+        std::vector<bool> decisions_;
+    };
+    for (int trial = 0; trial < 20; ++trial) {
+        RandomPredictor other(rng.next(), sites);
+        EXPECT_GE(self_quality.correct,
+                  predict::evaluate(stats, other).correct);
+    }
+    // And accuracy is always at least 50% (majority choice per site).
+    if (self_quality.executed > 0) {
+        EXPECT_GE(self_quality.percentCorrect(), 50.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelfDominanceTest, ::testing::Range(0, 10));
+
+TEST(Properties, MergingProfileWithItselfIsIdempotentForPredictions)
+{
+    Rng rng(42);
+    vm::RunStats stats;
+    for (int i = 0; i < 25; ++i) {
+        int64_t executed = static_cast<int64_t>(rng.below(500)) + 1;
+        int64_t taken = static_cast<int64_t>(
+            rng.below(static_cast<uint64_t>(executed + 1)));
+        stats.branches.push_back({executed, taken});
+    }
+    profile::ProfileDb db("p", 1, stats);
+    for (auto mode :
+         {profile::MergeMode::kScaled, profile::MergeMode::kUnscaled,
+          profile::MergeMode::kPolling}) {
+        std::vector<profile::ProfileDb> three{db, db, db};
+        profile::ProfileDb merged = profile::ProfileDb::merge(three, mode);
+        predict::ProfilePredictor p_original(db);
+        predict::ProfilePredictor p_merged(merged);
+        for (size_t i = 0; i < db.numSites(); ++i) {
+            EXPECT_EQ(p_original.predictTaken(static_cast<int>(i)),
+                      p_merged.predictTaken(static_cast<int>(i)))
+                << "mode " << static_cast<int>(mode) << " site " << i;
+        }
+    }
+}
+
+TEST(Properties, ScaledAndUnscaledAgreeForSinglePredictor)
+{
+    // With one predictor dataset the three modes pick identical
+    // directions (scaling is a positive constant; polling votes match
+    // the majority).
+    Rng rng(77);
+    vm::RunStats stats;
+    for (int i = 0; i < 30; ++i) {
+        int64_t executed = static_cast<int64_t>(rng.below(300));
+        int64_t taken = executed > 0 ? static_cast<int64_t>(rng.below(
+                                           static_cast<uint64_t>(executed + 1)))
+                                     : 0;
+        stats.branches.push_back({executed, taken});
+    }
+    profile::ProfileDb db("p", 1, stats);
+    std::vector<profile::ProfileDb> one{db};
+    predict::ProfilePredictor scaled(
+        profile::ProfileDb::merge(one, profile::MergeMode::kScaled));
+    predict::ProfilePredictor unscaled(
+        profile::ProfileDb::merge(one, profile::MergeMode::kUnscaled));
+    for (size_t i = 0; i < db.numSites(); ++i) {
+        EXPECT_EQ(scaled.predictTaken(static_cast<int>(i)),
+                  unscaled.predictTaken(static_cast<int>(i)));
+    }
+}
+
+TEST(Properties, InstructionCountMonotoneInOptimization)
+{
+    // For every workload: optimized dynamic instruction count <= raw,
+    // and DCE <= optimized (on the primary dataset).
+    for (const char *name : {"eqntott", "mcc", "spiff"}) {
+        const auto &w = workloads::get(name);
+        CompileOptions raw_options;
+        raw_options.optimize = false;
+        CompileOptions opt_options;
+        CompileOptions dce_options;
+        dce_options.eliminate_dead_code = true;
+
+        isa::Program raw_program = compile(w.source, raw_options);
+        isa::Program opt_program = compile(w.source, opt_options);
+        isa::Program dce_program = compile(w.source, dce_options);
+        vm::Machine raw(raw_program);
+        vm::Machine opt(opt_program);
+        vm::Machine dce(dce_program);
+        const auto &input = w.datasets.front().input;
+        auto r_raw = raw.run(input);
+        auto r_opt = opt.run(input);
+        auto r_dce = dce.run(input);
+        EXPECT_LE(r_opt.stats.instructions, r_raw.stats.instructions)
+            << name;
+        EXPECT_LE(r_dce.stats.instructions, r_opt.stats.instructions)
+            << name;
+        // Output identical everywhere.
+        EXPECT_EQ(r_raw.output, r_opt.output) << name;
+        EXPECT_EQ(r_raw.output, r_dce.output) << name;
+    }
+}
+
+} // namespace
+} // namespace ifprob

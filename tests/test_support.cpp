@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the support layer (string helpers, RNG determinism), the
+ * dataset generators, and the disassembler.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "isa/disasm.h"
+#include "support/rng.h"
+#include "support/str.h"
+#include "workloads/datagen.h"
+
+namespace ifprob {
+namespace {
+
+TEST(Str, StrPrintf)
+{
+    EXPECT_EQ(strPrintf("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+    EXPECT_EQ(strPrintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strPrintf("empty"), "empty");
+    // Long output is not truncated.
+    std::string big(500, 'a');
+    EXPECT_EQ(strPrintf("%s!", big.c_str()).size(), 501u);
+}
+
+TEST(Str, Split)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Str, SplitWhitespace)
+{
+    EXPECT_EQ(splitWhitespace("  a \t b\nc  "),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Str, TrimAndStartsWith)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n"), "");
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+}
+
+TEST(Str, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(1234567), "1,234,567");
+    EXPECT_EQ(withCommas(-1234567), "-1,234,567");
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    Rng c(43);
+    EXPECT_NE(Rng(42).next(), c.next());
+}
+
+TEST(Rng, RangesRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(10), 10u);
+        int64_t v = rng.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        double r = rng.real();
+        EXPECT_GE(r, 0.0);
+        EXPECT_LT(r, 1.0);
+    }
+}
+
+TEST(Datagen, DeterministicAndSized)
+{
+    EXPECT_EQ(workloads::generateCSource(1, 5000),
+              workloads::generateCSource(1, 5000));
+    EXPECT_NE(workloads::generateCSource(1, 5000),
+              workloads::generateCSource(2, 5000));
+    EXPECT_EQ(workloads::generateCSource(1, 5000).size(), 5000u);
+    EXPECT_EQ(workloads::generateProse(9, 3000).size(), 3000u);
+    EXPECT_EQ(workloads::generateBinaryish(9, 3000).size(), 3000u);
+    EXPECT_EQ(workloads::generateFortranSource(9, 3000).size(), 3000u);
+}
+
+TEST(Datagen, TexturesDiffer)
+{
+    // The C-source flavour must contain C keywords; the prose must not.
+    std::string c = workloads::generateCSource(3, 8000);
+    std::string prose = workloads::generateProse(3, 8000);
+    EXPECT_NE(c.find("return"), std::string::npos);
+    EXPECT_NE(c.find("static int"), std::string::npos);
+    EXPECT_EQ(prose.find("static int"), std::string::npos);
+    // Number tables parse as floats.
+    std::string nums = workloads::generateNumberTable(3, 5, 3);
+    auto fields = splitWhitespace(nums);
+    EXPECT_EQ(fields.size(), 15u);
+    for (const auto &f : fields)
+        EXPECT_NE(f.find('.'), std::string::npos);
+}
+
+TEST(Disasm, RendersAllOperandShapes)
+{
+    CompileOptions options;
+    options.include_prelude = false;
+    isa::Program p = compile(R"(
+        int g[4];
+        float pi = 3.25;
+        int f(int a) { return a * 2; }
+        int main() {
+            int x = getc();
+            g[x & 3] = f(x) + (x > 0 ? 1 : 2);
+            putf(pi + 0.125);   // float literal -> movf in code
+            if (x == 'q')
+                return icall(&f, x);
+            return g[0];
+        })",
+        options);
+    std::string text = isa::disassemble(p);
+    EXPECT_NE(text.find("movi"), std::string::npos);
+    EXPECT_NE(text.find("movf"), std::string::npos);
+    EXPECT_NE(text.find("load"), std::string::npos);
+    EXPECT_NE(text.find("store"), std::string::npos);
+    EXPECT_NE(text.find("br"), std::string::npos);
+    EXPECT_NE(text.find("; site"), std::string::npos);
+    EXPECT_NE(text.find("call"), std::string::npos);
+    EXPECT_NE(text.find("icall"), std::string::npos);
+    EXPECT_NE(text.find("select"), std::string::npos);
+    EXPECT_NE(text.find("ret"), std::string::npos);
+    EXPECT_NE(text.find("putf"), std::string::npos);
+    EXPECT_NE(text.find("0.125"), std::string::npos);
+    EXPECT_NE(text.find("main"), std::string::npos);
+    EXPECT_NE(text.find("; entry"), std::string::npos);
+}
+
+TEST(Disasm, SingleInstructionForms)
+{
+    EXPECT_EQ(isa::disassemble(isa::makeMovI(3, -7)), "movi    r3, -7");
+    EXPECT_EQ(isa::disassemble(isa::makeBinary(isa::Opcode::kAdd, 1, 2, 3)),
+              "add     r1, r2, r3");
+    EXPECT_EQ(isa::disassemble(isa::makeJmp(9)), "jmp     @9");
+    EXPECT_EQ(isa::disassemble(isa::makeRet(-1)), "ret");
+    EXPECT_EQ(isa::disassemble(isa::makeSelect(1, 2, 3, 4)),
+              "select  r1, r2 ? r3 : r4");
+    EXPECT_EQ(isa::disassemble(isa::makeLoad(1, -1, 100)),
+              "load    r1, [100]");
+    EXPECT_EQ(isa::disassemble(isa::makeStore(1, 2, 8)),
+              "store   [r2+8], r1");
+}
+
+} // namespace
+} // namespace ifprob

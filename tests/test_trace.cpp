@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the CFG block graph and trace selection.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "ilp/trace.h"
+#include "isa/cfg.h"
+#include "predict/heuristic_predictor.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+#include "vm/machine.h"
+
+namespace ifprob {
+namespace {
+
+isa::Program
+compileBare(std::string_view src)
+{
+    CompileOptions options;
+    options.include_prelude = false;
+    return compile(src, options);
+}
+
+TEST(BlockGraph, StraightLineIsOneBlock)
+{
+    isa::Program p = compileBare("int main() { return 1 + 2; }");
+    isa::BlockGraph g(p.functions[static_cast<size_t>(p.entry)]);
+    // Two blocks: [movi, ret] plus the unreachable defensive epilogue
+    // the code generator appends.
+    EXPECT_EQ(g.numBlocks(), 2);
+    EXPECT_EQ(g.size(0), 2);
+    EXPECT_TRUE(g.successors(0).empty()); // ends in ret
+    EXPECT_TRUE(g.predecessors(1).empty()); // epilogue is unreachable
+}
+
+TEST(BlockGraph, DiamondHasFourBlocksAndEdges)
+{
+    isa::Program p = compileBare(
+        "int main() { int x = getc(); int n; if (x > 0) n = 1; else "
+        "n = 2; return n; }");
+    const auto &fn = p.functions[static_cast<size_t>(p.entry)];
+    isa::BlockGraph g(fn);
+    ASSERT_GE(g.numBlocks(), 4);
+    // Entry block ends with the branch: two successor edges with the
+    // branch site attached.
+    int entry_block = g.blockOf(0);
+    const auto &succs = g.successors(entry_block);
+    ASSERT_EQ(succs.size(), 2u);
+    EXPECT_EQ(succs[0].kind, isa::EdgeKind::kBranchTaken);
+    EXPECT_EQ(succs[1].kind, isa::EdgeKind::kBranchFall);
+    EXPECT_EQ(succs[0].branch_site, succs[1].branch_site);
+    EXPECT_GE(succs[0].branch_site, 0);
+    // Every pc maps into a block whose [start, end) contains it.
+    for (int pc = 0; pc < static_cast<int>(fn.code.size()); ++pc) {
+        int b = g.blockOf(pc);
+        EXPECT_GE(pc, g.start(b));
+        EXPECT_LT(pc, g.end(b));
+    }
+}
+
+TEST(BlockGraph, PredecessorsMirrorSuccessors)
+{
+    isa::Program p = compileBare(R"(
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 10; i++)
+                if (i & 1)
+                    n += i;
+            return n;
+        })");
+    const auto &fn = p.functions[static_cast<size_t>(p.entry)];
+    isa::BlockGraph g(fn);
+    int edge_count = 0, pred_count = 0;
+    for (int b = 0; b < g.numBlocks(); ++b) {
+        edge_count += static_cast<int>(g.successors(b).size());
+        pred_count += static_cast<int>(g.predecessors(b).size());
+        for (const auto &edge : g.successors(b)) {
+            // The reverse edge exists.
+            bool found = false;
+            for (const auto &pred : g.predecessors(edge.to))
+                found = found || pred.to == b;
+            EXPECT_TRUE(found);
+        }
+    }
+    EXPECT_EQ(edge_count, pred_count);
+}
+
+TEST(TraceSelection, FollowsPredictedHotPath)
+{
+    // A loop whose body branch is taken 90% of the time; feedback should
+    // build one long trace through loop body + hot side.
+    const char *src = R"(
+        int main() {
+            int x = 7, n = 0;
+            for (int i = 0; i < 1000; i++) {
+                x = (x * 1103515245 + 12345) % 2147483648;
+                if (x % 10 != 0) {      // hot: ~90% taken
+                    n += 1;
+                } else {
+                    n += 100;
+                }
+            }
+            return n & 255;
+        })";
+    isa::Program p = compileBare(src);
+    vm::Machine m(p);
+    auto run = m.run("");
+    profile::ProfileDb db("p", p.fingerprint(), run.stats);
+    predict::ProfilePredictor feedback(db);
+    auto traces = ilp::selectTraces(p, feedback, db);
+    ASSERT_FALSE(traces.traces.empty());
+    // The hottest trace covers the loop body including the hot arm.
+    const ilp::Trace *hot = &traces.traces[0];
+    for (const auto &t : traces.traces)
+        if (t.weight > hot->weight)
+            hot = &t;
+    EXPECT_GE(hot->blocks.size(), 3u);
+    EXPECT_GT(hot->instructions, 10);
+
+    // An anti-predictor (predict everything opposite to feedback) must
+    // not produce a better weighted mean.
+    class Inverted : public predict::StaticPredictor
+    {
+      public:
+        explicit Inverted(const predict::StaticPredictor &inner)
+            : inner_(inner)
+        {
+        }
+        bool
+        predictTaken(int site) const override
+        {
+            return !inner_.predictTaken(site);
+        }
+
+      private:
+        const predict::StaticPredictor &inner_;
+    };
+    Inverted inverted(feedback);
+    auto bad_traces = ilp::selectTraces(p, inverted, db);
+    EXPECT_GE(traces.weightedMeanLength(),
+              bad_traces.weightedMeanLength());
+}
+
+TEST(TraceSelection, EveryBlockAssignedExactlyOnce)
+{
+    isa::Program p = compileBare(R"(
+        int f(int v) {
+            if (v > 10)
+                return v * 2;
+            return v + 1;
+        }
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 50; i++) {
+                switch (i % 3) {
+                  case 0: n += f(i); break;
+                  case 1: n -= 1; break;
+                  default: n += 2;
+                }
+            }
+            return n & 255;
+        })");
+    vm::Machine m(p);
+    auto run = m.run("");
+    profile::ProfileDb db("p", p.fingerprint(), run.stats);
+    predict::ProfilePredictor feedback(db);
+    auto traces = ilp::selectTraces(p, feedback, db);
+
+    // Per function: the union of trace blocks partitions the blocks.
+    for (size_t fi = 0; fi < p.functions.size(); ++fi) {
+        isa::BlockGraph g(p.functions[fi]);
+        std::vector<int> seen(static_cast<size_t>(g.numBlocks()), 0);
+        for (const auto &t : traces.traces) {
+            if (t.function != static_cast<int>(fi))
+                continue;
+            for (int b : t.blocks)
+                ++seen[static_cast<size_t>(b)];
+        }
+        for (int b = 0; b < g.numBlocks(); ++b)
+            EXPECT_EQ(seen[static_cast<size_t>(b)], 1)
+                << "function " << fi << " block " << b;
+    }
+    // Total instructions across traces == total code size.
+    int64_t total = 0;
+    for (const auto &t : traces.traces)
+        total += t.instructions;
+    EXPECT_EQ(total, p.staticSize());
+}
+
+TEST(TraceSelection, TracesAreAcyclic)
+{
+    isa::Program p = compileBare(R"(
+        int main() {
+            int n = 0;
+            while (n < 100)
+                n += 3;
+            return n;
+        })");
+    vm::Machine m(p);
+    auto run = m.run("");
+    profile::ProfileDb db("p", p.fingerprint(), run.stats);
+    predict::ProfilePredictor feedback(db);
+    auto traces = ilp::selectTraces(p, feedback, db);
+    for (const auto &t : traces.traces) {
+        // No block repeats within a trace (acyclicity).
+        auto blocks = t.blocks;
+        std::sort(blocks.begin(), blocks.end());
+        EXPECT_TRUE(std::adjacent_find(blocks.begin(), blocks.end()) ==
+                    blocks.end());
+    }
+}
+
+} // namespace
+} // namespace ifprob

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Domain-correctness tests for the workloads: the circuit simulator must
+ * obey device physics, the PLA minimizer must actually minimize, the
+ * numeric analogues must scale the way their SPEC namesakes do. These
+ * guard against the workloads degenerating into branchy no-ops.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "compiler/pipeline.h"
+#include "support/error.h"
+#include "support/str.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+namespace ifprob {
+namespace {
+
+vm::RunResult
+runWorkload(const std::string &name, const std::string &dataset)
+{
+    const auto &w = workloads::get(name);
+    static std::map<std::string, isa::Program> cache;
+    if (!cache.count(name))
+        cache.emplace(name, compile(w.source));
+    vm::Machine machine(cache.at(name));
+    for (const auto &d : w.datasets) {
+        if (d.name == dataset) {
+            vm::RunLimits limits;
+            limits.max_instructions = 2'000'000'000;
+            return machine.run(d.input, limits);
+        }
+    }
+    throw Error("no dataset " + dataset);
+}
+
+double
+nodeVoltage(const std::string &output, int node)
+{
+    std::string key = strPrintf("v%d=", node);
+    auto pos = output.find(key);
+    EXPECT_NE(pos, std::string::npos) << output;
+    return std::strtod(output.c_str() + pos + key.size(), nullptr);
+}
+
+TEST(Physics, SpiceDiodeForwardDrop)
+{
+    // circuit3: V(3) - R(100) - D(2->3) ... the first diode conducts;
+    // a silicon junction drops roughly 0.5-0.8 V at these currents.
+    auto r = runWorkload("spice", "circuit3");
+    double v2 = nodeVoltage(r.output, 2);
+    double v3 = nodeVoltage(r.output, 3);
+    double drop = v2 - v3;
+    EXPECT_GT(drop, 0.4) << r.output;
+    EXPECT_LT(drop, 0.9) << r.output;
+    // And current flows: the cathode-side resistor sees a real voltage.
+    EXPECT_GT(v3, 0.5);
+}
+
+TEST(Physics, SpiceBjtInverterSaturates)
+{
+    // circuit4: base driven at 0.72 V through the BE junction with a
+    // 2.2k collector load — enough base current to saturate: the
+    // collector must sit well below Vcc/2, but not below ground.
+    auto r = runWorkload("spice", "circuit4");
+    double vc = nodeVoltage(r.output, 3);
+    EXPECT_LT(vc, 1.5) << r.output;
+    EXPECT_GT(vc, -0.2) << r.output;
+}
+
+TEST(Physics, SpiceMosfetInverterInverts)
+{
+    // add_fet: gates driven at 2.5 V (on). First drain is pulled low,
+    // which turns the second stage off, whose drain floats high, etc.
+    auto r = runWorkload("spice", "add_fet");
+    double d1 = nodeVoltage(r.output, 3);
+    double d2 = nodeVoltage(r.output, 4);
+    EXPECT_LT(d1, 1.5) << r.output;  // on-transistor pulls low
+    EXPECT_GT(d2, 3.0) << r.output;  // next stage off, pulled up
+}
+
+TEST(Physics, SpiceGreyRunsScaleWithSteps)
+{
+    auto small = runWorkload("spice", "greysmall");
+    auto big = runWorkload("spice", "greybig");
+    // Identical netlist, ~34x the transient steps: instruction counts
+    // scale accordingly and final states agree (both settled).
+    double ratio = static_cast<double>(big.stats.instructions) /
+                   static_cast<double>(small.stats.instructions);
+    EXPECT_GT(ratio, 15.0);
+    EXPECT_LT(ratio, 60.0);
+    EXPECT_NEAR(nodeVoltage(big.output, 3), nodeVoltage(small.output, 3),
+                0.05);
+}
+
+TEST(Physics, EspressoReducesLiteralCount)
+{
+    // Minimization must strictly reduce the literal count (raised
+    // don't-cares) on every reference dataset.
+    for (const char *dataset : {"bca", "cps", "ti", "tial"}) {
+        SCOPED_TRACE(dataset);
+        const auto &w = workloads::get("espresso");
+        std::string input;
+        for (const auto &d : w.datasets)
+            if (d.name == dataset)
+                input = d.input;
+        auto r = runWorkload("espresso", dataset);
+        auto literals = [](const std::string &pla) {
+            int64_t n = 0;
+            for (char c : pla)
+                n += c == '0' || c == '1';
+            return n;
+        };
+        EXPECT_LT(literals(r.output), literals(input));
+    }
+}
+
+TEST(Physics, EqntottAdd5MatchesArithmetic)
+{
+    auto r = runWorkload("eqntott", "add5");
+    auto lines = split(r.output, '\n');
+    const int bits = 5;
+    ASSERT_GE(lines.size(), 1u << (2 * bits + 1));
+    for (int row = 0; row < (1 << (2 * bits + 1)); row += 97) {
+        int a = row & 0x1f;
+        int b = (row >> bits) & 0x1f;
+        int cin = (row >> (2 * bits)) & 1;
+        const std::string &outs = lines[static_cast<size_t>(row)];
+        int sum = 0;
+        for (int i = 0; i < bits; ++i)
+            sum |= (outs[static_cast<size_t>(2 * i)] - '0') << i;
+        int carry = outs[static_cast<size_t>(2 * bits - 1)] - '0';
+        EXPECT_EQ(sum | (carry << bits), a + b + cin)
+            << "row " << row;
+    }
+}
+
+TEST(Physics, DoducScalesWithSimulatedTime)
+{
+    auto tiny = runWorkload("doduc", "tiny");
+    auto small = runWorkload("doduc", "small");
+    auto ref = runWorkload("doduc", "ref");
+    EXPECT_LT(tiny.stats.instructions, small.stats.instructions);
+    EXPECT_LT(small.stats.instructions, ref.stats.instructions);
+    // steps 400 -> 1200 -> 4000: roughly 3x and ~3.3x.
+    double r1 = static_cast<double>(small.stats.instructions) /
+                static_cast<double>(tiny.stats.instructions);
+    EXPECT_GT(r1, 2.0);
+    EXPECT_LT(r1, 4.5);
+}
+
+TEST(Physics, FppppScalesWithShellPairs)
+{
+    auto four = runWorkload("fpppp", "4atoms");
+    auto eight = runWorkload("fpppp", "8atoms");
+    // Shell pairs: C(80,2)/C(40,2) = 3160/780 ~ 4.05x.
+    double ratio = static_cast<double>(eight.stats.instructions) /
+                   static_cast<double>(four.stats.instructions);
+    EXPECT_GT(ratio, 3.3);
+    EXPECT_LT(ratio, 4.8);
+}
+
+TEST(Physics, CompressRatiosTrackEntropy)
+{
+    const auto &w = workloads::get("compress");
+    isa::Program p = compile(w.source);
+    vm::Machine m(p);
+    auto ratio = [&](const char *name) {
+        for (const auto &d : w.datasets) {
+            if (d.name == name) {
+                auto r = m.run(d.input);
+                return static_cast<double>(r.output.size()) /
+                       static_cast<double>(d.input.size() - 1);
+            }
+        }
+        return -1.0;
+    };
+    double prose = ratio("long");
+    double c_src = ratio("cmprssc");
+    double binary = ratio("cmprss");
+    // Word-repetitive prose compresses hardest; binary-ish data with
+    // noise segments compresses worst.
+    EXPECT_LT(prose, 0.55);
+    EXPECT_LT(c_src, 0.75);
+    EXPECT_GT(binary, prose);
+}
+
+TEST(Physics, MccEmitsBalancedPrograms)
+{
+    auto r = runWorkload("mcc", "c_metric");
+    // Label definitions ('B n') must cover every jump target ('Z n',
+    // 'J n') exactly: collect ids.
+    std::set<long> defined, referenced;
+    for (const auto &line : split(r.output, '\n')) {
+        if (line.size() < 3 || line[1] != ' ')
+            continue;
+        long id = std::strtol(line.c_str() + 2, nullptr, 10);
+        if (line[0] == 'B')
+            defined.insert(id);
+        else if (line[0] == 'Z' || line[0] == 'J')
+            referenced.insert(id);
+    }
+    EXPECT_FALSE(defined.empty());
+    for (long id : referenced)
+        EXPECT_TRUE(defined.count(id)) << "undefined label " << id;
+}
+
+TEST(Physics, TomcatvResidualIsSmallAfterRelaxation)
+{
+    auto r = runWorkload("tomcatv", "(builtin)");
+    // First output line is the final max residual of the SOR sweep.
+    double residual = std::strtod(r.output.c_str(), nullptr);
+    EXPECT_GT(residual, 0.0);
+    EXPECT_LT(residual, 0.05) << r.output;
+}
+
+} // namespace
+} // namespace ifprob

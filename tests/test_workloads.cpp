@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Golden tests for the workload suite: every program compiles, every
+ * dataset runs to completion, and each program's output is functionally
+ * verified (round-trips, known combinatorial counts, residuals, cover
+ * equivalence, reference diffs).
+ */
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+
+#include "support/error.h"
+
+#include "compiler/inline.h"
+#include "compiler/layout.h"
+#include "compiler/pipeline.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+#include "support/str.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+namespace ifprob {
+namespace {
+
+vm::RunResult
+runWorkload(const workloads::Workload &w, const std::string &input)
+{
+    isa::Program program = compile(w.source);
+    vm::Machine machine(program);
+    vm::RunLimits limits;
+    limits.max_instructions = 2'000'000'000;
+    return machine.run(input, limits);
+}
+
+const workloads::Dataset &
+dataset(const workloads::Workload &w, std::string_view name)
+{
+    for (const auto &d : w.datasets) {
+        if (d.name == name)
+            return d;
+    }
+    throw Error("no dataset " + std::string(name));
+}
+
+TEST(Workloads, RegistryShape)
+{
+    const auto &all = workloads::all();
+    EXPECT_EQ(all.size(), 14u);
+    int fortran = 0, c = 0;
+    for (const auto &w : all) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_FALSE(w.source.empty());
+        EXPECT_FALSE(w.datasets.empty());
+        (w.fortran_like ? fortran : c) += 1;
+    }
+    EXPECT_EQ(fortran, 7);
+    EXPECT_EQ(c, 7);
+}
+
+TEST(Workloads, EveryDatasetRuns)
+{
+    for (const auto &w : workloads::all()) {
+        isa::Program program = compile(w.source);
+        vm::Machine machine(program);
+        vm::RunLimits limits;
+        limits.max_instructions = 2'000'000'000;
+        for (const auto &d : w.datasets) {
+            SCOPED_TRACE(w.name + "/" + d.name);
+            vm::RunResult r;
+            ASSERT_NO_THROW(r = machine.run(d.input, limits));
+            EXPECT_EQ(r.stats.exit_code, 0);
+            EXPECT_GT(r.stats.instructions, 1000);
+            EXPECT_GT(r.stats.cond_branches, 0);
+        }
+    }
+}
+
+TEST(Workloads, CompressRoundTripsEveryDataset)
+{
+    const auto &comp = workloads::get("compress");
+    const auto &uncomp = workloads::get("uncompress");
+    ASSERT_EQ(comp.datasets.size(), uncomp.datasets.size());
+    for (size_t i = 0; i < comp.datasets.size(); ++i) {
+        SCOPED_TRACE(comp.datasets[i].name);
+        const std::string &raw =
+            comp.datasets[i].input.substr(1); // strip 'C'
+        auto compressed = runWorkload(comp, comp.datasets[i].input);
+        // The uncompress dataset must be exactly 'D' + compressed output.
+        EXPECT_EQ(uncomp.datasets[i].input, "D" + compressed.output);
+        auto restored = runWorkload(uncomp, uncomp.datasets[i].input);
+        EXPECT_EQ(restored.output, raw);
+        // And compression should actually compress the compressible sets.
+        if (comp.datasets[i].name == "long") {
+            EXPECT_LT(compressed.output.size(), raw.size());
+        }
+    }
+}
+
+TEST(Workloads, LiSolvesQueens)
+{
+    const auto &li = workloads::get("li");
+    auto r8 = runWorkload(li, dataset(li, "8queens").input);
+    EXPECT_EQ(r8.output, "92\n");
+    auto r9 = runWorkload(li, dataset(li, "9queens").input);
+    EXPECT_EQ(r9.output, "352\n");
+}
+
+TEST(Workloads, LiSieveCountsPrimes)
+{
+    const auto &li = workloads::get("li");
+    auto r = runWorkload(li, dataset(li, "sievel").input);
+    // Primes <= 600: 109 of them; the largest is 599.
+    EXPECT_EQ(r.output, "109\n599\n");
+}
+
+TEST(Workloads, LiKittyvConverges)
+{
+    const auto &li = workloads::get("li");
+    auto r = runWorkload(li, dataset(li, "kittyv").input);
+    // Deterministic integer relaxation: output is a single integer line.
+    ASSERT_FALSE(r.output.empty());
+    long total = std::strtol(r.output.c_str(), nullptr, 10);
+    EXPECT_GT(total, 0);
+}
+
+/** Host-side truth-table oracle for the eqntott equation format. */
+std::string
+truthTableOracle(const std::string &eqns)
+{
+    // Minimal recursive-descent evaluator mirroring the minic program.
+    struct Parser
+    {
+        const std::string &s;
+        size_t p = 0;
+        std::vector<std::array<int, 3>> nodes; // op, a, b
+        int ni = 0, no = 0;
+        std::vector<int> roots;
+
+        explicit Parser(const std::string &text) : s(text) {}
+
+        void skip()
+        {
+            while (p < s.size() && (s[p] == ' ' || s[p] == '\n'))
+                ++p;
+        }
+        char
+        peek()
+        {
+            skip();
+            return p < s.size() ? s[p] : '\0';
+        }
+        char next()
+        {
+            char c = peek();
+            ++p;
+            return c;
+        }
+        int
+        number()
+        {
+            skip();
+            int v = 0;
+            while (p < s.size() && isdigit(static_cast<unsigned char>(s[p])))
+                v = v * 10 + (s[p++] - '0');
+            return v;
+        }
+        int
+        factor()
+        {
+            char c = next();
+            if (c == '!') {
+                int n = factor();
+                nodes.push_back({3, n, -1});
+                return static_cast<int>(nodes.size()) - 1;
+            }
+            if (c == '(') {
+                int n = expr();
+                next(); // ')'
+                return n;
+            }
+            if (c == 'x') {
+                nodes.push_back({0, number(), -1});
+                return static_cast<int>(nodes.size()) - 1;
+            }
+            nodes.push_back({4, number(), -1}); // z-ref
+            return static_cast<int>(nodes.size()) - 1;
+        }
+        int
+        term()
+        {
+            int n = factor();
+            while (peek() == '&') {
+                next();
+                nodes.push_back({1, n, factor()});
+                n = static_cast<int>(nodes.size()) - 1;
+            }
+            return n;
+        }
+        int
+        expr()
+        {
+            int n = term();
+            while (peek() == '|') {
+                next();
+                nodes.push_back({2, n, term()});
+                n = static_cast<int>(nodes.size()) - 1;
+            }
+            return n;
+        }
+    };
+
+    Parser parser(eqns);
+    parser.next(); // 'i'
+    parser.ni = parser.number();
+    parser.next(); // 'o'
+    parser.no = parser.number();
+    for (int i = 0; i < parser.no; ++i) {
+        parser.next();   // 'z'
+        parser.number(); // index
+        parser.next();   // '='
+        parser.roots.push_back(parser.expr());
+        parser.next();   // ';'
+    }
+    std::vector<int> zval(static_cast<size_t>(parser.no));
+    std::string out;
+    std::function<int(int, int)> eval = [&](int n, int row) -> int {
+        auto &node = parser.nodes[static_cast<size_t>(n)];
+        switch (node[0]) {
+          case 0: return (row >> node[1]) & 1;
+          case 1: return eval(node[1], row) && eval(node[2], row);
+          case 2: return eval(node[1], row) || eval(node[2], row);
+          case 3: return !eval(node[1], row);
+          default: return zval[static_cast<size_t>(node[1])];
+        }
+    };
+    for (int row = 0; row < (1 << parser.ni); ++row) {
+        for (int z = 0; z < parser.no; ++z) {
+            zval[static_cast<size_t>(z)] = eval(parser.roots[static_cast<size_t>(z)], row);
+            out.push_back(static_cast<char>('0' + zval[static_cast<size_t>(z)]));
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+TEST(Workloads, EqntottMatchesOracle)
+{
+    const auto &eq = workloads::get("eqntott");
+    for (const char *name : {"add4", "intpri"}) {
+        SCOPED_TRACE(name);
+        const auto &d = dataset(eq, name);
+        auto r = runWorkload(eq, d.input);
+        EXPECT_EQ(r.output, truthTableOracle(d.input));
+    }
+}
+
+TEST(Workloads, EqntottAdderIsAnAdder)
+{
+    // Decode the add4 truth table rows and verify real addition.
+    const auto &eq = workloads::get("eqntott");
+    const auto &d = dataset(eq, "add4");
+    auto r = runWorkload(eq, d.input);
+    auto lines = split(r.output, '\n');
+    const int bits = 4;
+    for (int row = 0; row < (1 << (2 * bits + 1)); row += 37) {
+        int a = row & 0xf;
+        int b = (row >> bits) & 0xf;
+        int cin = (row >> (2 * bits)) & 1;
+        const std::string &outs = lines[static_cast<size_t>(row)];
+        // Outputs alternate sum/carry per bit: z0=s0, z1=c1, z2=s1, ...
+        int sum = 0;
+        for (int i = 0; i < bits; ++i)
+            sum |= (outs[static_cast<size_t>(2 * i)] - '0') << i;
+        int carry_out = outs[static_cast<size_t>(2 * bits - 1)] - '0';
+        int expect = a + b + cin;
+        EXPECT_EQ(sum | (carry_out << bits), expect)
+            << "row " << row << " a=" << a << " b=" << b << " cin=" << cin;
+    }
+}
+
+/** Parse a PLA text into cubes for the espresso equivalence check. */
+struct Pla
+{
+    int ni = 0, no = 0;
+    std::vector<std::pair<std::string, std::string>> cubes;
+};
+
+Pla
+parsePla(const std::string &text)
+{
+    Pla pla;
+    for (const auto &line : split(text, '\n')) {
+        auto t = trim(line);
+        if (t.empty())
+            continue;
+        if (t[0] == '.') {
+            auto fields = splitWhitespace(t);
+            if (fields[0] == ".i")
+                pla.ni = std::atoi(fields[1].c_str());
+            else if (fields[0] == ".o")
+                pla.no = std::atoi(fields[1].c_str());
+            continue;
+        }
+        auto fields = splitWhitespace(t);
+        if (fields.size() == 2)
+            pla.cubes.emplace_back(fields[0], fields[1]);
+    }
+    return pla;
+}
+
+bool
+plaCovers(const Pla &pla, int minterm, int output)
+{
+    for (const auto &[in, out] : pla.cubes) {
+        if (out[static_cast<size_t>(output)] != '1')
+            continue;
+        bool match = true;
+        for (int v = 0; v < pla.ni; ++v) {
+            char lit = in[static_cast<size_t>(v)];
+            int bit = (minterm >> v) & 1;
+            if (lit != '-' && lit - '0' != bit) {
+                match = false;
+                break;
+            }
+        }
+        if (match)
+            return true;
+    }
+    return false;
+}
+
+TEST(Workloads, EspressoPreservesFunctionAndShrinksCover)
+{
+    const auto &esp = workloads::get("espresso");
+    for (const auto &d : esp.datasets) {
+        SCOPED_TRACE(d.name);
+        auto r = runWorkload(esp, d.input);
+        Pla before = parsePla(d.input);
+        Pla after = parsePla(r.output);
+        after.ni = before.ni;
+        after.no = before.no;
+        ASSERT_GT(before.cubes.size(), 0u);
+        ASSERT_GT(after.cubes.size(), 0u);
+        EXPECT_LE(after.cubes.size(), before.cubes.size());
+        for (int o = 0; o < before.no; ++o) {
+            for (int m = 0; m < (1 << before.ni); ++m) {
+                ASSERT_EQ(plaCovers(after, m, o), plaCovers(before, m, o))
+                    << "minterm " << m << " output " << o;
+            }
+        }
+    }
+}
+
+TEST(Workloads, MccCompilesCleanly)
+{
+    const auto &mcc = workloads::get("mcc");
+    for (const auto &d : mcc.datasets) {
+        SCOPED_TRACE(d.name);
+        auto r = runWorkload(mcc, d.input);
+        // The trailer line reports op/sym/error counts.
+        auto pos = r.output.rfind("; ops=");
+        ASSERT_NE(pos, std::string::npos);
+        EXPECT_NE(r.output.find(" errs=0\n"), std::string::npos)
+            << r.output.substr(pos);
+    }
+}
+
+TEST(Workloads, SpiffFindsPlantedDifferences)
+{
+    const auto &spiff = workloads::get("spiff");
+    // case2 plants ~12% big perturbations over 180 lines.
+    auto r2 = runWorkload(spiff, dataset(spiff, "case2").input);
+    auto pos = r2.output.find("common=");
+    ASSERT_NE(pos, std::string::npos);
+    int common = 0, del = 0, add = 0;
+    ASSERT_EQ(std::sscanf(r2.output.c_str() + pos,
+                          "common=%d del=%d add=%d", &common, &del, &add),
+              3);
+    EXPECT_GT(common, 50);
+    EXPECT_GT(del, 10);
+    EXPECT_EQ(del, add); // same-length files, substitutions only
+    EXPECT_EQ(common + del, 180);
+
+    // case3: 26 common listing lines, 1 deleted trailer, 2 added lines.
+    auto r3 = runWorkload(spiff, dataset(spiff, "case3").input);
+    EXPECT_NE(r3.output.find("common=26 del=1 add=2"), std::string::npos)
+        << r3.output;
+}
+
+TEST(Workloads, SpiceResistorDividerIsExact)
+{
+    const auto &spice = workloads::get("spice");
+    auto r = runWorkload(spice, dataset(spice, "circuit1").input);
+    // 5V across 1k + 1k + 2k: v2 = 3.75, v3 = 2.5.
+    double v2 = 0, v3 = 0;
+    auto pos2 = r.output.find("v2=");
+    auto pos3 = r.output.find("v3=");
+    ASSERT_NE(pos2, std::string::npos);
+    ASSERT_NE(pos3, std::string::npos);
+    v2 = std::strtod(r.output.c_str() + pos2 + 3, nullptr);
+    v3 = std::strtod(r.output.c_str() + pos3 + 3, nullptr);
+    EXPECT_NEAR(v2, 3.75, 0.01);
+    EXPECT_NEAR(v3, 2.5, 0.01);
+}
+
+TEST(Workloads, SpiceRcChargesTowardSource)
+{
+    const auto &spice = workloads::get("spice");
+    auto r = runWorkload(spice, dataset(spice, "circuit2").input);
+    auto pos = r.output.find("v2=");
+    ASSERT_NE(pos, std::string::npos);
+    double v2 = std::strtod(r.output.c_str() + pos + 3, nullptr);
+    // After 4 time constants the cap sits near 5V.
+    EXPECT_GT(v2, 4.5);
+    EXPECT_LT(v2, 5.01);
+    EXPECT_NE(r.output.find("nonconv=0"), std::string::npos) << r.output;
+}
+
+TEST(Workloads, SpiceNonlinearCircuitsConverge)
+{
+    const auto &spice = workloads::get("spice");
+    for (const char *name :
+         {"circuit3", "circuit4", "circuit5", "add_bjt", "add_fet",
+          "greysmall"}) {
+        SCOPED_TRACE(name);
+        auto r = runWorkload(spice, dataset(spice, name).input);
+        EXPECT_NE(r.output.find("nonconv=0"), std::string::npos)
+            << r.output;
+    }
+}
+
+TEST(Workloads, NumericKernelsProduceFiniteOutput)
+{
+    for (const char *name :
+         {"tomcatv", "matrix300", "nasa7", "lfk", "fpppp", "doduc"}) {
+        SCOPED_TRACE(name);
+        const auto &w = workloads::get(name);
+        auto r = runWorkload(w, w.datasets[0].input);
+        EXPECT_EQ(r.stats.exit_code, 0);
+        ASSERT_FALSE(r.output.empty());
+        EXPECT_EQ(r.output.find("nan"), std::string::npos) << r.output;
+        EXPECT_EQ(r.output.find("inf"), std::string::npos) << r.output;
+    }
+}
+
+TEST(Workloads, OptimizationLevelsPreserveEveryProgram)
+{
+    // Suite-wide differential test: each workload's primary dataset
+    // produces identical output at every optimization level.
+    for (const auto &w : workloads::all()) {
+        SCOPED_TRACE(w.name);
+        CompileOptions raw_options;
+        raw_options.optimize = false;
+        CompileOptions dce_options;
+        dce_options.eliminate_dead_code = true;
+        isa::Program raw_program = compile(w.source, raw_options);
+        isa::Program opt_program = compile(w.source);
+        isa::Program dce_program = compile(w.source, dce_options);
+        vm::Machine raw(raw_program);
+        vm::Machine opt(opt_program);
+        vm::Machine dce(dce_program);
+        vm::RunLimits limits;
+        limits.max_instructions = 4'000'000'000ll;
+        const auto &input = w.datasets.front().input;
+        auto r_raw = raw.run(input, limits);
+        auto r_opt = opt.run(input, limits);
+        auto r_dce = dce.run(input, limits);
+        EXPECT_EQ(r_opt.output, r_raw.output);
+        EXPECT_EQ(r_dce.output, r_raw.output);
+        EXPECT_LE(r_opt.stats.instructions, r_raw.stats.instructions);
+        EXPECT_LE(r_dce.stats.instructions, r_opt.stats.instructions);
+    }
+}
+
+TEST(Workloads, InlineAndLayoutPreserveEveryProgram)
+{
+    // The two profile-guided transformations applied together must not
+    // change any workload's behaviour.
+    for (const auto &w : workloads::all()) {
+        SCOPED_TRACE(w.name);
+        isa::Program program = compile(w.source);
+        vm::Machine machine(program);
+        vm::RunLimits limits;
+        limits.max_instructions = 4'000'000'000ll;
+        const auto &input = w.datasets.front().input;
+        auto before = machine.run(input, limits);
+
+        profile::ProfileDb db(w.name, program.fingerprint(),
+                              before.stats);
+        isa::Program transformed = program;
+        inlineProgram(transformed);
+        predict::ProfilePredictor feedback(db);
+        layoutProgram(transformed, feedback, db);
+        vm::Machine transformed_machine(transformed);
+        auto after = transformed_machine.run(input, limits);
+        EXPECT_EQ(after.output, before.output);
+        EXPECT_EQ(after.stats.exit_code, before.stats.exit_code);
+    }
+}
+
+TEST(Workloads, FppppHasLowBranchDensity)
+{
+    // The paper's motivating anomaly: fpppp executes a branch every ~170
+    // instructions, li every ~10. Verify the density gap reproduces.
+    const auto &fpppp = workloads::get("fpppp");
+    auto rf = runWorkload(fpppp, dataset(fpppp, "4atoms").input);
+    const auto &li = workloads::get("li");
+    auto rl = runWorkload(li, dataset(li, "8queens").input);
+    double fpppp_per_branch = 1.0 / rf.stats.branchDensity();
+    double li_per_branch = 1.0 / rl.stats.branchDensity();
+    EXPECT_GT(fpppp_per_branch, 40.0);
+    EXPECT_LT(li_per_branch, 15.0);
+    EXPECT_GT(fpppp_per_branch, 4.0 * li_per_branch);
+}
+
+} // namespace
+} // namespace ifprob

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * The ifprob command-line driver: compile and run minic programs,
+ * collect and accumulate IFPROBBER profile databases, evaluate static
+ * predictions, and regenerate the paper's experiment report — the
+ * library's whole workflow from a shell.
+ *
+ * Usage:
+ *   ifprob compile <file.mc> [--dce] [--no-opt] [--disasm]
+ *   ifprob run <file.mc> [--input <file>] [--stats]
+ *   ifprob profile <file.mc> --db <db> [--input <file>]
+ *   ifprob predict <file.mc> --db <db> [--input <file>]
+ *   ifprob workloads
+ *   ifprob report
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.h"
+#include "harness/experiments.h"
+#include "isa/disasm.h"
+#include "metrics/breaks.h"
+#include "metrics/report.h"
+#include "predict/evaluate.h"
+#include "predict/heuristic_predictor.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+#include "support/error.h"
+#include "support/str.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace ifprob;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  ifprob compile <file.mc> [--dce] [--no-opt] [--disasm]\n"
+                 "  ifprob run <file.mc> [--input <file>] [--stats]\n"
+                 "  ifprob profile <file.mc> --db <db> [--input <file>]\n"
+                 "  ifprob predict <file.mc> --db <db> [--input <file>]\n"
+                 "  ifprob workloads\n"
+                 "  ifprob report\n"
+                 "\n"
+                 "A workload name (e.g. li:8queens) may replace <file.mc>;\n"
+                 "its bundled dataset is then the default input.\n");
+    std::exit(2);
+}
+
+struct Args
+{
+    std::string positional;
+    std::string input_path;
+    std::string db_path;
+    bool dce = false;
+    bool no_opt = false;
+    bool disasm = false;
+    bool stats = false;
+};
+
+Args
+parseArgs(int argc, char **argv, int start)
+{
+    Args args;
+    for (int i = start; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                usage();
+            }
+            return argv[++i];
+        };
+        if (arg == "--input")
+            args.input_path = value("--input");
+        else if (arg == "--db")
+            args.db_path = value("--db");
+        else if (arg == "--dce")
+            args.dce = true;
+        else if (arg == "--no-opt")
+            args.no_opt = true;
+        else if (arg == "--disasm")
+            args.disasm = true;
+        else if (arg == "--stats")
+            args.stats = true;
+        else if (!arg.empty() && arg[0] == '-')
+            usage();
+        else if (args.positional.empty())
+            args.positional = arg;
+        else
+            usage();
+    }
+    return args;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw Error("cannot open " + path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Resolve <file.mc> or workload[:dataset] into source + default input. */
+void
+resolveTarget(const std::string &target, std::string *source,
+              std::string *default_input)
+{
+    auto colon = target.find(':');
+    std::string name = target.substr(0, colon);
+    // Workload names take precedence when they match exactly.
+    for (const auto &w : workloads::all()) {
+        if (w.name == name) {
+            *source = w.source;
+            std::string dataset = colon == std::string::npos
+                                      ? w.datasets.front().name
+                                      : target.substr(colon + 1);
+            for (const auto &d : w.datasets) {
+                if (d.name == dataset) {
+                    *default_input = d.input;
+                    return;
+                }
+            }
+            throw Error("workload " + name + " has no dataset " + dataset);
+        }
+    }
+    *source = readFile(target);
+}
+
+isa::Program
+compileTarget(const Args &args, std::string *default_input)
+{
+    std::string source;
+    resolveTarget(args.positional, &source, default_input);
+    CompileOptions options;
+    options.optimize = !args.no_opt;
+    options.eliminate_dead_code = args.dce;
+    return compile(source, options);
+}
+
+std::string
+loadInput(const Args &args, const std::string &default_input)
+{
+    if (args.input_path.empty())
+        return default_input;
+    return readFile(args.input_path);
+}
+
+int
+cmdCompile(const Args &args)
+{
+    std::string default_input;
+    isa::Program program = compileTarget(args, &default_input);
+    std::printf("functions: %zu, static instructions: %lld, branch "
+                "sites: %zu, memory words: %lld\n",
+                program.functions.size(),
+                static_cast<long long>(program.staticSize()),
+                program.branch_sites.size(),
+                static_cast<long long>(program.memory_words));
+    std::printf("fingerprint: %016llx\n",
+                static_cast<unsigned long long>(program.fingerprint()));
+    if (args.disasm)
+        std::fputs(isa::disassemble(program).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    std::string default_input;
+    isa::Program program = compileTarget(args, &default_input);
+    vm::Machine machine(program);
+    vm::RunResult result = machine.run(loadInput(args, default_input));
+    std::fputs(result.output.c_str(), stdout);
+    if (args.stats) {
+        const auto &s = result.stats;
+        std::fprintf(stderr,
+                     "instructions:     %s\n"
+                     "cond branches:    %s (%.1f%% taken)\n"
+                     "jumps:            %s\n"
+                     "calls:            %s direct, %s indirect\n"
+                     "selects:          %s\n"
+                     "exit code:        %lld\n",
+                     withCommas(s.instructions).c_str(),
+                     withCommas(s.cond_branches).c_str(), s.percentTaken(),
+                     withCommas(s.jumps).c_str(),
+                     withCommas(s.direct_calls).c_str(),
+                     withCommas(s.indirect_calls).c_str(),
+                     withCommas(s.selects).c_str(),
+                     static_cast<long long>(s.exit_code));
+    }
+    return static_cast<int>(result.stats.exit_code & 0xff);
+}
+
+int
+cmdProfile(const Args &args)
+{
+    if (args.db_path.empty())
+        usage();
+    std::string default_input;
+    isa::Program program = compileTarget(args, &default_input);
+    vm::Machine machine(program);
+    vm::RunResult result = machine.run(loadInput(args, default_input));
+
+    // Accumulate into an existing database when present (the IFPROBBER
+    // augments its database on every run).
+    profile::ProfileDb db("cli", program.fingerprint(),
+                          program.branch_sites.size());
+    {
+        std::ifstream existing(args.db_path);
+        if (existing)
+            db = profile::ProfileDb::load(existing);
+    }
+    db.accumulate(result.stats);
+    std::ofstream out(args.db_path);
+    if (!out)
+        throw Error("cannot write " + args.db_path);
+    db.save(out);
+    std::fprintf(stderr,
+                 "recorded %s branch executions over %zu sites into %s\n",
+                 withCommas(result.stats.cond_branches).c_str(),
+                 db.numSites(), args.db_path.c_str());
+    return 0;
+}
+
+int
+cmdPredict(const Args &args)
+{
+    if (args.db_path.empty())
+        usage();
+    std::string default_input;
+    isa::Program program = compileTarget(args, &default_input);
+    std::ifstream db_in(args.db_path);
+    if (!db_in)
+        throw Error("cannot open " + args.db_path);
+    profile::ProfileDb db = profile::ProfileDb::load(db_in);
+
+    vm::Machine machine(program);
+    vm::RunResult result = machine.run(loadInput(args, default_input));
+
+    metrics::TextTable table;
+    table.setHeader({"predictor", "% branches correct", "instrs/break"});
+    auto add = [&](const char *name,
+                   const predict::StaticPredictor &predictor) {
+        auto quality = predict::evaluate(result.stats, predictor);
+        auto breaks =
+            metrics::breaksWithPredictor(result.stats, predictor);
+        table.addRow({name, strPrintf("%.2f%%", quality.percentCorrect()),
+                      strPrintf("%.1f", breaks.instructionsPerBreak())});
+    };
+    predict::ProfilePredictor feedback(db);
+    profile::ProfileDb self_db("cli", program.fingerprint(), result.stats);
+    predict::ProfilePredictor self(self_db);
+    predict::HeuristicPredictor backward(
+        program, predict::Heuristic::kBackwardTaken);
+    predict::HeuristicPredictor opcode(program,
+                                       predict::Heuristic::kOpcodeRules);
+    add("this run (bound)", self);
+    add("profile database", feedback);
+    add("backward-taken", backward);
+    add("opcode-rules", opcode);
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdWorkloads()
+{
+    metrics::TextTable table;
+    table.setHeader({"name", "class", "datasets", "description"});
+    for (const auto &w : workloads::all()) {
+        std::string datasets;
+        for (const auto &d : w.datasets) {
+            if (!datasets.empty())
+                datasets += " ";
+            datasets += d.name;
+        }
+        table.addRow({w.name, w.fortran_like ? "FORTRAN/FP" : "C/integer",
+                      datasets, w.description});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdReport()
+{
+    harness::Runner runner;
+    metrics::TextTable fig2;
+    fig2.setHeader({"program", "dataset", "self instrs/break",
+                    "others instrs/break"});
+    for (const auto &row : harness::figure2(runner)) {
+        fig2.addRow({row.program, row.dataset,
+                     strPrintf("%.1f", row.self_per_break),
+                     strPrintf("%.1f", row.others_per_break)});
+    }
+    std::printf("Instructions per mispredicted branch (paper Fig 2):\n%s\n",
+                fig2.render().c_str());
+    std::printf("Run the binaries under bench/ for the full per-figure "
+                "report.\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    std::string_view command = argv[1];
+    try {
+        if (command == "workloads")
+            return cmdWorkloads();
+        if (command == "report")
+            return cmdReport();
+        Args args = parseArgs(argc, argv, 2);
+        if (args.positional.empty())
+            usage();
+        if (command == "compile")
+            return cmdCompile(args);
+        if (command == "run")
+            return cmdRun(args);
+        if (command == "profile")
+            return cmdProfile(args);
+        if (command == "predict")
+            return cmdPredict(args);
+        usage();
+    } catch (const Error &e) {
+        std::fprintf(stderr, "ifprob: %s\n", e.what());
+        return 1;
+    }
+}
