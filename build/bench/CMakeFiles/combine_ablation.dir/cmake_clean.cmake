@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combine_ablation.dir/combine_ablation.cpp.o"
+  "CMakeFiles/combine_ablation.dir/combine_ablation.cpp.o.d"
+  "combine_ablation"
+  "combine_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combine_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

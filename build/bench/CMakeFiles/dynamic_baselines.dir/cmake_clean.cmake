@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_baselines.dir/dynamic_baselines.cpp.o"
+  "CMakeFiles/dynamic_baselines.dir/dynamic_baselines.cpp.o.d"
+  "dynamic_baselines"
+  "dynamic_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_no_prediction.dir/fig1_no_prediction.cpp.o"
+  "CMakeFiles/fig1_no_prediction.dir/fig1_no_prediction.cpp.o.d"
+  "fig1_no_prediction"
+  "fig1_no_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_no_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

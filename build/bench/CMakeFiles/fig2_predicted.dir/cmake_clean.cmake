@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_predicted.dir/fig2_predicted.cpp.o"
+  "CMakeFiles/fig2_predicted.dir/fig2_predicted.cpp.o.d"
+  "fig2_predicted"
+  "fig2_predicted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_predicted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cross_dataset.dir/fig3_cross_dataset.cpp.o"
+  "CMakeFiles/fig3_cross_dataset.dir/fig3_cross_dataset.cpp.o.d"
+  "fig3_cross_dataset"
+  "fig3_cross_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cross_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

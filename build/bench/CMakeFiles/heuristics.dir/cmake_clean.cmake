@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristics.dir/heuristics.cpp.o"
+  "CMakeFiles/heuristics.dir/heuristics.cpp.o.d"
+  "heuristics"
+  "heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

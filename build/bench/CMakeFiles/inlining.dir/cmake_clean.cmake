@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlining.dir/inlining.cpp.o"
+  "CMakeFiles/inlining.dir/inlining.cpp.o.d"
+  "inlining"
+  "inlining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

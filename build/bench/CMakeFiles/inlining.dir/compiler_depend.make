@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for inlining.
+# This may be replaced when dependencies are built.

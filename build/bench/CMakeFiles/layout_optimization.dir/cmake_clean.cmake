@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_optimization.dir/layout_optimization.cpp.o"
+  "CMakeFiles/layout_optimization.dir/layout_optimization.cpp.o.d"
+  "layout_optimization"
+  "layout_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

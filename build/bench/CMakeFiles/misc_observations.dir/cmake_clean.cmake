@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_observations.dir/misc_observations.cpp.o"
+  "CMakeFiles/misc_observations.dir/misc_observations.cpp.o.d"
+  "misc_observations"
+  "misc_observations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_observations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

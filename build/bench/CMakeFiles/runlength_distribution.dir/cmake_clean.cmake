@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runlength_distribution.dir/runlength_distribution.cpp.o"
+  "CMakeFiles/runlength_distribution.dir/runlength_distribution.cpp.o.d"
+  "runlength_distribution"
+  "runlength_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runlength_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_ablation.dir/select_ablation.cpp.o"
+  "CMakeFiles/select_ablation.dir/select_ablation.cpp.o.d"
+  "select_ablation"
+  "select_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dead_code.dir/table1_dead_code.cpp.o"
+  "CMakeFiles/table1_dead_code.dir/table1_dead_code.cpp.o.d"
+  "table1_dead_code"
+  "table1_dead_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dead_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

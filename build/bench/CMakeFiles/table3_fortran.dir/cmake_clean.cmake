@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fortran.dir/table3_fortran.cpp.o"
+  "CMakeFiles/table3_fortran.dir/table3_fortran.cpp.o.d"
+  "table3_fortran"
+  "table3_fortran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fortran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

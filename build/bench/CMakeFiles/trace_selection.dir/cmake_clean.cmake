@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_selection.dir/trace_selection.cpp.o"
+  "CMakeFiles/trace_selection.dir/trace_selection.cpp.o.d"
+  "trace_selection"
+  "trace_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

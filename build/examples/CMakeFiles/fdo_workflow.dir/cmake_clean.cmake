@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdo_workflow.dir/fdo_workflow.cpp.o"
+  "CMakeFiles/fdo_workflow.dir/fdo_workflow.cpp.o.d"
+  "fdo_workflow"
+  "fdo_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdo_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_pipeline.dir/ilp_pipeline.cpp.o"
+  "CMakeFiles/ilp_pipeline.dir/ilp_pipeline.cpp.o.d"
+  "ilp_pipeline"
+  "ilp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_study.dir/spice_study.cpp.o"
+  "CMakeFiles/spice_study.dir/spice_study.cpp.o.d"
+  "spice_study"
+  "spice_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/codegen.cpp" "src/CMakeFiles/ifprob.dir/compiler/codegen.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/compiler/codegen.cpp.o.d"
+  "/root/repo/src/compiler/inline.cpp" "src/CMakeFiles/ifprob.dir/compiler/inline.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/compiler/inline.cpp.o.d"
+  "/root/repo/src/compiler/layout.cpp" "src/CMakeFiles/ifprob.dir/compiler/layout.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/compiler/layout.cpp.o.d"
+  "/root/repo/src/compiler/passes.cpp" "src/CMakeFiles/ifprob.dir/compiler/passes.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/compiler/passes.cpp.o.d"
+  "/root/repo/src/compiler/pipeline.cpp" "src/CMakeFiles/ifprob.dir/compiler/pipeline.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/compiler/pipeline.cpp.o.d"
+  "/root/repo/src/compiler/prelude.cpp" "src/CMakeFiles/ifprob.dir/compiler/prelude.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/compiler/prelude.cpp.o.d"
+  "/root/repo/src/harness/experiments.cpp" "src/CMakeFiles/ifprob.dir/harness/experiments.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/harness/experiments.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/CMakeFiles/ifprob.dir/harness/runner.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/harness/runner.cpp.o.d"
+  "/root/repo/src/ilp/runlength.cpp" "src/CMakeFiles/ifprob.dir/ilp/runlength.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/ilp/runlength.cpp.o.d"
+  "/root/repo/src/ilp/trace.cpp" "src/CMakeFiles/ifprob.dir/ilp/trace.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/ilp/trace.cpp.o.d"
+  "/root/repo/src/isa/cfg.cpp" "src/CMakeFiles/ifprob.dir/isa/cfg.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/isa/cfg.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/ifprob.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/opcode.cpp" "src/CMakeFiles/ifprob.dir/isa/opcode.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/isa/opcode.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/CMakeFiles/ifprob.dir/isa/program.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/isa/program.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/ifprob.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/ifprob.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/metrics/breaks.cpp" "src/CMakeFiles/ifprob.dir/metrics/breaks.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/metrics/breaks.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/ifprob.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/predict/evaluate.cpp" "src/CMakeFiles/ifprob.dir/predict/evaluate.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/predict/evaluate.cpp.o.d"
+  "/root/repo/src/predict/heuristic_predictor.cpp" "src/CMakeFiles/ifprob.dir/predict/heuristic_predictor.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/predict/heuristic_predictor.cpp.o.d"
+  "/root/repo/src/predict/profile_predictor.cpp" "src/CMakeFiles/ifprob.dir/predict/profile_predictor.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/predict/profile_predictor.cpp.o.d"
+  "/root/repo/src/profile/profile_db.cpp" "src/CMakeFiles/ifprob.dir/profile/profile_db.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/profile/profile_db.cpp.o.d"
+  "/root/repo/src/support/str.cpp" "src/CMakeFiles/ifprob.dir/support/str.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/support/str.cpp.o.d"
+  "/root/repo/src/vm/machine.cpp" "src/CMakeFiles/ifprob.dir/vm/machine.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/vm/machine.cpp.o.d"
+  "/root/repo/src/vm/run_stats.cpp" "src/CMakeFiles/ifprob.dir/vm/run_stats.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/vm/run_stats.cpp.o.d"
+  "/root/repo/src/workloads/datagen.cpp" "src/CMakeFiles/ifprob.dir/workloads/datagen.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/datagen.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_compress.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_compress.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_compress.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_doduc.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_doduc.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_doduc.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_eqntott.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_eqntott.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_eqntott.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_espresso.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_espresso.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_espresso.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_fpppp.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_fpppp.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_fpppp.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_lfk.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_lfk.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_lfk.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_li.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_li.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_li.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_matrix300.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_matrix300.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_matrix300.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_mcc.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_mcc.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_mcc.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_nasa7.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_nasa7.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_nasa7.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_spice.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_spice.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_spice.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_spiff.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_spiff.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_spiff.cpp.o.d"
+  "/root/repo/src/workloads/programs/w_tomcatv.cpp" "src/CMakeFiles/ifprob.dir/workloads/programs/w_tomcatv.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/programs/w_tomcatv.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/ifprob.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/ifprob.dir/workloads/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_codegen.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_codegen.cpp.o.d"
+  "/root/repo/tests/test_end_to_end.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_ilp.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_ilp.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_ilp.cpp.o.d"
+  "/root/repo/tests/test_inline.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_inline.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_inline.cpp.o.d"
+  "/root/repo/tests/test_layout.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_layout.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_layout.cpp.o.d"
+  "/root/repo/tests/test_lexer.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_lexer.cpp.o.d"
+  "/root/repo/tests/test_li_lisp.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_li_lisp.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_li_lisp.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_passes.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_passes.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_passes.cpp.o.d"
+  "/root/repo/tests/test_predict.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_predict.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_predict.cpp.o.d"
+  "/root/repo/tests/test_prelude.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_prelude.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_prelude.cpp.o.d"
+  "/root/repo/tests/test_profile.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_profile.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_profile.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_vm.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_vm.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_vm.cpp.o.d"
+  "/root/repo/tests/test_workload_physics.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_workload_physics.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_workload_physics.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/ifprob_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/ifprob_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ifprob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

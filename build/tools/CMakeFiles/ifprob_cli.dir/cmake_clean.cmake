@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifprob_cli.dir/ifprob.cpp.o"
+  "CMakeFiles/ifprob_cli.dir/ifprob.cpp.o.d"
+  "ifprob"
+  "ifprob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifprob_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
