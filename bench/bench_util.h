@@ -4,17 +4,41 @@
 #include <cstdio>
 #include <string>
 
+#include "metrics/report.h"
+#include "obs/run_report.h"
 #include "support/str.h"
 
 namespace ifprob::bench {
 
-/** Standard banner so the concatenated bench output reads as a report. */
+/**
+ * Standard banner so the concatenated bench output reads as a report.
+ * As a side effect this opts the binary into machine-readable run
+ * reports: every Runner execution appends an "ifprob.run.v1" JSONL
+ * record under bench/out/ (override with IFPROB_REPORT_DIR; "off"
+ * disables), which tools/obsreport aggregates into BENCH_report.json.
+ */
 inline void
 heading(const char *experiment, const char *paper_ref, const char *what)
 {
+    obs::enableRunReportsDefault("bench/out");
     std::string bar(78, '=');
     std::printf("\n%s\n%s  [%s]\n%s\n%s\n\n", bar.c_str(), experiment,
                 paper_ref, what, bar.c_str());
+}
+
+/** Print a table and mirror its rows into the JSONL run report. */
+inline void
+emitTable(const char *table_name, const metrics::TextTable &table)
+{
+    std::printf("%s\n", table.render().c_str());
+    auto &sink = obs::ReportSink::global();
+    if (sink.enabled()) {
+        for (const auto &line :
+             ifprob::split(table.renderJsonl(table_name), '\n')) {
+            if (!line.empty())
+                sink.writeLine(line);
+        }
+    }
 }
 
 /** Format instructions-per-break values the way the paper's axes read. */

@@ -35,7 +35,9 @@ render(const std::vector<harness::Fig1Row> &rows, bool fortran_like,
                       bench::perBreak(r.per_break_with_calls),
                       metrics::asciiBar(r.per_break, max_v, 30)});
     }
-    std::printf("%s\n", table.render().c_str());
+    bench::emitTable(fortran_like ? "fig1a_no_prediction"
+                                  : "fig1b_no_prediction",
+                     table);
 }
 
 } // namespace

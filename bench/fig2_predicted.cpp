@@ -43,7 +43,9 @@ render(const std::vector<harness::Fig2Row> &rows, bool spice_only)
                       bench::perBreak(r.others_per_break),
                       metrics::asciiBar(r.self_per_break, max_v, 30)});
     }
-    std::printf("%s\n", table.render().c_str());
+    bench::emitTable(spice_only ? "fig2a_spice_datasets"
+                                : "fig2b_c_programs",
+                     table);
 }
 
 } // namespace

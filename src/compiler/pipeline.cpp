@@ -4,25 +4,60 @@
 #include "compiler/passes.h"
 #include "compiler/prelude.h"
 #include "lang/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ifprob {
 
 isa::Program
 compile(std::string_view source, const CompileOptions &options)
 {
+    obs::ScopedSpan compile_span("compile", "compiler");
+    if (compile_span.active())
+        compile_span.arg("source_bytes",
+                         static_cast<int64_t>(source.size()));
+    const int64_t t0 = obs::nowMicros();
+
     lang::Unit prelude_unit;
-    if (options.include_prelude)
-        prelude_unit = lang::parse(preludeSource());
-    lang::Unit user_unit = lang::parse(source);
+    lang::Unit user_unit;
+    {
+        obs::ScopedSpan span("parse", "compiler");
+        if (options.include_prelude)
+            prelude_unit = lang::parse(preludeSource());
+        user_unit = lang::parse(source);
+        obs::counter("compiler.parse_micros").add(obs::nowMicros() - t0);
+    }
 
     std::vector<const lang::Unit *> units;
     if (options.include_prelude)
         units.push_back(&prelude_unit);
     units.push_back(&user_unit);
 
-    isa::Program program = generate(units, options);
+    isa::Program program;
+    {
+        obs::ScopedSpan span("codegen", "compiler");
+        const int64_t t = obs::nowMicros();
+        program = generate(units, options);
+        obs::counter("compiler.codegen_micros").add(obs::nowMicros() - t);
+        if (span.active())
+            span.arg("insns", static_cast<int64_t>(program.staticSize()));
+    }
+
+    const int64_t before_opt = static_cast<int64_t>(program.staticSize());
     optimizeProgram(program, options.optimize, options.eliminate_dead_code);
-    program.validate();
+
+    {
+        obs::ScopedSpan span("validate", "compiler");
+        program.validate();
+    }
+
+    const int64_t insns = static_cast<int64_t>(program.staticSize());
+    obs::counter("compiler.compiles").add(1);
+    obs::counter("compiler.insns_emitted").add(insns);
+    obs::counter("compiler.insns_optimized_away").add(before_opt - insns);
+    obs::histogram("compiler.compile_micros").record(obs::nowMicros() - t0);
+    if (compile_span.active())
+        compile_span.arg("insns", insns);
     return program;
 }
 

@@ -6,6 +6,9 @@
 #include <fstream>
 
 #include "compiler/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/str.h"
 #include "vm/machine.h"
@@ -25,6 +28,25 @@ sanitize(const std::string &name)
             out.push_back('_');
     }
     return out;
+}
+
+int64_t
+fileSize(const std::string &path)
+{
+    std::error_code ec;
+    auto size = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<int64_t>(size);
+}
+
+/** Best-possible static mispredicts: each site predicted its majority
+ *  direction, so it mispredicts min(taken, not taken) times. */
+int64_t
+selfMispredicts(const vm::RunStats &stats)
+{
+    int64_t misses = 0;
+    for (const auto &site : stats.branches)
+        misses += std::min(site.taken, site.executed - site.taken);
+    return misses;
 }
 
 } // namespace
@@ -60,7 +82,14 @@ Runner::program(const std::string &workload)
     if (it != programs_.end())
         return it->second;
     const workloads::Workload &w = workloads::get(workload);
+    obs::ScopedSpan span("runner.compile", "harness");
+    if (span.active())
+        span.arg("workload", workload);
+    const int64_t t0 = obs::nowMicros();
     isa::Program compiled = compile(w.source, options_);
+    const int64_t micros = obs::nowMicros() - t0;
+    obs::counter("runner.compile_micros").add(micros);
+    pending_compile_micros_[workload] = micros;
     return programs_.emplace(workload, std::move(compiled)).first->second;
 }
 
@@ -82,15 +111,63 @@ Runner::stats(const std::string &workload, const std::string &dataset)
         return it->second;
 
     const isa::Program &prog = program(workload);
+
+    obs::RunRecord record;
+    record.workload = workload;
+    record.dataset = dataset;
+    record.fingerprint =
+        strPrintf("%016llx",
+                  static_cast<unsigned long long>(prog.fingerprint()));
+    record.cache = cache_dir_.empty() ? "off" : "miss";
+    {
+        auto pending = pending_compile_micros_.find(workload);
+        if (pending != pending_compile_micros_.end()) {
+            record.compile_micros = pending->second;
+            pending_compile_micros_.erase(pending);
+        }
+    }
+
+    auto finish = [&](vm::RunStats &&stats) -> const vm::RunStats & {
+        record.instructions = stats.instructions;
+        record.cond_branches = stats.cond_branches;
+        record.taken_branches = stats.taken_branches;
+        record.self_mispredicts = selfMispredicts(stats);
+        record.instr_per_mispredict =
+            static_cast<double>(stats.instructions) /
+            static_cast<double>(std::max<int64_t>(
+                record.self_mispredicts, 1));
+        obs::ReportSink::global().write(record);
+        return stats_.emplace(key, std::move(stats)).first->second;
+    };
+
     if (!cache_dir_.empty()) {
-        std::ifstream in(cachePath(workload, dataset, prog.fingerprint()));
+        std::string path = cachePath(workload, dataset, prog.fingerprint());
+        std::ifstream in(path);
         if (in) {
             try {
                 vm::RunStats cached = vm::RunStats::load(in);
-                return stats_.emplace(key, std::move(cached)).first->second;
-            } catch (const Error &) {
-                // Corrupt cache entry: fall through and re-run.
+                ++cache_stats_.hits;
+                cache_stats_.bytes_read += fileSize(path);
+                obs::counter("runner.cache_hits").add(1);
+                obs::counter("runner.cache_bytes_read")
+                    .add(fileSize(path));
+                record.cache = "hit";
+                return finish(std::move(cached));
+            } catch (const Error &e) {
+                // Corrupt cache entry: record the failure, then re-run.
+                ++cache_stats_.read_failures;
+                cache_stats_.failures.push_back(path + ": " + e.what());
+                obs::counter("runner.cache_read_failures").add(1);
+                obs::TraceSession::global().emitInstant(
+                    "runner.cache_read_failure", "harness",
+                    obs::nowMicros(),
+                    obs::JsonObject().field("path", path).field(
+                        "error", std::string_view(e.what())));
+                record.cache = "error";
             }
+        } else {
+            ++cache_stats_.misses;
+            obs::counter("runner.cache_misses").add(1);
         }
     }
 
@@ -103,17 +180,34 @@ Runner::stats(const std::string &workload, const std::string &dataset)
     if (!ds)
         throw Error("workload " + workload + " has no dataset " + dataset);
 
-    vm::Machine machine(prog);
-    vm::RunLimits limits;
-    limits.max_instructions = 4'000'000'000ll;
-    vm::RunResult result = machine.run(ds->input, limits);
+    vm::RunResult result;
+    {
+        obs::ScopedSpan span("runner.execute", "harness");
+        if (span.active()) {
+            span.arg("workload", workload);
+            span.arg("dataset", dataset);
+        }
+        const int64_t t0 = obs::nowMicros();
+        vm::Machine machine(prog);
+        vm::RunLimits limits;
+        limits.max_instructions = 4'000'000'000ll;
+        result = machine.run(ds->input, limits);
+        record.execute_micros = obs::nowMicros() - t0;
+        obs::counter("runner.execute_micros").add(record.execute_micros);
+    }
 
     if (!cache_dir_.empty()) {
-        std::ofstream out(cachePath(workload, dataset, prog.fingerprint()));
-        if (out)
+        std::string path = cachePath(workload, dataset, prog.fingerprint());
+        std::ofstream out(path);
+        if (out) {
             result.stats.save(out);
+            out.close();
+            int64_t written = fileSize(path);
+            cache_stats_.bytes_written += written;
+            obs::counter("runner.cache_bytes_written").add(written);
+        }
     }
-    return stats_.emplace(key, std::move(result.stats)).first->second;
+    return finish(std::move(result.stats));
 }
 
 std::vector<std::string>

@@ -1,9 +1,11 @@
 #ifndef IFPROB_HARNESS_RUNNER_H
 #define IFPROB_HARNESS_RUNNER_H
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "compiler/options.h"
 #include "isa/program.h"
@@ -11,6 +13,23 @@
 #include "workloads/workload.h"
 
 namespace ifprob::harness {
+
+/**
+ * Disk-cache effectiveness counters for one Runner, mirrored into the
+ * obs metrics registry (runner.cache_*). A read failure means a cache
+ * file existed but did not parse; the Runner re-runs the workload and
+ * records what went wrong here instead of failing (or hiding it).
+ */
+struct CacheStats
+{
+    int64_t hits = 0;
+    int64_t misses = 0;          ///< no cache file (includes cache off)
+    int64_t read_failures = 0;   ///< file present but unreadable/corrupt
+    int64_t bytes_read = 0;
+    int64_t bytes_written = 0;
+    /** One "path: reason" entry per read failure, in occurrence order. */
+    std::vector<std::string> failures;
+};
 
 /**
  * Compiles workloads and collects per-dataset run statistics, with an
@@ -44,6 +63,9 @@ class Runner
     /** Convenience: every dataset of @p workload, in registry order. */
     std::vector<std::string> datasetNames(const std::string &workload) const;
 
+    /** Disk-cache effectiveness so far (hits/misses/failures/bytes). */
+    const CacheStats &cacheStats() const { return cache_stats_; }
+
   private:
     std::string cachePath(const std::string &workload,
                           const std::string &dataset,
@@ -51,7 +73,12 @@ class Runner
 
     CompileOptions options_;
     std::string cache_dir_; ///< empty = caching disabled
+    CacheStats cache_stats_;
     std::map<std::string, isa::Program> programs_;
+    /** Compile wall-clock per workload, consumed by the first run
+     *  record that mentions the workload (so aggregation over records
+     *  counts each compile once). */
+    std::map<std::string, int64_t> pending_compile_micros_;
     std::map<std::pair<std::string, std::string>, vm::RunStats> stats_;
 };
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cctype>
 
+#include "obs/json.h"
+#include "obs/run_report.h"
+
 namespace ifprob::metrics {
 
 namespace {
@@ -104,6 +107,28 @@ TextTable::render() const
             out += render_rule();
         else
             out += render_row(row);
+    }
+    return out;
+}
+
+std::string
+TextTable::renderJsonl(std::string_view table_name) const
+{
+    std::string out;
+    for (const auto &row : rows_) {
+        if (row.empty())
+            continue; // rule
+        obs::JsonObject o;
+        o.field("schema", obs::kTableRecordSchema);
+        o.field("table", table_name);
+        for (size_t i = 0; i < row.size(); ++i) {
+            std::string key = i < header_.size()
+                                  ? header_[i]
+                                  : "col" + std::to_string(i);
+            o.field(key, row[i]);
+        }
+        out += o.str();
+        out += "\n";
     }
     return out;
 }

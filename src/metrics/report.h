@@ -2,6 +2,7 @@
 #define IFPROB_METRICS_REPORT_H
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ifprob::metrics {
@@ -9,6 +10,9 @@ namespace ifprob::metrics {
 /**
  * Fixed-width text table renderer for the experiment reports. Numeric
  * cells (detected heuristically) are right-aligned, text left-aligned.
+ * Every table can also serialize itself as JSONL (one object per row,
+ * keyed by header) so the human-readable report and the
+ * machine-readable one can never drift apart.
  */
 class TextTable
 {
@@ -24,6 +28,14 @@ class TextTable
 
     /** Render with column separators and a rule under the header. */
     std::string render() const;
+
+    /**
+     * Render as JSONL "ifprob.table.v1" records: one line per data row
+     * (rules are skipped), fields keyed by the header cells plus
+     * "schema" and "table" = @p table_name. All cell values are JSON
+     * strings — cells already carry human formatting (commas, '%').
+     */
+    std::string renderJsonl(std::string_view table_name) const;
 
   private:
     std::vector<std::string> header_;

@@ -1,0 +1,312 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::obs {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strPrintf("\\u%04x", c);
+            else
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+        std::fabs(v) < 9.0e15) {
+        return strPrintf("%lld",
+                         static_cast<long long>(static_cast<int64_t>(v)));
+    }
+    return strPrintf("%.17g", v);
+}
+
+void
+JsonObject::key(std::string_view k)
+{
+    if (!body_.empty())
+        body_ += ",";
+    body_ += "\"" + jsonEscape(k) + "\":";
+}
+
+JsonObject &
+JsonObject::field(std::string_view k, std::string_view value)
+{
+    key(k);
+    body_ += "\"" + jsonEscape(value) + "\"";
+    return *this;
+}
+
+JsonObject &
+JsonObject::field(std::string_view k, const char *value)
+{
+    return field(k, std::string_view(value));
+}
+
+JsonObject &
+JsonObject::field(std::string_view k, int64_t value)
+{
+    key(k);
+    body_ += strPrintf("%lld", static_cast<long long>(value));
+    return *this;
+}
+
+JsonObject &
+JsonObject::field(std::string_view k, double value)
+{
+    key(k);
+    body_ += jsonNumber(value);
+    return *this;
+}
+
+JsonObject &
+JsonObject::field(std::string_view k, bool value)
+{
+    key(k);
+    body_ += value ? "true" : "false";
+    return *this;
+}
+
+JsonObject &
+JsonObject::fieldRaw(std::string_view k, std::string_view json)
+{
+    key(k);
+    body_ += json;
+    return *this;
+}
+
+std::string
+JsonObject::str() const
+{
+    return "{" + body_ + "}";
+}
+
+namespace {
+
+/** Cursor over the input with the few scanning primitives parsing needs. */
+struct Cursor
+{
+    std::string_view text;
+    size_t pos = 0;
+
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw Error(strPrintf("bad JSON at offset %zu: %s", pos,
+                              what.c_str()));
+    }
+
+    void skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    char peek() const { return pos < text.size() ? text[pos] : '\0'; }
+
+    char take()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos++];
+    }
+
+    void expect(char c)
+    {
+        if (take() != c)
+            fail(strPrintf("expected '%c'", c));
+    }
+
+    bool consumeKeyword(std::string_view kw)
+    {
+        if (text.substr(pos, kw.size()) != kw)
+            return false;
+        pos += kw.size();
+        return true;
+    }
+};
+
+std::string
+parseString(Cursor &c)
+{
+    c.expect('"');
+    std::string out;
+    for (;;) {
+        char ch = c.take();
+        if (ch == '"')
+            return out;
+        if (ch != '\\') {
+            out.push_back(ch);
+            continue;
+        }
+        char esc = c.take();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+                char h = c.take();
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code += static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code += static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code += static_cast<unsigned>(h - 'A' + 10);
+                else
+                    c.fail("bad \\u escape");
+            }
+            // The sinks only ever emit \u00xx for control bytes; decode
+            // BMP code points as UTF-8 for completeness.
+            if (code < 0x80) {
+                out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+                out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+                out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                out.push_back(
+                    static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            c.fail("bad escape");
+        }
+    }
+}
+
+JsonValue
+parseNumber(Cursor &c)
+{
+    size_t start = c.pos;
+    if (c.peek() == '-')
+        ++c.pos;
+    while (c.pos < c.text.size() &&
+           (std::isdigit(static_cast<unsigned char>(c.peek())) ||
+            c.peek() == '.' || c.peek() == 'e' || c.peek() == 'E' ||
+            c.peek() == '+' || c.peek() == '-'))
+        ++c.pos;
+    if (c.pos == start)
+        c.fail("expected number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.str = std::string(c.text.substr(start, c.pos - start));
+    v.num = std::strtod(v.str.c_str(), nullptr);
+    return v;
+}
+
+/** Skip any JSON value (used for tolerated-but-ignored nesting). */
+void
+skipValue(Cursor &c)
+{
+    c.skipSpace();
+    char ch = c.peek();
+    if (ch == '"') {
+        parseString(c);
+    } else if (ch == '{' || ch == '[') {
+        char open = c.take();
+        char close = open == '{' ? '}' : ']';
+        int depth = 1;
+        while (depth > 0) {
+            char x = c.take();
+            if (x == '"') {
+                --c.pos;
+                parseString(c);
+            } else if (x == open) {
+                ++depth;
+            } else if (x == close) {
+                --depth;
+            }
+        }
+    } else if (c.consumeKeyword("true") || c.consumeKeyword("false") ||
+               c.consumeKeyword("null")) {
+    } else {
+        parseNumber(c);
+    }
+}
+
+} // namespace
+
+JsonRecord
+parseFlatObject(std::string_view text)
+{
+    Cursor c{text};
+    c.skipSpace();
+    c.expect('{');
+    JsonRecord record;
+    c.skipSpace();
+    if (c.peek() == '}') {
+        c.take();
+        return record;
+    }
+    for (;;) {
+        c.skipSpace();
+        std::string k = parseString(c);
+        c.skipSpace();
+        c.expect(':');
+        c.skipSpace();
+        char ch = c.peek();
+        if (ch == '"') {
+            JsonValue v;
+            v.kind = JsonValue::Kind::kString;
+            v.str = parseString(c);
+            record[k] = std::move(v);
+        } else if (ch == '{' || ch == '[') {
+            skipValue(c); // nested: tolerated, dropped
+        } else if (c.consumeKeyword("true")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::kBool;
+            v.boolean = true;
+            v.num = 1.0;
+            record[k] = std::move(v);
+        } else if (c.consumeKeyword("false")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::kBool;
+            record[k] = std::move(v);
+        } else if (c.consumeKeyword("null")) {
+            record[k] = JsonValue{};
+        } else {
+            record[k] = parseNumber(c);
+        }
+        c.skipSpace();
+        char sep = c.take();
+        if (sep == '}')
+            return record;
+        if (sep != ',')
+            c.fail("expected ',' or '}'");
+    }
+}
+
+} // namespace ifprob::obs

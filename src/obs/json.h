@@ -1,0 +1,69 @@
+#ifndef IFPROB_OBS_JSON_H
+#define IFPROB_OBS_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ifprob::obs {
+
+/**
+ * The minimal JSON surface the observability layer needs — flat objects
+ * of string/integer/double/bool fields — with zero dependencies. The
+ * trace and run-report sinks write through JsonObject; obsreport and the
+ * tests read records back through parseFlatObject(). Nested values are
+ * out of scope by design: every schema in docs/observability.md is flat.
+ */
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes). */
+std::string jsonEscape(std::string_view s);
+
+/** Render a double the way JSON wants it (finite; no NaN/Inf). */
+std::string jsonNumber(double v);
+
+/** Incremental builder for one flat JSON object, keys in call order. */
+class JsonObject
+{
+  public:
+    JsonObject &field(std::string_view key, std::string_view value);
+    JsonObject &field(std::string_view key, const char *value);
+    JsonObject &field(std::string_view key, int64_t value);
+    JsonObject &field(std::string_view key, double value);
+    JsonObject &field(std::string_view key, bool value);
+    /** Splice an already-rendered JSON value (object, array, ...). */
+    JsonObject &fieldRaw(std::string_view key, std::string_view json);
+
+    bool empty() const { return body_.empty(); }
+    /** The complete "{...}" text. */
+    std::string str() const;
+
+  private:
+    void key(std::string_view k);
+    std::string body_;
+};
+
+/** One parsed scalar: the concrete type plus both views of the value. */
+struct JsonValue
+{
+    enum class Kind { kString, kNumber, kBool, kNull } kind = Kind::kNull;
+    std::string str;    ///< string value (or raw text for numbers)
+    double num = 0.0;   ///< numeric value (0 for strings/null)
+    bool boolean = false;
+
+    int64_t asInt() const { return static_cast<int64_t>(num); }
+};
+
+/** A parsed flat object, keyed by field name. */
+using JsonRecord = std::map<std::string, JsonValue>;
+
+/**
+ * Parse one flat JSON object ("{"k":"v","n":12}"). Nested objects and
+ * arrays are tolerated on input but skipped (the key is dropped).
+ * Throws ifprob::Error on malformed input.
+ */
+JsonRecord parseFlatObject(std::string_view text);
+
+} // namespace ifprob::obs
+
+#endif // IFPROB_OBS_JSON_H

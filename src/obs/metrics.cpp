@@ -1,0 +1,228 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "support/str.h"
+
+namespace ifprob::obs {
+
+void
+Histogram::record(int64_t v)
+{
+    int bucket = 0;
+    if (v > 0) {
+        bucket = std::bit_width(static_cast<uint64_t>(v));
+        if (bucket >= kBuckets)
+            bucket = kBuckets - 1;
+    }
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    int64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+}
+
+double
+Histogram::mean() const
+{
+    int64_t n = count();
+    return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+}
+
+int64_t
+Histogram::bucketUpperBound(int i)
+{
+    if (i <= 0)
+        return 0;
+    return (int64_t{1} << i) - 1;
+}
+
+int64_t
+Histogram::percentileUpperBound(double p) const
+{
+    int64_t n = count();
+    if (n == 0)
+        return 0;
+    double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                  static_cast<double>(n);
+    int64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += bucketCount(i);
+        if (static_cast<double>(seen) >= rank && seen > 0)
+            return bucketUpperBound(i);
+    }
+    return bucketUpperBound(kBuckets - 1);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+struct Registry::Impl
+{
+    mutable std::mutex mu;
+    // node-based maps: references stay valid as the maps grow.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry &
+Registry::instance()
+{
+    static Registry r;
+    return r;
+}
+
+Registry::Impl &
+Registry::impl() const
+{
+    // Leaked on purpose: instruments may be touched from static
+    // destructors (e.g. the trace session flushing at exit).
+    static Impl *impl = new Impl;
+    return *impl;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    auto &slot = i.counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    auto &slot = i.gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    auto &slot = i.histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::vector<MetricSample>
+Registry::snapshot() const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    std::vector<MetricSample> out;
+    for (const auto &[name, c] : i.counters) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::Kind::kCounter;
+        s.value = c->value();
+        out.push_back(std::move(s));
+    }
+    for (const auto &[name, g] : i.gauges) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::Kind::kGauge;
+        s.value = g->value();
+        out.push_back(std::move(s));
+    }
+    for (const auto &[name, h] : i.histograms) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::Kind::kHistogram;
+        s.value = h->count();
+        s.sum = h->sum();
+        s.max = h->max();
+        s.p50 = h->percentileUpperBound(50.0);
+        s.p99 = h->percentileUpperBound(99.0);
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::string
+Registry::renderText() const
+{
+    std::string out;
+    for (const auto &s : snapshot()) {
+        switch (s.kind) {
+          case MetricSample::Kind::kCounter:
+            out += strPrintf("counter   %-40s %s\n", s.name.c_str(),
+                             withCommas(s.value).c_str());
+            break;
+          case MetricSample::Kind::kGauge:
+            out += strPrintf("gauge     %-40s %s\n", s.name.c_str(),
+                             withCommas(s.value).c_str());
+            break;
+          case MetricSample::Kind::kHistogram:
+            out += strPrintf("histogram %-40s n=%s sum=%s max=%s "
+                             "p50<=%s p99<=%s\n",
+                             s.name.c_str(), withCommas(s.value).c_str(),
+                             withCommas(s.sum).c_str(),
+                             withCommas(s.max).c_str(),
+                             withCommas(s.p50).c_str(),
+                             withCommas(s.p99).c_str());
+            break;
+        }
+    }
+    return out;
+}
+
+void
+Registry::resetAll()
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    for (auto &[name, c] : i.counters)
+        c->reset();
+    for (auto &[name, g] : i.gauges)
+        g->reset();
+    for (auto &[name, h] : i.histograms)
+        h->reset();
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return Registry::instance().counter(name);
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    return Registry::instance().gauge(name);
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    return Registry::instance().histogram(name);
+}
+
+} // namespace ifprob::obs

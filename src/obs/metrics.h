@@ -1,0 +1,136 @@
+#ifndef IFPROB_OBS_METRICS_H
+#define IFPROB_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ifprob::obs {
+
+/**
+ * Process-wide metrics for the experiment infrastructure itself: where
+ * wall-clock goes (per compiler pass, per VM run), whether the Runner's
+ * disk cache hits, how fast the VM retires instructions. The paper's
+ * methodological point — measure instructions *per mispredicted branch*,
+ * not percent-correct — applies to the harness too: perf claims about
+ * the infrastructure need counters behind them.
+ *
+ * All instruments are registered by name in a global Registry and live
+ * for the life of the process; accessors hand out stable references, so
+ * hot paths look a name up once and then pay only a relaxed atomic add.
+ */
+
+/** Monotonic event count (cache hits, VM runs, bytes written, ...). */
+class Counter
+{
+  public:
+    void add(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/** Last-write-wins instantaneous value (current cache size, ...). */
+class Gauge
+{
+  public:
+    void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/**
+ * Fixed-bucket latency histogram. Bucket i counts samples whose value
+ * (an integer, typically microseconds) needs i bits: bucket 0 holds
+ * v <= 0, bucket i holds 2^(i-1) <= v < 2^i. Power-of-two buckets keep
+ * record() allocation-free and branch-cheap while still resolving the
+ * microsecond-to-minute range the harness spans.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 48;
+
+    void record(int64_t v);
+
+    int64_t count() const { return count_.load(std::memory_order_relaxed); }
+    int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    int64_t max() const { return max_.load(std::memory_order_relaxed); }
+    double mean() const;
+    int64_t bucketCount(int i) const
+    {
+        return counts_[i].load(std::memory_order_relaxed);
+    }
+
+    /** Upper bound of the bucket containing the p-th percentile
+     *  (p in [0,100]); 0 when the histogram is empty. */
+    int64_t percentileUpperBound(double p) const;
+
+    /** Inclusive upper bound of bucket @p i (2^i - 1; 0 for bucket 0). */
+    static int64_t bucketUpperBound(int i);
+
+    void reset();
+
+  private:
+    std::atomic<int64_t> counts_[kBuckets] = {};
+    std::atomic<int64_t> count_{0};
+    std::atomic<int64_t> sum_{0};
+    std::atomic<int64_t> max_{0};
+};
+
+/** One named value in a Registry snapshot. */
+struct MetricSample
+{
+    std::string name;
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    int64_t value = 0; ///< counter/gauge value, histogram count
+    int64_t sum = 0;   ///< histogram only
+    int64_t max = 0;   ///< histogram only
+    int64_t p50 = 0;   ///< histogram only: median bucket upper bound
+    int64_t p99 = 0;   ///< histogram only
+};
+
+/**
+ * The process-wide instrument directory. Names are dotted paths
+ * ("runner.cache_hits", "vm.run_micros"); see docs/observability.md for
+ * the full catalogue. Instruments are created on first use and never
+ * destroyed, so references remain valid for the process lifetime.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** All instruments, sorted by name (histograms summarised). */
+    std::vector<MetricSample> snapshot() const;
+
+    /** Human-readable dump of every instrument, one per line. */
+    std::string renderText() const;
+
+    /** Zero every instrument (registrations persist). Test hook. */
+    void resetAll();
+
+  private:
+    Registry() = default;
+    struct Impl;
+    Impl &impl() const;
+};
+
+/** Shorthands for the common "bump a named counter" pattern. */
+Counter &counter(const std::string &name);
+Gauge &gauge(const std::string &name);
+Histogram &histogram(const std::string &name);
+
+} // namespace ifprob::obs
+
+#endif // IFPROB_OBS_METRICS_H

@@ -1,0 +1,140 @@
+#include "obs/run_report.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::obs {
+
+std::string
+renderRunRecord(const RunRecord &r)
+{
+    JsonObject o;
+    o.field("schema", kRunRecordSchema)
+        .field("workload", r.workload)
+        .field("dataset", r.dataset)
+        .field("fingerprint", r.fingerprint)
+        .field("cache", r.cache)
+        .field("instructions", r.instructions)
+        .field("cond_branches", r.cond_branches)
+        .field("taken_branches", r.taken_branches)
+        .field("self_mispredicts", r.self_mispredicts)
+        .field("instr_per_mispredict", r.instr_per_mispredict)
+        .field("compile_micros", r.compile_micros)
+        .field("execute_micros", r.execute_micros);
+    return o.str();
+}
+
+RunRecord
+parseRunRecord(std::string_view line)
+{
+    JsonRecord rec = parseFlatObject(line);
+    auto str = [&](const char *k) {
+        auto it = rec.find(k);
+        return it != rec.end() ? it->second.str : std::string();
+    };
+    auto num = [&](const char *k) {
+        auto it = rec.find(k);
+        return it != rec.end() ? it->second.num : 0.0;
+    };
+    if (str("schema") != kRunRecordSchema)
+        throw Error("run record has schema '" + str("schema") +
+                    "', expected '" + kRunRecordSchema + "'");
+    RunRecord r;
+    r.workload = str("workload");
+    r.dataset = str("dataset");
+    r.fingerprint = str("fingerprint");
+    r.cache = str("cache");
+    r.instructions = static_cast<int64_t>(num("instructions"));
+    r.cond_branches = static_cast<int64_t>(num("cond_branches"));
+    r.taken_branches = static_cast<int64_t>(num("taken_branches"));
+    r.self_mispredicts = static_cast<int64_t>(num("self_mispredicts"));
+    r.instr_per_mispredict = num("instr_per_mispredict");
+    r.compile_micros = static_cast<int64_t>(num("compile_micros"));
+    r.execute_micros = static_cast<int64_t>(num("execute_micros"));
+    return r;
+}
+
+struct ReportSink::Impl
+{
+    std::mutex mu;
+    std::ofstream out; ///< opened lazily on first write
+    bool decided = false; ///< global(): env var already chose on/off
+};
+
+ReportSink::ReportSink() : impl_(std::make_unique<Impl>()) {}
+
+ReportSink::ReportSink(std::string path)
+    : enabled_(!path.empty()), path_(std::move(path)),
+      impl_(std::make_unique<Impl>())
+{
+}
+
+ReportSink::~ReportSink() = default;
+
+void
+ReportSink::writeLine(const std::string &json)
+{
+    if (!enabled_)
+        return;
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!impl_->out.is_open()) {
+        std::filesystem::path p(path_);
+        if (p.has_parent_path()) {
+            std::error_code ec;
+            std::filesystem::create_directories(p.parent_path(), ec);
+        }
+        impl_->out.open(path_, std::ios::app);
+        if (!impl_->out) {
+            enabled_ = false; // path unwritable: degrade to disabled
+            return;
+        }
+    }
+    impl_->out << json << "\n";
+    impl_->out.flush(); // every line durable: benches exit via main()
+}
+
+void
+ReportSink::write(const RunRecord &record)
+{
+    if (!enabled_)
+        return;
+    writeLine(renderRunRecord(record));
+}
+
+ReportSink &
+ReportSink::global()
+{
+    static ReportSink *sink = [] {
+        auto *s = new ReportSink; // leaked: usable from static dtors
+        const char *env = std::getenv("IFPROB_REPORT_DIR");
+        if (env) {
+            s->impl_->decided = true;
+            if (std::string_view(env) != "off") {
+                s->path_ = std::string(env) + "/run_report.jsonl";
+                s->enabled_ = true;
+            }
+        }
+        return s;
+    }();
+    return *sink;
+}
+
+bool
+ReportSink::enableDefault(const std::string &dir)
+{
+    ReportSink &s = global();
+    std::lock_guard<std::mutex> lock(s.impl_->mu);
+    if (!s.impl_->decided) {
+        s.impl_->decided = true;
+        s.path_ = dir + "/run_report.jsonl";
+        s.enabled_ = true;
+    }
+    return s.enabled_;
+}
+
+} // namespace ifprob::obs

@@ -1,0 +1,101 @@
+#ifndef IFPROB_OBS_RUN_REPORT_H
+#define IFPROB_OBS_RUN_REPORT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/json.h"
+
+namespace ifprob::obs {
+
+/**
+ * Machine-readable run reports: one JSON object per line (JSONL), one
+ * line per workload/dataset execution, appended to
+ * <dir>/run_report.jsonl. tools/obsreport aggregates these files into a
+ * summary table and a BENCH_report.json for tracking the perf
+ * trajectory across PRs.
+ *
+ * The sink is off by default. It turns on when
+ *  - the IFPROB_REPORT_DIR environment variable names a directory, or
+ *  - a bench binary calls enableRunReportsDefault() (bench_util.h does
+ *    this from heading()), which uses "bench/out" unless the env var
+ *    overrides it.
+ * IFPROB_REPORT_DIR=off forces the sink off either way.
+ */
+
+/** Schema tag carried by every run record (bump on breaking change). */
+inline constexpr const char *kRunRecordSchema = "ifprob.run.v1";
+/** Schema tag for table records (metrics::TextTable rows as JSONL). */
+inline constexpr const char *kTableRecordSchema = "ifprob.table.v1";
+
+/** One workload/dataset execution, as the Runner observed it. */
+struct RunRecord
+{
+    std::string workload;
+    std::string dataset;
+    std::string fingerprint;  ///< compiled image fingerprint, hex
+    std::string cache;        ///< "hit" | "miss" | "error" | "off"
+    int64_t instructions = 0;
+    int64_t cond_branches = 0;
+    int64_t taken_branches = 0;
+    /** Mispredicts under the self-profile bound: sum over sites of
+     *  min(taken, not taken) — dataset-intrinsic, predictor-free. */
+    int64_t self_mispredicts = 0;
+    double instr_per_mispredict = 0.0;
+    int64_t compile_micros = 0; ///< 0 when the image was already compiled
+    int64_t execute_micros = 0; ///< 0 on a cache hit
+};
+
+/** Serialize one record as a single JSONL line (no trailing newline). */
+std::string renderRunRecord(const RunRecord &record);
+
+/** Parse a JSONL line back into a record; throws Error on non-v1 input. */
+RunRecord parseRunRecord(std::string_view line);
+
+/**
+ * Append-only JSONL sink. The global() instance is what instrumented
+ * code writes through; tests construct their own against temp paths.
+ */
+class ReportSink
+{
+  public:
+    /** Disabled sink. */
+    ReportSink();
+    /** Sink appending to @p path ("" = disabled). */
+    explicit ReportSink(std::string path);
+    ~ReportSink();
+
+    bool enabled() const { return enabled_; }
+    const std::string &path() const { return path_; }
+
+    void write(const RunRecord &record);
+    /** Append an arbitrary pre-rendered JSON object line. */
+    void writeLine(const std::string &json);
+
+    static ReportSink &global();
+
+    /**
+     * Turn the global sink on with @p dir (creating it) unless
+     * IFPROB_REPORT_DIR already decided. Idempotent. Returns whether
+     * the sink is enabled afterwards.
+     */
+    static bool enableDefault(const std::string &dir);
+
+  private:
+    bool enabled_ = false;
+    std::string path_;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** bench_util.h shorthand: route run reports to <dir>/run_report.jsonl. */
+inline bool
+enableRunReportsDefault(const std::string &dir)
+{
+    return ReportSink::enableDefault(dir);
+}
+
+} // namespace ifprob::obs
+
+#endif // IFPROB_OBS_RUN_REPORT_H

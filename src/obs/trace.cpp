@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "support/str.h"
+
+namespace ifprob::obs {
+
+int64_t
+nowMicros()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point t0 = clock::now();
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               clock::now() - t0)
+        .count();
+}
+
+struct TraceSession::Impl
+{
+    mutable std::mutex mu;
+    std::vector<std::string> events; ///< each a rendered JSON object
+};
+
+TraceSession::TraceSession() : impl_(std::make_unique<Impl>()) {}
+
+TraceSession::TraceSession(std::string path)
+    : enabled_(!path.empty()), path_(std::move(path)),
+      impl_(std::make_unique<Impl>())
+{
+}
+
+TraceSession::~TraceSession()
+{
+    flush();
+}
+
+void
+TraceSession::emitComplete(std::string_view name, std::string_view category,
+                           int64_t ts_micros, int64_t dur_micros,
+                           const JsonObject &args)
+{
+    if (!enabled_)
+        return;
+    JsonObject ev;
+    ev.field("name", name)
+        .field("cat", category)
+        .field("ph", "X")
+        .field("ts", ts_micros)
+        .field("dur", dur_micros)
+        .field("pid", int64_t{1})
+        .field("tid", int64_t{1});
+    if (!args.empty())
+        ev.fieldRaw("args", args.str());
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->events.push_back(ev.str());
+}
+
+void
+TraceSession::emitInstant(std::string_view name, std::string_view category,
+                          int64_t ts_micros, const JsonObject &args)
+{
+    if (!enabled_)
+        return;
+    JsonObject ev;
+    ev.field("name", name)
+        .field("cat", category)
+        .field("ph", "i")
+        .field("ts", ts_micros)
+        .field("s", "g") // global scope instant
+        .field("pid", int64_t{1})
+        .field("tid", int64_t{1});
+    if (!args.empty())
+        ev.fieldRaw("args", args.str());
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->events.push_back(ev.str());
+}
+
+size_t
+TraceSession::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->events.size();
+}
+
+void
+TraceSession::writeTo(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    os << "{\"traceEvents\":[";
+    for (size_t i = 0; i < impl_->events.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\n" << impl_->events[i];
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void
+TraceSession::flush()
+{
+    if (!enabled_ || path_.empty())
+        return;
+    std::ofstream out(path_, std::ios::trunc);
+    if (out)
+        writeTo(out);
+}
+
+TraceSession &
+TraceSession::global()
+{
+    static TraceSession session = [] {
+        const char *env = std::getenv("IFPROB_TRACE");
+        return TraceSession(env ? env : "");
+    }();
+    return session;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view category,
+                       TraceSession *session)
+{
+    if (!session || !session->enabled())
+        return; // the whole span is a no-op
+    session_ = session;
+    name_ = name;
+    category_ = category;
+    start_ = nowMicros();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!session_)
+        return;
+    int64_t end = nowMicros();
+    session_->emitComplete(name_, category_, start_, end - start_, args_);
+}
+
+void
+ScopedSpan::arg(std::string_view key, int64_t value)
+{
+    if (session_)
+        args_.field(key, value);
+}
+
+void
+ScopedSpan::arg(std::string_view key, std::string_view value)
+{
+    if (session_)
+        args_.field(key, value);
+}
+
+void
+ScopedSpan::arg(std::string_view key, double value)
+{
+    if (session_)
+        args_.field(key, value);
+}
+
+} // namespace ifprob::obs

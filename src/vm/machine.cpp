@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "isa/alu.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/str.h"
 
@@ -33,6 +35,53 @@ Machine::Machine(const isa::Program &program) : program_(program)
 RunResult
 Machine::run(std::string_view input, const RunLimits &limits,
              BranchObserver *observer) const
+{
+    // All accounting happens per run, outside the dispatch loop: when
+    // tracing is off this is two clock reads and a handful of relaxed
+    // atomic adds per run (micro_vm guards the <2% budget).
+    obs::ScopedSpan span("vm.run", "vm");
+    const int64_t t0 = obs::nowMicros();
+
+    auto record = [&](const RunStats &stats, bool trapped) {
+        const int64_t micros = obs::nowMicros() - t0;
+        obs::counter("vm.runs").add(1);
+        obs::counter("vm.instructions").add(stats.instructions);
+        obs::counter("vm.cond_branches").add(stats.cond_branches);
+        if (trapped)
+            obs::counter("vm.traps").add(1);
+        if (observer) {
+            // onBranch fires per conditional branch, onUnavoidableBreak
+            // per indirect call/return; totalling here keeps the
+            // per-event cost out of the loop.
+            obs::counter("vm.observer_callbacks")
+                .add(stats.cond_branches + stats.indirect_calls +
+                     stats.indirect_returns);
+        }
+        obs::histogram("vm.run_micros").record(micros);
+        if (span.active()) {
+            span.arg("instructions", stats.instructions);
+            span.arg("cond_branches", stats.cond_branches);
+            if (micros > 0)
+                span.arg("mips", static_cast<double>(stats.instructions) /
+                                     static_cast<double>(micros));
+            if (trapped)
+                span.arg("trapped", int64_t{1});
+        }
+    };
+
+    try {
+        RunResult result = runImpl(input, limits, observer);
+        record(result.stats, /*trapped=*/false);
+        return result;
+    } catch (const RuntimeError &) {
+        record(RunStats{}, /*trapped=*/true);
+        throw;
+    }
+}
+
+RunResult
+Machine::runImpl(std::string_view input, const RunLimits &limits,
+                 BranchObserver *observer) const
 {
     RunResult result;
     RunStats &stats = result.stats;

@@ -48,12 +48,22 @@ class Machine
 
     /**
      * Run the program to completion over @p input.
+     *
+     * Each run is observable through the obs layer: a "vm.run" trace
+     * span when IFPROB_TRACE is set, and vm.* registry counters
+     * (instructions retired, run wall-clock, observer-callback volume)
+     * always — all recorded once per run, never inside the dispatch
+     * loop, so the interpreter's throughput is unaffected.
+     *
      * @param observer optional per-branch event sink (may be nullptr).
      */
     RunResult run(std::string_view input, const RunLimits &limits = {},
                   BranchObserver *observer = nullptr) const;
 
   private:
+    RunResult runImpl(std::string_view input, const RunLimits &limits,
+                      BranchObserver *observer) const;
+
     const isa::Program &program_;
 };
 

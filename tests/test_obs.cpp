@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Tests for the observability layer: metrics registry math, Chrome
+ * trace-event well-formedness and env gating, run-report JSONL schema
+ * round trips, and the Runner's cache-failure surfacing.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/runner.h"
+#include "metrics/report.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::obs {
+namespace {
+
+std::filesystem::path
+tempPath(const char *stem)
+{
+    return std::filesystem::temp_directory_path() /
+           (std::string(stem) + "-" + std::to_string(::getpid()));
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(ObsMetrics, CounterAndGaugeArithmetic)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42);
+    c.reset();
+    EXPECT_EQ(c.value(), 0);
+
+    Gauge g;
+    g.set(7);
+    g.set(-3);
+    EXPECT_EQ(g.value(), -3);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndPercentiles)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.percentileUpperBound(50.0), 0);
+
+    h.record(0);  // bucket 0
+    h.record(1);  // bucket 1: [1,1]
+    h.record(2);  // bucket 2: [2,3]
+    h.record(3);  // bucket 2
+    h.record(900); // bucket 10: [512,1023]
+    EXPECT_EQ(h.count(), 5);
+    EXPECT_EQ(h.sum(), 906);
+    EXPECT_EQ(h.max(), 900);
+    EXPECT_DOUBLE_EQ(h.mean(), 906.0 / 5.0);
+    EXPECT_EQ(h.bucketCount(0), 1);
+    EXPECT_EQ(h.bucketCount(1), 1);
+    EXPECT_EQ(h.bucketCount(2), 2);
+    EXPECT_EQ(h.bucketCount(10), 1);
+
+    // Median of 5 samples falls in bucket 2 -> upper bound 3.
+    EXPECT_EQ(h.percentileUpperBound(50.0), 3);
+    EXPECT_EQ(h.percentileUpperBound(100.0), 1023);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.max(), 0);
+}
+
+TEST(ObsMetrics, HistogramClampsHugeValues)
+{
+    Histogram h;
+    h.record(int64_t{1} << 60); // beyond the last bucket
+    EXPECT_EQ(h.count(), 1);
+    EXPECT_EQ(h.bucketCount(Histogram::kBuckets - 1), 1);
+}
+
+TEST(ObsMetrics, RegistryHandsOutStableNamedInstruments)
+{
+    auto &c1 = counter("test_obs.registry.counter");
+    auto &c2 = counter("test_obs.registry.counter");
+    EXPECT_EQ(&c1, &c2);
+    c1.reset();
+    c1.add(5);
+    EXPECT_EQ(c2.value(), 5);
+
+    histogram("test_obs.registry.hist").record(100);
+    bool found_counter = false, found_hist = false;
+    for (const auto &s : Registry::instance().snapshot()) {
+        if (s.name == "test_obs.registry.counter") {
+            found_counter = true;
+            EXPECT_EQ(s.value, 5);
+            EXPECT_EQ(s.kind, MetricSample::Kind::kCounter);
+        }
+        if (s.name == "test_obs.registry.hist")
+            found_hist = true;
+    }
+    EXPECT_TRUE(found_counter);
+    EXPECT_TRUE(found_hist);
+    EXPECT_NE(Registry::instance().renderText().find(
+                  "test_obs.registry.counter"),
+              std::string::npos);
+}
+
+// --- JSON ------------------------------------------------------------------
+
+TEST(ObsJson, EscapeAndBuild)
+{
+    JsonObject o;
+    o.field("s", "a\"b\\c\nd").field("n", int64_t{-7}).field("b", true);
+    EXPECT_EQ(o.str(), "{\"s\":\"a\\\"b\\\\c\\nd\",\"n\":-7,\"b\":true}");
+}
+
+TEST(ObsJson, FlatObjectRoundTrip)
+{
+    auto rec = parseFlatObject(
+        "{\"s\":\"hi\\n\",\"i\":42,\"d\":2.5,\"t\":true,\"f\":false,"
+        "\"z\":null,\"nested\":{\"dropped\":[1,2]},\"after\":\"kept\"}");
+    EXPECT_EQ(rec.at("s").str, "hi\n");
+    EXPECT_EQ(rec.at("i").asInt(), 42);
+    EXPECT_DOUBLE_EQ(rec.at("d").num, 2.5);
+    EXPECT_TRUE(rec.at("t").boolean);
+    EXPECT_FALSE(rec.at("f").boolean);
+    EXPECT_EQ(rec.at("z").kind, JsonValue::Kind::kNull);
+    EXPECT_EQ(rec.count("nested"), 0u); // nested values are skipped
+    EXPECT_EQ(rec.at("after").str, "kept");
+}
+
+TEST(ObsJson, MalformedInputThrows)
+{
+    EXPECT_THROW(parseFlatObject("{\"a\":}"), Error);
+    EXPECT_THROW(parseFlatObject("{\"a\":1"), Error);
+    EXPECT_THROW(parseFlatObject("not json"), Error);
+}
+
+// --- tracing ---------------------------------------------------------------
+
+TEST(ObsTrace, DisabledSessionWritesNothing)
+{
+    auto path = tempPath("ifprob-trace-disabled");
+    std::filesystem::remove(path);
+    {
+        TraceSession session; // no path: disabled
+        EXPECT_FALSE(session.enabled());
+        ScopedSpan span("x", "test", &session);
+        EXPECT_FALSE(span.active());
+        span.arg("k", int64_t{1});
+        session.flush();
+        EXPECT_EQ(session.eventCount(), 0u);
+    }
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(ObsTrace, GlobalSessionDisabledWithoutEnvVar)
+{
+    // ctest never sets IFPROB_TRACE; the global session must be off and
+    // spans must be free no-ops.
+    ::unsetenv("IFPROB_TRACE");
+    EXPECT_FALSE(TraceSession::global().enabled());
+    ScopedSpan span("noop");
+    EXPECT_FALSE(span.active());
+}
+
+TEST(ObsTrace, EmitsWellFormedChromeTraceEvents)
+{
+    auto path = tempPath("ifprob-trace.json");
+    {
+        TraceSession session(path.string());
+        EXPECT_TRUE(session.enabled());
+        {
+            ScopedSpan span("unit.work", "test", &session);
+            EXPECT_TRUE(span.active());
+            span.arg("items", int64_t{3});
+            span.arg("label", "abc");
+        }
+        session.emitInstant("unit.instant", "test", nowMicros(),
+                            JsonObject().field("why", "because"));
+        EXPECT_EQ(session.eventCount(), 2u);
+        session.flush();
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+
+    // The whole document parses (the traceEvents array is walked by the
+    // nested-value skipper, so imbalanced brackets/quotes would throw).
+    auto doc = parseFlatObject(text);
+    EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+
+    // And each event line is itself a valid flat object with the
+    // chrome://tracing required fields.
+    size_t events = 0;
+    for (auto line : split(text, '\n')) {
+        std::string_view t = trim(line);
+        if (!startsWith(t, "{\"name\":")) // event lines only
+            continue;
+        if (t.back() == ',')
+            t.remove_suffix(1);
+        auto ev = parseFlatObject(t);
+        ++events;
+        EXPECT_FALSE(ev.at("name").str.empty());
+        EXPECT_TRUE(ev.at("ph").str == "X" || ev.at("ph").str == "i");
+        EXPECT_GE(ev.at("ts").num, 0.0);
+        if (ev.at("ph").str == "X") {
+            EXPECT_GE(ev.at("dur").num, 0.0);
+        }
+    }
+    EXPECT_EQ(events, 2u);
+    std::filesystem::remove(path);
+}
+
+// --- run reports -----------------------------------------------------------
+
+TEST(ObsRunReport, RecordRoundTripsThroughJsonl)
+{
+    RunRecord r;
+    r.workload = "li";
+    r.dataset = "8queens";
+    r.fingerprint = "00ff00ff00ff00ff";
+    r.cache = "miss";
+    r.instructions = 123456789;
+    r.cond_branches = 2345678;
+    r.taken_branches = 1234567;
+    r.self_mispredicts = 98765;
+    r.instr_per_mispredict = 1249.9;
+    r.compile_micros = 1500;
+    r.execute_micros = 250000;
+
+    std::string line = renderRunRecord(r);
+    RunRecord back = parseRunRecord(line);
+    EXPECT_EQ(back.workload, r.workload);
+    EXPECT_EQ(back.dataset, r.dataset);
+    EXPECT_EQ(back.fingerprint, r.fingerprint);
+    EXPECT_EQ(back.cache, r.cache);
+    EXPECT_EQ(back.instructions, r.instructions);
+    EXPECT_EQ(back.cond_branches, r.cond_branches);
+    EXPECT_EQ(back.taken_branches, r.taken_branches);
+    EXPECT_EQ(back.self_mispredicts, r.self_mispredicts);
+    EXPECT_DOUBLE_EQ(back.instr_per_mispredict, r.instr_per_mispredict);
+    EXPECT_EQ(back.compile_micros, r.compile_micros);
+    EXPECT_EQ(back.execute_micros, r.execute_micros);
+}
+
+TEST(ObsRunReport, WrongSchemaIsRejected)
+{
+    EXPECT_THROW(parseRunRecord("{\"schema\":\"ifprob.run.v999\"}"),
+                 Error);
+    EXPECT_THROW(parseRunRecord("{\"workload\":\"li\"}"), Error);
+}
+
+TEST(ObsRunReport, SinkAppendsJsonlLines)
+{
+    auto dir = tempPath("ifprob-report");
+    std::filesystem::remove_all(dir);
+    std::string path = (dir / "run_report.jsonl").string();
+    {
+        ReportSink sink(path);
+        EXPECT_TRUE(sink.enabled());
+        RunRecord r;
+        r.workload = "w";
+        r.dataset = "d";
+        r.cache = "miss";
+        r.instructions = 10;
+        sink.write(r);
+        sink.write(r);
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        RunRecord back = parseRunRecord(line);
+        EXPECT_EQ(back.workload, "w");
+        EXPECT_EQ(back.instructions, 10);
+    }
+    EXPECT_EQ(lines, 2u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ObsRunReport, DisabledSinkWritesNoFile)
+{
+    ReportSink sink;
+    EXPECT_FALSE(sink.enabled());
+    RunRecord r;
+    r.workload = "w";
+    sink.write(r); // must not crash or create anything
+}
+
+// --- TextTable JSONL mirror ------------------------------------------------
+
+TEST(ObsTable, RenderJsonlMirrorsRows)
+{
+    metrics::TextTable table;
+    table.setHeader({"program", "value"});
+    table.addRow({"li", "1,234"});
+    table.addRule(); // skipped in JSONL
+    table.addRow({"mcc", "5"});
+    std::string jsonl = table.renderJsonl("unit_table");
+    auto lines = split(jsonl, '\n');
+    ASSERT_GE(lines.size(), 2u);
+    auto first = parseFlatObject(lines[0]);
+    EXPECT_EQ(first.at("schema").str, kTableRecordSchema);
+    EXPECT_EQ(first.at("table").str, "unit_table");
+    EXPECT_EQ(first.at("program").str, "li");
+    EXPECT_EQ(first.at("value").str, "1,234");
+    auto second = parseFlatObject(lines[1]);
+    EXPECT_EQ(second.at("program").str, "mcc");
+}
+
+// --- Runner cache accounting ------------------------------------------------
+
+class RunnerCacheStatsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = tempPath("ifprob-obs-cache");
+        std::filesystem::remove_all(dir_);
+        ::setenv("IFPROB_CACHE", dir_.c_str(), 1);
+    }
+
+    void TearDown() override
+    {
+        ::unsetenv("IFPROB_CACHE");
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(RunnerCacheStatsTest, HitsMissesAndFailuresAreSurfaced)
+{
+    {
+        harness::Runner runner;
+        runner.stats("mcc", "c_metric");
+        EXPECT_EQ(runner.cacheStats().hits, 0);
+        EXPECT_EQ(runner.cacheStats().misses, 1);
+        EXPECT_EQ(runner.cacheStats().read_failures, 0);
+        EXPECT_GT(runner.cacheStats().bytes_written, 0);
+    }
+    {
+        harness::Runner runner;
+        runner.stats("mcc", "c_metric");
+        EXPECT_EQ(runner.cacheStats().hits, 1);
+        EXPECT_EQ(runner.cacheStats().misses, 0);
+        EXPECT_GT(runner.cacheStats().bytes_read, 0);
+        // Memoized second lookup does not touch the disk again.
+        runner.stats("mcc", "c_metric");
+        EXPECT_EQ(runner.cacheStats().hits, 1);
+    }
+    // Corrupt the entry: the Runner must re-run AND record the failure.
+    for (auto &entry : std::filesystem::directory_iterator(dir_)) {
+        std::ofstream out(entry.path(), std::ios::trunc);
+        out << "garbage";
+    }
+    harness::Runner runner;
+    const auto &stats = runner.stats("mcc", "c_metric");
+    EXPECT_GT(stats.instructions, 0);
+    EXPECT_EQ(runner.cacheStats().read_failures, 1);
+    ASSERT_EQ(runner.cacheStats().failures.size(), 1u);
+    EXPECT_NE(runner.cacheStats().failures[0].find("mcc"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace ifprob::obs

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * obsreport — aggregate "ifprob.run.v1" JSONL run reports (emitted by
+ * the bench binaries under bench/out/, see docs/observability.md) into
+ * a human-readable summary table and a machine-readable
+ * BENCH_report.json for tracking the perf trajectory across PRs.
+ *
+ *   $ build/tools/obsreport bench/out/run_report.jsonl
+ *   $ build/tools/obsreport -o BENCH_report.json bench/out/more.jsonl
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/report.h"
+#include "obs/json.h"
+#include "obs/run_report.h"
+#include "support/error.h"
+#include "support/str.h"
+
+using namespace ifprob;
+
+namespace {
+
+/** Aggregated view of every run record mentioning one workload. */
+struct WorkloadAgg
+{
+    int64_t runs = 0;
+    std::map<std::string, int64_t> datasets; ///< dataset -> record count
+    int64_t instructions = 0;
+    int64_t cond_branches = 0;
+    int64_t self_mispredicts = 0;
+    int64_t compile_micros = 0;
+    int64_t execute_micros = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+    int64_t cache_errors = 0;
+
+    double perMispredict() const
+    {
+        return static_cast<double>(instructions) /
+               static_cast<double>(std::max<int64_t>(self_mispredicts, 1));
+    }
+};
+
+struct Totals
+{
+    int64_t run_records = 0;
+    int64_t table_records = 0;
+    int64_t skipped_records = 0;
+    int64_t parse_errors = 0;
+};
+
+std::string
+usage()
+{
+    return "usage: obsreport [-o BENCH_report.json] run_report.jsonl...\n"
+           "  Aggregates ifprob.run.v1 JSONL records (one line per\n"
+           "  workload/dataset execution) into a summary table on stdout\n"
+           "  and a machine-readable JSON report.\n";
+}
+
+void
+consumeLine(const std::string &line,
+            std::map<std::string, WorkloadAgg> &workloads, Totals &totals)
+{
+    std::string_view trimmed = trim(line);
+    if (trimmed.empty())
+        return;
+    obs::JsonRecord rec;
+    try {
+        rec = obs::parseFlatObject(trimmed);
+    } catch (const Error &) {
+        ++totals.parse_errors;
+        return;
+    }
+    auto schema_it = rec.find("schema");
+    std::string schema =
+        schema_it != rec.end() ? schema_it->second.str : "";
+    if (schema == obs::kTableRecordSchema) {
+        ++totals.table_records; // tables are pass-through context
+        return;
+    }
+    if (schema != obs::kRunRecordSchema) {
+        ++totals.skipped_records;
+        return;
+    }
+    obs::RunRecord r;
+    try {
+        r = obs::parseRunRecord(trimmed);
+    } catch (const Error &) {
+        ++totals.parse_errors;
+        return;
+    }
+    ++totals.run_records;
+    WorkloadAgg &agg = workloads[r.workload];
+    ++agg.runs;
+    ++agg.datasets[r.dataset];
+    agg.instructions += r.instructions;
+    agg.cond_branches += r.cond_branches;
+    agg.self_mispredicts += r.self_mispredicts;
+    agg.compile_micros += r.compile_micros;
+    agg.execute_micros += r.execute_micros;
+    if (r.cache == "hit")
+        ++agg.cache_hits;
+    else if (r.cache == "error")
+        ++agg.cache_errors;
+    else
+        ++agg.cache_misses; // "miss" and "off" both mean "had to run"
+}
+
+std::string
+renderJsonReport(const std::vector<std::string> &files,
+                 const std::map<std::string, WorkloadAgg> &workloads,
+                 const Totals &totals)
+{
+    std::string files_json = "[";
+    for (size_t i = 0; i < files.size(); ++i) {
+        if (i)
+            files_json += ",";
+        files_json += "\"" + obs::jsonEscape(files[i]) + "\"";
+    }
+    files_json += "]";
+
+    WorkloadAgg grand;
+    std::string workloads_json = "[";
+    bool first = true;
+    for (const auto &[name, agg] : workloads) {
+        obs::JsonObject w;
+        w.field("workload", name)
+            .field("datasets", static_cast<int64_t>(agg.datasets.size()))
+            .field("runs", agg.runs)
+            .field("instructions", agg.instructions)
+            .field("cond_branches", agg.cond_branches)
+            .field("self_mispredicts", agg.self_mispredicts)
+            .field("instr_per_mispredict", agg.perMispredict())
+            .field("compile_micros", agg.compile_micros)
+            .field("execute_micros", agg.execute_micros)
+            .field("cache_hits", agg.cache_hits)
+            .field("cache_misses", agg.cache_misses)
+            .field("cache_errors", agg.cache_errors);
+        if (!first)
+            workloads_json += ",";
+        first = false;
+        workloads_json += "\n  " + w.str();
+        grand.runs += agg.runs;
+        grand.instructions += agg.instructions;
+        grand.cond_branches += agg.cond_branches;
+        grand.self_mispredicts += agg.self_mispredicts;
+        grand.compile_micros += agg.compile_micros;
+        grand.execute_micros += agg.execute_micros;
+        grand.cache_hits += agg.cache_hits;
+        grand.cache_misses += agg.cache_misses;
+        grand.cache_errors += agg.cache_errors;
+    }
+    workloads_json += "\n]";
+
+    obs::JsonObject totals_json;
+    totals_json.field("runs", grand.runs)
+        .field("instructions", grand.instructions)
+        .field("cond_branches", grand.cond_branches)
+        .field("self_mispredicts", grand.self_mispredicts)
+        .field("instr_per_mispredict", grand.perMispredict())
+        .field("compile_micros", grand.compile_micros)
+        .field("execute_micros", grand.execute_micros)
+        .field("cache_hits", grand.cache_hits)
+        .field("cache_misses", grand.cache_misses)
+        .field("cache_errors", grand.cache_errors)
+        .field("table_records", totals.table_records)
+        .field("skipped_records", totals.skipped_records)
+        .field("parse_errors", totals.parse_errors);
+
+    obs::JsonObject report;
+    report.field("schema", "ifprob.bench_report.v1")
+        .fieldRaw("source_files", files_json)
+        .fieldRaw("workloads", workloads_json)
+        .fieldRaw("totals", totals_json.str());
+    return report.str() + "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_report.json";
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "-h") == 0 ||
+                   std::strcmp(argv[i], "--help") == 0) {
+            std::printf("%s", usage().c_str());
+            return 0;
+        } else {
+            files.push_back(argv[i]);
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "%s", usage().c_str());
+        return 2;
+    }
+
+    std::map<std::string, WorkloadAgg> workloads;
+    Totals totals;
+    for (const auto &file : files) {
+        std::ifstream in(file);
+        if (!in) {
+            std::fprintf(stderr, "obsreport: cannot open %s\n",
+                         file.c_str());
+            return 1;
+        }
+        std::string line;
+        while (std::getline(in, line))
+            consumeLine(line, workloads, totals);
+    }
+
+    metrics::TextTable table;
+    table.setHeader({"workload", "runs", "instructions", "branches",
+                     "instrs/mispredict", "compile ms", "execute ms",
+                     "cache hit/miss/err"});
+    for (const auto &[name, agg] : workloads) {
+        table.addRow(
+            {name, strPrintf("%lld", static_cast<long long>(agg.runs)),
+             withCommas(agg.instructions), withCommas(agg.cond_branches),
+             strPrintf("%.1f", agg.perMispredict()),
+             strPrintf("%.1f",
+                       static_cast<double>(agg.compile_micros) / 1000.0),
+             strPrintf("%.1f",
+                       static_cast<double>(agg.execute_micros) / 1000.0),
+             strPrintf("%lld/%lld/%lld",
+                       static_cast<long long>(agg.cache_hits),
+                       static_cast<long long>(agg.cache_misses),
+                       static_cast<long long>(agg.cache_errors))});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\n%lld run records, %lld table records, %lld skipped, "
+                "%lld parse errors\n",
+                static_cast<long long>(totals.run_records),
+                static_cast<long long>(totals.table_records),
+                static_cast<long long>(totals.skipped_records),
+                static_cast<long long>(totals.parse_errors));
+
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "obsreport: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    out << renderJsonReport(files, workloads, totals);
+    std::printf("wrote %s\n", out_path.c_str());
+    return totals.run_records > 0 ? 0 : 1;
+}
