@@ -2,13 +2,68 @@
 #define IFPROB_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "exec/pool.h"
 #include "metrics/report.h"
+#include "obs/metrics.h"
 #include "obs/run_report.h"
+#include "obs/trace.h"
 #include "support/str.h"
 
 namespace ifprob::bench {
+
+namespace detail {
+/** Wall-clock origin for the speedup footer, set by initJobs(). */
+inline int64_t &
+startMicros()
+{
+    static int64_t t = 0;
+    return t;
+}
+} // namespace detail
+
+/**
+ * Shared `--jobs N` / `-j N` parser for the bench binaries. Call first
+ * thing in main(); it configures the process-wide exec pool (the flag
+ * wins over the IFPROB_JOBS environment variable, which wins over
+ * hardware concurrency) and starts the wall clock for footer(). Returns
+ * the effective job count. Exits with a usage message on a malformed
+ * flag.
+ */
+inline int
+initJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            value = arg + 7;
+        } else if (std::strcmp(arg, "--jobs") == 0 ||
+                   std::strcmp(arg, "-j") == 0) {
+            if (i + 1 < argc)
+                value = argv[++i];
+        } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+            value = arg + 2;
+        } else {
+            continue;
+        }
+        int jobs = value ? std::atoi(value) : 0;
+        if (jobs < 1) {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N]\n  N >= 1 worker threads "
+                         "for the experiment matrix (default: "
+                         "IFPROB_JOBS, else hardware concurrency)\n",
+                         argv[0]);
+            std::exit(2);
+        }
+        exec::setPlannedJobs(jobs);
+    }
+    detail::startMicros() = obs::nowMicros();
+    return exec::plannedJobs();
+}
 
 /**
  * Standard banner so the concatenated bench output reads as a report.
@@ -24,6 +79,34 @@ heading(const char *experiment, const char *paper_ref, const char *what)
     std::string bar(78, '=');
     std::printf("\n%s\n%s  [%s]\n%s\n%s\n\n", bar.c_str(), experiment,
                 paper_ref, what, bar.c_str());
+}
+
+/**
+ * Parallel-run footer: effective job count plus the estimated speedup
+ * versus a serial run (total busy time across workers over wall
+ * clock — work-conservation makes busy time the serial estimate). On a
+ * machine with fewer cores than jobs the ratio measures in-flight
+ * concurrency, not achieved speedup (threads accumulate busy time
+ * while descheduled), hence "est.". Prints nothing when jobs == 1, so
+ * serial output stays byte-identical to the historical single-threaded
+ * harness.
+ */
+inline void
+footer()
+{
+    int jobs = exec::plannedJobs();
+    if (jobs <= 1)
+        return;
+    double wall = static_cast<double>(obs::nowMicros() -
+                                      detail::startMicros()) /
+                  1e6;
+    double busy = static_cast<double>(
+                      obs::counter("exec.busy_micros").value()) /
+                  1e6;
+    double speedup = wall > 0.0 ? busy / wall : 0.0;
+    std::printf("[jobs=%d  busy %.2fs over %.2fs wall  ~%.2fx est. "
+                "speedup vs serial]\n\n",
+                jobs, busy, wall, speedup);
 }
 
 /** Print a table and mirror its rows into the JSONL run report. */

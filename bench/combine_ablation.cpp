@@ -15,8 +15,9 @@
 using namespace ifprob;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Combination-strategy ablation",
                    "Fisher & Freudenberger 1992, §3 informal observations",
                    "Combining the other datasets' profiles: unscaled raw "
@@ -45,5 +46,6 @@ main()
                 "polling=%.1f\n\n",
                 std::exp(scaled_sum / n), std::exp(unscaled_sum / n),
                 std::exp(polling_sum / n));
+    bench::footer();
     return 0;
 }

@@ -48,8 +48,9 @@ pearson(const std::vector<double> &x, const std::vector<double> &y)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Coverage vs direction-flip analysis",
                    "Fisher & Freudenberger 1992, §3 \"Coverage\"",
                    "For every predictor/target pair: prediction loss "
@@ -91,5 +92,6 @@ main()
                 pearson(loss, gap));
     std::printf("  corr(prediction loss, direction flips)   = %+.2f\n\n",
                 pearson(loss, flips));
+    bench::footer();
     return 0;
 }

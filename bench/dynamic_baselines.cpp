@@ -21,8 +21,9 @@
 using namespace ifprob;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Dynamic baselines (1-bit / 2-bit)",
                    "Smith 81 / Lee & Smith 84 cross-check",
                    "Percent of conditional branches correctly predicted. "
@@ -76,5 +77,6 @@ main()
                       strPrintf("%.1f%%", others_pct)});
     }
     std::printf("%s\n", table.render().c_str());
+    bench::footer();
     return 0;
 }

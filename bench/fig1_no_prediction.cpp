@@ -43,8 +43,9 @@ render(const std::vector<harness::Fig1Row> &rows, bool fortran_like,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Figure 1a / 1b", "Fisher & Freudenberger 1992, Fig 1",
                    "Instructions per break in control, branches NOT "
                    "predicted.\nPaper shape: fpppp ~150-170; other FORTRAN "
@@ -55,5 +56,6 @@ main()
     auto rows = harness::figure1(runner);
     render(rows, true, "Figure 1a: FORTRAN / floating point");
     render(rows, false, "Figure 1b: C / integer");
+    bench::footer();
     return 0;
 }

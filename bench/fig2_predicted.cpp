@@ -51,8 +51,9 @@ render(const std::vector<harness::Fig2Row> &rows, bool spice_only)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Figure 2a / 2b", "Fisher & Freudenberger 1992, Fig 2",
                    "Instructions per mispredicted branch. Paper shape: "
                    "spice predicts much\nworse across datasets but stays "
@@ -63,5 +64,6 @@ main()
     auto rows = harness::figure2(runner);
     render(rows, /*spice_only=*/true);
     render(rows, /*spice_only=*/false);
+    bench::footer();
     return 0;
 }

@@ -41,8 +41,9 @@ render(const std::vector<harness::Fig3Row> &rows, bool spice_only)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Figure 3a / 3b", "Fisher & Freudenberger 1992, Fig 3",
                    "Best and worst single-dataset predictors as % of the "
                    "self-prediction bound.\nPaper shape: worst cases "
@@ -53,5 +54,6 @@ main()
     auto rows = harness::figure3(runner);
     render(rows, /*spice_only=*/true);
     render(rows, /*spice_only=*/false);
+    bench::footer();
     return 0;
 }

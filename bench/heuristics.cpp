@@ -15,8 +15,9 @@
 using namespace ifprob;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Heuristics vs profile feedback",
                    "Fisher & Freudenberger 1992, §3 informal observations",
                    "Static heuristics (loop/non-loop, opcode rules) "
@@ -48,5 +49,6 @@ main()
     std::printf("geomean-ish (arith mean) profile advantage over best "
                 "heuristic: %.2fx\n\n",
                 ratio_sum / ratio_count);
+    bench::footer();
     return 0;
 }

@@ -22,8 +22,9 @@
 using namespace ifprob;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Inlining vs call/return breaks",
                    "Fisher & Freudenberger 1992, §2 (calls and returns)",
                    "Instructions per break with direct calls/returns "
@@ -74,5 +75,6 @@ main()
                       strPrintf("%.0f%%", removed)});
     }
     std::printf("%s\n", table.render().c_str());
+    bench::footer();
     return 0;
 }

@@ -21,8 +21,9 @@
 using namespace ifprob;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Profile-guided code layout",
                    "Fisher & Freudenberger 1992, §2 (avoidable jumps)",
                    "Dynamic unconditional jumps per 1000 instructions, "
@@ -79,5 +80,6 @@ main()
                       strPrintf("%.0f%%", removed)});
     }
     std::printf("%s\n", table.render().c_str());
+    bench::footer();
     return 0;
 }

@@ -113,8 +113,9 @@ compressVsUncompress(harness::Runner &runner)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Informal observations",
                    "Fisher & Freudenberger 1992, §3",
                    "The fpppp/li percent-correct anomaly, percent-taken "
@@ -124,5 +125,6 @@ main()
     fppppVsLi(runner);
     takenConstancy(runner);
     compressVsUncompress(runner);
+    bench::footer();
     return 0;
 }

@@ -21,8 +21,9 @@
 using namespace ifprob;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Run-length distribution between breaks",
                    "Fisher & Freudenberger 1992, §3 (ILP candidate sets)",
                    "Instructions between consecutive breaks under "
@@ -56,5 +57,6 @@ main()
                                 100.0 * s.fractionInRunsAtLeast(64))});
     }
     std::printf("%s\n", table.render().c_str());
+    bench::footer();
     return 0;
 }

@@ -8,10 +8,13 @@
  * what turning the lowering off does to branch counts and
  * predictability.
  */
+#include <array>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "compiler/pipeline.h"
+#include "exec/pool.h"
 #include "harness/runner.h"
 #include "metrics/breaks.h"
 #include "metrics/report.h"
@@ -23,8 +26,9 @@
 using namespace ifprob;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("SELECT lowering ablation",
                    "Fisher & Freudenberger 1992, footnote 2",
                    "Simple ?: expressions compile to SELECT (branch-free)."
@@ -37,11 +41,12 @@ main()
     harness::Runner on(with_select);
     harness::Runner off(without_select);
 
-    metrics::TextTable table;
-    table.setHeader({"program", "dataset", "selects (% of instrs)",
-                     "branches (+select off)", "instrs/break on",
-                     "instrs/break off"});
-    for (const auto &w : workloads::all()) {
+    // One job per workload: each compiles (once per Runner) and runs
+    // the primary dataset under both configurations.
+    const auto &all = workloads::all();
+    std::vector<std::array<std::string, 6>> rows(all.size());
+    exec::parallelFor(exec::globalPool(), all.size(), [&](size_t i) {
+        const auto &w = all[i];
         const std::string &dataset = w.datasets.front().name;
         const auto &stats_on = on.stats(w.name, dataset);
         const auto &stats_off = off.stats(w.name, dataset);
@@ -63,13 +68,20 @@ main()
             100.0 * (static_cast<double>(stats_off.cond_branches) /
                          static_cast<double>(stats_on.cond_branches) -
                      1.0);
-        table.addRow(
-            {w.name, dataset, strPrintf("%.2f%%", pct_selects),
-             strPrintf("+%.1f%%", extra_branches),
-             bench::perBreak(self_per_break(on, w.name, stats_on)),
-             bench::perBreak(
-                 self_per_break(off, w.name, stats_off))});
-    }
+        rows[i] = {w.name, dataset, strPrintf("%.2f%%", pct_selects),
+                   strPrintf("+%.1f%%", extra_branches),
+                   bench::perBreak(self_per_break(on, w.name, stats_on)),
+                   bench::perBreak(
+                       self_per_break(off, w.name, stats_off))};
+    });
+
+    metrics::TextTable table;
+    table.setHeader({"program", "dataset", "selects (% of instrs)",
+                     "branches (+select off)", "instrs/break on",
+                     "instrs/break off"});
+    for (const auto &r : rows)
+        table.addRow({r[0], r[1], r[2], r[3], r[4], r[5]});
     std::printf("%s\n", table.render().c_str());
+    bench::footer();
     return 0;
 }

@@ -15,8 +15,9 @@
 using namespace ifprob;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Table 1", "Fisher & Freudenberger 1992, Table 1",
                    "Dynamic dead code that DCE would have eliminated "
                    "(experiments run with DCE\noff, as in the paper). "
@@ -29,5 +30,6 @@ main()
         table.addRow({row.program,
                       strPrintf("%.1f%%", 100.0 * row.dead_fraction)});
     std::printf("%s\n", table.render().c_str());
+    bench::footer();
     return 0;
 }

@@ -13,8 +13,9 @@
 using namespace ifprob;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Table 3", "Fisher & Freudenberger 1992, Table 3",
                    "Instructions per break, FORTRAN programs with little "
                    "dataset variability.\nPaper values: tomcatv 7461, "
@@ -43,5 +44,6 @@ main()
         }
     }
     std::printf("%s\n", table.render().c_str());
+    bench::footer();
     return 0;
 }

@@ -21,8 +21,9 @@
 using namespace ifprob;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initJobs(argc, argv);
     bench::heading("Trace selection: feedback vs heuristics",
                    "Chang/Mahlke/Hwu 92 cross-check (paper related work)",
                    "Estimated dynamic instructions per trace exit from greedy\n"
@@ -66,5 +67,6 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("geomean feedback advantage over backward-taken: %.2fx\n\n",
                 std::exp(log_ratio_sum / count));
+    bench::footer();
     return 0;
 }

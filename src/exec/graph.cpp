@@ -1,0 +1,143 @@
+#include "exec/graph.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/error.h"
+
+namespace ifprob::exec {
+
+Graph::NodeId
+Graph::add(std::string name, std::function<void()> fn,
+           std::vector<NodeId> deps)
+{
+    for (NodeId dep : deps) {
+        if (dep >= nodes_.size())
+            throw Error("graph node '" + name + "' depends on #" +
+                        std::to_string(dep) + ", which does not exist yet");
+    }
+    nodes_.push_back(Node{std::move(name), std::move(fn), std::move(deps)});
+    return nodes_.size() - 1;
+}
+
+namespace {
+
+/** Shared bookkeeping for one Graph::run(). */
+struct RunState
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<int> pending;        ///< unfinished deps per node
+    std::vector<std::vector<size_t>> successors;
+    std::vector<char> skip;          ///< dependency failed: never run
+    size_t remaining = 0;            ///< nodes not yet finished/skipped
+    size_t skipped = 0;
+    std::exception_ptr error;        ///< failure of lowest-numbered node
+    size_t error_node = SIZE_MAX;
+};
+
+} // namespace
+
+void
+Graph::run(Pool &pool)
+{
+    if (ran_)
+        throw Error("exec::Graph::run() called twice");
+    ran_ = true;
+    skipped_ = 0;
+    if (nodes_.empty())
+        return;
+    obs::counter("exec.graph_nodes").add(static_cast<int64_t>(nodes_.size()));
+
+    auto state = std::make_shared<RunState>();
+    state->pending.resize(nodes_.size(), 0);
+    state->successors.resize(nodes_.size());
+    state->skip.resize(nodes_.size(), 0);
+    state->remaining = nodes_.size();
+    for (size_t id = 0; id < nodes_.size(); ++id) {
+        state->pending[id] = static_cast<int>(nodes_[id].deps.size());
+        for (NodeId dep : nodes_[id].deps)
+            state->successors[dep].push_back(id);
+    }
+
+    // finished(id, ok) marks one node complete and returns the ids that
+    // just became ready to schedule (in id order, for determinism on an
+    // inline pool). Skipped dependents are retired here recursively.
+    std::function<std::vector<size_t>(size_t, bool)> finished =
+        [&](size_t id, bool ok) {
+            std::vector<size_t> ready;
+            std::lock_guard<std::mutex> lock(state->mu);
+            std::vector<size_t> retire{id};
+            bool first_ok = ok;
+            while (!retire.empty()) {
+                size_t cur = retire.back();
+                retire.pop_back();
+                bool cur_ok = (cur == id) ? first_ok : false;
+                --state->remaining;
+                for (size_t succ : state->successors[cur]) {
+                    if (!cur_ok)
+                        state->skip[succ] = 1;
+                    if (--state->pending[succ] > 0)
+                        continue;
+                    if (state->skip[succ]) {
+                        ++state->skipped;
+                        retire.push_back(succ);
+                    } else {
+                        ready.push_back(succ);
+                    }
+                }
+            }
+            if (state->remaining == 0)
+                state->cv.notify_all();
+            return ready;
+        };
+
+    std::function<void(size_t)> schedule = [&](size_t id) {
+        pool.submit([&, id] {
+            std::exception_ptr error;
+            {
+                obs::ScopedSpan span(nodes_[id].name, "exec");
+                if (span.active())
+                    span.arg("node", static_cast<int64_t>(id));
+                try {
+                    nodes_[id].fn();
+                } catch (...) {
+                    error = std::current_exception();
+                }
+            }
+            if (error) {
+                std::lock_guard<std::mutex> lock(state->mu);
+                if (id < state->error_node) {
+                    state->error_node = id;
+                    state->error = error;
+                }
+            }
+            for (size_t next : finished(id, error == nullptr))
+                schedule(next);
+        });
+    };
+
+    std::vector<size_t> roots;
+    for (size_t id = 0; id < nodes_.size(); ++id) {
+        if (state->pending[id] == 0)
+            roots.push_back(id);
+    }
+    for (size_t id : roots)
+        schedule(id);
+
+    {
+        std::unique_lock<std::mutex> lock(state->mu);
+        state->cv.wait(lock, [&] { return state->remaining == 0; });
+        skipped_ = state->skipped;
+    }
+    if (skipped_ > 0)
+        obs::counter("exec.graph_skipped")
+            .add(static_cast<int64_t>(skipped_));
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace ifprob::exec

@@ -1,0 +1,75 @@
+#ifndef IFPROB_EXEC_GRAPH_H
+#define IFPROB_EXEC_GRAPH_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/pool.h"
+
+namespace ifprob::exec {
+
+/**
+ * Dependency-aware job graph. Nodes are added with explicit
+ * dependencies on previously-added nodes (so the graph is acyclic by
+ * construction), then run() executes every node on a Pool, releasing a
+ * node as soon as its last dependency finishes — no global barrier
+ * between "stages", so cheap downstream nodes of one workload overlap
+ * expensive upstream nodes of another.
+ *
+ * The experiment matrix is the motivating shape: one node per
+ * (workload, dataset) run, then per-row nodes that need every dataset
+ * of their workload (the paper's cross-dataset predictors) depending
+ * on exactly those runs.
+ *
+ * Failure semantics: a throwing node marks its transitive dependents
+ * skipped (they never run); independent subgraphs still complete.
+ * run() then rethrows the failure of the lowest-numbered failing node,
+ * so error reporting is deterministic regardless of schedule. On an
+ * inline pool (jobs == 1) nodes execute depth-first from the roots in
+ * id order — a deterministic topological order, so serial runs are
+ * exactly reproducible.
+ */
+class Graph
+{
+  public:
+    using NodeId = size_t;
+
+    /**
+     * Add a node. @p name labels the node's trace span and error text;
+     * @p deps must all be ids returned by earlier add() calls (throws
+     * ifprob::Error otherwise).
+     */
+    NodeId add(std::string name, std::function<void()> fn,
+               std::vector<NodeId> deps = {});
+
+    size_t size() const { return nodes_.size(); }
+
+    /**
+     * Execute the whole graph on @p pool and block until every node has
+     * finished or been skipped. Rethrows the lowest-numbered node
+     * failure, if any. A Graph is single-shot: run() may only be called
+     * once.
+     */
+    void run(Pool &pool);
+
+    /** Nodes skipped by the last run() because a dependency failed. */
+    size_t skipped() const { return skipped_; }
+
+  private:
+    struct Node
+    {
+        std::string name;
+        std::function<void()> fn;
+        std::vector<NodeId> deps;
+    };
+
+    std::vector<Node> nodes_;
+    size_t skipped_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace ifprob::exec
+
+#endif // IFPROB_EXEC_GRAPH_H

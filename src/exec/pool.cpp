@@ -1,0 +1,350 @@
+#include "exec/pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::exec {
+
+namespace detail {
+
+struct JobState
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;
+};
+
+} // namespace detail
+
+bool
+Job::done() const
+{
+    if (!state_)
+        return true;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+}
+
+void
+Job::wait() const
+{
+    if (!state_)
+        return;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+void
+Job::get() const
+{
+    wait();
+    if (state_ && state_->error)
+        std::rethrow_exception(state_->error);
+}
+
+namespace {
+
+struct Task
+{
+    std::function<void()> fn;
+    std::string name; ///< trace span name; empty = "exec.job"
+    std::shared_ptr<detail::JobState> state;
+    int64_t submit_micros = 0;
+};
+
+void
+finishJob(detail::JobState &state, std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.error = std::move(error);
+    state.done = true;
+    state.cv.notify_all();
+}
+
+/** Instrument references resolved once per pool, off the hot path. */
+struct PoolMetrics
+{
+    obs::Gauge &queue_depth = obs::gauge("exec.queue_depth");
+    obs::Counter &submitted = obs::counter("exec.jobs_submitted");
+    obs::Counter &completed = obs::counter("exec.jobs_completed");
+    obs::Counter &steals = obs::counter("exec.steals");
+    obs::Counter &busy = obs::counter("exec.busy_micros");
+    obs::Histogram &wait_hist = obs::histogram("exec.job_wait_micros");
+    obs::Histogram &run_hist = obs::histogram("exec.job_run_micros");
+};
+
+} // namespace
+
+struct Pool::Impl
+{
+    struct Worker
+    {
+        std::mutex mu;
+        std::deque<Task> queue;
+        obs::Counter *jobs = nullptr;
+        obs::Counter *busy_micros = nullptr;
+        std::thread thread;
+    };
+
+    PoolMetrics metrics;
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::mutex wait_mu;           ///< guards the two condition variables
+    std::condition_variable work_cv;  ///< idle workers sleep here
+    std::condition_variable drain_cv; ///< drain() sleeps here
+    std::atomic<size_t> queued{0};    ///< tasks sitting in a deque
+    std::atomic<size_t> inflight{0};  ///< queued + currently running
+    std::atomic<size_t> next{0};      ///< round-robin submit cursor
+    std::atomic<bool> stop{false};
+
+    void workerLoop(int index);
+    void runTask(Worker &me, int index, Task &&task);
+};
+
+void
+Pool::Impl::runTask(Worker &me, int index, Task &&task)
+{
+    const int64_t start = obs::nowMicros();
+    metrics.wait_hist.record(start - task.submit_micros);
+    std::exception_ptr error;
+    {
+        obs::ScopedSpan span(task.name.empty() ? "exec.job"
+                                               : task.name.c_str(),
+                             "exec");
+        if (span.active()) {
+            // One trace lane per worker (tid 1 is the main thread), so
+            // Perfetto shows the matrix fanning out across workers.
+            span.tid(index + 2);
+            span.arg("worker", int64_t{index});
+        }
+        try {
+            task.fn();
+        } catch (...) {
+            error = std::current_exception();
+        }
+    }
+    const int64_t micros = obs::nowMicros() - start;
+    metrics.busy.add(micros);
+    metrics.run_hist.record(micros);
+    me.busy_micros->add(micros);
+    me.jobs->add(1);
+    metrics.completed.add(1);
+    finishJob(*task.state, std::move(error));
+    if (inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(wait_mu);
+        drain_cv.notify_all();
+    }
+}
+
+void
+Pool::Impl::workerLoop(int index)
+{
+    Worker &me = *workers[index];
+    const size_t n = workers.size();
+    for (;;) {
+        Task task;
+        bool have = false;
+        {
+            std::lock_guard<std::mutex> lock(me.mu);
+            if (!me.queue.empty()) {
+                task = std::move(me.queue.front());
+                me.queue.pop_front();
+                have = true;
+            }
+        }
+        // Steal from the back of a sibling's deque (oldest work first).
+        for (size_t k = 1; !have && k < n; ++k) {
+            Worker &victim = *workers[(index + k) % n];
+            std::lock_guard<std::mutex> lock(victim.mu);
+            if (!victim.queue.empty()) {
+                task = std::move(victim.queue.back());
+                victim.queue.pop_back();
+                have = true;
+                metrics.steals.add(1);
+            }
+        }
+        if (!have) {
+            std::unique_lock<std::mutex> lock(wait_mu);
+            if (stop.load(std::memory_order_acquire) &&
+                queued.load(std::memory_order_acquire) == 0)
+                return;
+            work_cv.wait(lock, [&] {
+                return queued.load(std::memory_order_acquire) > 0 ||
+                       stop.load(std::memory_order_acquire);
+            });
+            continue;
+        }
+        queued.fetch_sub(1, std::memory_order_acq_rel);
+        metrics.queue_depth.set(
+            static_cast<int64_t>(queued.load(std::memory_order_relaxed)));
+        runTask(me, index, std::move(task));
+    }
+}
+
+Pool::Pool(int jobs) : jobs_(jobs < 1 ? 1 : jobs)
+{
+    if (jobs_ == 1)
+        return; // inline mode: no threads, no queues
+    impl_ = std::make_unique<Impl>();
+    impl_->workers.reserve(static_cast<size_t>(jobs_));
+    for (int i = 0; i < jobs_; ++i) {
+        auto worker = std::make_unique<Impl::Worker>();
+        worker->jobs = &obs::counter(strPrintf("exec.worker.%d.jobs", i));
+        worker->busy_micros =
+            &obs::counter(strPrintf("exec.worker.%d.busy_micros", i));
+        impl_->workers.push_back(std::move(worker));
+    }
+    for (int i = 0; i < jobs_; ++i)
+        impl_->workers[static_cast<size_t>(i)]->thread =
+            std::thread([this, i] { impl_->workerLoop(i); });
+}
+
+Pool::~Pool()
+{
+    if (!impl_)
+        return;
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(impl_->wait_mu);
+        impl_->stop.store(true, std::memory_order_release);
+        impl_->work_cv.notify_all();
+    }
+    for (auto &worker : impl_->workers)
+        worker->thread.join();
+}
+
+int
+Pool::workers() const
+{
+    return impl_ ? static_cast<int>(impl_->workers.size()) : 0;
+}
+
+Job
+Pool::submit(std::function<void()> fn)
+{
+    auto state = std::make_shared<detail::JobState>();
+    if (!impl_) {
+        // Inline mode: run now, in submission order, on this thread —
+        // bit-for-bit the historical serial harness.
+        PoolMetrics metrics;
+        metrics.submitted.add(1);
+        const int64_t start = obs::nowMicros();
+        std::exception_ptr error;
+        try {
+            fn();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        const int64_t micros = obs::nowMicros() - start;
+        metrics.busy.add(micros);
+        metrics.run_hist.record(micros);
+        metrics.completed.add(1);
+        finishJob(*state, std::move(error));
+        return Job(std::move(state));
+    }
+
+    Task task;
+    task.fn = std::move(fn);
+    task.state = state;
+    task.submit_micros = obs::nowMicros();
+    impl_->metrics.submitted.add(1);
+    impl_->inflight.fetch_add(1, std::memory_order_acq_rel);
+    const size_t index = impl_->next.fetch_add(1, std::memory_order_relaxed) %
+                         impl_->workers.size();
+    {
+        Impl::Worker &worker = *impl_->workers[index];
+        std::lock_guard<std::mutex> lock(worker.mu);
+        worker.queue.push_back(std::move(task));
+    }
+    impl_->metrics.queue_depth.set(static_cast<int64_t>(
+        impl_->queued.fetch_add(1, std::memory_order_acq_rel) + 1));
+    {
+        std::lock_guard<std::mutex> lock(impl_->wait_mu);
+        impl_->work_cv.notify_one();
+    }
+    return Job(std::move(state));
+}
+
+void
+Pool::drain()
+{
+    if (!impl_)
+        return;
+    std::unique_lock<std::mutex> lock(impl_->wait_mu);
+    impl_->drain_cv.wait(lock, [&] {
+        return impl_->inflight.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+parallelFor(Pool &pool, size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (pool.jobs() <= 1 || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::vector<Job> jobs;
+    jobs.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        jobs.push_back(pool.submit([&fn, i] { fn(i); }));
+    for (const Job &job : jobs)
+        job.wait();
+    for (const Job &job : jobs)
+        job.get(); // lowest-index failure wins, deterministically
+}
+
+int
+defaultJobs()
+{
+    const char *env = std::getenv("IFPROB_JOBS");
+    if (env) {
+        int v = std::atoi(env);
+        if (v >= 1)
+            return v;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+std::atomic<int> planned_jobs_override{0};
+} // namespace
+
+void
+setPlannedJobs(int jobs)
+{
+    if (jobs >= 1)
+        planned_jobs_override.store(jobs, std::memory_order_relaxed);
+}
+
+int
+plannedJobs()
+{
+    int v = planned_jobs_override.load(std::memory_order_relaxed);
+    return v >= 1 ? v : defaultJobs();
+}
+
+Pool &
+globalPool()
+{
+    // Leaked on purpose: jobs may still complete while static
+    // destructors (trace flush, report sink) run.
+    static Pool *pool = new Pool(plannedJobs());
+    return *pool;
+}
+
+} // namespace ifprob::exec

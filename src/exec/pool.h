@@ -1,0 +1,131 @@
+#ifndef IFPROB_EXEC_POOL_H
+#define IFPROB_EXEC_POOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+
+namespace ifprob::exec {
+
+/**
+ * Work-stealing thread pool for the experiment matrix. The paper's
+ * methodology is N x N — every dataset's profile predicts every other
+ * dataset — so the harness's unit of work is one (workload, dataset)
+ * cell, and the sweep cost, not the predictor math, dominates wall
+ * clock. exec::Pool turns that matrix into jobs.
+ *
+ * Parallelism is chosen once per process:
+ *   - `--jobs N` in a bench binary (bench::initJobs -> setPlannedJobs),
+ *   - else the IFPROB_JOBS environment variable,
+ *   - else std::thread::hardware_concurrency().
+ *
+ * jobs == 1 is special: submit() runs the task inline in the calling
+ * thread before returning, so the execution order — and therefore every
+ * observable side effect, cache file and table byte — is identical to
+ * the historical serial harness. jobs >= 2 spawns that many workers,
+ * each with its own deque; idle workers steal from the back of their
+ * siblings' queues.
+ *
+ * Observability (see docs/parallelism.md):
+ *   exec.queue_depth (gauge), exec.jobs_submitted / exec.jobs_completed
+ *   / exec.steals / exec.busy_micros (counters),
+ *   exec.worker.<i>.jobs / exec.worker.<i>.busy_micros (counters),
+ *   exec.job_wait_micros / exec.job_run_micros (histograms), and one
+ *   "exec.job" Chrome-trace span per job on trace lane tid = worker+2.
+ */
+
+namespace detail {
+struct JobState;
+}
+
+/**
+ * Handle to one submitted task. Copyable (shared state); a
+ * default-constructed Job is empty. Exceptions thrown by the task are
+ * captured and rethrown from get().
+ */
+class Job
+{
+  public:
+    Job() = default;
+
+    bool valid() const { return state_ != nullptr; }
+    /** True once the task finished (normally or by exception). */
+    bool done() const;
+    /** Block until the task finishes. Does not rethrow. */
+    void wait() const;
+    /** wait(), then rethrow the task's exception if it threw. */
+    void get() const;
+
+  private:
+    friend class Pool;
+    explicit Job(std::shared_ptr<detail::JobState> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<detail::JobState> state_;
+};
+
+class Pool
+{
+  public:
+    /** @p jobs < 1 is clamped to 1. jobs == 1 means inline execution. */
+    explicit Pool(int jobs);
+    /** Destructor drains every submitted job, then joins the workers. */
+    ~Pool();
+
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    /** Configured parallelism (>= 1). */
+    int jobs() const { return jobs_; }
+    /** Worker threads actually running (0 in inline mode). */
+    int workers() const;
+
+    /** Enqueue @p fn; inline mode runs it before returning. */
+    Job submit(std::function<void()> fn);
+
+    /** Block until every job submitted so far has finished. */
+    void drain();
+
+  private:
+    struct Impl;
+    int jobs_ = 1;
+    std::unique_ptr<Impl> impl_; ///< null in inline mode
+};
+
+/**
+ * Run fn(0) ... fn(n-1), blocking until all complete. Inline pools (or
+ * n <= 1) execute serially in index order in the calling thread;
+ * otherwise each index is one pool job. If any call throws, the
+ * exception of the lowest-index failure is rethrown after every
+ * iteration has finished (no iteration is skipped), so error reporting
+ * is deterministic regardless of schedule.
+ */
+void parallelFor(Pool &pool, size_t n,
+                 const std::function<void(size_t)> &fn);
+
+/** IFPROB_JOBS env var if set (>=1), else hardware concurrency. */
+int defaultJobs();
+
+/**
+ * Override the parallelism the global pool will use (bench --jobs).
+ * Must be called before the first globalPool() use; later calls only
+ * take effect if the pool has not been created yet.
+ */
+void setPlannedJobs(int jobs);
+
+/** The parallelism globalPool() has or would have, without creating it. */
+int plannedJobs();
+
+/**
+ * Process-wide pool shared by the experiment helpers, created on first
+ * use with plannedJobs() parallelism and never destroyed.
+ */
+Pool &globalPool();
+
+} // namespace ifprob::exec
+
+#endif // IFPROB_EXEC_POOL_H

@@ -1,6 +1,8 @@
 #include "harness/experiments.h"
 
 #include "compiler/pipeline.h"
+#include "exec/graph.h"
+#include "exec/pool.h"
 #include "metrics/breaks.h"
 #include "predict/profile_predictor.h"
 #include "vm/machine.h"
@@ -11,6 +13,29 @@ using metrics::BreakConfig;
 using predict::ProfilePredictor;
 using profile::MergeMode;
 using profile::ProfileDb;
+
+namespace {
+
+/** One (workload, dataset) cell of the experiment matrix, flattened so
+ *  the exec pool can fan out over it. */
+struct Cell
+{
+    const workloads::Workload *workload = nullptr;
+    size_t dataset = 0; ///< index into workload->datasets
+};
+
+std::vector<Cell>
+matrixCells()
+{
+    std::vector<Cell> cells;
+    for (const auto &w : workloads::all()) {
+        for (size_t d = 0; d < w.datasets.size(); ++d)
+            cells.push_back(Cell{&w, d});
+    }
+    return cells;
+}
+
+} // namespace
 
 profile::ProfileDb
 profileOf(Runner &runner, const std::string &workload,
@@ -51,90 +76,147 @@ othersPredictedPerBreak(Runner &runner, const std::string &workload,
 std::vector<Fig1Row>
 figure1(Runner &runner)
 {
-    std::vector<Fig1Row> rows;
-    for (const auto &w : workloads::all()) {
-        for (const auto &d : w.datasets) {
-            const vm::RunStats &stats = runner.stats(w.name, d.name);
-            Fig1Row row;
-            row.program = w.name;
-            row.dataset = d.name;
-            row.fortran_like = w.fortran_like;
-            BreakConfig no_calls{.count_calls = false};
-            BreakConfig with_calls{.count_calls = true};
-            row.per_break = metrics::breaksWithoutPrediction(stats, no_calls)
-                                .instructionsPerBreak();
-            row.per_break_with_calls =
-                metrics::breaksWithoutPrediction(stats, with_calls)
-                    .instructionsPerBreak();
-            rows.push_back(std::move(row));
-        }
-    }
+    auto cells = matrixCells();
+    std::vector<Fig1Row> rows(cells.size());
+    exec::parallelFor(exec::globalPool(), cells.size(), [&](size_t i) {
+        const workloads::Workload &w = *cells[i].workload;
+        const workloads::Dataset &d = w.datasets[cells[i].dataset];
+        const vm::RunStats &stats = runner.stats(w.name, d.name);
+        Fig1Row &row = rows[i];
+        row.program = w.name;
+        row.dataset = d.name;
+        row.fortran_like = w.fortran_like;
+        BreakConfig no_calls{.count_calls = false};
+        BreakConfig with_calls{.count_calls = true};
+        row.per_break = metrics::breaksWithoutPrediction(stats, no_calls)
+                            .instructionsPerBreak();
+        row.per_break_with_calls =
+            metrics::breaksWithoutPrediction(stats, with_calls)
+                .instructionsPerBreak();
+    });
     return rows;
 }
 
 std::vector<Fig2Row>
 figure2(Runner &runner, MergeMode mode)
 {
-    std::vector<Fig2Row> rows;
+    // The cross-dataset predictor of row (w, d) needs every dataset of
+    // w, so the graph runs one stats node per matrix cell and releases
+    // each workload's row nodes as soon as that workload's cells are
+    // done — rows of one workload overlap stats of the next.
+    auto cells = matrixCells();
+    std::vector<Fig2Row> rows(cells.size());
+    exec::Graph graph;
+    size_t cell = 0;
     for (const auto &w : workloads::all()) {
+        std::vector<exec::Graph::NodeId> stat_nodes;
+        size_t first = cell;
         for (const auto &d : w.datasets) {
-            Fig2Row row;
-            row.program = w.name;
-            row.dataset = d.name;
-            row.fortran_like = w.fortran_like;
-            row.num_datasets = static_cast<int>(w.datasets.size());
-            row.self_per_break =
-                selfPredictedPerBreak(runner, w.name, d.name);
-            row.others_per_break =
-                othersPredictedPerBreak(runner, w.name, d.name, mode);
-            rows.push_back(std::move(row));
+            stat_nodes.push_back(graph.add(
+                "stats:" + w.name + "/" + d.name,
+                [&runner, &w, &d] { runner.stats(w.name, d.name); }));
+            ++cell;
+        }
+        for (size_t i = first; i < cell; ++i) {
+            const workloads::Dataset &d = w.datasets[cells[i].dataset];
+            graph.add(
+                "fig2:" + w.name + "/" + d.name,
+                [&runner, &rows, &w, &d, i, mode] {
+                    Fig2Row &row = rows[i];
+                    row.program = w.name;
+                    row.dataset = d.name;
+                    row.fortran_like = w.fortran_like;
+                    row.num_datasets = static_cast<int>(w.datasets.size());
+                    row.self_per_break =
+                        selfPredictedPerBreak(runner, w.name, d.name);
+                    row.others_per_break = othersPredictedPerBreak(
+                        runner, w.name, d.name, mode);
+                },
+                stat_nodes);
         }
     }
+    graph.run(exec::globalPool());
     return rows;
 }
 
 std::vector<Fig3Row>
 figure3(Runner &runner)
 {
+    // Three-stage graph per workload: dataset stats -> one shared
+    // profile-build node -> one node per target row (each target scans
+    // every other dataset's profile).
+    const auto &all = workloads::all();
+    std::vector<std::vector<ProfileDb>> profiles(all.size());
     std::vector<Fig3Row> rows;
-    for (const auto &w : workloads::all()) {
+    std::vector<std::pair<size_t, size_t>> row_keys; ///< (workload, target)
+    for (size_t wi = 0; wi < all.size(); ++wi) {
+        if (all[wi].datasets.size() < 2)
+            continue;
+        for (size_t t = 0; t < all[wi].datasets.size(); ++t)
+            row_keys.emplace_back(wi, t);
+    }
+    rows.resize(row_keys.size());
+
+    exec::Graph graph;
+    size_t row_index = 0;
+    for (size_t wi = 0; wi < all.size(); ++wi) {
+        const workloads::Workload &w = all[wi];
         if (w.datasets.size() < 2)
             continue;
-        // Precompute per-dataset profiles once.
-        std::vector<ProfileDb> profiles;
-        for (const auto &d : w.datasets)
-            profiles.push_back(profileOf(runner, w.name, d.name));
+        std::vector<exec::Graph::NodeId> stat_nodes;
+        for (const auto &d : w.datasets) {
+            stat_nodes.push_back(graph.add(
+                "stats:" + w.name + "/" + d.name,
+                [&runner, &w, &d] { runner.stats(w.name, d.name); }));
+        }
+        exec::Graph::NodeId profile_node = graph.add(
+            "profiles:" + w.name,
+            [&runner, &profiles, &w, wi] {
+                std::vector<ProfileDb> built;
+                for (const auto &d : w.datasets)
+                    built.push_back(profileOf(runner, w.name, d.name));
+                profiles[wi] = std::move(built);
+            },
+            stat_nodes);
         for (size_t t = 0; t < w.datasets.size(); ++t) {
-            const vm::RunStats &target = runner.stats(w.name,
-                                                      w.datasets[t].name);
-            double self = selfPredictedPerBreak(runner, w.name,
-                                                w.datasets[t].name);
-            Fig3Row row;
-            row.program = w.name;
-            row.dataset = w.datasets[t].name;
-            row.fortran_like = w.fortran_like;
-            row.best_pct = -1.0;
-            row.worst_pct = 1e300;
-            for (size_t p = 0; p < w.datasets.size(); ++p) {
-                if (p == t)
-                    continue;
-                ProfilePredictor predictor(profiles[p]);
-                double per_break =
-                    metrics::breaksWithPredictor(target, predictor)
-                        .instructionsPerBreak();
-                double pct = self > 0.0 ? 100.0 * per_break / self : 100.0;
-                if (pct > row.best_pct) {
-                    row.best_pct = pct;
-                    row.best_predictor = w.datasets[p].name;
-                }
-                if (pct < row.worst_pct) {
-                    row.worst_pct = pct;
-                    row.worst_predictor = w.datasets[p].name;
-                }
-            }
-            rows.push_back(std::move(row));
+            graph.add(
+                "fig3:" + w.name + "/" + w.datasets[t].name,
+                [&runner, &profiles, &rows, &w, wi, t, row_index] {
+                    const vm::RunStats &target =
+                        runner.stats(w.name, w.datasets[t].name);
+                    double self = selfPredictedPerBreak(
+                        runner, w.name, w.datasets[t].name);
+                    Fig3Row &row = rows[row_index];
+                    row.program = w.name;
+                    row.dataset = w.datasets[t].name;
+                    row.fortran_like = w.fortran_like;
+                    row.best_pct = -1.0;
+                    row.worst_pct = 1e300;
+                    for (size_t p = 0; p < w.datasets.size(); ++p) {
+                        if (p == t)
+                            continue;
+                        ProfilePredictor predictor(profiles[wi][p]);
+                        double per_break =
+                            metrics::breaksWithPredictor(target, predictor)
+                                .instructionsPerBreak();
+                        double pct = self > 0.0
+                                         ? 100.0 * per_break / self
+                                         : 100.0;
+                        if (pct > row.best_pct) {
+                            row.best_pct = pct;
+                            row.best_predictor = w.datasets[p].name;
+                        }
+                        if (pct < row.worst_pct) {
+                            row.worst_pct = pct;
+                            row.worst_predictor = w.datasets[p].name;
+                        }
+                    }
+                },
+                {profile_node});
+            ++row_index;
         }
     }
+    graph.run(exec::globalPool());
     return rows;
 }
 
@@ -143,33 +225,34 @@ table1()
 {
     // Dead-code measurement needs a second compilation per program, so it
     // bypasses the Runner's shared image and builds both pipelines here.
-    std::vector<Table1Row> rows;
+    const auto &all = workloads::all();
+    std::vector<Table1Row> rows(all.size());
     Runner plain(Runner::experimentOptions());
     CompileOptions dce_options = Runner::experimentOptions();
     dce_options.eliminate_dead_code = true;
     Runner dce(dce_options);
-    for (const auto &w : workloads::all()) {
+    exec::parallelFor(exec::globalPool(), all.size(), [&](size_t i) {
+        const workloads::Workload &w = all[i];
         const std::string &primary = w.datasets.front().name;
-        Table1Row row;
-        row.program = w.name;
-        row.dead_fraction = metrics::deadCodeFraction(
+        rows[i].program = w.name;
+        rows[i].dead_fraction = metrics::deadCodeFraction(
             plain.stats(w.name, primary).instructions,
             dce.stats(w.name, primary).instructions);
-        rows.push_back(std::move(row));
-    }
+    });
     return rows;
 }
 
 std::vector<TakenRow>
 percentTaken(Runner &runner)
 {
-    std::vector<TakenRow> rows;
-    for (const auto &w : workloads::all()) {
-        for (const auto &d : w.datasets) {
-            rows.push_back({w.name, d.name,
-                            runner.stats(w.name, d.name).percentTaken()});
-        }
-    }
+    auto cells = matrixCells();
+    std::vector<TakenRow> rows(cells.size());
+    exec::parallelFor(exec::globalPool(), cells.size(), [&](size_t i) {
+        const workloads::Workload &w = *cells[i].workload;
+        const workloads::Dataset &d = w.datasets[cells[i].dataset];
+        rows[i] = {w.name, d.name,
+                   runner.stats(w.name, d.name).percentTaken()};
+    });
     return rows;
 }
 
@@ -178,8 +261,10 @@ heuristics(Runner &runner)
 {
     using predict::Heuristic;
     using predict::HeuristicPredictor;
-    std::vector<HeuristicRow> rows;
-    for (const auto &w : workloads::all()) {
+    const auto &all = workloads::all();
+    std::vector<std::vector<HeuristicRow>> per_workload(all.size());
+    exec::parallelFor(exec::globalPool(), all.size(), [&](size_t i) {
+        const workloads::Workload &w = all[i];
         const isa::Program &prog = runner.program(w.name);
         HeuristicPredictor backward(prog, Heuristic::kBackwardTaken);
         HeuristicPredictor opcode(prog, Heuristic::kOpcodeRules);
@@ -202,8 +287,13 @@ heuristics(Runner &runner)
             row.always_taken_per_break =
                 metrics::breaksWithPredictor(stats, taken)
                     .instructionsPerBreak();
-            rows.push_back(std::move(row));
+            per_workload[i].push_back(std::move(row));
         }
+    });
+    std::vector<HeuristicRow> rows;
+    for (auto &chunk : per_workload) {
+        for (auto &row : chunk)
+            rows.push_back(std::move(row));
     }
     return rows;
 }
@@ -211,86 +301,148 @@ heuristics(Runner &runner)
 std::vector<CoverageRow>
 coverageStudy(Runner &runner)
 {
-    std::vector<CoverageRow> rows;
-    for (const auto &w : workloads::all()) {
+    // Same three-stage shape as figure3; each target node emits the
+    // (n-1) predictor rows for that target in dataset order.
+    const auto &all = workloads::all();
+    std::vector<std::vector<ProfileDb>> profiles(all.size());
+    size_t total_rows = 0;
+    for (const auto &w : all) {
+        if (w.datasets.size() >= 2)
+            total_rows += w.datasets.size() * (w.datasets.size() - 1);
+    }
+    std::vector<CoverageRow> rows(total_rows);
+
+    exec::Graph graph;
+    size_t row_base = 0;
+    for (size_t wi = 0; wi < all.size(); ++wi) {
+        const workloads::Workload &w = all[wi];
         if (w.datasets.size() < 2)
             continue;
-        std::vector<ProfileDb> profiles;
-        for (const auto &d : w.datasets)
-            profiles.push_back(profileOf(runner, w.name, d.name));
+        std::vector<exec::Graph::NodeId> stat_nodes;
+        for (const auto &d : w.datasets) {
+            stat_nodes.push_back(graph.add(
+                "stats:" + w.name + "/" + d.name,
+                [&runner, &w, &d] { runner.stats(w.name, d.name); }));
+        }
+        exec::Graph::NodeId profile_node = graph.add(
+            "profiles:" + w.name,
+            [&runner, &profiles, &w, wi] {
+                std::vector<ProfileDb> built;
+                for (const auto &d : w.datasets)
+                    built.push_back(profileOf(runner, w.name, d.name));
+                profiles[wi] = std::move(built);
+            },
+            stat_nodes);
         for (size_t t = 0; t < w.datasets.size(); ++t) {
-            const vm::RunStats &target =
-                runner.stats(w.name, w.datasets[t].name);
-            double self_bound = selfPredictedPerBreak(
-                runner, w.name, w.datasets[t].name);
-            for (size_t p = 0; p < w.datasets.size(); ++p) {
-                if (p == t)
-                    continue;
-                CoverageRow row;
-                row.program = w.name;
-                row.target = w.datasets[t].name;
-                row.predictor = w.datasets[p].name;
+            size_t out = row_base;
+            graph.add(
+                "coverage:" + w.name + "/" + w.datasets[t].name,
+                [&runner, &profiles, &rows, &w, wi, t, out] {
+                    const vm::RunStats &target =
+                        runner.stats(w.name, w.datasets[t].name);
+                    double self_bound = selfPredictedPerBreak(
+                        runner, w.name, w.datasets[t].name);
+                    size_t slot = out;
+                    for (size_t p = 0; p < w.datasets.size(); ++p) {
+                        if (p == t)
+                            continue;
+                        CoverageRow row;
+                        row.program = w.name;
+                        row.target = w.datasets[t].name;
+                        row.predictor = w.datasets[p].name;
 
-                int64_t total = 0, unseen = 0, disagree = 0;
-                for (size_t site = 0; site < target.branches.size();
-                     ++site) {
-                    int64_t executed = target.branches[site].executed;
-                    if (executed == 0)
-                        continue;
-                    total += executed;
-                    const auto &pw = profiles[p].site(site);
-                    if (pw.executed <= 0.0) {
-                        unseen += executed;
-                        continue;
+                        int64_t total = 0, unseen = 0, disagree = 0;
+                        for (size_t site = 0;
+                             site < target.branches.size(); ++site) {
+                            int64_t executed =
+                                target.branches[site].executed;
+                            if (executed == 0)
+                                continue;
+                            total += executed;
+                            const auto &pw = profiles[wi][p].site(site);
+                            if (pw.executed <= 0.0) {
+                                unseen += executed;
+                                continue;
+                            }
+                            bool predictor_taken =
+                                pw.taken * 2.0 > pw.executed;
+                            bool target_taken =
+                                2 * target.branches[site].taken > executed;
+                            if (predictor_taken != target_taken)
+                                disagree += executed;
+                        }
+                        if (total > 0) {
+                            row.coverage_gap_pct =
+                                100.0 * static_cast<double>(unseen) /
+                                static_cast<double>(total);
+                            row.disagreement_pct =
+                                100.0 * static_cast<double>(disagree) /
+                                static_cast<double>(total);
+                        }
+                        ProfilePredictor cross(profiles[wi][p]);
+                        double per_break =
+                            metrics::breaksWithPredictor(target, cross)
+                                .instructionsPerBreak();
+                        row.quality_pct =
+                            self_bound > 0.0
+                                ? 100.0 * per_break / self_bound
+                                : 100.0;
+                        rows[slot++] = std::move(row);
                     }
-                    bool predictor_taken = pw.taken * 2.0 > pw.executed;
-                    bool target_taken = 2 * target.branches[site].taken >
-                                        executed;
-                    if (predictor_taken != target_taken)
-                        disagree += executed;
-                }
-                if (total > 0) {
-                    row.coverage_gap_pct =
-                        100.0 * static_cast<double>(unseen) /
-                        static_cast<double>(total);
-                    row.disagreement_pct =
-                        100.0 * static_cast<double>(disagree) /
-                        static_cast<double>(total);
-                }
-                ProfilePredictor cross(profiles[p]);
-                double per_break =
-                    metrics::breaksWithPredictor(target, cross)
-                        .instructionsPerBreak();
-                row.quality_pct = self_bound > 0.0
-                                      ? 100.0 * per_break / self_bound
-                                      : 100.0;
-                rows.push_back(std::move(row));
-            }
+                },
+                {profile_node});
+            row_base += w.datasets.size() - 1;
         }
     }
+    graph.run(exec::globalPool());
     return rows;
 }
 
 std::vector<CombineRow>
 combineAblation(Runner &runner)
 {
+    auto &pool = exec::globalPool();
     std::vector<CombineRow> rows;
+    std::vector<Cell> cells;
     for (const auto &w : workloads::all()) {
         if (w.datasets.size() < 3)
             continue; // combination is interesting with >= 2 others
+        for (size_t d = 0; d < w.datasets.size(); ++d)
+            cells.push_back(Cell{&w, d});
+    }
+    rows.resize(cells.size());
+
+    exec::Graph graph;
+    size_t cell = 0;
+    while (cell < cells.size()) {
+        const workloads::Workload &w = *cells[cell].workload;
+        std::vector<exec::Graph::NodeId> stat_nodes;
+        size_t first = cell;
         for (const auto &d : w.datasets) {
-            CombineRow row;
-            row.program = w.name;
-            row.dataset = d.name;
-            row.scaled_per_break = othersPredictedPerBreak(
-                runner, w.name, d.name, MergeMode::kScaled);
-            row.unscaled_per_break = othersPredictedPerBreak(
-                runner, w.name, d.name, MergeMode::kUnscaled);
-            row.polling_per_break = othersPredictedPerBreak(
-                runner, w.name, d.name, MergeMode::kPolling);
-            rows.push_back(std::move(row));
+            stat_nodes.push_back(graph.add(
+                "stats:" + w.name + "/" + d.name,
+                [&runner, &w, &d] { runner.stats(w.name, d.name); }));
+            ++cell;
+        }
+        for (size_t i = first; i < cell; ++i) {
+            const workloads::Dataset &d = w.datasets[cells[i].dataset];
+            graph.add(
+                "combine:" + w.name + "/" + d.name,
+                [&runner, &rows, &w, &d, i] {
+                    CombineRow &row = rows[i];
+                    row.program = w.name;
+                    row.dataset = d.name;
+                    row.scaled_per_break = othersPredictedPerBreak(
+                        runner, w.name, d.name, MergeMode::kScaled);
+                    row.unscaled_per_break = othersPredictedPerBreak(
+                        runner, w.name, d.name, MergeMode::kUnscaled);
+                    row.polling_per_break = othersPredictedPerBreak(
+                        runner, w.name, d.name, MergeMode::kPolling);
+                },
+                stat_nodes);
         }
     }
+    graph.run(pool);
     return rows;
 }
 

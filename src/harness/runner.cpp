@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include <unistd.h>
+
 #include "compiler/pipeline.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
@@ -51,6 +53,15 @@ selfMispredicts(const vm::RunStats &stats)
 
 } // namespace
 
+void
+CacheStats::noteFailure(std::string detail)
+{
+    if (failures.size() < kMaxFailureDetails)
+        failures.push_back(std::move(detail));
+    else
+        ++failures_dropped;
+}
+
 CompileOptions
 Runner::experimentOptions()
 {
@@ -75,22 +86,53 @@ Runner::Runner(CompileOptions options) : options_(options)
     }
 }
 
+std::shared_ptr<Runner::CompileSlot>
+Runner::compileSlot(const std::string &workload)
+{
+    std::shared_ptr<CompileSlot> slot;
+    bool compiler_thread = false;
+    {
+        std::lock_guard<std::mutex> lock(programs_mu_);
+        auto &entry = programs_[workload];
+        if (!entry) {
+            entry = std::make_shared<CompileSlot>();
+            entry->ready = entry->promise.get_future().share();
+            compiler_thread = true;
+        }
+        slot = entry;
+    }
+    if (compiler_thread) {
+        try {
+            const workloads::Workload &w = workloads::get(workload);
+            obs::ScopedSpan span("runner.compile", "harness");
+            if (span.active())
+                span.arg("workload", workload);
+            const int64_t t0 = obs::nowMicros();
+            slot->program = compile(w.source, options_);
+            slot->compile_micros = obs::nowMicros() - t0;
+            obs::counter("runner.compile_micros")
+                .add(slot->compile_micros);
+            slot->promise.set_value();
+        } catch (...) {
+            slot->promise.set_exception(std::current_exception());
+        }
+    }
+    slot->ready.get(); // waits for the compiler; rethrows its failure
+    return slot;
+}
+
 const isa::Program &
 Runner::program(const std::string &workload)
 {
-    auto it = programs_.find(workload);
-    if (it != programs_.end())
-        return it->second;
-    const workloads::Workload &w = workloads::get(workload);
-    obs::ScopedSpan span("runner.compile", "harness");
-    if (span.active())
-        span.arg("workload", workload);
-    const int64_t t0 = obs::nowMicros();
-    isa::Program compiled = compile(w.source, options_);
-    const int64_t micros = obs::nowMicros() - t0;
-    obs::counter("runner.compile_micros").add(micros);
-    pending_compile_micros_[workload] = micros;
-    return programs_.emplace(workload, std::move(compiled)).first->second;
+    return compileSlot(workload)->program;
+}
+
+Runner::StatsShard &
+Runner::shardFor(const std::pair<std::string, std::string> &key)
+{
+    size_t h = std::hash<std::string>{}(key.first) * 31 +
+               std::hash<std::string>{}(key.second);
+    return stats_shards_[h % kStatsShards];
 }
 
 std::string
@@ -106,11 +148,28 @@ const vm::RunStats &
 Runner::stats(const std::string &workload, const std::string &dataset)
 {
     auto key = std::make_pair(workload, dataset);
-    auto it = stats_.find(key);
-    if (it != stats_.end())
-        return it->second;
+    StatsShard &shard = shardFor(key);
+    std::shared_ptr<StatsSlot> slot;
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto &entry = shard.slots[key];
+        if (!entry)
+            entry = std::make_shared<StatsSlot>();
+        slot = entry;
+    }
+    // Exactly one thread computes; concurrent callers block here. An
+    // exception leaves the flag unset, so each caller observes it.
+    std::call_once(slot->once,
+                   [&] { computeStats(*slot, workload, dataset); });
+    return slot->stats;
+}
 
-    const isa::Program &prog = program(workload);
+void
+Runner::computeStats(StatsSlot &slot, const std::string &workload,
+                     const std::string &dataset)
+{
+    std::shared_ptr<CompileSlot> compiled = compileSlot(workload);
+    const isa::Program &prog = compiled->program;
 
     obs::RunRecord record;
     record.workload = workload;
@@ -119,15 +178,10 @@ Runner::stats(const std::string &workload, const std::string &dataset)
         strPrintf("%016llx",
                   static_cast<unsigned long long>(prog.fingerprint()));
     record.cache = cache_dir_.empty() ? "off" : "miss";
-    {
-        auto pending = pending_compile_micros_.find(workload);
-        if (pending != pending_compile_micros_.end()) {
-            record.compile_micros = pending->second;
-            pending_compile_micros_.erase(pending);
-        }
-    }
+    if (!compiled->micros_claimed.exchange(true))
+        record.compile_micros = compiled->compile_micros;
 
-    auto finish = [&](vm::RunStats &&stats) -> const vm::RunStats & {
+    auto finish = [&](vm::RunStats &&stats) {
         record.instructions = stats.instructions;
         record.cond_branches = stats.cond_branches;
         record.taken_branches = stats.taken_branches;
@@ -137,7 +191,7 @@ Runner::stats(const std::string &workload, const std::string &dataset)
             static_cast<double>(std::max<int64_t>(
                 record.self_mispredicts, 1));
         obs::ReportSink::global().write(record);
-        return stats_.emplace(key, std::move(stats)).first->second;
+        slot.stats = std::move(stats);
     };
 
     if (!cache_dir_.empty()) {
@@ -146,17 +200,26 @@ Runner::stats(const std::string &workload, const std::string &dataset)
         if (in) {
             try {
                 vm::RunStats cached = vm::RunStats::load(in);
-                ++cache_stats_.hits;
-                cache_stats_.bytes_read += fileSize(path);
+                int64_t bytes = fileSize(path);
+                {
+                    std::lock_guard<std::mutex> lock(cache_stats_mu_);
+                    ++cache_stats_.hits;
+                    cache_stats_.bytes_read += bytes;
+                }
                 obs::counter("runner.cache_hits").add(1);
-                obs::counter("runner.cache_bytes_read")
-                    .add(fileSize(path));
+                obs::counter("runner.cache_bytes_read").add(bytes);
                 record.cache = "hit";
-                return finish(std::move(cached));
+                finish(std::move(cached));
+                return;
             } catch (const Error &e) {
                 // Corrupt cache entry: record the failure, then re-run.
-                ++cache_stats_.read_failures;
-                cache_stats_.failures.push_back(path + ": " + e.what());
+                // Writes are atomic (temp + rename), so this is genuine
+                // corruption, never a torn concurrent write.
+                {
+                    std::lock_guard<std::mutex> lock(cache_stats_mu_);
+                    ++cache_stats_.read_failures;
+                    cache_stats_.noteFailure(path + ": " + e.what());
+                }
                 obs::counter("runner.cache_read_failures").add(1);
                 obs::TraceSession::global().emitInstant(
                     "runner.cache_read_failure", "harness",
@@ -166,7 +229,10 @@ Runner::stats(const std::string &workload, const std::string &dataset)
                 record.cache = "error";
             }
         } else {
-            ++cache_stats_.misses;
+            {
+                std::lock_guard<std::mutex> lock(cache_stats_mu_);
+                ++cache_stats_.misses;
+            }
             obs::counter("runner.cache_misses").add(1);
         }
     }
@@ -198,16 +264,40 @@ Runner::stats(const std::string &workload, const std::string &dataset)
 
     if (!cache_dir_.empty()) {
         std::string path = cachePath(workload, dataset, prog.fingerprint());
-        std::ofstream out(path);
+        // Write-then-rename so a concurrent reader (or a bench killed
+        // mid-write) can never observe a torn .stats file; rename() is
+        // atomic within the cache directory.
+        static std::atomic<uint64_t> temp_seq{0};
+        std::string tmp = strPrintf(
+            "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(::getpid()),
+            static_cast<unsigned long long>(
+                temp_seq.fetch_add(1, std::memory_order_relaxed)));
+        std::ofstream out(tmp);
         if (out) {
             result.stats.save(out);
             out.close();
-            int64_t written = fileSize(path);
-            cache_stats_.bytes_written += written;
-            obs::counter("runner.cache_bytes_written").add(written);
+            std::error_code ec;
+            std::filesystem::rename(tmp, path, ec);
+            if (ec) {
+                std::filesystem::remove(tmp, ec);
+            } else {
+                int64_t written = fileSize(path);
+                {
+                    std::lock_guard<std::mutex> lock(cache_stats_mu_);
+                    cache_stats_.bytes_written += written;
+                }
+                obs::counter("runner.cache_bytes_written").add(written);
+            }
         }
     }
-    return finish(std::move(result.stats));
+    finish(std::move(result.stats));
+}
+
+CacheStats
+Runner::cacheStats() const
+{
+    std::lock_guard<std::mutex> lock(cache_stats_mu_);
+    return cache_stats_;
 }
 
 std::vector<std::string>

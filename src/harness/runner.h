@@ -1,9 +1,12 @@
 #ifndef IFPROB_HARNESS_RUNNER_H
 #define IFPROB_HARNESS_RUNNER_H
 
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,13 +25,25 @@ namespace ifprob::harness {
  */
 struct CacheStats
 {
+    /** Detailed failure strings retained before capping (a pathological
+     *  cache directory must not grow the vector unboundedly; the
+     *  overflow is counted in failures_dropped and surfaced by
+     *  tools/obsreport). */
+    static constexpr size_t kMaxFailureDetails = 32;
+
     int64_t hits = 0;
     int64_t misses = 0;          ///< no cache file (includes cache off)
     int64_t read_failures = 0;   ///< file present but unreadable/corrupt
     int64_t bytes_read = 0;
     int64_t bytes_written = 0;
-    /** One "path: reason" entry per read failure, in occurrence order. */
+    /** Failure details dropped once kMaxFailureDetails was reached. */
+    int64_t failures_dropped = 0;
+    /** One "path: reason" entry per read failure, in occurrence order,
+     *  capped at kMaxFailureDetails entries. */
     std::vector<std::string> failures;
+
+    /** Record one failure detail, honouring the cap. */
+    void noteFailure(std::string detail);
 };
 
 /**
@@ -40,6 +55,16 @@ struct CacheStats
  * fingerprint, so a compiler change silently invalidates stale entries.
  * Set the IFPROB_CACHE environment variable to relocate the cache
  * directory (default: ./.ifprob-cache); set it to "off" to disable.
+ *
+ * Thread-safety contract (see docs/parallelism.md): program() and
+ * stats() may be called from any number of threads concurrently. Each
+ * workload is compiled exactly once — the first caller compiles while
+ * later callers wait on a shared future — and each (workload, dataset)
+ * pair executes exactly once, guarded by a per-pair std::call_once
+ * behind sharded mutexes. Returned references remain valid for the
+ * Runner's lifetime. Disk-cache writes go to a temp file and are
+ * rename()d into place, so concurrent (or killed) benches never
+ * observe a torn .stats file.
  */
 class Runner
 {
@@ -53,33 +78,72 @@ class Runner
      */
     static CompileOptions experimentOptions();
 
-    /** Compiled image for @p workload (cached in memory). */
+    /** Compiled image for @p workload (cached in memory; compiled by
+     *  exactly one thread, concurrent callers wait). */
     const isa::Program &program(const std::string &workload);
 
-    /** Run statistics for one workload/dataset (memory + disk cached). */
+    /** Run statistics for one workload/dataset (memory + disk cached;
+     *  executed by exactly one thread, concurrent callers wait). */
     const vm::RunStats &stats(const std::string &workload,
                               const std::string &dataset);
 
     /** Convenience: every dataset of @p workload, in registry order. */
     std::vector<std::string> datasetNames(const std::string &workload) const;
 
-    /** Disk-cache effectiveness so far (hits/misses/failures/bytes). */
-    const CacheStats &cacheStats() const { return cache_stats_; }
+    /** Snapshot of disk-cache effectiveness so far (hits/misses/
+     *  failures/bytes). A copy: safe while other threads keep running. */
+    CacheStats cacheStats() const;
 
   private:
+    /** One workload's compile-once slot. The first thread to claim the
+     *  slot compiles and fulfils the promise; everyone else waits on
+     *  the shared future (which also propagates compile errors). */
+    struct CompileSlot
+    {
+        std::promise<void> promise;
+        std::shared_future<void> ready;
+        isa::Program program;
+        int64_t compile_micros = 0;
+        /** Compile wall-clock is consumed by the first run record that
+         *  mentions the workload, so aggregation over records counts
+         *  each compile once. */
+        std::atomic<bool> micros_claimed{false};
+    };
+
+    /** One (workload, dataset) run-once slot. */
+    struct StatsSlot
+    {
+        std::once_flag once;
+        vm::RunStats stats;
+    };
+
+    static constexpr size_t kStatsShards = 16;
+    struct StatsShard
+    {
+        std::mutex mu;
+        std::map<std::pair<std::string, std::string>,
+                 std::shared_ptr<StatsSlot>>
+            slots;
+    };
+
+    std::shared_ptr<CompileSlot> compileSlot(const std::string &workload);
+    StatsShard &shardFor(const std::pair<std::string, std::string> &key);
     std::string cachePath(const std::string &workload,
                           const std::string &dataset,
                           uint64_t fingerprint) const;
+    void computeStats(StatsSlot &slot, const std::string &workload,
+                      const std::string &dataset);
 
     CompileOptions options_;
     std::string cache_dir_; ///< empty = caching disabled
+
+    mutable std::mutex cache_stats_mu_;
     CacheStats cache_stats_;
-    std::map<std::string, isa::Program> programs_;
-    /** Compile wall-clock per workload, consumed by the first run
-     *  record that mentions the workload (so aggregation over records
-     *  counts each compile once). */
-    std::map<std::string, int64_t> pending_compile_micros_;
-    std::map<std::pair<std::string, std::string>, vm::RunStats> stats_;
+
+    mutable std::mutex programs_mu_;
+    std::map<std::string, std::shared_ptr<CompileSlot>> programs_;
+
+    StatsShard stats_shards_[kStatsShards];
 };
 
 } // namespace ifprob::harness

@@ -43,7 +43,7 @@ TraceSession::~TraceSession()
 void
 TraceSession::emitComplete(std::string_view name, std::string_view category,
                            int64_t ts_micros, int64_t dur_micros,
-                           const JsonObject &args)
+                           const JsonObject &args, int64_t tid)
 {
     if (!enabled_)
         return;
@@ -54,7 +54,7 @@ TraceSession::emitComplete(std::string_view name, std::string_view category,
         .field("ts", ts_micros)
         .field("dur", dur_micros)
         .field("pid", int64_t{1})
-        .field("tid", int64_t{1});
+        .field("tid", tid);
     if (!args.empty())
         ev.fieldRaw("args", args.str());
     std::lock_guard<std::mutex> lock(impl_->mu);
@@ -137,7 +137,15 @@ ScopedSpan::~ScopedSpan()
     if (!session_)
         return;
     int64_t end = nowMicros();
-    session_->emitComplete(name_, category_, start_, end - start_, args_);
+    session_->emitComplete(name_, category_, start_, end - start_, args_,
+                           tid_);
+}
+
+void
+ScopedSpan::tid(int64_t tid)
+{
+    if (session_)
+        tid_ = tid;
 }
 
 void

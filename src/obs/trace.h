@@ -45,10 +45,13 @@ class TraceSession
 
     bool enabled() const { return enabled_; }
 
-    /** Record one complete ("ph":"X") event. @p args may be empty. */
+    /** Record one complete ("ph":"X") event. @p args may be empty.
+     *  @p tid selects the trace lane (1 = main thread; the exec::Pool
+     *  workers use worker index + 2 so parallel jobs render as
+     *  side-by-side lanes). */
     void emitComplete(std::string_view name, std::string_view category,
                       int64_t ts_micros, int64_t dur_micros,
-                      const JsonObject &args);
+                      const JsonObject &args, int64_t tid = 1);
 
     /** Record one instant ("ph":"i") event. */
     void emitInstant(std::string_view name, std::string_view category,
@@ -99,11 +102,16 @@ class ScopedSpan
     void arg(std::string_view key, std::string_view value);
     void arg(std::string_view key, double value);
 
+    /** Route this span to trace lane @p tid (default 1, the main
+     *  thread's lane). */
+    void tid(int64_t tid);
+
   private:
     TraceSession *session_ = nullptr; ///< null when inactive
     std::string name_;
     std::string category_;
     int64_t start_ = 0;
+    int64_t tid_ = 1;
     JsonObject args_;
 };
 

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the src/exec/ parallel experiment engine: pool lifecycle
+ * and exception propagation, job-graph dependency ordering, the
+ * determinism of parallelFor versus a serial loop, and the Runner's
+ * thread-safety contract (identical stats and exactly one compile per
+ * workload when hammered from many threads).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "exec/graph.h"
+#include "exec/pool.h"
+#include "harness/runner.h"
+#include "obs/metrics.h"
+#include "support/error.h"
+
+namespace ifprob {
+namespace {
+
+// --- Pool -------------------------------------------------------------------
+
+TEST(ExecPool, InlineModeRunsJobsImmediatelyInOrder)
+{
+    exec::Pool pool(1);
+    EXPECT_EQ(pool.jobs(), 1);
+    EXPECT_EQ(pool.workers(), 0);
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        exec::Job job = pool.submit([&order, i] { order.push_back(i); });
+        // Inline mode completes before submit() returns.
+        EXPECT_TRUE(job.done());
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ExecPool, WorkersRunEveryJob)
+{
+    exec::Pool pool(4);
+    EXPECT_EQ(pool.workers(), 4);
+    std::atomic<int> sum{0};
+    std::vector<exec::Job> jobs;
+    for (int i = 0; i < 200; ++i)
+        jobs.push_back(pool.submit([&sum] { sum.fetch_add(1); }));
+    for (const auto &job : jobs)
+        job.wait();
+    EXPECT_EQ(sum.load(), 200);
+}
+
+TEST(ExecPool, DestructorDrainsPendingJobs)
+{
+    std::atomic<int> ran{0};
+    {
+        exec::Pool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        // No explicit wait: the destructor must drain the queues.
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ExecPool, ExceptionIsCapturedAndRethrownByGet)
+{
+    for (int jobs : {1, 3}) {
+        exec::Pool pool(jobs);
+        exec::Job ok = pool.submit([] {});
+        exec::Job bad =
+            pool.submit([] { throw std::runtime_error("task failed"); });
+        EXPECT_NO_THROW(ok.get());
+        bad.wait(); // wait() never throws
+        try {
+            bad.get();
+            FAIL() << "get() must rethrow (jobs=" << jobs << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "task failed");
+        }
+    }
+}
+
+TEST(ExecPool, ParallelForMatchesSerialResults)
+{
+    auto compute = [](exec::Pool &pool) {
+        std::vector<int64_t> out(97, 0);
+        exec::parallelFor(pool, out.size(), [&out](size_t i) {
+            int64_t v = static_cast<int64_t>(i);
+            out[i] = v * v + 7 * v + 3;
+        });
+        return out;
+    };
+    exec::Pool serial(1);
+    exec::Pool parallel(4);
+    EXPECT_EQ(compute(serial), compute(parallel));
+}
+
+TEST(ExecPool, ParallelForRethrowsLowestIndexFailure)
+{
+    exec::Pool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        exec::parallelFor(pool, 16, [&ran](size_t i) {
+            ran.fetch_add(1);
+            if (i == 3 || i == 11)
+                throw std::runtime_error("failed at " + std::to_string(i));
+        });
+        FAIL() << "parallelFor must rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "failed at 3");
+    }
+    // No iteration is skipped even when some fail.
+    EXPECT_EQ(ran.load(), 16);
+}
+
+// --- Graph ------------------------------------------------------------------
+
+TEST(ExecGraph, RespectsDependencyOrdering)
+{
+    for (int jobs : {1, 4}) {
+        exec::Graph graph;
+        std::mutex mu;
+        std::vector<size_t> finish_order;
+        auto node = [&](size_t id) {
+            return [&, id] {
+                std::lock_guard<std::mutex> lock(mu);
+                finish_order.push_back(id);
+            };
+        };
+        // Diamond per "workload" plus a cross-stage fan-in, twice.
+        auto a = graph.add("a", node(0));
+        auto b = graph.add("b", node(1));
+        auto c = graph.add("c", node(2), {a, b});
+        auto d = graph.add("d", node(3), {a});
+        auto e = graph.add("e", node(4), {c, d});
+        (void)e;
+        exec::Pool pool(jobs);
+        graph.run(pool);
+
+        ASSERT_EQ(finish_order.size(), 5u) << "jobs=" << jobs;
+        std::vector<size_t> pos(5);
+        for (size_t i = 0; i < finish_order.size(); ++i)
+            pos[finish_order[i]] = i;
+        EXPECT_LT(pos[0], pos[2]);
+        EXPECT_LT(pos[1], pos[2]);
+        EXPECT_LT(pos[0], pos[3]);
+        EXPECT_LT(pos[2], pos[4]);
+        EXPECT_LT(pos[3], pos[4]);
+    }
+}
+
+TEST(ExecGraph, FailureSkipsTransitiveDependentsOnly)
+{
+    for (int jobs : {1, 4}) {
+        exec::Graph graph;
+        std::atomic<bool> c_ran{false}, d_ran{false};
+        graph.add("a", [] {});
+        auto b = graph.add("b", [] { throw Error("b exploded"); });
+        auto c = graph.add("c", [&c_ran] { c_ran = true; }, {b});
+        graph.add("c2", [] {}, {c}); // transitively skipped
+        graph.add("d", [&d_ran] { d_ran = true; });
+        exec::Pool pool(jobs);
+        try {
+            graph.run(pool);
+            FAIL() << "run() must rethrow (jobs=" << jobs << ")";
+        } catch (const Error &e) {
+            EXPECT_STREQ(e.what(), "b exploded");
+        }
+        EXPECT_FALSE(c_ran.load());
+        EXPECT_TRUE(d_ran.load());
+        EXPECT_EQ(graph.skipped(), 2u);
+    }
+}
+
+TEST(ExecGraph, ForwardDependenciesAreRejected)
+{
+    exec::Graph graph;
+    graph.add("a", [] {});
+    EXPECT_THROW(graph.add("b", [] {}, {5}), Error);
+}
+
+TEST(ExecGraph, RunIsSingleShot)
+{
+    exec::Graph graph;
+    graph.add("a", [] {});
+    exec::Pool pool(1);
+    graph.run(pool);
+    EXPECT_THROW(graph.run(pool), Error);
+}
+
+TEST(ExecGraph, SerialRunIsDeterministic)
+{
+    auto order_of = [] {
+        exec::Graph graph;
+        std::vector<size_t> order;
+        auto s0 = graph.add("s0", [&order] { order.push_back(0); });
+        auto s1 = graph.add("s1", [&order] { order.push_back(1); });
+        graph.add("r0", [&order] { order.push_back(2); }, {s0, s1});
+        graph.add("r1", [&order] { order.push_back(3); }, {s0, s1});
+        exec::Pool pool(1);
+        graph.run(pool);
+        return order;
+    };
+    auto first = order_of();
+    EXPECT_EQ(first, order_of());
+    // Stats nodes before their rows, rows in id order.
+    EXPECT_EQ(first, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+// --- plannedJobs / defaultJobs ---------------------------------------------
+
+TEST(ExecJobs, EnvironmentVariableControlsDefault)
+{
+    ::setenv("IFPROB_JOBS", "7", 1);
+    EXPECT_EQ(exec::defaultJobs(), 7);
+    ::setenv("IFPROB_JOBS", "0", 1); // invalid: falls back to hardware
+    EXPECT_GE(exec::defaultJobs(), 1);
+    ::unsetenv("IFPROB_JOBS");
+    EXPECT_GE(exec::defaultJobs(), 1);
+}
+
+// --- CacheStats failure cap -------------------------------------------------
+
+TEST(CacheStatsCap, FailureDetailsAreCapped)
+{
+    harness::CacheStats stats;
+    for (int i = 0; i < 40; ++i)
+        stats.noteFailure("failure " + std::to_string(i));
+    EXPECT_EQ(stats.failures.size(), harness::CacheStats::kMaxFailureDetails);
+    EXPECT_EQ(stats.failures.front(), "failure 0");
+    EXPECT_EQ(stats.failures.back(), "failure 31");
+    EXPECT_EQ(stats.failures_dropped, 8);
+}
+
+// --- Runner thread safety ---------------------------------------------------
+
+class RunnerConcurrency : public ::testing::Test
+{
+  protected:
+    void SetUp() override { ::setenv("IFPROB_CACHE", "off", 1); }
+    void TearDown() override { ::unsetenv("IFPROB_CACHE"); }
+};
+
+TEST_F(RunnerConcurrency, EightThreadsSeeOneCompileAndIdenticalStats)
+{
+    harness::Runner runner;
+    const std::string workload = "mcc";
+    const auto datasets = runner.datasetNames(workload);
+    ASSERT_GE(datasets.size(), 1u);
+
+    const int64_t compiles_before =
+        obs::counter("compiler.compiles").value();
+
+    constexpr int kThreads = 8;
+    std::vector<const isa::Program *> programs(kThreads, nullptr);
+    std::vector<std::vector<const vm::RunStats *>> stats(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            programs[t] = &runner.program(workload);
+            for (const auto &d : datasets)
+                stats[t].push_back(&runner.stats(workload, d));
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    // Exactly one compile for the workload, despite 8 racing callers.
+    EXPECT_EQ(obs::counter("compiler.compiles").value() - compiles_before,
+              1);
+    // Every thread got the same Program and the same RunStats objects
+    // (same address == computed exactly once, identical by construction).
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(programs[t], programs[0]);
+        for (size_t d = 0; d < datasets.size(); ++d)
+            EXPECT_EQ(stats[t][d], stats[0][d]);
+    }
+    for (size_t d = 0; d < datasets.size(); ++d)
+        EXPECT_GT(stats[0][d]->instructions, 0);
+}
+
+TEST_F(RunnerConcurrency, ConcurrentRunnersShareDiskCacheWithoutTearing)
+{
+    auto dir = std::filesystem::temp_directory_path() /
+               ("ifprob-exec-cache-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    ::setenv("IFPROB_CACHE", dir.c_str(), 1);
+
+    // Several Runners race to populate and read the same cache entry.
+    // Atomic temp-file + rename writes mean a reader sees either no
+    // file (miss -> re-run) or a complete one — never a torn entry.
+    constexpr int kRunners = 4;
+    std::vector<int64_t> instructions(kRunners, 0);
+    int64_t read_failures = 0;
+    std::vector<std::thread> threads;
+    std::mutex mu;
+    for (int t = 0; t < kRunners; ++t) {
+        threads.emplace_back([&, t] {
+            harness::Runner runner;
+            instructions[t] =
+                runner.stats("mcc", "c_metric").instructions;
+            std::lock_guard<std::mutex> lock(mu);
+            read_failures += runner.cacheStats().read_failures;
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    for (int t = 1; t < kRunners; ++t)
+        EXPECT_EQ(instructions[t], instructions[0]);
+    EXPECT_GT(instructions[0], 0);
+    EXPECT_EQ(read_failures, 0) << "a torn cache entry was observed";
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+
+} // namespace
+} // namespace ifprob

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/runner.h"
 #include "metrics/report.h"
 #include "obs/json.h"
 #include "obs/run_report.h"
@@ -243,6 +244,17 @@ main(int argc, char **argv)
                 static_cast<long long>(totals.table_records),
                 static_cast<long long>(totals.skipped_records),
                 static_cast<long long>(totals.parse_errors));
+
+    int64_t cache_errors = 0;
+    for (const auto &[name, agg] : workloads)
+        cache_errors += agg.cache_errors;
+    if (cache_errors > 0)
+        std::printf("note: %lld cache read failure(s); each runner keeps "
+                    "only the first %zu failure details "
+                    "(CacheStats::kMaxFailureDetails), the overflow is "
+                    "counted in failures_dropped\n",
+                    static_cast<long long>(cache_errors),
+                    harness::CacheStats::kMaxFailureDetails);
 
     std::ofstream out(out_path, std::ios::trunc);
     if (!out) {
