@@ -2,18 +2,37 @@
  * @file
  * google-benchmark microbenchmarks for the infrastructure itself:
  * compiler throughput, VM dispatch rate on arithmetic- and branch-heavy
- * kernels, profile merging, and predictor evaluation. These guard the
- * experiment harness's performance rather than reproducing a paper
- * result.
+ * kernels (for both interpreter cores), profile merging, and predictor
+ * evaluation. These guard the experiment harness's performance rather
+ * than reproducing a paper result.
+ *
+ * `micro_vm --ab` bypasses the benchmark framework and runs the engine
+ * A/B comparison directly: it measures MIPS for the fast and switch
+ * cores on each kernel, writes BENCH_vm.json (plus a mirrored
+ * "ifprob.vm_bench.v1" line through the run-report sink), and exits
+ * nonzero if the fast core fails the --min-speedup bar (default 1.0 —
+ * i.e. fast must never be slower). CI runs this as the perf-smoke step.
  */
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "compiler/pipeline.h"
 #include "harness/runner.h"
 #include "metrics/breaks.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "predict/evaluate.h"
 #include "predict/profile_predictor.h"
 #include "profile/profile_db.h"
+#include "vm/engine.h"
 #include "vm/machine.h"
 #include "workloads/workload.h"
 
@@ -59,10 +78,10 @@ BM_CompileLiSource(benchmark::State &state)
 BENCHMARK(BM_CompileLiSource)->Unit(benchmark::kMillisecond);
 
 void
-BM_VmArithmeticDispatch(benchmark::State &state)
+BM_VmArithmeticDispatch(benchmark::State &state, vm::Engine engine)
 {
     isa::Program p = compile(kArithKernel);
-    vm::Machine m(p);
+    vm::Machine m(p, engine);
     int64_t instructions = 0;
     for (auto _ : state) {
         auto r = m.run("");
@@ -72,13 +91,16 @@ BM_VmArithmeticDispatch(benchmark::State &state)
         static_cast<double>(instructions) / 1e6,
         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_VmArithmeticDispatch)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_VmArithmeticDispatch, fast, vm::Engine::kFast)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_VmArithmeticDispatch, switch, vm::Engine::kSwitch)
+    ->Unit(benchmark::kMillisecond);
 
 void
-BM_VmBranchDispatch(benchmark::State &state)
+BM_VmBranchDispatch(benchmark::State &state, vm::Engine engine)
 {
     isa::Program p = compile(kBranchKernel);
-    vm::Machine m(p);
+    vm::Machine m(p, engine);
     int64_t instructions = 0;
     for (auto _ : state) {
         auto r = m.run("");
@@ -88,7 +110,10 @@ BM_VmBranchDispatch(benchmark::State &state)
         static_cast<double>(instructions) / 1e6,
         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_VmBranchDispatch)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_VmBranchDispatch, fast, vm::Engine::kFast)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_VmBranchDispatch, switch, vm::Engine::kSwitch)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_ProfileMergeScaled(benchmark::State &state)
@@ -137,6 +162,150 @@ BM_BreakAccounting(benchmark::State &state)
 }
 BENCHMARK(BM_BreakAccounting);
 
+// ---------------------------------------------------------------------------
+// --ab mode: direct fast-vs-switch comparison, BENCH_vm.json emission.
+// ---------------------------------------------------------------------------
+
+struct AbMeasurement
+{
+    int64_t instructions = 0; ///< per single run
+    double mips = 0.0;        ///< best of the timed repetitions
+};
+
+/** Best-of-N MIPS for one kernel on one engine (1 warmup + N timed). */
+AbMeasurement
+measureEngine(const vm::Machine &machine, int repetitions)
+{
+    AbMeasurement m;
+    m.instructions = machine.run("").stats.instructions; // warmup
+    for (int i = 0; i < repetitions; ++i) {
+        const int64_t t0 = obs::nowMicros();
+        auto r = machine.run("");
+        const int64_t micros = obs::nowMicros() - t0;
+        if (micros > 0)
+            m.mips = std::max(
+                m.mips, static_cast<double>(r.stats.instructions) /
+                            static_cast<double>(micros));
+    }
+    return m;
+}
+
+int
+runAbMode(double min_speedup, const std::string &out_path)
+{
+    struct Kernel
+    {
+        const char *name;
+        const char *source;
+    };
+    const Kernel kernels[] = {{"arith", kArithKernel},
+                              {"branch", kBranchKernel}};
+    const int kRepetitions = 7;
+
+    std::printf("micro_vm --ab: fast vs switch engine "
+                "(computed_goto=%d, min_speedup=%.2f)\n\n",
+                vm::fastEngineUsesComputedGoto() ? 1 : 0, min_speedup);
+
+    obs::JsonObject json;
+    json.field("schema", "ifprob.vm_bench.v1")
+        .field("computed_goto",
+               int64_t{vm::fastEngineUsesComputedGoto() ? 1 : 0})
+        .field("min_speedup", min_speedup);
+
+    bool ok = true;
+    double worst_speedup = 0.0;
+    bool first = true;
+    for (const Kernel &k : kernels) {
+        isa::Program p = compile(k.source);
+        vm::Machine fast(p, vm::Engine::kFast);
+        vm::Machine ref(p, vm::Engine::kSwitch);
+        AbMeasurement mf = measureEngine(fast, kRepetitions);
+        AbMeasurement ms = measureEngine(ref, kRepetitions);
+        const double speedup = ms.mips > 0.0 ? mf.mips / ms.mips : 0.0;
+        if (first || speedup < worst_speedup)
+            worst_speedup = speedup;
+        first = false;
+        if (speedup < min_speedup)
+            ok = false;
+
+        const auto &ds = fast.decodeStats();
+        std::printf("  %-6s %10lld insns  fast %8.1f MIPS  switch %8.1f "
+                    "MIPS  speedup %5.2fx\n"
+                    "         decode %lldus  fused %lld/%lld slots "
+                    "(%.1f%%: cmp+br %lld, movI+alu %lld, "
+                    "movI+alu+br %lld)\n",
+                    k.name, static_cast<long long>(mf.instructions),
+                    mf.mips, ms.mips, speedup,
+                    static_cast<long long>(ds.decode_micros),
+                    static_cast<long long>(ds.fusedSlots()),
+                    static_cast<long long>(ds.instructions),
+                    100.0 * ds.fusionRate(),
+                    static_cast<long long>(ds.fused_cmp_br),
+                    static_cast<long long>(ds.fused_movi_alu),
+                    static_cast<long long>(ds.fused_movi_alu_br));
+
+        const std::string prefix = k.name;
+        json.field(prefix + "_instructions", mf.instructions)
+            .field(prefix + "_fast_mips", mf.mips)
+            .field(prefix + "_switch_mips", ms.mips)
+            .field(prefix + "_speedup", speedup)
+            .field(prefix + "_decode_micros", ds.decode_micros)
+            .field(prefix + "_fused_slots", ds.fusedSlots())
+            .field(prefix + "_decoded_slots", ds.instructions)
+            .field(prefix + "_fusion_rate", ds.fusionRate());
+    }
+    json.field("worst_speedup", worst_speedup)
+        .field("pass", int64_t{ok ? 1 : 0});
+
+    const std::string line = json.str();
+    std::ofstream out(out_path);
+    if (out) {
+        out << line << "\n";
+        std::printf("\n  wrote %s\n", out_path.c_str());
+    } else {
+        std::fprintf(stderr, "micro_vm: cannot write %s\n",
+                     out_path.c_str());
+        ok = false;
+    }
+    // Mirror through the run-report sink so obsreport-style tooling can
+    // pick the record up alongside the ifprob.run.v1 stream.
+    obs::enableRunReportsDefault("bench/out");
+    obs::ReportSink::global().writeLine(line);
+
+    std::printf("  worst speedup %.2fx: %s\n", worst_speedup,
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool ab = false;
+    double min_speedup = 1.0;
+    std::string out_path = "BENCH_vm.json";
+    std::vector<char *> passthrough = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ab") == 0) {
+            ab = true;
+        } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+            min_speedup = std::atof(argv[i] + 14);
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            out_path = argv[i] + 6;
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    if (ab)
+        return runAbMode(min_speedup, out_path);
+
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -259,6 +259,8 @@ Runner::computeStats(StatsSlot &slot, const std::string &workload,
         limits.max_instructions = 4'000'000'000ll;
         result = machine.run(ds->input, limits);
         record.execute_micros = obs::nowMicros() - t0;
+        record.engine = std::string(vm::engineName(machine.engine()));
+        record.decode_micros = machine.decodeMicros();
         obs::counter("runner.execute_micros").add(record.execute_micros);
     }
 

@@ -101,6 +101,45 @@ isUnaryAlu(Opcode op)
 }
 
 bool
+isIntCompare(Opcode op)
+{
+    return op >= Opcode::kCmpEq && op <= Opcode::kCmpGe;
+}
+
+bool
+isFloatCompare(Opcode op)
+{
+    return op >= Opcode::kFCmpEq && op <= Opcode::kFCmpGe;
+}
+
+int
+binaryAluIndex(Opcode op)
+{
+    // Both runs are contiguous in the enum; kNeg/kNot sit between them.
+    if (op >= Opcode::kAdd && op <= Opcode::kCmpGe)
+        return static_cast<int>(op) - static_cast<int>(Opcode::kAdd);
+    if (op >= Opcode::kFAdd && op <= Opcode::kFCmpGe)
+        return 16 + static_cast<int>(op) - static_cast<int>(Opcode::kFAdd);
+    return -1;
+}
+
+int
+unaryAluIndex(Opcode op)
+{
+    if (op == Opcode::kNeg)
+        return 0;
+    if (op == Opcode::kNot)
+        return 1;
+    if (op >= Opcode::kFNeg && op <= Opcode::kFCos)
+        return 2 + static_cast<int>(op) - static_cast<int>(Opcode::kFNeg);
+    if (op == Opcode::kItoF)
+        return 9;
+    if (op == Opcode::kFtoI)
+        return 10;
+    return -1;
+}
+
+bool
 writesDst(Opcode op)
 {
     if (isBinaryAlu(op) || isUnaryAlu(op))

@@ -77,6 +77,30 @@ bool isBinaryAlu(Opcode op);
 /** True for single-source register-to-register operations (incl. conversions). */
 bool isUnaryAlu(Opcode op);
 
+/** True for the integer compare operations (kCmpEq..kCmpGe). */
+bool isIntCompare(Opcode op);
+
+/** True for the floating-point compare operations (kFCmpEq..kFCmpGe). */
+bool isFloatCompare(Opcode op);
+
+/**
+ * Dense ordinal of a binary ALU operation, in declaration order
+ * (kAdd..kCmpGe = 0..15, kFAdd..kFCmpGe = 16..25); -1 for non-binary
+ * operations. The VM's pre-decoder uses this to resolve every ALU opcode
+ * to its own dispatch-table slot instead of the isBinaryAlu fallback
+ * chain; kNumBinaryAlu sizes such tables.
+ */
+int binaryAluIndex(Opcode op);
+constexpr int kNumBinaryAlu = 26;
+
+/**
+ * Dense ordinal of a unary ALU operation (kNeg, kNot = 0, 1;
+ * kFNeg..kFCos = 2..8; kItoF, kFtoI = 9, 10); -1 otherwise. kMov is
+ * excluded — it has its own dispatch slot.
+ */
+int unaryAluIndex(Opcode op);
+constexpr int kNumUnaryAlu = 11;
+
 /** True when the operation writes register operand `a` as a destination. */
 bool writesDst(Opcode op);
 

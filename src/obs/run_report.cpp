@@ -25,7 +25,9 @@ renderRunRecord(const RunRecord &r)
         .field("self_mispredicts", r.self_mispredicts)
         .field("instr_per_mispredict", r.instr_per_mispredict)
         .field("compile_micros", r.compile_micros)
-        .field("execute_micros", r.execute_micros);
+        .field("execute_micros", r.execute_micros)
+        .field("engine", r.engine)
+        .field("decode_micros", r.decode_micros);
     return o.str();
 }
 
@@ -56,6 +58,8 @@ parseRunRecord(std::string_view line)
     r.instr_per_mispredict = num("instr_per_mispredict");
     r.compile_micros = static_cast<int64_t>(num("compile_micros"));
     r.execute_micros = static_cast<int64_t>(num("execute_micros"));
+    r.engine = str("engine"); // absent in pre-engine-tag records
+    r.decode_micros = static_cast<int64_t>(num("decode_micros"));
     return r;
 }
 

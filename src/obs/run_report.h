@@ -45,6 +45,10 @@ struct RunRecord
     double instr_per_mispredict = 0.0;
     int64_t compile_micros = 0; ///< 0 when the image was already compiled
     int64_t execute_micros = 0; ///< 0 on a cache hit
+    /** Interpreter core that executed the run ("fast" | "switch");
+     *  empty when the stats came from the profile cache. */
+    std::string engine;
+    int64_t decode_micros = 0; ///< pre-decode time; 0 for "switch" / hits
 };
 
 /** Serialize one record as a single JSONL line (no trailing newline). */

@@ -1,0 +1,205 @@
+#include "vm/decode.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace ifprob::vm {
+
+using isa::Instruction;
+using isa::Opcode;
+
+std::string_view
+handlerName(Handler h)
+{
+    static constexpr std::string_view kNames[] = {
+#define IFPROB_VM_HANDLER_NAME(n) #n,
+        IFPROB_VM_HANDLERS(IFPROB_VM_HANDLER_NAME)
+#undef IFPROB_VM_HANDLER_NAME
+    };
+    if (h >= kNumHandlers)
+        return "?";
+    return kNames[h];
+}
+
+namespace {
+
+/** Fused handler for a compare opcode followed by a kBr on its result. */
+Handler
+fusedCompareBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::kCmpEq: return kHFuseCmpEqBr;
+      case Opcode::kCmpNe: return kHFuseCmpNeBr;
+      case Opcode::kCmpLt: return kHFuseCmpLtBr;
+      case Opcode::kCmpLe: return kHFuseCmpLeBr;
+      case Opcode::kCmpGt: return kHFuseCmpGtBr;
+      case Opcode::kCmpGe: return kHFuseCmpGeBr;
+      case Opcode::kFCmpEq: return kHFuseFCmpEqBr;
+      case Opcode::kFCmpNe: return kHFuseFCmpNeBr;
+      case Opcode::kFCmpLt: return kHFuseFCmpLtBr;
+      case Opcode::kFCmpLe: return kHFuseFCmpLeBr;
+      case Opcode::kFCmpGt: return kHFuseFCmpGtBr;
+      case Opcode::kFCmpGe: return kHFuseFCmpGeBr;
+      default: return kNumHandlers;
+    }
+}
+
+/** Fused handler for kMovI feeding the next ALU op's src2; restricted
+ *  to operations that can never trap (no kDiv/kRem). */
+Handler
+fusedMovIAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::kAdd: return kHFuseMovIAdd;
+      case Opcode::kSub: return kHFuseMovISub;
+      case Opcode::kMul: return kHFuseMovIMul;
+      case Opcode::kAnd: return kHFuseMovIAnd;
+      case Opcode::kOr: return kHFuseMovIOr;
+      case Opcode::kXor: return kHFuseMovIXor;
+      case Opcode::kShl: return kHFuseMovIShl;
+      case Opcode::kShr: return kHFuseMovIShr;
+      case Opcode::kCmpEq: return kHFuseMovICmpEq;
+      case Opcode::kCmpNe: return kHFuseMovICmpNe;
+      case Opcode::kCmpLt: return kHFuseMovICmpLt;
+      case Opcode::kCmpLe: return kHFuseMovICmpLe;
+      case Opcode::kCmpGt: return kHFuseMovICmpGt;
+      case Opcode::kCmpGe: return kHFuseMovICmpGe;
+      default: return kNumHandlers;
+    }
+}
+
+/** Fused handler for kMovI feeding a test op whose result the next kBr
+ *  branches on; the common shape of `if (x & C)` / `if (x OP C)` and of
+ *  counted-loop conditions. Three instructions, one dispatch. */
+Handler
+tripleMovIAluBr(Opcode op)
+{
+    switch (op) {
+      case Opcode::kAnd: return kHFuseMovIAndBr;
+      case Opcode::kCmpEq: return kHFuseMovICmpEqBr;
+      case Opcode::kCmpNe: return kHFuseMovICmpNeBr;
+      case Opcode::kCmpLt: return kHFuseMovICmpLtBr;
+      case Opcode::kCmpLe: return kHFuseMovICmpLeBr;
+      case Opcode::kCmpGt: return kHFuseMovICmpGtBr;
+      case Opcode::kCmpGe: return kHFuseMovICmpGeBr;
+      default: return kNumHandlers;
+    }
+}
+
+Handler
+baseHandler(const Instruction &insn, int64_t memory_words)
+{
+    int bi = isa::binaryAluIndex(insn.op);
+    if (bi >= 0)
+        return static_cast<Handler>(kHAdd + bi);
+    int ui = isa::unaryAluIndex(insn.op);
+    if (ui >= 0)
+        return static_cast<Handler>(kHNeg + ui);
+    switch (insn.op) {
+      case Opcode::kMov: return kHMov;
+      // kMovF's immediate already holds the double's bit pattern, so at
+      // run time it is exactly kMovI.
+      case Opcode::kMovI:
+      case Opcode::kMovF: return kHMovI;
+      case Opcode::kLoad:
+        if (insn.b >= 0)
+            return kHLoadReg;
+        return insn.imm >= 0 && insn.imm < memory_words ? kHLoadAbs
+                                                        : kHLoadTrap;
+      case Opcode::kStore:
+        if (insn.b >= 0)
+            return kHStoreReg;
+        return insn.imm >= 0 && insn.imm < memory_words ? kHStoreAbs
+                                                        : kHStoreTrap;
+      case Opcode::kBr: return kHBr;
+      case Opcode::kJmp: return kHJmp;
+      case Opcode::kArg:
+        return insn.a >= 0 && insn.a < kMaxArgs ? kHArg : kHArgTrap;
+      case Opcode::kCall: return kHCall;
+      case Opcode::kICall: return kHICall;
+      case Opcode::kRet: return insn.a == -1 ? kHRetVoid : kHRet;
+      case Opcode::kSelect: return kHSelect;
+      case Opcode::kGetc: return kHGetc;
+      case Opcode::kPutc: return kHPutc;
+      case Opcode::kPutF: return kHPutF;
+      case Opcode::kHalt: return kHHalt;
+      case Opcode::kNop: return kHNop;
+      default:
+        throw Error("decode: unimplemented opcode");
+    }
+}
+
+} // namespace
+
+DecodedProgram
+decodeProgram(const isa::Program &program)
+{
+    DecodedProgram out;
+    out.functions.resize(program.functions.size());
+    int64_t max_block = 1;
+
+    for (size_t fi = 0; fi < program.functions.size(); ++fi) {
+        const auto &code = program.functions[fi].code;
+        auto &dcode = out.functions[fi].code;
+        dcode.resize(code.size() + 1);
+
+        for (size_t pc = 0; pc < code.size(); ++pc) {
+            const Instruction &insn = code[pc];
+            DecodedInsn &d = dcode[pc];
+            d.a = insn.a;
+            d.b = insn.b;
+            d.c = insn.c;
+            d.imm = insn.op == Opcode::kSelect ? insn.d : insn.imm;
+            d.handler = d.unfused =
+                static_cast<uint16_t>(baseHandler(insn, program.memory_words));
+            ++out.stats.instructions;
+        }
+        dcode[code.size()].handler = dcode[code.size()].unfused = kHOffEnd;
+
+        // Superinstruction peephole: rewrite only the first slot's fast
+        // handler, so the group stays enterable at its later slots.
+        for (size_t pc = 0; pc + 1 < code.size(); ++pc) {
+            const Instruction &cur = code[pc];
+            const Instruction &nxt = code[pc + 1];
+            if (pc + 2 < code.size() && cur.op == Opcode::kMovI &&
+                nxt.c == cur.a && code[pc + 2].op == Opcode::kBr &&
+                code[pc + 2].a == nxt.a &&
+                tripleMovIAluBr(nxt.op) != kNumHandlers) {
+                dcode[pc].handler =
+                    static_cast<uint16_t>(tripleMovIAluBr(nxt.op));
+                ++out.stats.fused_movi_alu_br;
+                continue;
+            }
+            if ((isa::isIntCompare(cur.op) || isa::isFloatCompare(cur.op)) &&
+                nxt.op == Opcode::kBr && nxt.a == cur.a) {
+                dcode[pc].handler =
+                    static_cast<uint16_t>(fusedCompareBranch(cur.op));
+                ++out.stats.fused_cmp_br;
+            } else if (cur.op == Opcode::kMovI && nxt.c == cur.a &&
+                       fusedMovIAlu(nxt.op) != kNumHandlers) {
+                dcode[pc].handler =
+                    static_cast<uint16_t>(fusedMovIAlu(nxt.op));
+                ++out.stats.fused_movi_alu;
+            }
+        }
+
+        // Longest straight-line extent: instructions executed from any
+        // entry point up to and including the next control transfer (or
+        // up to the sentinel when code falls off the end).
+        int64_t run = 0;
+        for (const Instruction &insn : code) {
+            ++run;
+            if (isa::isControl(insn.op)) {
+                max_block = std::max(max_block, run);
+                run = 0;
+            }
+        }
+        max_block = std::max(max_block, run);
+    }
+
+    out.max_block_cost = max_block;
+    return out;
+}
+
+} // namespace ifprob::vm

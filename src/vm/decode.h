@@ -1,0 +1,155 @@
+#ifndef IFPROB_VM_DECODE_H
+#define IFPROB_VM_DECODE_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace ifprob::vm {
+
+/** Most arguments one call may stage (shared by both interpreter cores
+ *  and the pre-decoder's kArg range check). */
+constexpr int kMaxArgs = 64;
+
+/**
+ * The fast engine's pre-decoded instruction stream (see docs/vm.md).
+ *
+ * At Machine construction every isa::Instruction is resolved to a dense
+ * Handler index: each ALU opcode gets its own slot (no
+ * isBinaryAlu/isUnaryAlu fallback chain), loads/stores are split into
+ * register-relative and pre-validated absolute forms, kMovF collapses
+ * into kHMovI (the immediate already carries the bit pattern), and
+ * statically invalid operations (out-of-range absolute address,
+ * out-of-range kArg index) become dedicated trap handlers so the run
+ * loop carries no redundant validation.
+ *
+ * A peephole pass then plants superinstructions: a slot whose following
+ * slot completes a compare+branch or movI+ALU pair gets a fused handler
+ * that executes both operations in one dispatch. Fusion rewrites only
+ * the fused slot's fast-path handler; the second slot keeps its own
+ * handler, so control entering mid-pair (a branch target, a call resume
+ * point) still executes correctly, and decoded pcs stay identical to
+ * isa pcs — no target rewriting, and trap contexts match the reference
+ * engine exactly.
+ */
+
+/** X-macro over every handler, keeping the enum and the computed-goto
+ *  label table in engine.cpp in lockstep. Order of the first two groups
+ *  must match isa::binaryAluIndex / isa::unaryAluIndex. */
+#define IFPROB_VM_HANDLERS(X)                                             \
+    /* two-source ALU, one handler per opcode */                          \
+    X(HAdd) X(HSub) X(HMul) X(HDiv) X(HRem)                               \
+    X(HAnd) X(HOr) X(HXor) X(HShl) X(HShr)                                \
+    X(HCmpEq) X(HCmpNe) X(HCmpLt) X(HCmpLe) X(HCmpGt) X(HCmpGe)           \
+    X(HFAdd) X(HFSub) X(HFMul) X(HFDiv)                                   \
+    X(HFCmpEq) X(HFCmpNe) X(HFCmpLt) X(HFCmpLe) X(HFCmpGt) X(HFCmpGe)     \
+    /* single-source ALU */                                               \
+    X(HNeg) X(HNot) X(HFNeg) X(HFAbs) X(HFSqrt) X(HFExp) X(HFLog)         \
+    X(HFSin) X(HFCos) X(HItoF) X(HFtoI)                                   \
+    /* moves */                                                           \
+    X(HMov) X(HMovI)                                                      \
+    /* memory */                                                          \
+    X(HLoadReg) X(HLoadAbs) X(HLoadTrap)                                  \
+    X(HStoreReg) X(HStoreAbs) X(HStoreTrap)                               \
+    /* control and environment */                                         \
+    X(HBr) X(HJmp) X(HArg) X(HArgTrap) X(HCall) X(HICall)                 \
+    X(HRet) X(HRetVoid) X(HSelect)                                        \
+    X(HGetc) X(HPutc) X(HPutF) X(HHalt) X(HNop)                           \
+    /* sentinel appended after each function's last instruction */        \
+    X(HOffEnd)                                                            \
+    /* fused compare+branch (this slot + the kBr in the next slot) */     \
+    X(HFuseCmpEqBr) X(HFuseCmpNeBr) X(HFuseCmpLtBr) X(HFuseCmpLeBr)       \
+    X(HFuseCmpGtBr) X(HFuseCmpGeBr)                                       \
+    X(HFuseFCmpEqBr) X(HFuseFCmpNeBr) X(HFuseFCmpLtBr) X(HFuseFCmpLeBr)   \
+    X(HFuseFCmpGtBr) X(HFuseFCmpGeBr)                                     \
+    /* fused movI+ALU (constant staged into the next slot's src2) */      \
+    X(HFuseMovIAdd) X(HFuseMovISub) X(HFuseMovIMul) X(HFuseMovIAnd)       \
+    X(HFuseMovIOr) X(HFuseMovIXor) X(HFuseMovIShl) X(HFuseMovIShr)        \
+    X(HFuseMovICmpEq) X(HFuseMovICmpNe) X(HFuseMovICmpLt)                 \
+    X(HFuseMovICmpLe) X(HFuseMovICmpGt) X(HFuseMovICmpGe)                 \
+    /* fused movI+ALU+branch (test against a constant, then branch):      \
+       three instructions, one dispatch */                                \
+    X(HFuseMovIAndBr)                                                     \
+    X(HFuseMovICmpEqBr) X(HFuseMovICmpNeBr) X(HFuseMovICmpLtBr)           \
+    X(HFuseMovICmpLeBr) X(HFuseMovICmpGtBr) X(HFuseMovICmpGeBr)
+
+enum Handler : uint16_t {
+#define IFPROB_VM_HANDLER_ENUM(h) k##h,
+    IFPROB_VM_HANDLERS(IFPROB_VM_HANDLER_ENUM)
+#undef IFPROB_VM_HANDLER_ENUM
+    kNumHandlers
+};
+
+/** Handler mnemonic, for the disassembling tests and decode debugging. */
+std::string_view handlerName(Handler h);
+
+/**
+ * One pre-decoded operation: 24 bytes, hot fields first. `handler` is
+ * the fast-path dispatch index (possibly fused); `unfused` is always
+ * the single-operation handler, dispatched by the budget-checked tail
+ * loop so fuel exhaustion traps at exactly the same instruction as the
+ * reference engine. kSelect's fourth register moves into imm.
+ */
+struct DecodedInsn
+{
+    uint16_t handler = kHNop;
+    uint16_t unfused = kHNop;
+    int32_t a = -1;
+    int32_t b = -1;
+    int32_t c = -1;
+    int64_t imm = 0;
+};
+static_assert(sizeof(DecodedInsn) == 24, "keep the decoded stream compact");
+
+struct DecodedFunction
+{
+    /** function code plus one kHOffEnd sentinel, so the run loop needs
+     *  no per-instruction pc bounds check. */
+    std::vector<DecodedInsn> code;
+};
+
+/** Decode-time accounting, surfaced through obs and bench/micro_vm. */
+struct DecodeStats
+{
+    int64_t instructions = 0;  ///< decoded slots (sentinels excluded)
+    int64_t fused_cmp_br = 0;  ///< slots carrying a compare+branch handler
+    int64_t fused_movi_alu = 0;///< slots carrying a movI+ALU handler
+    int64_t fused_movi_alu_br = 0; ///< slots carrying a 3-wide handler
+    int64_t decode_micros = 0; ///< wall-clock spent decoding
+
+    int64_t fusedSlots() const
+    {
+        return fused_cmp_br + fused_movi_alu + fused_movi_alu_br;
+    }
+    /** Static fraction of slots that dispatch as superinstructions. */
+    double fusionRate() const
+    {
+        return instructions > 0 ? static_cast<double>(fusedSlots()) /
+                                      static_cast<double>(instructions)
+                                : 0.0;
+    }
+};
+
+struct DecodedProgram
+{
+    std::vector<DecodedFunction> functions;
+    /**
+     * Upper bound on instructions executed between two budget
+     * checkpoints of the fast run loop: the longest straight-line
+     * extent (ending at a control transfer or a function's sentinel)
+     * in the program. The fast loop runs unchecked while
+     * icount <= max_instructions - max_block_cost, then hands the tail
+     * to the per-instruction-checked loop.
+     */
+    int64_t max_block_cost = 1;
+    DecodeStats stats;
+};
+
+/** Pre-decode @p program (which must already validate()). */
+DecodedProgram decodeProgram(const isa::Program &program);
+
+} // namespace ifprob::vm
+
+#endif // IFPROB_VM_DECODE_H

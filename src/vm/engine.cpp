@@ -1,0 +1,1024 @@
+#include "vm/engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "isa/alu.h"
+#include "support/error.h"
+#include "support/str.h"
+
+// Dispatch strategy for the fast core: labels-as-values (computed goto)
+// on GCC/Clang, portable dense switch elsewhere or when forced off for
+// comparison (-DIFPROB_VM_FORCE_SWITCH_DISPATCH).
+#if !defined(IFPROB_VM_FORCE_SWITCH_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define IFPROB_VM_COMPUTED_GOTO 1
+#else
+#define IFPROB_VM_COMPUTED_GOTO 0
+#endif
+
+namespace ifprob::vm {
+
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/** One activation record. Registers live in a shared stack (reg_base). */
+struct Frame
+{
+    int func_index = -1;
+    int pc = 0;
+    size_t reg_base = 0;
+    int ret_dst = -1;     ///< caller register receiving the return value
+    bool via_icall = false;
+};
+
+/** "trap at <function>+<pc>: <msg>", identical across both cores. */
+RuntimeError
+trapError(const isa::Program &program, const std::vector<Frame> &frames,
+          const std::string &msg)
+{
+    std::string where = "?";
+    if (!frames.empty()) {
+        const Frame &f = frames.back();
+        where = strPrintf(
+            "%s+%d",
+            program.functions[static_cast<size_t>(f.func_index)]
+                .name.c_str(),
+            f.pc);
+    }
+    return RuntimeError("trap at " + where + ": " + msg);
+}
+
+} // namespace
+
+bool
+fastEngineUsesComputedGoto()
+{
+    return IFPROB_VM_COMPUTED_GOTO != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Reference core: decode-on-the-fly switch over isa::Instruction. This is
+// the behavioural baseline the fast core is differentially tested against.
+// ---------------------------------------------------------------------------
+
+void
+runSwitchEngine(const isa::Program &program, std::string_view input,
+                const RunLimits &limits, BranchObserver *observer,
+                RunResult &result)
+{
+    RunStats &stats = result.stats;
+    stats.branches.resize(program.branch_sites.size());
+
+    // Data memory.
+    std::vector<int64_t> memory(static_cast<size_t>(program.memory_words),
+                                0);
+    for (const auto &di : program.data_init)
+        memory[static_cast<size_t>(di.address)] = di.value;
+
+    // Register stack shared by all frames.
+    std::vector<int64_t> reg_stack;
+    reg_stack.reserve(1 << 16);
+
+    std::vector<Frame> frames;
+    frames.reserve(256);
+
+    // Call argument staging area (kArg ... kCall must be contiguous, which
+    // the code generator guarantees).
+    int64_t pending_args[kMaxArgs] = {};
+    int pending_count = 0;
+
+    size_t input_pos = 0;
+
+    auto push_frame = [&](int func_index, int ret_dst, bool via_icall) {
+        const isa::Function &fn =
+            program.functions[static_cast<size_t>(func_index)];
+        Frame frame;
+        frame.func_index = func_index;
+        frame.pc = 0;
+        frame.reg_base = reg_stack.size();
+        frame.ret_dst = ret_dst;
+        frame.via_icall = via_icall;
+        reg_stack.resize(reg_stack.size() +
+                             static_cast<size_t>(fn.num_regs),
+                         0);
+        for (int i = 0; i < fn.num_params && i < pending_count; ++i)
+            reg_stack[frame.reg_base + static_cast<size_t>(i)] =
+                pending_args[i];
+        frames.push_back(frame);
+    };
+
+    auto trap = [&](const std::string &msg) -> RuntimeError {
+        return trapError(program, frames, msg);
+    };
+
+    push_frame(program.entry, -1, false);
+
+    while (!frames.empty()) {
+        Frame &frame = frames.back();
+        const isa::Function &fn =
+            program.functions[static_cast<size_t>(frame.func_index)];
+        const Instruction *code = fn.code.data();
+        const int code_size = static_cast<int>(fn.code.size());
+        int64_t *regs = reg_stack.data() + frame.reg_base;
+        int pc = frame.pc;
+
+        // Inner loop: run within this frame until a call or return.
+        bool switch_frame = false;
+        while (!switch_frame) {
+            if (pc < 0 || pc >= code_size) {
+                frame.pc = pc;
+                throw trap("pc out of range");
+            }
+            const Instruction &insn = code[pc];
+            ++stats.instructions;
+            if (stats.instructions > limits.max_instructions) {
+                frame.pc = pc;
+                throw trap(strPrintf(
+                    "instruction budget exceeded (%lld)",
+                    static_cast<long long>(limits.max_instructions)));
+            }
+
+            switch (insn.op) {
+              case Opcode::kMovI:
+              case Opcode::kMovF:
+                regs[insn.a] = insn.imm;
+                ++pc;
+                break;
+              case Opcode::kMov:
+                regs[insn.a] = regs[insn.b];
+                ++pc;
+                break;
+              case Opcode::kLoad: {
+                int64_t addr =
+                    (insn.b == -1 ? 0 : regs[insn.b]) + insn.imm;
+                if (addr < 0 || addr >= program.memory_words) {
+                    frame.pc = pc;
+                    throw trap(strPrintf("load address %lld out of "
+                                         "[0,%lld)",
+                                         static_cast<long long>(addr),
+                                         static_cast<long long>(
+                                             program.memory_words)));
+                }
+                regs[insn.a] = memory[static_cast<size_t>(addr)];
+                ++pc;
+                break;
+              }
+              case Opcode::kStore: {
+                int64_t addr =
+                    (insn.b == -1 ? 0 : regs[insn.b]) + insn.imm;
+                if (addr < 0 || addr >= program.memory_words) {
+                    frame.pc = pc;
+                    throw trap(strPrintf("store address %lld out of "
+                                         "[0,%lld)",
+                                         static_cast<long long>(addr),
+                                         static_cast<long long>(
+                                             program.memory_words)));
+                }
+                memory[static_cast<size_t>(addr)] = regs[insn.a];
+                ++pc;
+                break;
+              }
+              case Opcode::kBr: {
+                ++stats.cond_branches;
+                bool taken = regs[insn.a] != 0;
+                auto &site = stats.branches[static_cast<size_t>(insn.imm)];
+                ++site.executed;
+                if (taken) {
+                    ++site.taken;
+                    ++stats.taken_branches;
+                    pc = insn.b;
+                } else {
+                    pc = insn.c;
+                }
+                if (observer) {
+                    observer->onBranch(static_cast<int>(insn.imm), taken,
+                                       stats.instructions);
+                }
+                break;
+              }
+              case Opcode::kJmp:
+                ++stats.jumps;
+                pc = insn.a;
+                break;
+              case Opcode::kArg:
+                if (insn.a < 0) {
+                    frame.pc = pc;
+                    throw trap("negative call argument index");
+                }
+                if (insn.a >= kMaxArgs) {
+                    frame.pc = pc;
+                    throw trap("too many call arguments");
+                }
+                pending_args[insn.a] = regs[insn.b];
+                pending_count = std::max(pending_count, insn.a + 1);
+                ++pc;
+                break;
+              case Opcode::kCall: {
+                ++stats.direct_calls;
+                const isa::Function &callee =
+                    program.functions[static_cast<size_t>(insn.b)];
+                if (callee.num_params != pending_count) {
+                    frame.pc = pc;
+                    throw trap(strPrintf(
+                        "call to %s: %d args staged, %d expected",
+                        callee.name.c_str(), pending_count,
+                        callee.num_params));
+                }
+                if (static_cast<int>(frames.size()) >=
+                    limits.max_call_depth) {
+                    frame.pc = pc;
+                    throw trap("call stack overflow");
+                }
+                frame.pc = pc + 1; // resume point
+                push_frame(insn.b, insn.a, false);
+                pending_count = 0;
+                switch_frame = true;
+                break;
+              }
+              case Opcode::kICall: {
+                ++stats.indirect_calls;
+                int64_t target = regs[insn.b];
+                if (target < 0 ||
+                    target >= static_cast<int64_t>(
+                                  program.functions.size())) {
+                    frame.pc = pc;
+                    throw trap(strPrintf("indirect call to bad function "
+                                         "index %lld",
+                                         static_cast<long long>(target)));
+                }
+                const isa::Function &callee =
+                    program.functions[static_cast<size_t>(target)];
+                if (callee.num_params != pending_count) {
+                    frame.pc = pc;
+                    throw trap(strPrintf(
+                        "indirect call to %s: %d args staged, %d expected",
+                        callee.name.c_str(), pending_count,
+                        callee.num_params));
+                }
+                if (static_cast<int>(frames.size()) >=
+                    limits.max_call_depth) {
+                    frame.pc = pc;
+                    throw trap("call stack overflow");
+                }
+                frame.pc = pc + 1;
+                push_frame(static_cast<int>(target), insn.a, true);
+                pending_count = 0;
+                switch_frame = true;
+                if (observer)
+                    observer->onUnavoidableBreak(stats.instructions);
+                break;
+              }
+              case Opcode::kRet: {
+                // The entry frame's return ends the run; it has no
+                // matching call, so it is not counted as a return.
+                if (frames.size() > 1) {
+                    if (frames.back().via_icall) {
+                        ++stats.indirect_returns;
+                        if (observer)
+                            observer->onUnavoidableBreak(
+                                stats.instructions);
+                    } else {
+                        ++stats.direct_returns;
+                    }
+                }
+                int64_t value = insn.a == -1 ? 0 : regs[insn.a];
+                int ret_dst = frame.ret_dst;
+                reg_stack.resize(frame.reg_base);
+                frames.pop_back();
+                if (frames.empty()) {
+                    stats.exit_code = value;
+                    return;
+                }
+                if (ret_dst != -1) {
+                    Frame &caller = frames.back();
+                    reg_stack[caller.reg_base +
+                              static_cast<size_t>(ret_dst)] = value;
+                }
+                switch_frame = true;
+                break;
+              }
+              case Opcode::kSelect:
+                ++stats.selects;
+                regs[insn.a] = regs[insn.b] != 0 ? regs[insn.c]
+                                                 : regs[insn.d];
+                ++pc;
+                break;
+              case Opcode::kGetc:
+                regs[insn.a] = input_pos < input.size()
+                                   ? static_cast<unsigned char>(
+                                         input[input_pos++])
+                                   : -1;
+                ++pc;
+                break;
+              case Opcode::kPutc:
+                result.output.push_back(
+                    static_cast<char>(regs[insn.a] & 0xff));
+                ++pc;
+                break;
+              case Opcode::kPutF:
+                result.output += strPrintf("%.6g", isa::asF(regs[insn.a]));
+                ++pc;
+                break;
+              case Opcode::kHalt:
+                stats.exit_code = 0;
+                return;
+              case Opcode::kNop:
+                ++pc;
+                break;
+              default: {
+                if (isa::isBinaryAlu(insn.op)) {
+                    auto v = isa::evalBinaryAlu(insn.op, regs[insn.b],
+                                                regs[insn.c]);
+                    if (!v) {
+                        frame.pc = pc;
+                        throw trap(std::string("integer division by zero "
+                                               "in ") +
+                                   std::string(isa::opcodeName(insn.op)));
+                    }
+                    regs[insn.a] = *v;
+                    ++pc;
+                    break;
+                }
+                if (isa::isUnaryAlu(insn.op)) {
+                    auto v = isa::evalUnaryAlu(insn.op, regs[insn.b]);
+                    if (!v) {
+                        frame.pc = pc;
+                        throw trap("unevaluable unary op");
+                    }
+                    regs[insn.a] = *v;
+                    ++pc;
+                    break;
+                }
+                frame.pc = pc;
+                throw trap("unimplemented opcode");
+              }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fast core: pre-decoded threaded dispatch over an instruction pointer.
+//
+// The run loop is instantiated four ways: HasObserver specializes away
+// the per-branch callback check for profiling-off runs, and Checked
+// selects between the unchecked fast loop (block-granular fuel: yields
+// once icount crosses max_instructions - max_block_cost, so no executed
+// instruction can overshoot the budget) and the per-instruction-checked
+// tail loop, which dispatches each slot's `unfused` handler and thus
+// reproduces the reference engine's trap point and message exactly.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ExecState
+{
+    ExecState(const isa::Program &p, const DecodedProgram &d,
+              std::string_view in, const RunLimits &l, BranchObserver *o,
+              RunResult &r)
+        : program(p), decoded(d), input(in), limits(l), observer(o),
+          result(r)
+    {
+    }
+
+    const isa::Program &program;
+    const DecodedProgram &decoded;
+    const std::string_view input;
+    const RunLimits &limits;
+    BranchObserver *const observer;
+    RunResult &result;
+
+    std::vector<int64_t> memory;
+    std::vector<int64_t> reg_stack;
+    std::vector<Frame> frames;
+    int64_t pending_args[kMaxArgs] = {};
+    int pending_count = 0;
+    size_t input_pos = 0;
+    int64_t icount = 0; ///< instructions retired (live copy of the loop's)
+    bool done = false;  ///< run completed (vs yielded to the checked loop)
+};
+
+void
+pushFrame(ExecState &s, int func_index, int ret_dst, bool via_icall)
+{
+    const isa::Function &fn =
+        s.program.functions[static_cast<size_t>(func_index)];
+    Frame frame;
+    frame.func_index = func_index;
+    frame.pc = 0;
+    frame.reg_base = s.reg_stack.size();
+    frame.ret_dst = ret_dst;
+    frame.via_icall = via_icall;
+    s.reg_stack.resize(s.reg_stack.size() +
+                           static_cast<size_t>(fn.num_regs),
+                       0);
+    for (int i = 0; i < fn.num_params && i < s.pending_count; ++i)
+        s.reg_stack[frame.reg_base + static_cast<size_t>(i)] =
+            s.pending_args[i];
+    s.frames.push_back(frame);
+}
+
+/** The decoded pc of the instruction @p insn points at. */
+#define CUR_PC() static_cast<int>(insn - code)
+
+// TRAP flushes the live instruction count into the stats (the partial
+// statistics Machine::run records for trapped runs) before throwing
+// with the same function+pc context string as the reference engine.
+#define TRAP(msg_expr)                                                    \
+    do {                                                                  \
+        s.frames.back().pc = CUR_PC();                                    \
+        s.icount = icount;                                                \
+        stats.instructions = icount;                                      \
+        throw trapError(s.program, s.frames, (msg_expr));                 \
+    } while (0)
+
+// Per-instruction accounting. Only the Checked instantiation compares
+// against the budget — the fast loop's yield checks make overshoot
+// impossible, so its handlers pay a single register increment.
+#define COUNT1()                                                          \
+    do {                                                                  \
+        ++icount;                                                         \
+        if (Checked && icount > max_insns)                                \
+            TRAP(strPrintf("instruction budget exceeded (%lld)",          \
+                           static_cast<long long>(max_insns)));           \
+    } while (0)
+
+// Fast-loop fuel checkpoint, placed on every intra-frame control
+// transfer (the only way icount grows without passing frame_switch).
+// `insn` already points at the transfer target when this runs.
+#define MAYBE_YIELD()                                                     \
+    do {                                                                  \
+        if (!Checked && icount > fast_limit) {                            \
+            s.frames.back().pc = CUR_PC();                                \
+            s.icount = icount;                                            \
+            return;                                                       \
+        }                                                                 \
+    } while (0)
+
+#if IFPROB_VM_COMPUTED_GOTO
+#define DEF(h) L_##h:
+#define NEXT() goto *kLabels[Checked ? insn->unfused : insn->handler]
+#else
+#define DEF(h) case k##h:
+#define NEXT() goto dispatch
+#endif
+
+#define H_BINARY(h, OPC)                                                  \
+    DEF(h)                                                                \
+    {                                                                     \
+        COUNT1();                                                         \
+        regs[insn->a] = *isa::evalBinaryAlu(                              \
+            Opcode::OPC, regs[insn->b], regs[insn->c]);                   \
+        ++insn;                                                           \
+    }                                                                     \
+    NEXT();
+
+#define H_BINARY_DIV(h, OPC)                                              \
+    DEF(h)                                                                \
+    {                                                                     \
+        COUNT1();                                                         \
+        auto v = isa::evalBinaryAlu(Opcode::OPC, regs[insn->b],           \
+                                    regs[insn->c]);                       \
+        if (!v)                                                           \
+            TRAP(std::string("integer division by zero in ") +            \
+                 std::string(isa::opcodeName(Opcode::OPC)));              \
+        regs[insn->a] = *v;                                               \
+        ++insn;                                                           \
+    }                                                                     \
+    NEXT();
+
+#define H_UNARY(h, OPC)                                                   \
+    DEF(h)                                                                \
+    {                                                                     \
+        COUNT1();                                                         \
+        regs[insn->a] = *isa::evalUnaryAlu(Opcode::OPC, regs[insn->b]);   \
+        ++insn;                                                           \
+    }                                                                     \
+    NEXT();
+
+// Shared tail of every fused group ending in a branch: per-site
+// accounting, redirect, observer callback — identical to dispatching
+// the group's instructions separately. @p br points at the kBr slot and
+// @p cond holds the already-written test result.
+#define FUSED_BRANCH_TAIL(br, cond)                                       \
+    do {                                                                  \
+        ++stats.cond_branches;                                            \
+        BranchCounts &site = sites[static_cast<size_t>((br)->imm)];       \
+        ++site.executed;                                                  \
+        if ((cond) != 0) {                                                \
+            ++site.taken;                                                 \
+            ++stats.taken_branches;                                       \
+            insn = code + (br)->b;                                        \
+        } else {                                                          \
+            insn = code + (br)->c;                                        \
+        }                                                                 \
+        if (HasObserver)                                                  \
+            s.observer->onBranch(static_cast<int>((br)->imm),             \
+                                 (cond) != 0, icount);                    \
+        MAYBE_YIELD();                                                    \
+    } while (0)
+
+// Superinstruction: compare + branch on its result in one dispatch. The
+// compare's destination is still written (later code may read it) and
+// both component instructions are counted. Never dispatched by the
+// Checked loop (it uses the unfused indices).
+#define H_FUSE_CMP_BR(h, OPC)                                             \
+    DEF(h)                                                                \
+    {                                                                     \
+        icount += 2;                                                      \
+        const DecodedInsn *br = insn + 1;                                 \
+        const int64_t cond = *isa::evalBinaryAlu(                         \
+            Opcode::OPC, regs[insn->b], regs[insn->c]);                   \
+        regs[insn->a] = cond;                                             \
+        FUSED_BRANCH_TAIL(br, cond);                                      \
+    }                                                                     \
+    NEXT();
+
+// Superinstruction: movI staging a constant into the next ALU op's
+// src2. The constant's register is written first, then the ALU operands
+// are read back from the frame, so aliasing (ALU src1 or dst being the
+// constant's register) behaves exactly as the unfused pair.
+#define H_FUSE_MOVI(h, OPC)                                               \
+    DEF(h)                                                                \
+    {                                                                     \
+        icount += 2;                                                      \
+        const DecodedInsn *alu = insn + 1;                                \
+        regs[insn->a] = insn->imm;                                        \
+        regs[alu->a] = *isa::evalBinaryAlu(Opcode::OPC, regs[alu->b],     \
+                                           regs[alu->c]);                 \
+        insn += 2;                                                        \
+    }                                                                     \
+    NEXT();
+
+// Superinstruction: movI + test-against-constant + branch — the shape
+// of `if (x OP C)` and counted-loop conditions. Three instructions,
+// one dispatch.
+#define H_FUSE_MOVI_BR(h, OPC)                                            \
+    DEF(h)                                                                \
+    {                                                                     \
+        icount += 3;                                                      \
+        const DecodedInsn *alu = insn + 1;                                \
+        const DecodedInsn *br = insn + 2;                                 \
+        regs[insn->a] = insn->imm;                                        \
+        const int64_t cond = *isa::evalBinaryAlu(                         \
+            Opcode::OPC, regs[alu->b], regs[alu->c]);                     \
+        regs[alu->a] = cond;                                              \
+        FUSED_BRANCH_TAIL(br, cond);                                      \
+    }                                                                     \
+    NEXT();
+
+template <bool HasObserver, bool Checked>
+void
+executeLoop(ExecState &s)
+{
+    RunStats &stats = s.result.stats;
+    BranchCounts *const sites = stats.branches.data();
+    int64_t *const mem = s.memory.data();
+    const int64_t memory_words = s.program.memory_words;
+    const int64_t max_insns = s.limits.max_instructions;
+    const int64_t fast_limit = max_insns - s.decoded.max_block_cost;
+
+    const DecodedInsn *code = nullptr;
+    const DecodedInsn *insn = nullptr;
+    int64_t *regs = nullptr;
+    int64_t icount = s.icount;
+    int64_t ret_value = 0;
+
+#if IFPROB_VM_COMPUTED_GOTO
+    static const void *kLabels[kNumHandlers] = {
+#define IFPROB_VM_LABEL_ADDR(h) &&L_##h,
+        IFPROB_VM_HANDLERS(IFPROB_VM_LABEL_ADDR)
+#undef IFPROB_VM_LABEL_ADDR
+    };
+#endif
+
+    goto frame_switch;
+
+frame_switch:
+    // Reached after every call and return (and on entry/resume). The
+    // fast loop yields here and at intra-frame transfers once the
+    // remaining fuel no longer covers a worst-case straight-line block.
+    if (!Checked && icount > fast_limit) {
+        s.icount = icount;
+        return;
+    }
+    {
+        const Frame &fr = s.frames.back();
+        code = s.decoded.functions[static_cast<size_t>(fr.func_index)]
+                   .code.data();
+        regs = s.reg_stack.data() + fr.reg_base;
+        insn = code + fr.pc;
+    }
+#if IFPROB_VM_COMPUTED_GOTO
+    NEXT();
+#else
+dispatch:
+    switch (Checked ? insn->unfused : insn->handler) {
+#endif
+
+    H_BINARY(HAdd, kAdd)
+    H_BINARY(HSub, kSub)
+    H_BINARY(HMul, kMul)
+    H_BINARY_DIV(HDiv, kDiv)
+    H_BINARY_DIV(HRem, kRem)
+    H_BINARY(HAnd, kAnd)
+    H_BINARY(HOr, kOr)
+    H_BINARY(HXor, kXor)
+    H_BINARY(HShl, kShl)
+    H_BINARY(HShr, kShr)
+    H_BINARY(HCmpEq, kCmpEq)
+    H_BINARY(HCmpNe, kCmpNe)
+    H_BINARY(HCmpLt, kCmpLt)
+    H_BINARY(HCmpLe, kCmpLe)
+    H_BINARY(HCmpGt, kCmpGt)
+    H_BINARY(HCmpGe, kCmpGe)
+    H_BINARY(HFAdd, kFAdd)
+    H_BINARY(HFSub, kFSub)
+    H_BINARY(HFMul, kFMul)
+    H_BINARY(HFDiv, kFDiv)
+    H_BINARY(HFCmpEq, kFCmpEq)
+    H_BINARY(HFCmpNe, kFCmpNe)
+    H_BINARY(HFCmpLt, kFCmpLt)
+    H_BINARY(HFCmpLe, kFCmpLe)
+    H_BINARY(HFCmpGt, kFCmpGt)
+    H_BINARY(HFCmpGe, kFCmpGe)
+
+    H_UNARY(HNeg, kNeg)
+    H_UNARY(HNot, kNot)
+    H_UNARY(HFNeg, kFNeg)
+    H_UNARY(HFAbs, kFAbs)
+    H_UNARY(HFSqrt, kFSqrt)
+    H_UNARY(HFExp, kFExp)
+    H_UNARY(HFLog, kFLog)
+    H_UNARY(HFSin, kFSin)
+    H_UNARY(HFCos, kFCos)
+    H_UNARY(HItoF, kItoF)
+    H_UNARY(HFtoI, kFtoI)
+
+    DEF(HMov)
+    {
+        COUNT1();
+        regs[insn->a] = regs[insn->b];
+        ++insn;
+    }
+    NEXT();
+
+    DEF(HMovI)
+    {
+        COUNT1();
+        regs[insn->a] = insn->imm;
+        ++insn;
+    }
+    NEXT();
+
+    DEF(HLoadReg)
+    {
+        COUNT1();
+        const int64_t addr = regs[insn->b] + insn->imm;
+        if (addr < 0 || addr >= memory_words)
+            TRAP(strPrintf("load address %lld out of [0,%lld)",
+                           static_cast<long long>(addr),
+                           static_cast<long long>(memory_words)));
+        regs[insn->a] = mem[addr];
+        ++insn;
+    }
+    NEXT();
+
+    DEF(HLoadAbs)
+    {
+        COUNT1();
+        regs[insn->a] = mem[insn->imm];
+        ++insn;
+    }
+    NEXT();
+
+    DEF(HLoadTrap)
+    {
+        COUNT1();
+        TRAP(strPrintf("load address %lld out of [0,%lld)",
+                       static_cast<long long>(insn->imm),
+                       static_cast<long long>(memory_words)));
+    }
+    NEXT();
+
+    DEF(HStoreReg)
+    {
+        COUNT1();
+        const int64_t addr = regs[insn->b] + insn->imm;
+        if (addr < 0 || addr >= memory_words)
+            TRAP(strPrintf("store address %lld out of [0,%lld)",
+                           static_cast<long long>(addr),
+                           static_cast<long long>(memory_words)));
+        mem[addr] = regs[insn->a];
+        ++insn;
+    }
+    NEXT();
+
+    DEF(HStoreAbs)
+    {
+        COUNT1();
+        mem[insn->imm] = regs[insn->a];
+        ++insn;
+    }
+    NEXT();
+
+    DEF(HStoreTrap)
+    {
+        COUNT1();
+        TRAP(strPrintf("store address %lld out of [0,%lld)",
+                       static_cast<long long>(insn->imm),
+                       static_cast<long long>(memory_words)));
+    }
+    NEXT();
+
+    DEF(HBr)
+    {
+        COUNT1();
+        ++stats.cond_branches;
+        const bool taken = regs[insn->a] != 0;
+        BranchCounts &site = sites[static_cast<size_t>(insn->imm)];
+        ++site.executed;
+        const DecodedInsn *const br = insn;
+        if (taken) {
+            ++site.taken;
+            ++stats.taken_branches;
+            insn = code + br->b;
+        } else {
+            insn = code + br->c;
+        }
+        if (HasObserver)
+            s.observer->onBranch(static_cast<int>(br->imm), taken,
+                                 icount);
+        MAYBE_YIELD();
+    }
+    NEXT();
+
+    DEF(HJmp)
+    {
+        COUNT1();
+        ++stats.jumps;
+        insn = code + insn->a;
+        MAYBE_YIELD();
+    }
+    NEXT();
+
+    DEF(HArg)
+    {
+        COUNT1();
+        s.pending_args[insn->a] = regs[insn->b];
+        s.pending_count =
+            std::max(s.pending_count, static_cast<int>(insn->a) + 1);
+        ++insn;
+    }
+    NEXT();
+
+    DEF(HArgTrap)
+    {
+        COUNT1();
+        TRAP(insn->a < 0 ? "negative call argument index"
+                         : "too many call arguments");
+    }
+    NEXT();
+
+    DEF(HCall)
+    {
+        COUNT1();
+        ++stats.direct_calls;
+        const isa::Function &callee =
+            s.program.functions[static_cast<size_t>(insn->b)];
+        if (callee.num_params != s.pending_count)
+            TRAP(strPrintf("call to %s: %d args staged, %d expected",
+                           callee.name.c_str(), s.pending_count,
+                           callee.num_params));
+        if (static_cast<int>(s.frames.size()) >= s.limits.max_call_depth)
+            TRAP("call stack overflow");
+        s.frames.back().pc = CUR_PC() + 1; // resume point
+        pushFrame(s, insn->b, insn->a, false);
+        s.pending_count = 0;
+        goto frame_switch;
+    }
+
+    DEF(HICall)
+    {
+        COUNT1();
+        ++stats.indirect_calls;
+        const int64_t target = regs[insn->b];
+        if (target < 0 ||
+            target >= static_cast<int64_t>(s.program.functions.size()))
+            TRAP(strPrintf("indirect call to bad function index %lld",
+                           static_cast<long long>(target)));
+        const isa::Function &callee =
+            s.program.functions[static_cast<size_t>(target)];
+        if (callee.num_params != s.pending_count)
+            TRAP(strPrintf(
+                "indirect call to %s: %d args staged, %d expected",
+                callee.name.c_str(), s.pending_count, callee.num_params));
+        if (static_cast<int>(s.frames.size()) >= s.limits.max_call_depth)
+            TRAP("call stack overflow");
+        s.frames.back().pc = CUR_PC() + 1;
+        pushFrame(s, static_cast<int>(target), insn->a, true);
+        s.pending_count = 0;
+        if (HasObserver)
+            s.observer->onUnavoidableBreak(icount);
+        goto frame_switch;
+    }
+
+    DEF(HRet)
+    {
+        COUNT1();
+        ret_value = regs[insn->a];
+        goto do_return;
+    }
+
+    DEF(HRetVoid)
+    {
+        COUNT1();
+        ret_value = 0;
+        goto do_return;
+    }
+
+do_return:
+    {
+        // The entry frame's return ends the run; it has no matching
+        // call, so it is not counted as a return.
+        const Frame &frame = s.frames.back();
+        if (s.frames.size() > 1) {
+            if (frame.via_icall) {
+                ++stats.indirect_returns;
+                if (HasObserver)
+                    s.observer->onUnavoidableBreak(icount);
+            } else {
+                ++stats.direct_returns;
+            }
+        }
+        const int ret_dst = frame.ret_dst;
+        s.reg_stack.resize(frame.reg_base);
+        s.frames.pop_back();
+        if (s.frames.empty()) {
+            stats.exit_code = ret_value;
+            stats.instructions = icount;
+            s.icount = icount;
+            s.done = true;
+            return;
+        }
+        if (ret_dst != -1) {
+            const Frame &caller = s.frames.back();
+            s.reg_stack[caller.reg_base + static_cast<size_t>(ret_dst)] =
+                ret_value;
+        }
+    }
+    goto frame_switch;
+
+    DEF(HSelect)
+    {
+        COUNT1();
+        ++stats.selects;
+        regs[insn->a] = regs[insn->b] != 0
+                            ? regs[insn->c]
+                            : regs[static_cast<int32_t>(insn->imm)];
+        ++insn;
+    }
+    NEXT();
+
+    DEF(HGetc)
+    {
+        COUNT1();
+        regs[insn->a] =
+            s.input_pos < s.input.size()
+                ? static_cast<unsigned char>(s.input[s.input_pos++])
+                : -1;
+        ++insn;
+    }
+    NEXT();
+
+    DEF(HPutc)
+    {
+        COUNT1();
+        s.result.output.push_back(static_cast<char>(regs[insn->a] & 0xff));
+        ++insn;
+    }
+    NEXT();
+
+    DEF(HPutF)
+    {
+        COUNT1();
+        s.result.output += strPrintf("%.6g", isa::asF(regs[insn->a]));
+        ++insn;
+    }
+    NEXT();
+
+    DEF(HHalt)
+    {
+        COUNT1();
+        stats.exit_code = 0;
+        stats.instructions = icount;
+        s.icount = icount;
+        s.done = true;
+        return;
+    }
+
+    DEF(HNop)
+    {
+        COUNT1();
+        ++insn;
+    }
+    NEXT();
+
+    DEF(HOffEnd)
+    {
+        // Sentinel slot past the last instruction; the reference engine
+        // fails its pc bounds check before counting, so no COUNT1 here.
+        TRAP("pc out of range");
+    }
+
+    H_FUSE_CMP_BR(HFuseCmpEqBr, kCmpEq)
+    H_FUSE_CMP_BR(HFuseCmpNeBr, kCmpNe)
+    H_FUSE_CMP_BR(HFuseCmpLtBr, kCmpLt)
+    H_FUSE_CMP_BR(HFuseCmpLeBr, kCmpLe)
+    H_FUSE_CMP_BR(HFuseCmpGtBr, kCmpGt)
+    H_FUSE_CMP_BR(HFuseCmpGeBr, kCmpGe)
+    H_FUSE_CMP_BR(HFuseFCmpEqBr, kFCmpEq)
+    H_FUSE_CMP_BR(HFuseFCmpNeBr, kFCmpNe)
+    H_FUSE_CMP_BR(HFuseFCmpLtBr, kFCmpLt)
+    H_FUSE_CMP_BR(HFuseFCmpLeBr, kFCmpLe)
+    H_FUSE_CMP_BR(HFuseFCmpGtBr, kFCmpGt)
+    H_FUSE_CMP_BR(HFuseFCmpGeBr, kFCmpGe)
+
+    H_FUSE_MOVI(HFuseMovIAdd, kAdd)
+    H_FUSE_MOVI(HFuseMovISub, kSub)
+    H_FUSE_MOVI(HFuseMovIMul, kMul)
+    H_FUSE_MOVI(HFuseMovIAnd, kAnd)
+    H_FUSE_MOVI(HFuseMovIOr, kOr)
+    H_FUSE_MOVI(HFuseMovIXor, kXor)
+    H_FUSE_MOVI(HFuseMovIShl, kShl)
+    H_FUSE_MOVI(HFuseMovIShr, kShr)
+    H_FUSE_MOVI(HFuseMovICmpEq, kCmpEq)
+    H_FUSE_MOVI(HFuseMovICmpNe, kCmpNe)
+    H_FUSE_MOVI(HFuseMovICmpLt, kCmpLt)
+    H_FUSE_MOVI(HFuseMovICmpLe, kCmpLe)
+    H_FUSE_MOVI(HFuseMovICmpGt, kCmpGt)
+    H_FUSE_MOVI(HFuseMovICmpGe, kCmpGe)
+
+    H_FUSE_MOVI_BR(HFuseMovIAndBr, kAnd)
+    H_FUSE_MOVI_BR(HFuseMovICmpEqBr, kCmpEq)
+    H_FUSE_MOVI_BR(HFuseMovICmpNeBr, kCmpNe)
+    H_FUSE_MOVI_BR(HFuseMovICmpLtBr, kCmpLt)
+    H_FUSE_MOVI_BR(HFuseMovICmpLeBr, kCmpLe)
+    H_FUSE_MOVI_BR(HFuseMovICmpGtBr, kCmpGt)
+    H_FUSE_MOVI_BR(HFuseMovICmpGeBr, kCmpGe)
+
+#if !IFPROB_VM_COMPUTED_GOTO
+      default:
+        TRAP("unimplemented opcode");
+    }
+#endif
+}
+
+#undef H_FUSE_MOVI_BR
+#undef H_FUSE_MOVI
+#undef H_FUSE_CMP_BR
+#undef FUSED_BRANCH_TAIL
+#undef H_UNARY
+#undef H_BINARY_DIV
+#undef H_BINARY
+#undef NEXT
+#undef DEF
+#undef MAYBE_YIELD
+#undef COUNT1
+#undef TRAP
+#undef CUR_PC
+
+} // namespace
+
+void
+runFastEngine(const isa::Program &program, const DecodedProgram &decoded,
+              std::string_view input, const RunLimits &limits,
+              BranchObserver *observer, RunResult &result)
+{
+    ExecState s{program, decoded, input, limits, observer, result};
+    result.stats.branches.resize(program.branch_sites.size());
+    s.memory.assign(static_cast<size_t>(program.memory_words), 0);
+    for (const auto &di : program.data_init)
+        s.memory[static_cast<size_t>(di.address)] = di.value;
+    s.reg_stack.reserve(1 << 16);
+    s.frames.reserve(256);
+    pushFrame(s, program.entry, -1, false);
+
+    // The unchecked loop yields (done == false) once the remaining
+    // instruction budget stops covering a worst-case block; the checked
+    // loop then finishes the run with reference-exact fuel accounting.
+    if (observer) {
+        executeLoop<true, false>(s);
+        if (!s.done)
+            executeLoop<true, true>(s);
+    } else {
+        executeLoop<false, false>(s);
+        if (!s.done)
+            executeLoop<false, true>(s);
+    }
+}
+
+} // namespace ifprob::vm

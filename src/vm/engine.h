@@ -1,0 +1,44 @@
+#ifndef IFPROB_VM_ENGINE_H
+#define IFPROB_VM_ENGINE_H
+
+#include <string_view>
+
+#include "isa/program.h"
+#include "vm/decode.h"
+#include "vm/machine.h"
+
+namespace ifprob::vm {
+
+/**
+ * The two interpreter cores behind Machine::run (see docs/vm.md).
+ *
+ * Both fill @p result in place — stats, program output, exit code — so
+ * a run that traps leaves its partial statistics behind for
+ * Machine::run to record. Their observable behaviour is bit-for-bit
+ * identical by contract: same RunStats (including per-site counters),
+ * same output, same observer event sequence, and the same RuntimeError
+ * message at the same instruction count on every trap path
+ * (tests/test_vm_engines.cpp enforces this differentially).
+ */
+
+/** Reference core: decode-on-the-fly switch over isa::Instruction. */
+void runSwitchEngine(const isa::Program &program, std::string_view input,
+                     const RunLimits &limits, BranchObserver *observer,
+                     RunResult &result);
+
+/**
+ * Fast core: threaded dispatch over the pre-decoded stream, run loops
+ * specialized on observer presence, block-granular fuel checks.
+ */
+void runFastEngine(const isa::Program &program,
+                   const DecodedProgram &decoded, std::string_view input,
+                   const RunLimits &limits, BranchObserver *observer,
+                   RunResult &result);
+
+/** True when the fast core was compiled with computed-goto dispatch
+ *  (GCC/Clang labels-as-values); false for the portable switch build. */
+bool fastEngineUsesComputedGoto();
+
+} // namespace ifprob::vm
+
+#endif // IFPROB_VM_ENGINE_H

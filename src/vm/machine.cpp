@@ -1,35 +1,57 @@
 #include "vm/machine.h"
 
-#include <vector>
+#include <cstdlib>
+#include <string>
 
-#include "isa/alu.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/error.h"
-#include "support/str.h"
+#include "vm/engine.h"
 
 namespace ifprob::vm {
 
-using isa::Instruction;
-using isa::Opcode;
-
-namespace {
-
-/** One activation record. Registers live in a shared stack (reg_base). */
-struct Frame
+std::string_view
+engineName(Engine engine)
 {
-    int func_index = -1;
-    int pc = 0;
-    size_t reg_base = 0;
-    int ret_dst = -1;     ///< caller register receiving the return value
-    bool via_icall = false;
-};
+    return engine == Engine::kFast ? "fast" : "switch";
+}
 
-} // namespace
+Engine
+defaultEngine()
+{
+    static const Engine cached = [] {
+        const char *env = std::getenv("IFPROB_VM_ENGINE");
+        if (env == nullptr || *env == '\0')
+            return Engine::kFast;
+        const std::string v(env);
+        if (v == "fast")
+            return Engine::kFast;
+        if (v == "switch" || v == "reference")
+            return Engine::kSwitch;
+        throw Error("IFPROB_VM_ENGINE: unknown engine \"" + v +
+                    "\" (expected \"fast\" or \"switch\")");
+    }();
+    return cached;
+}
 
-Machine::Machine(const isa::Program &program) : program_(program)
+Machine::Machine(const isa::Program &program, Engine engine)
+    : program_(program), engine_(engine)
 {
     program_.validate();
+    if (engine_ == Engine::kFast) {
+        obs::ScopedSpan span("vm.decode", "vm");
+        const int64_t t0 = obs::nowMicros();
+        decoded_ = decodeProgram(program_);
+        decoded_.stats.decode_micros = obs::nowMicros() - t0;
+        obs::counter("vm.decodes").add(1);
+        obs::histogram("vm.decode_micros")
+            .record(decoded_.stats.decode_micros);
+        if (span.active()) {
+            span.arg("instructions", decoded_.stats.instructions);
+            span.arg("fused_slots", decoded_.stats.fusedSlots());
+            span.arg("micros", decoded_.stats.decode_micros);
+        }
+    }
 }
 
 RunResult
@@ -59,6 +81,7 @@ Machine::run(std::string_view input, const RunLimits &limits,
         }
         obs::histogram("vm.run_micros").record(micros);
         if (span.active()) {
+            span.arg("engine", engineName(engine_));
             span.arg("instructions", stats.instructions);
             span.arg("cond_branches", stats.cond_branches);
             if (micros > 0)
@@ -69,309 +92,21 @@ Machine::run(std::string_view input, const RunLimits &limits,
         }
     };
 
+    RunResult result;
     try {
-        RunResult result = runImpl(input, limits, observer);
+        if (engine_ == Engine::kFast)
+            runFastEngine(program_, decoded_, input, limits, observer,
+                          result);
+        else
+            runSwitchEngine(program_, input, limits, observer, result);
         record(result.stats, /*trapped=*/false);
         return result;
     } catch (const RuntimeError &) {
-        record(RunStats{}, /*trapped=*/true);
+        // The engines fill `result` in place, so the statistics (and
+        // output) accumulated up to the trap site are recorded.
+        record(result.stats, /*trapped=*/true);
         throw;
     }
-}
-
-RunResult
-Machine::runImpl(std::string_view input, const RunLimits &limits,
-                 BranchObserver *observer) const
-{
-    RunResult result;
-    RunStats &stats = result.stats;
-    stats.branches.resize(program_.branch_sites.size());
-
-    // Data memory.
-    std::vector<int64_t> memory(static_cast<size_t>(program_.memory_words),
-                                0);
-    for (const auto &di : program_.data_init)
-        memory[static_cast<size_t>(di.address)] = di.value;
-
-    // Register stack shared by all frames.
-    std::vector<int64_t> reg_stack;
-    reg_stack.reserve(1 << 16);
-
-    std::vector<Frame> frames;
-    frames.reserve(256);
-
-    // Call argument staging area (kArg ... kCall must be contiguous, which
-    // the code generator guarantees).
-    constexpr int kMaxArgs = 64;
-    int64_t pending_args[kMaxArgs] = {};
-    int pending_count = 0;
-
-    size_t input_pos = 0;
-
-    auto push_frame = [&](int func_index, int ret_dst, bool via_icall) {
-        const isa::Function &fn =
-            program_.functions[static_cast<size_t>(func_index)];
-        Frame frame;
-        frame.func_index = func_index;
-        frame.pc = 0;
-        frame.reg_base = reg_stack.size();
-        frame.ret_dst = ret_dst;
-        frame.via_icall = via_icall;
-        reg_stack.resize(reg_stack.size() +
-                             static_cast<size_t>(fn.num_regs),
-                         0);
-        for (int i = 0; i < fn.num_params && i < pending_count; ++i)
-            reg_stack[frame.reg_base + static_cast<size_t>(i)] =
-                pending_args[i];
-        frames.push_back(frame);
-    };
-
-    auto trap = [&](const std::string &msg) -> RuntimeError {
-        std::string where = "?";
-        if (!frames.empty()) {
-            const Frame &f = frames.back();
-            where = strPrintf(
-                "%s+%d",
-                program_.functions[static_cast<size_t>(f.func_index)]
-                    .name.c_str(),
-                f.pc);
-        }
-        return RuntimeError("trap at " + where + ": " + msg);
-    };
-
-    push_frame(program_.entry, -1, false);
-
-    while (!frames.empty()) {
-        Frame &frame = frames.back();
-        const isa::Function &fn =
-            program_.functions[static_cast<size_t>(frame.func_index)];
-        const Instruction *code = fn.code.data();
-        const int code_size = static_cast<int>(fn.code.size());
-        int64_t *regs = reg_stack.data() + frame.reg_base;
-        int pc = frame.pc;
-
-        // Inner loop: run within this frame until a call or return.
-        bool switch_frame = false;
-        while (!switch_frame) {
-            if (pc < 0 || pc >= code_size) {
-                frame.pc = pc;
-                throw trap("pc out of range");
-            }
-            const Instruction &insn = code[pc];
-            ++stats.instructions;
-            if (stats.instructions > limits.max_instructions) {
-                frame.pc = pc;
-                throw trap(strPrintf(
-                    "instruction budget exceeded (%lld)",
-                    static_cast<long long>(limits.max_instructions)));
-            }
-
-            switch (insn.op) {
-              case Opcode::kMovI:
-              case Opcode::kMovF:
-                regs[insn.a] = insn.imm;
-                ++pc;
-                break;
-              case Opcode::kMov:
-                regs[insn.a] = regs[insn.b];
-                ++pc;
-                break;
-              case Opcode::kLoad: {
-                int64_t addr =
-                    (insn.b == -1 ? 0 : regs[insn.b]) + insn.imm;
-                if (addr < 0 || addr >= program_.memory_words) {
-                    frame.pc = pc;
-                    throw trap(strPrintf("load address %lld out of "
-                                         "[0,%lld)",
-                                         static_cast<long long>(addr),
-                                         static_cast<long long>(
-                                             program_.memory_words)));
-                }
-                regs[insn.a] = memory[static_cast<size_t>(addr)];
-                ++pc;
-                break;
-              }
-              case Opcode::kStore: {
-                int64_t addr =
-                    (insn.b == -1 ? 0 : regs[insn.b]) + insn.imm;
-                if (addr < 0 || addr >= program_.memory_words) {
-                    frame.pc = pc;
-                    throw trap(strPrintf("store address %lld out of "
-                                         "[0,%lld)",
-                                         static_cast<long long>(addr),
-                                         static_cast<long long>(
-                                             program_.memory_words)));
-                }
-                memory[static_cast<size_t>(addr)] = regs[insn.a];
-                ++pc;
-                break;
-              }
-              case Opcode::kBr: {
-                ++stats.cond_branches;
-                bool taken = regs[insn.a] != 0;
-                auto &site = stats.branches[static_cast<size_t>(insn.imm)];
-                ++site.executed;
-                if (taken) {
-                    ++site.taken;
-                    ++stats.taken_branches;
-                    pc = insn.b;
-                } else {
-                    pc = insn.c;
-                }
-                if (observer) {
-                    observer->onBranch(static_cast<int>(insn.imm), taken,
-                                       stats.instructions);
-                }
-                break;
-              }
-              case Opcode::kJmp:
-                ++stats.jumps;
-                pc = insn.a;
-                break;
-              case Opcode::kArg:
-                if (insn.a >= kMaxArgs) {
-                    frame.pc = pc;
-                    throw trap("too many call arguments");
-                }
-                pending_args[insn.a] = regs[insn.b];
-                pending_count = std::max(pending_count, insn.a + 1);
-                ++pc;
-                break;
-              case Opcode::kCall: {
-                ++stats.direct_calls;
-                if (static_cast<int>(frames.size()) >=
-                    limits.max_call_depth) {
-                    frame.pc = pc;
-                    throw trap("call stack overflow");
-                }
-                frame.pc = pc + 1; // resume point
-                push_frame(insn.b, insn.a, false);
-                pending_count = 0;
-                switch_frame = true;
-                break;
-              }
-              case Opcode::kICall: {
-                ++stats.indirect_calls;
-                int64_t target = regs[insn.b];
-                if (target < 0 ||
-                    target >= static_cast<int64_t>(
-                                  program_.functions.size())) {
-                    frame.pc = pc;
-                    throw trap(strPrintf("indirect call to bad function "
-                                         "index %lld",
-                                         static_cast<long long>(target)));
-                }
-                const isa::Function &callee =
-                    program_.functions[static_cast<size_t>(target)];
-                if (callee.num_params != pending_count) {
-                    frame.pc = pc;
-                    throw trap(strPrintf(
-                        "indirect call to %s: %d args staged, %d expected",
-                        callee.name.c_str(), pending_count,
-                        callee.num_params));
-                }
-                if (static_cast<int>(frames.size()) >=
-                    limits.max_call_depth) {
-                    frame.pc = pc;
-                    throw trap("call stack overflow");
-                }
-                frame.pc = pc + 1;
-                push_frame(static_cast<int>(target), insn.a, true);
-                pending_count = 0;
-                switch_frame = true;
-                if (observer)
-                    observer->onUnavoidableBreak(stats.instructions);
-                break;
-              }
-              case Opcode::kRet: {
-                // The entry frame's return ends the run; it has no
-                // matching call, so it is not counted as a return.
-                if (frames.size() > 1) {
-                    if (frames.back().via_icall) {
-                        ++stats.indirect_returns;
-                        if (observer)
-                            observer->onUnavoidableBreak(
-                                stats.instructions);
-                    } else {
-                        ++stats.direct_returns;
-                    }
-                }
-                int64_t value = insn.a == -1 ? 0 : regs[insn.a];
-                int ret_dst = frame.ret_dst;
-                reg_stack.resize(frame.reg_base);
-                frames.pop_back();
-                if (frames.empty()) {
-                    stats.exit_code = value;
-                    return result;
-                }
-                if (ret_dst != -1) {
-                    Frame &caller = frames.back();
-                    reg_stack[caller.reg_base +
-                              static_cast<size_t>(ret_dst)] = value;
-                }
-                switch_frame = true;
-                break;
-              }
-              case Opcode::kSelect:
-                ++stats.selects;
-                regs[insn.a] = regs[insn.b] != 0 ? regs[insn.c]
-                                                 : regs[insn.d];
-                ++pc;
-                break;
-              case Opcode::kGetc:
-                regs[insn.a] = input_pos < input.size()
-                                   ? static_cast<unsigned char>(
-                                         input[input_pos++])
-                                   : -1;
-                ++pc;
-                break;
-              case Opcode::kPutc:
-                result.output.push_back(
-                    static_cast<char>(regs[insn.a] & 0xff));
-                ++pc;
-                break;
-              case Opcode::kPutF:
-                result.output += strPrintf("%.6g", isa::asF(regs[insn.a]));
-                ++pc;
-                break;
-              case Opcode::kHalt:
-                stats.exit_code = 0;
-                return result;
-              case Opcode::kNop:
-                ++pc;
-                break;
-              default: {
-                if (isa::isBinaryAlu(insn.op)) {
-                    auto v = isa::evalBinaryAlu(insn.op, regs[insn.b],
-                                                regs[insn.c]);
-                    if (!v) {
-                        frame.pc = pc;
-                        throw trap(std::string("integer division by zero "
-                                               "in ") +
-                                   std::string(isa::opcodeName(insn.op)));
-                    }
-                    regs[insn.a] = *v;
-                    ++pc;
-                    break;
-                }
-                if (isa::isUnaryAlu(insn.op)) {
-                    auto v = isa::evalUnaryAlu(insn.op, regs[insn.b]);
-                    if (!v) {
-                        frame.pc = pc;
-                        throw trap("unevaluable unary op");
-                    }
-                    regs[insn.a] = *v;
-                    ++pc;
-                    break;
-                }
-                frame.pc = pc;
-                throw trap("unimplemented opcode");
-              }
-            }
-        }
-    }
-
-    return result;
 }
 
 } // namespace ifprob::vm

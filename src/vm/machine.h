@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "isa/program.h"
+#include "vm/decode.h"
 #include "vm/observer.h"
 #include "vm/run_stats.h"
 
@@ -26,6 +27,31 @@ struct RunResult
 };
 
 /**
+ * Which interpreter core executes the program (see docs/vm.md).
+ *
+ * kFast pre-decodes the instruction stream at Machine construction and
+ * dispatches through a dense handler table (computed goto where the
+ * compiler supports it); kSwitch is the original decode-on-the-fly
+ * switch interpreter, kept as the behavioural reference. Both produce
+ * bit-for-bit identical RunResults — the differential tests in
+ * tests/test_vm_engines.cpp hold them to that.
+ */
+enum class Engine : uint8_t {
+    kFast,
+    kSwitch,
+};
+
+/** Engine tag for reports and trace spans ("fast" / "switch"). */
+std::string_view engineName(Engine engine);
+
+/**
+ * The process default: Engine::kFast, unless the IFPROB_VM_ENGINE
+ * environment variable says "switch" (alias "reference"). Any other
+ * value raises Error. Read once and cached.
+ */
+Engine defaultEngine();
+
+/**
  * The simulated machine: executes an isa::Program against an input byte
  * stream, counting every RISC operation by category (MFPixie) and every
  * conditional branch direction by static site (IFPROBBER).
@@ -33,18 +59,20 @@ struct RunResult
  * Registers are 64-bit patterns, zero-initialized per frame. Data memory
  * is a flat array of 64-bit words. Runtime violations (bad address,
  * division by zero, call-depth or instruction-budget overflow, argument
- * count mismatch on indirect calls) raise RuntimeError with a
+ * count mismatch on direct or indirect calls) raise RuntimeError with a
  * function+pc context string.
  */
 class Machine
 {
   public:
-    /** @p program must outlive the machine. */
-    explicit Machine(const isa::Program &program);
+    /** @p program must outlive the machine. Constructing with the fast
+     *  engine pre-decodes the program (recorded in vm.decode_micros). */
+    explicit Machine(const isa::Program &program,
+                     Engine engine = defaultEngine());
 
     /** Deleted: binding a temporary would leave a dangling reference
      *  (e.g. Machine(compile(src))). Name the program first. */
-    explicit Machine(isa::Program &&) = delete;
+    explicit Machine(isa::Program &&, Engine = defaultEngine()) = delete;
 
     /**
      * Run the program to completion over @p input.
@@ -53,18 +81,24 @@ class Machine
      * span when IFPROB_TRACE is set, and vm.* registry counters
      * (instructions retired, run wall-clock, observer-callback volume)
      * always — all recorded once per run, never inside the dispatch
-     * loop, so the interpreter's throughput is unaffected.
+     * loop, so the interpreter's throughput is unaffected. A trapped
+     * run records the statistics accumulated up to the trap.
      *
      * @param observer optional per-branch event sink (may be nullptr).
      */
     RunResult run(std::string_view input, const RunLimits &limits = {},
                   BranchObserver *observer = nullptr) const;
 
-  private:
-    RunResult runImpl(std::string_view input, const RunLimits &limits,
-                      BranchObserver *observer) const;
+    Engine engine() const { return engine_; }
 
+    /** Decode-time accounting; zeros for the switch engine. */
+    const DecodeStats &decodeStats() const { return decoded_.stats; }
+    int64_t decodeMicros() const { return decoded_.stats.decode_micros; }
+
+  private:
     const isa::Program &program_;
+    Engine engine_;
+    DecodedProgram decoded_; ///< populated only for Engine::kFast
 };
 
 } // namespace ifprob::vm

@@ -237,6 +237,8 @@ TEST(ObsRunReport, RecordRoundTripsThroughJsonl)
     r.instr_per_mispredict = 1249.9;
     r.compile_micros = 1500;
     r.execute_micros = 250000;
+    r.engine = "fast";
+    r.decode_micros = 42;
 
     std::string line = renderRunRecord(r);
     RunRecord back = parseRunRecord(line);
@@ -251,6 +253,18 @@ TEST(ObsRunReport, RecordRoundTripsThroughJsonl)
     EXPECT_DOUBLE_EQ(back.instr_per_mispredict, r.instr_per_mispredict);
     EXPECT_EQ(back.compile_micros, r.compile_micros);
     EXPECT_EQ(back.execute_micros, r.execute_micros);
+    EXPECT_EQ(back.engine, r.engine);
+    EXPECT_EQ(back.decode_micros, r.decode_micros);
+}
+
+TEST(ObsRunReport, ParseToleratesRecordsWithoutEngineFields)
+{
+    // Lines written before the engine/decode fields existed still parse.
+    RunRecord back = parseRunRecord(
+        "{\"schema\":\"ifprob.run.v1\",\"workload\":\"li\"}");
+    EXPECT_EQ(back.workload, "li");
+    EXPECT_EQ(back.engine, "");
+    EXPECT_EQ(back.decode_micros, 0);
 }
 
 TEST(ObsRunReport, WrongSchemaIsRejected)

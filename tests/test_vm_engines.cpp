@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Differential tests holding the two interpreter cores to the
+ * stats-equivalence contract (docs/vm.md): for every program, input,
+ * and limit, the fast pre-decoded engine and the reference switch
+ * engine must produce bit-for-bit identical RunResults — same counters,
+ * same per-site branch counts, same output and exit code, the same
+ * observer event sequence, and on trap paths the same RuntimeError
+ * message with identical partial statistics (fuel exhaustion included,
+ * at the exact same instruction count).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.h"
+#include "isa/instruction.h"
+#include "isa/program.h"
+#include "obs/metrics.h"
+#include "support/error.h"
+#include "vm/decode.h"
+#include "vm/engine.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+namespace ifprob {
+namespace {
+
+/** One engine's run: the filled-in result plus the trap message, if any.
+ *  Uses the engine entry points directly so trap paths leave their
+ *  partial statistics visible for comparison. */
+struct EngineOutcome
+{
+    vm::RunResult result;
+    std::string error; ///< empty when the run completed
+};
+
+EngineOutcome
+runEngine(const isa::Program &p, vm::Engine engine, std::string_view input,
+          const vm::RunLimits &limits = {},
+          vm::BranchObserver *observer = nullptr)
+{
+    EngineOutcome out;
+    try {
+        if (engine == vm::Engine::kFast) {
+            vm::DecodedProgram decoded = vm::decodeProgram(p);
+            vm::runFastEngine(p, decoded, input, limits, observer,
+                              out.result);
+        } else {
+            vm::runSwitchEngine(p, input, limits, observer, out.result);
+        }
+    } catch (const RuntimeError &e) {
+        out.error = e.what();
+    }
+    return out;
+}
+
+void
+expectIdenticalStats(const vm::RunStats &fast, const vm::RunStats &ref,
+                     const std::string &label)
+{
+    EXPECT_EQ(fast.instructions, ref.instructions) << label;
+    EXPECT_EQ(fast.cond_branches, ref.cond_branches) << label;
+    EXPECT_EQ(fast.taken_branches, ref.taken_branches) << label;
+    EXPECT_EQ(fast.jumps, ref.jumps) << label;
+    EXPECT_EQ(fast.direct_calls, ref.direct_calls) << label;
+    EXPECT_EQ(fast.indirect_calls, ref.indirect_calls) << label;
+    EXPECT_EQ(fast.direct_returns, ref.direct_returns) << label;
+    EXPECT_EQ(fast.indirect_returns, ref.indirect_returns) << label;
+    EXPECT_EQ(fast.selects, ref.selects) << label;
+    EXPECT_EQ(fast.exit_code, ref.exit_code) << label;
+    ASSERT_EQ(fast.branches.size(), ref.branches.size()) << label;
+    for (size_t i = 0; i < fast.branches.size(); ++i) {
+        EXPECT_EQ(fast.branches[i].executed, ref.branches[i].executed)
+            << label << " site " << i;
+        EXPECT_EQ(fast.branches[i].taken, ref.branches[i].taken)
+            << label << " site " << i;
+    }
+}
+
+void
+expectIdenticalOutcomes(const EngineOutcome &fast,
+                        const EngineOutcome &ref, const std::string &label)
+{
+    EXPECT_EQ(fast.error, ref.error) << label;
+    EXPECT_EQ(fast.result.output, ref.result.output) << label;
+    expectIdenticalStats(fast.result.stats, ref.result.stats, label);
+}
+
+/** Run @p p on both engines and require identical outcomes; returns the
+ *  (shared) outcome for further assertions. */
+EngineOutcome
+diffRun(const isa::Program &p, std::string_view input,
+        const vm::RunLimits &limits = {}, const std::string &label = "")
+{
+    EngineOutcome fast = runEngine(p, vm::Engine::kFast, input, limits);
+    EngineOutcome ref = runEngine(p, vm::Engine::kSwitch, input, limits);
+    expectIdenticalOutcomes(fast, ref, label);
+    return fast;
+}
+
+struct RecordingObserver : vm::BranchObserver
+{
+    struct Event
+    {
+        int kind; ///< 0 = branch, 1 = unavoidable break
+        int site;
+        bool taken;
+        int64_t at;
+
+        bool operator==(const Event &o) const
+        {
+            return kind == o.kind && site == o.site && taken == o.taken &&
+                   at == o.at;
+        }
+    };
+    std::vector<Event> events;
+
+    void onBranch(int site_id, bool taken, int64_t instructions) override
+    {
+        events.push_back({0, site_id, taken, instructions});
+    }
+    void onUnavoidableBreak(int64_t instructions) override
+    {
+        events.push_back({1, -1, false, instructions});
+    }
+};
+
+isa::Program
+compileNoPrelude(std::string_view src)
+{
+    CompileOptions options;
+    options.include_prelude = false;
+    return compile(src, options);
+}
+
+// --- completed-run parity across the whole workload suite ---
+
+TEST(VmEngines, WorkloadsBitIdenticalAcrossDatasetSample)
+{
+    vm::RunLimits limits;
+    limits.max_instructions = 4'000'000'000ll;
+    for (const auto &w : workloads::all()) {
+        isa::Program p = compile(w.source);
+        // Sample: first and last dataset (identical when only one).
+        std::vector<const workloads::Dataset *> sample = {
+            &w.datasets.front(), &w.datasets.back()};
+        if (sample[0] == sample[1])
+            sample.pop_back();
+        for (const auto *ds : sample) {
+            EngineOutcome out = diffRun(p, ds->input, limits,
+                                        w.name + "/" + ds->name);
+            EXPECT_TRUE(out.error.empty())
+                << w.name << "/" << ds->name << ": " << out.error;
+        }
+    }
+}
+
+TEST(VmEngines, ObserverEventStreamsIdentical)
+{
+    // Conditional branches and indirect calls/returns, so both observer
+    // callbacks fire.
+    isa::Program p = compileNoPrelude(R"(
+        int id(int x) { return x; }
+        int main() {
+            int f = &id;
+            int n = 0;
+            for (int i = 0; i < 200; i++) {
+                if (i % 3 == 0)
+                    n += icall(f, i);
+                else
+                    n += id(i);
+            }
+            return n & 255;
+        })");
+    RecordingObserver fast_obs, ref_obs;
+    EngineOutcome fast =
+        runEngine(p, vm::Engine::kFast, "", {}, &fast_obs);
+    EngineOutcome ref =
+        runEngine(p, vm::Engine::kSwitch, "", {}, &ref_obs);
+    expectIdenticalOutcomes(fast, ref, "observer run");
+    ASSERT_FALSE(fast_obs.events.empty());
+    EXPECT_EQ(fast_obs.events, ref_obs.events);
+}
+
+// --- trap-path parity ---
+
+TEST(VmEngines, BadLoadTrapParity)
+{
+    isa::Program p = compileNoPrelude(
+        "int a[2]; int main() { return a[getc()]; }");
+    EngineOutcome out =
+        diffRun(p, std::string(1, char(200)), {}, "bad load");
+    EXPECT_NE(out.error.find("load address"), std::string::npos)
+        << out.error;
+}
+
+TEST(VmEngines, StackOverflowTrapParity)
+{
+    isa::Program p = compileNoPrelude(
+        "int f(int n) { return f(n + 1); } int main() { return f(0); }");
+    vm::RunLimits limits;
+    limits.max_call_depth = 64;
+    EngineOutcome out = diffRun(p, "", limits, "stack overflow");
+    EXPECT_NE(out.error.find("call stack overflow"), std::string::npos)
+        << out.error;
+}
+
+TEST(VmEngines, DivisionByZeroTrapParity)
+{
+    isa::Program p = compileNoPrelude(
+        "int main() { int x = getc() - getc(); return 1 / x; }");
+    EngineOutcome out = diffRun(p, "aa", {}, "div by zero");
+    EXPECT_NE(out.error.find("division by zero"), std::string::npos)
+        << out.error;
+}
+
+TEST(VmEngines, FuelExhaustionTrapsAtExactSameInstruction)
+{
+    isa::Program p = compileNoPrelude(R"(
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 100000; i++)
+                if (i & 1)
+                    n += i;
+            return n & 255;
+        })");
+    // Budgets chosen to land the exhaustion point at different phases of
+    // the fast loop — including mid-block values that force the
+    // unchecked loop to yield to the checked tail at varying distances
+    // from the limit.
+    for (int64_t budget : {1, 2, 7, 137, 1000, 4242, 65537}) {
+        vm::RunLimits limits;
+        limits.max_instructions = budget;
+        std::string label =
+            "budget " + std::to_string(budget);
+        EngineOutcome out = diffRun(p, "", limits, label);
+        EXPECT_NE(out.error.find("instruction budget exceeded"),
+                  std::string::npos)
+            << label << ": " << out.error;
+        // The trapping instruction is counted, and nothing after it runs.
+        EXPECT_EQ(out.result.stats.instructions, budget + 1) << label;
+    }
+}
+
+TEST(VmEngines, BudgetExactlySufficientDoesNotTrap)
+{
+    isa::Program p = compileNoPrelude("int main() { return 42; }");
+    EngineOutcome unlimited = diffRun(p, "", {}, "unlimited");
+    vm::RunLimits limits;
+    limits.max_instructions = unlimited.result.stats.instructions;
+    EngineOutcome exact = diffRun(p, "", limits, "exact budget");
+    EXPECT_TRUE(exact.error.empty()) << exact.error;
+    EXPECT_EQ(exact.result.stats.exit_code, 42);
+}
+
+// --- argument-staging checks (both engines, same messages) ---
+
+TEST(VmEngines, DirectCallArityMismatchTraps)
+{
+    // Hand-built: the code generator always stages callee.num_params
+    // arguments, so a mismatched direct call can only be constructed at
+    // the isa layer.
+    isa::Program p;
+    isa::Function callee;
+    callee.name = "callee";
+    callee.num_params = 2;
+    callee.num_regs = 2;
+    callee.code = {isa::makeRet(0)};
+    isa::Function main_fn;
+    main_fn.name = "main";
+    main_fn.num_regs = 2;
+    main_fn.code = {
+        isa::makeMovI(0, 7),
+        isa::makeArg(0, 0), // stages 1 arg; callee expects 2
+        isa::makeCall(1, 0),
+        isa::makeRet(1),
+    };
+    p.functions = {callee, main_fn};
+    p.entry = 1;
+    EngineOutcome out = diffRun(p, "", {}, "direct call arity");
+    EXPECT_NE(out.error.find("call to callee: 1 args staged, 2 expected"),
+              std::string::npos)
+        << out.error;
+}
+
+TEST(VmEngines, DirectCallMatchingArityStillWorks)
+{
+    isa::Program p = compileNoPrelude(
+        "int add(int a, int b) { return a + b; } "
+        "int main() { return add(40, 2); }");
+    EngineOutcome out = diffRun(p, "", {}, "matching arity");
+    EXPECT_TRUE(out.error.empty()) << out.error;
+    EXPECT_EQ(out.result.stats.exit_code, 42);
+}
+
+TEST(VmEngines, NegativeArgIndexTraps)
+{
+    isa::Program p;
+    isa::Function main_fn;
+    main_fn.name = "main";
+    main_fn.num_regs = 1;
+    main_fn.code = {
+        isa::makeMovI(0, 1),
+        isa::makeArg(-1, 0),
+        isa::makeRet(0),
+    };
+    p.functions = {main_fn};
+    p.entry = 0;
+    EngineOutcome out = diffRun(p, "", {}, "negative arg index");
+    EXPECT_NE(out.error.find("negative call argument index"),
+              std::string::npos)
+        << out.error;
+}
+
+// --- decode/fusion structural checks ---
+
+TEST(VmEngines, FusedPairStaysEnterableAtSecondSlot)
+{
+    // A jump lands directly on the ALU slot of a fused movI+ALU pair;
+    // the constant-staging movI at slot 3 must be skipped.
+    isa::Program p;
+    isa::Function main_fn;
+    main_fn.name = "main";
+    main_fn.num_regs = 3;
+    main_fn.code = {
+        isa::makeMovI(0, 7),    // 0: r0 = 7
+        isa::makeMovI(1, 100),  // 1: r1 = 100
+        isa::makeJmp(4),        // 2: enter the pair mid-way
+        isa::makeMovI(1, 3),    // 3: fused movI+add head (never entered)
+        isa::makeBinary(isa::Opcode::kAdd, 2, 0, 1), // 4: r2 = r0 + r1
+        isa::makeRet(2),        // 5
+    };
+    p.functions = {main_fn};
+    p.entry = 0;
+
+    vm::DecodedProgram decoded = vm::decodeProgram(p);
+    EXPECT_EQ(decoded.stats.fused_movi_alu, 1);
+    EngineOutcome out = diffRun(p, "", {}, "mid-pair entry");
+    EXPECT_TRUE(out.error.empty()) << out.error;
+    EXPECT_EQ(out.result.stats.exit_code, 107);
+}
+
+TEST(VmEngines, DecodeFindsFusionInBranchyCode)
+{
+    isa::Program p = compileNoPrelude(R"(
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 100; i++)
+                if (i & 3)
+                    n = n + 2;
+            return n & 255;
+        })");
+    vm::DecodedProgram decoded = vm::decodeProgram(p);
+    EXPECT_GT(decoded.stats.fusedSlots(), 0);
+    EXPECT_GT(decoded.stats.fusionRate(), 0.0);
+    EXPECT_EQ(decoded.stats.fused_cmp_br +
+                  decoded.stats.fused_movi_alu +
+                  decoded.stats.fused_movi_alu_br,
+              decoded.stats.fusedSlots());
+    // Sentinel slots are appended per function but not counted.
+    int64_t slots = 0;
+    for (const auto &f : p.functions)
+        slots += static_cast<int64_t>(f.code.size());
+    EXPECT_EQ(decoded.stats.instructions, slots);
+}
+
+// --- Machine-level engine selection and trapped-run accounting ---
+
+TEST(VmEngines, MachineEngineSelection)
+{
+    isa::Program p = compileNoPrelude("int main() { return 3; }");
+    vm::Machine fast(p, vm::Engine::kFast);
+    vm::Machine ref(p, vm::Engine::kSwitch);
+    EXPECT_EQ(fast.engine(), vm::Engine::kFast);
+    EXPECT_EQ(ref.engine(), vm::Engine::kSwitch);
+    EXPECT_EQ(vm::engineName(fast.engine()), "fast");
+    EXPECT_EQ(vm::engineName(ref.engine()), "switch");
+    // Only the fast engine pays for (and accounts) a decode.
+    EXPECT_GT(fast.decodeStats().instructions, 0);
+    EXPECT_EQ(ref.decodeStats().instructions, 0);
+    EXPECT_EQ(fast.run("").stats.exit_code, 3);
+    EXPECT_EQ(ref.run("").stats.exit_code, 3);
+}
+
+TEST(VmEngines, TrappedRunRecordsPartialStats)
+{
+    // Machine::run must record the statistics accumulated up to the
+    // trap, not zeros (visible through the vm.instructions counter).
+    isa::Program p = compileNoPrelude(
+        "int main() { while (1) {} return 0; }");
+    vm::RunLimits limits;
+    limits.max_instructions = 1000;
+    for (vm::Engine engine : {vm::Engine::kFast, vm::Engine::kSwitch}) {
+        vm::Machine m(p, engine);
+        const int64_t before = obs::counter("vm.instructions").value();
+        EXPECT_THROW(m.run("", limits), RuntimeError);
+        const int64_t delta =
+            obs::counter("vm.instructions").value() - before;
+        EXPECT_EQ(delta, limits.max_instructions + 1)
+            << vm::engineName(engine);
+    }
+}
+
+} // namespace
+} // namespace ifprob
