@@ -1,0 +1,340 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the analysis plane: the O(n)
+ * leave-one-out table against the O(n^2) per-target re-merge it
+ * replaced, and the SoA mispredict kernel against virtual-dispatch
+ * predict::evaluate. These guard the analysis layer's performance the
+ * way micro_vm guards the interpreter's.
+ *
+ * `micro_analysis --ab` bypasses the benchmark framework and runs the
+ * analysis-plane A/B comparison directly: with every (workload, dataset)
+ * run's statistics pre-warmed (so the VM is excluded from every
+ * measurement), it times the figure2 + figure3 + coverage analysis phase
+ * under IFPROB_ANALYSIS=reference and under the default AnalysisCache
+ * path (cold — AnalysisCache dropped between repetitions — and warm),
+ * writes BENCH_analysis.json (plus a mirrored "ifprob.analysis_bench.v1"
+ * line through the run-report sink), and exits nonzero if the cold
+ * cached path fails the --min-speedup bar (default 1.0 — i.e. the cache
+ * must never be slower than the path it replaced). CI runs this as the
+ * analysis perf-smoke step.
+ */
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis_cache.h"
+#include "analysis/loo.h"
+#include "analysis/soa.h"
+#include "compiler/pipeline.h"
+#include "exec/pool.h"
+#include "harness/experiments.h"
+#include "harness/runner.h"
+#include "metrics/breaks.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "predict/evaluate.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace ifprob;
+
+const char *kBranchKernel = R"(
+int main() {
+    int i, x, count;
+    x = 12345;
+    count = 0;
+    for (i = 0; i < 50000; i++) {
+        x = (x * 1103515245 + 12345) % 2147483648;
+        if (x & 1)
+            count = count + 1;
+        if (x & 2)
+            count = count + 2;
+        if ((x & 7) == 3)
+            count = count - 1;
+    }
+    return count & 255;
+})";
+
+std::vector<profile::ProfileDb>
+kernelProfiles(int n)
+{
+    isa::Program p = compile(kBranchKernel);
+    vm::Machine m(p);
+    auto stats = m.run("").stats;
+    std::vector<profile::ProfileDb> dbs;
+    for (int i = 0; i < n; ++i)
+        dbs.emplace_back("kernel", p.fingerprint(), stats);
+    return dbs;
+}
+
+void
+BM_LeaveOneOutTable(benchmark::State &state)
+{
+    auto dbs = kernelProfiles(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto table =
+            analysis::leaveOneOutTable(dbs, profile::MergeMode::kScaled);
+        benchmark::DoNotOptimize(table.directions.size());
+    }
+}
+BENCHMARK(BM_LeaveOneOutTable)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_ReferenceRemerge(benchmark::State &state)
+{
+    // The O(n^2) shape leaveOneOutTable replaced: one full merge of the
+    // remaining n-1 databases per leave-one-out target.
+    auto dbs = kernelProfiles(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        for (size_t t = 0; t < dbs.size(); ++t) {
+            std::vector<profile::ProfileDb> others;
+            for (size_t j = 0; j < dbs.size(); ++j) {
+                if (j != t)
+                    others.push_back(dbs[j]);
+            }
+            auto merged = profile::ProfileDb::merge(
+                others, profile::MergeMode::kScaled);
+            benchmark::DoNotOptimize(merged.totalExecuted());
+        }
+    }
+}
+BENCHMARK(BM_ReferenceRemerge)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_MispredictsLowered(benchmark::State &state)
+{
+    isa::Program p = compile(kBranchKernel);
+    vm::Machine m(p);
+    auto stats = m.run("").stats;
+    auto counts = analysis::SiteCounts::fromStats(stats);
+    profile::ProfileDb db("kernel", p.fingerprint(), stats);
+    predict::ProfilePredictor predictor(db);
+    auto dir = predict::lowerPredictor(predictor, counts.size());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis::mispredictsLowered(counts, dir));
+    }
+}
+BENCHMARK(BM_MispredictsLowered);
+
+void
+BM_PredictorEvaluate(benchmark::State &state)
+{
+    isa::Program p = compile(kBranchKernel);
+    vm::Machine m(p);
+    auto stats = m.run("").stats;
+    profile::ProfileDb db("kernel", p.fingerprint(), stats);
+    predict::ProfilePredictor predictor(db);
+    for (auto _ : state) {
+        auto q = predict::evaluate(stats, predictor);
+        benchmark::DoNotOptimize(q.mispredicted);
+    }
+}
+BENCHMARK(BM_PredictorEvaluate);
+
+// ---------------------------------------------------------------------------
+// --ab mode: reference vs cached analysis plane, BENCH_analysis.json.
+// ---------------------------------------------------------------------------
+
+/** setenv/unsetenv with restore; the bench owns the process env. */
+struct EnvGuard
+{
+    explicit EnvGuard(const char *name) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old) {
+            had_ = true;
+            old_ = old;
+        }
+    }
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+/** The analysis phase under measurement: every experiment whose cost is
+ *  dominated by profile merging and predictor evaluation. */
+void
+analysisPhase(harness::Runner &runner)
+{
+    benchmark::DoNotOptimize(harness::figure2(runner).size());
+    benchmark::DoNotOptimize(harness::figure3(runner).size());
+    benchmark::DoNotOptimize(harness::coverageStudy(runner).size());
+}
+
+int64_t
+timedPhase(harness::Runner &runner)
+{
+    const int64_t t0 = obs::nowMicros();
+    analysisPhase(runner);
+    return obs::nowMicros() - t0;
+}
+
+int
+runAbMode(double min_speedup, const std::string &out_path)
+{
+    const int kRepetitions = 3;
+
+    std::printf("micro_analysis --ab: reference vs cached analysis "
+                "plane (min_speedup=%.2f)\n\n",
+                min_speedup);
+
+    harness::Runner runner;
+
+    // Warm every run's statistics first so the VM (and the stats disk
+    // cache) is excluded from all three measurements below.
+    std::vector<std::pair<std::string, std::string>> cells;
+    for (const auto &w : workloads::all()) {
+        for (const auto &d : w.datasets)
+            cells.emplace_back(w.name, d.name);
+    }
+    const int64_t warm0 = obs::nowMicros();
+    exec::parallelFor(exec::globalPool(), cells.size(), [&](size_t i) {
+        runner.stats(cells[i].first, cells[i].second);
+    });
+    const int64_t warm_micros = obs::nowMicros() - warm0;
+    const harness::CacheStats warm_cache = runner.cacheStats();
+
+    EnvGuard guard("IFPROB_ANALYSIS");
+
+    // Reference path: the original per-call merge/evaluate plane. It
+    // memoizes nothing, so plain repetitions measure steady state.
+    ::setenv("IFPROB_ANALYSIS", "reference", 1);
+    int64_t ref_best = 0;
+    for (int i = 0; i < kRepetitions; ++i) {
+        const int64_t micros = timedPhase(runner);
+        ref_best = ref_best == 0 ? micros : std::min(ref_best, micros);
+    }
+
+    // Cached path, cold: drop the AnalysisCache before each repetition
+    // so every materialization (profiles, SoA arrays, leave-one-out
+    // tables) is paid inside the measurement.
+    ::unsetenv("IFPROB_ANALYSIS");
+    int64_t cold_best = 0;
+    for (int i = 0; i < kRepetitions; ++i) {
+        runner.resetAnalysis();
+        const int64_t micros = timedPhase(runner);
+        cold_best = cold_best == 0 ? micros : std::min(cold_best, micros);
+    }
+
+    // Cached path, warm: everything already materialized.
+    int64_t warm_best = 0;
+    for (int i = 0; i < kRepetitions; ++i) {
+        const int64_t micros = timedPhase(runner);
+        warm_best = warm_best == 0 ? micros : std::min(warm_best, micros);
+    }
+
+    const double speedup_cold =
+        cold_best > 0 ? static_cast<double>(ref_best) /
+                            static_cast<double>(cold_best)
+                      : 0.0;
+    const double speedup_warm =
+        warm_best > 0 ? static_cast<double>(ref_best) /
+                            static_cast<double>(warm_best)
+                      : 0.0;
+    const bool ok = speedup_cold >= min_speedup;
+
+    std::printf("  stats warmup  %8.1f ms  (cache: %lld binary hits, "
+                "%lld text hits, %lld misses)\n",
+                static_cast<double>(warm_micros) / 1e3,
+                static_cast<long long>(warm_cache.binary_hits),
+                static_cast<long long>(warm_cache.text_hits),
+                static_cast<long long>(warm_cache.misses));
+    std::printf("  reference     %8.1f ms   (best of %d)\n",
+                static_cast<double>(ref_best) / 1e3, kRepetitions);
+    std::printf("  cached cold   %8.1f ms   speedup %5.2fx\n",
+                static_cast<double>(cold_best) / 1e3, speedup_cold);
+    std::printf("  cached warm   %8.1f ms   speedup %5.2fx\n",
+                static_cast<double>(warm_best) / 1e3, speedup_warm);
+
+    obs::JsonObject json;
+    json.field("schema", "ifprob.analysis_bench.v1")
+        .field("min_speedup", min_speedup)
+        .field("repetitions", int64_t{kRepetitions})
+        .field("jobs", int64_t{exec::plannedJobs()})
+        .field("warmup_micros", warm_micros)
+        .field("reference_micros", ref_best)
+        .field("cached_cold_micros", cold_best)
+        .field("cached_warm_micros", warm_best)
+        .field("speedup_cold", speedup_cold)
+        .field("speedup_warm", speedup_warm)
+        .field("stats_cache_binary_hits", warm_cache.binary_hits)
+        .field("stats_cache_text_hits", warm_cache.text_hits)
+        .field("stats_cache_misses", warm_cache.misses)
+        .field("loo_builds", obs::counter("analysis.loo_builds").value())
+        .field("exact_refolds",
+               obs::counter("analysis.exact_refolds").value())
+        .field("kernel_invocations",
+               obs::counter("analysis.kernel_invocations").value())
+        .field("pass", int64_t{ok ? 1 : 0});
+
+    const std::string line = json.str();
+    std::ofstream out(out_path);
+    if (out) {
+        out << line << "\n";
+        std::printf("\n  wrote %s\n", out_path.c_str());
+    } else {
+        std::fprintf(stderr, "micro_analysis: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    // Mirror through the run-report sink so obsreport picks the record
+    // up alongside the ifprob.run.v1 stream.
+    obs::enableRunReportsDefault("bench/out");
+    obs::ReportSink::global().writeLine(line);
+
+    std::printf("  cold speedup %.2fx: %s\n", speedup_cold,
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool ab = false;
+    double min_speedup = 1.0;
+    std::string out_path = "BENCH_analysis.json";
+    std::vector<char *> passthrough = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ab") == 0) {
+            ab = true;
+        } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+            min_speedup = std::atof(argv[i] + 14);
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            out_path = argv[i] + 6;
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    if (ab)
+        return runAbMode(min_speedup, out_path);
+
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,124 @@
+#include "analysis/analysis_cache.h"
+
+#include "metrics/breaks.h"
+#include "obs/metrics.h"
+#include "support/error.h"
+
+namespace ifprob::analysis {
+
+size_t
+AnalysisCache::WorkloadProfiles::indexOf(const std::string &dataset) const
+{
+    for (size_t i = 0; i < dataset_names.size(); ++i) {
+        if (dataset_names[i] == dataset)
+            return i;
+    }
+    throw Error("AnalysisCache: no dataset " + dataset);
+}
+
+std::shared_ptr<AnalysisCache::Entry>
+AnalysisCache::entryFor(const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &entry = entries_[workload];
+    if (!entry)
+        entry = std::make_shared<Entry>();
+    return entry;
+}
+
+void
+AnalysisCache::materialize(Entry &entry, const std::string &workload)
+{
+    const isa::Program &prog = runner_.program(workload);
+    WorkloadProfiles &wp = entry.data;
+    wp.fingerprint = prog.fingerprint();
+    wp.dataset_names = runner_.datasetNames(workload);
+    const size_t n = wp.dataset_names.size();
+    wp.stats.reserve(n);
+    wp.profiles.reserve(n);
+    wp.counts.reserve(n);
+    wp.directions.reserve(n);
+    wp.seen.reserve(n);
+    wp.self_per_break.reserve(n);
+    for (const std::string &dataset : wp.dataset_names) {
+        const vm::RunStats &stats = runner_.stats(workload, dataset);
+        wp.stats.push_back(&stats);
+        wp.profiles.emplace_back(workload, wp.fingerprint, stats);
+        wp.counts.push_back(SiteCounts::fromStats(stats));
+        const SiteCounts &counts = wp.counts.back();
+        const size_t sites = counts.size();
+        std::vector<uint8_t> dir(sites, 0), seen(sites, 0);
+        for (size_t i = 0; i < sites; ++i) {
+            const int64_t e = counts.executed[i];
+            seen[i] = e > 0 ? 1 : 0;
+            dir[i] = (e > 0 && 2 * counts.taken[i] > e) ? 1 : 0;
+        }
+        wp.directions.push_back(std::move(dir));
+        wp.seen.push_back(std::move(seen));
+        wp.self_per_break.push_back(
+            metrics::breaksWithMispredicts(stats, selfMispredicts(counts))
+                .instructionsPerBreak());
+    }
+    obs::counter("analysis.workloads_materialized").add(1);
+    obs::counter("analysis.profile_builds").add(static_cast<int64_t>(n));
+}
+
+const AnalysisCache::WorkloadProfiles &
+AnalysisCache::workload(const std::string &name)
+{
+    std::shared_ptr<Entry> entry = entryFor(name);
+    std::call_once(entry->once, [&] { materialize(*entry, name); });
+    return entry->data;
+}
+
+const profile::ProfileDb &
+AnalysisCache::profile(const std::string &workload_name,
+                       const std::string &dataset)
+{
+    const WorkloadProfiles &wp = workload(workload_name);
+    return wp.profiles[wp.indexOf(dataset)];
+}
+
+const LeaveOneOutTable &
+AnalysisCache::leaveOneOut(const std::string &workload_name,
+                           profile::MergeMode mode)
+{
+    obs::counter("analysis.loo_requests").add(1);
+    std::shared_ptr<Entry> entry = entryFor(workload_name);
+    std::call_once(entry->once,
+                   [&] { materialize(*entry, workload_name); });
+    const size_t m = static_cast<size_t>(mode);
+    std::call_once(entry->loo_once[m], [&] {
+        entry->loo[m] = leaveOneOutTable(entry->data.profiles, mode);
+        obs::counter("analysis.loo_builds").add(1);
+        obs::counter("analysis.exact_refolds")
+            .add(entry->loo[m].exact_refolds);
+    });
+    return entry->loo[m];
+}
+
+double
+AnalysisCache::selfPerBreak(const std::string &workload_name,
+                            const std::string &dataset)
+{
+    const WorkloadProfiles &wp = workload(workload_name);
+    return wp.self_per_break[wp.indexOf(dataset)];
+}
+
+double
+AnalysisCache::othersPerBreak(const std::string &workload_name,
+                              const std::string &dataset,
+                              profile::MergeMode mode)
+{
+    const WorkloadProfiles &wp = workload(workload_name);
+    const size_t t = wp.indexOf(dataset);
+    if (wp.dataset_names.size() < 2)
+        return wp.self_per_break[t];
+    const LeaveOneOutTable &loo = leaveOneOut(workload_name, mode);
+    const int64_t mis = mispredictsLowered(wp.counts[t],
+                                           loo.directions[t]);
+    return metrics::breaksWithMispredicts(*wp.stats[t], mis)
+        .instructionsPerBreak();
+}
+
+} // namespace ifprob::analysis

@@ -1,0 +1,113 @@
+#ifndef IFPROB_ANALYSIS_ANALYSIS_CACHE_H
+#define IFPROB_ANALYSIS_ANALYSIS_CACHE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/loo.h"
+#include "analysis/soa.h"
+#include "harness/runner.h"
+#include "profile/profile_db.h"
+
+namespace ifprob::analysis {
+
+/**
+ * Fingerprint-keyed, thread-safe memoization layer for the analysis
+ * plane, sitting on top of harness::Runner the same way the Runner sits
+ * on top of the VM: the Runner guarantees each (workload, dataset) runs
+ * once, the AnalysisCache guarantees each *derived* artifact — profile
+ * database, SoA counter arrays, lowered predictor directions,
+ * leave-one-out merged predictors, self-prediction bounds — is
+ * materialized once and shared by reference.
+ *
+ * Concurrency contract mirrors the Runner's: every accessor may be
+ * called from any number of threads; the first caller materializes
+ * under a per-workload std::call_once while the rest wait, and returned
+ * references stay valid for the cache's lifetime. Experiment code
+ * reaches the per-Runner instance through Runner::analysis().
+ *
+ * Metrics (see docs/analysis.md): analysis.workloads_materialized,
+ * analysis.profile_builds, analysis.loo_requests, analysis.loo_builds,
+ * analysis.exact_refolds, analysis.kernel_invocations.
+ */
+class AnalysisCache
+{
+  public:
+    explicit AnalysisCache(harness::Runner &runner) : runner_(runner) {}
+
+    AnalysisCache(const AnalysisCache &) = delete;
+    AnalysisCache &operator=(const AnalysisCache &) = delete;
+
+    harness::Runner &runner() const { return runner_; }
+
+    /** Everything derived from one workload's per-dataset runs,
+     *  materialized together (dataset order == registry order). */
+    struct WorkloadProfiles
+    {
+        uint64_t fingerprint = 0;
+        std::vector<std::string> dataset_names;
+        /** Stable references into the Runner's per-dataset stats. */
+        std::vector<const vm::RunStats *> stats;
+        std::vector<profile::ProfileDb> profiles;
+        /** SoA mirror of each dataset's branch counters. */
+        std::vector<SiteCounts> counts;
+        /** ProfilePredictor directions of each dataset's own profile
+         *  (unseen sites 0 = not taken). */
+        std::vector<std::vector<uint8_t>> directions;
+        /** Sites each dataset executed at least once. */
+        std::vector<std::vector<uint8_t>> seen;
+        /** Memoized self-prediction bound (instructions per break with
+         *  the default BreakConfig). */
+        std::vector<double> self_per_break;
+
+        /** Index of @p dataset in dataset order; throws Error. */
+        size_t indexOf(const std::string &dataset) const;
+    };
+
+    /** The workload's materialized profile set (built on first use). */
+    const WorkloadProfiles &workload(const std::string &name);
+
+    /** One dataset's profile database, by shared reference. */
+    const profile::ProfileDb &profile(const std::string &workload,
+                                      const std::string &dataset);
+
+    /** Leave-one-out merged predictor directions for every target of
+     *  @p workload under @p mode (built in one O(n) pass on first use). */
+    const LeaveOneOutTable &leaveOneOut(const std::string &workload,
+                                        profile::MergeMode mode);
+
+    /** Memoized instructions-per-break under self prediction. */
+    double selfPerBreak(const std::string &workload,
+                        const std::string &dataset);
+
+    /** Instructions-per-break under the leave-one-out merge of every
+     *  other dataset; falls back to the self bound when the workload has
+     *  a single dataset (mirroring othersPredictedPerBreak). */
+    double othersPerBreak(const std::string &workload,
+                          const std::string &dataset,
+                          profile::MergeMode mode);
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        WorkloadProfiles data;
+        std::once_flag loo_once[3]; ///< one per MergeMode
+        LeaveOneOutTable loo[3];
+    };
+
+    std::shared_ptr<Entry> entryFor(const std::string &workload);
+    void materialize(Entry &entry, const std::string &workload);
+
+    harness::Runner &runner_;
+    std::mutex mu_;
+    std::map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
+} // namespace ifprob::analysis
+
+#endif // IFPROB_ANALYSIS_ANALYSIS_CACHE_H

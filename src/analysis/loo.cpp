@@ -1,0 +1,143 @@
+#include "analysis/loo.h"
+
+#include <cmath>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::analysis {
+
+namespace {
+
+using profile::MergeMode;
+using profile::ProfileDb;
+
+/** Element-wise (executed, taken) contribution of one dataset to the
+ *  merged predictor, exactly as ProfileDb::merge would add it. A
+ *  dataset merge skips entirely (scaled mode with no executions,
+ *  polling votes at unexecuted sites) contributes explicit zeros:
+ *  x + 0.0 == x for the non-negative weights involved, so folding the
+ *  zeros is bit-identical to skipping them. */
+struct Contribution
+{
+    std::vector<double> executed;
+    std::vector<double> taken;
+};
+
+Contribution
+contributionOf(const ProfileDb &db, MergeMode mode)
+{
+    const size_t sites = db.numSites();
+    Contribution c;
+    c.executed.assign(sites, 0.0);
+    c.taken.assign(sites, 0.0);
+    switch (mode) {
+      case MergeMode::kUnscaled:
+        for (size_t i = 0; i < sites; ++i) {
+            c.executed[i] = db.site(i).executed;
+            c.taken[i] = db.site(i).taken;
+        }
+        break;
+      case MergeMode::kScaled: {
+        const double total = db.totalExecuted();
+        if (total <= 0.0)
+            break; // an empty run contributes nothing
+        for (size_t i = 0; i < sites; ++i) {
+            c.executed[i] = db.site(i).executed / total;
+            c.taken[i] = db.site(i).taken / total;
+        }
+        break;
+      }
+      case MergeMode::kPolling:
+        for (size_t i = 0; i < sites; ++i) {
+            const auto &w = db.site(i);
+            if (w.executed <= 0.0)
+                continue;
+            c.executed[i] = 1.0;
+            if (w.taken * 2.0 > w.executed)
+                c.taken[i] = 1.0;
+        }
+        break;
+    }
+    return c;
+}
+
+} // namespace
+
+LeaveOneOutTable
+leaveOneOutTable(std::span<const ProfileDb> dbs, MergeMode mode)
+{
+    if (dbs.empty())
+        throw Error("leaveOneOutTable: no inputs");
+    const size_t n = dbs.size();
+    const size_t sites = dbs[0].numSites();
+    for (const ProfileDb &db : dbs) {
+        if (db.fingerprint() != dbs[0].fingerprint() ||
+            db.numSites() != sites) {
+            throw Error(strPrintf(
+                "leaveOneOutTable: profile set for '%s' is not uniform "
+                "(fingerprint or site count mismatch)",
+                dbs[0].programName().c_str()));
+        }
+    }
+
+    std::vector<Contribution> contrib;
+    contrib.reserve(n);
+    for (const ProfileDb &db : dbs)
+        contrib.push_back(contributionOf(db, mode));
+
+    // prefix[t] = left fold of datasets [0, t) — exactly the first part
+    // of the reference merge for target t; suffix[t] = fold of [t, n).
+    std::vector<Contribution> prefix(n + 1), suffix(n + 1);
+    prefix[0].executed.assign(sites, 0.0);
+    prefix[0].taken.assign(sites, 0.0);
+    for (size_t j = 0; j < n; ++j) {
+        prefix[j + 1] = prefix[j];
+        for (size_t i = 0; i < sites; ++i) {
+            prefix[j + 1].executed[i] += contrib[j].executed[i];
+            prefix[j + 1].taken[i] += contrib[j].taken[i];
+        }
+    }
+    suffix[n].executed.assign(sites, 0.0);
+    suffix[n].taken.assign(sites, 0.0);
+    for (size_t j = n; j-- > 0;) {
+        suffix[j] = suffix[j + 1];
+        for (size_t i = 0; i < sites; ++i) {
+            suffix[j].executed[i] += contrib[j].executed[i];
+            suffix[j].taken[i] += contrib[j].taken[i];
+        }
+    }
+
+    LeaveOneOutTable out;
+    out.directions.assign(n, std::vector<uint8_t>(sites, 0));
+    out.seen.assign(n, std::vector<uint8_t>(sites, 0));
+    for (size_t t = 0; t < n; ++t) {
+        for (size_t i = 0; i < sites; ++i) {
+            double e = prefix[t].executed[i] + suffix[t + 1].executed[i];
+            double tk = prefix[t].taken[i] + suffix[t + 1].taken[i];
+            if (mode == MergeMode::kScaled && e > 0.0 &&
+                std::fabs(2.0 * tk - e) <= 1e-9 * e) {
+                // Margin inside the guard band: association error could
+                // in principle flip the strict comparison, so replay the
+                // exact reference fold for this site (same operation
+                // sequence as ProfileDb::merge over all-but-t).
+                e = 0.0;
+                tk = 0.0;
+                for (size_t j = 0; j < n; ++j) {
+                    if (j == t)
+                        continue;
+                    e += contrib[j].executed[i];
+                    tk += contrib[j].taken[i];
+                }
+                ++out.exact_refolds;
+            }
+            // ProfilePredictor semantics: unseen sites default to
+            // not-taken, seen sites take the strict majority.
+            out.seen[t][i] = e > 0.0 ? 1 : 0;
+            out.directions[t][i] = (e > 0.0 && tk * 2.0 > e) ? 1 : 0;
+        }
+    }
+    return out;
+}
+
+} // namespace ifprob::analysis

@@ -1,0 +1,51 @@
+#ifndef IFPROB_ANALYSIS_LOO_H
+#define IFPROB_ANALYSIS_LOO_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "profile/profile_db.h"
+
+namespace ifprob::analysis {
+
+/**
+ * Per-target leave-one-out predictor directions for one workload's
+ * profile set under one merge mode: `directions[t][site]` is the
+ * direction a ProfilePredictor over `merge(all datasets except t, mode)`
+ * predicts (1 = taken; unseen sites are 0, the not-taken default), and
+ * `seen[t][site]` marks sites that merged predictor ever saw execute.
+ *
+ * Computed in O(n * sites) for all n targets at once via per-mode
+ * prefix/suffix weight sums, replacing the O(n^2 * sites) per-target
+ * re-merge. The directions are guaranteed identical to the re-merge:
+ *
+ *  - unscaled and polling weights are integer-valued doubles, so any
+ *    summation order is exact;
+ *  - scaled weights are fractional, so prefix+suffix association can
+ *    round differently from the reference left-fold — but only by
+ *    ~n*ulp, and any site whose merged (2*taken - executed) margin falls
+ *    inside a 1e-9 relative guard band is re-derived by replaying the
+ *    exact reference fold for that site alone (rare, O(n) each).
+ */
+struct LeaveOneOutTable
+{
+    std::vector<std::vector<uint8_t>> directions; ///< [target][site]
+    std::vector<std::vector<uint8_t>> seen;       ///< [target][site]
+    /** Scaled-mode sites re-derived by the exact reference fold because
+     *  their margin fell inside the tie guard band (telemetry). */
+    int64_t exact_refolds = 0;
+};
+
+/**
+ * Build the leave-one-out table for @p dbs (one ProfileDb per dataset,
+ * in dataset order — the order ProfileDb::merge would consume them).
+ * All inputs must share a fingerprint and site count; throws Error
+ * otherwise, and on an empty input span (mirroring ProfileDb::merge).
+ */
+LeaveOneOutTable leaveOneOutTable(std::span<const profile::ProfileDb> dbs,
+                                  profile::MergeMode mode);
+
+} // namespace ifprob::analysis
+
+#endif // IFPROB_ANALYSIS_LOO_H

@@ -1,0 +1,88 @@
+#include "analysis/soa.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace ifprob::analysis {
+
+namespace {
+
+/** Looked up once; hot kernels then pay one relaxed atomic add. */
+void
+countKernelInvocation()
+{
+    static obs::Counter &c = obs::counter("analysis.kernel_invocations");
+    c.add(1);
+}
+
+} // namespace
+
+SiteCounts
+SiteCounts::fromStats(const vm::RunStats &stats)
+{
+    SiteCounts out;
+    out.executed.resize(stats.branches.size());
+    out.taken.resize(stats.branches.size());
+    for (size_t i = 0; i < stats.branches.size(); ++i) {
+        out.executed[i] = stats.branches[i].executed;
+        out.taken[i] = stats.branches[i].taken;
+    }
+    return out;
+}
+
+int64_t
+mispredictsLowered(const SiteCounts &target, std::span<const uint8_t> dir)
+{
+    countKernelInvocation();
+    const int64_t *executed = target.executed.data();
+    const int64_t *taken = target.taken.data();
+    const size_t n = target.size();
+    int64_t mis = 0;
+    // dir == 1 mispredicts the not-taken executions (e - t), dir == 0
+    // the taken ones (t); branch-free form so the loop vectorizes.
+    // Sites with executed == 0 contribute 0 either way.
+    for (size_t i = 0; i < n; ++i) {
+        const int64_t e = executed[i];
+        const int64_t t = taken[i];
+        mis += t + static_cast<int64_t>(dir[i]) * (e - 2 * t);
+    }
+    return mis;
+}
+
+PairTallies
+pairKernel(const SiteCounts &target, std::span<const uint8_t> predictor_dir,
+           std::span<const uint8_t> predictor_seen)
+{
+    countKernelInvocation();
+    const int64_t *executed = target.executed.data();
+    const int64_t *taken = target.taken.data();
+    const size_t n = target.size();
+    PairTallies out;
+    for (size_t i = 0; i < n; ++i) {
+        const int64_t e = executed[i];
+        const int64_t t = taken[i];
+        const int64_t seen = predictor_seen[i];
+        const int64_t pd = predictor_dir[i];
+        const int64_t td = 2 * t > e ? 1 : 0;
+        out.total += e;
+        out.unseen += (1 - seen) * e;
+        out.disagree += seen * (pd ^ td) * e;
+        out.mispredicted += t + pd * (e - 2 * t);
+    }
+    return out;
+}
+
+int64_t
+selfMispredicts(const SiteCounts &counts)
+{
+    const int64_t *executed = counts.executed.data();
+    const int64_t *taken = counts.taken.data();
+    const size_t n = counts.size();
+    int64_t mis = 0;
+    for (size_t i = 0; i < n; ++i)
+        mis += std::min(taken[i], executed[i] - taken[i]);
+    return mis;
+}
+
+} // namespace ifprob::analysis

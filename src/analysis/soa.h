@@ -1,0 +1,77 @@
+#ifndef IFPROB_ANALYSIS_SOA_H
+#define IFPROB_ANALYSIS_SOA_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vm/run_stats.h"
+
+namespace ifprob::analysis {
+
+/**
+ * One run's per-site branch counters in structure-of-arrays form, the
+ * layout the prediction kernels iterate. The AoS `RunStats::branches`
+ * vector is what the VM increments during execution; the analysis plane
+ * flattens it once per (workload, dataset) so every subsequent predictor
+ * evaluation is a single tight loop over two contiguous int64 arrays —
+ * no virtual dispatch, no struct striding, auto-vectorizable.
+ */
+struct SiteCounts
+{
+    std::vector<int64_t> executed;
+    std::vector<int64_t> taken;
+
+    size_t size() const { return executed.size(); }
+
+    static SiteCounts fromStats(const vm::RunStats &stats);
+};
+
+/**
+ * Everything the coverage study needs for one (predictor, target) pair,
+ * produced by a single pass over the target's counters:
+ *
+ *  - total:        target's dynamic branches at sites it executed
+ *  - unseen:       ... at sites the predictor dataset never executed
+ *  - disagree:     ... at sites both datasets executed but whose
+ *                  majority directions differ
+ *  - mispredicted: mispredicts of the predictor's lowered directions
+ *                  against the target (identical integer arithmetic to
+ *                  predict::evaluate over a ProfilePredictor)
+ */
+struct PairTallies
+{
+    int64_t total = 0;
+    int64_t unseen = 0;
+    int64_t disagree = 0;
+    int64_t mispredicted = 0;
+};
+
+/**
+ * SoA mispredict kernel: the number of target branches a predictor with
+ * per-site directions @p dir (1 = taken, 0 = not taken, one byte per
+ * site) gets wrong. Exactly equal to
+ * `predict::evaluate(stats, predictor).mispredicted` for any predictor
+ * whose predictTaken(i) == dir[i]: both reduce to integer sums of
+ * min/max terms, so the result is bit-identical regardless of order.
+ */
+int64_t mispredictsLowered(const SiteCounts &target,
+                           std::span<const uint8_t> dir);
+
+/**
+ * Fused coverage + disagreement + mispredict kernel for one
+ * (predictor, target) pair. @p predictor_seen marks sites the predictor
+ * dataset executed; @p predictor_dir must be 0 at unseen sites (the
+ * ProfilePredictor's not-taken default).
+ */
+PairTallies pairKernel(const SiteCounts &target,
+                       std::span<const uint8_t> predictor_dir,
+                       std::span<const uint8_t> predictor_seen);
+
+/** Best-possible static mispredicts: sum over sites of
+ *  min(taken, executed - taken), the self-prediction bound. */
+int64_t selfMispredicts(const SiteCounts &counts);
+
+} // namespace ifprob::analysis
+
+#endif // IFPROB_ANALYSIS_SOA_H

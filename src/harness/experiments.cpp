@@ -1,20 +1,44 @@
 #include "harness/experiments.h"
 
+#include <cstdlib>
+#include <functional>
+
+#include "analysis/analysis_cache.h"
 #include "compiler/pipeline.h"
 #include "exec/graph.h"
 #include "exec/pool.h"
 #include "metrics/breaks.h"
+#include "predict/evaluate.h"
 #include "predict/profile_predictor.h"
 #include "vm/machine.h"
 
 namespace ifprob::harness {
 
+using analysis::AnalysisCache;
 using metrics::BreakConfig;
 using predict::ProfilePredictor;
 using profile::MergeMode;
 using profile::ProfileDb;
 
 namespace {
+
+/**
+ * IFPROB_ANALYSIS=reference selects the original analysis plane — a
+ * fresh ProfileDb per profileOf() call, a full O(n^2) re-merge per
+ * leave-one-out predictor, virtual predictTaken() dispatch per site.
+ * Anything else (the default) routes through Runner::analysis(), the
+ * memoized AnalysisCache with SoA kernels. The differential tests in
+ * tests/test_analysis.cpp hold the two paths' outputs identical.
+ *
+ * Read per call: the experiment entry points are not hot, and tests
+ * flip the variable at runtime.
+ */
+bool
+useReferenceAnalysis()
+{
+    const char *env = std::getenv("IFPROB_ANALYSIS");
+    return env && std::string_view(env) == "reference";
+}
 
 /** One (workload, dataset) cell of the experiment matrix, flattened so
  *  the exec pool can fan out over it. */
@@ -35,6 +59,47 @@ matrixCells()
     return cells;
 }
 
+/**
+ * The three-stage graph shape figure3 and coverageStudy share: for each
+ * workload with at least two datasets, one stats node per dataset, one
+ * materialization node that builds the workload's profile set once the
+ * stats are in, then one row node per target dataset. Workloads overlap:
+ * one workload's row nodes run while the next workload's stats execute.
+ *
+ * @p stage names the row nodes in traces ("fig3", "coverage").
+ * @p materialize runs once per eligible workload; @p row once per
+ * (workload index, target index).
+ */
+void
+runTargetGraph(Runner &runner, const char *stage,
+               const std::function<void(size_t wi)> &materialize,
+               const std::function<void(size_t wi, size_t t)> &row)
+{
+    const auto &all = workloads::all();
+    exec::Graph graph;
+    for (size_t wi = 0; wi < all.size(); ++wi) {
+        const workloads::Workload &w = all[wi];
+        if (w.datasets.size() < 2)
+            continue;
+        std::vector<exec::Graph::NodeId> stat_nodes;
+        for (const auto &d : w.datasets) {
+            stat_nodes.push_back(graph.add(
+                "stats:" + w.name + "/" + d.name,
+                [&runner, &w, &d] { runner.stats(w.name, d.name); }));
+        }
+        exec::Graph::NodeId profile_node =
+            graph.add("profiles:" + w.name, [&materialize, wi] {
+                materialize(wi);
+            }, stat_nodes);
+        for (size_t t = 0; t < w.datasets.size(); ++t) {
+            graph.add(std::string(stage) + ":" + w.name + "/" +
+                          w.datasets[t].name,
+                      [&row, wi, t] { row(wi, t); }, {profile_node});
+        }
+    }
+    graph.run(exec::globalPool());
+}
+
 } // namespace
 
 profile::ProfileDb
@@ -50,6 +115,8 @@ double
 selfPredictedPerBreak(Runner &runner, const std::string &workload,
                       const std::string &dataset)
 {
+    if (!useReferenceAnalysis())
+        return runner.analysis().selfPerBreak(workload, dataset);
     const vm::RunStats &stats = runner.stats(workload, dataset);
     ProfilePredictor self(profileOf(runner, workload, dataset));
     return metrics::breaksWithPredictor(stats, self).instructionsPerBreak();
@@ -59,6 +126,8 @@ double
 othersPredictedPerBreak(Runner &runner, const std::string &workload,
                         const std::string &dataset, MergeMode mode)
 {
+    if (!useReferenceAnalysis())
+        return runner.analysis().othersPerBreak(workload, dataset, mode);
     std::vector<ProfileDb> others;
     for (const std::string &name : runner.datasetNames(workload)) {
         if (name != dataset)
@@ -103,7 +172,9 @@ figure2(Runner &runner, MergeMode mode)
     // The cross-dataset predictor of row (w, d) needs every dataset of
     // w, so the graph runs one stats node per matrix cell and releases
     // each workload's row nodes as soon as that workload's cells are
-    // done — rows of one workload overlap stats of the next.
+    // done — rows of one workload overlap stats of the next. The
+    // per-row prediction work dispatches through the shared helpers
+    // (reference path or AnalysisCache, per IFPROB_ANALYSIS).
     auto cells = matrixCells();
     std::vector<Fig2Row> rows(cells.size());
     exec::Graph graph;
@@ -142,81 +213,71 @@ figure2(Runner &runner, MergeMode mode)
 std::vector<Fig3Row>
 figure3(Runner &runner)
 {
-    // Three-stage graph per workload: dataset stats -> one shared
-    // profile-build node -> one node per target row (each target scans
-    // every other dataset's profile).
     const auto &all = workloads::all();
-    std::vector<std::vector<ProfileDb>> profiles(all.size());
     std::vector<Fig3Row> rows;
-    std::vector<std::pair<size_t, size_t>> row_keys; ///< (workload, target)
+    std::vector<size_t> row_base(all.size(), 0); ///< first row of workload
     for (size_t wi = 0; wi < all.size(); ++wi) {
-        if (all[wi].datasets.size() < 2)
-            continue;
-        for (size_t t = 0; t < all[wi].datasets.size(); ++t)
-            row_keys.emplace_back(wi, t);
+        row_base[wi] = rows.size();
+        if (all[wi].datasets.size() >= 2)
+            rows.resize(rows.size() + all[wi].datasets.size());
     }
-    rows.resize(row_keys.size());
 
-    exec::Graph graph;
-    size_t row_index = 0;
-    for (size_t wi = 0; wi < all.size(); ++wi) {
+    const bool reference = useReferenceAnalysis();
+    std::vector<std::vector<ProfileDb>> profiles(all.size());
+
+    auto materialize = [&](size_t wi) {
         const workloads::Workload &w = all[wi];
-        if (w.datasets.size() < 2)
-            continue;
-        std::vector<exec::Graph::NodeId> stat_nodes;
-        for (const auto &d : w.datasets) {
-            stat_nodes.push_back(graph.add(
-                "stats:" + w.name + "/" + d.name,
-                [&runner, &w, &d] { runner.stats(w.name, d.name); }));
+        if (reference) {
+            std::vector<ProfileDb> built;
+            for (const auto &d : w.datasets)
+                built.push_back(profileOf(runner, w.name, d.name));
+            profiles[wi] = std::move(built);
+        } else {
+            runner.analysis().workload(w.name);
         }
-        exec::Graph::NodeId profile_node = graph.add(
-            "profiles:" + w.name,
-            [&runner, &profiles, &w, wi] {
-                std::vector<ProfileDb> built;
-                for (const auto &d : w.datasets)
-                    built.push_back(profileOf(runner, w.name, d.name));
-                profiles[wi] = std::move(built);
-            },
-            stat_nodes);
-        for (size_t t = 0; t < w.datasets.size(); ++t) {
-            graph.add(
-                "fig3:" + w.name + "/" + w.datasets[t].name,
-                [&runner, &profiles, &rows, &w, wi, t, row_index] {
-                    const vm::RunStats &target =
-                        runner.stats(w.name, w.datasets[t].name);
-                    double self = selfPredictedPerBreak(
-                        runner, w.name, w.datasets[t].name);
-                    Fig3Row &row = rows[row_index];
-                    row.program = w.name;
-                    row.dataset = w.datasets[t].name;
-                    row.fortran_like = w.fortran_like;
-                    row.best_pct = -1.0;
-                    row.worst_pct = 1e300;
-                    for (size_t p = 0; p < w.datasets.size(); ++p) {
-                        if (p == t)
-                            continue;
-                        ProfilePredictor predictor(profiles[wi][p]);
-                        double per_break =
-                            metrics::breaksWithPredictor(target, predictor)
+    };
+
+    auto row = [&](size_t wi, size_t t) {
+        const workloads::Workload &w = all[wi];
+        double self = selfPredictedPerBreak(runner, w.name,
+                                            w.datasets[t].name);
+        Fig3Row &out = rows[row_base[wi] + t];
+        out.program = w.name;
+        out.dataset = w.datasets[t].name;
+        out.fortran_like = w.fortran_like;
+        out.best_pct = -1.0;
+        out.worst_pct = 1e300;
+        const vm::RunStats &target =
+            runner.stats(w.name, w.datasets[t].name);
+        const AnalysisCache::WorkloadProfiles *wp =
+            reference ? nullptr : &runner.analysis().workload(w.name);
+        for (size_t p = 0; p < w.datasets.size(); ++p) {
+            if (p == t)
+                continue;
+            double per_break;
+            if (reference) {
+                ProfilePredictor predictor(profiles[wi][p]);
+                per_break = metrics::breaksWithPredictor(target, predictor)
                                 .instructionsPerBreak();
-                        double pct = self > 0.0
-                                         ? 100.0 * per_break / self
-                                         : 100.0;
-                        if (pct > row.best_pct) {
-                            row.best_pct = pct;
-                            row.best_predictor = w.datasets[p].name;
-                        }
-                        if (pct < row.worst_pct) {
-                            row.worst_pct = pct;
-                            row.worst_predictor = w.datasets[p].name;
-                        }
-                    }
-                },
-                {profile_node});
-            ++row_index;
+            } else {
+                const int64_t mis = analysis::mispredictsLowered(
+                    wp->counts[t], wp->directions[p]);
+                per_break = metrics::breaksWithMispredicts(target, mis)
+                                .instructionsPerBreak();
+            }
+            double pct = self > 0.0 ? 100.0 * per_break / self : 100.0;
+            if (pct > out.best_pct) {
+                out.best_pct = pct;
+                out.best_predictor = w.datasets[p].name;
+            }
+            if (pct < out.worst_pct) {
+                out.worst_pct = pct;
+                out.worst_predictor = w.datasets[p].name;
+            }
         }
-    }
-    graph.run(exec::globalPool());
+    };
+
+    runTargetGraph(runner, "fig3", materialize, row);
     return rows;
 }
 
@@ -261,6 +322,7 @@ heuristics(Runner &runner)
 {
     using predict::Heuristic;
     using predict::HeuristicPredictor;
+    const bool reference = useReferenceAnalysis();
     const auto &all = workloads::all();
     std::vector<std::vector<HeuristicRow>> per_workload(all.size());
     exec::parallelFor(exec::globalPool(), all.size(), [&](size_t i) {
@@ -269,24 +331,46 @@ heuristics(Runner &runner)
         HeuristicPredictor backward(prog, Heuristic::kBackwardTaken);
         HeuristicPredictor opcode(prog, Heuristic::kOpcodeRules);
         HeuristicPredictor taken(prog, Heuristic::kAlwaysTaken);
-        for (const auto &d : w.datasets) {
-            const vm::RunStats &stats = runner.stats(w.name, d.name);
+        // Fast path: pay the per-site virtual predictTaken() calls once
+        // per workload, then score every dataset with the SoA kernel.
+        const AnalysisCache::WorkloadProfiles *wp = nullptr;
+        std::vector<uint8_t> backward_dir, opcode_dir, taken_dir;
+        if (!reference) {
+            wp = &runner.analysis().workload(w.name);
+            const size_t sites = prog.branch_sites.size();
+            backward_dir = predict::lowerPredictor(backward, sites);
+            opcode_dir = predict::lowerPredictor(opcode, sites);
+            taken_dir = predict::lowerPredictor(taken, sites);
+        }
+        for (size_t d = 0; d < w.datasets.size(); ++d) {
+            const std::string &dataset = w.datasets[d].name;
+            const vm::RunStats &stats = runner.stats(w.name, dataset);
             HeuristicRow row;
             row.program = w.name;
-            row.dataset = d.name;
+            row.dataset = dataset;
             row.self_per_break =
-                selfPredictedPerBreak(runner, w.name, d.name);
+                selfPredictedPerBreak(runner, w.name, dataset);
             row.others_per_break = othersPredictedPerBreak(
-                runner, w.name, d.name, MergeMode::kScaled);
+                runner, w.name, dataset, MergeMode::kScaled);
+            auto heuristic_per_break =
+                [&](const predict::StaticPredictor &predictor,
+                    const std::vector<uint8_t> &dir) {
+                    if (reference) {
+                        return metrics::breaksWithPredictor(stats,
+                                                            predictor)
+                            .instructionsPerBreak();
+                    }
+                    const int64_t mis = analysis::mispredictsLowered(
+                        wp->counts[d], dir);
+                    return metrics::breaksWithMispredicts(stats, mis)
+                        .instructionsPerBreak();
+                };
             row.backward_taken_per_break =
-                metrics::breaksWithPredictor(stats, backward)
-                    .instructionsPerBreak();
+                heuristic_per_break(backward, backward_dir);
             row.opcode_rules_per_break =
-                metrics::breaksWithPredictor(stats, opcode)
-                    .instructionsPerBreak();
+                heuristic_per_break(opcode, opcode_dir);
             row.always_taken_per_break =
-                metrics::breaksWithPredictor(stats, taken)
-                    .instructionsPerBreak();
+                heuristic_per_break(taken, taken_dir);
             per_workload[i].push_back(std::move(row));
         }
     });
@@ -301,100 +385,98 @@ heuristics(Runner &runner)
 std::vector<CoverageRow>
 coverageStudy(Runner &runner)
 {
-    // Same three-stage shape as figure3; each target node emits the
-    // (n-1) predictor rows for that target in dataset order.
     const auto &all = workloads::all();
-    std::vector<std::vector<ProfileDb>> profiles(all.size());
     size_t total_rows = 0;
-    for (const auto &w : all) {
-        if (w.datasets.size() >= 2)
-            total_rows += w.datasets.size() * (w.datasets.size() - 1);
+    std::vector<size_t> row_base(all.size(), 0);
+    for (size_t wi = 0; wi < all.size(); ++wi) {
+        row_base[wi] = total_rows;
+        if (all[wi].datasets.size() >= 2)
+            total_rows +=
+                all[wi].datasets.size() * (all[wi].datasets.size() - 1);
     }
     std::vector<CoverageRow> rows(total_rows);
 
-    exec::Graph graph;
-    size_t row_base = 0;
-    for (size_t wi = 0; wi < all.size(); ++wi) {
-        const workloads::Workload &w = all[wi];
-        if (w.datasets.size() < 2)
-            continue;
-        std::vector<exec::Graph::NodeId> stat_nodes;
-        for (const auto &d : w.datasets) {
-            stat_nodes.push_back(graph.add(
-                "stats:" + w.name + "/" + d.name,
-                [&runner, &w, &d] { runner.stats(w.name, d.name); }));
-        }
-        exec::Graph::NodeId profile_node = graph.add(
-            "profiles:" + w.name,
-            [&runner, &profiles, &w, wi] {
-                std::vector<ProfileDb> built;
-                for (const auto &d : w.datasets)
-                    built.push_back(profileOf(runner, w.name, d.name));
-                profiles[wi] = std::move(built);
-            },
-            stat_nodes);
-        for (size_t t = 0; t < w.datasets.size(); ++t) {
-            size_t out = row_base;
-            graph.add(
-                "coverage:" + w.name + "/" + w.datasets[t].name,
-                [&runner, &profiles, &rows, &w, wi, t, out] {
-                    const vm::RunStats &target =
-                        runner.stats(w.name, w.datasets[t].name);
-                    double self_bound = selfPredictedPerBreak(
-                        runner, w.name, w.datasets[t].name);
-                    size_t slot = out;
-                    for (size_t p = 0; p < w.datasets.size(); ++p) {
-                        if (p == t)
-                            continue;
-                        CoverageRow row;
-                        row.program = w.name;
-                        row.target = w.datasets[t].name;
-                        row.predictor = w.datasets[p].name;
+    const bool reference = useReferenceAnalysis();
+    std::vector<std::vector<ProfileDb>> profiles(all.size());
 
-                        int64_t total = 0, unseen = 0, disagree = 0;
-                        for (size_t site = 0;
-                             site < target.branches.size(); ++site) {
-                            int64_t executed =
-                                target.branches[site].executed;
-                            if (executed == 0)
-                                continue;
-                            total += executed;
-                            const auto &pw = profiles[wi][p].site(site);
-                            if (pw.executed <= 0.0) {
-                                unseen += executed;
-                                continue;
-                            }
-                            bool predictor_taken =
-                                pw.taken * 2.0 > pw.executed;
-                            bool target_taken =
-                                2 * target.branches[site].taken > executed;
-                            if (predictor_taken != target_taken)
-                                disagree += executed;
-                        }
-                        if (total > 0) {
-                            row.coverage_gap_pct =
-                                100.0 * static_cast<double>(unseen) /
-                                static_cast<double>(total);
-                            row.disagreement_pct =
-                                100.0 * static_cast<double>(disagree) /
-                                static_cast<double>(total);
-                        }
-                        ProfilePredictor cross(profiles[wi][p]);
-                        double per_break =
-                            metrics::breaksWithPredictor(target, cross)
-                                .instructionsPerBreak();
-                        row.quality_pct =
-                            self_bound > 0.0
-                                ? 100.0 * per_break / self_bound
-                                : 100.0;
-                        rows[slot++] = std::move(row);
-                    }
-                },
-                {profile_node});
-            row_base += w.datasets.size() - 1;
+    auto materialize = [&](size_t wi) {
+        const workloads::Workload &w = all[wi];
+        if (reference) {
+            std::vector<ProfileDb> built;
+            for (const auto &d : w.datasets)
+                built.push_back(profileOf(runner, w.name, d.name));
+            profiles[wi] = std::move(built);
+        } else {
+            runner.analysis().workload(w.name);
         }
-    }
-    graph.run(exec::globalPool());
+    };
+
+    auto row = [&](size_t wi, size_t t) {
+        const workloads::Workload &w = all[wi];
+        const vm::RunStats &target =
+            runner.stats(w.name, w.datasets[t].name);
+        double self_bound = selfPredictedPerBreak(runner, w.name,
+                                                  w.datasets[t].name);
+        const AnalysisCache::WorkloadProfiles *wp =
+            reference ? nullptr : &runner.analysis().workload(w.name);
+        size_t slot = row_base[wi] + t * (w.datasets.size() - 1);
+        for (size_t p = 0; p < w.datasets.size(); ++p) {
+            if (p == t)
+                continue;
+            CoverageRow out;
+            out.program = w.name;
+            out.target = w.datasets[t].name;
+            out.predictor = w.datasets[p].name;
+
+            int64_t total = 0, unseen = 0, disagree = 0;
+            double per_break;
+            if (reference) {
+                for (size_t site = 0; site < target.branches.size();
+                     ++site) {
+                    int64_t executed = target.branches[site].executed;
+                    if (executed == 0)
+                        continue;
+                    total += executed;
+                    const auto &pw = profiles[wi][p].site(site);
+                    if (pw.executed <= 0.0) {
+                        unseen += executed;
+                        continue;
+                    }
+                    bool predictor_taken = pw.taken * 2.0 > pw.executed;
+                    bool target_taken =
+                        2 * target.branches[site].taken > executed;
+                    if (predictor_taken != target_taken)
+                        disagree += executed;
+                }
+                ProfilePredictor cross(profiles[wi][p]);
+                per_break = metrics::breaksWithPredictor(target, cross)
+                                .instructionsPerBreak();
+            } else {
+                analysis::PairTallies tallies = analysis::pairKernel(
+                    wp->counts[t], wp->directions[p], wp->seen[p]);
+                total = tallies.total;
+                unseen = tallies.unseen;
+                disagree = tallies.disagree;
+                per_break = metrics::breaksWithMispredicts(
+                                target, tallies.mispredicted)
+                                .instructionsPerBreak();
+            }
+            if (total > 0) {
+                out.coverage_gap_pct = 100.0 *
+                                       static_cast<double>(unseen) /
+                                       static_cast<double>(total);
+                out.disagreement_pct = 100.0 *
+                                       static_cast<double>(disagree) /
+                                       static_cast<double>(total);
+            }
+            out.quality_pct = self_bound > 0.0
+                                  ? 100.0 * per_break / self_bound
+                                  : 100.0;
+            rows[slot++] = std::move(out);
+        }
+    };
+
+    runTargetGraph(runner, "coverage", materialize, row);
     return rows;
 }
 

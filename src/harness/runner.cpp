@@ -7,6 +7,7 @@
 
 #include <unistd.h>
 
+#include "analysis/analysis_cache.h"
 #include "compiler/pipeline.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
@@ -70,6 +71,24 @@ Runner::experimentOptions()
     options.eliminate_dead_code = false; // as in the paper (see Table 1)
     options.use_select = true;
     return options;
+}
+
+Runner::~Runner() = default;
+
+analysis::AnalysisCache &
+Runner::analysis()
+{
+    std::lock_guard<std::mutex> lock(analysis_mu_);
+    if (!analysis_)
+        analysis_ = std::make_unique<analysis::AnalysisCache>(*this);
+    return *analysis_;
+}
+
+void
+Runner::resetAnalysis()
+{
+    std::lock_guard<std::mutex> lock(analysis_mu_);
+    analysis_.reset();
 }
 
 Runner::Runner(CompileOptions options) : options_(options)
@@ -196,19 +215,32 @@ Runner::computeStats(StatsSlot &slot, const std::string &workload,
 
     if (!cache_dir_.empty()) {
         std::string path = cachePath(workload, dataset, prog.fingerprint());
-        std::ifstream in(path);
+        std::ifstream in(path, std::ios::binary);
         if (in) {
             try {
-                vm::RunStats cached = vm::RunStats::load(in);
+                // New entries are binary (magic-sniffed); the text
+                // loader remains the fallback for cache directories
+                // written before the binary format existed.
+                const bool binary = vm::RunStats::sniffBinary(in);
+                vm::RunStats cached =
+                    binary ? vm::RunStats::loadBinary(in,
+                                                      prog.fingerprint())
+                           : vm::RunStats::load(in);
                 int64_t bytes = fileSize(path);
                 {
                     std::lock_guard<std::mutex> lock(cache_stats_mu_);
                     ++cache_stats_.hits;
+                    ++(binary ? cache_stats_.binary_hits
+                              : cache_stats_.text_hits);
                     cache_stats_.bytes_read += bytes;
                 }
                 obs::counter("runner.cache_hits").add(1);
+                obs::counter(binary ? "runner.cache_hits_binary"
+                                    : "runner.cache_hits_text")
+                    .add(1);
                 obs::counter("runner.cache_bytes_read").add(bytes);
                 record.cache = "hit";
+                record.stats_cache_format = binary ? "binary" : "text";
                 finish(std::move(cached));
                 return;
             } catch (const Error &e) {
@@ -274,9 +306,9 @@ Runner::computeStats(StatsSlot &slot, const std::string &workload,
             "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(::getpid()),
             static_cast<unsigned long long>(
                 temp_seq.fetch_add(1, std::memory_order_relaxed)));
-        std::ofstream out(tmp);
+        std::ofstream out(tmp, std::ios::binary);
         if (out) {
-            result.stats.save(out);
+            result.stats.saveBinary(out, prog.fingerprint());
             out.close();
             std::error_code ec;
             std::filesystem::rename(tmp, path, ec);

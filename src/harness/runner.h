@@ -15,6 +15,10 @@
 #include "vm/run_stats.h"
 #include "workloads/workload.h"
 
+namespace ifprob::analysis {
+class AnalysisCache;
+}
+
 namespace ifprob::harness {
 
 /**
@@ -32,6 +36,8 @@ struct CacheStats
     static constexpr size_t kMaxFailureDetails = 32;
 
     int64_t hits = 0;
+    int64_t binary_hits = 0;     ///< hits served from the binary format
+    int64_t text_hits = 0;       ///< hits served by the text fallback
     int64_t misses = 0;          ///< no cache file (includes cache off)
     int64_t read_failures = 0;   ///< file present but unreadable/corrupt
     int64_t bytes_read = 0;
@@ -70,6 +76,7 @@ class Runner
 {
   public:
     explicit Runner(CompileOptions options = experimentOptions());
+    ~Runner();
 
     /**
      * The paper's experimental compiler configuration: classical
@@ -93,6 +100,20 @@ class Runner
     /** Snapshot of disk-cache effectiveness so far (hits/misses/
      *  failures/bytes). A copy: safe while other threads keep running. */
     CacheStats cacheStats() const;
+
+    /**
+     * The Runner's analysis-plane memoization layer (profiles, SoA
+     * counters, leave-one-out predictors; see docs/analysis.md).
+     * Created on first use; thread-safe like stats()/program().
+     */
+    analysis::AnalysisCache &analysis();
+
+    /**
+     * Drop every memoized analysis artifact (bench hook for measuring
+     * cold-cache analysis). Invalidates references previously returned
+     * by analysis(); callers must not race this with analysis use.
+     */
+    void resetAnalysis();
 
   private:
     /** One workload's compile-once slot. The first thread to claim the
@@ -144,6 +165,9 @@ class Runner
     std::map<std::string, std::shared_ptr<CompileSlot>> programs_;
 
     StatsShard stats_shards_[kStatsShards];
+
+    std::mutex analysis_mu_;
+    std::unique_ptr<analysis::AnalysisCache> analysis_;
 };
 
 } // namespace ifprob::harness

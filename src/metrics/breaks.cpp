@@ -21,9 +21,17 @@ breaksWithPredictor(const vm::RunStats &stats,
                     const predict::StaticPredictor &predictor,
                     const BreakConfig &config)
 {
+    return breaksWithMispredicts(
+        stats, predict::evaluate(stats, predictor).mispredicted, config);
+}
+
+BreakSummary
+breaksWithMispredicts(const vm::RunStats &stats, int64_t mispredicted,
+                      const BreakConfig &config)
+{
     BreakSummary s;
     s.instructions = stats.instructions;
-    s.cond_branch_breaks = predict::evaluate(stats, predictor).mispredicted;
+    s.cond_branch_breaks = mispredicted;
     s.unavoidable_breaks = stats.indirect_calls + stats.indirect_returns;
     if (config.count_calls)
         s.call_breaks = stats.direct_calls + stats.direct_returns;

@@ -63,6 +63,16 @@ BreakSummary breaksWithPredictor(const vm::RunStats &stats,
                                  const predict::StaticPredictor &predictor,
                                  const BreakConfig &config = {});
 
+/**
+ * Figure-2 accounting with an externally computed mispredict count (the
+ * analysis plane's SoA kernels produce the count without a predictor
+ * object). breaksWithPredictor is exactly this composed with
+ * predict::evaluate.
+ */
+BreakSummary breaksWithMispredicts(const vm::RunStats &stats,
+                                   int64_t mispredicted,
+                                   const BreakConfig &config = {});
+
 /** Fraction of dynamic instructions DCE would have removed (Table 1). */
 double deadCodeFraction(int64_t instructions_without_dce,
                         int64_t instructions_with_dce);

@@ -19,6 +19,7 @@ renderRunRecord(const RunRecord &r)
         .field("dataset", r.dataset)
         .field("fingerprint", r.fingerprint)
         .field("cache", r.cache)
+        .field("stats_cache_format", r.stats_cache_format)
         .field("instructions", r.instructions)
         .field("cond_branches", r.cond_branches)
         .field("taken_branches", r.taken_branches)
@@ -51,6 +52,7 @@ parseRunRecord(std::string_view line)
     r.dataset = str("dataset");
     r.fingerprint = str("fingerprint");
     r.cache = str("cache");
+    r.stats_cache_format = str("stats_cache_format"); // absent pre-binary
     r.instructions = static_cast<int64_t>(num("instructions"));
     r.cond_branches = static_cast<int64_t>(num("cond_branches"));
     r.taken_branches = static_cast<int64_t>(num("taken_branches"));

@@ -36,6 +36,9 @@ struct RunRecord
     std::string dataset;
     std::string fingerprint;  ///< compiled image fingerprint, hex
     std::string cache;        ///< "hit" | "miss" | "error" | "off"
+    /** Serialization the stats cache hit was read from ("binary" |
+     *  "text"); empty when the run was not served from the cache. */
+    std::string stats_cache_format;
     int64_t instructions = 0;
     int64_t cond_branches = 0;
     int64_t taken_branches = 0;

@@ -20,4 +20,13 @@ evaluate(const vm::RunStats &target, const StaticPredictor &predictor)
     return q;
 }
 
+std::vector<uint8_t>
+lowerPredictor(const StaticPredictor &predictor, size_t num_sites)
+{
+    std::vector<uint8_t> dir(num_sites, 0);
+    for (size_t i = 0; i < num_sites; ++i)
+        dir[i] = predictor.predictTaken(static_cast<int>(i)) ? 1 : 0;
+    return dir;
+}
+
 } // namespace ifprob::predict

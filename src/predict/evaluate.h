@@ -1,6 +1,9 @@
 #ifndef IFPROB_PREDICT_EVALUATE_H
 #define IFPROB_PREDICT_EVALUATE_H
 
+#include <cstdint>
+#include <vector>
+
 #include "predict/static_predictor.h"
 #include "vm/run_stats.h"
 
@@ -16,6 +19,15 @@ namespace ifprob::predict {
  */
 PredictionQuality evaluate(const vm::RunStats &target,
                            const StaticPredictor &predictor);
+
+/**
+ * Flatten a predictor's per-site decisions to one byte per site
+ * (1 = taken). This pays the virtual predictTaken() calls exactly once;
+ * the analysis plane's SoA kernels (analysis/soa.h) then evaluate the
+ * lowered form against any number of targets without dispatch.
+ */
+std::vector<uint8_t> lowerPredictor(const StaticPredictor &predictor,
+                                    size_t num_sites);
 
 } // namespace ifprob::predict
 

@@ -1,7 +1,9 @@
 #include "vm/run_stats.h"
 
+#include <cstring>
 #include <istream>
 #include <ostream>
+#include <vector>
 
 #include "support/error.h"
 #include "support/str.h"
@@ -60,6 +62,156 @@ RunStats::save(std::ostream &os) const
     os << branches.size() << '\n';
     for (const auto &b : branches)
         os << b.executed << ' ' << b.taken << '\n';
+}
+
+namespace {
+
+/** Little-endian encode/decode helpers. Byte-explicit rather than
+ *  memcpy-of-struct so the on-disk format is identical on any host. */
+void
+putU32(std::string &buf, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &buf, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putI64(std::string &buf, int64_t v)
+{
+    putU64(buf, static_cast<uint64_t>(v));
+}
+
+uint32_t
+getU32(const unsigned char *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(const unsigned char *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+int64_t
+getI64(const unsigned char *p)
+{
+    return static_cast<int64_t>(getU64(p));
+}
+
+/** Fill @p buf from the stream or throw the truncation error. */
+void
+readExact(std::istream &is, std::vector<unsigned char> &buf, size_t n)
+{
+    buf.resize(n);
+    is.read(reinterpret_cast<char *>(buf.data()),
+            static_cast<std::streamsize>(n));
+    if (static_cast<size_t>(is.gcount()) != n)
+        throw Error("RunStats::loadBinary: truncated input");
+}
+
+/** magic + version + reserved + fingerprint. */
+constexpr size_t kBinaryHeaderBytes = 8 + 4 + 4 + 8;
+constexpr size_t kBinaryScalars = 10;
+
+} // namespace
+
+void
+RunStats::saveBinary(std::ostream &os, uint64_t fingerprint) const
+{
+    std::string buf;
+    buf.reserve(kBinaryHeaderBytes + (kBinaryScalars + 1) * 8 +
+                branches.size() * 16);
+    buf.append(kBinaryMagic, sizeof(kBinaryMagic));
+    putU32(buf, kBinaryVersion);
+    putU32(buf, 0); // reserved
+    putU64(buf, fingerprint);
+    putI64(buf, instructions);
+    putI64(buf, cond_branches);
+    putI64(buf, taken_branches);
+    putI64(buf, jumps);
+    putI64(buf, direct_calls);
+    putI64(buf, indirect_calls);
+    putI64(buf, direct_returns);
+    putI64(buf, indirect_returns);
+    putI64(buf, selects);
+    putI64(buf, exit_code);
+    putU64(buf, branches.size());
+    for (const auto &b : branches) {
+        putI64(buf, b.executed);
+        putI64(buf, b.taken);
+    }
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+RunStats
+RunStats::loadBinary(std::istream &is, uint64_t expected_fingerprint)
+{
+    std::vector<unsigned char> buf;
+    readExact(is, buf, kBinaryHeaderBytes + (kBinaryScalars + 1) * 8);
+    if (std::memcmp(buf.data(), kBinaryMagic, sizeof(kBinaryMagic)) != 0)
+        throw Error("RunStats::loadBinary: bad magic");
+    const uint32_t version = getU32(buf.data() + 8);
+    if (version != kBinaryVersion) {
+        throw Error(strPrintf(
+            "RunStats::loadBinary: unsupported version %u", version));
+    }
+    const uint64_t fingerprint = getU64(buf.data() + 16);
+    if (expected_fingerprint != 0 && fingerprint != expected_fingerprint) {
+        throw Error(strPrintf(
+            "RunStats::loadBinary: fingerprint mismatch "
+            "(%016llx vs %016llx)",
+            static_cast<unsigned long long>(fingerprint),
+            static_cast<unsigned long long>(expected_fingerprint)));
+    }
+    RunStats stats;
+    const unsigned char *p = buf.data() + kBinaryHeaderBytes;
+    stats.instructions = getI64(p + 0 * 8);
+    stats.cond_branches = getI64(p + 1 * 8);
+    stats.taken_branches = getI64(p + 2 * 8);
+    stats.jumps = getI64(p + 3 * 8);
+    stats.direct_calls = getI64(p + 4 * 8);
+    stats.indirect_calls = getI64(p + 5 * 8);
+    stats.direct_returns = getI64(p + 6 * 8);
+    stats.indirect_returns = getI64(p + 7 * 8);
+    stats.selects = getI64(p + 8 * 8);
+    stats.exit_code = getI64(p + 9 * 8);
+    const uint64_t n = getU64(p + 10 * 8);
+    if (n > (1u << 26))
+        throw Error("RunStats::loadBinary: corrupt branch table size");
+    readExact(is, buf, static_cast<size_t>(n) * 16);
+    stats.branches.resize(static_cast<size_t>(n));
+    for (size_t i = 0; i < stats.branches.size(); ++i) {
+        stats.branches[i].executed = getI64(buf.data() + i * 16);
+        stats.branches[i].taken = getI64(buf.data() + i * 16 + 8);
+    }
+    return stats;
+}
+
+bool
+RunStats::sniffBinary(std::istream &is)
+{
+    char head[sizeof(kBinaryMagic)] = {};
+    is.read(head, sizeof(head));
+    const bool full = static_cast<size_t>(is.gcount()) == sizeof(head);
+    const bool magic =
+        full && std::memcmp(head, kBinaryMagic, sizeof(head)) == 0;
+    is.clear();
+    is.seekg(0, std::ios::beg);
+    return magic;
 }
 
 RunStats

@@ -47,9 +47,39 @@ struct RunStats
      *  accumulation across runs). Branch tables must be the same size. */
     void accumulate(const RunStats &other);
 
-    /** Plain-text serialization, used by the experiment cache. */
+    /** Plain-text serialization (human-inspectable; retained as the
+     *  load fallback for cache directories written before the binary
+     *  format existed). */
     void save(std::ostream &os) const;
     static RunStats load(std::istream &is);
+
+    /**
+     * Versioned little-endian binary cache serialization: an 8-byte
+     * magic, a u32 format version, a u32 reserved word, the compiled
+     * image's u64 fingerprint, the ten i64 scalar counters, a u64 site
+     * count, then (executed, taken) i64 pairs. Fixed-width fields mean
+     * the Runner's warm start is a handful of bulk reads instead of
+     * iostream text parsing. See docs/analysis.md for the layout.
+     */
+    static constexpr char kBinaryMagic[8] = {'I', 'F', 'P', 'R',
+                                             'O', 'B', 'R', 'S'};
+    static constexpr uint32_t kBinaryVersion = 1;
+
+    /** Write the binary form (open @p os with std::ios::binary). */
+    void saveBinary(std::ostream &os, uint64_t fingerprint) const;
+
+    /**
+     * Read the binary form. Throws Error on a bad magic, an unsupported
+     * version, truncation, an implausible site count, or — when
+     * @p expected_fingerprint is nonzero — a fingerprint mismatch.
+     */
+    static RunStats loadBinary(std::istream &is,
+                               uint64_t expected_fingerprint = 0);
+
+    /** True when @p is starts with the binary magic; the stream
+     *  position is restored either way (format sniff for loaders that
+     *  must fall back to the text format). */
+    static bool sniffBinary(std::istream &is);
 };
 
 } // namespace ifprob::vm

@@ -1,0 +1,653 @@
+/**
+ * @file
+ * Tests for the analysis plane (src/analysis/): differential equivalence
+ * of the memoized AnalysisCache path against the reference
+ * (IFPROB_ANALYSIS=reference) path, leave-one-out merge equivalence for
+ * every MergeMode including exact-tie sites, SoA kernel equivalence
+ * against virtual-dispatch evaluation, the binary RunStats cache format
+ * (round trip, corruption fallback), and concurrency (the Analysis*
+ * suites run under TSan in CI).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "analysis/analysis_cache.h"
+#include "analysis/loo.h"
+#include "analysis/soa.h"
+#include "harness/experiments.h"
+#include "harness/runner.h"
+#include "metrics/breaks.h"
+#include "predict/evaluate.h"
+#include "predict/heuristic_predictor.h"
+#include "predict/profile_predictor.h"
+#include "profile/profile_db.h"
+#include "support/error.h"
+#include "vm/run_stats.h"
+#include "workloads/workload.h"
+
+namespace ifprob::analysis {
+namespace {
+
+using harness::Runner;
+using predict::ProfilePredictor;
+using profile::MergeMode;
+using profile::ProfileDb;
+
+constexpr MergeMode kAllModes[] = {MergeMode::kUnscaled,
+                                   MergeMode::kScaled,
+                                   MergeMode::kPolling};
+
+/** Scoped IFPROB_ANALYSIS override (restores the prior value). */
+class AnalysisEnvGuard
+{
+  public:
+    explicit AnalysisEnvGuard(const char *value)
+    {
+        const char *old = std::getenv("IFPROB_ANALYSIS");
+        if (old) {
+            had_ = true;
+            old_ = old;
+        }
+        if (value)
+            ::setenv("IFPROB_ANALYSIS", value, 1);
+        else
+            ::unsetenv("IFPROB_ANALYSIS");
+    }
+
+    ~AnalysisEnvGuard()
+    {
+        if (had_)
+            ::setenv("IFPROB_ANALYSIS", old_.c_str(), 1);
+        else
+            ::unsetenv("IFPROB_ANALYSIS");
+    }
+
+  private:
+    bool had_ = false;
+    std::string old_;
+};
+
+/** Scoped IFPROB_CACHE override pointing at a fresh temp directory. */
+class CacheDirGuard
+{
+  public:
+    CacheDirGuard()
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("ifprob-analysis-cache-" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+        ::setenv("IFPROB_CACHE", dir_.c_str(), 1);
+    }
+
+    ~CacheDirGuard()
+    {
+        ::unsetenv("IFPROB_CACHE");
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    const std::filesystem::path &dir() const { return dir_; }
+
+    std::filesystem::path
+    onlyFile() const
+    {
+        std::filesystem::path found;
+        for (auto &entry : std::filesystem::directory_iterator(dir_)) {
+            if (entry.is_regular_file()) {
+                EXPECT_TRUE(found.empty());
+                found = entry.path();
+            }
+        }
+        EXPECT_FALSE(found.empty());
+        return found;
+    }
+
+  private:
+    std::filesystem::path dir_;
+};
+
+/** Synthetic stats with deliberately awkward sites: unseen, exact ties
+ *  (taken * 2 == executed), strong majorities either way. */
+vm::RunStats
+syntheticStats(int64_t salt)
+{
+    vm::RunStats stats;
+    stats.branches.resize(8);
+    stats.branches[0] = {0, 0};                    // never executed
+    stats.branches[1] = {4 + 2 * salt, 2 + salt};  // exact tie
+    stats.branches[2] = {100, 99};                 // strongly taken
+    stats.branches[3] = {100, 1};                  // strongly not taken
+    stats.branches[4] = {1, 1};                    // single taken
+    stats.branches[5] = {1, 0};                    // single not taken
+    stats.branches[6] = {50 + salt, 25};           // salt-dependent lean
+    stats.branches[7] = {2, 1};                    // tiny exact tie
+    for (const auto &b : stats.branches) {
+        stats.cond_branches += b.executed;
+        stats.taken_branches += b.taken;
+    }
+    stats.instructions = 10 * stats.cond_branches + 17;
+    return stats;
+}
+
+std::vector<ProfileDb>
+syntheticProfiles(size_t n)
+{
+    std::vector<ProfileDb> dbs;
+    for (size_t i = 0; i < n; ++i)
+        dbs.emplace_back("synthetic", 0x1234u,
+                         syntheticStats(static_cast<int64_t>(i)));
+    return dbs;
+}
+
+// --- leave-one-out equivalence ---------------------------------------------
+
+TEST(AnalysisLoo, MatchesFullRemergeForEveryModeAndTarget)
+{
+    auto dbs = syntheticProfiles(5);
+    for (MergeMode mode : kAllModes) {
+        LeaveOneOutTable table = leaveOneOutTable(dbs, mode);
+        ASSERT_EQ(table.directions.size(), dbs.size());
+        for (size_t t = 0; t < dbs.size(); ++t) {
+            std::vector<ProfileDb> others;
+            for (size_t j = 0; j < dbs.size(); ++j) {
+                if (j != t)
+                    others.push_back(dbs[j]);
+            }
+            ProfileDb merged = ProfileDb::merge(others, mode);
+            ProfilePredictor reference(merged);
+            for (size_t site = 0; site < merged.numSites(); ++site) {
+                EXPECT_EQ(table.directions[t][site] != 0,
+                          reference.predictTaken(site))
+                    << "mode " << static_cast<int>(mode) << " target "
+                    << t << " site " << site;
+                EXPECT_EQ(table.seen[t][site] != 0,
+                          merged.site(site).executed > 0.0)
+                    << "mode " << static_cast<int>(mode) << " target "
+                    << t << " site " << site;
+            }
+        }
+    }
+}
+
+TEST(AnalysisLoo, ExactTieSitesPredictNotTaken)
+{
+    // Sites 1 and 7 of every synthetic dataset are exact ties; any
+    // merge of them stays a tie, and the ProfilePredictor convention
+    // (strict majority) must resolve a tie to not-taken in both the
+    // reference and the prefix/suffix path.
+    auto dbs = syntheticProfiles(4);
+    for (MergeMode mode : kAllModes) {
+        LeaveOneOutTable table = leaveOneOutTable(dbs, mode);
+        for (size_t t = 0; t < dbs.size(); ++t) {
+            EXPECT_EQ(table.directions[t][1], 0);
+            EXPECT_EQ(table.directions[t][7], 0);
+            EXPECT_EQ(table.directions[t][0], 0); // unseen default
+            EXPECT_EQ(table.seen[t][0], 0);
+        }
+    }
+}
+
+TEST(AnalysisLoo, SingleInputYieldsEmptyMerge)
+{
+    auto dbs = syntheticProfiles(1);
+    for (MergeMode mode : kAllModes) {
+        LeaveOneOutTable table = leaveOneOutTable(dbs, mode);
+        ASSERT_EQ(table.directions.size(), 1u);
+        for (size_t site = 0; site < dbs[0].numSites(); ++site) {
+            EXPECT_EQ(table.directions[0][site], 0); // nothing merged
+            EXPECT_EQ(table.seen[0][site], 0);
+        }
+    }
+}
+
+TEST(AnalysisLoo, EmptyInputThrows)
+{
+    std::vector<ProfileDb> none;
+    EXPECT_THROW(leaveOneOutTable(none, MergeMode::kScaled), Error);
+    // The reference merge it mirrors must also reject an empty span
+    // (not silently return an empty database).
+    EXPECT_THROW(ProfileDb::merge(none, MergeMode::kScaled), Error);
+    EXPECT_THROW(ProfileDb::merge(none, MergeMode::kUnscaled), Error);
+    EXPECT_THROW(ProfileDb::merge(none, MergeMode::kPolling), Error);
+}
+
+TEST(AnalysisLoo, MismatchedInputsThrow)
+{
+    auto dbs = syntheticProfiles(2);
+    vm::RunStats small;
+    small.branches.resize(2);
+    dbs.emplace_back("synthetic", 0x1234u, small);
+    EXPECT_THROW(leaveOneOutTable(dbs, MergeMode::kScaled), Error);
+}
+
+// --- SoA kernels -----------------------------------------------------------
+
+TEST(AnalysisKernels, MispredictsMatchVirtualEvaluate)
+{
+    vm::RunStats stats = syntheticStats(3);
+    SiteCounts counts = SiteCounts::fromStats(stats);
+    ProfileDb db("synthetic", 0x1234u, syntheticStats(9));
+    ProfilePredictor predictor(db);
+    auto dir = predict::lowerPredictor(predictor, counts.size());
+    EXPECT_EQ(mispredictsLowered(counts, dir),
+              predict::evaluate(stats, predictor).mispredicted);
+}
+
+TEST(AnalysisKernels, SelfMispredictsIsMinSum)
+{
+    vm::RunStats stats = syntheticStats(2);
+    SiteCounts counts = SiteCounts::fromStats(stats);
+    int64_t expected = 0;
+    for (const auto &b : stats.branches)
+        expected += std::min(b.taken, b.executed - b.taken);
+    EXPECT_EQ(selfMispredicts(counts), expected);
+    // A self-directed predictor achieves exactly the bound.
+    ProfileDb self("synthetic", 0x1234u, stats);
+    ProfilePredictor predictor(self);
+    auto dir = predict::lowerPredictor(predictor, counts.size());
+    EXPECT_EQ(mispredictsLowered(counts, dir), expected);
+}
+
+TEST(AnalysisKernels, PairKernelMatchesScalarAccounting)
+{
+    vm::RunStats target = syntheticStats(1);
+    vm::RunStats source = syntheticStats(7);
+    SiteCounts target_counts = SiteCounts::fromStats(target);
+    ProfileDb predictor_db("synthetic", 0x1234u, source);
+    ProfilePredictor predictor(predictor_db);
+    auto dir = predict::lowerPredictor(predictor, target_counts.size());
+    std::vector<uint8_t> seen(target_counts.size());
+    for (size_t i = 0; i < seen.size(); ++i)
+        seen[i] = predictor_db.site(i).executed > 0.0 ? 1 : 0;
+
+    PairTallies tallies = pairKernel(target_counts, dir, seen);
+
+    int64_t total = 0, unseen = 0, disagree = 0;
+    for (size_t i = 0; i < target.branches.size(); ++i) {
+        int64_t executed = target.branches[i].executed;
+        if (executed == 0)
+            continue;
+        total += executed;
+        const auto &pw = predictor_db.site(i);
+        if (pw.executed <= 0.0) {
+            unseen += executed;
+            continue;
+        }
+        bool predictor_taken = pw.taken * 2.0 > pw.executed;
+        bool target_taken = 2 * target.branches[i].taken > executed;
+        if (predictor_taken != target_taken)
+            disagree += executed;
+    }
+    EXPECT_EQ(tallies.total, total);
+    EXPECT_EQ(tallies.unseen, unseen);
+    EXPECT_EQ(tallies.disagree, disagree);
+    EXPECT_EQ(tallies.mispredicted,
+              predict::evaluate(target, predictor).mispredicted);
+}
+
+// --- RunStats invariants (audit: no NaN on zero input) ---------------------
+
+TEST(AnalysisRunStats, ZeroBranchStatsYieldZeroNotNaN)
+{
+    vm::RunStats empty;
+    EXPECT_EQ(empty.percentTaken(), 0.0);
+    EXPECT_EQ(empty.branchDensity(), 0.0);
+
+    vm::RunStats no_branches;
+    no_branches.instructions = 1000;
+    EXPECT_EQ(no_branches.percentTaken(), 0.0);
+    EXPECT_EQ(no_branches.branchDensity(), 0.0);
+}
+
+// --- binary cache format ---------------------------------------------------
+
+TEST(AnalysisBinaryFormat, RoundTripPreservesEveryField)
+{
+    vm::RunStats stats = syntheticStats(5);
+    stats.jumps = 11;
+    stats.direct_calls = 12;
+    stats.indirect_calls = 13;
+    stats.direct_returns = 14;
+    stats.indirect_returns = 15;
+    stats.selects = 16;
+    stats.exit_code = 17;
+
+    std::stringstream buf(std::ios::in | std::ios::out |
+                          std::ios::binary);
+    stats.saveBinary(buf, 0xdeadbeefcafef00dull);
+    EXPECT_TRUE(vm::RunStats::sniffBinary(buf));
+    vm::RunStats loaded =
+        vm::RunStats::loadBinary(buf, 0xdeadbeefcafef00dull);
+
+    EXPECT_EQ(loaded.instructions, stats.instructions);
+    EXPECT_EQ(loaded.cond_branches, stats.cond_branches);
+    EXPECT_EQ(loaded.taken_branches, stats.taken_branches);
+    EXPECT_EQ(loaded.jumps, stats.jumps);
+    EXPECT_EQ(loaded.direct_calls, stats.direct_calls);
+    EXPECT_EQ(loaded.indirect_calls, stats.indirect_calls);
+    EXPECT_EQ(loaded.direct_returns, stats.direct_returns);
+    EXPECT_EQ(loaded.indirect_returns, stats.indirect_returns);
+    EXPECT_EQ(loaded.selects, stats.selects);
+    EXPECT_EQ(loaded.exit_code, stats.exit_code);
+    ASSERT_EQ(loaded.branches.size(), stats.branches.size());
+    for (size_t i = 0; i < stats.branches.size(); ++i) {
+        EXPECT_EQ(loaded.branches[i].executed, stats.branches[i].executed);
+        EXPECT_EQ(loaded.branches[i].taken, stats.branches[i].taken);
+    }
+}
+
+TEST(AnalysisBinaryFormat, RejectsWrongFingerprintMagicAndTruncation)
+{
+    vm::RunStats stats = syntheticStats(0);
+    std::stringstream buf(std::ios::in | std::ios::out |
+                          std::ios::binary);
+    stats.saveBinary(buf, 1111);
+    EXPECT_THROW(vm::RunStats::loadBinary(buf, 2222), Error);
+
+    std::stringstream text(std::ios::in | std::ios::out |
+                           std::ios::binary);
+    stats.save(text);
+    EXPECT_FALSE(vm::RunStats::sniffBinary(text));
+    EXPECT_THROW(vm::RunStats::loadBinary(text), Error);
+    // loadBinary consumed header bytes before rejecting; rewind the way
+    // the Runner's sniff-then-dispatch read path never has to.
+    text.clear();
+    text.seekg(0, std::ios::beg);
+    vm::RunStats fallback = vm::RunStats::load(text);
+    EXPECT_EQ(fallback.instructions, stats.instructions);
+
+    std::stringstream full(std::ios::in | std::ios::out |
+                           std::ios::binary);
+    stats.saveBinary(full, 1111);
+    std::string bytes = full.str();
+    for (size_t cut : {size_t{4}, size_t{20}, bytes.size() - 3}) {
+        std::stringstream truncated(bytes.substr(0, cut),
+                                    std::ios::in | std::ios::binary);
+        EXPECT_THROW(vm::RunStats::loadBinary(truncated), Error)
+            << "cut at " << cut;
+    }
+}
+
+TEST(AnalysisBinaryFormat, RunnerWritesBinaryAndReloadsIt)
+{
+    CacheDirGuard cache;
+    {
+        Runner runner;
+        runner.stats("mcc", "c_metric");
+        EXPECT_EQ(runner.cacheStats().misses, 1);
+    }
+    // The cache entry leads with the binary magic.
+    std::ifstream in(cache.onlyFile(), std::ios::binary);
+    char magic[8] = {};
+    in.read(magic, 8);
+    EXPECT_EQ(std::string_view(magic, 8),
+              std::string_view(vm::RunStats::kBinaryMagic, 8));
+
+    Runner warm;
+    warm.stats("mcc", "c_metric");
+    harness::CacheStats cs = warm.cacheStats();
+    EXPECT_EQ(cs.hits, 1);
+    EXPECT_EQ(cs.binary_hits, 1);
+    EXPECT_EQ(cs.text_hits, 0);
+}
+
+TEST(AnalysisBinaryFormat, RunnerStillReadsLegacyTextEntries)
+{
+    CacheDirGuard cache;
+    vm::RunStats fresh;
+    {
+        Runner runner;
+        fresh = runner.stats("mcc", "c_metric");
+    }
+    // Rewrite the entry in the pre-binary text format.
+    {
+        std::ofstream out(cache.onlyFile());
+        fresh.save(out);
+    }
+    Runner runner;
+    const vm::RunStats &loaded = runner.stats("mcc", "c_metric");
+    EXPECT_EQ(loaded.instructions, fresh.instructions);
+    harness::CacheStats cs = runner.cacheStats();
+    EXPECT_EQ(cs.binary_hits, 0);
+    EXPECT_EQ(cs.text_hits, 1);
+}
+
+TEST(AnalysisBinaryFormat, CorruptBinaryEntryFallsBackToReExecution)
+{
+    CacheDirGuard cache;
+    vm::RunStats fresh;
+    {
+        Runner runner;
+        fresh = runner.stats("mcc", "c_metric");
+    }
+    // Truncate the binary entry mid-payload: magic intact, body gone.
+    std::filesystem::path path = cache.onlyFile();
+    std::filesystem::resize_file(path, 16);
+    Runner runner;
+    const vm::RunStats &recovered = runner.stats("mcc", "c_metric");
+    EXPECT_EQ(recovered.instructions, fresh.instructions);
+    harness::CacheStats cs = runner.cacheStats();
+    EXPECT_EQ(cs.read_failures, 1);
+    EXPECT_EQ(cs.binary_hits, 0);
+    ASSERT_EQ(cs.failures.size(), 1u);
+    EXPECT_NE(cs.failures[0].find(path.string()), std::string::npos);
+}
+
+// --- differential: cached plane vs reference plane -------------------------
+
+class AnalysisDifferentialTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        // Default on-disk stats cache: the matrix only runs once across
+        // suites. One shared Runner; both planes read the same stats.
+        runner_ = new Runner();
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete runner_;
+        runner_ = nullptr;
+    }
+
+    static Runner *runner_;
+};
+
+Runner *AnalysisDifferentialTest::runner_ = nullptr;
+
+TEST_F(AnalysisDifferentialTest, HelperValuesAreBitIdentical)
+{
+    for (const auto &w : workloads::all()) {
+        for (const auto &d : w.datasets) {
+            double self_fast, self_ref;
+            std::vector<double> others_fast, others_ref;
+            {
+                AnalysisEnvGuard env(nullptr);
+                self_fast = harness::selfPredictedPerBreak(*runner_,
+                                                           w.name, d.name);
+                for (MergeMode mode : kAllModes)
+                    others_fast.push_back(harness::othersPredictedPerBreak(
+                        *runner_, w.name, d.name, mode));
+            }
+            {
+                AnalysisEnvGuard env("reference");
+                self_ref = harness::selfPredictedPerBreak(*runner_,
+                                                          w.name, d.name);
+                for (MergeMode mode : kAllModes)
+                    others_ref.push_back(harness::othersPredictedPerBreak(
+                        *runner_, w.name, d.name, mode));
+            }
+            // Exact equality: the fast plane must be bit-identical, not
+            // merely close.
+            EXPECT_EQ(self_fast, self_ref) << w.name << "/" << d.name;
+            for (size_t m = 0; m < others_fast.size(); ++m) {
+                EXPECT_EQ(others_fast[m], others_ref[m])
+                    << w.name << "/" << d.name << " mode " << m;
+            }
+        }
+    }
+}
+
+TEST_F(AnalysisDifferentialTest, LeaveOneOutDirectionsMatchPerSite)
+{
+    for (const auto &w : workloads::all()) {
+        if (w.datasets.size() < 2)
+            continue;
+        std::vector<ProfileDb> dbs;
+        for (const auto &d : w.datasets)
+            dbs.push_back(harness::profileOf(*runner_, w.name, d.name));
+        for (MergeMode mode : kAllModes) {
+            const LeaveOneOutTable &table =
+                runner_->analysis().leaveOneOut(w.name, mode);
+            for (size_t t = 0; t < dbs.size(); ++t) {
+                std::vector<ProfileDb> others;
+                for (size_t j = 0; j < dbs.size(); ++j) {
+                    if (j != t)
+                        others.push_back(dbs[j]);
+                }
+                ProfileDb merged = ProfileDb::merge(others, mode);
+                ProfilePredictor reference(merged);
+                for (size_t s = 0; s < merged.numSites(); ++s) {
+                    ASSERT_EQ(table.directions[t][s] != 0,
+                              reference.predictTaken(s))
+                        << w.name << " target " << w.datasets[t].name
+                        << " mode " << static_cast<int>(mode) << " site "
+                        << s;
+                }
+            }
+        }
+    }
+}
+
+TEST_F(AnalysisDifferentialTest, ExperimentRowsAreBitIdentical)
+{
+    std::vector<harness::Fig2Row> fig2_fast, fig2_ref;
+    std::vector<harness::Fig3Row> fig3_fast, fig3_ref;
+    std::vector<harness::CoverageRow> cov_fast, cov_ref;
+    {
+        AnalysisEnvGuard env(nullptr);
+        fig2_fast = harness::figure2(*runner_);
+        fig3_fast = harness::figure3(*runner_);
+        cov_fast = harness::coverageStudy(*runner_);
+    }
+    {
+        AnalysisEnvGuard env("reference");
+        fig2_ref = harness::figure2(*runner_);
+        fig3_ref = harness::figure3(*runner_);
+        cov_ref = harness::coverageStudy(*runner_);
+    }
+
+    ASSERT_EQ(fig2_fast.size(), fig2_ref.size());
+    for (size_t i = 0; i < fig2_fast.size(); ++i) {
+        EXPECT_EQ(fig2_fast[i].self_per_break, fig2_ref[i].self_per_break);
+        EXPECT_EQ(fig2_fast[i].others_per_break,
+                  fig2_ref[i].others_per_break)
+            << fig2_fast[i].program << "/" << fig2_fast[i].dataset;
+    }
+
+    ASSERT_EQ(fig3_fast.size(), fig3_ref.size());
+    for (size_t i = 0; i < fig3_fast.size(); ++i) {
+        EXPECT_EQ(fig3_fast[i].best_pct, fig3_ref[i].best_pct)
+            << fig3_fast[i].program << "/" << fig3_fast[i].dataset;
+        EXPECT_EQ(fig3_fast[i].worst_pct, fig3_ref[i].worst_pct);
+        EXPECT_EQ(fig3_fast[i].best_predictor, fig3_ref[i].best_predictor);
+        EXPECT_EQ(fig3_fast[i].worst_predictor,
+                  fig3_ref[i].worst_predictor);
+    }
+
+    ASSERT_EQ(cov_fast.size(), cov_ref.size());
+    for (size_t i = 0; i < cov_fast.size(); ++i) {
+        EXPECT_EQ(cov_fast[i].target, cov_ref[i].target);
+        EXPECT_EQ(cov_fast[i].predictor, cov_ref[i].predictor);
+        EXPECT_EQ(cov_fast[i].coverage_gap_pct, cov_ref[i].coverage_gap_pct)
+            << cov_fast[i].program << " " << cov_fast[i].target << "<-"
+            << cov_fast[i].predictor;
+        EXPECT_EQ(cov_fast[i].disagreement_pct, cov_ref[i].disagreement_pct);
+        EXPECT_EQ(cov_fast[i].quality_pct, cov_ref[i].quality_pct);
+    }
+}
+
+TEST_F(AnalysisDifferentialTest, HeuristicRowsAreBitIdentical)
+{
+    std::vector<harness::HeuristicRow> fast, ref;
+    {
+        AnalysisEnvGuard env(nullptr);
+        fast = harness::heuristics(*runner_);
+    }
+    {
+        AnalysisEnvGuard env("reference");
+        ref = harness::heuristics(*runner_);
+    }
+    ASSERT_EQ(fast.size(), ref.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_EQ(fast[i].self_per_break, ref[i].self_per_break)
+            << fast[i].program << "/" << fast[i].dataset;
+        EXPECT_EQ(fast[i].others_per_break, ref[i].others_per_break);
+        EXPECT_EQ(fast[i].backward_taken_per_break,
+                  ref[i].backward_taken_per_break);
+        EXPECT_EQ(fast[i].opcode_rules_per_break,
+                  ref[i].opcode_rules_per_break);
+        EXPECT_EQ(fast[i].always_taken_per_break,
+                  ref[i].always_taken_per_break);
+    }
+}
+
+// --- cache behaviour and concurrency ---------------------------------------
+
+TEST(AnalysisCacheSharing, ProfilesAreMaterializedOnceAndShared)
+{
+    ::setenv("IFPROB_CACHE", "off", 1);
+    Runner runner;
+    ::unsetenv("IFPROB_CACHE");
+    AnalysisCache &cache = runner.analysis();
+    const auto &wp1 = cache.workload("mcc");
+    const auto &wp2 = cache.workload("mcc");
+    EXPECT_EQ(&wp1, &wp2); // same materialization, by reference
+    EXPECT_EQ(wp1.dataset_names.size(),
+              workloads::get("mcc").datasets.size());
+    const ProfileDb &db = cache.profile("mcc", wp1.dataset_names[0]);
+    EXPECT_EQ(&db, &wp1.profiles[0]);
+    // Dropping the cache invalidates nothing retroactively but builds a
+    // fresh entry on next use.
+    runner.resetAnalysis();
+    const auto &wp3 = runner.analysis().workload("mcc");
+    EXPECT_EQ(wp3.dataset_names, wp1.dataset_names);
+}
+
+TEST(AnalysisCacheConcurrency, ParallelAccessorsSeeOneMaterialization)
+{
+    ::setenv("IFPROB_CACHE", "off", 1);
+    Runner runner;
+    ::unsetenv("IFPROB_CACHE");
+    constexpr int kThreads = 8;
+    std::vector<const AnalysisCache::WorkloadProfiles *> seen(kThreads);
+    std::vector<double> others(kThreads);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            AnalysisCache &cache = runner.analysis();
+            seen[i] = &cache.workload("mcc");
+            MergeMode mode = kAllModes[i % 3];
+            const auto &names = seen[i]->dataset_names;
+            others[i] = cache.othersPerBreak(
+                "mcc", names[i % names.size()], mode);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (int i = 1; i < kThreads; ++i)
+        EXPECT_EQ(seen[i], seen[0]);
+    for (int i = 0; i < kThreads; ++i)
+        EXPECT_GT(others[i], 0.0);
+}
+
+} // namespace
+} // namespace ifprob::analysis

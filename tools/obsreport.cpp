@@ -53,6 +53,20 @@ struct Totals
     int64_t table_records = 0;
     int64_t skipped_records = 0;
     int64_t parse_errors = 0;
+    /** Cache hits split by serialization format (stats_cache_format). */
+    int64_t binary_hits = 0;
+    int64_t text_hits = 0;
+
+    /** Last ifprob.analysis_bench.v1 record seen (micro_analysis --ab). */
+    struct AnalysisBench
+    {
+        int64_t records = 0;
+        double speedup_cold = 0.0;
+        double speedup_warm = 0.0;
+        int64_t reference_micros = 0;
+        int64_t cached_cold_micros = 0;
+        int64_t cached_warm_micros = 0;
+    } analysis;
 };
 
 std::string
@@ -85,6 +99,22 @@ consumeLine(const std::string &line,
         ++totals.table_records; // tables are pass-through context
         return;
     }
+    if (schema == "ifprob.analysis_bench.v1") {
+        auto num = [&](const char *k) {
+            auto it = rec.find(k);
+            return it != rec.end() ? it->second.num : 0.0;
+        };
+        ++totals.analysis.records;
+        totals.analysis.speedup_cold = num("speedup_cold");
+        totals.analysis.speedup_warm = num("speedup_warm");
+        totals.analysis.reference_micros =
+            static_cast<int64_t>(num("reference_micros"));
+        totals.analysis.cached_cold_micros =
+            static_cast<int64_t>(num("cached_cold_micros"));
+        totals.analysis.cached_warm_micros =
+            static_cast<int64_t>(num("cached_warm_micros"));
+        return;
+    }
     if (schema != obs::kRunRecordSchema) {
         ++totals.skipped_records;
         return;
@@ -105,12 +135,17 @@ consumeLine(const std::string &line,
     agg.self_mispredicts += r.self_mispredicts;
     agg.compile_micros += r.compile_micros;
     agg.execute_micros += r.execute_micros;
-    if (r.cache == "hit")
+    if (r.cache == "hit") {
         ++agg.cache_hits;
-    else if (r.cache == "error")
+        if (r.stats_cache_format == "binary")
+            ++totals.binary_hits;
+        else if (r.stats_cache_format == "text")
+            ++totals.text_hits;
+    } else if (r.cache == "error") {
         ++agg.cache_errors;
-    else
+    } else {
         ++agg.cache_misses; // "miss" and "off" both mean "had to run"
+    }
 }
 
 std::string
@@ -170,6 +205,8 @@ renderJsonReport(const std::vector<std::string> &files,
         .field("cache_hits", grand.cache_hits)
         .field("cache_misses", grand.cache_misses)
         .field("cache_errors", grand.cache_errors)
+        .field("cache_hits_binary", totals.binary_hits)
+        .field("cache_hits_text", totals.text_hits)
         .field("table_records", totals.table_records)
         .field("skipped_records", totals.skipped_records)
         .field("parse_errors", totals.parse_errors);
@@ -179,6 +216,18 @@ renderJsonReport(const std::vector<std::string> &files,
         .fieldRaw("source_files", files_json)
         .fieldRaw("workloads", workloads_json)
         .fieldRaw("totals", totals_json.str());
+    if (totals.analysis.records > 0) {
+        obs::JsonObject ab;
+        ab.field("records", totals.analysis.records)
+            .field("speedup_cold", totals.analysis.speedup_cold)
+            .field("speedup_warm", totals.analysis.speedup_warm)
+            .field("reference_micros", totals.analysis.reference_micros)
+            .field("cached_cold_micros",
+                   totals.analysis.cached_cold_micros)
+            .field("cached_warm_micros",
+                   totals.analysis.cached_warm_micros);
+        report.fieldRaw("analysis_bench", ab.str());
+    }
     return report.str() + "\n";
 }
 
@@ -244,6 +293,24 @@ main(int argc, char **argv)
                 static_cast<long long>(totals.table_records),
                 static_cast<long long>(totals.skipped_records),
                 static_cast<long long>(totals.parse_errors));
+    if (totals.binary_hits + totals.text_hits > 0)
+        std::printf("stats cache hits by format: %lld binary, %lld text\n",
+                    static_cast<long long>(totals.binary_hits),
+                    static_cast<long long>(totals.text_hits));
+    if (totals.analysis.records > 0)
+        std::printf("analysis bench: reference %.1fms, cached cold "
+                    "%.1fms (%.2fx), warm %.1fms (%.2fx)\n",
+                    static_cast<double>(
+                        totals.analysis.reference_micros) /
+                        1e3,
+                    static_cast<double>(
+                        totals.analysis.cached_cold_micros) /
+                        1e3,
+                    totals.analysis.speedup_cold,
+                    static_cast<double>(
+                        totals.analysis.cached_warm_micros) /
+                        1e3,
+                    totals.analysis.speedup_warm);
 
     int64_t cache_errors = 0;
     for (const auto &[name, agg] : workloads)
