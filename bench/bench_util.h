@@ -12,6 +12,7 @@
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "support/str.h"
+#include "vm/machine.h"
 
 namespace ifprob::bench {
 
@@ -122,6 +123,21 @@ emitTable(const char *table_name, const metrics::TextTable &table)
                 sink.writeLine(line);
         }
     }
+}
+
+/**
+ * The run limits every bench binary executes under: effectively
+ * unlimited (the largest workload runs ~150M instructions), but a
+ * backstop against a miscompiled workload spinning forever. One
+ * definition so the benches — and Runner::traceOf, which mirrors it —
+ * agree on the execution envelope.
+ */
+inline vm::RunLimits
+defaultLimits()
+{
+    vm::RunLimits limits;
+    limits.max_instructions = 4'000'000'000ll;
+    return limits;
 }
 
 /** Format instructions-per-break values the way the paper's axes read. */

@@ -3,9 +3,15 @@
  * The dynamic-prediction baselines the paper's related-work section
  * cites ([Smith 81], [Lee and Smith 84]): simple hardware schemes
  * predicted 80-90% of branches in systems codes and 95-100% in
- * scientific FORTRAN. Runs each program's primary dataset with 1-bit and
- * 2-bit per-site predictors attached as branch observers, next to the
- * static profile predictors.
+ * scientific FORTRAN. Simulates 1-bit, 2-bit, and gshare per-site
+ * predictors over each program's primary dataset, next to the static
+ * profile predictors.
+ *
+ * The three dynamic predictors are fed from the branch-trace plane
+ * (docs/trace.md): the VM executes each workload once through
+ * Runner::traceOf and every predictor simulates from the recorded event
+ * stream. IFPROB_TRACE_PLANE=reference restores the historical
+ * one-execution-per-observer path; CI diffs the two planes' tables.
  */
 #include <cstdio>
 
@@ -16,6 +22,7 @@
 #include "predict/evaluate.h"
 #include "predict/profile_predictor.h"
 #include "support/str.h"
+#include "trace/trace.h"
 #include "vm/machine.h"
 
 using namespace ifprob;
@@ -38,26 +45,33 @@ main(int argc, char **argv)
     for (const auto &w : workloads::all()) {
         const auto &d = w.datasets.front();
         const isa::Program &prog = runner.program(w.name);
-        const auto &input =
-            workloads::get(w.name).datasets.front().input;
 
         predict::OneBitPredictor one_bit(prog.branch_sites.size());
         predict::TwoBitPredictor two_bit(prog.branch_sites.size());
         predict::GSharePredictor gshare(/*log2_entries=*/12,
                                         /*history_bits=*/12);
-        vm::Machine machine(prog);
-        vm::RunLimits limits;
-        limits.max_instructions = 4'000'000'000ll;
-        // Observed runs (observers can't be fed from the cache).
-        machine.run(input, limits, &one_bit);
-        machine.run(input, limits, &two_bit);
-        machine.run(input, limits, &gshare);
+        if (trace::referencePlane()) {
+            // Differential oracle: one full VM execution per observer.
+            const auto &input =
+                workloads::get(w.name).datasets.front().input;
+            vm::Machine machine(prog);
+            vm::RunLimits limits = bench::defaultLimits();
+            machine.run(input, limits, &one_bit);
+            machine.run(input, limits, &two_bit);
+            machine.run(input, limits, &gshare);
+        } else {
+            // Execute once, simulate all three from the recording.
+            const trace::Trace &tr = runner.traceOf(w.name, d.name);
+            trace::replay(tr, {&one_bit, &two_bit, &gshare});
+        }
 
         const auto &stats = runner.stats(w.name, d.name);
         predict::ProfilePredictor self(
             harness::profileOf(runner, w.name, d.name));
         double self_pct = predict::evaluate(stats, self).percentCorrect();
-        double others_pct = self_pct;
+        // A single-dataset workload has no "other" runs to merge; the
+        // cell is empty rather than silently repeating self_pct.
+        std::string others_cell = "—";
         if (w.datasets.size() > 1) {
             std::vector<profile::ProfileDb> others;
             for (size_t i = 1; i < w.datasets.size(); ++i)
@@ -66,15 +80,15 @@ main(int argc, char **argv)
             profile::ProfileDb merged = profile::ProfileDb::merge(
                 others, profile::MergeMode::kScaled);
             predict::ProfilePredictor other_pred(merged);
-            others_pct =
-                predict::evaluate(stats, other_pred).percentCorrect();
+            others_cell = strPrintf(
+                "%.1f%%",
+                predict::evaluate(stats, other_pred).percentCorrect());
         }
         table.addRow({w.name, d.name,
                       strPrintf("%.1f%%", one_bit.percentCorrect()),
                       strPrintf("%.1f%%", two_bit.percentCorrect()),
                       strPrintf("%.1f%%", gshare.percentCorrect()),
-                      strPrintf("%.1f%%", self_pct),
-                      strPrintf("%.1f%%", others_pct)});
+                      strPrintf("%.1f%%", self_pct), others_cell});
     }
     std::printf("%s\n", table.render().c_str());
     bench::footer();

@@ -58,9 +58,7 @@ main(int argc, char **argv)
         isa::Program inlined = runner.program(w.name);
         inlineProgram(inlined);
         vm::Machine machine(inlined);
-        vm::RunLimits limits;
-        limits.max_instructions = 4'000'000'000ll;
-        auto run = machine.run(dataset.input, limits);
+        auto run = machine.run(dataset.input, bench::defaultLimits());
         double after = metrics::breaksWithPredictor(run.stats, self,
                                                     with_calls)
                            .instructionsPerBreak();

@@ -16,6 +16,7 @@
 #include "predict/heuristic_predictor.h"
 #include "predict/profile_predictor.h"
 #include "support/str.h"
+#include "trace/trace.h"
 #include "vm/machine.h"
 
 using namespace ifprob;
@@ -48,14 +49,24 @@ main(int argc, char **argv)
                    static_cast<double>(stats.instructions);
         };
 
-        // Feedback-guided layout.
+        // Feedback-guided layout. The re-laid-out image needs only
+        // aggregate jump counts, so the trace plane serves its stats
+        // from the variant-fingerprint-keyed cache on warm runs
+        // (docs/trace.md); IFPROB_TRACE_PLANE=reference keeps the
+        // historical direct execution as the differential oracle.
         isa::Program with_feedback = baseline_prog;
         predict::ProfilePredictor feedback(db);
         layoutProgram(with_feedback, feedback, db);
-        vm::Machine feedback_machine(with_feedback);
-        vm::RunLimits limits;
-        limits.max_instructions = 4'000'000'000ll;
-        auto feedback_run = feedback_machine.run(dataset.input, limits);
+        vm::RunLimits limits = bench::defaultLimits();
+        vm::RunStats feedback_stats;
+        if (trace::referencePlane()) {
+            vm::Machine feedback_machine(with_feedback);
+            feedback_stats =
+                feedback_machine.run(dataset.input, limits).stats;
+        } else {
+            feedback_stats =
+                runner.traceOf(w.name, dataset.name, with_feedback).stats;
+        }
 
         // Heuristic-guided layout (no profile available at the layout
         // decision — weights still come from the profile db only for
@@ -70,12 +81,12 @@ main(int argc, char **argv)
         double removed =
             baseline.jumps > 0
                 ? 100.0 *
-                      (1.0 - static_cast<double>(feedback_run.stats.jumps) /
+                      (1.0 - static_cast<double>(feedback_stats.jumps) /
                                  static_cast<double>(baseline.jumps))
                 : 0.0;
         table.addRow({w.name, dataset.name,
                       strPrintf("%.1f", jumps_per_1k(baseline)),
-                      strPrintf("%.1f", jumps_per_1k(feedback_run.stats)),
+                      strPrintf("%.1f", jumps_per_1k(feedback_stats)),
                       strPrintf("%.1f", jumps_per_1k(heuristic_run.stats)),
                       strPrintf("%.0f%%", removed)});
     }

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the branch-trace plane
+ * (docs/trace.md): recording overhead versus an unobserved run, replay
+ * throughput through one observer and through a three-way fan-out, and
+ * the encode/decode round-trip.
+ *
+ * `micro_trace --ab` bypasses the benchmark framework and runs the
+ * trace-plane A/B comparison directly over the full workload matrix
+ * (primary datasets): it times the historical live-observed path — one
+ * VM execution per dynamic predictor — against the trace plane cold
+ * (record + replay), warm (disk-cache load + replay), and hot
+ * (memoized replay only), writes BENCH_trace.json (plus a mirrored
+ * "ifprob.trace_bench.v1" line through the run-report sink), and exits
+ * nonzero if the cold path fails the --min-speedup bar (default 1.0 —
+ * the trace plane must never be slower than the path it replaced). CI
+ * runs this as the trace perf-smoke step.
+ */
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.h"
+#include "compiler/pipeline.h"
+#include "exec/pool.h"
+#include "harness/runner.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "predict/dynamic_predictor.h"
+#include "support/str.h"
+#include "trace/trace.h"
+#include "vm/machine.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace ifprob;
+
+const char *kBranchKernel = R"(
+int main() {
+    int i, x, count;
+    x = 12345;
+    count = 0;
+    for (i = 0; i < 50000; i++) {
+        x = (x * 1103515245 + 12345) % 2147483648;
+        if (x & 1)
+            count = count + 1;
+        if (x & 2)
+            count = count + 2;
+        if ((x & 7) == 3)
+            count = count - 1;
+    }
+    return count & 255;
+})";
+
+trace::Trace
+kernelTrace()
+{
+    isa::Program p = compile(kBranchKernel);
+    return trace::record(p, "", vm::RunLimits{}, "kernel", "builtin");
+}
+
+void
+BM_RecordRun(benchmark::State &state)
+{
+    isa::Program p = compile(kBranchKernel);
+    for (auto _ : state) {
+        trace::Trace t =
+            trace::record(p, "", vm::RunLimits{}, "kernel", "builtin");
+        benchmark::DoNotOptimize(t.events);
+    }
+}
+BENCHMARK(BM_RecordRun);
+
+void
+BM_UnobservedRun(benchmark::State &state)
+{
+    // The recording overhead baseline: the same run with no observer.
+    isa::Program p = compile(kBranchKernel);
+    vm::Machine m(p);
+    for (auto _ : state) {
+        auto result = m.run("");
+        benchmark::DoNotOptimize(result.stats.instructions);
+    }
+}
+BENCHMARK(BM_UnobservedRun);
+
+void
+BM_LiveObservedRun(benchmark::State &state)
+{
+    // The path replay replaces: a full VM execution per observer.
+    isa::Program p = compile(kBranchKernel);
+    vm::Machine m(p);
+    for (auto _ : state) {
+        predict::TwoBitPredictor two_bit(p.branch_sites.size());
+        auto result = m.run("", vm::RunLimits{}, &two_bit);
+        benchmark::DoNotOptimize(two_bit.percentCorrect());
+        benchmark::DoNotOptimize(result.stats.instructions);
+    }
+}
+BENCHMARK(BM_LiveObservedRun);
+
+void
+BM_ReplaySingle(benchmark::State &state)
+{
+    isa::Program p = compile(kBranchKernel);
+    trace::Trace t = kernelTrace();
+    for (auto _ : state) {
+        predict::TwoBitPredictor two_bit(p.branch_sites.size());
+        trace::replay(t, two_bit);
+        benchmark::DoNotOptimize(two_bit.percentCorrect());
+    }
+    state.SetItemsProcessed(state.iterations() * t.events);
+}
+BENCHMARK(BM_ReplaySingle);
+
+void
+BM_ReplayFanOut3(benchmark::State &state)
+{
+    isa::Program p = compile(kBranchKernel);
+    trace::Trace t = kernelTrace();
+    for (auto _ : state) {
+        predict::OneBitPredictor one_bit(p.branch_sites.size());
+        predict::TwoBitPredictor two_bit(p.branch_sites.size());
+        predict::GSharePredictor gshare(12, 12);
+        trace::replay(t, {&one_bit, &two_bit, &gshare});
+        benchmark::DoNotOptimize(two_bit.percentCorrect());
+    }
+    state.SetItemsProcessed(state.iterations() * t.events);
+}
+BENCHMARK(BM_ReplayFanOut3);
+
+void
+BM_TraceRoundTrip(benchmark::State &state)
+{
+    trace::Trace t = kernelTrace();
+    for (auto _ : state) {
+        std::ostringstream os(std::ios::binary);
+        t.save(os);
+        std::istringstream is(os.str(), std::ios::binary);
+        trace::Trace back = trace::Trace::load(is);
+        benchmark::DoNotOptimize(back.events);
+    }
+    state.SetBytesProcessed(state.iterations() * t.byteSize());
+}
+BENCHMARK(BM_TraceRoundTrip);
+
+// ---------------------------------------------------------------------------
+// --ab mode: live-observed vs trace replay, BENCH_trace.json.
+// ---------------------------------------------------------------------------
+
+/** setenv/unsetenv with restore; the bench owns the process env. */
+struct EnvGuard
+{
+    explicit EnvGuard(const char *name) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old) {
+            had_ = true;
+            old_ = old;
+        }
+    }
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+/** The workload matrix under measurement: every primary dataset. */
+std::vector<std::pair<std::string, std::string>>
+primaryCells()
+{
+    std::vector<std::pair<std::string, std::string>> cells;
+    for (const auto &w : workloads::all())
+        cells.emplace_back(w.name, w.datasets.front().name);
+    return cells;
+}
+
+/** Simulate the dynamic_baselines predictor set over one cell, from a
+ *  recorded trace. */
+void
+replayCell(harness::Runner &runner, const std::string &workload,
+           const std::string &dataset)
+{
+    const isa::Program &prog = runner.program(workload);
+    const trace::Trace &t = runner.traceOf(workload, dataset);
+    predict::OneBitPredictor one_bit(prog.branch_sites.size());
+    predict::TwoBitPredictor two_bit(prog.branch_sites.size());
+    predict::GSharePredictor gshare(12, 12);
+    trace::replay(t, {&one_bit, &two_bit, &gshare});
+    benchmark::DoNotOptimize(two_bit.percentCorrect());
+}
+
+/** The same predictor set fed live: one VM execution per observer. */
+void
+liveCell(harness::Runner &runner, const std::string &workload,
+         const std::string &dataset)
+{
+    const isa::Program &prog = runner.program(workload);
+    const auto &input =
+        workloads::get(workload).datasets.front().input;
+    predict::OneBitPredictor one_bit(prog.branch_sites.size());
+    predict::TwoBitPredictor two_bit(prog.branch_sites.size());
+    predict::GSharePredictor gshare(12, 12);
+    vm::Machine machine(prog);
+    vm::RunLimits limits = bench::defaultLimits();
+    machine.run(input, limits, &one_bit);
+    machine.run(input, limits, &two_bit);
+    machine.run(input, limits, &gshare);
+    benchmark::DoNotOptimize(two_bit.percentCorrect());
+    (void)dataset;
+}
+
+/** Delete the on-disk traces so the next traceOf re-records. */
+void
+dropTraceFiles(const std::string &cache_dir)
+{
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(cache_dir, ec)) {
+        if (entry.path().extension() == ".trace")
+            std::filesystem::remove(entry.path(), ec);
+    }
+}
+
+int
+runAbMode(double min_speedup, const std::string &out_path)
+{
+    const int kRepetitions = 3;
+
+    std::printf("micro_trace --ab: live-observed vs trace replay "
+                "(min_speedup=%.2f)\n\n",
+                min_speedup);
+
+    // A private cache directory: the stats cache warms normally, but
+    // trace cold/warm phases control their own .trace files.
+    EnvGuard cache_guard("IFPROB_CACHE");
+    const std::string cache_dir =
+        (std::filesystem::temp_directory_path() /
+         ("ifprob-trace-ab-" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::create_directories(cache_dir);
+    ::setenv("IFPROB_CACHE", cache_dir.c_str(), 1);
+
+    harness::Runner runner;
+    const auto cells = primaryCells();
+
+    // Compile everything up front so the live phase measures execution,
+    // not compilation.
+    for (const auto &[w, d] : cells)
+        runner.program(w);
+
+    // Live phase: the historical path — one VM execution per predictor.
+    int64_t live_best = 0;
+    for (int i = 0; i < kRepetitions; ++i) {
+        const int64_t t0 = obs::nowMicros();
+        for (const auto &[w, d] : cells)
+            liveCell(runner, w, d);
+        const int64_t micros = obs::nowMicros() - t0;
+        live_best = live_best == 0 ? micros : std::min(live_best, micros);
+    }
+
+    // Cold: record once + replay the three predictors. Trace files and
+    // the in-memory memo are dropped before each repetition, so every
+    // repetition pays one full execution plus encode per cell.
+    int64_t cold_best = 0;
+    for (int i = 0; i < kRepetitions; ++i) {
+        dropTraceFiles(cache_dir);
+        runner.resetTraces();
+        const int64_t t0 = obs::nowMicros();
+        for (const auto &[w, d] : cells)
+            replayCell(runner, w, d);
+        const int64_t micros = obs::nowMicros() - t0;
+        cold_best = cold_best == 0 ? micros : std::min(cold_best, micros);
+    }
+
+    // Warm: the memo is dropped but the .trace files survive, so each
+    // cell is a disk load + replay — the steady state across bench
+    // binaries sharing one cache directory.
+    int64_t warm_best = 0;
+    for (int i = 0; i < kRepetitions; ++i) {
+        runner.resetTraces();
+        const int64_t t0 = obs::nowMicros();
+        for (const auto &[w, d] : cells)
+            replayCell(runner, w, d);
+        const int64_t micros = obs::nowMicros() - t0;
+        warm_best = warm_best == 0 ? micros : std::min(warm_best, micros);
+    }
+
+    // Hot: traces memoized in memory — replay cost only, the steady
+    // state within one binary.
+    int64_t hot_best = 0;
+    for (int i = 0; i < kRepetitions; ++i) {
+        const int64_t t0 = obs::nowMicros();
+        for (const auto &[w, d] : cells)
+            replayCell(runner, w, d);
+        const int64_t micros = obs::nowMicros() - t0;
+        hot_best = hot_best == 0 ? micros : std::min(hot_best, micros);
+    }
+
+    int64_t events_total = 0;
+    int64_t trace_bytes_total = 0;
+    for (const auto &[w, d] : cells) {
+        const trace::Trace &t = runner.traceOf(w, d);
+        events_total += t.events;
+        trace_bytes_total += t.byteSize();
+    }
+
+    const harness::CacheStats cache = runner.cacheStats();
+    auto speedup = [&](int64_t micros) {
+        return micros > 0 ? static_cast<double>(live_best) /
+                                static_cast<double>(micros)
+                          : 0.0;
+    };
+    const double speedup_cold = speedup(cold_best);
+    const double speedup_warm = speedup(warm_best);
+    const double speedup_hot = speedup(hot_best);
+    const bool ok = speedup_cold >= min_speedup;
+
+    std::printf("  %zu cells, %lld events, %.1f MiB encoded "
+                "(%.2f bytes/event)\n",
+                cells.size(), static_cast<long long>(events_total),
+                static_cast<double>(trace_bytes_total) / (1024.0 * 1024.0),
+                events_total > 0
+                    ? static_cast<double>(trace_bytes_total) /
+                          static_cast<double>(events_total)
+                    : 0.0);
+    std::printf("  live observed %8.1f ms   (3 executions/cell, best "
+                "of %d)\n",
+                static_cast<double>(live_best) / 1e3, kRepetitions);
+    std::printf("  trace cold    %8.1f ms   speedup %5.2fx  (record + "
+                "replay)\n",
+                static_cast<double>(cold_best) / 1e3, speedup_cold);
+    std::printf("  trace warm    %8.1f ms   speedup %5.2fx  (disk load "
+                "+ replay)\n",
+                static_cast<double>(warm_best) / 1e3, speedup_warm);
+    std::printf("  trace hot     %8.1f ms   speedup %5.2fx  (replay "
+                "only)\n",
+                static_cast<double>(hot_best) / 1e3, speedup_hot);
+
+    obs::JsonObject json;
+    json.field("schema", "ifprob.trace_bench.v1")
+        .field("min_speedup", min_speedup)
+        .field("repetitions", int64_t{kRepetitions})
+        .field("jobs", int64_t{exec::plannedJobs()})
+        .field("cells", static_cast<int64_t>(cells.size()))
+        .field("events_total", events_total)
+        .field("trace_bytes_total", trace_bytes_total)
+        .field("live_micros", live_best)
+        .field("cold_micros", cold_best)
+        .field("warm_micros", warm_best)
+        .field("hot_micros", hot_best)
+        .field("speedup_cold", speedup_cold)
+        .field("speedup_warm", speedup_warm)
+        .field("speedup_hot", speedup_hot)
+        .field("trace_cache_hits", cache.trace_hits)
+        .field("trace_cache_misses", cache.trace_misses)
+        .field("trace_cache_read_failures", cache.trace_read_failures)
+        .field("trace_cache_bytes_read", cache.trace_bytes_read)
+        .field("trace_cache_bytes_written", cache.trace_bytes_written)
+        .field("replay_events",
+               obs::counter("trace.replay_events").value())
+        .field("pass", int64_t{ok ? 1 : 0});
+
+    const std::string line = json.str();
+    std::ofstream out(out_path);
+    if (out) {
+        out << line << "\n";
+        std::printf("\n  wrote %s\n", out_path.c_str());
+    } else {
+        std::fprintf(stderr, "micro_trace: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    // Mirror through the run-report sink so obsreport picks the record
+    // up alongside the ifprob.run.v1 stream.
+    obs::enableRunReportsDefault("bench/out");
+    obs::ReportSink::global().writeLine(line);
+
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir, ec);
+
+    std::printf("  cold speedup %.2fx: %s\n", speedup_cold,
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool ab = false;
+    double min_speedup = 1.0;
+    std::string out_path = "BENCH_trace.json";
+    std::vector<char *> passthrough = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ab") == 0) {
+            ab = true;
+        } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+            min_speedup = std::atof(argv[i] + 14);
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            out_path = argv[i] + 6;
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    if (ab)
+        return runAbMode(min_speedup, out_path);
+
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -16,6 +16,7 @@
 #include "metrics/report.h"
 #include "predict/profile_predictor.h"
 #include "support/str.h"
+#include "trace/trace.h"
 #include "vm/machine.h"
 
 using namespace ifprob;
@@ -44,11 +45,20 @@ main(int argc, char **argv)
         predict::ProfilePredictor self(
             harness::profileOf(runner, name, dataset.name));
         ilp::RunLengthAnalyzer analyzer(self);
-        vm::Machine machine(prog);
-        vm::RunLimits limits;
-        limits.max_instructions = 4'000'000'000ll;
-        auto result = machine.run(dataset.input, limits, &analyzer);
-        auto s = std::move(analyzer).summary(result.stats.instructions);
+        int64_t instructions = 0;
+        if (trace::referencePlane()) {
+            // Differential oracle: live-observed VM execution.
+            vm::Machine machine(prog);
+            auto result = machine.run(dataset.input,
+                                      bench::defaultLimits(), &analyzer);
+            instructions = result.stats.instructions;
+        } else {
+            // Replay the recorded event stream (docs/trace.md).
+            const trace::Trace &tr = runner.traceOf(name, dataset.name);
+            trace::replay(tr, analyzer);
+            instructions = tr.stats.instructions;
+        }
+        auto s = std::move(analyzer).summary(instructions);
         table.addRow({name, dataset.name, strPrintf("%.0f", s.mean),
                       strPrintf("%.0f", s.geomean),
                       withCommas(s.p10), withCommas(s.p50),

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 
 #include <unistd.h>
 
@@ -14,6 +15,7 @@
 #include "obs/trace.h"
 #include "support/error.h"
 #include "support/str.h"
+#include "trace/trace.h"
 #include "vm/machine.h"
 
 namespace ifprob::harness {
@@ -50,6 +52,47 @@ selfMispredicts(const vm::RunStats &stats)
     for (const auto &site : stats.branches)
         misses += std::min(site.taken, site.executed - site.taken);
     return misses;
+}
+
+/** @p dataset of @p workload, or throw the usual lookup error. */
+const workloads::Dataset &
+findDataset(const std::string &workload, const std::string &dataset)
+{
+    const workloads::Workload &w = workloads::get(workload);
+    for (const auto &d : w.datasets) {
+        if (d.name == dataset)
+            return d;
+    }
+    throw Error("workload " + workload + " has no dataset " + dataset);
+}
+
+/**
+ * Write @p payload via a temp file + rename so a concurrent reader (or
+ * a bench killed mid-write) never observes a torn cache entry; rename()
+ * is atomic within the cache directory. Returns the bytes written, or 0
+ * when the write could not complete (cache degradation, not an error).
+ */
+int64_t
+writeAtomically(const std::string &path,
+                const std::function<void(std::ofstream &)> &payload)
+{
+    static std::atomic<uint64_t> temp_seq{0};
+    std::string tmp = strPrintf(
+        "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(::getpid()),
+        static_cast<unsigned long long>(
+            temp_seq.fetch_add(1, std::memory_order_relaxed)));
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out)
+        return 0;
+    payload(out);
+    out.close();
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return 0;
+    }
+    return fileSize(path);
 }
 
 } // namespace
@@ -269,14 +312,7 @@ Runner::computeStats(StatsSlot &slot, const std::string &workload,
         }
     }
 
-    const workloads::Workload &w = workloads::get(workload);
-    const workloads::Dataset *ds = nullptr;
-    for (const auto &d : w.datasets) {
-        if (d.name == dataset)
-            ds = &d;
-    }
-    if (!ds)
-        throw Error("workload " + workload + " has no dataset " + dataset);
+    const workloads::Dataset *ds = &findDataset(workload, dataset);
 
     vm::RunResult result;
     {
@@ -298,33 +334,191 @@ Runner::computeStats(StatsSlot &slot, const std::string &workload,
 
     if (!cache_dir_.empty()) {
         std::string path = cachePath(workload, dataset, prog.fingerprint());
-        // Write-then-rename so a concurrent reader (or a bench killed
-        // mid-write) can never observe a torn .stats file; rename() is
-        // atomic within the cache directory.
-        static std::atomic<uint64_t> temp_seq{0};
-        std::string tmp = strPrintf(
-            "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(::getpid()),
-            static_cast<unsigned long long>(
-                temp_seq.fetch_add(1, std::memory_order_relaxed)));
-        std::ofstream out(tmp, std::ios::binary);
-        if (out) {
-            result.stats.saveBinary(out, prog.fingerprint());
-            out.close();
-            std::error_code ec;
-            std::filesystem::rename(tmp, path, ec);
-            if (ec) {
-                std::filesystem::remove(tmp, ec);
-            } else {
-                int64_t written = fileSize(path);
-                {
-                    std::lock_guard<std::mutex> lock(cache_stats_mu_);
-                    cache_stats_.bytes_written += written;
-                }
-                obs::counter("runner.cache_bytes_written").add(written);
+        int64_t written =
+            writeAtomically(path, [&](std::ofstream &out) {
+                result.stats.saveBinary(out, prog.fingerprint());
+            });
+        if (written > 0) {
+            {
+                std::lock_guard<std::mutex> lock(cache_stats_mu_);
+                cache_stats_.bytes_written += written;
             }
+            obs::counter("runner.cache_bytes_written").add(written);
         }
     }
     finish(std::move(result.stats));
+}
+
+Runner::TraceShard &
+Runner::traceShardFor(
+    const std::tuple<std::string, std::string, uint64_t> &key)
+{
+    size_t h = std::hash<std::string>{}(std::get<0>(key)) * 31 +
+               std::hash<std::string>{}(std::get<1>(key)) * 7 +
+               std::hash<uint64_t>{}(std::get<2>(key));
+    return trace_shards_[h % kStatsShards];
+}
+
+std::string
+Runner::tracePath(const std::string &workload, const std::string &dataset,
+                  uint64_t fingerprint) const
+{
+    return strPrintf("%s/%s.%s.%016llx.trace", cache_dir_.c_str(),
+                     sanitize(workload).c_str(), sanitize(dataset).c_str(),
+                     static_cast<unsigned long long>(fingerprint));
+}
+
+const trace::Trace &
+Runner::traceOf(const std::string &workload, const std::string &dataset)
+{
+    return traceOf(workload, dataset, program(workload));
+}
+
+const trace::Trace &
+Runner::traceOf(const std::string &workload, const std::string &dataset,
+                const isa::Program &variant)
+{
+    auto key = std::make_tuple(workload, dataset, variant.fingerprint());
+    TraceShard &shard = traceShardFor(key);
+    std::shared_ptr<TraceSlot> slot;
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto &entry = shard.slots[key];
+        if (!entry)
+            entry = std::make_shared<TraceSlot>();
+        slot = entry;
+    }
+    // Exactly one thread records (or loads); concurrent callers block
+    // here. An exception leaves the flag unset, so each caller observes
+    // it.
+    std::call_once(slot->once, [&] {
+        computeTrace(*slot, workload, dataset, variant);
+    });
+    return *slot->trace;
+}
+
+void
+Runner::computeTrace(TraceSlot &slot, const std::string &workload,
+                     const std::string &dataset,
+                     const isa::Program &program)
+{
+    const uint64_t fingerprint = program.fingerprint();
+    std::string path;
+    if (!cache_dir_.empty()) {
+        path = tracePath(workload, dataset, fingerprint);
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            try {
+                const int64_t t0 = obs::nowMicros();
+                auto loaded = std::make_shared<trace::Trace>(
+                    trace::Trace::load(in, fingerprint));
+                const int64_t load_micros = obs::nowMicros() - t0;
+                int64_t bytes = fileSize(path);
+                {
+                    std::lock_guard<std::mutex> lock(cache_stats_mu_);
+                    ++cache_stats_.trace_hits;
+                    cache_stats_.trace_bytes_read += bytes;
+                }
+                obs::counter("runner.trace_cache_hits").add(1);
+                obs::counter("runner.trace_cache_bytes_read").add(bytes);
+                obs::counter("runner.trace_load_micros").add(load_micros);
+                slot.trace = std::move(loaded);
+                return;
+            } catch (const Error &e) {
+                // Corrupt trace entry: record the failure, then
+                // re-record. Writes are atomic (temp + rename), so this
+                // is genuine corruption, never a torn concurrent write.
+                {
+                    std::lock_guard<std::mutex> lock(cache_stats_mu_);
+                    ++cache_stats_.trace_read_failures;
+                    cache_stats_.noteFailure(path + ": " + e.what());
+                }
+                obs::counter("runner.trace_cache_read_failures").add(1);
+                obs::TraceSession::global().emitInstant(
+                    "runner.trace_cache_read_failure", "harness",
+                    obs::nowMicros(),
+                    obs::JsonObject().field("path", path).field(
+                        "error", std::string_view(e.what())));
+            }
+        } else {
+            {
+                std::lock_guard<std::mutex> lock(cache_stats_mu_);
+                ++cache_stats_.trace_misses;
+            }
+            obs::counter("runner.trace_cache_misses").add(1);
+        }
+    } else {
+        std::lock_guard<std::mutex> lock(cache_stats_mu_);
+        ++cache_stats_.trace_misses;
+    }
+
+    const workloads::Dataset &ds = findDataset(workload, dataset);
+
+    obs::RunRecord record;
+    record.workload = workload;
+    record.dataset = dataset;
+    record.fingerprint = strPrintf(
+        "%016llx", static_cast<unsigned long long>(fingerprint));
+    record.cache = cache_dir_.empty() ? "off" : "miss";
+
+    std::shared_ptr<trace::Trace> recorded;
+    {
+        obs::ScopedSpan span("runner.record_trace", "harness");
+        if (span.active()) {
+            span.arg("workload", workload);
+            span.arg("dataset", dataset);
+        }
+        const int64_t t0 = obs::nowMicros();
+        vm::RunLimits limits;
+        limits.max_instructions = 4'000'000'000ll;
+        recorded = std::make_shared<trace::Trace>(trace::record(
+            program, ds.input, limits, workload, dataset));
+        record.execute_micros = obs::nowMicros() - t0;
+        obs::counter("runner.trace_record_micros")
+            .add(record.execute_micros);
+    }
+
+    int64_t trace_micros = 0;
+    if (!cache_dir_.empty()) {
+        const int64_t t0 = obs::nowMicros();
+        int64_t written = writeAtomically(
+            path, [&](std::ofstream &out) { recorded->save(out); });
+        trace_micros = obs::nowMicros() - t0;
+        if (written > 0) {
+            {
+                std::lock_guard<std::mutex> lock(cache_stats_mu_);
+                cache_stats_.trace_bytes_written += written;
+            }
+            obs::counter("runner.trace_cache_bytes_written").add(written);
+        }
+    }
+
+    // One run record per recording execution: the usual counters from
+    // the embedded stats, plus the trace-plane overhead (encode + cache
+    // write) in trace_micros.
+    const vm::RunStats &stats = recorded->stats;
+    record.instructions = stats.instructions;
+    record.cond_branches = stats.cond_branches;
+    record.taken_branches = stats.taken_branches;
+    record.self_mispredicts = selfMispredicts(stats);
+    record.instr_per_mispredict =
+        static_cast<double>(stats.instructions) /
+        static_cast<double>(
+            std::max<int64_t>(record.self_mispredicts, 1));
+    record.engine = std::string(vm::engineName(vm::defaultEngine()));
+    record.trace_micros = trace_micros;
+    obs::ReportSink::global().write(record);
+
+    slot.trace = std::move(recorded);
+}
+
+void
+Runner::resetTraces()
+{
+    for (auto &shard : trace_shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.slots.clear();
+    }
 }
 
 CacheStats

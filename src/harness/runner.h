@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "compiler/options.h"
@@ -17,6 +18,10 @@
 
 namespace ifprob::analysis {
 class AnalysisCache;
+}
+
+namespace ifprob::trace {
+struct Trace;
 }
 
 namespace ifprob::harness {
@@ -44,8 +49,16 @@ struct CacheStats
     int64_t bytes_written = 0;
     /** Failure details dropped once kMaxFailureDetails was reached. */
     int64_t failures_dropped = 0;
+    /** Trace-plane cache effectiveness (Runner::traceOf; the .trace
+     *  files next to the .stats entries — see docs/trace.md). */
+    int64_t trace_hits = 0;
+    int64_t trace_misses = 0;         ///< no trace file (or cache off)
+    int64_t trace_read_failures = 0;  ///< file present but corrupt
+    int64_t trace_bytes_read = 0;
+    int64_t trace_bytes_written = 0;
     /** One "path: reason" entry per read failure, in occurrence order,
-     *  capped at kMaxFailureDetails entries. */
+     *  capped at kMaxFailureDetails entries (shared with trace-cache
+     *  failures). */
     std::vector<std::string> failures;
 
     /** Record one failure detail, honouring the cap. */
@@ -102,6 +115,38 @@ class Runner
     CacheStats cacheStats() const;
 
     /**
+     * The recorded branch-event trace of one workload/dataset run (see
+     * docs/trace.md): executed and recorded by exactly one thread via
+     * per-pair std::call_once behind sharded mutexes, memory + disk
+     * cached (atomic temp+rename writes, corrupt entries fall back to
+     * re-recording), replayable through any number of BranchObservers
+     * with trace::replay without touching the VM. The returned
+     * reference stays valid for the Runner's lifetime (or until
+     * resetTraces()).
+     */
+    const trace::Trace &traceOf(const std::string &workload,
+                                const std::string &dataset);
+
+    /**
+     * Same, for a variant image of @p workload (e.g. a re-laid-out
+     * program): keyed — in memory and on disk — by @p variant's
+     * fingerprint, so traces of different layouts of one workload
+     * coexist. @p variant must preserve the workload's observable
+     * behaviour on @p dataset's input and must outlive the call.
+     */
+    const trace::Trace &traceOf(const std::string &workload,
+                                const std::string &dataset,
+                                const isa::Program &variant);
+
+    /**
+     * Drop every memoized trace (bench hook for measuring cold/warm
+     * trace-plane behaviour; the disk cache is untouched). Invalidates
+     * references previously returned by traceOf(); callers must not
+     * race this with trace use.
+     */
+    void resetTraces();
+
+    /**
      * The Runner's analysis-plane memoization layer (profiles, SoA
      * counters, leave-one-out predictors; see docs/analysis.md).
      * Created on first use; thread-safe like stats()/program().
@@ -147,13 +192,37 @@ class Runner
             slots;
     };
 
+    /** One (workload, dataset, fingerprint) record-once trace slot.
+     *  The Trace lives behind a shared_ptr (incomplete type here). */
+    struct TraceSlot
+    {
+        std::once_flag once;
+        std::shared_ptr<trace::Trace> trace;
+    };
+
+    struct TraceShard
+    {
+        std::mutex mu;
+        std::map<std::tuple<std::string, std::string, uint64_t>,
+                 std::shared_ptr<TraceSlot>>
+            slots;
+    };
+
     std::shared_ptr<CompileSlot> compileSlot(const std::string &workload);
     StatsShard &shardFor(const std::pair<std::string, std::string> &key);
+    TraceShard &
+    traceShardFor(const std::tuple<std::string, std::string, uint64_t> &key);
     std::string cachePath(const std::string &workload,
+                          const std::string &dataset,
+                          uint64_t fingerprint) const;
+    std::string tracePath(const std::string &workload,
                           const std::string &dataset,
                           uint64_t fingerprint) const;
     void computeStats(StatsSlot &slot, const std::string &workload,
                       const std::string &dataset);
+    void computeTrace(TraceSlot &slot, const std::string &workload,
+                      const std::string &dataset,
+                      const isa::Program &program);
 
     CompileOptions options_;
     std::string cache_dir_; ///< empty = caching disabled
@@ -165,6 +234,7 @@ class Runner
     std::map<std::string, std::shared_ptr<CompileSlot>> programs_;
 
     StatsShard stats_shards_[kStatsShards];
+    TraceShard trace_shards_[kStatsShards];
 
     std::mutex analysis_mu_;
     std::unique_ptr<analysis::AnalysisCache> analysis_;

@@ -10,6 +10,22 @@ namespace ifprob::metrics {
 
 namespace {
 
+/**
+ * Terminal columns a cell occupies: UTF-8 continuation bytes
+ * (0b10xxxxxx) take none, so multi-byte glyphs like the em dash count
+ * as one. Identical to size() for ASCII cells, keeping historical
+ * tables byte-for-byte stable. (Assumes width-1 codepoints — the only
+ * non-ASCII text the tables emit.)
+ */
+size_t
+displayWidth(const std::string &cell)
+{
+    size_t w = 0;
+    for (unsigned char c : cell)
+        w += (c & 0xc0) != 0x80;
+    return w;
+}
+
 bool
 looksNumeric(const std::string &cell)
 {
@@ -59,7 +75,7 @@ TextTable::render() const
     std::vector<size_t> widths(columns, 0);
     auto measure = [&](const std::vector<std::string> &row) {
         for (size_t i = 0; i < row.size(); ++i)
-            widths[i] = std::max(widths[i], row[i].size());
+            widths[i] = std::max(widths[i], displayWidth(row[i]));
     };
     measure(header_);
     for (const auto &row : rows_)
@@ -81,11 +97,12 @@ TextTable::render() const
         for (size_t i = 0; i < columns; ++i) {
             const std::string cell = i < row.size() ? row[i] : "";
             bool right = looksNumeric(cell);
+            std::string pad(widths[i] - displayWidth(cell), ' ');
             line += " ";
             if (right)
-                line += std::string(widths[i] - cell.size(), ' ') + cell;
+                line += pad + cell;
             else
-                line += cell + std::string(widths[i] - cell.size(), ' ');
+                line += cell + pad;
             line += " ";
             if (i + 1 < columns)
                 line += "|";

@@ -1,0 +1,433 @@
+#include "trace/trace.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "isa/program.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::trace {
+
+namespace {
+
+// --- little-endian scalar + LEB128 varint helpers --------------------------
+// Byte-explicit (same discipline as vm/run_stats.cpp) so the on-disk
+// format is identical on any host.
+
+void
+putU32(std::string &buf, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &buf, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+uint32_t
+getU32(const unsigned char *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(const unsigned char *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+putVarint(std::string &buf, uint64_t v)
+{
+    while (v >= 0x80) {
+        buf.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    buf.push_back(static_cast<char>(v));
+}
+
+/** Decode one varint, advancing @p p; throws on stream overrun. */
+uint64_t
+getVarint(const unsigned char *&p, const unsigned char *end,
+          const char *what)
+{
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+        if (p == end || shift > 63)
+            throw Error(strPrintf("Trace: corrupt %s varint stream", what));
+        const unsigned char byte = *p++;
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return v;
+        shift += 7;
+    }
+}
+
+bool
+getBit(const std::string &stream, int64_t index)
+{
+    return (static_cast<unsigned char>(
+                stream[static_cast<size_t>(index >> 3)]) >>
+            (index & 7)) &
+           1;
+}
+
+/** FNV-1a 64 over the variable-length payload (names, dict, streams). */
+uint64_t
+fnv1a(uint64_t h, const void *data, size_t n)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+payloadChecksum(const Trace &t)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv1a(h, t.workload.data(), t.workload.size());
+    h = fnv1a(h, t.dataset.data(), t.dataset.size());
+    h = fnv1a(h, t.site_dict.data(),
+              t.site_dict.size() * sizeof(int32_t));
+    h = fnv1a(h, t.deltas.data(), t.deltas.size());
+    h = fnv1a(h, t.tags.data(), t.tags.size());
+    h = fnv1a(h, t.taken.data(), t.taken.size());
+    h = fnv1a(h, t.sites.data(), t.sites.size());
+    return h;
+}
+
+/** Fill @p buf from the stream or throw the truncation error. */
+void
+readExact(std::istream &is, std::vector<unsigned char> &buf, size_t n)
+{
+    buf.resize(n);
+    is.read(reinterpret_cast<char *>(buf.data()),
+            static_cast<std::streamsize>(n));
+    if (static_cast<size_t>(is.gcount()) != n)
+        throw Error("Trace::load: truncated input");
+}
+
+void
+readString(std::istream &is, std::string &out, size_t n, const char *what)
+{
+    if (n > (1ull << 40))
+        throw Error(strPrintf("Trace::load: implausible %s size", what));
+    out.resize(n);
+    is.read(out.data(), static_cast<std::streamsize>(n));
+    if (static_cast<size_t>(is.gcount()) != n)
+        throw Error("Trace::load: truncated input");
+}
+
+/** magic + version + reserved + fingerprint + 3 counts + checksum. */
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8 + 3 * 8 + 8;
+
+} // namespace
+
+int64_t
+Trace::byteSize() const
+{
+    return static_cast<int64_t>(
+        deltas.size() + tags.size() + taken.size() + sites.size() +
+        site_dict.size() * sizeof(int32_t));
+}
+
+void
+Trace::save(std::ostream &os) const
+{
+    std::string buf;
+    buf.reserve(kHeaderBytes + 2 * 4 + workload.size() + dataset.size() +
+                8 + site_dict.size() * 4 + 4 * 8 +
+                static_cast<size_t>(byteSize()));
+    buf.append(kMagic, sizeof(kMagic));
+    putU32(buf, kVersion);
+    putU32(buf, 0); // reserved
+    putU64(buf, fingerprint);
+    putU64(buf, static_cast<uint64_t>(events));
+    putU64(buf, static_cast<uint64_t>(branch_events));
+    putU64(buf, static_cast<uint64_t>(break_events));
+    putU64(buf, payloadChecksum(*this));
+    putU32(buf, static_cast<uint32_t>(workload.size()));
+    buf.append(workload);
+    putU32(buf, static_cast<uint32_t>(dataset.size()));
+    buf.append(dataset);
+    putU64(buf, site_dict.size());
+    for (int32_t site : site_dict)
+        putU32(buf, static_cast<uint32_t>(site));
+    putU64(buf, deltas.size());
+    buf.append(deltas);
+    putU64(buf, tags.size());
+    buf.append(tags);
+    putU64(buf, taken.size());
+    buf.append(taken);
+    putU64(buf, sites.size());
+    buf.append(sites);
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    stats.saveBinary(os, fingerprint);
+}
+
+Trace
+Trace::load(std::istream &is, uint64_t expected_fingerprint)
+{
+    std::vector<unsigned char> buf;
+    readExact(is, buf, kHeaderBytes);
+    if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0)
+        throw Error("Trace::load: bad magic");
+    const uint32_t version = getU32(buf.data() + 8);
+    if (version != kVersion) {
+        throw Error(
+            strPrintf("Trace::load: unsupported version %u", version));
+    }
+    Trace t;
+    t.fingerprint = getU64(buf.data() + 16);
+    if (expected_fingerprint != 0 &&
+        t.fingerprint != expected_fingerprint) {
+        throw Error(strPrintf("Trace::load: fingerprint mismatch "
+                              "(%016llx vs %016llx)",
+                              static_cast<unsigned long long>(
+                                  t.fingerprint),
+                              static_cast<unsigned long long>(
+                                  expected_fingerprint)));
+    }
+    t.events = static_cast<int64_t>(getU64(buf.data() + 24));
+    t.branch_events = static_cast<int64_t>(getU64(buf.data() + 32));
+    t.break_events = static_cast<int64_t>(getU64(buf.data() + 40));
+    const uint64_t checksum = getU64(buf.data() + 48);
+    if (t.events < 0 || t.branch_events < 0 || t.break_events < 0 ||
+        t.events > (1ll << 40) ||
+        t.branch_events + t.break_events != t.events)
+        throw Error("Trace::load: corrupt event counts");
+
+    readExact(is, buf, 4);
+    readString(is, t.workload, getU32(buf.data()), "workload name");
+    readExact(is, buf, 4);
+    readString(is, t.dataset, getU32(buf.data()), "dataset name");
+
+    readExact(is, buf, 8);
+    const uint64_t dict_count = getU64(buf.data());
+    if (dict_count > (1u << 26) ||
+        dict_count > static_cast<uint64_t>(t.branch_events))
+        throw Error("Trace::load: corrupt site dictionary size");
+    readExact(is, buf, static_cast<size_t>(dict_count) * 4);
+    t.site_dict.resize(static_cast<size_t>(dict_count));
+    for (size_t i = 0; i < t.site_dict.size(); ++i)
+        t.site_dict[i] = static_cast<int32_t>(getU32(buf.data() + i * 4));
+
+    const struct
+    {
+        std::string *stream;
+        uint64_t max_len;
+        bool exact; ///< bitstreams have one valid length; replay's
+                    ///< getBit relies on it, so enforce here
+        const char *what;
+    } streams[] = {
+        // A varint spans at most 10 bytes; bitstreams are 1 bit/event.
+        {&t.deltas, static_cast<uint64_t>(t.events) * 10, false,
+         "deltas"},
+        {&t.tags, static_cast<uint64_t>(t.events + 7) / 8, true, "tags"},
+        {&t.taken, static_cast<uint64_t>(t.branch_events + 7) / 8, true,
+         "taken"},
+        {&t.sites, static_cast<uint64_t>(t.branch_events) * 10, false,
+         "sites"},
+    };
+    for (const auto &s : streams) {
+        readExact(is, buf, 8);
+        const uint64_t len = getU64(buf.data());
+        if (len > s.max_len || (s.exact && len != s.max_len)) {
+            throw Error(
+                strPrintf("Trace::load: implausible %s size", s.what));
+        }
+        readString(is, *s.stream, static_cast<size_t>(len), s.what);
+    }
+    if (payloadChecksum(t) != checksum)
+        throw Error("Trace::load: payload checksum mismatch");
+    t.stats = vm::RunStats::loadBinary(is, t.fingerprint);
+    return t;
+}
+
+// --- Recorder ---------------------------------------------------------------
+
+void
+Recorder::pushDelta(int64_t instructions)
+{
+    putVarint(trace_.deltas,
+              static_cast<uint64_t>(instructions - last_instructions_));
+    last_instructions_ = instructions;
+}
+
+void
+Recorder::pushBit(std::string &stream, int64_t index, bool bit)
+{
+    if ((index & 7) == 0)
+        stream.push_back('\0');
+    if (bit)
+        stream.back() |= static_cast<char>(1 << (index & 7));
+}
+
+void
+Recorder::onBranch(int site_id, bool taken, int64_t instructions)
+{
+    pushDelta(instructions);
+    pushBit(trace_.tags, trace_.events, false);
+    pushBit(trace_.taken, trace_.branch_events, taken);
+    if (static_cast<size_t>(site_id) >= dict_index_.size())
+        dict_index_.resize(static_cast<size_t>(site_id) + 1, -1);
+    int32_t idx = dict_index_[static_cast<size_t>(site_id)];
+    if (idx < 0) {
+        idx = static_cast<int32_t>(trace_.site_dict.size());
+        dict_index_[static_cast<size_t>(site_id)] = idx;
+        trace_.site_dict.push_back(site_id);
+    }
+    putVarint(trace_.sites, static_cast<uint64_t>(idx));
+    ++trace_.events;
+    ++trace_.branch_events;
+}
+
+void
+Recorder::onUnavoidableBreak(int64_t instructions)
+{
+    pushDelta(instructions);
+    pushBit(trace_.tags, trace_.events, true);
+    ++trace_.events;
+    ++trace_.break_events;
+}
+
+Trace
+Recorder::take() &&
+{
+    return std::move(trace_);
+}
+
+// --- Replay -----------------------------------------------------------------
+
+namespace {
+
+/** The decode loop, shared by both replay overloads. @p Sink receives
+ *  fully decoded events and fans them out (inlined away for the
+ *  single-observer case). */
+template <typename Sink>
+void
+replayEvents(const Trace &t, Sink &&sink)
+{
+    const int64_t t0 = obs::nowMicros();
+    const auto *dp =
+        reinterpret_cast<const unsigned char *>(t.deltas.data());
+    const auto *dend = dp + t.deltas.size();
+    const auto *sp =
+        reinterpret_cast<const unsigned char *>(t.sites.data());
+    const auto *send = sp + t.sites.size();
+    const size_t dict_size = t.site_dict.size();
+    int64_t instructions = 0;
+    int64_t branch = 0;
+    for (int64_t ev = 0; ev < t.events; ++ev) {
+        instructions +=
+            static_cast<int64_t>(getVarint(dp, dend, "deltas"));
+        if (getBit(t.tags, ev)) {
+            sink.onBreak(instructions);
+            continue;
+        }
+        const uint64_t idx = getVarint(sp, send, "sites");
+        if (idx >= dict_size)
+            throw Error("Trace: site index out of dictionary range");
+        sink.onBranch(t.site_dict[idx], getBit(t.taken, branch),
+                      instructions);
+        ++branch;
+    }
+    obs::counter("trace.replay_events").add(t.events);
+    obs::counter("trace.replay_micros").add(obs::nowMicros() - t0);
+}
+
+struct SingleSink
+{
+    vm::BranchObserver &observer;
+    void
+    onBranch(int site, bool taken, int64_t instructions)
+    {
+        observer.onBranch(site, taken, instructions);
+    }
+    void
+    onBreak(int64_t instructions)
+    {
+        observer.onUnavoidableBreak(instructions);
+    }
+};
+
+struct FanOutSink
+{
+    const std::vector<vm::BranchObserver *> &observers;
+    void
+    onBranch(int site, bool taken, int64_t instructions)
+    {
+        for (vm::BranchObserver *o : observers)
+            o->onBranch(site, taken, instructions);
+    }
+    void
+    onBreak(int64_t instructions)
+    {
+        for (vm::BranchObserver *o : observers)
+            o->onUnavoidableBreak(instructions);
+    }
+};
+
+} // namespace
+
+void
+replay(const Trace &t, vm::BranchObserver &observer)
+{
+    SingleSink sink{observer};
+    replayEvents(t, sink);
+}
+
+void
+replay(const Trace &t, const std::vector<vm::BranchObserver *> &observers)
+{
+    FanOutSink sink{observers};
+    replayEvents(t, sink);
+}
+
+// --- Recording entry point --------------------------------------------------
+
+Trace
+record(const isa::Program &program, std::string_view input,
+       const vm::RunLimits &limits, std::string workload,
+       std::string dataset)
+{
+    vm::Machine machine(program);
+    Recorder recorder;
+    vm::RunResult result = machine.run(input, limits, &recorder);
+    Trace t = std::move(recorder).take();
+    t.fingerprint = program.fingerprint();
+    t.workload = std::move(workload);
+    t.dataset = std::move(dataset);
+    t.stats = std::move(result.stats);
+    obs::counter("trace.record_events").add(t.events);
+    obs::counter("trace.record_bytes").add(t.byteSize());
+    return t;
+}
+
+bool
+referencePlane()
+{
+    const char *env = std::getenv("IFPROB_TRACE_PLANE");
+    return env && std::string_view(env) == "reference";
+}
+
+} // namespace ifprob::trace

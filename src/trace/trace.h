@@ -1,0 +1,155 @@
+#ifndef IFPROB_TRACE_TRACE_H
+#define IFPROB_TRACE_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vm/machine.h"
+#include "vm/observer.h"
+#include "vm/run_stats.h"
+
+namespace ifprob::trace {
+
+/**
+ * One (program, input) run's full control-flow event stream, recorded
+ * once and replayable through any number of vm::BranchObservers without
+ * touching the VM (see docs/trace.md).
+ *
+ * The paper's methodology is itself trace-driven — IFPROBBER/MFPixie
+ * record a run once and every analysis reads the recording — and this
+ * is the same inversion: `dynamic_baselines` used to re-execute each
+ * workload once per predictor; with a Trace the VM runs once and every
+ * observer simulates from the recording at memory speed.
+ *
+ * Storage is four split streams plus a site dictionary, sized so the
+ * common event costs ~2 bytes:
+ *  - deltas: one LEB128 varint per event — the instruction-count delta
+ *    since the previous event (branches average 5-10 instructions
+ *    apart, so most deltas fit one byte; a >2^32 gap still round-trips).
+ *  - tags: one bit per event (LSB-first) — 0 = conditional branch,
+ *    1 = unavoidable break (indirect call or its matching return),
+ *    interleaving onUnavoidableBreak events in stream order.
+ *  - taken: one bit per *branch* event — the direction.
+ *  - sites: one varint per *branch* event — an index into site_dict,
+ *    which lists static site ids in order of first appearance.
+ *
+ * The final RunStats of the recorded run are embedded, so trace
+ * consumers that only need aggregate counters (e.g. the layout bench's
+ * feedback pass) skip the VM entirely on a cache hit.
+ */
+struct Trace
+{
+    /** Fingerprint of the executed image (cache invalidation key). */
+    uint64_t fingerprint = 0;
+    std::string workload;
+    std::string dataset;
+
+    /** Aggregate counters of the recorded run (bit-identical to an
+     *  unobserved Machine::run of the same program and input). */
+    vm::RunStats stats;
+
+    int64_t events = 0;        ///< branch_events + break_events
+    int64_t branch_events = 0; ///< onBranch callbacks recorded
+    int64_t break_events = 0;  ///< onUnavoidableBreak callbacks recorded
+
+    /** Dictionary: compact index -> static branch site id, in order of
+     *  first appearance in the stream. */
+    std::vector<int32_t> site_dict;
+
+    std::string deltas; ///< varint instruction-count deltas, 1/event
+    std::string tags;   ///< bitstream, 1 bit/event (1 = break)
+    std::string taken;  ///< bitstream, 1 bit/branch event
+    std::string sites;  ///< varint dictionary indexes, 1/branch event
+
+    /** In-memory footprint of the encoded streams (metrics currency). */
+    int64_t byteSize() const;
+
+    /**
+     * Versioned little-endian on-disk form, following the IFPROBRS
+     * RunStats cache format: magic, version, fingerprint, event counts,
+     * an FNV-1a checksum of the payload, the names, the dictionary, the
+     * four streams, then the embedded RunStats binary blob.
+     */
+    static constexpr char kMagic[8] = {'I', 'F', 'P', 'R',
+                                       'O', 'B', 'T', 'R'};
+    static constexpr uint32_t kVersion = 1;
+
+    /** Write the binary form (open @p os with std::ios::binary). */
+    void save(std::ostream &os) const;
+
+    /**
+     * Read the binary form. Throws Error on a bad magic, an unsupported
+     * version, truncation, implausible counts, a payload checksum
+     * mismatch, or — when @p expected_fingerprint is nonzero — a
+     * fingerprint mismatch. Callers (Runner::traceOf) treat any throw
+     * as a corrupt cache entry and fall back to re-recording.
+     */
+    static Trace load(std::istream &is, uint64_t expected_fingerprint = 0);
+};
+
+/**
+ * The recording observer: attach to Machine::run, then take() the
+ * finished Trace. Appends to the split streams inline in the callbacks
+ * (a few ns per event), so a recording run costs barely more than any
+ * other observed run.
+ */
+class Recorder : public vm::BranchObserver
+{
+  public:
+    Recorder() = default;
+
+    void onBranch(int site_id, bool taken, int64_t instructions) override;
+    void onUnavoidableBreak(int64_t instructions) override;
+
+    /** Finalize into a Trace (stats/identity filled by the caller). */
+    Trace take() &&;
+
+  private:
+    void pushDelta(int64_t instructions);
+    void pushBit(std::string &stream, int64_t index, bool bit);
+
+    Trace trace_;
+    int64_t last_instructions_ = 0;
+    /** site id -> dictionary index (-1 = not yet seen). */
+    std::vector<int32_t> dict_index_;
+};
+
+/** Stream @p t's events through one observer, in recorded order. */
+void replay(const Trace &t, vm::BranchObserver &observer);
+
+/**
+ * Stream @p t's events through a fan-out of observers: each event is
+ * delivered to every observer (in vector order) before the next event,
+ * so one decode pass simulates N predictors. For observers that do not
+ * read each other's state this is indistinguishable from N sequential
+ * replays — tests/test_trace.cpp holds both orderings bit-identical.
+ */
+void replay(const Trace &t,
+            const std::vector<vm::BranchObserver *> &observers);
+
+/**
+ * Execute @p program over @p input with a Recorder attached and return
+ * the finished Trace (stats embedded, identity fields filled from the
+ * arguments). The convenience entry point Runner::traceOf wraps with
+ * memoization and the on-disk cache.
+ */
+Trace record(const isa::Program &program, std::string_view input,
+             const vm::RunLimits &limits, std::string workload,
+             std::string dataset);
+
+/**
+ * IFPROB_TRACE_PLANE=reference selects the live-observed path in the
+ * ported bench binaries — one full VM execution per observer, kept as
+ * the differential oracle (CI diffs the two planes' tables byte for
+ * byte). Anything else (the default) records once via Runner::traceOf
+ * and replays. Read per call: the entry points are not hot, and tests
+ * flip the variable at runtime.
+ */
+bool referencePlane();
+
+} // namespace ifprob::trace
+
+#endif // IFPROB_TRACE_TRACE_H

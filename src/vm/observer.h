@@ -2,6 +2,8 @@
 #define IFPROB_VM_OBSERVER_H
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace ifprob::vm {
 
@@ -34,6 +36,43 @@ class BranchObserver
     {
         (void)instructions;
     }
+};
+
+/**
+ * Fans every event out to a list of observers, in list order, so one
+ * live run can feed N independent analyses (e.g. several dynamic
+ * predictors) instead of re-executing the program once per observer.
+ * For observers that do not read each other's state the result is
+ * indistinguishable from N sequential runs. Does not own the observers;
+ * they must outlive the run.
+ */
+class MultiObserver final : public BranchObserver
+{
+  public:
+    MultiObserver() = default;
+    explicit MultiObserver(std::vector<BranchObserver *> observers)
+        : observers_(std::move(observers))
+    {
+    }
+
+    void add(BranchObserver *observer) { observers_.push_back(observer); }
+
+    void
+    onBranch(int site_id, bool taken, int64_t instructions) override
+    {
+        for (BranchObserver *o : observers_)
+            o->onBranch(site_id, taken, instructions);
+    }
+
+    void
+    onUnavoidableBreak(int64_t instructions) override
+    {
+        for (BranchObserver *o : observers_)
+            o->onUnavoidableBreak(instructions);
+    }
+
+  private:
+    std::vector<BranchObserver *> observers_;
 };
 
 } // namespace ifprob::vm

@@ -1,16 +1,33 @@
 /**
  * @file
- * Unit tests for the CFG block graph and trace selection.
+ * Unit tests for the CFG block graph, trace selection, and the
+ * branch-trace record/replay plane (TracePlane*, docs/trace.md).
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
 #include "compiler/pipeline.h"
+#include "exec/pool.h"
+#include "harness/runner.h"
+#include "ilp/runlength.h"
 #include "ilp/trace.h"
 #include "isa/cfg.h"
+#include "predict/dynamic_predictor.h"
 #include "predict/heuristic_predictor.h"
 #include "predict/profile_predictor.h"
 #include "profile/profile_db.h"
+#include "support/error.h"
+#include "trace/trace.h"
 #include "vm/machine.h"
+#include "vm/observer.h"
+#include "workloads/workload.h"
 
 namespace ifprob {
 namespace {
@@ -210,6 +227,396 @@ TEST(TraceSelection, TracesAreAcyclic)
         EXPECT_TRUE(std::adjacent_find(blocks.begin(), blocks.end()) ==
                     blocks.end());
     }
+}
+
+// ---------------------------------------------------------------------------
+// TracePlane: the branch-trace record/replay plane (docs/trace.md).
+// ---------------------------------------------------------------------------
+
+/** Observer that logs every event verbatim, for order/parity checks. */
+struct EventLog final : vm::BranchObserver
+{
+    struct Event
+    {
+        bool is_break;
+        int site;
+        bool taken;
+        int64_t instructions;
+
+        bool
+        operator==(const Event &o) const
+        {
+            return is_break == o.is_break && site == o.site &&
+                   taken == o.taken && instructions == o.instructions;
+        }
+    };
+    std::vector<Event> events;
+
+    void
+    onBranch(int site, bool taken, int64_t instructions) override
+    {
+        events.push_back({false, site, taken, instructions});
+    }
+    void
+    onUnavoidableBreak(int64_t instructions) override
+    {
+        events.push_back({true, 0, false, instructions});
+    }
+};
+
+const char *kBranchySource = R"(
+int main() {
+    int i, x, count;
+    x = 12345;
+    count = 0;
+    for (i = 0; i < 2000; i++) {
+        x = (x * 1103515245 + 12345) % 2147483648;
+        if (x & 1)
+            count = count + 1;
+        if ((x & 7) == 3)
+            count = count - 1;
+    }
+    return count & 255;
+})";
+
+/** Round-trip @p t through the binary format. */
+trace::Trace
+roundTrip(const trace::Trace &t, uint64_t expected_fingerprint = 0)
+{
+    std::ostringstream os(std::ios::binary);
+    t.save(os);
+    std::istringstream is(os.str(), std::ios::binary);
+    return trace::Trace::load(is, expected_fingerprint);
+}
+
+TEST(TracePlane, RecordRoundTripPreservesEventStream)
+{
+    isa::Program p = compile(kBranchySource);
+    trace::Trace t =
+        trace::record(p, "", vm::RunLimits{}, "kernel", "builtin");
+    EXPECT_GT(t.branch_events, 4000);
+    EXPECT_EQ(t.events, t.branch_events + t.break_events);
+    EXPECT_EQ(t.stats.instructions, vm::Machine(p).run("").stats.instructions);
+
+    trace::Trace back = roundTrip(t, p.fingerprint());
+    EXPECT_EQ(back.fingerprint, t.fingerprint);
+    EXPECT_EQ(back.workload, "kernel");
+    EXPECT_EQ(back.dataset, "builtin");
+    EXPECT_EQ(back.site_dict, t.site_dict);
+    EXPECT_EQ(back.deltas, t.deltas);
+    EXPECT_EQ(back.tags, t.tags);
+    EXPECT_EQ(back.taken, t.taken);
+    EXPECT_EQ(back.sites, t.sites);
+    EXPECT_EQ(back.stats.instructions, t.stats.instructions);
+    EXPECT_EQ(back.stats.cond_branches, t.stats.cond_branches);
+
+    EventLog from_original, from_loaded, live;
+    trace::replay(t, from_original);
+    trace::replay(back, from_loaded);
+    vm::Machine(p).run("", vm::RunLimits{}, &live);
+    EXPECT_EQ(from_original.events, live.events);
+    EXPECT_EQ(from_loaded.events, live.events);
+}
+
+TEST(TracePlane, BreakInterleavingAndHugeDeltasRoundTrip)
+{
+    // Drive the Recorder directly: breaks interleaved between branches,
+    // plus instruction-count gaps beyond 2^32, which must survive the
+    // varint encoding exactly.
+    const int64_t kHuge = (int64_t{1} << 37) + 12345;
+    EventLog driven;
+    trace::Recorder recorder;
+    auto branch = [&](int site, bool taken, int64_t at) {
+        recorder.onBranch(site, taken, at);
+        driven.onBranch(site, taken, at);
+    };
+    auto brk = [&](int64_t at) {
+        recorder.onUnavoidableBreak(at);
+        driven.onUnavoidableBreak(at);
+    };
+    branch(7, true, 10);
+    brk(12);
+    branch(3, false, 15);
+    branch(3, true, 15); // zero delta: two events, same count
+    brk(kHuge);          // > 2^32 gap
+    branch(900001, true, kHuge + 42); // site id beyond any dense table
+    brk(kHuge + 42 + kHuge);
+
+    trace::Trace t = std::move(recorder).take();
+    t.fingerprint = 0xfeedfacecafebeefull;
+    t.workload = "synthetic";
+    t.dataset = "driven";
+    EXPECT_EQ(t.events, 7);
+    EXPECT_EQ(t.branch_events, 4);
+    EXPECT_EQ(t.break_events, 3);
+    // Dictionary lists sites in first-appearance order.
+    EXPECT_EQ(t.site_dict, (std::vector<int32_t>{7, 3, 900001}));
+
+    trace::Trace back = roundTrip(t, t.fingerprint);
+    EventLog replayed;
+    trace::replay(back, replayed);
+    EXPECT_EQ(replayed.events, driven.events);
+}
+
+TEST(TracePlane, LoadRejectsFingerprintMismatch)
+{
+    isa::Program p = compile(kBranchySource);
+    trace::Trace t =
+        trace::record(p, "", vm::RunLimits{}, "kernel", "builtin");
+    EXPECT_THROW(roundTrip(t, t.fingerprint + 1), Error);
+}
+
+/** The dynamic_baselines observer set, live vs replayed, one cell. */
+void
+expectReplayMatchesLive(harness::Runner &runner,
+                        const std::string &workload,
+                        const std::string &dataset)
+{
+    SCOPED_TRACE(workload + "/" + dataset);
+    const isa::Program &prog = runner.program(workload);
+    const auto &w = workloads::get(workload);
+    const workloads::Dataset *ds = nullptr;
+    for (const auto &d : w.datasets) {
+        if (d.name == dataset)
+            ds = &d;
+    }
+    ASSERT_NE(ds, nullptr);
+    vm::RunLimits limits;
+    limits.max_instructions = 4'000'000'000ll;
+
+    predict::OneBitPredictor live_1bit(prog.branch_sites.size());
+    predict::TwoBitPredictor live_2bit(prog.branch_sites.size());
+    predict::GSharePredictor live_gshare(12, 12);
+    profile::ProfileDb db(workload, prog.fingerprint(),
+                          runner.stats(workload, dataset));
+    predict::ProfilePredictor self(db);
+    ilp::RunLengthAnalyzer live_runlength(self);
+    vm::Machine machine(prog);
+    machine.run(ds->input, limits, &live_1bit);
+    machine.run(ds->input, limits, &live_2bit);
+    machine.run(ds->input, limits, &live_gshare);
+    machine.run(ds->input, limits, &live_runlength);
+
+    const trace::Trace &t = runner.traceOf(workload, dataset);
+    predict::OneBitPredictor replay_1bit(prog.branch_sites.size());
+    predict::TwoBitPredictor replay_2bit(prog.branch_sites.size());
+    predict::GSharePredictor replay_gshare(12, 12);
+    ilp::RunLengthAnalyzer replay_runlength(self);
+    trace::replay(t, {&replay_1bit, &replay_2bit, &replay_gshare,
+                      &replay_runlength});
+
+    EXPECT_EQ(replay_1bit.total(), live_1bit.total());
+    EXPECT_EQ(replay_1bit.correct(), live_1bit.correct());
+    EXPECT_EQ(replay_2bit.total(), live_2bit.total());
+    EXPECT_EQ(replay_2bit.correct(), live_2bit.correct());
+    EXPECT_EQ(replay_gshare.total(), live_gshare.total());
+    EXPECT_EQ(replay_gshare.correct(), live_gshare.correct());
+
+    auto live_summary =
+        std::move(live_runlength).summary(t.stats.instructions);
+    auto replay_summary =
+        std::move(replay_runlength).summary(t.stats.instructions);
+    EXPECT_EQ(replay_summary.runs, live_summary.runs);
+    EXPECT_EQ(replay_summary.histogram, live_summary.histogram);
+    EXPECT_EQ(replay_summary.breaks, live_summary.breaks);
+}
+
+const std::vector<std::pair<const char *, const char *>> kMatrixSample = {
+    {"eqntott", "add4"},
+    {"compress", "cmprssc"},
+    {"mcc", "c_metric"},
+    {"espresso", "bca"},
+};
+
+TEST(TracePlane, ReplayMatchesLiveSerial)
+{
+    ::setenv("IFPROB_CACHE", "off", 1);
+    {
+        harness::Runner runner;
+        for (const auto &[w, d] : kMatrixSample)
+            expectReplayMatchesLive(runner, w, d);
+    }
+    ::unsetenv("IFPROB_CACHE");
+}
+
+TEST(TracePlane, ReplayMatchesLiveParallel)
+{
+    // jobs=4: the same differential with every cell in flight at once,
+    // hammering traceOf's record-once path from the pool workers.
+    ::setenv("IFPROB_CACHE", "off", 1);
+    {
+        harness::Runner runner;
+        exec::Pool pool(4);
+        exec::parallelFor(pool, kMatrixSample.size(), [&](size_t i) {
+            expectReplayMatchesLive(runner, kMatrixSample[i].first,
+                                    kMatrixSample[i].second);
+        });
+    }
+    ::unsetenv("IFPROB_CACHE");
+}
+
+TEST(TracePlane, MultiObserverMatchesSequentialDelivery)
+{
+    isa::Program p = compile(kBranchySource);
+
+    // Live fan-out vs sequential live runs.
+    predict::OneBitPredictor fan_1bit(p.branch_sites.size());
+    predict::TwoBitPredictor fan_2bit(p.branch_sites.size());
+    EventLog fan_log;
+    vm::MultiObserver fan({&fan_1bit, &fan_2bit, &fan_log});
+    vm::Machine m(p);
+    m.run("", vm::RunLimits{}, &fan);
+
+    predict::OneBitPredictor seq_1bit(p.branch_sites.size());
+    predict::TwoBitPredictor seq_2bit(p.branch_sites.size());
+    EventLog seq_log;
+    m.run("", vm::RunLimits{}, &seq_1bit);
+    m.run("", vm::RunLimits{}, &seq_2bit);
+    m.run("", vm::RunLimits{}, &seq_log);
+
+    EXPECT_EQ(fan_1bit.total(), seq_1bit.total());
+    EXPECT_EQ(fan_1bit.correct(), seq_1bit.correct());
+    EXPECT_EQ(fan_2bit.total(), seq_2bit.total());
+    EXPECT_EQ(fan_2bit.correct(), seq_2bit.correct());
+    EXPECT_EQ(fan_log.events, seq_log.events);
+
+    // Replay fan-out vs sequential replays of the same trace.
+    trace::Trace t =
+        trace::record(p, "", vm::RunLimits{}, "kernel", "builtin");
+    predict::TwoBitPredictor rf_2bit(p.branch_sites.size());
+    EventLog rf_log;
+    trace::replay(t, {&rf_2bit, &rf_log});
+    predict::TwoBitPredictor rs_2bit(p.branch_sites.size());
+    EventLog rs_log;
+    trace::replay(t, rs_2bit);
+    trace::replay(t, rs_log);
+    EXPECT_EQ(rf_2bit.total(), rs_2bit.total());
+    EXPECT_EQ(rf_2bit.correct(), rs_2bit.correct());
+    EXPECT_EQ(rf_log.events, rs_log.events);
+    EXPECT_EQ(rf_log.events, fan_log.events);
+}
+
+/** Scoped IFPROB_CACHE override pointing at a fresh temp directory. */
+class TraceCacheDirGuard
+{
+  public:
+    TraceCacheDirGuard()
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("ifprob-trace-cache-" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+        ::setenv("IFPROB_CACHE", dir_.c_str(), 1);
+    }
+
+    ~TraceCacheDirGuard()
+    {
+        ::unsetenv("IFPROB_CACHE");
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::filesystem::path
+    onlyTraceFile() const
+    {
+        std::filesystem::path found;
+        for (auto &entry : std::filesystem::directory_iterator(dir_)) {
+            if (entry.path().extension() == ".trace") {
+                EXPECT_TRUE(found.empty());
+                found = entry.path();
+            }
+        }
+        EXPECT_FALSE(found.empty());
+        return found;
+    }
+
+  private:
+    std::filesystem::path dir_;
+};
+
+TEST(TracePlane, CorruptCacheEntryFallsBackToRerecord)
+{
+    TraceCacheDirGuard cache;
+    int64_t events = 0;
+    {
+        harness::Runner runner;
+        events = runner.traceOf("eqntott", "add4").events;
+        EXPECT_EQ(runner.cacheStats().trace_misses, 1);
+    }
+    // Flip one payload byte mid-file: the checksum must catch it.
+    auto path = cache.onlyTraceFile();
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(std::filesystem::file_size(path) / 2);
+        f.put('\x5a');
+    }
+    harness::Runner runner;
+    const trace::Trace &t = runner.traceOf("eqntott", "add4");
+    EXPECT_EQ(t.events, events);
+    auto stats = runner.cacheStats();
+    EXPECT_EQ(stats.trace_read_failures, 1);
+    ASSERT_EQ(stats.failures.size(), 1u);
+    EXPECT_NE(stats.failures[0].find(".trace"), std::string::npos);
+    // The re-record overwrote the corrupt entry: a third Runner hits.
+    harness::Runner third;
+    EXPECT_EQ(third.traceOf("eqntott", "add4").events, events);
+    EXPECT_EQ(third.cacheStats().trace_hits, 1);
+    EXPECT_EQ(third.cacheStats().trace_read_failures, 0);
+}
+
+TEST(TracePlane, TruncatedCacheEntryFallsBackToRerecord)
+{
+    TraceCacheDirGuard cache;
+    int64_t events = 0;
+    {
+        harness::Runner runner;
+        events = runner.traceOf("eqntott", "add4").events;
+    }
+    auto path = cache.onlyTraceFile();
+    std::filesystem::resize_file(path,
+                                 std::filesystem::file_size(path) / 3);
+    harness::Runner runner;
+    EXPECT_EQ(runner.traceOf("eqntott", "add4").events, events);
+    EXPECT_EQ(runner.cacheStats().trace_read_failures, 1);
+}
+
+TEST(TracePlane, RecordsOnceUnderConcurrentTraceOf)
+{
+    ::setenv("IFPROB_CACHE", "off", 1);
+    {
+        harness::Runner runner;
+        constexpr int kThreads = 8;
+        std::vector<const trace::Trace *> seen(kThreads, nullptr);
+        std::vector<std::thread> threads;
+        for (int i = 0; i < kThreads; ++i) {
+            threads.emplace_back([&, i] {
+                seen[static_cast<size_t>(i)] =
+                    &runner.traceOf("eqntott", "add4");
+            });
+        }
+        for (auto &th : threads)
+            th.join();
+        for (int i = 1; i < kThreads; ++i)
+            EXPECT_EQ(seen[static_cast<size_t>(i)], seen[0]);
+        // Exactly one recording happened (cache off -> one miss).
+        EXPECT_EQ(runner.cacheStats().trace_misses, 1);
+        EXPECT_EQ(runner.cacheStats().trace_hits, 0);
+    }
+    ::unsetenv("IFPROB_CACHE");
+}
+
+TEST(TracePlane, VariantTracesKeyedByFingerprint)
+{
+    ::setenv("IFPROB_CACHE", "off", 1);
+    {
+        harness::Runner runner;
+        const trace::Trace &base = runner.traceOf("eqntott", "add4");
+        // The same image passed explicitly dedups onto the same slot.
+        const trace::Trace &same = runner.traceOf(
+            "eqntott", "add4", runner.program("eqntott"));
+        EXPECT_EQ(&base, &same);
+    }
+    ::unsetenv("IFPROB_CACHE");
 }
 
 } // namespace

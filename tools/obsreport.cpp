@@ -36,6 +36,7 @@ struct WorkloadAgg
     int64_t self_mispredicts = 0;
     int64_t compile_micros = 0;
     int64_t execute_micros = 0;
+    int64_t trace_micros = 0; ///< trace-plane encode + cache-write time
     int64_t cache_hits = 0;
     int64_t cache_misses = 0;
     int64_t cache_errors = 0;
@@ -67,6 +68,24 @@ struct Totals
         int64_t cached_cold_micros = 0;
         int64_t cached_warm_micros = 0;
     } analysis;
+
+    /** Last ifprob.trace_bench.v1 record seen (micro_trace --ab). */
+    struct TraceBench
+    {
+        int64_t records = 0;
+        double speedup_cold = 0.0;
+        double speedup_warm = 0.0;
+        double speedup_hot = 0.0;
+        int64_t live_micros = 0;
+        int64_t cold_micros = 0;
+        int64_t warm_micros = 0;
+        int64_t hot_micros = 0;
+        int64_t events_total = 0;
+        int64_t trace_bytes_total = 0;
+        int64_t cache_hits = 0;
+        int64_t cache_misses = 0;
+        int64_t cache_read_failures = 0;
+    } trace;
 };
 
 std::string
@@ -115,6 +134,34 @@ consumeLine(const std::string &line,
             static_cast<int64_t>(num("cached_warm_micros"));
         return;
     }
+    if (schema == "ifprob.trace_bench.v1") {
+        auto num = [&](const char *k) {
+            auto it = rec.find(k);
+            return it != rec.end() ? it->second.num : 0.0;
+        };
+        ++totals.trace.records;
+        totals.trace.speedup_cold = num("speedup_cold");
+        totals.trace.speedup_warm = num("speedup_warm");
+        totals.trace.speedup_hot = num("speedup_hot");
+        totals.trace.live_micros =
+            static_cast<int64_t>(num("live_micros"));
+        totals.trace.cold_micros =
+            static_cast<int64_t>(num("cold_micros"));
+        totals.trace.warm_micros =
+            static_cast<int64_t>(num("warm_micros"));
+        totals.trace.hot_micros = static_cast<int64_t>(num("hot_micros"));
+        totals.trace.events_total =
+            static_cast<int64_t>(num("events_total"));
+        totals.trace.trace_bytes_total =
+            static_cast<int64_t>(num("trace_bytes_total"));
+        totals.trace.cache_hits =
+            static_cast<int64_t>(num("trace_cache_hits"));
+        totals.trace.cache_misses =
+            static_cast<int64_t>(num("trace_cache_misses"));
+        totals.trace.cache_read_failures =
+            static_cast<int64_t>(num("trace_cache_read_failures"));
+        return;
+    }
     if (schema != obs::kRunRecordSchema) {
         ++totals.skipped_records;
         return;
@@ -135,6 +182,7 @@ consumeLine(const std::string &line,
     agg.self_mispredicts += r.self_mispredicts;
     agg.compile_micros += r.compile_micros;
     agg.execute_micros += r.execute_micros;
+    agg.trace_micros += r.trace_micros;
     if (r.cache == "hit") {
         ++agg.cache_hits;
         if (r.stats_cache_format == "binary")
@@ -175,6 +223,7 @@ renderJsonReport(const std::vector<std::string> &files,
             .field("instr_per_mispredict", agg.perMispredict())
             .field("compile_micros", agg.compile_micros)
             .field("execute_micros", agg.execute_micros)
+            .field("trace_micros", agg.trace_micros)
             .field("cache_hits", agg.cache_hits)
             .field("cache_misses", agg.cache_misses)
             .field("cache_errors", agg.cache_errors);
@@ -188,6 +237,7 @@ renderJsonReport(const std::vector<std::string> &files,
         grand.self_mispredicts += agg.self_mispredicts;
         grand.compile_micros += agg.compile_micros;
         grand.execute_micros += agg.execute_micros;
+        grand.trace_micros += agg.trace_micros;
         grand.cache_hits += agg.cache_hits;
         grand.cache_misses += agg.cache_misses;
         grand.cache_errors += agg.cache_errors;
@@ -202,6 +252,7 @@ renderJsonReport(const std::vector<std::string> &files,
         .field("instr_per_mispredict", grand.perMispredict())
         .field("compile_micros", grand.compile_micros)
         .field("execute_micros", grand.execute_micros)
+        .field("trace_micros", grand.trace_micros)
         .field("cache_hits", grand.cache_hits)
         .field("cache_misses", grand.cache_misses)
         .field("cache_errors", grand.cache_errors)
@@ -227,6 +278,24 @@ renderJsonReport(const std::vector<std::string> &files,
             .field("cached_warm_micros",
                    totals.analysis.cached_warm_micros);
         report.fieldRaw("analysis_bench", ab.str());
+    }
+    if (totals.trace.records > 0) {
+        obs::JsonObject tb;
+        tb.field("records", totals.trace.records)
+            .field("speedup_cold", totals.trace.speedup_cold)
+            .field("speedup_warm", totals.trace.speedup_warm)
+            .field("speedup_hot", totals.trace.speedup_hot)
+            .field("live_micros", totals.trace.live_micros)
+            .field("cold_micros", totals.trace.cold_micros)
+            .field("warm_micros", totals.trace.warm_micros)
+            .field("hot_micros", totals.trace.hot_micros)
+            .field("events_total", totals.trace.events_total)
+            .field("trace_bytes_total", totals.trace.trace_bytes_total)
+            .field("trace_cache_hits", totals.trace.cache_hits)
+            .field("trace_cache_misses", totals.trace.cache_misses)
+            .field("trace_cache_read_failures",
+                   totals.trace.cache_read_failures);
+        report.fieldRaw("trace_bench", tb.str());
     }
     return report.str() + "\n";
 }
@@ -311,6 +380,19 @@ main(int argc, char **argv)
                         totals.analysis.cached_warm_micros) /
                         1e3,
                     totals.analysis.speedup_warm);
+    if (totals.trace.records > 0)
+        std::printf("trace bench: live %.1fms, cold %.1fms (%.2fx), "
+                    "warm %.1fms (%.2fx), hot %.1fms (%.2fx); "
+                    "%s events in %s trace bytes\n",
+                    static_cast<double>(totals.trace.live_micros) / 1e3,
+                    static_cast<double>(totals.trace.cold_micros) / 1e3,
+                    totals.trace.speedup_cold,
+                    static_cast<double>(totals.trace.warm_micros) / 1e3,
+                    totals.trace.speedup_warm,
+                    static_cast<double>(totals.trace.hot_micros) / 1e3,
+                    totals.trace.speedup_hot,
+                    withCommas(totals.trace.events_total).c_str(),
+                    withCommas(totals.trace.trace_bytes_total).c_str());
 
     int64_t cache_errors = 0;
     for (const auto &[name, agg] : workloads)
