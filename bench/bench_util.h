@@ -4,10 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "exec/pool.h"
 #include "metrics/report.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
@@ -106,7 +109,7 @@ footer()
                   1e6;
     double speedup = wall > 0.0 ? busy / wall : 0.0;
     std::printf("[jobs=%d  busy %.2fs over %.2fs wall  ~%.2fx est. "
-                "speedup vs serial]\n\n",
+                "speedup vs serial]\n",
                 jobs, busy, wall, speedup);
 }
 
@@ -138,6 +141,67 @@ defaultLimits()
     vm::RunLimits limits;
     limits.max_instructions = 4'000'000'000ll;
     return limits;
+}
+
+/**
+ * The flags shared by every BENCH_*.json-emitting binary, parsed by
+ * parseAbFlags(): `--ab` (run the A/B comparison instead of the
+ * google-benchmark suite), `--min-speedup=X` (the pass/fail bar), and
+ * `--out=PATH` (where the JSON record goes). Unrecognized arguments
+ * land in `passthrough` (argv[0] first) for the framework behind.
+ */
+struct AbFlags
+{
+    bool ab = false;
+    double min_speedup = 1.0;
+    std::string out_path;
+    std::vector<char *> passthrough;
+};
+
+/** Parse the shared A/B flags out of argv (every binary had its own
+ *  copy of this loop before bench/characterize made it a fourth). */
+inline AbFlags
+parseAbFlags(int argc, char **argv, const char *default_out)
+{
+    AbFlags flags;
+    flags.out_path = default_out;
+    flags.passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ab") == 0) {
+            flags.ab = true;
+        } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+            flags.min_speedup = std::atof(argv[i] + 14);
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            flags.out_path = argv[i] + 6;
+        } else {
+            flags.passthrough.push_back(argv[i]);
+        }
+    }
+    return flags;
+}
+
+/**
+ * Write one flat bench record as @p out_path's single line and mirror
+ * it through the run-report sink so tools/obsreport picks it up
+ * alongside the ifprob.run.v1 stream. Returns false (after a stderr
+ * message) when the file cannot be written.
+ */
+inline bool
+emitBenchRecord(const std::string &out_path, const obs::JsonObject &json)
+{
+    const std::string line = json.str();
+    bool ok = true;
+    std::ofstream out(out_path);
+    if (out) {
+        out << line << "\n";
+        std::printf("\n  wrote %s\n", out_path.c_str());
+    } else {
+        std::fprintf(stderr, "bench: cannot write %s\n", out_path.c_str());
+        ok = false;
+    }
+    obs::enableRunReportsDefault("bench/out");
+    obs::ReportSink::global().writeLine(line);
+    return ok;
 }
 
 /** Format instructions-per-break values the way the paper's axes read. */

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * The branch observatory (docs/characterization.md): per-static-branch
+ * predictability fingerprints computed on the replay plane. One
+ * recorded trace per (workload, dataset) cell — served by
+ * Runner::traceOf — is replayed through a FingerprintBuilder, then
+ * merged into cross-dataset site summaries, a per-workload report
+ * scored on instructions-per-mispredict, and a ranked hard-branch
+ * table (mispredicts above the profile-optimal static choice).
+ *
+ * Output is bit-identical at any --jobs value: cells fingerprint in
+ * parallel into private slots and the merge runs serially in registry
+ * order, so CI byte-diffs the jobs=1 and jobs=4 runs.
+ *
+ * Flags: --workloads=a,b,c restricts the matrix (default: all 14),
+ * --top=N sizes the hard-branch table (default 10), --out=PATH moves
+ * BENCH_characterize.json. The JSON carries an "ifprob.characterize.v1"
+ * record with per-workload detail nested; flat per-workload lines are
+ * mirrored through the run-report sink for tools/obsreport.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "characterize/characterize.h"
+#include "harness/runner.h"
+#include "obs/json.h"
+#include "support/str.h"
+
+using namespace ifprob;
+
+namespace {
+
+/** Flat fields shared by the mirrored line and the nested detail. */
+obs::JsonObject
+workloadRecord(const characterize::WorkloadReport &r)
+{
+    int64_t rle_bytes = 0;
+    for (const characterize::SiteSummary &s : r.sites)
+        rle_bytes += s.rle_bytes;
+    obs::JsonObject json;
+    json.field("schema", "ifprob.characterize.v1")
+        .field("workload", r.workload)
+        .field("fortran_like", r.fortran_like)
+        .field("datasets", int64_t{r.datasets})
+        .field("static_sites", int64_t{r.static_sites})
+        .field("executed_sites", int64_t{r.executed_sites})
+        .field("instructions", r.instructions)
+        .field("branches", r.branches)
+        .field("taken", r.taken)
+        .field("best_static_loss", r.best_static_loss)
+        .field("pooled_static_loss", r.pooled_static_loss)
+        .field("flip_loss", r.pooled_static_loss - r.best_static_loss)
+        .field("instr_per_mispredict", r.instrPerMispredict())
+        .field("pooled_instr_per_mispredict",
+               r.pooledInstrPerMispredict())
+        .field("mean_h0", r.mean_h0)
+        .field("mean_h1", r.mean_h1)
+        .field("rle_bits_per_branch",
+               r.branches > 0 ? 8.0 * static_cast<double>(rle_bytes) /
+                                    static_cast<double>(r.branches)
+                              : 0.0)
+        .field("stable_branch_pct", r.stable_branch_pct)
+        .field("full_coverage_pct", r.full_coverage_pct);
+    return json;
+}
+
+/** The nested "hard" array of one workload's detail object. */
+std::string
+hardArray(const characterize::WorkloadReport &r)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < r.hard.size(); ++i) {
+        const characterize::HardBranch &hb = r.hard[i];
+        obs::JsonObject json;
+        json.field("site_id", int64_t{hb.site_id})
+            .field("where", hb.where)
+            .field("kind", hb.kind)
+            .field("executed", hb.executed)
+            .field("loss", hb.loss)
+            .field("loss_share", hb.loss_share)
+            .field("taken_pct", hb.taken_pct)
+            .field("h0", hb.h0)
+            .field("local8_pct", hb.local8_pct)
+            .field("global8_pct", hb.global8_pct)
+            .field("stability_pct", hb.stability_pct)
+            .field("datasets_executed", int64_t{hb.datasets_executed});
+        if (i > 0)
+            out += ",";
+        out += json.str();
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initJobs(argc, argv);
+    bench::AbFlags flags =
+        bench::parseAbFlags(argc, argv, "BENCH_characterize.json");
+
+    std::vector<std::string> names;
+    int top_n = 10;
+    for (size_t i = 1; i < flags.passthrough.size(); ++i) {
+        const char *arg = flags.passthrough[i];
+        if (std::strncmp(arg, "--workloads=", 12) == 0) {
+            for (const std::string &n : split(arg + 12, ','))
+                if (!n.empty())
+                    names.push_back(n);
+        } else if (std::strncmp(arg, "--top=", 6) == 0) {
+            top_n = std::atoi(arg + 6);
+        } else if (std::strcmp(arg, "--jobs") == 0 ||
+                   std::strcmp(arg, "-j") == 0) {
+            ++i; // value already consumed by initJobs
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0 ||
+                   std::strncmp(arg, "-j", 2) == 0) {
+            // consumed by initJobs
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N] [--workloads=a,b,c] "
+                         "[--top=N] [--out=PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    bench::heading(
+        "Branch observatory: per-branch predictability fingerprints",
+        "Fisher & Freudenberger 1992, §3 + Figure 3",
+        "Every static branch fingerprinted from recorded traces: taken "
+        "rate, direction-\nstream entropy (H0/H1 and an RLE size "
+        "proxy), run lengths, self- vs global-\nhistory correlation, "
+        "and cross-dataset stability. 'loss' is mispredicts above\nthe "
+        "profile-optimal static choice — the part no static predictor "
+        "recovers.");
+
+    harness::Runner runner;
+    std::vector<characterize::WorkloadReport> reports =
+        characterize::characterizeAll(runner, names, top_n);
+
+    metrics::TextTable summary;
+    summary.setHeader({"program", "type", "ds", "sites", "branches",
+                       "taken", "H0", "H1", "instr/mp", "pooled i/mp",
+                       "stable", "covered"});
+    for (const characterize::WorkloadReport &r : reports) {
+        summary.addRow(
+            {r.workload, r.fortran_like ? "FORT" : "C",
+             strPrintf("%d", r.datasets),
+             strPrintf("%d/%d", r.executed_sites, r.static_sites),
+             withCommas(r.branches),
+             strPrintf("%.1f%%",
+                       r.branches > 0
+                           ? 100.0 * static_cast<double>(r.taken) /
+                                 static_cast<double>(r.branches)
+                           : 0.0),
+             strPrintf("%.3f", r.mean_h0), strPrintf("%.3f", r.mean_h1),
+             bench::perBreak(r.instrPerMispredict()),
+             bench::perBreak(r.pooledInstrPerMispredict()),
+             strPrintf("%.1f%%", r.stable_branch_pct),
+             strPrintf("%.1f%%", r.full_coverage_pct)});
+    }
+    bench::emitTable("characterize_workloads", summary);
+
+    std::printf("Hard branches (top %d per program by loss = mispredicts "
+                "above the per-dataset\noptimal static direction):\n\n",
+                top_n);
+    metrics::TextTable hard;
+    hard.setHeader({"program", "where", "kind", "executed", "loss",
+                    "share", "taken", "H0", "loc8", "glob8", "stable",
+                    "ds"});
+    for (size_t ri = 0; ri < reports.size(); ++ri) {
+        if (ri > 0)
+            hard.addRule();
+        for (const characterize::HardBranch &hb : reports[ri].hard) {
+            hard.addRow({reports[ri].workload, hb.where, hb.kind,
+                         withCommas(hb.executed), withCommas(hb.loss),
+                         strPrintf("%.1f%%", 100.0 * hb.loss_share),
+                         strPrintf("%.1f%%", hb.taken_pct),
+                         strPrintf("%.3f", hb.h0),
+                         strPrintf("%.1f%%", hb.local8_pct),
+                         strPrintf("%.1f%%", hb.global8_pct),
+                         strPrintf("%.0f%%", hb.stability_pct),
+                         strPrintf("%d", hb.datasets_executed)});
+        }
+    }
+    bench::emitTable("characterize_hard", hard);
+
+    // The Figure 3 lens: how much of each workload's dynamic branch
+    // stream sits at sites every dataset reaches and agrees on.
+    std::printf("Cross-dataset stability ('stable' = branches at sites "
+                "whose majority direction\nevery dataset agrees on; "
+                "'covered' = branches at sites every dataset executes "
+                "—\n100%% minus this is the Figure 3 coverage-gap "
+                "exposure):\n\n");
+    for (const characterize::WorkloadReport &r : reports) {
+        std::printf("  %-10s stable %5.1f%%  covered %5.1f%%  flip loss "
+                    "%s mispredicts\n",
+                    r.workload.c_str(), r.stable_branch_pct,
+                    r.full_coverage_pct,
+                    withCommas(r.pooled_static_loss - r.best_static_loss)
+                        .c_str());
+    }
+    std::printf("\n");
+
+    // Mirror one flat per-workload record per line for obsreport ...
+    obs::enableRunReportsDefault("bench/out");
+    auto &sink = obs::ReportSink::global();
+    for (const characterize::WorkloadReport &r : reports) {
+        if (sink.enabled())
+            sink.writeLine(workloadRecord(r).str());
+    }
+
+    // ... and one nested rollup document as BENCH_characterize.json.
+    int64_t instructions = 0, branches = 0, taken = 0;
+    int64_t best_loss = 0, pooled_loss = 0, datasets = 0, sites = 0;
+    std::string detail = "[";
+    for (size_t i = 0; i < reports.size(); ++i) {
+        const characterize::WorkloadReport &r = reports[i];
+        instructions += r.instructions;
+        branches += r.branches;
+        taken += r.taken;
+        best_loss += r.best_static_loss;
+        pooled_loss += r.pooled_static_loss;
+        datasets += r.datasets;
+        sites += r.executed_sites;
+        obs::JsonObject w = workloadRecord(r);
+        w.fieldRaw("hard", hardArray(r));
+        if (i > 0)
+            detail += ",";
+        detail += w.str();
+    }
+    detail += "]";
+
+    obs::JsonObject json;
+    json.field("schema", "ifprob.characterize.v1")
+        .field("workloads", static_cast<int64_t>(reports.size()))
+        .field("datasets", datasets)
+        .field("sites", sites)
+        .field("instructions", instructions)
+        .field("branches", branches)
+        .field("taken", taken)
+        .field("best_static_loss", best_loss)
+        .field("pooled_static_loss", pooled_loss)
+        .field("instr_per_mispredict",
+               static_cast<double>(instructions) /
+                   static_cast<double>(std::max<int64_t>(best_loss, 1)))
+        .field("pooled_instr_per_mispredict",
+               static_cast<double>(instructions) /
+                   static_cast<double>(std::max<int64_t>(pooled_loss, 1)))
+        .fieldRaw("workloads_detail", detail);
+    if (!bench::emitBenchRecord(flags.out_path, json))
+        return 1;
+
+    bench::footer();
+    return 0;
+}

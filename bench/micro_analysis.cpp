@@ -23,11 +23,11 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "analysis/analysis_cache.h"
+#include "bench_util.h"
 #include "analysis/loo.h"
 #include "analysis/soa.h"
 #include "compiler/pipeline.h"
@@ -286,20 +286,8 @@ runAbMode(double min_speedup, const std::string &out_path)
                obs::counter("analysis.kernel_invocations").value())
         .field("pass", int64_t{ok ? 1 : 0});
 
-    const std::string line = json.str();
-    std::ofstream out(out_path);
-    if (out) {
-        out << line << "\n";
-        std::printf("\n  wrote %s\n", out_path.c_str());
-    } else {
-        std::fprintf(stderr, "micro_analysis: cannot write %s\n",
-                     out_path.c_str());
+    if (!bench::emitBenchRecord(out_path, json))
         return 1;
-    }
-    // Mirror through the run-report sink so obsreport picks the record
-    // up alongside the ifprob.run.v1 stream.
-    obs::enableRunReportsDefault("bench/out");
-    obs::ReportSink::global().writeLine(line);
 
     std::printf("  cold speedup %.2fx: %s\n", speedup_cold,
                 ok ? "PASS" : "FAIL");
@@ -311,28 +299,15 @@ runAbMode(double min_speedup, const std::string &out_path)
 int
 main(int argc, char **argv)
 {
-    bool ab = false;
-    double min_speedup = 1.0;
-    std::string out_path = "BENCH_analysis.json";
-    std::vector<char *> passthrough = {argv[0]};
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--ab") == 0) {
-            ab = true;
-        } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
-            min_speedup = std::atof(argv[i] + 14);
-        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-            out_path = argv[i] + 6;
-        } else {
-            passthrough.push_back(argv[i]);
-        }
-    }
-    if (ab)
-        return runAbMode(min_speedup, out_path);
+    ifprob::bench::AbFlags flags =
+        ifprob::bench::parseAbFlags(argc, argv, "BENCH_analysis.json");
+    if (flags.ab)
+        return runAbMode(flags.min_speedup, flags.out_path);
 
-    int bench_argc = static_cast<int>(passthrough.size());
-    benchmark::Initialize(&bench_argc, passthrough.data());
+    int bench_argc = static_cast<int>(flags.passthrough.size());
+    benchmark::Initialize(&bench_argc, flags.passthrough.data());
     if (benchmark::ReportUnrecognizedArguments(bench_argc,
-                                               passthrough.data()))
+                                               flags.passthrough.data()))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

@@ -1,0 +1,299 @@
+#include "characterize/characterize.h"
+
+#include <algorithm>
+
+#include "exec/pool.h"
+#include "isa/program.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/str.h"
+#include "workloads/workload.h"
+
+namespace ifprob::characterize {
+
+namespace {
+
+/** Index of k = 8 in kHistoryDepths (the deepest probe, reported in
+ *  the hard-branch table). */
+constexpr size_t kDepth8 = kHistoryDepths.size() - 1;
+static_assert(kHistoryDepths[kDepth8] == 8);
+
+/** Pooled per-site direction counts (assemble pass 1 scratch). */
+struct BranchCountsPooled
+{
+    int64_t executed = 0;
+    int64_t taken = 0;
+};
+
+/**
+ * Merge one workload's per-dataset fingerprints into site summaries
+ * and roll-ups. Serial, in dataset order, so the result — floating
+ * point included — is independent of how the fingerprints were
+ * computed (any job count, any schedule).
+ */
+WorkloadReport
+assemble(const isa::Program &program, const workloads::Workload &workload,
+         std::vector<DatasetFingerprint> per_dataset, int top_n)
+{
+    WorkloadReport report;
+    report.workload = workload.name;
+    report.fortran_like = workload.fortran_like;
+    report.datasets = static_cast<int>(per_dataset.size());
+    report.static_sites = static_cast<int>(program.branch_sites.size());
+
+    // Pass 1: pooled per-site direction counts decide the cross-dataset
+    // majority each dataset is compared against.
+    std::vector<BranchCountsPooled> pooled(program.branch_sites.size());
+    for (const DatasetFingerprint &df : per_dataset) {
+        for (const BranchFingerprint &fp : df.sites) {
+            pooled[static_cast<size_t>(fp.site_id)].executed += fp.executed;
+            pooled[static_cast<size_t>(fp.site_id)].taken += fp.taken;
+        }
+    }
+
+    // Pass 2: per-site summaries, dataset-major accumulation order.
+    std::vector<SiteSummary> sites(program.branch_sites.size());
+    for (const DatasetFingerprint &df : per_dataset) {
+        report.instructions += df.instructions;
+        report.branches += df.branches;
+        for (const BranchFingerprint &fp : df.sites) {
+            SiteSummary &s = sites[static_cast<size_t>(fp.site_id)];
+            s.site_id = fp.site_id;
+            ++s.datasets_executed;
+            s.executed += fp.executed;
+            s.taken += fp.taken;
+            s.best_static_loss += fp.bestStaticLoss();
+            const bool pooled_taken =
+                2 * pooled[static_cast<size_t>(fp.site_id)].taken >=
+                pooled[static_cast<size_t>(fp.site_id)].executed;
+            s.pooled_static_loss +=
+                pooled_taken ? fp.executed - fp.taken : fp.taken;
+            const bool dataset_taken = 2 * fp.taken >= fp.executed;
+            if (dataset_taken == pooled_taken)
+                ++s.datasets_agreeing;
+            s.h0_weighted +=
+                static_cast<double>(fp.executed) * fp.entropyH0();
+            s.h1_weighted +=
+                static_cast<double>(fp.executed) * fp.entropyH1();
+            s.rle_bytes += fp.rle_bytes;
+            s.local8_correct += fp.local_correct[kDepth8];
+            s.global8_correct += fp.global_correct[kDepth8];
+            s.runs.merge(fp.runs);
+        }
+    }
+
+    int64_t stable_branches = 0;
+    int64_t full_coverage_branches = 0;
+    for (const SiteSummary &s : sites) {
+        if (s.datasets_executed == 0)
+            continue;
+        ++report.executed_sites;
+        report.taken += s.taken;
+        report.best_static_loss += s.best_static_loss;
+        report.pooled_static_loss += s.pooled_static_loss;
+        report.mean_h0 += s.h0_weighted;
+        report.mean_h1 += s.h1_weighted;
+        if (s.datasets_agreeing == s.datasets_executed)
+            stable_branches += s.executed;
+        if (s.datasets_executed == report.datasets)
+            full_coverage_branches += s.executed;
+    }
+    if (report.branches > 0) {
+        report.mean_h0 /= static_cast<double>(report.branches);
+        report.mean_h1 /= static_cast<double>(report.branches);
+        report.stable_branch_pct = 100.0 *
+                                   static_cast<double>(stable_branches) /
+                                   static_cast<double>(report.branches);
+        report.full_coverage_pct =
+            100.0 * static_cast<double>(full_coverage_branches) /
+            static_cast<double>(report.branches);
+    }
+
+    // The ranked hard-branch table: loss descending, site id ascending.
+    std::vector<const SiteSummary *> ranked;
+    for (const SiteSummary &s : sites) {
+        if (s.datasets_executed > 0)
+            ranked.push_back(&s);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const SiteSummary *a, const SiteSummary *b) {
+                  if (a->best_static_loss != b->best_static_loss)
+                      return a->best_static_loss > b->best_static_loss;
+                  return a->site_id < b->site_id;
+              });
+    if (top_n >= 0 && ranked.size() > static_cast<size_t>(top_n))
+        ranked.resize(static_cast<size_t>(top_n));
+    for (const SiteSummary *s : ranked) {
+        const isa::BranchSite &site =
+            program.branch_sites[static_cast<size_t>(s->site_id)];
+        HardBranch hb;
+        hb.site_id = s->site_id;
+        const char *function =
+            site.function >= 0 &&
+                    static_cast<size_t>(site.function) <
+                        program.functions.size()
+                ? program.functions[static_cast<size_t>(site.function)]
+                      .name.c_str()
+                : "?";
+        hb.where = strPrintf("%s:%d", function, site.line);
+        hb.kind = std::string(isa::branchKindName(site.kind));
+        hb.executed = s->executed;
+        hb.loss = s->best_static_loss;
+        hb.loss_share = report.best_static_loss > 0
+                            ? static_cast<double>(s->best_static_loss) /
+                                  static_cast<double>(
+                                      report.best_static_loss)
+                            : 0.0;
+        hb.taken_pct = s->executed > 0
+                           ? 100.0 * static_cast<double>(s->taken) /
+                                 static_cast<double>(s->executed)
+                           : 0.0;
+        hb.h0 = s->executed > 0
+                    ? s->h0_weighted / static_cast<double>(s->executed)
+                    : 0.0;
+        hb.local8_pct =
+            s->executed > 0
+                ? 100.0 * static_cast<double>(s->local8_correct) /
+                      static_cast<double>(s->executed)
+                : 0.0;
+        hb.global8_pct =
+            s->executed > 0
+                ? 100.0 * static_cast<double>(s->global8_correct) /
+                      static_cast<double>(s->executed)
+                : 0.0;
+        hb.stability_pct = s->stabilityPct();
+        hb.datasets_executed = s->datasets_executed;
+        report.hard.push_back(std::move(hb));
+    }
+
+    // Keep only executed sites in the summary vector (dense, ordered).
+    for (SiteSummary &s : sites) {
+        if (s.datasets_executed > 0)
+            report.sites.push_back(std::move(s));
+    }
+    report.dataset_fingerprints = std::move(per_dataset);
+
+    obs::counter("characterize.workloads").add();
+    obs::counter("characterize.sites").add(report.executed_sites);
+    return report;
+}
+
+} // namespace
+
+double
+SiteSummary::stabilityPct() const
+{
+    if (datasets_executed <= 0)
+        return 100.0;
+    return 100.0 * static_cast<double>(datasets_agreeing) /
+           static_cast<double>(datasets_executed);
+}
+
+double
+WorkloadReport::instrPerMispredict() const
+{
+    return static_cast<double>(instructions) /
+           static_cast<double>(std::max<int64_t>(best_static_loss, 1));
+}
+
+double
+WorkloadReport::pooledInstrPerMispredict() const
+{
+    return static_cast<double>(instructions) /
+           static_cast<double>(std::max<int64_t>(pooled_static_loss, 1));
+}
+
+DatasetFingerprint
+fingerprintTrace(const trace::Trace &trace, size_t num_sites)
+{
+    const int64_t t0 = obs::nowMicros();
+    DatasetFingerprint df;
+    df.dataset = trace.dataset;
+    df.instructions = trace.stats.instructions;
+    df.branches = trace.branch_events;
+    FingerprintBuilder builder(num_sites);
+    trace::replay(trace, builder);
+    df.sites = std::move(builder).take();
+    obs::counter("characterize.datasets").add();
+    obs::counter("characterize.branch_events").add(trace.branch_events);
+    obs::counter("characterize.micros").add(obs::nowMicros() - t0);
+    return df;
+}
+
+WorkloadReport
+characterizeWorkload(harness::Runner &runner, const std::string &workload,
+                     int top_n)
+{
+    std::vector<WorkloadReport> reports =
+        characterizeAll(runner, {workload}, top_n);
+    return std::move(reports.front());
+}
+
+std::vector<WorkloadReport>
+characterizeAll(harness::Runner &runner,
+                const std::vector<std::string> &names, int top_n)
+{
+    // Select workloads in registry order regardless of name order.
+    std::vector<const workloads::Workload *> selected;
+    for (const workloads::Workload &w : workloads::all()) {
+        if (names.empty() ||
+            std::find(names.begin(), names.end(), w.name) != names.end())
+            selected.push_back(&w);
+    }
+    for (const std::string &name : names)
+        workloads::get(name); // throw on unknown names, with context
+
+    // One pool job per (workload, dataset) cell: record-or-load the
+    // trace, replay it through a FingerprintBuilder. Each cell writes
+    // only its own slot, so the fan-out is schedule-independent.
+    struct Cell
+    {
+        const workloads::Workload *workload;
+        size_t dataset;
+        size_t slot;
+    };
+    std::vector<Cell> cells;
+    std::vector<std::vector<DatasetFingerprint>> fingerprints(
+        selected.size());
+    for (size_t wi = 0; wi < selected.size(); ++wi) {
+        fingerprints[wi].resize(selected[wi]->datasets.size());
+        for (size_t di = 0; di < selected[wi]->datasets.size(); ++di)
+            cells.push_back(Cell{selected[wi], di, wi});
+    }
+    // Compile every image first: cells of one workload share the
+    // compile-once slot anyway, and the site count must exist before
+    // the fan-out reads it.
+    std::vector<size_t> num_sites(selected.size());
+    for (size_t wi = 0; wi < selected.size(); ++wi)
+        num_sites[wi] =
+            runner.program(selected[wi]->name).branch_sites.size();
+
+    exec::parallelFor(
+        exec::globalPool(), cells.size(), [&](size_t i) {
+            const Cell &cell = cells[i];
+            const trace::Trace &trace = runner.traceOf(
+                cell.workload->name,
+                cell.workload->datasets[cell.dataset].name);
+            fingerprints[cell.slot][cell.dataset] =
+                fingerprintTrace(trace, num_sites[cell.slot]);
+        });
+
+    std::vector<WorkloadReport> reports;
+    reports.reserve(selected.size());
+    for (size_t wi = 0; wi < selected.size(); ++wi) {
+        obs::ScopedSpan span("characterize.workload", "characterize");
+        if (span.active())
+            span.arg("workload", selected[wi]->name);
+        reports.push_back(assemble(runner.program(selected[wi]->name),
+                                   *selected[wi],
+                                   std::move(fingerprints[wi]), top_n));
+        if (span.active()) {
+            span.arg("sites",
+                     static_cast<int64_t>(reports.back().executed_sites));
+            span.arg("branches", reports.back().branches);
+        }
+    }
+    return reports;
+}
+
+} // namespace ifprob::characterize

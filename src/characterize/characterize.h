@@ -1,0 +1,157 @@
+#ifndef IFPROB_CHARACTERIZE_CHARACTERIZE_H
+#define IFPROB_CHARACTERIZE_CHARACTERIZE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "characterize/fingerprint.h"
+#include "harness/runner.h"
+#include "trace/trace.h"
+
+namespace ifprob::characterize {
+
+/**
+ * Workload-level characterization reports (docs/characterization.md):
+ * per-branch fingerprints for every dataset of a workload, merged into
+ * cross-dataset site summaries and a ranked hard-branch table, scored
+ * on the paper's instructions-per-mispredict currency. All of it is
+ * replay-plane compute over Runner::traceOf recordings — record once,
+ * fingerprint every branch at memory speed, embarrassingly parallel
+ * over exec::Pool.
+ */
+
+/** Every site fingerprint of one (workload, dataset) stream. */
+struct DatasetFingerprint
+{
+    std::string dataset;
+    int64_t instructions = 0;
+    int64_t branches = 0; ///< conditional branch events in the stream
+    /** Sites that executed at least once, ascending site id. */
+    std::vector<BranchFingerprint> sites;
+};
+
+/**
+ * One static branch site merged across a workload's datasets — the
+ * cross-dataset stability view. "Agreement" compares each dataset's
+ * majority direction with the pooled (count-weighted) majority: a site
+ * whose datasets disagree is exactly the kind that makes the paper's
+ * Figure 3 worst-case predictors collapse.
+ */
+struct SiteSummary
+{
+    int site_id = -1;
+    int datasets_executed = 0;
+    /** Datasets whose own majority direction matches the pooled one. */
+    int datasets_agreeing = 0;
+
+    int64_t executed = 0;
+    int64_t taken = 0;
+    /** Sum over datasets of that dataset's min(taken, not taken):
+     *  mispredicts under per-dataset-optimal static directions. */
+    int64_t best_static_loss = 0;
+    /** Mispredicts when every dataset is predicted with the single
+     *  pooled majority direction (the cross-dataset static choice). */
+    int64_t pooled_static_loss = 0;
+
+    /** Execution-weighted entropy sums (divide by executed to read). */
+    double h0_weighted = 0.0;
+    double h1_weighted = 0.0;
+    int64_t rle_bytes = 0;
+    /** Last-k history agreement at k = 8, summed over datasets. */
+    int64_t local8_correct = 0;
+    int64_t global8_correct = 0;
+    ilp::RunLengthHist runs;
+
+    /** Percent of executing datasets agreeing with the pooled
+     *  direction; 100 for single-dataset sites. */
+    double stabilityPct() const;
+    /** Extra mispredicts the direction disagreement costs: pooled
+     *  minus per-dataset-optimal loss. >= 0. */
+    int64_t flipLoss() const { return pooled_static_loss - best_static_loss; }
+};
+
+/** One row of the ranked hard-branch table. */
+struct HardBranch
+{
+    int site_id = -1;
+    std::string where; ///< "function:line"
+    std::string kind;  ///< isa::branchKindName
+    int64_t executed = 0;
+    int64_t loss = 0;       ///< best_static_loss, the ranking key
+    double loss_share = 0.0; ///< loss / workload best_static_loss
+    double taken_pct = 0.0;
+    double h0 = 0.0;
+    double local8_pct = 0.0;
+    double global8_pct = 0.0;
+    double stability_pct = 0.0;
+    int datasets_executed = 0;
+};
+
+/** One workload's full characterization. */
+struct WorkloadReport
+{
+    std::string workload;
+    bool fortran_like = false;
+    int datasets = 0;
+    int static_sites = 0;
+    int executed_sites = 0; ///< union over datasets
+
+    int64_t instructions = 0;
+    int64_t branches = 0;
+    int64_t taken = 0;
+    int64_t best_static_loss = 0;
+    int64_t pooled_static_loss = 0;
+
+    /** Execution-weighted mean direction-stream entropies. */
+    double mean_h0 = 0.0;
+    double mean_h1 = 0.0;
+    /** Percent of dynamic branches at sites every dataset agrees on. */
+    double stable_branch_pct = 0.0;
+    /** Percent of dynamic branches at sites every dataset executes —
+     *  100 minus this is the Figure 3 coverage-gap exposure. */
+    double full_coverage_pct = 0.0;
+
+    std::vector<DatasetFingerprint> dataset_fingerprints;
+    /** Cross-dataset site summaries, ascending site id. */
+    std::vector<SiteSummary> sites;
+    /** Top-N sites by best-static loss (descending; site id breaks
+     *  ties), with source locations resolved. */
+    std::vector<HardBranch> hard;
+
+    /** The paper's currency under per-dataset-optimal static
+     *  prediction: instructions / max(1, best_static_loss). */
+    double instrPerMispredict() const;
+    /** Same under the single pooled direction — the cross-dataset
+     *  static predictor's currency. */
+    double pooledInstrPerMispredict() const;
+};
+
+/** Fingerprint one recorded stream (pure function of the trace). */
+DatasetFingerprint fingerprintTrace(const trace::Trace &trace,
+                                    size_t num_sites);
+
+/**
+ * Characterize @p workload over all its datasets. Traces come from
+ * Runner::traceOf (recorded or cache-served once, then replayed);
+ * datasets fingerprint in parallel on the global exec::Pool. The
+ * result is bit-identical at any job count: every per-dataset
+ * fingerprint is independent, and the merge runs serially in registry
+ * dataset order.
+ */
+WorkloadReport characterizeWorkload(harness::Runner &runner,
+                                    const std::string &workload,
+                                    int top_n = 10);
+
+/**
+ * Characterize several workloads (all of them when @p names is empty),
+ * fanning every (workload, dataset) cell out on the global pool.
+ * Reports come back in registry order.
+ */
+std::vector<WorkloadReport>
+characterizeAll(harness::Runner &runner,
+                const std::vector<std::string> &names = {}, int top_n = 10);
+
+} // namespace ifprob::characterize
+
+#endif // IFPROB_CHARACTERIZE_CHARACTERIZE_H

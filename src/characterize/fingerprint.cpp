@@ -1,0 +1,220 @@
+#include "characterize/fingerprint.h"
+
+#include <cmath>
+
+namespace ifprob::characterize {
+
+namespace {
+
+/** H(p) in bits; 0 at the endpoints (0 log 0 == 0). */
+double
+bernoulliEntropy(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        return 0.0;
+    return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+/** Bytes LEB128 needs for @p v (the Recorder's varint width rule). */
+int64_t
+varintBytes(uint64_t v)
+{
+    int64_t n = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+/** Total entries of one per-site predictor table set: sum of 2^k. */
+constexpr size_t
+tableEntries()
+{
+    size_t n = 0;
+    for (int k : kHistoryDepths)
+        n += size_t{1} << k;
+    return n;
+}
+
+/** Offset of depth @p di's table inside the flat entry array. */
+constexpr size_t
+tableOffset(size_t di)
+{
+    size_t off = 0;
+    for (size_t i = 0; i < di; ++i)
+        off += size_t{1} << kHistoryDepths[i];
+    return off;
+}
+
+} // namespace
+
+double
+BranchFingerprint::takenRate() const
+{
+    if (executed <= 0)
+        return 0.0;
+    return static_cast<double>(taken) / static_cast<double>(executed);
+}
+
+double
+BranchFingerprint::entropyH0() const
+{
+    return bernoulliEntropy(takenRate());
+}
+
+double
+BranchFingerprint::entropyH1() const
+{
+    const int64_t total = transitions[0][0] + transitions[0][1] +
+                          transitions[1][0] + transitions[1][1];
+    if (total <= 0)
+        return 0.0;
+    double h = 0.0;
+    for (int prev = 0; prev < 2; ++prev) {
+        const int64_t n = transitions[prev][0] + transitions[prev][1];
+        if (n <= 0)
+            continue;
+        const double p_taken = static_cast<double>(transitions[prev][1]) /
+                               static_cast<double>(n);
+        h += static_cast<double>(n) / static_cast<double>(total) *
+             bernoulliEntropy(p_taken);
+    }
+    return h;
+}
+
+double
+BranchFingerprint::rleBitsPerBranch() const
+{
+    if (executed <= 0)
+        return 0.0;
+    return 8.0 * static_cast<double>(rle_bytes) /
+           static_cast<double>(executed);
+}
+
+int64_t
+BranchFingerprint::bestStaticLoss() const
+{
+    const int64_t not_taken = executed - taken;
+    return taken < not_taken ? taken : not_taken;
+}
+
+double
+BranchFingerprint::localAgreement(size_t depth_index) const
+{
+    if (executed <= 0)
+        return 100.0;
+    return 100.0 * static_cast<double>(local_correct[depth_index]) /
+           static_cast<double>(executed);
+}
+
+double
+BranchFingerprint::globalAgreement(size_t depth_index) const
+{
+    if (executed <= 0)
+        return 100.0;
+    return 100.0 * static_cast<double>(global_correct[depth_index]) /
+           static_cast<double>(executed);
+}
+
+/**
+ * Per-site accumulator. The local/global predictor tables are 2-bit
+ * saturating counters starting weakly not-taken (the TwoBitPredictor
+ * convention), one flat array per history kind with the four depths'
+ * tables packed back to back.
+ */
+struct FingerprintBuilder::SiteState
+{
+    BranchFingerprint fp;
+    int8_t prev = -1;        ///< -1 = not executed yet
+    int64_t current_run = 0; ///< open same-direction streak
+    uint32_t local_history = 0;
+    std::array<uint8_t, tableEntries()> local_table;
+    std::array<uint8_t, tableEntries()> global_table;
+
+    SiteState()
+    {
+        local_table.fill(1);
+        global_table.fill(1);
+    }
+};
+
+FingerprintBuilder::FingerprintBuilder(size_t num_sites)
+    : sites_(num_sites)
+{
+    for (size_t i = 0; i < sites_.size(); ++i)
+        sites_[i].fp.site_id = static_cast<int>(i);
+}
+
+FingerprintBuilder::~FingerprintBuilder() = default;
+
+void
+FingerprintBuilder::onBranch(int site_id, bool taken,
+                             int64_t /*instructions*/)
+{
+    if (site_id < 0 || static_cast<size_t>(site_id) >= sites_.size())
+        return;
+    SiteState &s = sites_[static_cast<size_t>(site_id)];
+    BranchFingerprint &fp = s.fp;
+
+    // The history probes predict *before* seeing the outcome.
+    for (size_t di = 0; di < kHistoryDepths.size(); ++di) {
+        const uint32_t mask =
+            (1u << kHistoryDepths[di]) - 1; // k <= 8 < 31 bits
+        const size_t off = tableOffset(di);
+        uint8_t &local = s.local_table[off + (s.local_history & mask)];
+        uint8_t &global = s.global_table[off + (global_history_ & mask)];
+        if ((local >= 2) == taken)
+            ++fp.local_correct[di];
+        if ((global >= 2) == taken)
+            ++fp.global_correct[di];
+        if (taken) {
+            if (local < 3)
+                ++local;
+            if (global < 3)
+                ++global;
+        } else {
+            if (local > 0)
+                --local;
+            if (global > 0)
+                --global;
+        }
+    }
+
+    ++fp.executed;
+    if (taken)
+        ++fp.taken;
+    if (s.prev >= 0) {
+        ++fp.transitions[s.prev][taken ? 1 : 0];
+        if ((s.prev != 0) == taken) {
+            ++s.current_run;
+        } else {
+            fp.runs.add(s.current_run);
+            fp.rle_bytes +=
+                varintBytes(static_cast<uint64_t>(s.current_run));
+            s.current_run = 1;
+        }
+    } else {
+        s.current_run = 1;
+    }
+    s.prev = taken ? 1 : 0;
+    s.local_history = (s.local_history << 1) | (taken ? 1u : 0u);
+    global_history_ = (global_history_ << 1) | (taken ? 1u : 0u);
+}
+
+std::vector<BranchFingerprint>
+FingerprintBuilder::take() &&
+{
+    std::vector<BranchFingerprint> out;
+    for (SiteState &s : sites_) {
+        if (s.fp.executed == 0)
+            continue;
+        // Close the still-open streak so runs cover the whole stream.
+        s.fp.runs.add(s.current_run);
+        s.fp.rle_bytes += varintBytes(static_cast<uint64_t>(s.current_run));
+        out.push_back(s.fp);
+    }
+    return out;
+}
+
+} // namespace ifprob::characterize

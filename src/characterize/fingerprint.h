@@ -1,0 +1,129 @@
+#ifndef IFPROB_CHARACTERIZE_FINGERPRINT_H
+#define IFPROB_CHARACTERIZE_FINGERPRINT_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ilp/runlength.h"
+#include "vm/observer.h"
+
+namespace ifprob::characterize {
+
+/**
+ * Per-static-branch predictability fingerprints (docs/characterization.md).
+ *
+ * The paper reports *aggregate* mispredict rates; this module asks the
+ * per-branch question the later characterization literature formalized
+ * ("Workload Characterization for Branch Predictability", "Branch
+ * Prediction Is Not a Solved Problem" — PAPERS.md): which static
+ * branches make fpppp easy and li hard, and which ones break
+ * cross-dataset profile prediction. Everything here is pure replay-plane
+ * compute: a FingerprintBuilder consumes one recorded trace::Trace
+ * through the BranchObserver interface and accumulates, per static site,
+ *
+ *  - taken counts (-> taken rate and the Bernoulli entropy H0),
+ *  - direction transition counts (-> the order-1 conditional entropy H1,
+ *    i.e. how much knowing the previous direction helps),
+ *  - same-direction run lengths (ilp::RunLengthHist — the per-branch
+ *    analogue of the paper's instructions-between-breaks distribution),
+ *  - an RLE compressed-size proxy (varint-encoded run lengths, in
+ *    bits/branch: low for streaky streams even when H0 is high),
+ *  - agreement of a per-branch last-k history table vs a shared global
+ *    history register, k in {1,2,4,8} (self-correlated vs neighbor-
+ *    correlated branches — the axis TAGE/gshare exploit),
+ *  - the best-static loss: mispredicts remaining under the
+ *    profile-optimal static direction, min(taken, not taken) — the
+ *    site's contribution to the gap between the paper's scheme and
+ *    perfect prediction.
+ */
+
+/** History depths probed by the local/global agreement tables. */
+inline constexpr std::array<int, 4> kHistoryDepths = {1, 2, 4, 8};
+
+/** One static branch site's fingerprint over one direction stream. */
+struct BranchFingerprint
+{
+    int site_id = -1;
+    int64_t executed = 0;
+    int64_t taken = 0;
+
+    /** Direction transition counts: transitions[prev][next], counted
+     *  from the site's second execution onward. */
+    std::array<std::array<int64_t, 2>, 2> transitions{};
+
+    /** Same-direction streak lengths (a run ends when the direction
+     *  flips; the final, still-open streak is included). */
+    ilp::RunLengthHist runs;
+
+    /** Bytes of the LEB128-encoded run-length stream (the
+     *  compressed-size proxy's numerator). */
+    int64_t rle_bytes = 0;
+
+    /** Correct predictions of a per-site table indexed by the site's
+     *  own last-k directions, one entry per kHistoryDepths. */
+    std::array<int64_t, kHistoryDepths.size()> local_correct{};
+    /** Same, for a per-site table indexed by the last k directions of
+     *  *all* branches (a shared global history register). */
+    std::array<int64_t, kHistoryDepths.size()> global_correct{};
+
+    double takenRate() const;
+
+    /** Order-0 (Bernoulli) entropy of the direction stream, bits/branch. */
+    double entropyH0() const;
+
+    /** Order-1 entropy: H(direction | previous direction), bits/branch.
+     *  0 when the site executed fewer than twice. */
+    double entropyH1() const;
+
+    /** Compressed-size proxy: 8 * rle_bytes / executed, bits/branch.
+     *  Near 0 for streaky streams, approaches 8 for alternating ones
+     *  (every branch starts a fresh one-byte run). */
+    double rleBitsPerBranch() const;
+
+    /** Mispredicts under the profile-optimal static direction:
+     *  min(taken, executed - taken). */
+    int64_t bestStaticLoss() const;
+
+    /** Percent of branches the last-k local-history table got right. */
+    double localAgreement(size_t depth_index) const;
+    /** Percent the shared-global-history table got right. */
+    double globalAgreement(size_t depth_index) const;
+};
+
+/**
+ * The replay-plane observer that builds fingerprints for every site of
+ * one (program, dataset) stream. Attach to trace::replay (or a live
+ * Machine::run); then take() the per-site fingerprints.
+ *
+ * State per site is O(1): counters, a 32-bucket run histogram, and
+ * 2-bit saturating predictor tables of 2 + 4 + 16 + 256 entries for the
+ * local and global history probes (~0.6 KiB per site), so a builder per
+ * (workload, dataset) cell is cheap enough to fan out across the pool.
+ */
+class FingerprintBuilder : public vm::BranchObserver
+{
+  public:
+    /** @p num_sites: the program's static site count
+     *  (program.branch_sites.size()); events outside it are ignored. */
+    explicit FingerprintBuilder(size_t num_sites);
+    ~FingerprintBuilder(); // out of line: SiteState is private/incomplete
+
+    void onBranch(int site_id, bool taken, int64_t instructions) override;
+
+    /**
+     * Finalize (closes each site's open streak) and return fingerprints
+     * for every site that executed at least once, ordered by site id.
+     */
+    std::vector<BranchFingerprint> take() &&;
+
+  private:
+    struct SiteState;
+    std::vector<SiteState> sites_;
+    uint32_t global_history_ = 0;
+};
+
+} // namespace ifprob::characterize
+
+#endif // IFPROB_CHARACTERIZE_FINGERPRINT_H

@@ -6,6 +6,55 @@
 
 namespace ifprob::ilp {
 
+void
+RunLengthHist::add(int64_t run)
+{
+    if (run <= 0)
+        return;
+    ++count;
+    sum += run;
+    if (run > max)
+        max = run;
+    int bucket = std::bit_width(static_cast<uint64_t>(run)) - 1;
+    if (bucket > 31)
+        bucket = 31;
+    ++histogram[static_cast<size_t>(bucket)];
+}
+
+void
+RunLengthHist::merge(const RunLengthHist &other)
+{
+    count += other.count;
+    sum += other.sum;
+    if (other.max > max)
+        max = other.max;
+    for (size_t i = 0; i < histogram.size(); ++i)
+        histogram[i] += other.histogram[i];
+}
+
+double
+RunLengthHist::mean() const
+{
+    if (count <= 0)
+        return 0.0;
+    return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+int64_t
+RunLengthHist::percentileUpperBound(double p) const
+{
+    if (count <= 0)
+        return 0;
+    const double target = p / 100.0 * static_cast<double>(count);
+    int64_t seen = 0;
+    for (size_t i = 0; i < histogram.size(); ++i) {
+        seen += histogram[i];
+        if (static_cast<double>(seen) >= target && histogram[i] > 0)
+            return (int64_t{1} << (i + 1)) - 1;
+    }
+    return (int64_t{1} << 32) - 1; // unreachable when counts are consistent
+}
+
 double
 RunLengthSummary::fractionInRunsAtLeast(int64_t min_len) const
 {
@@ -31,14 +80,13 @@ RunLengthAnalyzer::summary(int64_t total_instructions) &&
     std::sort(s.runs.begin(), s.runs.end());
     s.breaks = static_cast<int64_t>(s.runs.size());
     double log_sum = 0.0;
+    RunLengthHist hist;
     for (int64_t run : s.runs) {
         s.instructions += run;
         log_sum += std::log(static_cast<double>(run));
-        int bucket = std::bit_width(static_cast<uint64_t>(run)) - 1;
-        if (bucket > 31)
-            bucket = 31;
-        ++s.histogram[static_cast<size_t>(bucket)];
+        hist.add(run);
     }
+    s.histogram = hist.histogram;
     if (s.breaks > 0) {
         s.mean = static_cast<double>(s.instructions) /
                  static_cast<double>(s.breaks);

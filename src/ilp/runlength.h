@@ -11,6 +11,37 @@
 namespace ifprob::ilp {
 
 /**
+ * Bounded-memory run-length distribution: count/sum/max plus the
+ * power-of-two histogram (bucket b counts runs in [2^b, 2^(b+1))).
+ * This is the piece of RunLengthSummary that does not require keeping
+ * every raw run, so consumers that track one distribution *per branch
+ * site* (src/characterize/) can afford thousands of them: 32 buckets
+ * and three scalars, mergeable across datasets.
+ */
+struct RunLengthHist
+{
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t max = 0;
+    std::array<int64_t, 32> histogram{};
+
+    /** Record one run of @p run instructions/events (ignored if <= 0). */
+    void add(int64_t run);
+
+    /** Fold another distribution in (cross-dataset roll-ups). */
+    void merge(const RunLengthHist &other);
+
+    double mean() const;
+
+    /**
+     * Inclusive upper bound of the bucket containing the p-th
+     * percentile (p in [0, 100]); 0 when empty. Bucket resolution, not
+     * an exact order statistic — the price of not keeping raw runs.
+     */
+    int64_t percentileUpperBound(double p) const;
+};
+
+/**
  * Distribution of run lengths between breaks in control.
  *
  * The paper points out (§3, "ILP compilers will get larger candidate

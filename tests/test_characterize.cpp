@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the branch observatory (src/characterize/): fingerprint
+ * math on hand-checked direction streams (entropies, run lengths, RLE
+ * proxy, best-static loss, local-vs-global history agreement),
+ * RunLengthHist bucket/merge behaviour, SiteSummary stability
+ * accounting, and replay determinism — the property the CI byte-diff
+ * of bench/characterize at different job counts rests on.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "characterize/characterize.h"
+#include "characterize/fingerprint.h"
+#include "compiler/pipeline.h"
+#include "ilp/runlength.h"
+#include "trace/trace.h"
+#include "vm/machine.h"
+
+namespace ifprob::characterize {
+namespace {
+
+/** Drive one site with a direction pattern and return its fingerprint. */
+BranchFingerprint
+fingerprintOf(const std::vector<bool> &stream)
+{
+    FingerprintBuilder builder(1);
+    for (bool taken : stream)
+        builder.onBranch(0, taken, 0);
+    auto sites = std::move(builder).take();
+    EXPECT_EQ(sites.size(), 1u);
+    return sites.front();
+}
+
+TEST(CharacterizeFingerprint, CountsAndBestStaticLoss)
+{
+    // T T T T T N N N: majority taken, so the optimal static direction
+    // is "taken" and the loss is the 3 not-taken executions.
+    auto fp = fingerprintOf({true, true, true, true, true, false, false,
+                             false});
+    EXPECT_EQ(fp.executed, 8);
+    EXPECT_EQ(fp.taken, 5);
+    EXPECT_DOUBLE_EQ(fp.takenRate(), 5.0 / 8.0);
+    EXPECT_EQ(fp.bestStaticLoss(), 3);
+}
+
+TEST(CharacterizeFingerprint, EntropyH0)
+{
+    // 50/50 stream: H0 = 1 bit exactly.
+    auto balanced = fingerprintOf({true, false, true, false});
+    EXPECT_DOUBLE_EQ(balanced.entropyH0(), 1.0);
+
+    // Constant stream: H0 = 0 (0 log 0 convention).
+    auto constant = fingerprintOf({true, true, true, true});
+    EXPECT_DOUBLE_EQ(constant.entropyH0(), 0.0);
+
+    // p = 1/4: H(1/4) = 2 - (3/4) log2 3 ~ 0.8113.
+    auto biased = fingerprintOf({true, false, false, false});
+    EXPECT_NEAR(biased.entropyH0(), 0.811278, 1e-6);
+}
+
+TEST(CharacterizeFingerprint, EntropyH1SeesStructureH0Misses)
+{
+    // Strict alternation: H0 = 1 bit (50/50), but knowing the previous
+    // direction determines the next one, so H1 = 0.
+    std::vector<bool> alternating;
+    for (int i = 0; i < 64; ++i)
+        alternating.push_back(i % 2 == 0);
+    auto fp = fingerprintOf(alternating);
+    EXPECT_DOUBLE_EQ(fp.entropyH0(), 1.0);
+    EXPECT_DOUBLE_EQ(fp.entropyH1(), 0.0);
+    // Transitions: 63 of them, all direction flips.
+    EXPECT_EQ(fp.transitions[0][1] + fp.transitions[1][0], 63);
+    EXPECT_EQ(fp.transitions[0][0] + fp.transitions[1][1], 0);
+
+    // Single execution: no transitions, H1 defined as 0.
+    auto single = fingerprintOf({true});
+    EXPECT_DOUBLE_EQ(single.entropyH1(), 0.0);
+}
+
+TEST(CharacterizeFingerprint, RunLengthsAndRleProxy)
+{
+    // T T T T N N T: runs 4, 2, and the still-open 1 (closed by take()).
+    auto fp = fingerprintOf(
+        {true, true, true, true, false, false, true});
+    EXPECT_EQ(fp.runs.count, 3);
+    EXPECT_EQ(fp.runs.sum, 7);
+    EXPECT_EQ(fp.runs.max, 4);
+    // Each run length fits one LEB128 byte.
+    EXPECT_EQ(fp.rle_bytes, 3);
+    EXPECT_DOUBLE_EQ(fp.rleBitsPerBranch(), 8.0 * 3.0 / 7.0);
+
+    // A 200-long constant streak needs two varint bytes (200 >= 128)
+    // and compresses to well under one bit per branch.
+    std::vector<bool> streak(200, true);
+    auto constant = fingerprintOf(streak);
+    EXPECT_EQ(constant.runs.count, 1);
+    EXPECT_EQ(constant.rle_bytes, 2);
+    EXPECT_LT(constant.rleBitsPerBranch(), 0.1);
+
+    // Strict alternation: every branch is its own one-byte run.
+    std::vector<bool> alternating;
+    for (int i = 0; i < 64; ++i)
+        alternating.push_back(i % 2 == 0);
+    auto flip = fingerprintOf(alternating);
+    EXPECT_EQ(flip.runs.count, 64);
+    EXPECT_DOUBLE_EQ(flip.rleBitsPerBranch(), 8.0);
+}
+
+TEST(CharacterizeFingerprint, SelfCorrelatedBranchFavorsLocalHistory)
+{
+    // Site 0 strictly alternates (perfectly predicted by its own last
+    // direction); site 1 is pseudo-random noise that pollutes the
+    // shared global history register between site 0's executions.
+    FingerprintBuilder builder(2);
+    uint64_t lcg = 0x2545F4914F6CDD1Dull;
+    for (int i = 0; i < 400; ++i) {
+        builder.onBranch(0, i % 2 == 0, 0);
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        builder.onBranch(1, (lcg >> 33) & 1, 0);
+    }
+    auto sites = std::move(builder).take();
+    ASSERT_EQ(sites.size(), 2u);
+    const BranchFingerprint &self = sites[0];
+    // depth index 0 is k = 1.
+    EXPECT_GE(self.localAgreement(0), 95.0);
+    EXPECT_LE(self.globalAgreement(0), 80.0);
+}
+
+TEST(CharacterizeFingerprint, NeighborCorrelatedBranchFavorsGlobalHistory)
+{
+    // Site 1 copies whatever site 0 just did; site 0 itself is
+    // pseudo-random. Site 1's own history is noise, but the last bit of
+    // the global register *is* site 0's outcome — exactly the
+    // correlation a shared-history predictor exploits.
+    FingerprintBuilder builder(2);
+    uint64_t lcg = 0x9E3779B97F4A7C15ull;
+    for (int i = 0; i < 400; ++i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        const bool coin = (lcg >> 33) & 1;
+        builder.onBranch(0, coin, 0);
+        builder.onBranch(1, coin, 0);
+    }
+    auto sites = std::move(builder).take();
+    ASSERT_EQ(sites.size(), 2u);
+    const BranchFingerprint &copier = sites[1];
+    EXPECT_GE(copier.globalAgreement(0), 95.0);
+    EXPECT_LE(copier.localAgreement(0), 80.0);
+}
+
+TEST(CharacterizeFingerprint, IgnoresOutOfRangeSites)
+{
+    FingerprintBuilder builder(1);
+    builder.onBranch(-1, true, 0);
+    builder.onBranch(7, true, 0);
+    builder.onBranch(0, true, 0);
+    auto sites = std::move(builder).take();
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_EQ(sites[0].executed, 1);
+}
+
+// --- RunLengthHist ----------------------------------------------------------
+
+TEST(CharacterizeRunLengthHist, BucketsAndPercentiles)
+{
+    ilp::RunLengthHist h;
+    EXPECT_EQ(h.percentileUpperBound(50.0), 0);
+    h.add(0);  // ignored
+    h.add(-3); // ignored
+    h.add(1);  // bucket 0: [1,1]
+    h.add(2);  // bucket 1: [2,3]
+    h.add(3);  // bucket 1
+    h.add(40); // bucket 5: [32,63]
+    EXPECT_EQ(h.count, 4);
+    EXPECT_EQ(h.sum, 46);
+    EXPECT_EQ(h.max, 40);
+    EXPECT_DOUBLE_EQ(h.mean(), 46.0 / 4.0);
+    EXPECT_EQ(h.histogram[0], 1);
+    EXPECT_EQ(h.histogram[1], 2);
+    EXPECT_EQ(h.histogram[5], 1);
+    // Median of 4 lands in bucket 1 -> inclusive bound 3.
+    EXPECT_EQ(h.percentileUpperBound(50.0), 3);
+    EXPECT_EQ(h.percentileUpperBound(100.0), 63);
+}
+
+TEST(CharacterizeRunLengthHist, MergeMatchesSequentialAdds)
+{
+    ilp::RunLengthHist a, b, both;
+    for (int64_t run : {1, 5, 9})
+        a.add(run);
+    for (int64_t run : {2, 5, 700})
+        b.add(run);
+    for (int64_t run : {1, 5, 9, 2, 5, 700})
+        both.add(run);
+    a.merge(b);
+    EXPECT_EQ(a.count, both.count);
+    EXPECT_EQ(a.sum, both.sum);
+    EXPECT_EQ(a.max, both.max);
+    EXPECT_EQ(a.histogram, both.histogram);
+}
+
+// --- SiteSummary ------------------------------------------------------------
+
+TEST(CharacterizeSiteSummary, StabilityAndFlipLoss)
+{
+    SiteSummary s;
+    EXPECT_DOUBLE_EQ(s.stabilityPct(), 100.0); // vacuous when unexecuted
+    s.datasets_executed = 4;
+    s.datasets_agreeing = 3;
+    s.best_static_loss = 100;
+    s.pooled_static_loss = 140;
+    EXPECT_DOUBLE_EQ(s.stabilityPct(), 75.0);
+    EXPECT_EQ(s.flipLoss(), 40);
+}
+
+// --- replay determinism -----------------------------------------------------
+
+TEST(CharacterizeReplay, DoubleReplayIsBitIdentical)
+{
+    // The property the jobs=1 vs jobs=4 byte-diff in CI rests on:
+    // fingerprinting is a pure function of the recorded trace.
+    const char *source = R"(
+int main() {
+    int i, x, count;
+    x = 9973;
+    count = 0;
+    for (i = 0; i < 5000; i++) {
+        x = (x * 1103515245 + 12345) % 2147483648;
+        if (x & 1)
+            count = count + 1;
+        if ((x & 3) == 2)
+            count = count + 2;
+    }
+    return count & 255;
+})";
+    isa::Program p = compile(source);
+    trace::Trace t =
+        trace::record(p, "", vm::RunLimits{}, "kernel", "builtin");
+    ASSERT_GT(t.branch_events, 0);
+
+    DatasetFingerprint a = fingerprintTrace(t, p.branch_sites.size());
+    DatasetFingerprint b = fingerprintTrace(t, p.branch_sites.size());
+    EXPECT_EQ(a.instructions, t.stats.instructions);
+    EXPECT_EQ(a.branches, t.branch_events);
+    ASSERT_EQ(a.sites.size(), b.sites.size());
+    ASSERT_FALSE(a.sites.empty());
+    int64_t executed_total = 0;
+    for (size_t i = 0; i < a.sites.size(); ++i) {
+        const BranchFingerprint &fa = a.sites[i];
+        const BranchFingerprint &fb = b.sites[i];
+        EXPECT_EQ(fa.site_id, fb.site_id);
+        EXPECT_EQ(fa.executed, fb.executed);
+        EXPECT_EQ(fa.taken, fb.taken);
+        EXPECT_EQ(fa.transitions, fb.transitions);
+        EXPECT_EQ(fa.rle_bytes, fb.rle_bytes);
+        EXPECT_EQ(fa.runs.histogram, fb.runs.histogram);
+        EXPECT_EQ(fa.local_correct, fb.local_correct);
+        EXPECT_EQ(fa.global_correct, fb.global_correct);
+        executed_total += fa.executed;
+        // Run lengths partition the stream: sum == executed.
+        EXPECT_EQ(fa.runs.sum, fa.executed);
+    }
+    EXPECT_EQ(executed_total, t.branch_events);
+}
+
+} // namespace
+} // namespace ifprob::characterize

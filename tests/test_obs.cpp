@@ -85,6 +85,54 @@ TEST(ObsMetrics, HistogramClampsHugeValues)
     EXPECT_EQ(h.bucketCount(Histogram::kBuckets - 1), 1);
 }
 
+TEST(ObsMetrics, HistogramZeroObservations)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.sum(), 0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentileUpperBound(0.0), 0);
+    EXPECT_EQ(h.percentileUpperBound(50.0), 0);
+    EXPECT_EQ(h.percentileUpperBound(100.0), 0);
+    for (int i = 0; i < Histogram::kBuckets; ++i)
+        EXPECT_EQ(h.bucketCount(i), 0);
+}
+
+TEST(ObsMetrics, HistogramSingleBucket)
+{
+    // 4..7 all land in bucket 3, so every percentile reads its bound.
+    Histogram h;
+    h.record(4);
+    h.record(5);
+    h.record(7);
+    EXPECT_EQ(h.count(), 3);
+    EXPECT_EQ(h.bucketCount(3), 3);
+    EXPECT_EQ(h.max(), 7);
+    EXPECT_DOUBLE_EQ(h.mean(), 16.0 / 3.0);
+    EXPECT_EQ(h.percentileUpperBound(1.0), 7);
+    EXPECT_EQ(h.percentileUpperBound(50.0), 7);
+    EXPECT_EQ(h.percentileUpperBound(100.0), 7);
+}
+
+TEST(ObsMetrics, HistogramTopBucketOverflow)
+{
+    // Values past 2^(kBuckets-1) all clamp into the last bucket; the
+    // percentile reads the clamped bound while sum/max keep exact values.
+    Histogram h;
+    const int64_t big = int64_t{1} << 60;
+    h.record(big);
+    h.record(2 * big);
+    EXPECT_EQ(h.count(), 2);
+    EXPECT_EQ(h.bucketCount(Histogram::kBuckets - 1), 2);
+    EXPECT_EQ(h.max(), 2 * big);
+    EXPECT_EQ(h.sum(), 3 * big);
+    EXPECT_EQ(h.percentileUpperBound(50.0),
+              Histogram::bucketUpperBound(Histogram::kBuckets - 1));
+    EXPECT_EQ(h.percentileUpperBound(100.0),
+              Histogram::bucketUpperBound(Histogram::kBuckets - 1));
+}
+
 TEST(ObsMetrics, RegistryHandsOutStableNamedInstruments)
 {
     auto &c1 = counter("test_obs.registry.counter");

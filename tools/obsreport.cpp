@@ -58,6 +58,33 @@ struct Totals
     int64_t binary_hits = 0;
     int64_t text_hits = 0;
 
+    /** Last ifprob.vm_bench.v1 record seen (micro_vm --ab). */
+    struct VmBench
+    {
+        int64_t records = 0;
+        int64_t computed_goto = 0;
+        double worst_speedup = 0.0;
+        int64_t pass = 0;
+    } vm;
+
+    /** One ifprob.characterize.v1 per-workload record (bench/characterize;
+     *  records without a "workload" field are the rollup line). */
+    struct CharRow
+    {
+        int64_t datasets = 0;
+        int64_t branches = 0;
+        int64_t best_static_loss = 0;
+        int64_t pooled_static_loss = 0;
+        double instr_per_mispredict = 0.0;
+        double stable_branch_pct = 0.0;
+        double full_coverage_pct = 0.0;
+    };
+    struct Characterize
+    {
+        int64_t records = 0; ///< per-workload + rollup lines
+        std::map<std::string, CharRow> workloads;
+    } characterize;
+
     /** Last ifprob.analysis_bench.v1 record seen (micro_analysis --ab). */
     struct AnalysisBench
     {
@@ -94,11 +121,34 @@ usage()
     return "usage: obsreport [-o BENCH_report.json] run_report.jsonl...\n"
            "  Aggregates ifprob.run.v1 JSONL records (one line per\n"
            "  workload/dataset execution) into a summary table on stdout\n"
-           "  and a machine-readable JSON report.\n";
+           "  and a machine-readable JSON report. Any line with an\n"
+           "  unknown schema or a parse error is reported to stderr\n"
+           "  with its file:line and makes the exit status nonzero.\n";
+}
+
+/** Every schema this tool understands; unknown ones are hard errors so
+ *  a schema bump cannot silently drop records from the report. */
+const char *const kKnownSchemas[] = {
+    "ifprob.run.v1",        "ifprob.table.v1",
+    "ifprob.analysis_bench.v1", "ifprob.trace_bench.v1",
+    "ifprob.vm_bench.v1",   "ifprob.characterize.v1",
+};
+
+std::string
+knownSchemaList()
+{
+    std::string out;
+    for (const char *s : kKnownSchemas) {
+        if (!out.empty())
+            out += ", ";
+        out += s;
+    }
+    return out;
 }
 
 void
-consumeLine(const std::string &line,
+consumeLine(const std::string &file, int64_t lineno,
+            const std::string &line,
             std::map<std::string, WorkloadAgg> &workloads, Totals &totals)
 {
     std::string_view trimmed = trim(line);
@@ -107,7 +157,10 @@ consumeLine(const std::string &line,
     obs::JsonRecord rec;
     try {
         rec = obs::parseFlatObject(trimmed);
-    } catch (const Error &) {
+    } catch (const Error &e) {
+        std::fprintf(stderr, "obsreport: %s:%lld: parse error: %s\n",
+                     file.c_str(), static_cast<long long>(lineno),
+                     e.what());
         ++totals.parse_errors;
         return;
     }
@@ -162,14 +215,57 @@ consumeLine(const std::string &line,
             static_cast<int64_t>(num("trace_cache_read_failures"));
         return;
     }
+    if (schema == "ifprob.vm_bench.v1") {
+        auto num = [&](const char *k) {
+            auto it = rec.find(k);
+            return it != rec.end() ? it->second.num : 0.0;
+        };
+        ++totals.vm.records;
+        totals.vm.computed_goto =
+            static_cast<int64_t>(num("computed_goto"));
+        totals.vm.worst_speedup = num("worst_speedup");
+        totals.vm.pass = static_cast<int64_t>(num("pass"));
+        return;
+    }
+    if (schema == "ifprob.characterize.v1") {
+        auto num = [&](const char *k) {
+            auto it = rec.find(k);
+            return it != rec.end() ? it->second.num : 0.0;
+        };
+        ++totals.characterize.records;
+        auto workload_it = rec.find("workload");
+        if (workload_it == rec.end())
+            return; // the rollup line; per-workload rows carry the data
+        Totals::CharRow &row =
+            totals.characterize.workloads[workload_it->second.str];
+        row.datasets = static_cast<int64_t>(num("datasets"));
+        row.branches = static_cast<int64_t>(num("branches"));
+        row.best_static_loss =
+            static_cast<int64_t>(num("best_static_loss"));
+        row.pooled_static_loss =
+            static_cast<int64_t>(num("pooled_static_loss"));
+        row.instr_per_mispredict = num("instr_per_mispredict");
+        row.stable_branch_pct = num("stable_branch_pct");
+        row.full_coverage_pct = num("full_coverage_pct");
+        return;
+    }
     if (schema != obs::kRunRecordSchema) {
+        std::fprintf(stderr,
+                     "obsreport: %s:%lld: unknown schema \"%s\" "
+                     "(known: %s)\n",
+                     file.c_str(), static_cast<long long>(lineno),
+                     schema.c_str(), knownSchemaList().c_str());
         ++totals.skipped_records;
         return;
     }
     obs::RunRecord r;
     try {
         r = obs::parseRunRecord(trimmed);
-    } catch (const Error &) {
+    } catch (const Error &e) {
+        std::fprintf(stderr,
+                     "obsreport: %s:%lld: corrupt %s record: %s\n",
+                     file.c_str(), static_cast<long long>(lineno),
+                     obs::kRunRecordSchema, e.what());
         ++totals.parse_errors;
         return;
     }
@@ -279,6 +375,38 @@ renderJsonReport(const std::vector<std::string> &files,
                    totals.analysis.cached_warm_micros);
         report.fieldRaw("analysis_bench", ab.str());
     }
+    if (totals.vm.records > 0) {
+        obs::JsonObject vb;
+        vb.field("records", totals.vm.records)
+            .field("computed_goto", totals.vm.computed_goto)
+            .field("worst_speedup", totals.vm.worst_speedup)
+            .field("pass", totals.vm.pass);
+        report.fieldRaw("vm_bench", vb.str());
+    }
+    if (totals.characterize.records > 0) {
+        std::string rows = "[";
+        bool first_row = true;
+        for (const auto &[name, row] : totals.characterize.workloads) {
+            obs::JsonObject c;
+            c.field("workload", name)
+                .field("datasets", row.datasets)
+                .field("branches", row.branches)
+                .field("best_static_loss", row.best_static_loss)
+                .field("pooled_static_loss", row.pooled_static_loss)
+                .field("instr_per_mispredict", row.instr_per_mispredict)
+                .field("stable_branch_pct", row.stable_branch_pct)
+                .field("full_coverage_pct", row.full_coverage_pct);
+            if (!first_row)
+                rows += ",";
+            first_row = false;
+            rows += "\n  " + c.str();
+        }
+        rows += "\n]";
+        obs::JsonObject cb;
+        cb.field("records", totals.characterize.records)
+            .fieldRaw("workloads", rows);
+        report.fieldRaw("characterize", cb.str());
+    }
     if (totals.trace.records > 0) {
         obs::JsonObject tb;
         tb.field("records", totals.trace.records)
@@ -333,8 +461,9 @@ main(int argc, char **argv)
             return 1;
         }
         std::string line;
+        int64_t lineno = 0;
         while (std::getline(in, line))
-            consumeLine(line, workloads, totals);
+            consumeLine(file, ++lineno, line, workloads, totals);
     }
 
     metrics::TextTable table;
@@ -356,8 +485,8 @@ main(int argc, char **argv)
                        static_cast<long long>(agg.cache_errors))});
     }
     std::printf("%s", table.render().c_str());
-    std::printf("\n%lld run records, %lld table records, %lld skipped, "
-                "%lld parse errors\n",
+    std::printf("\n%lld run records, %lld table records, %lld skipped "
+                "(unknown schema), %lld parse errors\n",
                 static_cast<long long>(totals.run_records),
                 static_cast<long long>(totals.table_records),
                 static_cast<long long>(totals.skipped_records),
@@ -380,6 +509,22 @@ main(int argc, char **argv)
                         totals.analysis.cached_warm_micros) /
                         1e3,
                     totals.analysis.speedup_warm);
+    if (totals.vm.records > 0)
+        std::printf("vm bench: worst speedup %.2fx (computed_goto=%lld): "
+                    "%s\n",
+                    totals.vm.worst_speedup,
+                    static_cast<long long>(totals.vm.computed_goto),
+                    totals.vm.pass ? "PASS" : "FAIL");
+    if (totals.characterize.records > 0) {
+        std::printf("characterize: %zu workload(s)\n",
+                    totals.characterize.workloads.size());
+        for (const auto &[name, row] : totals.characterize.workloads)
+            std::printf("  %-10s %s branches, instr/mispredict %.1f, "
+                        "stable %.1f%%, covered %.1f%%\n",
+                        name.c_str(), withCommas(row.branches).c_str(),
+                        row.instr_per_mispredict, row.stable_branch_pct,
+                        row.full_coverage_pct);
+    }
     if (totals.trace.records > 0)
         std::printf("trace bench: live %.1fms, cold %.1fms (%.2fx), "
                     "warm %.1fms (%.2fx), hot %.1fms (%.2fx); "
@@ -413,5 +558,21 @@ main(int argc, char **argv)
     }
     out << renderJsonReport(files, workloads, totals);
     std::printf("wrote %s\n", out_path.c_str());
-    return totals.run_records > 0 ? 0 : 1;
+
+    // Strict exit: every line must have parsed as a known schema (the
+    // per-line diagnostics already went to stderr), and the stream must
+    // have carried at least one consumable record.
+    if (totals.skipped_records > 0 || totals.parse_errors > 0) {
+        std::fprintf(stderr,
+                     "obsreport: %lld unknown-schema line(s), %lld parse "
+                     "error(s) — failing\n",
+                     static_cast<long long>(totals.skipped_records),
+                     static_cast<long long>(totals.parse_errors));
+        return 1;
+    }
+    const int64_t consumed = totals.run_records + totals.table_records +
+                             totals.analysis.records +
+                             totals.trace.records + totals.vm.records +
+                             totals.characterize.records;
+    return consumed > 0 ? 0 : 1;
 }
