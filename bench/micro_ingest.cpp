@@ -1,0 +1,559 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the ingest plane
+ * (docs/ingest.md): batch folding, merge-on-read snapshots in each
+ * MergeMode, and the IFPROBPS segment round-trip.
+ *
+ * `micro_ingest --ab` bypasses the framework and runs the ingest load
+ * generator: the workload matrix's real RunStats become randomized
+ * client batches (shuffled deltas, random chunk sizes, shuffled batch
+ * order) replayed over the exec pool while snapshot readers pull
+ * merged databases concurrently. It reports sustained folded
+ * events/sec, fold and snapshot latency percentiles, segment
+ * save/load timings, and verifies every snapshot bit-identical to the
+ * reference ProfileDb::merge, writing BENCH_ingest.json (schema
+ * "ifprob.ingest_bench.v1"). Exits nonzero when throughput misses
+ * --min-events-per-sec (default 1M/s) or any snapshot deviates.
+ *
+ * `micro_ingest --verify --outdir=DIR` is the CI differential smoke:
+ * it folds the matrix deterministically, dumps the store snapshot and
+ * the reference merge for every mode as text ProfileDbs, and exits
+ * nonzero on any byte difference. Run at jobs=1 and jobs=4, the dumps
+ * must byte-compare equal — folding is commutative by construction.
+ */
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.h"
+#include "exec/pool.h"
+#include "harness/runner.h"
+#include "ingest/profile_store.h"
+#include "ingest/segment.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "profile/profile_db.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/str.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace ifprob;
+using profile::MergeMode;
+using profile::ProfileDb;
+
+constexpr MergeMode kAllModes[] = {MergeMode::kUnscaled,
+                                   MergeMode::kScaled,
+                                   MergeMode::kPolling};
+
+/** A synthetic batch for the microbenchmarks: @p n deltas spread over
+ *  @p num_sites sites. */
+ingest::RunReport
+syntheticBatch(uint64_t seed, uint32_t num_sites, int n,
+               const std::string &source)
+{
+    Rng rng(seed);
+    ingest::RunReport r;
+    r.program = "micro";
+    r.fingerprint = 0xbead;
+    r.source = source;
+    r.num_sites = num_sites;
+    for (int i = 0; i < n; ++i) {
+        const int64_t executed = rng.range(1, 1000);
+        r.deltas.push_back({static_cast<uint32_t>(rng.below(num_sites)),
+                            executed, rng.range(0, executed)});
+    }
+    return r;
+}
+
+void
+BM_FoldBatch256(benchmark::State &state)
+{
+    ingest::ProfileStore store;
+    ingest::RunReport batch = syntheticBatch(1, 4096, 256, "s0");
+    for (auto _ : state) {
+        store.fold(batch);
+        benchmark::DoNotOptimize(&store);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_FoldBatch256);
+
+void
+BM_Snapshot(benchmark::State &state)
+{
+    ingest::ProfileStore store;
+    for (int s = 0; s < 8; ++s) {
+        store.fold(syntheticBatch(static_cast<uint64_t>(s), 4096, 2048,
+                                  "src" + std::to_string(s)));
+    }
+    const MergeMode mode = kAllModes[static_cast<size_t>(state.range(0))];
+    for (auto _ : state) {
+        ProfileDb db = store.snapshot({"micro", 0xbead}, mode);
+        benchmark::DoNotOptimize(db.totalExecuted());
+    }
+    state.SetItemsProcessed(state.iterations() * 8 * 4096);
+}
+BENCHMARK(BM_Snapshot)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_SegmentRoundTrip(benchmark::State &state)
+{
+    ingest::ProfileStore store;
+    for (int s = 0; s < 8; ++s) {
+        store.fold(syntheticBatch(static_cast<uint64_t>(s), 4096, 2048,
+                                  "src" + std::to_string(s)));
+    }
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("ifprob-ingest-micro-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    int64_t bytes = 0;
+    for (auto _ : state) {
+        store.saveSegments(dir.string());
+        ingest::ProfileStore reloaded;
+        reloaded.loadSegments(dir.string());
+        benchmark::DoNotOptimize(reloaded.images().size());
+    }
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        bytes += static_cast<int64_t>(entry.file_size());
+    state.SetBytesProcessed(state.iterations() * bytes);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+BENCHMARK(BM_SegmentRoundTrip);
+
+// ---------------------------------------------------------------------------
+// Shared by --ab and --verify: the matrix as ingest batches.
+// ---------------------------------------------------------------------------
+
+/** One base report per workload/dataset cell: the cell's real
+ *  RunStats counters as a sparse delta batch. */
+std::vector<ingest::RunReport>
+baseReports(harness::Runner &runner)
+{
+    struct Cell
+    {
+        std::string workload, dataset;
+    };
+    std::vector<Cell> cells;
+    for (const auto &w : workloads::all()) {
+        for (const auto &d : w.datasets)
+            cells.push_back({w.name, d.name});
+    }
+    // Warm the stats cache in parallel; gathering below is then reads.
+    exec::parallelFor(exec::globalPool(), cells.size(), [&](size_t i) {
+        runner.stats(cells[i].workload, cells[i].dataset);
+    });
+
+    std::vector<ingest::RunReport> out;
+    out.reserve(cells.size());
+    for (const auto &cell : cells) {
+        const isa::Program &prog = runner.program(cell.workload);
+        const vm::RunStats &stats =
+            runner.stats(cell.workload, cell.dataset);
+        ingest::RunReport r;
+        r.program = cell.workload;
+        r.fingerprint = prog.fingerprint();
+        r.source = cell.dataset;
+        r.num_sites = static_cast<uint32_t>(stats.branches.size());
+        for (uint32_t i = 0; i < r.num_sites; ++i) {
+            const vm::BranchCounts &b = stats.branches[i];
+            if (b.executed != 0)
+                r.deltas.push_back({i, b.executed, b.taken});
+        }
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+/** Every distinct image in @p base, in first-seen order. */
+std::vector<ingest::ProfileStore::ImageKey>
+imageKeys(const std::vector<ingest::RunReport> &base)
+{
+    std::vector<ingest::ProfileStore::ImageKey> keys;
+    for (const auto &r : base) {
+        ingest::ProfileStore::ImageKey key{r.program, r.fingerprint};
+        if (std::find(keys.begin(), keys.end(), key) == keys.end())
+            keys.push_back(key);
+    }
+    return keys;
+}
+
+/** True when every image's snapshot is byte-identical to the
+ *  reference ProfileDb::merge of its per-source databases, in every
+ *  MergeMode. */
+bool
+snapshotsMatchReference(const ingest::ProfileStore &store)
+{
+    bool ok = true;
+    for (const auto &key : store.images()) {
+        std::vector<ProfileDb> inputs;
+        for (const auto &[name, batches] : store.sources(key))
+            inputs.push_back(store.sourceDb(key, name));
+        for (MergeMode mode : kAllModes) {
+            const ProfileDb want = ProfileDb::merge(inputs, mode);
+            const ProfileDb got = store.snapshot(key, mode);
+            if (got.numSites() != want.numSites() ||
+                std::memcmp(got.weights().data(), want.weights().data(),
+                            want.numSites() *
+                                sizeof(profile::BranchWeight)) != 0) {
+                std::fprintf(
+                    stderr,
+                    "micro_ingest: snapshot of '%s' deviates from the "
+                    "reference merge in %s mode\n",
+                    key.first.c_str(),
+                    std::string(profile::mergeModeName(mode)).c_str());
+                ok = false;
+            }
+        }
+    }
+    return ok;
+}
+
+// ---------------------------------------------------------------------------
+// --ab mode: the ingest load generator, BENCH_ingest.json.
+// ---------------------------------------------------------------------------
+
+/** Randomized client load: each pass shuffles every cell's deltas,
+ *  chunks them into 64..512-delta batches, and the final batch order
+ *  is shuffled across cells. Deterministic in @p seed. */
+std::vector<ingest::RunReport>
+makeLoad(const std::vector<ingest::RunReport> &base, int64_t target_events,
+         uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<ingest::RunReport> batches;
+    int64_t events = 0;
+    while (events < target_events) {
+        for (const auto &r : base) {
+            std::vector<ingest::SiteDelta> deltas = r.deltas;
+            for (size_t i = deltas.size(); i > 1; --i)
+                std::swap(deltas[i - 1], deltas[rng.below(i)]);
+            size_t pos = 0;
+            while (pos < deltas.size()) {
+                const size_t n = std::min(
+                    deltas.size() - pos,
+                    static_cast<size_t>(rng.range(64, 512)));
+                ingest::RunReport b;
+                b.program = r.program;
+                b.fingerprint = r.fingerprint;
+                b.source = r.source;
+                b.num_sites = r.num_sites;
+                b.deltas.assign(
+                    deltas.begin() + static_cast<ptrdiff_t>(pos),
+                    deltas.begin() + static_cast<ptrdiff_t>(pos + n));
+                batches.push_back(std::move(b));
+                events += static_cast<int64_t>(n);
+                pos += n;
+            }
+        }
+    }
+    for (size_t i = batches.size(); i > 1; --i)
+        std::swap(batches[i - 1], batches[rng.below(i)]);
+    return batches;
+}
+
+struct RepResult
+{
+    int64_t wall_micros = 0;
+    int64_t fold_p50 = 0, fold_p99 = 0;
+    int64_t snap_p50 = 0, snap_p99 = 0;
+    int64_t snapshots = 0;
+};
+
+int
+runAbMode(int64_t target_events, double min_events_per_sec,
+          const std::string &out_path)
+{
+    const int kRepetitions = 3;
+    const int kReaders = 2;
+
+    std::printf("micro_ingest --ab: randomized batch ingest under "
+                "concurrent snapshot readers "
+                "(target %s events, min %s events/sec)\n\n",
+                withCommas(target_events).c_str(),
+                withCommas(static_cast<long long>(min_events_per_sec))
+                    .c_str());
+
+    harness::Runner runner;
+    const auto base = baseReports(runner);
+    const auto keys = imageKeys(base);
+    const auto batches = makeLoad(base, target_events, 0x1f60);
+    int64_t total_events = 0;
+    for (const auto &b : batches)
+        total_events += static_cast<int64_t>(b.deltas.size());
+
+    std::printf("  %zu images, %zu cell reports, %zu batches, %s "
+                "events\n",
+                keys.size(), base.size(), batches.size(),
+                withCommas(total_events).c_str());
+
+    RepResult best;
+    std::unique_ptr<ingest::ProfileStore> store; // last repetition's
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+        store = std::make_unique<ingest::ProfileStore>();
+        ingest::ProfileStore &fresh = *store;
+        obs::histogram("ingest.fold_micros").reset();
+        obs::histogram("ingest.snapshot_micros").reset();
+        obs::counter("ingest.snapshots").reset();
+
+        std::atomic<bool> stop{false};
+        std::vector<std::thread> readers;
+        for (int r = 0; r < kReaders; ++r) {
+            readers.emplace_back([&fresh, &stop, &keys, r] {
+                size_t i = static_cast<size_t>(r);
+                while (!stop.load(std::memory_order_acquire)) {
+                    try {
+                        ProfileDb db = fresh.snapshot(
+                            keys[i % keys.size()], kAllModes[i % 3]);
+                        benchmark::DoNotOptimize(db.totalExecuted());
+                    } catch (const Error &) {
+                        // The store is still empty; keep polling.
+                    }
+                    ++i;
+                }
+            });
+        }
+
+        const int64_t t0 = obs::nowMicros();
+        exec::parallelFor(
+            exec::globalPool(), batches.size(),
+            [&](size_t i) { fresh.fold(batches[i]); });
+        const int64_t wall = obs::nowMicros() - t0;
+
+        stop.store(true, std::memory_order_release);
+        for (auto &r : readers)
+            r.join();
+
+        RepResult res;
+        res.wall_micros = wall;
+        res.fold_p50 =
+            obs::histogram("ingest.fold_micros").percentileUpperBound(50);
+        res.fold_p99 =
+            obs::histogram("ingest.fold_micros").percentileUpperBound(99);
+        res.snap_p50 = obs::histogram("ingest.snapshot_micros")
+                           .percentileUpperBound(50);
+        res.snap_p99 = obs::histogram("ingest.snapshot_micros")
+                           .percentileUpperBound(99);
+        res.snapshots = obs::counter("ingest.snapshots").value();
+        if (best.wall_micros == 0 || wall < best.wall_micros)
+            best = res;
+    }
+
+    const double events_per_sec =
+        best.wall_micros > 0
+            ? static_cast<double>(total_events) * 1e6 /
+                  static_cast<double>(best.wall_micros)
+            : 0.0;
+
+    // The quiesced store must match the reference merge bit for bit.
+    const bool bit_identical = snapshotsMatchReference(*store);
+
+    // Segment persistence: save, reload into a fresh store, re-verify.
+    const std::string seg_dir =
+        (std::filesystem::temp_directory_path() /
+         ("ifprob-ingest-ab-" + std::to_string(::getpid())))
+            .string();
+    const int64_t save_t0 = obs::nowMicros();
+    const size_t segments = store->saveSegments(seg_dir);
+    const int64_t save_micros = obs::nowMicros() - save_t0;
+    int64_t segment_bytes = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(seg_dir))
+        segment_bytes += static_cast<int64_t>(entry.file_size());
+    ingest::ProfileStore reloaded;
+    const int64_t load_t0 = obs::nowMicros();
+    const size_t loaded = reloaded.loadSegments(seg_dir);
+    const int64_t load_micros = obs::nowMicros() - load_t0;
+    const bool roundtrip_identical =
+        loaded == segments && snapshotsMatchReference(reloaded) &&
+        reloaded.images() == store->images();
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(seg_dir, ec);
+    }
+
+    const bool ok = bit_identical && roundtrip_identical &&
+                    events_per_sec >= min_events_per_sec;
+
+    std::printf("  fold        %8.1f ms wall   %s events/sec "
+                "(best of %d)\n",
+                static_cast<double>(best.wall_micros) / 1e3,
+                withCommas(static_cast<long long>(events_per_sec)).c_str(),
+                kRepetitions);
+    std::printf("  fold batch  p50 %lld us   p99 %lld us\n",
+                static_cast<long long>(best.fold_p50),
+                static_cast<long long>(best.fold_p99));
+    std::printf("  snapshot    p50 %lld us   p99 %lld us   "
+                "(%lld concurrent reads)\n",
+                static_cast<long long>(best.snap_p50),
+                static_cast<long long>(best.snap_p99),
+                static_cast<long long>(best.snapshots));
+    std::printf("  segments    %zu files, %.1f MiB, save %.1f ms, "
+                "load %.1f ms\n",
+                segments,
+                static_cast<double>(segment_bytes) / (1024.0 * 1024.0),
+                static_cast<double>(save_micros) / 1e3,
+                static_cast<double>(load_micros) / 1e3);
+    std::printf("  bit-identical to reference merge: %s\n",
+                bit_identical && roundtrip_identical ? "yes" : "NO");
+
+    obs::JsonObject json;
+    json.field("schema", "ifprob.ingest_bench.v1")
+        .field("jobs", int64_t{exec::plannedJobs()})
+        .field("repetitions", int64_t{kRepetitions})
+        .field("readers", int64_t{kReaders})
+        .field("images", static_cast<int64_t>(keys.size()))
+        .field("cell_reports", static_cast<int64_t>(base.size()))
+        .field("batches", static_cast<int64_t>(batches.size()))
+        .field("events", total_events)
+        .field("fold_wall_micros", best.wall_micros)
+        .field("events_per_sec", events_per_sec)
+        .field("fold_p50_micros", best.fold_p50)
+        .field("fold_p99_micros", best.fold_p99)
+        .field("snapshots", best.snapshots)
+        .field("snapshot_p50_micros", best.snap_p50)
+        .field("snapshot_p99_micros", best.snap_p99)
+        .field("segments", static_cast<int64_t>(segments))
+        .field("segment_bytes", segment_bytes)
+        .field("segment_save_micros", save_micros)
+        .field("segment_load_micros", load_micros)
+        .field("min_events_per_sec", min_events_per_sec)
+        .field("bit_identical",
+               int64_t{bit_identical && roundtrip_identical ? 1 : 0})
+        .field("pass", int64_t{ok ? 1 : 0});
+
+    if (!bench::emitBenchRecord(out_path, json))
+        return 1;
+
+    std::printf("  %s events/sec (min %s), bit-identical %s: %s\n",
+                withCommas(static_cast<long long>(events_per_sec)).c_str(),
+                withCommas(static_cast<long long>(min_events_per_sec))
+                    .c_str(),
+                bit_identical && roundtrip_identical ? "yes" : "no",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// --verify mode: deterministic text dumps for the CI byte-diff.
+// ---------------------------------------------------------------------------
+
+int
+runVerifyMode(const std::string &outdir)
+{
+    std::printf("micro_ingest --verify: store snapshots vs reference "
+                "merge (jobs=%d)\n\n",
+                exec::plannedJobs());
+
+    harness::Runner runner;
+    const auto base = baseReports(runner);
+
+    // Deterministic load: every cell's deltas in site order, chunked
+    // into fixed 512-delta batches. The fold order is whatever the
+    // pool schedules — the store's integer accumulators make the
+    // result independent of it, which is exactly what the jobs=1 vs
+    // jobs=4 byte-diff asserts.
+    std::vector<ingest::RunReport> batches;
+    for (const auto &r : base) {
+        for (size_t pos = 0; pos < r.deltas.size(); pos += 512) {
+            const size_t n = std::min<size_t>(512, r.deltas.size() - pos);
+            ingest::RunReport b;
+            b.program = r.program;
+            b.fingerprint = r.fingerprint;
+            b.source = r.source;
+            b.num_sites = r.num_sites;
+            b.deltas.assign(
+                r.deltas.begin() + static_cast<ptrdiff_t>(pos),
+                r.deltas.begin() + static_cast<ptrdiff_t>(pos + n));
+            batches.push_back(std::move(b));
+        }
+    }
+    ingest::ProfileStore store;
+    exec::parallelFor(exec::globalPool(), batches.size(),
+                      [&](size_t i) { store.fold(batches[i]); });
+
+    std::filesystem::create_directories(outdir);
+    bool ok = true;
+    for (MergeMode mode : kAllModes) {
+        std::ostringstream store_os, ref_os;
+        for (const auto &key : store.images()) {
+            store.snapshot(key, mode).save(store_os);
+            std::vector<ProfileDb> inputs;
+            for (const auto &[name, b] : store.sources(key))
+                inputs.push_back(store.sourceDb(key, name));
+            ProfileDb::merge(inputs, mode).save(ref_os);
+        }
+        const std::string mode_name{profile::mergeModeName(mode)};
+        std::ofstream(outdir + "/ingest_verify_" + mode_name +
+                      "_store.txt")
+            << store_os.str();
+        std::ofstream(outdir + "/ingest_verify_" + mode_name +
+                      "_ref.txt")
+            << ref_os.str();
+        const bool same = store_os.str() == ref_os.str();
+        ok = ok && same;
+        std::printf("  %-9s snapshot vs reference merge: %s\n",
+                    mode_name.c_str(),
+                    same ? "byte-identical" : "DIFFERS");
+    }
+    std::printf("\n  %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ifprob::bench::AbFlags flags =
+        ifprob::bench::parseAbFlags(argc, argv, "BENCH_ingest.json");
+
+    int64_t target_events = 2'000'000;
+    double min_events_per_sec = 1'000'000.0;
+    bool verify = false;
+    std::string outdir = ".";
+    std::vector<char *> rest;
+    rest.push_back(flags.passthrough[0]);
+    for (size_t i = 1; i < flags.passthrough.size(); ++i) {
+        char *arg = flags.passthrough[i];
+        if (std::strncmp(arg, "--events=", 9) == 0) {
+            target_events = std::atoll(arg + 9);
+        } else if (std::strncmp(arg, "--min-events-per-sec=", 21) == 0) {
+            min_events_per_sec = std::atof(arg + 21);
+        } else if (std::strcmp(arg, "--verify") == 0) {
+            verify = true;
+        } else if (std::strncmp(arg, "--outdir=", 9) == 0) {
+            outdir = arg + 9;
+        } else {
+            rest.push_back(arg);
+        }
+    }
+
+    if (verify)
+        return runVerifyMode(outdir);
+    if (flags.ab)
+        return runAbMode(target_events, min_events_per_sec,
+                         flags.out_path);
+
+    int bench_argc = static_cast<int>(rest.size());
+    benchmark::Initialize(&bench_argc, rest.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, rest.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,18 +1,15 @@
 #include "harness/runner.h"
 
-#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <functional>
-
-#include <unistd.h>
 
 #include "analysis/analysis_cache.h"
 #include "compiler/pipeline.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "support/atomic_file.h"
 #include "support/error.h"
 #include "support/str.h"
 #include "trace/trace.h"
@@ -21,27 +18,6 @@
 namespace ifprob::harness {
 
 namespace {
-
-std::string
-sanitize(const std::string &name)
-{
-    std::string out;
-    for (char c : name) {
-        if (std::isalnum(static_cast<unsigned char>(c)))
-            out.push_back(c);
-        else
-            out.push_back('_');
-    }
-    return out;
-}
-
-int64_t
-fileSize(const std::string &path)
-{
-    std::error_code ec;
-    auto size = std::filesystem::file_size(path, ec);
-    return ec ? 0 : static_cast<int64_t>(size);
-}
 
 /** Best-possible static mispredicts: each site predicted its majority
  *  direction, so it mispredicts min(taken, not taken) times. */
@@ -64,35 +40,6 @@ findDataset(const std::string &workload, const std::string &dataset)
             return d;
     }
     throw Error("workload " + workload + " has no dataset " + dataset);
-}
-
-/**
- * Write @p payload via a temp file + rename so a concurrent reader (or
- * a bench killed mid-write) never observes a torn cache entry; rename()
- * is atomic within the cache directory. Returns the bytes written, or 0
- * when the write could not complete (cache degradation, not an error).
- */
-int64_t
-writeAtomically(const std::string &path,
-                const std::function<void(std::ofstream &)> &payload)
-{
-    static std::atomic<uint64_t> temp_seq{0};
-    std::string tmp = strPrintf(
-        "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(::getpid()),
-        static_cast<unsigned long long>(
-            temp_seq.fetch_add(1, std::memory_order_relaxed)));
-    std::ofstream out(tmp, std::ios::binary);
-    if (!out)
-        return 0;
-    payload(out);
-    out.close();
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        std::filesystem::remove(tmp, ec);
-        return 0;
-    }
-    return fileSize(path);
 }
 
 } // namespace
@@ -189,36 +136,21 @@ Runner::program(const std::string &workload)
     return compileSlot(workload)->program;
 }
 
-Runner::StatsShard &
-Runner::shardFor(const std::pair<std::string, std::string> &key)
-{
-    size_t h = std::hash<std::string>{}(key.first) * 31 +
-               std::hash<std::string>{}(key.second);
-    return stats_shards_[h % kStatsShards];
-}
-
 std::string
 Runner::cachePath(const std::string &workload, const std::string &dataset,
                   uint64_t fingerprint) const
 {
     return strPrintf("%s/%s.%s.%016llx.stats", cache_dir_.c_str(),
-                     sanitize(workload).c_str(), sanitize(dataset).c_str(),
+                     sanitizeFileName(workload).c_str(),
+                     sanitizeFileName(dataset).c_str(),
                      static_cast<unsigned long long>(fingerprint));
 }
 
 const vm::RunStats &
 Runner::stats(const std::string &workload, const std::string &dataset)
 {
-    auto key = std::make_pair(workload, dataset);
-    StatsShard &shard = shardFor(key);
-    std::shared_ptr<StatsSlot> slot;
-    {
-        std::lock_guard<std::mutex> lock(shard.mu);
-        auto &entry = shard.slots[key];
-        if (!entry)
-            entry = std::make_shared<StatsSlot>();
-        slot = entry;
-    }
+    std::shared_ptr<StatsSlot> slot =
+        stats_slots_.slot(std::make_pair(workload, dataset));
     // Exactly one thread computes; concurrent callers block here. An
     // exception leaves the flag unset, so each caller observes it.
     std::call_once(slot->once,
@@ -269,7 +201,7 @@ Runner::computeStats(StatsSlot &slot, const std::string &workload,
                     binary ? vm::RunStats::loadBinary(in,
                                                       prog.fingerprint())
                            : vm::RunStats::load(in);
-                int64_t bytes = fileSize(path);
+                int64_t bytes = fileSizeOf(path);
                 {
                     std::lock_guard<std::mutex> lock(cache_stats_mu_);
                     ++cache_stats_.hits;
@@ -335,7 +267,7 @@ Runner::computeStats(StatsSlot &slot, const std::string &workload,
     if (!cache_dir_.empty()) {
         std::string path = cachePath(workload, dataset, prog.fingerprint());
         int64_t written =
-            writeAtomically(path, [&](std::ofstream &out) {
+            writeFileAtomically(path, [&](std::ofstream &out) {
                 result.stats.saveBinary(out, prog.fingerprint());
             });
         if (written > 0) {
@@ -349,22 +281,13 @@ Runner::computeStats(StatsSlot &slot, const std::string &workload,
     finish(std::move(result.stats));
 }
 
-Runner::TraceShard &
-Runner::traceShardFor(
-    const std::tuple<std::string, std::string, uint64_t> &key)
-{
-    size_t h = std::hash<std::string>{}(std::get<0>(key)) * 31 +
-               std::hash<std::string>{}(std::get<1>(key)) * 7 +
-               std::hash<uint64_t>{}(std::get<2>(key));
-    return trace_shards_[h % kStatsShards];
-}
-
 std::string
 Runner::tracePath(const std::string &workload, const std::string &dataset,
                   uint64_t fingerprint) const
 {
     return strPrintf("%s/%s.%s.%016llx.trace", cache_dir_.c_str(),
-                     sanitize(workload).c_str(), sanitize(dataset).c_str(),
+                     sanitizeFileName(workload).c_str(),
+                     sanitizeFileName(dataset).c_str(),
                      static_cast<unsigned long long>(fingerprint));
 }
 
@@ -378,16 +301,8 @@ const trace::Trace &
 Runner::traceOf(const std::string &workload, const std::string &dataset,
                 const isa::Program &variant)
 {
-    auto key = std::make_tuple(workload, dataset, variant.fingerprint());
-    TraceShard &shard = traceShardFor(key);
-    std::shared_ptr<TraceSlot> slot;
-    {
-        std::lock_guard<std::mutex> lock(shard.mu);
-        auto &entry = shard.slots[key];
-        if (!entry)
-            entry = std::make_shared<TraceSlot>();
-        slot = entry;
-    }
+    std::shared_ptr<TraceSlot> slot = trace_slots_.slot(
+        std::make_tuple(workload, dataset, variant.fingerprint()));
     // Exactly one thread records (or loads); concurrent callers block
     // here. An exception leaves the flag unset, so each caller observes
     // it.
@@ -413,7 +328,7 @@ Runner::computeTrace(TraceSlot &slot, const std::string &workload,
                 auto loaded = std::make_shared<trace::Trace>(
                     trace::Trace::load(in, fingerprint));
                 const int64_t load_micros = obs::nowMicros() - t0;
-                int64_t bytes = fileSize(path);
+                int64_t bytes = fileSizeOf(path);
                 {
                     std::lock_guard<std::mutex> lock(cache_stats_mu_);
                     ++cache_stats_.trace_hits;
@@ -481,7 +396,7 @@ Runner::computeTrace(TraceSlot &slot, const std::string &workload,
     int64_t trace_micros = 0;
     if (!cache_dir_.empty()) {
         const int64_t t0 = obs::nowMicros();
-        int64_t written = writeAtomically(
+        int64_t written = writeFileAtomically(
             path, [&](std::ofstream &out) { recorded->save(out); });
         trace_micros = obs::nowMicros() - t0;
         if (written > 0) {
@@ -515,10 +430,7 @@ Runner::computeTrace(TraceSlot &slot, const std::string &workload,
 void
 Runner::resetTraces()
 {
-    for (auto &shard : trace_shards_) {
-        std::lock_guard<std::mutex> lock(shard.mu);
-        shard.slots.clear();
-    }
+    trace_slots_.clear();
 }
 
 CacheStats

@@ -13,6 +13,7 @@
 
 #include "compiler/options.h"
 #include "isa/program.h"
+#include "support/sharded_map.h"
 #include "vm/run_stats.h"
 #include "workloads/workload.h"
 
@@ -183,15 +184,6 @@ class Runner
         vm::RunStats stats;
     };
 
-    static constexpr size_t kStatsShards = 16;
-    struct StatsShard
-    {
-        std::mutex mu;
-        std::map<std::pair<std::string, std::string>,
-                 std::shared_ptr<StatsSlot>>
-            slots;
-    };
-
     /** One (workload, dataset, fingerprint) record-once trace slot.
      *  The Trace lives behind a shared_ptr (incomplete type here). */
     struct TraceSlot
@@ -200,18 +192,31 @@ class Runner
         std::shared_ptr<trace::Trace> trace;
     };
 
-    struct TraceShard
+    using StatsKey = std::pair<std::string, std::string>;
+    using TraceKey = std::tuple<std::string, std::string, uint64_t>;
+
+    struct StatsKeyHash
     {
-        std::mutex mu;
-        std::map<std::tuple<std::string, std::string, uint64_t>,
-                 std::shared_ptr<TraceSlot>>
-            slots;
+        size_t
+        operator()(const StatsKey &key) const
+        {
+            return std::hash<std::string>{}(key.first) * 31 +
+                   std::hash<std::string>{}(key.second);
+        }
+    };
+
+    struct TraceKeyHash
+    {
+        size_t
+        operator()(const TraceKey &key) const
+        {
+            return std::hash<std::string>{}(std::get<0>(key)) * 31 +
+                   std::hash<std::string>{}(std::get<1>(key)) * 7 +
+                   std::hash<uint64_t>{}(std::get<2>(key));
+        }
     };
 
     std::shared_ptr<CompileSlot> compileSlot(const std::string &workload);
-    StatsShard &shardFor(const std::pair<std::string, std::string> &key);
-    TraceShard &
-    traceShardFor(const std::tuple<std::string, std::string, uint64_t> &key);
     std::string cachePath(const std::string &workload,
                           const std::string &dataset,
                           uint64_t fingerprint) const;
@@ -233,8 +238,10 @@ class Runner
     mutable std::mutex programs_mu_;
     std::map<std::string, std::shared_ptr<CompileSlot>> programs_;
 
-    StatsShard stats_shards_[kStatsShards];
-    TraceShard trace_shards_[kStatsShards];
+    /** Run-once and record-once memo tables, behind 16 sharded mutexes
+     *  each (the ShardedSlotMap idiom shared with ingest::ProfileStore). */
+    ShardedSlotMap<StatsKey, StatsSlot, StatsKeyHash> stats_slots_;
+    ShardedSlotMap<TraceKey, TraceSlot, TraceKeyHash> trace_slots_;
 
     std::mutex analysis_mu_;
     std::unique_ptr<analysis::AnalysisCache> analysis_;

@@ -1,0 +1,377 @@
+#include "ingest/profile_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "ingest/segment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/atomic_file.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::ingest {
+
+namespace {
+
+/** How many segment-load failure messages stats() retains. */
+constexpr size_t kMaxFailureMessages = 8;
+
+std::string
+segmentFileName(const ProfileStore::ImageKey &key)
+{
+    return strPrintf("%s.%016llx.seg",
+                     sanitizeFileName(key.first).c_str(),
+                     static_cast<unsigned long long>(key.second));
+}
+
+} // namespace
+
+std::shared_ptr<ProfileStore::Image>
+ProfileStore::imageFor(const ImageKey &key, uint32_t num_sites)
+{
+    std::shared_ptr<Image> image = images_.slot(key);
+    std::call_once(image->once, [&] {
+        image->num_sites = num_sites;
+        image->num_shards =
+            num_sites == 0 ? 0 : std::min(kSiteShards, num_sites);
+        image->stride =
+            num_sites == 0
+                ? 1
+                : (num_sites + image->num_shards - 1) / image->num_shards;
+        if (image->num_shards > 0)
+            image->shards = std::make_unique<Shard[]>(image->num_shards);
+        image->ready.store(true, std::memory_order_release);
+    });
+    if (!image->ready.load(std::memory_order_acquire) ||
+        image->num_sites != num_sites) {
+        throw Error(strPrintf(
+            "ProfileStore: image '%s' has %u branch sites, batch says %u",
+            key.first.c_str(), image->num_sites, num_sites));
+    }
+    return image;
+}
+
+std::shared_ptr<ProfileStore::Image>
+ProfileStore::requireImage(const ImageKey &key) const
+{
+    std::shared_ptr<Image> image = images_.peek(key);
+    if (!image || !image->ready.load(std::memory_order_acquire)) {
+        throw Error(strPrintf(
+            "ProfileStore: unknown image '%s' (fingerprint %016llx)",
+            key.first.c_str(),
+            static_cast<unsigned long long>(key.second)));
+    }
+    return image;
+}
+
+void
+ProfileStore::fold(const RunReport &report)
+{
+    const int64_t t0 = obs::nowMicros();
+    std::shared_ptr<Image> image;
+    try {
+        for (const SiteDelta &d : report.deltas) {
+            if (d.site >= report.num_sites) {
+                throw Error(strPrintf(
+                    "ProfileStore: batch for '%s' names site %u of %u",
+                    report.program.c_str(), d.site, report.num_sites));
+            }
+            if (d.executed < 0 || d.taken < 0 || d.taken > d.executed) {
+                throw Error(strPrintf(
+                    "ProfileStore: batch for '%s' site %u has "
+                    "inconsistent counts (executed %lld, taken %lld)",
+                    report.program.c_str(), d.site,
+                    static_cast<long long>(d.executed),
+                    static_cast<long long>(d.taken)));
+            }
+        }
+        image = imageFor({report.program, report.fingerprint},
+                         report.num_sites);
+    } catch (const Error &) {
+        rejected_batches_.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("ingest.rejected_batches").add();
+        throw;
+    }
+
+    foldCounts(*image, report.source, report.deltas, 1);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    events_.fetch_add(static_cast<int64_t>(report.deltas.size()),
+                      std::memory_order_relaxed);
+    obs::counter("ingest.batches").add();
+    obs::counter("ingest.events")
+        .add(static_cast<int64_t>(report.deltas.size()));
+    obs::histogram("ingest.fold_micros").record(obs::nowMicros() - t0);
+}
+
+void
+ProfileStore::foldCounts(Image &image, const std::string &source,
+                         const std::vector<SiteDelta> &deltas,
+                         int64_t batches_delta)
+{
+    // One pass to bucket by shard, then one lock acquisition per
+    // touched shard — a batch's cost is its delta count, not the
+    // image's shard count.
+    std::vector<std::vector<const SiteDelta *>> buckets(image.num_shards);
+    for (const SiteDelta &d : deltas)
+        buckets[image.shardOf(d.site)].push_back(&d);
+    for (uint32_t s = 0; s < image.num_shards; ++s) {
+        if (buckets[s].empty())
+            continue;
+        Shard &shard = image.shards[s];
+        const uint32_t first = image.firstSite(s);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        std::vector<vm::BranchCounts> &slice = shard.sources[source];
+        if (slice.empty())
+            slice.resize(image.sitesIn(s));
+        for (const SiteDelta *d : buckets[s]) {
+            vm::BranchCounts &c = slice[d->site - first];
+            c.executed += d->executed;
+            c.taken += d->taken;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(image.meta_mu);
+        image.source_batches[source] += batches_delta;
+    }
+}
+
+std::map<std::string, std::vector<vm::BranchCounts>>
+ProfileStore::assemble(const Image &image) const
+{
+    std::map<std::string, std::vector<vm::BranchCounts>> dense;
+    for (uint32_t s = 0; s < image.num_shards; ++s) {
+        const Shard &shard = image.shards[s];
+        const uint32_t first = image.firstSite(s);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (const auto &[name, slice] : shard.sources) {
+            std::vector<vm::BranchCounts> &d = dense[name];
+            if (d.empty())
+                d.resize(image.num_sites);
+            std::copy(slice.begin(), slice.end(), d.begin() + first);
+        }
+    }
+    return dense;
+}
+
+profile::ProfileDb
+ProfileStore::snapshot(const ImageKey &key, profile::MergeMode mode) const
+{
+    const int64_t t0 = obs::nowMicros();
+    const std::shared_ptr<Image> image = requireImage(key);
+    const auto dense = assemble(*image);
+
+    // This kernel mirrors ProfileDb::merge operation for operation —
+    // same source order (lexicographic, the std::map order), same site
+    // order, same double arithmetic — so the result is bit-identical
+    // to the reference merge of the per-source databases. The int64
+    // accumulators convert to double exactly below 2^53, and summing
+    // the scaled total here in site order reproduces totalExecuted().
+    const size_t n = image->num_sites;
+    std::vector<profile::BranchWeight> out(n);
+    for (const auto &[name, counts] : dense) {
+        switch (mode) {
+          case profile::MergeMode::kUnscaled:
+            for (size_t i = 0; i < n; ++i) {
+                out[i].executed +=
+                    static_cast<double>(counts[i].executed);
+                out[i].taken += static_cast<double>(counts[i].taken);
+            }
+            break;
+          case profile::MergeMode::kScaled: {
+            double total = 0.0;
+            for (size_t i = 0; i < n; ++i)
+                total += static_cast<double>(counts[i].executed);
+            if (total <= 0.0)
+                break; // an empty source contributes nothing
+            for (size_t i = 0; i < n; ++i) {
+                out[i].executed +=
+                    static_cast<double>(counts[i].executed) / total;
+                out[i].taken +=
+                    static_cast<double>(counts[i].taken) / total;
+            }
+            break;
+          }
+          case profile::MergeMode::kPolling:
+            for (size_t i = 0; i < n; ++i) {
+                const double executed =
+                    static_cast<double>(counts[i].executed);
+                const double taken =
+                    static_cast<double>(counts[i].taken);
+                if (executed <= 0.0)
+                    continue;
+                out[i].executed += 1.0;
+                if (taken * 2.0 > executed)
+                    out[i].taken += 1.0;
+            }
+            break;
+        }
+    }
+    snapshots_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("ingest.snapshots").add();
+    obs::histogram("ingest.snapshot_micros")
+        .record(obs::nowMicros() - t0);
+    return profile::ProfileDb(key.first, key.second, std::move(out));
+}
+
+profile::ProfileDb
+ProfileStore::sourceDb(const ImageKey &key,
+                       const std::string &source) const
+{
+    const std::shared_ptr<Image> image = requireImage(key);
+    std::vector<profile::BranchWeight> weights(image->num_sites);
+    for (uint32_t s = 0; s < image->num_shards; ++s) {
+        const Shard &shard = image->shards[s];
+        const uint32_t first = image->firstSite(s);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.sources.find(source);
+        if (it == shard.sources.end())
+            continue;
+        for (size_t i = 0; i < it->second.size(); ++i) {
+            weights[first + i].executed =
+                static_cast<double>(it->second[i].executed);
+            weights[first + i].taken =
+                static_cast<double>(it->second[i].taken);
+        }
+    }
+    return profile::ProfileDb(key.first, key.second, std::move(weights));
+}
+
+std::vector<std::pair<std::string, int64_t>>
+ProfileStore::sources(const ImageKey &key) const
+{
+    const std::shared_ptr<Image> image = requireImage(key);
+    std::lock_guard<std::mutex> lock(image->meta_mu);
+    return {image->source_batches.begin(), image->source_batches.end()};
+}
+
+std::vector<ProfileStore::ImageKey>
+ProfileStore::images() const
+{
+    return images_.keys();
+}
+
+uint32_t
+ProfileStore::numSites(const ImageKey &key) const
+{
+    return requireImage(key)->num_sites;
+}
+
+size_t
+ProfileStore::saveSegments(const std::string &dir) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    size_t written = 0;
+    for (const ImageKey &key : images_.keys()) {
+        std::shared_ptr<Image> image = images_.peek(key);
+        if (!image || !image->ready.load(std::memory_order_acquire))
+            continue;
+        Segment seg;
+        seg.program = key.first;
+        seg.fingerprint = key.second;
+        seg.num_sites = image->num_sites;
+        std::map<std::string, int64_t> batches;
+        {
+            std::lock_guard<std::mutex> lock(image->meta_mu);
+            batches = image->source_batches;
+        }
+        for (auto &[name, counts] : assemble(*image)) {
+            SegmentSource src;
+            src.name = name;
+            auto it = batches.find(name);
+            src.batches = it == batches.end() ? 0 : it->second;
+            for (uint32_t i = 0; i < seg.num_sites; ++i) {
+                if (counts[i].executed != 0 || counts[i].taken != 0)
+                    src.entries.emplace_back(i, counts[i]);
+            }
+            seg.sources.push_back(std::move(src));
+        }
+        const std::string path = dir + "/" + segmentFileName(key);
+        const int64_t bytes = writeFileAtomically(
+            path, [&](std::ofstream &out) { seg.save(out); });
+        if (bytes > 0) {
+            ++written;
+            segments_written_.fetch_add(1, std::memory_order_relaxed);
+            obs::counter("ingest.segments_written").add();
+            obs::counter("ingest.segment_write_bytes").add(bytes);
+        }
+    }
+    return written;
+}
+
+size_t
+ProfileStore::loadSegments(const std::string &dir)
+{
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".seg")
+            paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    size_t loaded = 0;
+    for (const std::string &path : paths) {
+        try {
+            std::ifstream in(path, std::ios::binary);
+            if (!in)
+                throw Error("cannot open segment file");
+            Segment seg = Segment::load(in);
+            std::shared_ptr<Image> image =
+                imageFor({seg.program, seg.fingerprint}, seg.num_sites);
+            for (const SegmentSource &src : seg.sources) {
+                std::vector<SiteDelta> deltas;
+                deltas.reserve(src.entries.size());
+                for (const auto &[site, counts] : src.entries) {
+                    deltas.push_back(
+                        {site, counts.executed, counts.taken});
+                }
+                foldCounts(*image, src.name, deltas, src.batches);
+            }
+            ++loaded;
+            segments_loaded_.fetch_add(1, std::memory_order_relaxed);
+            obs::counter("ingest.segments_loaded").add();
+            obs::counter("ingest.segment_read_bytes")
+                .add(fileSizeOf(path));
+        } catch (const Error &e) {
+            segment_failures_.fetch_add(1, std::memory_order_relaxed);
+            obs::counter("ingest.segment_failures").add();
+            noteSegmentFailure(
+                strPrintf("%s: %s", path.c_str(), e.what()));
+        }
+    }
+    return loaded;
+}
+
+void
+ProfileStore::noteSegmentFailure(const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(failures_mu_);
+    if (failures_.size() < kMaxFailureMessages)
+        failures_.push_back(message);
+}
+
+ProfileStore::Stats
+ProfileStore::stats() const
+{
+    Stats s;
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.events = events_.load(std::memory_order_relaxed);
+    s.rejected_batches =
+        rejected_batches_.load(std::memory_order_relaxed);
+    s.snapshots = snapshots_.load(std::memory_order_relaxed);
+    s.segments_written =
+        segments_written_.load(std::memory_order_relaxed);
+    s.segments_loaded = segments_loaded_.load(std::memory_order_relaxed);
+    s.segment_failures =
+        segment_failures_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(failures_mu_);
+        s.failures = failures_;
+    }
+    return s;
+}
+
+} // namespace ifprob::ingest

@@ -1,0 +1,226 @@
+#ifndef IFPROB_INGEST_PROFILE_STORE_H
+#define IFPROB_INGEST_PROFILE_STORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "profile/profile_db.h"
+#include "support/sharded_map.h"
+#include "vm/run_stats.h"
+
+namespace ifprob::ingest {
+
+/** One site's count delta inside a batch. */
+struct SiteDelta
+{
+    uint32_t site = 0;
+    int64_t executed = 0;
+    int64_t taken = 0;
+};
+
+/**
+ * One batched run-report from a profiling client: count deltas for one
+ * compiled image (program name + fingerprint), attributed to one
+ * predictor dataset ("source" — in production, one user's runs; in the
+ * paper's terms, one of the N datasets a summary predictor merges).
+ */
+struct RunReport
+{
+    std::string program;
+    uint64_t fingerprint = 0;
+    std::string source;
+    /** Total branch sites in the image; every batch for an image must
+     *  agree (the fingerprint pins the compilation, this pins the
+     *  site-id space). */
+    uint32_t num_sites = 0;
+    std::vector<SiteDelta> deltas;
+};
+
+/**
+ * The ingest plane: a sharded, concurrent accumulator for batched
+ * branch-count reports, with merge-on-read snapshots.
+ *
+ * The paper's workflow — run, augment the database, predict from the
+ * merged profile — becomes a service at production scale: many clients
+ * stream (site, executed, taken) deltas for the same images, and
+ * readers want the merged ProfileDb at any moment. fold() buckets a
+ * batch's deltas by site-range shard and takes each shard lock once,
+ * so concurrent writers to different site regions (or different
+ * images) do not contend. Accumulators are int64, so folding is
+ * commutative and the quiesced store is independent of interleaving.
+ *
+ * snapshot() assembles each source's dense counts under the shard
+ * locks, then runs the same merge the offline path uses. The result is
+ * bit-identical to ProfileDb::merge over per-source ProfileDbs given
+ * in lexicographic source order, for every MergeMode: counts below
+ * 2^53 convert to double exactly, and the kernel mirrors the reference
+ * operation for operation (see docs/ingest.md for why this holds).
+ * Readers never block writers for longer than one shard copy; a
+ * snapshot taken mid-fold may see a batch applied in some shards but
+ * not others, which integer commutativity makes harmless once writers
+ * quiesce.
+ *
+ * Persistence is the IFPROBPS binary segment format (segment.h):
+ * saveSegments() writes one atomic file per image, loadSegments()
+ * folds surviving segments back in and counts — rather than
+ * propagates — corrupt or truncated files, so a damaged cache costs
+ * re-ingestion, never wrong counts. Plain-text ProfileDb::save stays
+ * as the human-readable compatibility format.
+ */
+class ProfileStore
+{
+  public:
+    /** (program name, image fingerprint): one accumulator per image. */
+    using ImageKey = std::pair<std::string, uint64_t>;
+
+    /** Ingest activity counters, mirrored into obs as ingest.*. */
+    struct Stats
+    {
+        int64_t batches = 0;          ///< fold() calls accepted
+        int64_t events = 0;           ///< site deltas folded
+        int64_t rejected_batches = 0; ///< fold() calls that validated bad
+        int64_t snapshots = 0;
+        int64_t segments_written = 0;
+        int64_t segments_loaded = 0;
+        int64_t segment_failures = 0; ///< corrupt/truncated files skipped
+        /** First few segment-load failure messages (capped). */
+        std::vector<std::string> failures;
+    };
+
+    ProfileStore() = default;
+    ProfileStore(const ProfileStore &) = delete;
+    ProfileStore &operator=(const ProfileStore &) = delete;
+
+    /**
+     * Fold one batch into the per-shard accumulators. Validates before
+     * touching any shard — an unknown-site, negative, or
+     * taken-exceeds-executed delta (or a site count disagreeing with
+     * the image's established one) throws Error and leaves the store
+     * untouched. Thread-safe against concurrent fold/snapshot calls.
+     */
+    void fold(const RunReport &report);
+
+    /**
+     * Merge-on-read: the combined ProfileDb for @p key under @p mode,
+     * bit-identical to ProfileDb::merge over the per-source databases
+     * in lexicographic source order. Throws Error for an unknown image.
+     */
+    profile::ProfileDb snapshot(const ImageKey &key,
+                                profile::MergeMode mode) const;
+
+    /** One source's raw accumulated counts as a ProfileDb (the
+     *  reference-merge input for differential checks). */
+    profile::ProfileDb sourceDb(const ImageKey &key,
+                                const std::string &source) const;
+
+    /** Source names seen for @p key with their folded batch counts,
+     *  sorted by name. */
+    std::vector<std::pair<std::string, int64_t>>
+    sources(const ImageKey &key) const;
+
+    /** Every image currently in the store, sorted. */
+    std::vector<ImageKey> images() const;
+
+    /** Branch sites of @p key's image; throws for an unknown image. */
+    uint32_t numSites(const ImageKey &key) const;
+
+    /**
+     * Write one IFPROBPS segment per image into @p dir (created if
+     * missing) via atomic temp+rename. Returns segments written.
+     */
+    size_t saveSegments(const std::string &dir) const;
+
+    /**
+     * Fold every *.seg file under @p dir back in. Corrupt, truncated,
+     * or otherwise invalid segments are skipped and counted in
+     * Stats::segment_failures / ingest.segment_failures — the caller
+     * re-ingests those counts from source. Returns segments folded.
+     */
+    size_t loadSegments(const std::string &dir);
+
+    Stats stats() const;
+
+  private:
+    /** Contiguous site ranges are striped across this many
+     *  independently locked shards per image. */
+    static constexpr uint32_t kSiteShards = 16;
+
+    /** One site-range shard: per-source dense count slices covering
+     *  [first_site, first_site + sites) of the image's id space. */
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::map<std::string, std::vector<vm::BranchCounts>> sources;
+    };
+
+    /** One compiled image's accumulator. Geometry (site count, shard
+     *  array) is fixed by the first batch via call_once; everything
+     *  mutable afterwards sits behind shard or meta mutexes. */
+    struct Image
+    {
+        std::once_flag once;
+        std::atomic<bool> ready{false};
+        uint32_t num_sites = 0;
+        uint32_t num_shards = 0;
+        uint32_t stride = 0;
+        std::unique_ptr<Shard[]> shards;
+        mutable std::mutex meta_mu;
+        std::map<std::string, int64_t> source_batches;
+
+        uint32_t shardOf(uint32_t site) const { return site / stride; }
+        uint32_t firstSite(uint32_t shard) const { return shard * stride; }
+        uint32_t sitesIn(uint32_t shard) const
+        {
+            const uint32_t first = firstSite(shard);
+            return std::min(stride, num_sites - first);
+        }
+    };
+
+    struct ImageKeyHash
+    {
+        size_t operator()(const ImageKey &k) const
+        {
+            return std::hash<std::string>{}(k.first) * 31 +
+                   std::hash<uint64_t>{}(k.second);
+        }
+    };
+
+    std::shared_ptr<Image> imageFor(const ImageKey &key,
+                                    uint32_t num_sites);
+    std::shared_ptr<Image> requireImage(const ImageKey &key) const;
+
+    /** The shared fold path: validated (site, counts) deltas for one
+     *  source, bucketed and applied shard by shard. */
+    void foldCounts(Image &image, const std::string &source,
+                    const std::vector<SiteDelta> &deltas,
+                    int64_t batches_delta);
+
+    /** Dense per-source counts assembled under the shard locks, in
+     *  lexicographic source order. */
+    std::map<std::string, std::vector<vm::BranchCounts>>
+    assemble(const Image &image) const;
+
+    void noteSegmentFailure(const std::string &message);
+
+    ShardedSlotMap<ImageKey, Image, ImageKeyHash> images_;
+
+    std::atomic<int64_t> batches_{0};
+    std::atomic<int64_t> events_{0};
+    std::atomic<int64_t> rejected_batches_{0};
+    mutable std::atomic<int64_t> snapshots_{0};
+    mutable std::atomic<int64_t> segments_written_{0};
+    std::atomic<int64_t> segments_loaded_{0};
+    std::atomic<int64_t> segment_failures_{0};
+    mutable std::mutex failures_mu_;
+    std::vector<std::string> failures_;
+};
+
+} // namespace ifprob::ingest
+
+#endif // IFPROB_INGEST_PROFILE_STORE_H

@@ -1,0 +1,206 @@
+#include "ingest/segment.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "support/binio.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::ingest {
+
+namespace {
+
+using binio::getI64;
+using binio::getU32;
+using binio::getU64;
+using binio::putI64;
+using binio::putU32;
+using binio::putU64;
+
+/** magic + version + reserved + fingerprint + payload length + checksum. */
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8;
+
+constexpr uint64_t kMaxPayloadBytes = 1ull << 32;
+constexpr uint32_t kMaxNameBytes = 1u << 16;
+constexpr uint32_t kMaxSites = 1u << 26;
+constexpr uint32_t kMaxSources = 1u << 20;
+
+/** Bounds-checked cursor over the decoded payload. */
+struct Cursor
+{
+    const unsigned char *p;
+    const unsigned char *end;
+
+    void
+    need(size_t n, const char *what)
+    {
+        if (static_cast<size_t>(end - p) < n) {
+            throw Error(
+                strPrintf("Segment::load: truncated %s", what));
+        }
+    }
+    uint32_t
+    u32(const char *what)
+    {
+        need(4, what);
+        const uint32_t v = getU32(p);
+        p += 4;
+        return v;
+    }
+    uint64_t
+    u64(const char *what)
+    {
+        need(8, what);
+        const uint64_t v = getU64(p);
+        p += 8;
+        return v;
+    }
+    int64_t
+    i64(const char *what)
+    {
+        need(8, what);
+        const int64_t v = getI64(p);
+        p += 8;
+        return v;
+    }
+    std::string
+    str(size_t n, const char *what)
+    {
+        need(n, what);
+        std::string s(reinterpret_cast<const char *>(p), n);
+        p += n;
+        return s;
+    }
+};
+
+} // namespace
+
+void
+Segment::save(std::ostream &os) const
+{
+    std::string payload;
+    size_t entry_bytes = 0;
+    for (const auto &src : sources)
+        entry_bytes += 4 + 8 + 8 + 8 + src.name.size() +
+                       src.entries.size() * 20;
+    payload.reserve(4 + program.size() + 4 + 4 + entry_bytes);
+    putU32(payload, static_cast<uint32_t>(program.size()));
+    payload.append(program);
+    putU32(payload, num_sites);
+    putU32(payload, static_cast<uint32_t>(sources.size()));
+    for (const auto &src : sources) {
+        putU32(payload, static_cast<uint32_t>(src.name.size()));
+        payload.append(src.name);
+        putU64(payload, static_cast<uint64_t>(src.batches));
+        putU64(payload, src.entries.size());
+        for (const auto &[site, counts] : src.entries) {
+            putU32(payload, site);
+            putI64(payload, counts.executed);
+            putI64(payload, counts.taken);
+        }
+    }
+
+    std::string header;
+    header.reserve(kHeaderBytes);
+    header.append(kMagic, sizeof(kMagic));
+    putU32(header, kVersion);
+    putU32(header, 0); // reserved
+    putU64(header, fingerprint);
+    putU64(header, payload.size());
+    putU64(header,
+           binio::fnv1a(binio::kFnv1aOffset, payload.data(),
+                        payload.size()));
+    os.write(header.data(), static_cast<std::streamsize>(header.size()));
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+}
+
+Segment
+Segment::load(std::istream &is)
+{
+    unsigned char header[kHeaderBytes];
+    is.read(reinterpret_cast<char *>(header), kHeaderBytes);
+    if (static_cast<size_t>(is.gcount()) != kHeaderBytes)
+        throw Error("Segment::load: truncated header");
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+        throw Error("Segment::load: bad magic");
+    const uint32_t version = getU32(header + 8);
+    if (version != kVersion) {
+        throw Error(strPrintf(
+            "Segment::load: unsupported version %u", version));
+    }
+    Segment seg;
+    seg.fingerprint = getU64(header + 16);
+    const uint64_t payload_len = getU64(header + 24);
+    const uint64_t checksum = getU64(header + 32);
+    if (payload_len > kMaxPayloadBytes)
+        throw Error("Segment::load: implausible payload length");
+
+    std::string payload(static_cast<size_t>(payload_len), '\0');
+    is.read(payload.data(), static_cast<std::streamsize>(payload_len));
+    if (static_cast<uint64_t>(is.gcount()) != payload_len)
+        throw Error("Segment::load: truncated payload");
+    if (binio::fnv1a(binio::kFnv1aOffset, payload.data(),
+                     payload.size()) != checksum)
+        throw Error("Segment::load: payload checksum mismatch");
+
+    Cursor c{reinterpret_cast<const unsigned char *>(payload.data()),
+             reinterpret_cast<const unsigned char *>(payload.data()) +
+                 payload.size()};
+    const uint32_t program_len = c.u32("program name length");
+    if (program_len > kMaxNameBytes)
+        throw Error("Segment::load: implausible program name length");
+    seg.program = c.str(program_len, "program name");
+    seg.num_sites = c.u32("site count");
+    if (seg.num_sites > kMaxSites)
+        throw Error("Segment::load: implausible site count");
+    const uint32_t source_count = c.u32("source count");
+    if (source_count > kMaxSources)
+        throw Error("Segment::load: implausible source count");
+    seg.sources.reserve(source_count);
+    std::string prev_name;
+    for (uint32_t s = 0; s < source_count; ++s) {
+        SegmentSource src;
+        const uint32_t name_len = c.u32("source name length");
+        if (name_len > kMaxNameBytes)
+            throw Error("Segment::load: implausible source name length");
+        src.name = c.str(name_len, "source name");
+        if (s > 0 && src.name <= prev_name)
+            throw Error("Segment::load: source names out of order");
+        prev_name = src.name;
+        src.batches = c.i64("batch count");
+        if (src.batches < 0)
+            throw Error("Segment::load: negative batch count");
+        const uint64_t entry_count = c.u64("entry count");
+        if (entry_count > seg.num_sites)
+            throw Error("Segment::load: implausible entry count");
+        src.entries.reserve(static_cast<size_t>(entry_count));
+        int64_t prev_site = -1;
+        for (uint64_t e = 0; e < entry_count; ++e) {
+            const uint32_t site = c.u32("entry site");
+            vm::BranchCounts counts;
+            counts.executed = c.i64("entry counts");
+            counts.taken = c.i64("entry counts");
+            if (site >= seg.num_sites ||
+                static_cast<int64_t>(site) <= prev_site)
+                throw Error("Segment::load: entry sites out of order");
+            prev_site = static_cast<int64_t>(site);
+            if (counts.executed < 0 || counts.taken < 0 ||
+                counts.taken > counts.executed)
+                throw Error("Segment::load: inconsistent entry counts");
+            src.entries.emplace_back(site, counts);
+        }
+        seg.sources.push_back(std::move(src));
+    }
+    if (c.p != c.end)
+        throw Error("Segment::load: trailing payload bytes");
+    // One segment per file: anything after the payload is damage.
+    if (is.peek() != std::char_traits<char>::eof())
+        throw Error("Segment::load: trailing bytes after payload");
+    return seg;
+}
+
+} // namespace ifprob::ingest

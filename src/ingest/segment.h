@@ -1,0 +1,67 @@
+#ifndef IFPROB_INGEST_SEGMENT_H
+#define IFPROB_INGEST_SEGMENT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vm/run_stats.h"
+
+namespace ifprob::ingest {
+
+/**
+ * One predictor dataset's accumulated counts inside a segment: the
+ * source name (client / dataset identity), how many batches it folded,
+ * and a sparse ascending-site list of nonzero (executed, taken) pairs.
+ */
+struct SegmentSource
+{
+    std::string name;
+    int64_t batches = 0;
+    std::vector<std::pair<uint32_t, vm::BranchCounts>> entries;
+};
+
+/**
+ * The IFPROBPS on-disk segment: one compiled image's entire ingest
+ * state — every source's integer branch counts — in the versioned
+ * little-endian binary layout shared with the IFPROBRS and IFPROBTR
+ * cache formats (see docs/ingest.md for the byte layout).
+ *
+ * Layout: an 8-byte magic, a u32 format version, a u32 reserved word,
+ * the image's u64 fingerprint, a u64 payload length, a u64 FNV-1a
+ * checksum of the payload, then the payload: program name
+ * (u32 length + bytes), u32 site count, u32 source count, and per
+ * source — sorted by name — its name (u32 length + bytes), u64 batch
+ * count, u64 entry count, and (u32 site, i64 executed, i64 taken)
+ * entries in strictly ascending site order, nonzero sites only.
+ *
+ * load() rejects anything suspicious with Error: bad magic, an
+ * unsupported version, a truncated header or payload, a checksum
+ * mismatch, implausible counts, out-of-range or non-ascending sites,
+ * and negative or inconsistent counters. The ProfileStore counts each
+ * rejected file and keeps going — a corrupt segment costs
+ * re-ingestion, never wrong counts.
+ */
+struct Segment
+{
+    static constexpr char kMagic[8] = {'I', 'F', 'P', 'R',
+                                       'O', 'B', 'P', 'S'};
+    static constexpr uint32_t kVersion = 1;
+
+    std::string program;
+    uint64_t fingerprint = 0;
+    uint32_t num_sites = 0;
+    std::vector<SegmentSource> sources;
+
+    /** Write the binary form (open @p os with std::ios::binary). */
+    void save(std::ostream &os) const;
+
+    /** Read and validate one segment; throws Error on any defect. */
+    static Segment load(std::istream &is);
+};
+
+} // namespace ifprob::ingest
+
+#endif // IFPROB_INGEST_SEGMENT_H

@@ -1,6 +1,7 @@
 #include "profile/profile_db.h"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 
 #include "support/error.h"
@@ -31,6 +32,13 @@ ProfileDb::ProfileDb(std::string program_name, uint64_t fingerprint,
     : ProfileDb(std::move(program_name), fingerprint, stats.branches.size())
 {
     accumulate(stats);
+}
+
+ProfileDb::ProfileDb(std::string program_name, uint64_t fingerprint,
+                     std::vector<BranchWeight> weights)
+    : program_name_(std::move(program_name)), fingerprint_(fingerprint),
+      weights_(std::move(weights))
+{
 }
 
 double
@@ -137,9 +145,14 @@ ProfileDb::save(std::ostream &os) const
                     static_cast<unsigned long long>(fingerprint_))
        << '\n';
     os << weights_.size() << '\n';
-    os.precision(17);
+    // max_digits10 significant digits round-trip every double exactly
+    // (scaled-mode weights are non-representable fractions, not
+    // integers). The caller's precision is restored on the way out.
+    const auto saved_precision =
+        os.precision(std::numeric_limits<double>::max_digits10);
     for (const auto &w : weights_)
         os << w.executed << ' ' << w.taken << '\n';
+    os.precision(saved_precision);
 }
 
 ProfileDb

@@ -60,6 +60,11 @@ class ProfileDb
     ProfileDb(std::string program_name, uint64_t fingerprint,
               const vm::RunStats &stats);
 
+    /** Build from already-computed per-site weights (the ingest plane's
+     *  merge-on-read snapshots assemble these outside the class). */
+    ProfileDb(std::string program_name, uint64_t fingerprint,
+              std::vector<BranchWeight> weights);
+
     const std::string &programName() const { return program_name_; }
     uint64_t fingerprint() const { return fingerprint_; }
     size_t numSites() const { return weights_.size(); }
@@ -83,7 +88,13 @@ class ProfileDb
      */
     static ProfileDb merge(std::span<const ProfileDb> inputs, MergeMode mode);
 
-    /** Plain-text round-trippable serialization. */
+    /**
+     * Plain-text serialization — the compatibility format (the ingest
+     * plane's IFPROBPS binary segments are the hot path, see
+     * docs/ingest.md). Weights are written with max_digits10
+     * significant digits, so every double — including the fractional
+     * weights scaled merging produces — round-trips bit-exactly.
+     */
     void save(std::ostream &os) const;
     static ProfileDb load(std::istream &is);
 

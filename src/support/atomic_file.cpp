@@ -1,0 +1,48 @@
+#include "support/atomic_file.h"
+
+#include <atomic>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "support/str.h"
+
+namespace ifprob {
+
+int64_t
+fileSizeOf(const std::string &path)
+{
+    std::error_code ec;
+    auto size = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<int64_t>(size);
+}
+
+int64_t
+writeFileAtomically(const std::string &path,
+                    const std::function<void(std::ofstream &)> &payload)
+{
+    static std::atomic<uint64_t> temp_seq{0};
+    std::string tmp = strPrintf(
+        "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(::getpid()),
+        static_cast<unsigned long long>(
+            temp_seq.fetch_add(1, std::memory_order_relaxed)));
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out)
+        return 0;
+    payload(out);
+    out.close();
+    if (!out) {
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        return 0;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return 0;
+    }
+    return fileSizeOf(path);
+}
+
+} // namespace ifprob

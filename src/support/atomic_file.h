@@ -1,0 +1,31 @@
+#ifndef IFPROB_SUPPORT_ATOMIC_FILE_H
+#define IFPROB_SUPPORT_ATOMIC_FILE_H
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+namespace ifprob {
+
+/** Size of @p path in bytes, or 0 when it cannot be stat'd. */
+int64_t fileSizeOf(const std::string &path);
+
+/**
+ * Write a file via a temp sibling + rename so a concurrent reader (or a
+ * process killed mid-write) never observes a torn entry; rename() is
+ * atomic within the target directory. @p payload receives the open
+ * temp-file stream (binary mode) and writes the contents. Returns the
+ * bytes now at @p path, or 0 when the write could not complete — cache
+ * degradation, not an error, so callers keep running uncached.
+ *
+ * This is the write idiom shared by the Runner's .stats cache, the
+ * trace plane's .trace cache, and the ingest plane's .seg segments.
+ */
+int64_t
+writeFileAtomically(const std::string &path,
+                    const std::function<void(std::ofstream &)> &payload);
+
+} // namespace ifprob
+
+#endif // IFPROB_SUPPORT_ATOMIC_FILE_H

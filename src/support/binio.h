@@ -1,0 +1,108 @@
+#ifndef IFPROB_SUPPORT_BINIO_H
+#define IFPROB_SUPPORT_BINIO_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ifprob::binio {
+
+/**
+ * Little-endian scalar, LEB128 varint, and FNV-1a helpers shared by
+ * every versioned binary cache format (IFPROBRS run stats, IFPROBTR
+ * traces, IFPROBPS profile segments). Byte-explicit rather than
+ * memcpy-of-struct so the on-disk formats are identical on any host.
+ */
+
+inline void
+putU32(std::string &buf, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void
+putU64(std::string &buf, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void
+putI64(std::string &buf, int64_t v)
+{
+    putU64(buf, static_cast<uint64_t>(v));
+}
+
+inline uint32_t
+getU32(const unsigned char *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline uint64_t
+getU64(const unsigned char *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline int64_t
+getI64(const unsigned char *p)
+{
+    return static_cast<int64_t>(getU64(p));
+}
+
+inline void
+putVarint(std::string &buf, uint64_t v)
+{
+    while (v >= 0x80) {
+        buf.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    buf.push_back(static_cast<char>(v));
+}
+
+/** Decode one varint, advancing @p p; throws on stream overrun. */
+inline uint64_t
+getVarint(const unsigned char *&p, const unsigned char *end,
+          const char *what)
+{
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+        if (p == end || shift > 63)
+            throw Error(strPrintf("corrupt %s varint stream", what));
+        const unsigned char byte = *p++;
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return v;
+        shift += 7;
+    }
+}
+
+/** FNV-1a 64 starting point for payload checksums. */
+inline constexpr uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+
+/** Fold @p n bytes of @p data into the running FNV-1a 64 hash @p h. */
+inline uint64_t
+fnv1a(uint64_t h, const void *data, size_t n)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace ifprob::binio
+
+#endif // IFPROB_SUPPORT_BINIO_H

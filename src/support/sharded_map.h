@@ -1,0 +1,121 @@
+#ifndef IFPROB_SUPPORT_SHARDED_MAP_H
+#define IFPROB_SUPPORT_SHARDED_MAP_H
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ifprob {
+
+/**
+ * A map from Key to shared_ptr<Slot>, partitioned across a fixed set of
+ * independently locked shards so concurrent get-or-create calls on
+ * different keys rarely contend. This is the memoization idiom the
+ * Runner's run-once stats cache and record-once trace cache both grew
+ * independently; the ingest ProfileStore is the third user.
+ *
+ * The map only ever hands out shared_ptrs, so a returned Slot stays
+ * valid after clear() and regardless of concurrent mutation. Typical
+ * use pairs the Slot with a std::once_flag: the map guarantees one
+ * shared Slot per key, call_once guarantees one initialization.
+ *
+ * Hash picks the shard only — within a shard, keys live in an ordered
+ * std::map, which keys() relies on for deterministic iteration.
+ */
+template <typename Key, typename Slot, typename Hash = std::hash<Key>>
+class ShardedSlotMap
+{
+  public:
+    static constexpr size_t kShards = 16;
+
+    /** The slot for @p key, default-constructed on first request.
+     *  Exactly one Slot ever exists per key; concurrent callers for the
+     *  same new key race only on the shard mutex, and all receive the
+     *  same shared_ptr. */
+    std::shared_ptr<Slot>
+    slot(const Key &key)
+    {
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto &entry = shard.slots[key];
+        if (!entry)
+            entry = std::make_shared<Slot>();
+        return entry;
+    }
+
+    /** The slot for @p key, or nullptr when none exists. Never creates. */
+    std::shared_ptr<Slot>
+    peek(const Key &key) const
+    {
+        const Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.slots.find(key);
+        return it == shard.slots.end() ? nullptr : it->second;
+    }
+
+    /** Every key currently present, globally sorted (Key::operator<).
+     *  A point-in-time union of the shards, not a cross-shard atomic
+     *  snapshot. */
+    std::vector<Key>
+    keys() const
+    {
+        std::vector<Key> out;
+        for (const Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            for (const auto &[key, slot] : shard.slots)
+                out.push_back(key);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    size_t
+    size() const
+    {
+        size_t n = 0;
+        for (const Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            n += shard.slots.size();
+        }
+        return n;
+    }
+
+    /** Drop every entry. Slots handed out earlier stay alive through
+     *  their shared_ptrs; callers must not race clear() with slot use
+     *  if they rely on key-to-slot identity. */
+    void
+    clear()
+    {
+        for (Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            shard.slots.clear();
+        }
+    }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::map<Key, std::shared_ptr<Slot>> slots;
+    };
+
+    Shard &
+    shardFor(const Key &key)
+    {
+        return shards_[Hash{}(key) % kShards];
+    }
+    const Shard &
+    shardFor(const Key &key) const
+    {
+        return shards_[Hash{}(key) % kShards];
+    }
+
+    Shard shards_[kShards];
+};
+
+} // namespace ifprob
+
+#endif // IFPROB_SUPPORT_SHARDED_MAP_H

@@ -94,4 +94,18 @@ withCommas(long long value)
     return std::string(out.rbegin(), out.rend());
 }
 
+std::string
+sanitizeFileName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out.push_back(c);
+        else
+            out.push_back('_');
+    }
+    return out;
+}
+
 } // namespace ifprob

@@ -34,6 +34,13 @@ std::string_view trim(std::string_view text);
  */
 std::string withCommas(long long value);
 
+/**
+ * Reduce @p name to a safe file-name component: alphanumerics pass
+ * through, everything else becomes '_'. Shared by every cache that keys
+ * files on workload/program names (stats, trace, ingest segments).
+ */
+std::string sanitizeFileName(const std::string &name);
+
 } // namespace ifprob
 
 #endif // IFPROB_SUPPORT_STR_H

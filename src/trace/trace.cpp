@@ -8,6 +8,7 @@
 #include "isa/program.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "support/binio.h"
 #include "support/error.h"
 #include "support/str.h"
 
@@ -15,69 +16,15 @@ namespace ifprob::trace {
 
 namespace {
 
-// --- little-endian scalar + LEB128 varint helpers --------------------------
-// Byte-explicit (same discipline as vm/run_stats.cpp) so the on-disk
-// format is identical on any host.
-
-void
-putU32(std::string &buf, uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-void
-putU64(std::string &buf, uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-uint32_t
-getU32(const unsigned char *p)
-{
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= static_cast<uint32_t>(p[i]) << (8 * i);
-    return v;
-}
-
-uint64_t
-getU64(const unsigned char *p)
-{
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<uint64_t>(p[i]) << (8 * i);
-    return v;
-}
-
-void
-putVarint(std::string &buf, uint64_t v)
-{
-    while (v >= 0x80) {
-        buf.push_back(static_cast<char>((v & 0x7f) | 0x80));
-        v >>= 7;
-    }
-    buf.push_back(static_cast<char>(v));
-}
-
-/** Decode one varint, advancing @p p; throws on stream overrun. */
-uint64_t
-getVarint(const unsigned char *&p, const unsigned char *end,
-          const char *what)
-{
-    uint64_t v = 0;
-    int shift = 0;
-    while (true) {
-        if (p == end || shift > 63)
-            throw Error(strPrintf("Trace: corrupt %s varint stream", what));
-        const unsigned char byte = *p++;
-        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
-        if ((byte & 0x80) == 0)
-            return v;
-        shift += 7;
-    }
-}
+// Little-endian scalars, LEB128 varints, and FNV-1a come from
+// support/binio.h — the encoding discipline shared by every versioned
+// binary cache format in the repo.
+using binio::getU32;
+using binio::getU64;
+using binio::getVarint;
+using binio::putU32;
+using binio::putU64;
+using binio::putVarint;
 
 bool
 getBit(const std::string &stream, int64_t index)
@@ -90,20 +37,10 @@ getBit(const std::string &stream, int64_t index)
 
 /** FNV-1a 64 over the variable-length payload (names, dict, streams). */
 uint64_t
-fnv1a(uint64_t h, const void *data, size_t n)
-{
-    const unsigned char *p = static_cast<const unsigned char *>(data);
-    for (size_t i = 0; i < n; ++i) {
-        h ^= p[i];
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-uint64_t
 payloadChecksum(const Trace &t)
 {
-    uint64_t h = 0xcbf29ce484222325ull;
+    using binio::fnv1a;
+    uint64_t h = binio::kFnv1aOffset;
     h = fnv1a(h, t.workload.data(), t.workload.size());
     h = fnv1a(h, t.dataset.data(), t.dataset.size());
     h = fnv1a(h, t.site_dict.data(),

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <vector>
 
+#include "support/binio.h"
 #include "support/error.h"
 #include "support/str.h"
 
@@ -66,51 +67,14 @@ RunStats::save(std::ostream &os) const
 
 namespace {
 
-/** Little-endian encode/decode helpers. Byte-explicit rather than
- *  memcpy-of-struct so the on-disk format is identical on any host. */
-void
-putU32(std::string &buf, uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-void
-putU64(std::string &buf, uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-void
-putI64(std::string &buf, int64_t v)
-{
-    putU64(buf, static_cast<uint64_t>(v));
-}
-
-uint32_t
-getU32(const unsigned char *p)
-{
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= static_cast<uint32_t>(p[i]) << (8 * i);
-    return v;
-}
-
-uint64_t
-getU64(const unsigned char *p)
-{
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<uint64_t>(p[i]) << (8 * i);
-    return v;
-}
-
-int64_t
-getI64(const unsigned char *p)
-{
-    return static_cast<int64_t>(getU64(p));
-}
+// Little-endian encode/decode helpers from support/binio.h —
+// byte-explicit so the on-disk format is identical on any host.
+using binio::getI64;
+using binio::getU32;
+using binio::getU64;
+using binio::putI64;
+using binio::putU32;
+using binio::putU64;
 
 /** Fill @p buf from the stream or throw the truncation error. */
 void

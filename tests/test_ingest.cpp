@@ -1,0 +1,581 @@
+/**
+ * @file
+ * Tests for the ingest plane: ProfileStore folding and merge-on-read
+ * snapshots (bit-identical to the reference ProfileDb::merge in every
+ * mode, under any thread interleaving), batch validation, and the
+ * IFPROBPS segment format's round-trip and corruption rejection.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "ingest/profile_store.h"
+#include "ingest/segment.h"
+#include "profile/profile_db.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ifprob::ingest {
+namespace {
+
+using profile::MergeMode;
+using profile::ProfileDb;
+
+constexpr MergeMode kAllModes[] = {MergeMode::kUnscaled,
+                                   MergeMode::kScaled,
+                                   MergeMode::kPolling};
+
+/** Bit-level equality: the acceptance bar is byte-identical doubles,
+ *  not EXPECT_DOUBLE_EQ's value equality. */
+void
+expectSameBits(const ProfileDb &got, const ProfileDb &want)
+{
+    EXPECT_EQ(got.programName(), want.programName());
+    EXPECT_EQ(got.fingerprint(), want.fingerprint());
+    ASSERT_EQ(got.numSites(), want.numSites());
+    for (size_t i = 0; i < got.numSites(); ++i) {
+        EXPECT_EQ(std::memcmp(&got.site(i), &want.site(i),
+                              sizeof(profile::BranchWeight)),
+                  0)
+            << "site " << i << ": got (" << got.site(i).executed << ", "
+            << got.site(i).taken << ") want (" << want.site(i).executed
+            << ", " << want.site(i).taken << ")";
+    }
+}
+
+/** The reference path: per-source databases in lexicographic source
+ *  order through ProfileDb::merge. */
+ProfileDb
+referenceMerge(const ProfileStore &store,
+               const ProfileStore::ImageKey &key, MergeMode mode)
+{
+    std::vector<ProfileDb> inputs;
+    for (const auto &[name, batches] : store.sources(key))
+        inputs.push_back(store.sourceDb(key, name));
+    return ProfileDb::merge(inputs, mode);
+}
+
+RunReport
+report(std::string program, uint64_t fingerprint, std::string source,
+       uint32_t num_sites, std::vector<SiteDelta> deltas)
+{
+    RunReport r;
+    r.program = std::move(program);
+    r.fingerprint = fingerprint;
+    r.source = std::move(source);
+    r.num_sites = num_sites;
+    r.deltas = std::move(deltas);
+    return r;
+}
+
+TEST(IngestStore, FoldAccumulatesPerSource)
+{
+    ProfileStore store;
+    store.fold(report("p", 1, "alpha", 4, {{0, 10, 7}, {2, 5, 5}}));
+    store.fold(report("p", 1, "alpha", 4, {{0, 2, 1}}));
+    store.fold(report("p", 1, "beta", 4, {{3, 8, 0}}));
+
+    ProfileDb alpha = store.sourceDb({"p", 1}, "alpha");
+    EXPECT_DOUBLE_EQ(alpha.site(0).executed, 12.0);
+    EXPECT_DOUBLE_EQ(alpha.site(0).taken, 8.0);
+    EXPECT_DOUBLE_EQ(alpha.site(1).executed, 0.0);
+    EXPECT_DOUBLE_EQ(alpha.site(2).executed, 5.0);
+
+    auto sources = store.sources({"p", 1});
+    ASSERT_EQ(sources.size(), 2u);
+    EXPECT_EQ(sources[0].first, "alpha");
+    EXPECT_EQ(sources[0].second, 2);
+    EXPECT_EQ(sources[1].first, "beta");
+    EXPECT_EQ(sources[1].second, 1);
+
+    auto stats = store.stats();
+    EXPECT_EQ(stats.batches, 3);
+    EXPECT_EQ(stats.events, 4);
+    EXPECT_EQ(stats.rejected_batches, 0);
+}
+
+TEST(IngestStore, SnapshotMatchesReferenceMergeAllModes)
+{
+    ProfileStore store;
+    // Uneven totals so scaled mode produces non-representable
+    // fractions (1/3, 1/7, ...) where value-vs-bit differences show.
+    store.fold(report("p", 7, "alpha", 5,
+                      {{0, 3, 1}, {1, 7, 2}, {4, 1, 1}}));
+    store.fold(report("p", 7, "beta", 5, {{0, 11, 11}, {2, 13, 6}}));
+    store.fold(report("p", 7, "gamma", 5, {{3, 1, 0}}));
+    for (MergeMode mode : kAllModes) {
+        expectSameBits(store.snapshot({"p", 7}, mode),
+                       referenceMerge(store, {"p", 7}, mode));
+    }
+    EXPECT_EQ(store.stats().snapshots, 3);
+}
+
+TEST(IngestStore, ScaledSkipsAllZeroSourceLikeReference)
+{
+    ProfileStore store;
+    store.fold(report("p", 7, "live", 3, {{0, 4, 3}}));
+    store.fold(report("p", 7, "empty", 3, {{1, 0, 0}}));
+    for (MergeMode mode : kAllModes) {
+        expectSameBits(store.snapshot({"p", 7}, mode),
+                       referenceMerge(store, {"p", 7}, mode));
+    }
+    ProfileDb scaled = store.snapshot({"p", 7}, MergeMode::kScaled);
+    EXPECT_DOUBLE_EQ(scaled.totalExecuted(), 1.0); // only "live" counts
+}
+
+TEST(IngestStore, TracksImagesIndependently)
+{
+    ProfileStore store;
+    store.fold(report("p", 1, "s", 2, {{0, 1, 1}}));
+    store.fold(report("p", 2, "s", 9, {{8, 3, 0}}));
+    store.fold(report("q", 1, "s", 4, {{1, 2, 2}}));
+    auto images = store.images();
+    ASSERT_EQ(images.size(), 3u);
+    EXPECT_EQ(store.numSites({"p", 1}), 2u);
+    EXPECT_EQ(store.numSites({"p", 2}), 9u);
+    EXPECT_EQ(store.numSites({"q", 1}), 4u);
+}
+
+TEST(IngestStore, RejectsInvalidBatchesWithoutSideEffects)
+{
+    ProfileStore store;
+    store.fold(report("p", 1, "s", 4, {{0, 6, 2}}));
+    const ProfileDb before = store.snapshot({"p", 1}, MergeMode::kUnscaled);
+
+    // Site out of range.
+    EXPECT_THROW(store.fold(report("p", 1, "s", 4, {{4, 1, 0}})), Error);
+    // Negative executed.
+    EXPECT_THROW(store.fold(report("p", 1, "s", 4, {{0, -1, 0}})), Error);
+    // taken > executed.
+    EXPECT_THROW(store.fold(report("p", 1, "s", 4, {{0, 1, 2}})), Error);
+    // Site count disagrees with the image's established geometry.
+    EXPECT_THROW(store.fold(report("p", 1, "s", 5, {{0, 1, 0}})), Error);
+    // A rejected batch for a brand-new image must not create it.
+    EXPECT_THROW(store.fold(report("new", 9, "s", 4, {{9, 1, 0}})),
+                 Error);
+    EXPECT_THROW(store.snapshot({"new", 9}, MergeMode::kUnscaled), Error);
+
+    expectSameBits(store.snapshot({"p", 1}, MergeMode::kUnscaled),
+                   before);
+    EXPECT_EQ(store.stats().rejected_batches, 5);
+    EXPECT_EQ(store.stats().batches, 1);
+}
+
+TEST(IngestStore, SnapshotOfUnknownImageThrows)
+{
+    ProfileStore store;
+    EXPECT_THROW(store.snapshot({"nope", 1}, MergeMode::kUnscaled),
+                 Error);
+    EXPECT_THROW(store.sourceDb({"nope", 1}, "s"), Error);
+    EXPECT_THROW(store.numSites({"nope", 1}), Error);
+}
+
+/** Deterministic batch generator shared by the hammer tests. */
+std::vector<RunReport>
+makeBatches(uint64_t seed, int count)
+{
+    static const struct
+    {
+        const char *program;
+        uint64_t fingerprint;
+        uint32_t num_sites;
+    } kImages[] = {{"prog_a", 0xA, 97}, {"prog_b", 0xB, 33}};
+    static const char *kSources[] = {"alpha", "beta", "gamma", "delta"};
+
+    Rng rng(seed);
+    std::vector<RunReport> out;
+    out.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const auto &img = kImages[rng.below(2)];
+        RunReport r;
+        r.program = img.program;
+        r.fingerprint = img.fingerprint;
+        r.source = kSources[rng.below(4)];
+        r.num_sites = img.num_sites;
+        const int deltas = static_cast<int>(rng.range(1, 20));
+        for (int d = 0; d < deltas; ++d) {
+            const int64_t executed = rng.range(0, 1000);
+            r.deltas.push_back(
+                {static_cast<uint32_t>(rng.below(img.num_sites)),
+                 executed, rng.range(0, executed)});
+        }
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+/** Serial ground truth: the same batches folded into plain maps, then
+ *  through ProfileDb::merge — no store code involved. */
+std::map<ProfileStore::ImageKey, ProfileDb>
+groundTruth(const std::vector<std::vector<RunReport>> &batches,
+            MergeMode mode)
+{
+    std::map<ProfileStore::ImageKey,
+             std::pair<uint32_t,
+                       std::map<std::string,
+                                std::vector<vm::BranchCounts>>>>
+        model;
+    for (const auto &thread_batches : batches) {
+        for (const RunReport &r : thread_batches) {
+            auto &[num_sites, sources] =
+                model[{r.program, r.fingerprint}];
+            num_sites = r.num_sites;
+            auto &counts = sources[r.source];
+            counts.resize(r.num_sites);
+            for (const SiteDelta &d : r.deltas) {
+                counts[d.site].executed += d.executed;
+                counts[d.site].taken += d.taken;
+            }
+        }
+    }
+    std::map<ProfileStore::ImageKey, ProfileDb> out;
+    for (const auto &[key, image] : model) {
+        std::vector<ProfileDb> inputs;
+        for (const auto &[name, counts] : image.second) {
+            std::vector<profile::BranchWeight> weights(image.first);
+            for (size_t i = 0; i < counts.size(); ++i) {
+                weights[i].executed =
+                    static_cast<double>(counts[i].executed);
+                weights[i].taken = static_cast<double>(counts[i].taken);
+            }
+            inputs.emplace_back(key.first, key.second,
+                                std::move(weights));
+        }
+        out.emplace(key, ProfileDb::merge(inputs, mode));
+    }
+    return out;
+}
+
+TEST(IngestHammer, ConcurrentFoldsMatchSerialGroundTruth)
+{
+    constexpr int kThreads = 8;
+    constexpr int kBatchesPerThread = 150;
+
+    std::vector<std::vector<RunReport>> batches;
+    for (int t = 0; t < kThreads; ++t)
+        batches.push_back(makeBatches(1000 + t, kBatchesPerThread));
+
+    ProfileStore store;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&store, &batches, t] {
+            for (const RunReport &r : batches[static_cast<size_t>(t)])
+                store.fold(r);
+        });
+    }
+    for (auto &w : writers)
+        w.join();
+
+    EXPECT_EQ(store.stats().batches, kThreads * kBatchesPerThread);
+    for (MergeMode mode : kAllModes) {
+        for (const auto &[key, want] : groundTruth(batches, mode)) {
+            expectSameBits(store.snapshot(key, mode), want);
+            expectSameBits(store.snapshot(key, mode),
+                           referenceMerge(store, key, mode));
+        }
+    }
+}
+
+TEST(IngestHammer, SnapshotsDuringFoldsSettleToGroundTruth)
+{
+    constexpr int kWriters = 4;
+    constexpr int kBatchesPerThread = 120;
+
+    std::vector<std::vector<RunReport>> batches;
+    for (int t = 0; t < kWriters; ++t)
+        batches.push_back(makeBatches(2000 + t, kBatchesPerThread));
+
+    ProfileStore store;
+    // Seed both images so readers never race image creation itself.
+    store.fold(report("prog_a", 0xA, "alpha", 97, {{0, 0, 0}}));
+    store.fold(report("prog_b", 0xB, "alpha", 33, {{0, 0, 0}}));
+
+    std::atomic<bool> done{false};
+    std::atomic<int64_t> reads{0};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+        readers.emplace_back([&store, &done, &reads, r] {
+            int i = 0;
+            while (!done.load(std::memory_order_acquire)) {
+                const MergeMode mode =
+                    kAllModes[static_cast<size_t>(r + i++) % 3];
+                ProfileDb db = store.snapshot({"prog_a", 0xA}, mode);
+                // Monotonic sanity: weights never go negative.
+                EXPECT_GE(db.totalExecuted(), 0.0);
+                reads.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; ++t) {
+        writers.emplace_back([&store, &batches, t] {
+            for (const RunReport &r : batches[static_cast<size_t>(t)])
+                store.fold(r);
+        });
+    }
+    for (auto &w : writers)
+        w.join();
+    done.store(true, std::memory_order_release);
+    for (auto &r : readers)
+        r.join();
+    EXPECT_GT(reads.load(), 0);
+
+    // The seeding batches are all-zero deltas: they change no counts,
+    // only the "alpha" batch totals, so the quiesced ground truth of
+    // the generated batches plus two extra alpha batches must match.
+    for (MergeMode mode : kAllModes) {
+        for (const auto &[key, want] : groundTruth(batches, mode))
+            expectSameBits(store.snapshot(key, mode), want);
+    }
+}
+
+// --- IFPROBPS segments ------------------------------------------------------
+
+Segment
+sampleSegment()
+{
+    Segment seg;
+    seg.program = "prog";
+    seg.fingerprint = 0xfeedface;
+    seg.num_sites = 9;
+    SegmentSource a;
+    a.name = "alpha";
+    a.batches = 3;
+    a.entries = {{0, {10, 7}}, {4, {5, 0}}, {8, {2, 2}}};
+    SegmentSource b;
+    b.name = "beta";
+    b.batches = 1;
+    b.entries = {{1, {1, 1}}};
+    seg.sources = {a, b};
+    return seg;
+}
+
+TEST(IngestSegment, RoundTripsThroughTheBinaryFormat)
+{
+    Segment seg = sampleSegment();
+    std::stringstream ss;
+    seg.save(ss);
+    Segment loaded = Segment::load(ss);
+    EXPECT_EQ(loaded.program, seg.program);
+    EXPECT_EQ(loaded.fingerprint, seg.fingerprint);
+    EXPECT_EQ(loaded.num_sites, seg.num_sites);
+    ASSERT_EQ(loaded.sources.size(), 2u);
+    EXPECT_EQ(loaded.sources[0].name, "alpha");
+    EXPECT_EQ(loaded.sources[0].batches, 3);
+    ASSERT_EQ(loaded.sources[0].entries.size(), 3u);
+    EXPECT_EQ(loaded.sources[0].entries[1].first, 4u);
+    EXPECT_EQ(loaded.sources[0].entries[1].second.executed, 5);
+    EXPECT_EQ(loaded.sources[1].name, "beta");
+}
+
+TEST(IngestSegment, RejectsBadMagicVersionAndCorruption)
+{
+    Segment seg = sampleSegment();
+    std::stringstream ss;
+    seg.save(ss);
+    const std::string bytes = ss.str();
+
+    auto loadFrom = [](std::string data) {
+        std::stringstream in(std::move(data));
+        return Segment::load(in);
+    };
+
+    {
+        std::string bad = bytes;
+        bad[0] = 'X';
+        EXPECT_THROW(loadFrom(bad), Error);
+    }
+    {
+        std::string bad = bytes;
+        bad[8] = 9; // version
+        EXPECT_THROW(loadFrom(bad), Error);
+    }
+    {
+        // Flip one payload byte: checksum must catch it.
+        std::string bad = bytes;
+        bad[bytes.size() - 3] ^= 0x40;
+        EXPECT_THROW(loadFrom(bad), Error);
+    }
+    {
+        // Truncations at every prefix length must throw, never crash.
+        for (size_t n = 0; n < bytes.size(); n += 7)
+            EXPECT_THROW(loadFrom(bytes.substr(0, n)), Error);
+    }
+    {
+        std::string bad = bytes + "extra";
+        EXPECT_THROW(loadFrom(bad), Error);
+    }
+}
+
+TEST(IngestSegment, RejectsInconsistentEntries)
+{
+    // Build logically invalid segments and push them through
+    // save(): load() must reject what the writer never produces.
+    {
+        Segment seg = sampleSegment();
+        seg.sources[0].entries[1].first = 0; // out of order
+        std::stringstream ss;
+        seg.save(ss);
+        EXPECT_THROW(Segment::load(ss), Error);
+    }
+    {
+        Segment seg = sampleSegment();
+        seg.sources[0].entries[0].second = {3, 5}; // taken > executed
+        std::stringstream ss;
+        seg.save(ss);
+        EXPECT_THROW(Segment::load(ss), Error);
+    }
+    {
+        Segment seg = sampleSegment();
+        std::swap(seg.sources[0], seg.sources[1]); // names out of order
+        std::stringstream ss;
+        seg.save(ss);
+        EXPECT_THROW(Segment::load(ss), Error);
+    }
+    {
+        Segment seg = sampleSegment();
+        seg.sources[0].entries[2].first = 99; // site >= num_sites
+        std::stringstream ss;
+        seg.save(ss);
+        EXPECT_THROW(Segment::load(ss), Error);
+    }
+}
+
+// --- Store persistence ------------------------------------------------------
+
+class IngestPersistence : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               "ifprob_ingest_test";
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::string dir() const { return dir_.string(); }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(IngestPersistence, SegmentsRoundTripTheWholeStore)
+{
+    ProfileStore store;
+    for (const RunReport &r : makeBatches(42, 60))
+        store.fold(r);
+    ASSERT_EQ(store.saveSegments(dir()), 2u); // one file per image
+
+    ProfileStore reloaded;
+    EXPECT_EQ(reloaded.loadSegments(dir()), 2u);
+    ASSERT_EQ(reloaded.images().size(), store.images().size());
+    for (const auto &key : store.images()) {
+        EXPECT_EQ(reloaded.sources(key), store.sources(key));
+        for (MergeMode mode : kAllModes) {
+            expectSameBits(reloaded.snapshot(key, mode),
+                           store.snapshot(key, mode));
+        }
+    }
+    auto stats = reloaded.stats();
+    EXPECT_EQ(stats.segments_loaded, 2);
+    EXPECT_EQ(stats.segment_failures, 0);
+}
+
+TEST_F(IngestPersistence, CorruptSegmentIsCountedAndSkipped)
+{
+    ProfileStore store;
+    store.fold(report("good", 1, "s", 3, {{0, 5, 2}}));
+    store.fold(report("evil", 2, "s", 3, {{1, 9, 9}}));
+    ASSERT_EQ(store.saveSegments(dir()), 2u);
+
+    // Flip a payload byte in the "evil" segment.
+    const std::string victim =
+        (std::filesystem::path(dir()) / "evil.0000000000000002.seg")
+            .string();
+    {
+        std::fstream f(victim,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekp(-2, std::ios::end);
+        f.put('\x7f');
+    }
+
+    ProfileStore reloaded;
+    EXPECT_EQ(reloaded.loadSegments(dir()), 1u);
+    auto stats = reloaded.stats();
+    EXPECT_EQ(stats.segments_loaded, 1);
+    EXPECT_EQ(stats.segment_failures, 1);
+    ASSERT_EQ(stats.failures.size(), 1u);
+    EXPECT_NE(stats.failures[0].find("evil"), std::string::npos);
+    // The good image survived; the corrupt one is simply absent,
+    // waiting for re-ingestion.
+    expectSameBits(reloaded.snapshot({"good", 1}, MergeMode::kUnscaled),
+                   store.snapshot({"good", 1}, MergeMode::kUnscaled));
+    EXPECT_THROW(reloaded.snapshot({"evil", 2}, MergeMode::kUnscaled),
+                 Error);
+
+    // Re-ingesting the lost batch restores the store.
+    reloaded.fold(report("evil", 2, "s", 3, {{1, 9, 9}}));
+    expectSameBits(reloaded.snapshot({"evil", 2}, MergeMode::kUnscaled),
+                   store.snapshot({"evil", 2}, MergeMode::kUnscaled));
+}
+
+TEST_F(IngestPersistence, TruncatedSegmentIsCountedAndSkipped)
+{
+    ProfileStore store;
+    store.fold(report("only", 1, "s", 3, {{0, 5, 2}, {2, 1, 0}}));
+    ASSERT_EQ(store.saveSegments(dir()), 1u);
+
+    const auto path =
+        std::filesystem::path(dir()) / "only.0000000000000001.seg";
+    ASSERT_TRUE(std::filesystem::exists(path));
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+
+    ProfileStore reloaded;
+    EXPECT_EQ(reloaded.loadSegments(dir()), 0u);
+    EXPECT_EQ(reloaded.stats().segment_failures, 1);
+    EXPECT_TRUE(reloaded.images().empty());
+}
+
+TEST_F(IngestPersistence, LoadIntoPopulatedStoreFoldsOnTop)
+{
+    ProfileStore store;
+    store.fold(report("p", 1, "alpha", 3, {{0, 4, 1}}));
+    ASSERT_EQ(store.saveSegments(dir()), 1u);
+
+    // Load the segment into a store that already has counts for the
+    // same image: segment counts fold in like any other batch.
+    ProfileStore other;
+    other.fold(report("p", 1, "alpha", 3, {{0, 1, 1}}));
+    other.fold(report("p", 1, "beta", 3, {{2, 2, 0}}));
+    EXPECT_EQ(other.loadSegments(dir()), 1u);
+
+    ProfileDb alpha = other.sourceDb({"p", 1}, "alpha");
+    EXPECT_DOUBLE_EQ(alpha.site(0).executed, 5.0);
+    EXPECT_DOUBLE_EQ(alpha.site(0).taken, 2.0);
+    auto sources = other.sources({"p", 1});
+    ASSERT_EQ(sources.size(), 2u);
+    EXPECT_EQ(sources[0].second, 2); // alpha: 1 live + 1 from segment
+    for (MergeMode mode : kAllModes) {
+        expectSameBits(other.snapshot({"p", 1}, mode),
+                       referenceMerge(other, {"p", 1}, mode));
+    }
+}
+
+} // namespace
+} // namespace ifprob::ingest

@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "profile/profile_db.h"
@@ -139,6 +140,39 @@ TEST(ProfileDb, SaveLoadPreservesFractionalWeights)
     ProfileDb loaded = ProfileDb::load(ss);
     EXPECT_DOUBLE_EQ(loaded.site(0).executed, merged.site(0).executed);
     EXPECT_DOUBLE_EQ(loaded.site(0).taken, merged.site(0).taken);
+}
+
+TEST(ProfileDb, SaveLoadRoundTripsDoublesBitExactly)
+{
+    // Scaled merging over odd totals produces weights like 1/3 and
+    // 6/7 that have no finite decimal expansion; max_digits10
+    // significant digits must still reproduce the exact bits.
+    std::vector<ProfileDb> inputs;
+    for (int64_t total : {3, 7, 10, 11, 13, 999}) {
+        inputs.push_back(ProfileDb(
+            "p", 9, statsWith({{total, total / 3}, {total * 2, 1}})));
+    }
+    ProfileDb merged = ProfileDb::merge(inputs, MergeMode::kScaled);
+    std::stringstream ss;
+    merged.save(ss);
+    ProfileDb loaded = ProfileDb::load(ss);
+    ASSERT_EQ(loaded.numSites(), merged.numSites());
+    for (size_t i = 0; i < merged.numSites(); ++i) {
+        EXPECT_EQ(std::memcmp(&loaded.site(i), &merged.site(i),
+                              sizeof(BranchWeight)),
+                  0)
+            << "site " << i << " did not round-trip bit-exactly";
+    }
+}
+
+TEST(ProfileDb, SaveRestoresTheStreamPrecision)
+{
+    std::stringstream ss;
+    ss.precision(3);
+    ProfileDb("p", 1, statsWith({{1, 1}})).save(ss);
+    EXPECT_EQ(ss.precision(), 3);
+    ss << 1.0 / 3.0;
+    EXPECT_TRUE(ss.str().ends_with("0.333"));
 }
 
 TEST(ProfileDb, LoadRejectsGarbage)

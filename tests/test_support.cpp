@@ -5,9 +5,16 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
 #include "compiler/pipeline.h"
 #include "isa/disasm.h"
+#include "support/atomic_file.h"
 #include "support/rng.h"
+#include "support/sharded_map.h"
 #include "support/str.h"
 #include "workloads/datagen.h"
 
@@ -56,6 +63,84 @@ TEST(Str, WithCommas)
     EXPECT_EQ(withCommas(1000), "1,000");
     EXPECT_EQ(withCommas(1234567), "1,234,567");
     EXPECT_EQ(withCommas(-1234567), "-1,234,567");
+}
+
+TEST(Str, SanitizeFileName)
+{
+    EXPECT_EQ(sanitizeFileName("prog_a1"), "prog_a1");
+    EXPECT_EQ(sanitizeFileName("a/b c:d"), "a_b_c_d");
+    EXPECT_EQ(sanitizeFileName(""), "");
+    EXPECT_EQ(sanitizeFileName("../../etc"), "______etc");
+}
+
+TEST(ShardedSlotMapTest, OneSlotPerKeyAcrossThreads)
+{
+    struct Slot
+    {
+        std::atomic<int> hits{0};
+    };
+    ShardedSlotMap<std::string, Slot> map;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&map] {
+            for (int i = 0; i < 100; ++i)
+                map.slot("key" + std::to_string(i % 10))->hits.fetch_add(1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(map.size(), 10u);
+    int total = 0;
+    for (const std::string &key : map.keys())
+        total += map.peek(key)->hits.load();
+    EXPECT_EQ(total, 800);
+}
+
+TEST(ShardedSlotMapTest, KeysAreGloballySortedAndPeekNeverCreates)
+{
+    ShardedSlotMap<std::string, int> map;
+    for (const char *k : {"zeta", "alpha", "mid"})
+        map.slot(k);
+    EXPECT_EQ(map.keys(),
+              (std::vector<std::string>{"alpha", "mid", "zeta"}));
+    EXPECT_EQ(map.peek("missing"), nullptr);
+    EXPECT_EQ(map.size(), 3u);
+
+    // Slots survive clear() through their shared_ptrs.
+    auto held = map.slot("alpha");
+    *held = 7;
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(*held, 7);
+}
+
+TEST(AtomicFile, WritesViaTempAndRename)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "ifprob_atomic_file_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / "payload.bin").string();
+
+    EXPECT_EQ(fileSizeOf(path), 0); // missing file stats as empty
+    const int64_t bytes = writeFileAtomically(
+        path, [](std::ofstream &out) { out << "hello"; });
+    EXPECT_EQ(bytes, 5);
+    EXPECT_EQ(fileSizeOf(path), 5);
+    // No temp droppings left behind.
+    size_t entries = 0;
+    for ([[maybe_unused]] auto &e :
+         std::filesystem::directory_iterator(dir))
+        ++entries;
+    EXPECT_EQ(entries, 1u);
+
+    // A failed write leaves the previous contents intact.
+    const int64_t failed = writeFileAtomically(
+        (dir / "nosuchdir" / "x").string(),
+        [](std::ofstream &out) { out << "y"; });
+    EXPECT_EQ(failed, 0);
+    EXPECT_EQ(fileSizeOf(path), 5);
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Rng, DeterministicAcrossInstances)

@@ -113,6 +113,23 @@ struct Totals
         int64_t cache_misses = 0;
         int64_t cache_read_failures = 0;
     } trace;
+
+    /** Last ifprob.ingest_bench.v1 record seen (micro_ingest --ab). */
+    struct IngestBench
+    {
+        int64_t records = 0;
+        int64_t events = 0;
+        int64_t batches = 0;
+        double events_per_sec = 0.0;
+        int64_t fold_p50_micros = 0;
+        int64_t fold_p99_micros = 0;
+        int64_t snapshots = 0;
+        int64_t snapshot_p99_micros = 0;
+        int64_t segments = 0;
+        int64_t segment_bytes = 0;
+        int64_t bit_identical = 0;
+        int64_t pass = 0;
+    } ingest;
 };
 
 std::string
@@ -132,6 +149,7 @@ const char *const kKnownSchemas[] = {
     "ifprob.run.v1",        "ifprob.table.v1",
     "ifprob.analysis_bench.v1", "ifprob.trace_bench.v1",
     "ifprob.vm_bench.v1",   "ifprob.characterize.v1",
+    "ifprob.ingest_bench.v1",
 };
 
 std::string
@@ -213,6 +231,30 @@ consumeLine(const std::string &file, int64_t lineno,
             static_cast<int64_t>(num("trace_cache_misses"));
         totals.trace.cache_read_failures =
             static_cast<int64_t>(num("trace_cache_read_failures"));
+        return;
+    }
+    if (schema == "ifprob.ingest_bench.v1") {
+        auto num = [&](const char *k) {
+            auto it = rec.find(k);
+            return it != rec.end() ? it->second.num : 0.0;
+        };
+        ++totals.ingest.records;
+        totals.ingest.events = static_cast<int64_t>(num("events"));
+        totals.ingest.batches = static_cast<int64_t>(num("batches"));
+        totals.ingest.events_per_sec = num("events_per_sec");
+        totals.ingest.fold_p50_micros =
+            static_cast<int64_t>(num("fold_p50_micros"));
+        totals.ingest.fold_p99_micros =
+            static_cast<int64_t>(num("fold_p99_micros"));
+        totals.ingest.snapshots = static_cast<int64_t>(num("snapshots"));
+        totals.ingest.snapshot_p99_micros =
+            static_cast<int64_t>(num("snapshot_p99_micros"));
+        totals.ingest.segments = static_cast<int64_t>(num("segments"));
+        totals.ingest.segment_bytes =
+            static_cast<int64_t>(num("segment_bytes"));
+        totals.ingest.bit_identical =
+            static_cast<int64_t>(num("bit_identical"));
+        totals.ingest.pass = static_cast<int64_t>(num("pass"));
         return;
     }
     if (schema == "ifprob.vm_bench.v1") {
@@ -425,6 +467,23 @@ renderJsonReport(const std::vector<std::string> &files,
                    totals.trace.cache_read_failures);
         report.fieldRaw("trace_bench", tb.str());
     }
+    if (totals.ingest.records > 0) {
+        obs::JsonObject ib;
+        ib.field("records", totals.ingest.records)
+            .field("events", totals.ingest.events)
+            .field("batches", totals.ingest.batches)
+            .field("events_per_sec", totals.ingest.events_per_sec)
+            .field("fold_p50_micros", totals.ingest.fold_p50_micros)
+            .field("fold_p99_micros", totals.ingest.fold_p99_micros)
+            .field("snapshots", totals.ingest.snapshots)
+            .field("snapshot_p99_micros",
+                   totals.ingest.snapshot_p99_micros)
+            .field("segments", totals.ingest.segments)
+            .field("segment_bytes", totals.ingest.segment_bytes)
+            .field("bit_identical", totals.ingest.bit_identical)
+            .field("pass", totals.ingest.pass);
+        report.fieldRaw("ingest_bench", ib.str());
+    }
     return report.str() + "\n";
 }
 
@@ -539,6 +598,21 @@ main(int argc, char **argv)
                     withCommas(totals.trace.events_total).c_str(),
                     withCommas(totals.trace.trace_bytes_total).c_str());
 
+    if (totals.ingest.records > 0)
+        std::printf("ingest bench: %s events in %s batches, %s "
+                    "events/sec, fold p99 %lldus, snapshot p99 %lldus, "
+                    "bit_identical=%lld: %s\n",
+                    withCommas(totals.ingest.events).c_str(),
+                    withCommas(totals.ingest.batches).c_str(),
+                    withCommas(static_cast<int64_t>(
+                                   totals.ingest.events_per_sec))
+                        .c_str(),
+                    static_cast<long long>(totals.ingest.fold_p99_micros),
+                    static_cast<long long>(
+                        totals.ingest.snapshot_p99_micros),
+                    static_cast<long long>(totals.ingest.bit_identical),
+                    totals.ingest.pass ? "PASS" : "FAIL");
+
     int64_t cache_errors = 0;
     for (const auto &[name, agg] : workloads)
         cache_errors += agg.cache_errors;
@@ -573,6 +647,7 @@ main(int argc, char **argv)
     const int64_t consumed = totals.run_records + totals.table_records +
                              totals.analysis.records +
                              totals.trace.records + totals.vm.records +
-                             totals.characterize.records;
+                             totals.characterize.records +
+                             totals.ingest.records;
     return consumed > 0 ? 0 : 1;
 }
