@@ -146,7 +146,9 @@ defaultLimits()
 /**
  * The flags shared by every BENCH_*.json-emitting binary, parsed by
  * parseAbFlags(): `--ab` (run the A/B comparison instead of the
- * google-benchmark suite), `--min-speedup=X` (the pass/fail bar), and
+ * google-benchmark suite), `--min-speedup=X` (the pass/fail bar),
+ * `--min-trace-vs-fast=X` (micro_vm only: the trace tier's bar against
+ * the fast engine on the branchy kernels; 0 disables), and
  * `--out=PATH` (where the JSON record goes). Unrecognized arguments
  * land in `passthrough` (argv[0] first) for the framework behind.
  */
@@ -154,6 +156,7 @@ struct AbFlags
 {
     bool ab = false;
     double min_speedup = 1.0;
+    double min_trace_vs_fast = 0.0;
     std::string out_path;
     std::vector<char *> passthrough;
 };
@@ -171,6 +174,9 @@ parseAbFlags(int argc, char **argv, const char *default_out)
             flags.ab = true;
         } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
             flags.min_speedup = std::atof(argv[i] + 14);
+        } else if (std::strncmp(argv[i], "--min-trace-vs-fast=", 20) ==
+                   0) {
+            flags.min_trace_vs_fast = std::atof(argv[i] + 20);
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
             flags.out_path = argv[i] + 6;
         } else {

@@ -261,6 +261,7 @@ Runner::computeStats(StatsSlot &slot, const std::string &workload,
         record.execute_micros = obs::nowMicros() - t0;
         record.engine = std::string(vm::engineName(machine.engine()));
         record.decode_micros = machine.decodeMicros();
+        record.jit_micros = machine.jitCompileMicros();
         obs::counter("runner.execute_micros").add(record.execute_micros);
     }
 

@@ -29,6 +29,7 @@ renderRunRecord(const RunRecord &r)
         .field("execute_micros", r.execute_micros)
         .field("engine", r.engine)
         .field("decode_micros", r.decode_micros)
+        .field("jit_micros", r.jit_micros)
         .field("trace_micros", r.trace_micros);
     return o.str();
 }
@@ -63,6 +64,7 @@ parseRunRecord(std::string_view line)
     r.execute_micros = static_cast<int64_t>(num("execute_micros"));
     r.engine = str("engine"); // absent in pre-engine-tag records
     r.decode_micros = static_cast<int64_t>(num("decode_micros"));
+    r.jit_micros = static_cast<int64_t>(num("jit_micros"));
     r.trace_micros = static_cast<int64_t>(num("trace_micros"));
     return r;
 }

@@ -52,6 +52,9 @@ struct RunRecord
      *  empty when the stats came from the profile cache. */
     std::string engine;
     int64_t decode_micros = 0; ///< pre-decode time; 0 for "switch" / hits
+    /** Trace-tier compile time (superblock selection + template
+     *  compilation across tiers); 0 unless engine == "trace". */
+    int64_t jit_micros = 0;
     /** Trace-plane overhead when the run was recorded through
      *  Runner::traceOf (encode + trace-cache write); 0 otherwise. */
     int64_t trace_micros = 0;

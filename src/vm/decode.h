@@ -73,7 +73,11 @@ constexpr int kMaxArgs = 64;
        three instructions, one dispatch */                                \
     X(HFuseMovIAndBr)                                                     \
     X(HFuseMovICmpEqBr) X(HFuseMovICmpNeBr) X(HFuseMovICmpLtBr)           \
-    X(HFuseMovICmpLeBr) X(HFuseMovICmpGtBr) X(HFuseMovICmpGeBr)
+    X(HFuseMovICmpLeBr) X(HFuseMovICmpGtBr) X(HFuseMovICmpGeBr)           \
+    /* trace-tier entry: a compiled superblock head (the jit tier         \
+       patches this into a *copy* of the stream; only the fast-path       \
+       handler field, never `unfused`) */                                 \
+    X(HEnterTrace)
 
 enum Handler : uint16_t {
 #define IFPROB_VM_HANDLER_ENUM(h) k##h,

@@ -6,6 +6,9 @@
 #include "isa/alu.h"
 #include "support/error.h"
 #include "support/str.h"
+#include "vm/engine_internal.h"
+#include "vm/jit/executor.h"
+#include "vm/jit/trace_unit.h"
 
 // Dispatch strategy for the fast core: labels-as-values (computed goto)
 // on GCC/Clang, portable dense switch elsewhere or when forced off for
@@ -22,36 +25,12 @@ namespace ifprob::vm {
 using isa::Instruction;
 using isa::Opcode;
 
-namespace {
-
-/** One activation record. Registers live in a shared stack (reg_base). */
-struct Frame
-{
-    int func_index = -1;
-    int pc = 0;
-    size_t reg_base = 0;
-    int ret_dst = -1;     ///< caller register receiving the return value
-    bool via_icall = false;
-};
-
-/** "trap at <function>+<pc>: <msg>", identical across both cores. */
-RuntimeError
-trapError(const isa::Program &program, const std::vector<Frame> &frames,
-          const std::string &msg)
-{
-    std::string where = "?";
-    if (!frames.empty()) {
-        const Frame &f = frames.back();
-        where = strPrintf(
-            "%s+%d",
-            program.functions[static_cast<size_t>(f.func_index)]
-                .name.c_str(),
-            f.pc);
-    }
-    return RuntimeError("trap at " + where + ": " + msg);
-}
-
-} // namespace
+// Frame/ExecState/trapError/pushFrame live in engine_internal.h so the
+// trace-tier executor (jit/executor.cpp) shares them.
+using detail::ExecState;
+using detail::Frame;
+using detail::pushFrame;
+using detail::trapError;
 
 bool
 fastEngineUsesComputedGoto()
@@ -374,53 +353,6 @@ runSwitchEngine(const isa::Program &program, std::string_view input,
 
 namespace {
 
-struct ExecState
-{
-    ExecState(const isa::Program &p, const DecodedProgram &d,
-              std::string_view in, const RunLimits &l, BranchObserver *o,
-              RunResult &r)
-        : program(p), decoded(d), input(in), limits(l), observer(o),
-          result(r)
-    {
-    }
-
-    const isa::Program &program;
-    const DecodedProgram &decoded;
-    const std::string_view input;
-    const RunLimits &limits;
-    BranchObserver *const observer;
-    RunResult &result;
-
-    std::vector<int64_t> memory;
-    std::vector<int64_t> reg_stack;
-    std::vector<Frame> frames;
-    int64_t pending_args[kMaxArgs] = {};
-    int pending_count = 0;
-    size_t input_pos = 0;
-    int64_t icount = 0; ///< instructions retired (live copy of the loop's)
-    bool done = false;  ///< run completed (vs yielded to the checked loop)
-};
-
-void
-pushFrame(ExecState &s, int func_index, int ret_dst, bool via_icall)
-{
-    const isa::Function &fn =
-        s.program.functions[static_cast<size_t>(func_index)];
-    Frame frame;
-    frame.func_index = func_index;
-    frame.pc = 0;
-    frame.reg_base = s.reg_stack.size();
-    frame.ret_dst = ret_dst;
-    frame.via_icall = via_icall;
-    s.reg_stack.resize(s.reg_stack.size() +
-                           static_cast<size_t>(fn.num_regs),
-                       0);
-    for (int i = 0; i < fn.num_params && i < s.pending_count; ++i)
-        s.reg_stack[frame.reg_base + static_cast<size_t>(i)] =
-            s.pending_args[i];
-    s.frames.push_back(frame);
-}
-
 /** The decoded pc of the instruction @p insn points at. */
 #define CUR_PC() static_cast<int>(insn - code)
 
@@ -461,9 +393,26 @@ pushFrame(ExecState &s, int func_index, int ret_dst, bool via_icall)
 #if IFPROB_VM_COMPUTED_GOTO
 #define DEF(h) L_##h:
 #define NEXT() goto *kLabels[Checked ? insn->unfused : insn->handler]
+// Dispatch the current slot's single-operation handler regardless of
+// fusion/patching — used after a trace hands back an instruction that
+// must execute exactly once on the unfused path (pre-trap exits).
+#define DISPATCH_UNFUSED() goto *kLabels[insn->unfused]
+// Dispatch an explicit handler index for the current slot (the trace
+// head's pre-patch handler when fuel rules out entering the trace).
+#define DISPATCH_ORIG(h) goto *kLabels[(h)]
 #else
 #define DEF(h) case k##h:
 #define NEXT() goto dispatch
+#define DISPATCH_UNFUSED()                                                \
+    do {                                                                  \
+        dispatch_h = insn->unfused;                                       \
+        goto dispatch_direct;                                             \
+    } while (0)
+#define DISPATCH_ORIG(h)                                                  \
+    do {                                                                  \
+        dispatch_h = (h);                                                 \
+        goto dispatch_direct;                                             \
+    } while (0)
 #endif
 
 #define H_BINARY(h, OPC)                                                  \
@@ -615,8 +564,11 @@ frame_switch:
 #if IFPROB_VM_COMPUTED_GOTO
     NEXT();
 #else
+    uint16_t dispatch_h;
 dispatch:
-    switch (Checked ? insn->unfused : insn->handler) {
+    dispatch_h = Checked ? insn->unfused : insn->handler;
+dispatch_direct:
+    switch (dispatch_h) {
 #endif
 
     H_BINARY(HAdd, kAdd)
@@ -970,6 +922,38 @@ do_return:
     H_FUSE_MOVI_BR(HFuseMovICmpGtBr, kCmpGt)
     H_FUSE_MOVI_BR(HFuseMovICmpGeBr, kCmpGe)
 
+    DEF(HEnterTrace)
+    {
+        // A compiled superblock's head (trace engine only: the tier
+        // patches head slots' fast-path handler; `unfused` slots are
+        // untouched, so the Checked loop never lands here).
+        if (Checked || s.jit == nullptr)
+            TRAP("unimplemented opcode"); // unreachable by construction
+        const jit::CompiledTrace &t = s.jit->units[static_cast<size_t>(
+            s.jit->entry[static_cast<size_t>(
+                s.frames.back().func_index)][static_cast<size_t>(
+                CUR_PC())])];
+        if (icount + t.total_cost > fast_limit) {
+            // Remaining fuel cannot cover one full pass: run the head's
+            // pre-patch handler once; the checked tail takes over soon.
+            DISPATCH_ORIG(t.head_handler);
+        }
+        const jit::TraceExit ex =
+            HasObserver
+                ? jit::runTraceUnit<true>(s, t, regs, icount, fast_limit)
+                : jit::runTraceUnit<false>(s, t, regs, icount,
+                                           fast_limit);
+        insn = code + ex.resume_pc;
+        if (ex.reenter) {
+            MAYBE_YIELD();
+            NEXT();
+        }
+        // A pre-trap exit: the landing instruction must execute exactly
+        // once via its unfused handler (reference trap message), and
+        // must not re-enter a trace patched over the same slot.
+        DISPATCH_UNFUSED();
+    }
+
 #if !IFPROB_VM_COMPUTED_GOTO
       default:
         TRAP("unimplemented opcode");
@@ -984,12 +968,41 @@ do_return:
 #undef H_UNARY
 #undef H_BINARY_DIV
 #undef H_BINARY
+#undef DISPATCH_ORIG
+#undef DISPATCH_UNFUSED
 #undef NEXT
 #undef DEF
 #undef MAYBE_YIELD
 #undef COUNT1
 #undef TRAP
 #undef CUR_PC
+
+/** Shared driver for the pre-decoded cores (fast, trace): set up the
+ *  run state, then alternate the unchecked and checked loops. */
+void
+runDecoded(ExecState &s)
+{
+    s.result.stats.branches.resize(s.program.branch_sites.size());
+    s.memory.assign(static_cast<size_t>(s.program.memory_words), 0);
+    for (const auto &di : s.program.data_init)
+        s.memory[static_cast<size_t>(di.address)] = di.value;
+    s.reg_stack.reserve(1 << 16);
+    s.frames.reserve(256);
+    pushFrame(s, s.program.entry, -1, false);
+
+    // The unchecked loop yields (done == false) once the remaining
+    // instruction budget stops covering a worst-case block; the checked
+    // loop then finishes the run with reference-exact fuel accounting.
+    if (s.observer) {
+        executeLoop<true, false>(s);
+        if (!s.done)
+            executeLoop<true, true>(s);
+    } else {
+        executeLoop<false, false>(s);
+        if (!s.done)
+            executeLoop<false, true>(s);
+    }
+}
 
 } // namespace
 
@@ -999,26 +1012,17 @@ runFastEngine(const isa::Program &program, const DecodedProgram &decoded,
               BranchObserver *observer, RunResult &result)
 {
     ExecState s{program, decoded, input, limits, observer, result};
-    result.stats.branches.resize(program.branch_sites.size());
-    s.memory.assign(static_cast<size_t>(program.memory_words), 0);
-    for (const auto &di : program.data_init)
-        s.memory[static_cast<size_t>(di.address)] = di.value;
-    s.reg_stack.reserve(1 << 16);
-    s.frames.reserve(256);
-    pushFrame(s, program.entry, -1, false);
+    runDecoded(s);
+}
 
-    // The unchecked loop yields (done == false) once the remaining
-    // instruction budget stops covering a worst-case block; the checked
-    // loop then finishes the run with reference-exact fuel accounting.
-    if (observer) {
-        executeLoop<true, false>(s);
-        if (!s.done)
-            executeLoop<true, true>(s);
-    } else {
-        executeLoop<false, false>(s);
-        if (!s.done)
-            executeLoop<false, true>(s);
-    }
+void
+runTraceEngine(const isa::Program &program, const jit::TraceProgram &tier,
+               std::string_view input, const RunLimits &limits,
+               BranchObserver *observer, RunResult &result)
+{
+    ExecState s{program, tier.decoded, input, limits, observer, result};
+    s.jit = &tier;
+    runDecoded(s);
 }
 
 } // namespace ifprob::vm

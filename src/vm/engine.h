@@ -9,10 +9,14 @@
 
 namespace ifprob::vm {
 
+namespace jit {
+struct TraceProgram;
+}
+
 /**
- * The two interpreter cores behind Machine::run (see docs/vm.md).
+ * The interpreter cores behind Machine::run (see docs/vm.md).
  *
- * Both fill @p result in place — stats, program output, exit code — so
+ * All fill @p result in place — stats, program output, exit code — so
  * a run that traps leaves its partial statistics behind for
  * Machine::run to record. Their observable behaviour is bit-for-bit
  * identical by contract: same RunStats (including per-site counters),
@@ -34,6 +38,18 @@ void runFastEngine(const isa::Program &program,
                    const DecodedProgram &decoded, std::string_view input,
                    const RunLimits &limits, BranchObserver *observer,
                    RunResult &result);
+
+/**
+ * Trace-tier core: the fast core running @p tier's patched stream,
+ * entering compiled superblocks (jit::runTraceUnit) at their heads and
+ * falling back to plain fast-path dispatch everywhere else. The tier's
+ * RunResult::jit counters are filled in addition to the contract
+ * fields.
+ */
+void runTraceEngine(const isa::Program &program,
+                    const jit::TraceProgram &tier, std::string_view input,
+                    const RunLimits &limits, BranchObserver *observer,
+                    RunResult &result);
 
 /** True when the fast core was compiled with computed-goto dispatch
  *  (GCC/Clang labels-as-values); false for the portable switch build. */

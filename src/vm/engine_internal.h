@@ -1,0 +1,107 @@
+#ifndef IFPROB_VM_ENGINE_INTERNAL_H
+#define IFPROB_VM_ENGINE_INTERNAL_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.h"
+#include "support/error.h"
+#include "support/str.h"
+#include "vm/decode.h"
+#include "vm/machine.h"
+#include "vm/observer.h"
+
+/**
+ * Execution-state plumbing shared by the interpreter cores in
+ * engine.cpp and the trace-tier executor in jit/executor.cpp. Internal
+ * to the VM: nothing outside src/vm includes this.
+ */
+
+namespace ifprob::vm::jit {
+struct TraceProgram;
+}
+
+namespace ifprob::vm::detail {
+
+/** One activation record. Registers live in a shared stack (reg_base). */
+struct Frame
+{
+    int func_index = -1;
+    int pc = 0;
+    size_t reg_base = 0;
+    int ret_dst = -1;     ///< caller register receiving the return value
+    bool via_icall = false;
+};
+
+/** "trap at <function>+<pc>: <msg>", identical across all cores. */
+inline RuntimeError
+trapError(const isa::Program &program, const std::vector<Frame> &frames,
+          const std::string &msg)
+{
+    std::string where = "?";
+    if (!frames.empty()) {
+        const Frame &f = frames.back();
+        where = strPrintf(
+            "%s+%d",
+            program.functions[static_cast<size_t>(f.func_index)]
+                .name.c_str(),
+            f.pc);
+    }
+    return RuntimeError("trap at " + where + ": " + msg);
+}
+
+struct ExecState
+{
+    ExecState(const isa::Program &p, const DecodedProgram &d,
+              std::string_view in, const RunLimits &l, BranchObserver *o,
+              RunResult &r)
+        : program(p), decoded(d), input(in), limits(l), observer(o),
+          result(r)
+    {
+    }
+
+    const isa::Program &program;
+    const DecodedProgram &decoded;
+    const std::string_view input;
+    const RunLimits &limits;
+    BranchObserver *const observer;
+    RunResult &result;
+
+    /** Non-null only under the trace engine: the compiled tier whose
+     *  patched stream `decoded` references. */
+    const jit::TraceProgram *jit = nullptr;
+
+    std::vector<int64_t> memory;
+    std::vector<int64_t> reg_stack;
+    std::vector<Frame> frames;
+    int64_t pending_args[kMaxArgs] = {};
+    int pending_count = 0;
+    size_t input_pos = 0;
+    int64_t icount = 0; ///< instructions retired (live copy of the loop's)
+    bool done = false;  ///< run completed (vs yielded to the checked loop)
+};
+
+inline void
+pushFrame(ExecState &s, int func_index, int ret_dst, bool via_icall)
+{
+    const isa::Function &fn =
+        s.program.functions[static_cast<size_t>(func_index)];
+    Frame frame;
+    frame.func_index = func_index;
+    frame.pc = 0;
+    frame.reg_base = s.reg_stack.size();
+    frame.ret_dst = ret_dst;
+    frame.via_icall = via_icall;
+    s.reg_stack.resize(s.reg_stack.size() +
+                           static_cast<size_t>(fn.num_regs),
+                       0);
+    for (int i = 0; i < fn.num_params && i < s.pending_count; ++i)
+        s.reg_stack[frame.reg_base + static_cast<size_t>(i)] =
+            s.pending_args[i];
+    s.frames.push_back(frame);
+}
+
+} // namespace ifprob::vm::detail
+
+#endif // IFPROB_VM_ENGINE_INTERNAL_H

@@ -1,0 +1,118 @@
+#include "vm/jit/code_cache.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/atomic_file.h"
+#include "support/binio.h"
+#include "support/str.h"
+
+namespace ifprob::vm::jit {
+
+using namespace binio;
+
+std::string
+encodePlan(const SuperblockPlan &plan, uint64_t fingerprint)
+{
+    std::string buf;
+    buf.append(kCodeCacheMagic, sizeof(kCodeCacheMagic));
+    putU32(buf, kCodeCacheVersion);
+    putU32(buf, 0); // reserved
+    putU64(buf, fingerprint);
+    putVarint(buf, plan.blocks.size());
+    for (const Superblock &sb : plan.blocks) {
+        putVarint(buf, static_cast<uint64_t>(sb.func));
+        putVarint(buf, static_cast<uint64_t>(sb.head_pc));
+        putVarint(buf, static_cast<uint64_t>(sb.steps));
+        putVarint(buf, sb.guard_taken.size());
+        for (uint8_t g : sb.guard_taken)
+            buf.push_back(static_cast<char>(g ? 1 : 0));
+    }
+    putU64(buf, fnv1a(kFnv1aOffset, buf.data(), buf.size()));
+    return buf;
+}
+
+std::optional<SuperblockPlan>
+decodePlan(const std::string &payload, uint64_t expected_fingerprint)
+{
+    constexpr size_t kHeader = 8 + 4 + 4 + 8;
+    if (payload.size() < kHeader + 8)
+        return std::nullopt;
+    const auto *data =
+        reinterpret_cast<const unsigned char *>(payload.data());
+    if (std::memcmp(data, kCodeCacheMagic, sizeof(kCodeCacheMagic)) != 0)
+        return std::nullopt;
+    if (getU32(data + 8) != kCodeCacheVersion)
+        return std::nullopt;
+    const uint64_t fingerprint = getU64(data + 16);
+    if (expected_fingerprint != 0 && fingerprint != expected_fingerprint)
+        return std::nullopt;
+    const size_t body = payload.size() - 8;
+    if (getU64(data + body) != fnv1a(kFnv1aOffset, data, body))
+        return std::nullopt;
+
+    const unsigned char *p = data + kHeader;
+    const unsigned char *end = data + body;
+    SuperblockPlan plan;
+    plan.profile_guided = true; // only profile-guided plans are saved
+    try {
+        const uint64_t count = getVarint(p, end, "jit plan");
+        if (count > (1u << 20))
+            return std::nullopt;
+        plan.blocks.reserve(static_cast<size_t>(count));
+        for (uint64_t i = 0; i < count; ++i) {
+            Superblock sb;
+            sb.func = static_cast<int32_t>(getVarint(p, end, "jit plan"));
+            sb.head_pc =
+                static_cast<int32_t>(getVarint(p, end, "jit plan"));
+            sb.steps = static_cast<int32_t>(getVarint(p, end, "jit plan"));
+            const uint64_t guards = getVarint(p, end, "jit plan");
+            if (guards > static_cast<uint64_t>(end - p))
+                return std::nullopt;
+            sb.guard_taken.reserve(static_cast<size_t>(guards));
+            for (uint64_t g = 0; g < guards; ++g)
+                sb.guard_taken.push_back(*p++ ? 1 : 0);
+            plan.blocks.push_back(std::move(sb));
+        }
+    } catch (const Error &) {
+        return std::nullopt;
+    }
+    if (p != end)
+        return std::nullopt; // trailing bytes: treat as corrupt
+    return plan;
+}
+
+std::string
+codeCachePath(const std::string &dir, uint64_t fingerprint)
+{
+    return dir + strPrintf("/jit_%016llx.plan",
+                           static_cast<unsigned long long>(fingerprint));
+}
+
+bool
+saveCompiledPlan(const std::string &dir, uint64_t fingerprint,
+                 const SuperblockPlan &plan)
+{
+    const std::string payload = encodePlan(plan, fingerprint);
+    return writeFileAtomically(codeCachePath(dir, fingerprint),
+                               [&](std::ofstream &os) {
+                                   os.write(payload.data(),
+                                            static_cast<std::streamsize>(
+                                                payload.size()));
+                               }) > 0;
+}
+
+std::optional<SuperblockPlan>
+loadCompiledPlan(const std::string &dir, uint64_t fingerprint)
+{
+    std::ifstream in(codeCachePath(dir, fingerprint),
+                     std::ios::in | std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return decodePlan(ss.str(), fingerprint);
+}
+
+} // namespace ifprob::vm::jit

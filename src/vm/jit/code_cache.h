@@ -1,0 +1,59 @@
+#ifndef IFPROB_VM_JIT_CODE_CACHE_H
+#define IFPROB_VM_JIT_CODE_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "vm/jit/superblock.h"
+
+namespace ifprob::vm::jit {
+
+/**
+ * On-disk compiled-trace index (the trace tier's code cache).
+ *
+ * What persists is the superblock *plan* — head pcs plus guard
+ * directions — not the lowered step arrays: compileTraces re-lowers a
+ * loaded plan against the current decoded stream in microseconds, and
+ * the re-walk doubles as a staleness check (a block that no longer
+ * matches is dropped). Format, all little-endian via support/binio:
+ *
+ *   "IFPROBJC" | u32 version | u32 reserved | u64 program fingerprint
+ *   | varint block count | per block: varint func, head_pc, steps,
+ *   guard count, then one byte per guard direction | u64 FNV-1a
+ *   checksum of everything before it.
+ *
+ * Only profile-guided plans are saved (a BTFNT plan is recomputed
+ * faster than it is read). Writes go through writeFileAtomically, so a
+ * concurrent reader never sees a torn entry; any load failure —
+ * missing file, bad magic/version/fingerprint/checksum, truncation —
+ * returns nullopt and the tier falls back to fresh selection.
+ */
+
+inline constexpr char kCodeCacheMagic[8] = {'I', 'F', 'P', 'R',
+                                            'O', 'B', 'J', 'C'};
+inline constexpr uint32_t kCodeCacheVersion = 1;
+
+/** Serialized form of @p plan for @p fingerprint. */
+std::string encodePlan(const SuperblockPlan &plan, uint64_t fingerprint);
+
+/** Parse @p payload; nullopt on any corruption or on a fingerprint
+ *  mismatch (when @p expected_fingerprint is nonzero). */
+std::optional<SuperblockPlan> decodePlan(const std::string &payload,
+                                         uint64_t expected_fingerprint);
+
+/** Cache-entry path for @p fingerprint under @p dir. */
+std::string codeCachePath(const std::string &dir, uint64_t fingerprint);
+
+/** Atomically persist @p plan; returns false when the write could not
+ *  complete (cache degradation, not an error). */
+bool saveCompiledPlan(const std::string &dir, uint64_t fingerprint,
+                      const SuperblockPlan &plan);
+
+/** Load the plan cached for @p fingerprint, or nullopt. */
+std::optional<SuperblockPlan> loadCompiledPlan(const std::string &dir,
+                                               uint64_t fingerprint);
+
+} // namespace ifprob::vm::jit
+
+#endif // IFPROB_VM_JIT_CODE_CACHE_H

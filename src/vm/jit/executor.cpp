@@ -1,0 +1,487 @@
+#include "vm/jit/executor.h"
+
+#include "isa/alu.h"
+#include "support/str.h"
+
+// Same dispatch strategy selection as the fast core in engine.cpp:
+// labels-as-values on GCC/Clang, portable dense switch otherwise.
+#if !defined(IFPROB_VM_FORCE_SWITCH_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define IFPROB_JIT_COMPUTED_GOTO 1
+#else
+#define IFPROB_JIT_COMPUTED_GOTO 0
+#endif
+
+namespace ifprob::vm::jit {
+
+using isa::Opcode;
+
+namespace {
+
+/** Apply @p n full passes' worth of the trace's precomputed counter
+ *  aggregate. Valid because a fully committed pass implies every guard
+ *  went its predicted way, making the per-pass delta a constant. */
+void
+applyAggregate(RunStats &stats, JitRunStats &jr, const CompiledTrace &t,
+               int64_t n)
+{
+    if (n == 0)
+        return;
+    stats.cond_branches += t.agg_guards * n;
+    stats.taken_branches += t.agg_taken * n;
+    stats.jumps += t.agg_jumps * n;
+    stats.selects += t.agg_selects * n;
+    jr.guards += t.agg_guards * n;
+    BranchCounts *const sites = stats.branches.data();
+    for (const SiteDelta &d : t.site_deltas) {
+        sites[d.site].executed += static_cast<int64_t>(d.executed) * n;
+        sites[d.site].taken += static_cast<int64_t>(d.taken) * n;
+    }
+}
+
+/** Commit the counters of a partial pass: every step in [begin, end)
+ *  executed, and every guard among them went its predicted way (a
+ *  mispredict or trap ends the pass at `end`). Walks `base` ops, so
+ *  fused dispatch grouping is invisible here. */
+void
+replayPrefix(RunStats &stats, JitRunStats &jr, const TraceStep *begin,
+             const TraceStep *end)
+{
+    for (const TraceStep *p = begin; p != end; ++p) {
+        switch (p->base) {
+          case kTGuard: {
+            ++stats.cond_branches;
+            ++jr.guards;
+            BranchCounts &site =
+                stats.branches[static_cast<size_t>(p->imm)];
+            ++site.executed;
+            if ((p->flags & kStepPredTaken) != 0) {
+                ++site.taken;
+                ++stats.taken_branches;
+            }
+            break;
+          }
+          case kTJmp:
+            ++stats.jumps;
+            break;
+          case kTSelect:
+            ++stats.selects;
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+template <bool HasObserver>
+TraceExit
+runTraceUnit(detail::ExecState &s, const CompiledTrace &t, int64_t *regs,
+             int64_t &icount, int64_t fast_limit)
+{
+    RunStats &stats = s.result.stats;
+    JitRunStats &jr = s.result.jit;
+    int64_t *const mem = s.memory.data();
+    const int64_t memory_words = s.program.memory_words;
+    const TraceStep *const steps = t.steps.data();
+    const TraceStep *st = steps;
+
+    // Pass bookkeeping: `base` is the retired-instruction count at the
+    // current pass's entry; no per-step icount increments happen on the
+    // hot path (exit icounts come from base + end_icount prefix sums).
+    const int64_t entry_icount = icount;
+    int64_t base = icount;
+    int64_t full_iters = 0;
+    const TraceStep *miss = nullptr; // guard_miss / trap_exit operand
+    bool miss_taken = false;
+    ++jr.trace_entries;
+
+#if IFPROB_JIT_COMPUTED_GOTO
+#define TDEF(o) L_##o:
+#define TNEXT() goto *kLabels[st->op]
+    static const void *kLabels[kNumTraceOps] = {
+#define IFPROB_JIT_LABEL_ADDR(o) &&L_##o,
+        IFPROB_JIT_TRACE_OPS(IFPROB_JIT_LABEL_ADDR)
+#undef IFPROB_JIT_LABEL_ADDR
+    };
+    TNEXT();
+#else
+#define TDEF(o) case k##o:
+#define TNEXT() goto dispatch
+dispatch:
+    switch (st->op) {
+#endif
+
+// Guard commit shared by every guard-carrying dispatch group: emit the
+// observer event (exact reference icount via the guard's prefix sum),
+// fall through on the predicted direction, side-exit otherwise. Counter
+// writes happen only on the exit paths.
+#define T_GUARD_TAIL(gstep, taken_expr, width)                            \
+    do {                                                                  \
+        const TraceStep *const g = (gstep);                               \
+        const bool tk = (taken_expr);                                     \
+        if (HasObserver)                                                  \
+            s.observer->onBranch(static_cast<int>(g->imm), tk,            \
+                                 base + g->end_icount);                   \
+        if (tk != ((g->flags & kStepPredTaken) != 0)) {                   \
+            miss = g;                                                     \
+            miss_taken = tk;                                              \
+            goto guard_miss;                                              \
+        }                                                                 \
+        st += (width);                                                    \
+        if ((g->flags & kStepClosesPass) != 0)                            \
+            goto end_of_pass;                                             \
+    } while (0)
+
+#define T_BINARY(o, OPC)                                                  \
+    TDEF(o)                                                               \
+    {                                                                     \
+        regs[st->a] = *isa::evalBinaryAlu(Opcode::OPC, regs[st->b],       \
+                                          regs[st->c]);                   \
+        ++st;                                                             \
+    }                                                                     \
+    TNEXT();
+
+// Division that would trap side-exits *before* executing; the fast
+// engine re-dispatches the slot's unfused handler and raises the
+// reference trap.
+#define T_BINARY_DIV(o, OPC)                                              \
+    TDEF(o)                                                               \
+    {                                                                     \
+        const auto v = isa::evalBinaryAlu(Opcode::OPC, regs[st->b],       \
+                                          regs[st->c]);                   \
+        if (!v) {                                                         \
+            miss = st;                                                    \
+            goto trap_exit;                                               \
+        }                                                                 \
+        regs[st->a] = *v;                                                 \
+        ++st;                                                             \
+    }                                                                     \
+    TNEXT();
+
+#define T_UNARY(o, OPC)                                                   \
+    TDEF(o)                                                               \
+    {                                                                     \
+        regs[st->a] = *isa::evalUnaryAlu(Opcode::OPC, regs[st->b]);       \
+        ++st;                                                             \
+    }                                                                     \
+    TNEXT();
+
+#define T_FUSE_CMP_GUARD(o, OPC)                                          \
+    TDEF(o)                                                               \
+    {                                                                     \
+        const int64_t cond = *isa::evalBinaryAlu(                         \
+            Opcode::OPC, regs[st->b], regs[st->c]);                       \
+        regs[st->a] = cond;                                               \
+        T_GUARD_TAIL(st + 1, cond != 0, 2);                               \
+    }                                                                     \
+    TNEXT();
+
+#define T_FUSE_MOVI(o, OPC)                                               \
+    TDEF(o)                                                               \
+    {                                                                     \
+        const TraceStep *const alu = st + 1;                              \
+        regs[st->a] = st->imm;                                            \
+        regs[alu->a] = *isa::evalBinaryAlu(Opcode::OPC, regs[alu->b],     \
+                                           regs[alu->c]);                 \
+        st += 2;                                                          \
+    }                                                                     \
+    TNEXT();
+
+#define T_FUSE_MOVI_GUARD(o, OPC)                                         \
+    TDEF(o)                                                               \
+    {                                                                     \
+        const TraceStep *const alu = st + 1;                              \
+        regs[st->a] = st->imm;                                            \
+        const int64_t cond = *isa::evalBinaryAlu(                         \
+            Opcode::OPC, regs[alu->b], regs[alu->c]);                     \
+        regs[alu->a] = cond;                                              \
+        T_GUARD_TAIL(st + 2, cond != 0, 3);                               \
+    }                                                                     \
+    TNEXT();
+
+    T_BINARY(TAdd, kAdd)
+    T_BINARY(TSub, kSub)
+    T_BINARY(TMul, kMul)
+    T_BINARY_DIV(TDivGuard, kDiv)
+    T_BINARY_DIV(TRemGuard, kRem)
+    T_BINARY(TAnd, kAnd)
+    T_BINARY(TOr, kOr)
+    T_BINARY(TXor, kXor)
+    T_BINARY(TShl, kShl)
+    T_BINARY(TShr, kShr)
+    T_BINARY(TCmpEq, kCmpEq)
+    T_BINARY(TCmpNe, kCmpNe)
+    T_BINARY(TCmpLt, kCmpLt)
+    T_BINARY(TCmpLe, kCmpLe)
+    T_BINARY(TCmpGt, kCmpGt)
+    T_BINARY(TCmpGe, kCmpGe)
+    T_BINARY(TFAdd, kFAdd)
+    T_BINARY(TFSub, kFSub)
+    T_BINARY(TFMul, kFMul)
+    T_BINARY(TFDiv, kFDiv)
+    T_BINARY(TFCmpEq, kFCmpEq)
+    T_BINARY(TFCmpNe, kFCmpNe)
+    T_BINARY(TFCmpLt, kFCmpLt)
+    T_BINARY(TFCmpLe, kFCmpLe)
+    T_BINARY(TFCmpGt, kFCmpGt)
+    T_BINARY(TFCmpGe, kFCmpGe)
+
+    T_UNARY(TNeg, kNeg)
+    T_UNARY(TNot, kNot)
+    T_UNARY(TFNeg, kFNeg)
+    T_UNARY(TFAbs, kFAbs)
+    T_UNARY(TFSqrt, kFSqrt)
+    T_UNARY(TFExp, kFExp)
+    T_UNARY(TFLog, kFLog)
+    T_UNARY(TFSin, kFSin)
+    T_UNARY(TFCos, kFCos)
+    T_UNARY(TItoF, kItoF)
+    T_UNARY(TFtoI, kFtoI)
+
+    TDEF(TMov)
+    {
+        regs[st->a] = regs[st->b];
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TMovI)
+    {
+        regs[st->a] = st->imm;
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TLoadRegGuard)
+    {
+        const int64_t addr = regs[st->b] + st->imm;
+        if (addr < 0 || addr >= memory_words) {
+            miss = st;
+            goto trap_exit;
+        }
+        regs[st->a] = mem[addr];
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TLoadAbs)
+    {
+        regs[st->a] = mem[st->imm];
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TStoreRegGuard)
+    {
+        const int64_t addr = regs[st->b] + st->imm;
+        if (addr < 0 || addr >= memory_words) {
+            miss = st;
+            goto trap_exit;
+        }
+        mem[addr] = regs[st->a];
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TStoreAbs)
+    {
+        mem[st->imm] = regs[st->a];
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TSelect)
+    {
+        regs[st->a] = regs[st->b] != 0
+                          ? regs[st->c]
+                          : regs[static_cast<int32_t>(st->imm)];
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TGetc)
+    {
+        regs[st->a] =
+            s.input_pos < s.input.size()
+                ? static_cast<unsigned char>(s.input[s.input_pos++])
+                : -1;
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TPutc)
+    {
+        s.result.output.push_back(static_cast<char>(regs[st->a] & 0xff));
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TPutF)
+    {
+        s.result.output += strPrintf("%.6g", isa::asF(regs[st->a]));
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TArg)
+    {
+        s.pending_args[st->a] = regs[st->b];
+        s.pending_count =
+            std::max(s.pending_count, static_cast<int>(st->a) + 1);
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TNop)
+    {
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TJmp)
+    {
+        // Linearized away: the successor is the next step. Kept as a
+        // step so replay/aggregate counting sees the jump.
+        ++st;
+    }
+    TNEXT();
+
+    TDEF(TGuard)
+    {
+        T_GUARD_TAIL(st, regs[st->a] != 0, 1);
+    }
+    TNEXT();
+
+    T_FUSE_CMP_GUARD(TFuseCmpEqGuard, kCmpEq)
+    T_FUSE_CMP_GUARD(TFuseCmpNeGuard, kCmpNe)
+    T_FUSE_CMP_GUARD(TFuseCmpLtGuard, kCmpLt)
+    T_FUSE_CMP_GUARD(TFuseCmpLeGuard, kCmpLe)
+    T_FUSE_CMP_GUARD(TFuseCmpGtGuard, kCmpGt)
+    T_FUSE_CMP_GUARD(TFuseCmpGeGuard, kCmpGe)
+    T_FUSE_CMP_GUARD(TFuseFCmpEqGuard, kFCmpEq)
+    T_FUSE_CMP_GUARD(TFuseFCmpNeGuard, kFCmpNe)
+    T_FUSE_CMP_GUARD(TFuseFCmpLtGuard, kFCmpLt)
+    T_FUSE_CMP_GUARD(TFuseFCmpLeGuard, kFCmpLe)
+    T_FUSE_CMP_GUARD(TFuseFCmpGtGuard, kFCmpGt)
+    T_FUSE_CMP_GUARD(TFuseFCmpGeGuard, kFCmpGe)
+
+    T_FUSE_MOVI(TFuseMovIAdd, kAdd)
+    T_FUSE_MOVI(TFuseMovISub, kSub)
+    T_FUSE_MOVI(TFuseMovIMul, kMul)
+    T_FUSE_MOVI(TFuseMovIAnd, kAnd)
+    T_FUSE_MOVI(TFuseMovIOr, kOr)
+    T_FUSE_MOVI(TFuseMovIXor, kXor)
+    T_FUSE_MOVI(TFuseMovIShl, kShl)
+    T_FUSE_MOVI(TFuseMovIShr, kShr)
+    T_FUSE_MOVI(TFuseMovICmpEq, kCmpEq)
+    T_FUSE_MOVI(TFuseMovICmpNe, kCmpNe)
+    T_FUSE_MOVI(TFuseMovICmpLt, kCmpLt)
+    T_FUSE_MOVI(TFuseMovICmpLe, kCmpLe)
+    T_FUSE_MOVI(TFuseMovICmpGt, kCmpGt)
+    T_FUSE_MOVI(TFuseMovICmpGe, kCmpGe)
+
+    T_FUSE_MOVI_GUARD(TFuseMovIAndGuard, kAnd)
+    T_FUSE_MOVI_GUARD(TFuseMovICmpEqGuard, kCmpEq)
+    T_FUSE_MOVI_GUARD(TFuseMovICmpNeGuard, kCmpNe)
+    T_FUSE_MOVI_GUARD(TFuseMovICmpLtGuard, kCmpLt)
+    T_FUSE_MOVI_GUARD(TFuseMovICmpLeGuard, kCmpLe)
+    T_FUSE_MOVI_GUARD(TFuseMovICmpGtGuard, kCmpGt)
+    T_FUSE_MOVI_GUARD(TFuseMovICmpGeGuard, kCmpGe)
+
+    TDEF(TJmpEnd)
+    {
+        // A trailing jump fused with the pass end (the loop-closing
+        // back-edge, linearized away): step to the TEnd sentinel and
+        // fall directly into its logic — one dispatch for the whole
+        // bottom of the loop instead of two.
+        ++st;
+        goto end_of_pass;
+    }
+
+    TDEF(TEnd)
+    {
+    end_of_pass:
+        // One full pass committed. Loop-closing traces iterate in place
+        // while the remaining fuel still covers a whole pass — one
+        // compare per iteration replaces the fast engine's per-transfer
+        // yield check and per-branch counter writes.
+        base += t.total_cost;
+        ++full_iters;
+        if ((st->flags & kStepLoops) != 0 &&
+            base + t.total_cost <= fast_limit) {
+            st = steps;
+            TNEXT();
+        }
+        applyAggregate(stats, jr, t, full_iters);
+        jr.trace_loop_iterations += full_iters;
+        icount = base;
+        jr.trace_instructions += icount - entry_icount;
+        return {st->exit_pc, true};
+    }
+
+#if !IFPROB_JIT_COMPUTED_GOTO
+      default:
+        // Unreachable: compileTraces emits only the ops above. Degrade
+        // by handing the head back to the fast engine's unfused path.
+        icount = base;
+        jr.trace_instructions += icount - entry_icount;
+        return {t.head_pc, false};
+    }
+#endif
+
+#undef T_FUSE_MOVI_GUARD
+#undef T_FUSE_MOVI
+#undef T_FUSE_CMP_GUARD
+#undef T_UNARY
+#undef T_BINARY_DIV
+#undef T_BINARY
+#undef T_GUARD_TAIL
+#undef TNEXT
+#undef TDEF
+
+guard_miss:
+    // The guard executed and went off-trace: commit the completed
+    // passes, the prefix, and the guard itself with its actual
+    // direction, then resume the fast engine at the off-trace target.
+    applyAggregate(stats, jr, t, full_iters);
+    replayPrefix(stats, jr, steps, miss);
+    {
+        ++stats.cond_branches;
+        ++jr.guards;
+        BranchCounts &site = stats.branches[static_cast<size_t>(miss->imm)];
+        ++site.executed;
+        if (miss_taken) {
+            ++site.taken;
+            ++stats.taken_branches;
+        }
+    }
+    ++jr.side_exits;
+    jr.trace_loop_iterations += full_iters;
+    icount = base + miss->end_icount;
+    jr.trace_instructions += icount - entry_icount;
+    return {miss->exit_pc, true};
+
+trap_exit:
+    // The step at `miss` would trap and has NOT executed: commit
+    // everything before it and let the fast engine re-dispatch the
+    // original instruction, which raises the reference trap at the
+    // reference icount.
+    applyAggregate(stats, jr, t, full_iters);
+    replayPrefix(stats, jr, steps, miss);
+    ++jr.trap_exits;
+    jr.trace_loop_iterations += full_iters;
+    icount = base + miss->end_icount - 1;
+    jr.trace_instructions += icount - entry_icount;
+    return {miss->pc, false};
+}
+
+template TraceExit runTraceUnit<false>(detail::ExecState &,
+                                       const CompiledTrace &, int64_t *,
+                                       int64_t &, int64_t);
+template TraceExit runTraceUnit<true>(detail::ExecState &,
+                                      const CompiledTrace &, int64_t *,
+                                      int64_t &, int64_t);
+
+} // namespace ifprob::vm::jit

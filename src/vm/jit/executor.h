@@ -1,0 +1,51 @@
+#ifndef IFPROB_VM_JIT_EXECUTOR_H
+#define IFPROB_VM_JIT_EXECUTOR_H
+
+#include <cstdint>
+
+#include "vm/engine_internal.h"
+#include "vm/jit/trace_unit.h"
+
+namespace ifprob::vm::jit {
+
+/** Where a trace pass hands control back to the fast engine. */
+struct TraceExit
+{
+    int32_t resume_pc = 0;
+    /**
+     * true: resume normal fast-path dispatch at resume_pc (the trace
+     * committed through a guard mispredict or its end). false: the next
+     * instruction *will trap* (zero divisor, out-of-range address) and
+     * has not executed — the fast engine must dispatch that slot's
+     * unfused handler exactly once so the trap carries the reference
+     * message, and must not re-enter a trace patched over it.
+     */
+    bool reenter = true;
+};
+
+/**
+ * Execute passes of @p t starting at its head until a side exit, a trap
+ * guard, or fuel/end. The caller (kHEnterTrace in engine.cpp) has
+ * already checked icount + t.total_cost <= fast_limit; loop-closing
+ * traces iterate in place while that invariant holds. @p icount is
+ * advanced to the exact retired-instruction count at exit; RunStats and
+ * RunResult::jit are updated via the batched scheme described in
+ * trace_unit.h.
+ */
+template <bool HasObserver>
+TraceExit runTraceUnit(detail::ExecState &s, const CompiledTrace &t,
+                       int64_t *regs, int64_t &icount,
+                       int64_t fast_limit);
+
+extern template TraceExit runTraceUnit<false>(detail::ExecState &,
+                                              const CompiledTrace &,
+                                              int64_t *, int64_t &,
+                                              int64_t);
+extern template TraceExit runTraceUnit<true>(detail::ExecState &,
+                                             const CompiledTrace &,
+                                             int64_t *, int64_t &,
+                                             int64_t);
+
+} // namespace ifprob::vm::jit
+
+#endif // IFPROB_VM_JIT_EXECUTOR_H

@@ -1,0 +1,135 @@
+#include "vm/jit/superblock.h"
+
+#include <algorithm>
+
+#include "vm/jit/trace_compile.h"
+
+namespace ifprob::vm::jit {
+
+namespace {
+
+/** Predicted direction for one branch along a growing path, or nullopt
+ *  when the trace should end before the branch. */
+struct Decision
+{
+    bool follow = false;
+    bool taken = false;
+};
+
+Decision
+decideBranch(const isa::Program &program,
+             const std::vector<BranchCounts> *profile, int64_t site,
+             const SuperblockConfig &cfg)
+{
+    Decision d;
+    if (profile == nullptr) {
+        // BTFNT — the paper's loop heuristic: backward branches are
+        // predicted taken, forward branches not taken.
+        d.follow = true;
+        d.taken = program.branch_sites[static_cast<size_t>(site)].backward;
+        return d;
+    }
+    const BranchCounts &bc = (*profile)[static_cast<size_t>(site)];
+    if (bc.executed < cfg.min_site_executed)
+        return d; // too cold to trust either way
+    const int64_t not_taken = bc.executed - bc.taken;
+    const int64_t majority = std::max(bc.taken, not_taken);
+    if (static_cast<double>(majority) <
+        cfg.min_bias * static_cast<double>(bc.executed))
+        return d; // unbiased: end the trace at the branch
+    d.follow = true;
+    d.taken = bc.taken >= not_taken;
+    return d;
+}
+
+} // namespace
+
+SuperblockPlan
+selectSuperblocks(const isa::Program &program, const DecodedProgram &decoded,
+                  const std::vector<BranchCounts> *profile,
+                  const SuperblockConfig &cfg)
+{
+    SuperblockPlan plan;
+    plan.profile_guided = profile != nullptr;
+
+    int32_t stamp = 0;
+    for (size_t fi = 0; fi < decoded.functions.size(); ++fi) {
+        const auto &dcode = decoded.functions[fi].code;
+        const int32_t size = static_cast<int32_t>(dcode.size());
+
+        // Seeds: loop heads — any backward target of a branch or jump,
+        // in pc order, deduplicated.
+        std::vector<int32_t> seeds;
+        std::vector<uint8_t> is_seed(dcode.size(), 0);
+        auto add_seed = [&](int32_t target, int32_t from) {
+            if (target >= 0 && target <= from && !is_seed[target]) {
+                is_seed[static_cast<size_t>(target)] = 1;
+                seeds.push_back(target);
+            }
+        };
+        for (int32_t pc = 0; pc < size; ++pc) {
+            const DecodedInsn &d = dcode[static_cast<size_t>(pc)];
+            if (d.unfused == kHBr) {
+                add_seed(d.b, pc);
+                add_seed(d.c, pc);
+            } else if (d.unfused == kHJmp) {
+                add_seed(d.a, pc);
+            }
+        }
+        std::sort(seeds.begin(), seeds.end());
+
+        // Grow each seed along the dominant direction. `mark` is
+        // generation-stamped so one allocation serves every seed.
+        std::vector<int32_t> mark(dcode.size(), -1);
+        for (int32_t head : seeds) {
+            if (static_cast<int>(plan.blocks.size()) >= cfg.max_traces)
+                return plan;
+            ++stamp;
+            Superblock sb;
+            sb.func = static_cast<int32_t>(fi);
+            sb.head_pc = head;
+            bool loops = false;
+            int32_t pc = head;
+            while (true) {
+                if (sb.steps >= cfg.max_steps)
+                    break;
+                if (mark[static_cast<size_t>(pc)] == stamp)
+                    break; // interior cycle not through the head
+                const DecodedInsn &d = dcode[static_cast<size_t>(pc)];
+                const StepClass cls = classifyStep(d.unfused);
+                if (cls == StepClass::kEnd)
+                    break;
+                int32_t next;
+                if (cls == StepClass::kStraight) {
+                    next = pc + 1;
+                } else if (cls == StepClass::kJump) {
+                    next = d.a;
+                } else {
+                    const Decision dec =
+                        decideBranch(program, profile, d.imm, cfg);
+                    if (!dec.follow)
+                        break;
+                    sb.guard_taken.push_back(dec.taken ? 1 : 0);
+                    next = dec.taken ? d.b : d.c;
+                }
+                mark[static_cast<size_t>(pc)] = stamp;
+                ++sb.steps;
+                if (next == head) {
+                    loops = true;
+                    break;
+                }
+                pc = next;
+            }
+            const bool has_guards = !sb.guard_taken.empty();
+            if (sb.steps < cfg.min_steps)
+                continue;
+            if (!loops &&
+                (!has_guards || sb.steps < cfg.min_straight_steps))
+                continue;
+            plan.blocks.push_back(std::move(sb));
+        }
+    }
+    return plan;
+}
+
+} // namespace ifprob::vm::jit

@@ -1,0 +1,73 @@
+#ifndef IFPROB_VM_JIT_SUPERBLOCK_H
+#define IFPROB_VM_JIT_SUPERBLOCK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+#include "vm/decode.h"
+#include "vm/run_stats.h"
+
+namespace ifprob::vm::jit {
+
+/**
+ * One selected superblock: a head pc plus the branch directions taken
+ * along the path, in encounter order. The path itself is not stored —
+ * compileTraces re-walks the decoded stream from the head applying the
+ * directions, which keeps the on-disk plan format compact and makes a
+ * stale plan (program changed under the cache) detectable as a walk
+ * mismatch.
+ */
+struct Superblock
+{
+    int32_t func = 0;
+    int32_t head_pc = 0;
+    int32_t steps = 0; ///< original instructions included in the path
+    std::vector<uint8_t> guard_taken; ///< per-guard predicted direction
+};
+
+struct SuperblockPlan
+{
+    std::vector<Superblock> blocks;
+    bool profile_guided = false;
+};
+
+struct SuperblockConfig
+{
+    /** Longest path one superblock may cover (original instructions). */
+    int max_steps = 256;
+    /** Program-wide cap on selected superblocks. */
+    int max_traces = 1024;
+    /** Follow a profiled branch only when its majority direction holds
+     *  at least this fraction of executions; below it the trace ends at
+     *  the branch (the fast engine dispatches it as usual). */
+    double min_bias = 0.70;
+    /** Profile support below this falls back to ending the trace (the
+     *  site is too cold to trust either direction). */
+    int64_t min_site_executed = 16;
+    /** Keep a non-loop trace only when it covers at least this many
+     *  instructions — short straight-line prefixes cost more in
+     *  entry/exit overhead than their hoisted checks save. Loop-closing
+     *  traces are always kept (the executor iterates them in place). */
+    int min_straight_steps = 16;
+    /** Any trace must cover at least this many instructions. */
+    int min_steps = 3;
+};
+
+/**
+ * Select superblocks for @p program: seeds at loop heads (targets of
+ * backward branches and jumps), grown along the dominant branch
+ * direction. With @p profile (per-site BranchCounts, RunStats.branches
+ * shape) directions follow the measured majority subject to
+ * SuperblockConfig's bias/support thresholds; with profile == nullptr
+ * the BTFNT heuristic decides (backward taken, forward not taken —
+ * the paper's loop heuristic). Deterministic for identical inputs.
+ */
+SuperblockPlan selectSuperblocks(const isa::Program &program,
+                                 const DecodedProgram &decoded,
+                                 const std::vector<BranchCounts> *profile,
+                                 const SuperblockConfig &config = {});
+
+} // namespace ifprob::vm::jit
+
+#endif // IFPROB_VM_JIT_SUPERBLOCK_H

@@ -1,0 +1,101 @@
+#include "vm/jit/tier.h"
+
+#include <cstdlib>
+
+#include "vm/jit/code_cache.h"
+#include "vm/jit/trace_compile.h"
+
+namespace ifprob::vm::jit {
+
+namespace {
+
+std::string
+cacheDirFromEnv()
+{
+    const char *dir = std::getenv("IFPROB_JIT_CACHE_DIR");
+    return dir != nullptr ? std::string(dir) : std::string();
+}
+
+} // namespace
+
+TierController::TierController(const isa::Program &program,
+                               const DecodedProgram &decoded,
+                               Config config)
+    : program_(program), decoded_(decoded), config_(config),
+      fingerprint_(program.fingerprint()), cache_dir_(cacheDirFromEnv())
+{
+    if (!cache_dir_.empty()) {
+        if (auto plan = loadCompiledPlan(cache_dir_, fingerprint_)) {
+            auto tp = std::make_shared<TraceProgram>(
+                compileTraces(program_, decoded_, *plan, "disk"));
+            compile_micros_ += tp->build.compile_micros;
+            current_ = std::move(tp);
+            profiled_ = true;
+            return;
+        }
+    }
+    const SuperblockPlan plan =
+        selectSuperblocks(program_, decoded_, nullptr, config_.superblock);
+    auto tp = std::make_shared<TraceProgram>(
+        compileTraces(program_, decoded_, plan, "static"));
+    compile_micros_ += tp->build.compile_micros;
+    current_ = std::move(tp);
+}
+
+std::shared_ptr<const TraceProgram>
+TierController::current() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+}
+
+void
+TierController::onRunCompleted(const RunStats &stats)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (profiled_)
+        return;
+    if (accum_.size() != stats.branches.size())
+        accum_.resize(stats.branches.size());
+    for (size_t i = 0; i < stats.branches.size(); ++i) {
+        accum_[i].executed += stats.branches[i].executed;
+        accum_[i].taken += stats.branches[i].taken;
+    }
+    accum_branches_ += stats.cond_branches;
+    if (accum_branches_ < config_.hot_threshold)
+        return;
+
+    const SuperblockPlan plan =
+        selectSuperblocks(program_, decoded_, &accum_, config_.superblock);
+    auto tp = std::make_shared<TraceProgram>(
+        compileTraces(program_, decoded_, plan, "profile"));
+    compile_micros_ += tp->build.compile_micros;
+    current_ = std::move(tp);
+    profiled_ = true;
+    ++tier_ups_;
+    if (!cache_dir_.empty())
+        saveCompiledPlan(cache_dir_, fingerprint_, plan);
+}
+
+JitBuildStats
+TierController::buildStats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_->build;
+}
+
+int64_t
+TierController::tierUps() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tier_ups_;
+}
+
+int64_t
+TierController::compileMicros() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return compile_micros_;
+}
+
+} // namespace ifprob::vm::jit

@@ -1,0 +1,88 @@
+#ifndef IFPROB_VM_JIT_TIER_H
+#define IFPROB_VM_JIT_TIER_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "vm/decode.h"
+#include "vm/jit/superblock.h"
+#include "vm/jit/trace_unit.h"
+#include "vm/run_stats.h"
+
+namespace ifprob::vm::jit {
+
+/**
+ * Hotness-triggered tiering for one Machine (see docs/vm.md).
+ *
+ * Construction compiles the tier-0 plan: the on-disk code cache when
+ * IFPROB_JIT_CACHE_DIR names a directory holding a valid plan for this
+ * program's fingerprint, else BTFNT-static selection. Completed runs
+ * feed their branch profiles back through onRunCompleted(); once the
+ * accumulated conditional-branch volume crosses hot_threshold the
+ * controller re-selects superblocks from the measured profile,
+ * recompiles once, atomically swaps the tier, and persists the
+ * profile-guided plan to the cache directory (when set).
+ *
+ * Thread-safe: concurrent const Machine::run calls race current()
+ * against onRunCompleted(); readers hold a shared_ptr to an immutable
+ * TraceProgram, so a swap never invalidates an in-flight run. The
+ * engine contract makes tiering invisible to results — every
+ * TraceProgram produces bit-identical RunStats/output/events.
+ */
+struct TierConfig
+{
+    /** Accumulated conditional branches that trigger the one
+     *  profile-guided recompile. */
+    int64_t hot_threshold = 20000;
+    SuperblockConfig superblock;
+};
+
+class TierController
+{
+  public:
+    using Config = TierConfig;
+
+    /** @p program must outlive the controller; @p decoded is copied
+     *  (recompiles re-lower against the unpatched stream). */
+    TierController(const isa::Program &program,
+                   const DecodedProgram &decoded, Config config = {});
+
+    /** The live tier. Never null; may be superseded by a later swap. */
+    std::shared_ptr<const TraceProgram> current() const;
+
+    /** Fold one completed (un-trapped) run's profile into the hotness
+     *  accumulator; may trigger the profile recompile. */
+    void onRunCompleted(const RunStats &stats);
+
+    /** Build accounting of the live tier (copy). */
+    JitBuildStats buildStats() const;
+
+    /** Profile-guided recompiles performed (0 or 1). */
+    int64_t tierUps() const;
+
+    /** Wall-clock spent compiling across all tiers, microseconds. */
+    int64_t compileMicros() const;
+
+  private:
+    const isa::Program &program_;
+    const DecodedProgram decoded_; ///< unpatched copy for recompiles
+    const Config config_;
+    const uint64_t fingerprint_;
+    const std::string cache_dir_; ///< IFPROB_JIT_CACHE_DIR at ctor, or ""
+
+    mutable std::mutex mu_;
+    std::shared_ptr<const TraceProgram> current_;
+    std::vector<BranchCounts> accum_;
+    int64_t accum_branches_ = 0;
+    int64_t tier_ups_ = 0;
+    int64_t compile_micros_ = 0;
+    bool profiled_ = false; ///< live tier already profile-guided
+};
+
+} // namespace ifprob::vm::jit
+
+#endif // IFPROB_VM_JIT_TIER_H

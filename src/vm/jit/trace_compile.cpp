@@ -1,0 +1,332 @@
+#include "vm/jit/trace_compile.h"
+
+#include <chrono>
+
+namespace ifprob::vm::jit {
+
+StepClass
+classifyStep(uint16_t h)
+{
+    switch (h) {
+      case kHBr:
+        return StepClass::kBranch;
+      case kHJmp:
+        return StepClass::kJump;
+      case kHLoadTrap:
+      case kHStoreTrap:
+      case kHArgTrap:
+      case kHCall:
+      case kHICall:
+      case kHRet:
+      case kHRetVoid:
+      case kHHalt:
+      case kHOffEnd:
+        return StepClass::kEnd;
+      default:
+        return StepClass::kStraight;
+    }
+}
+
+namespace {
+
+/** Unfused handler -> single-operation trace op (kNumTraceOps when the
+ *  operation cannot live inside a trace). */
+uint16_t
+baseTraceOp(uint16_t h)
+{
+    if (h >= kHAdd && h <= kHFCmpGe)
+        return static_cast<uint16_t>(kTAdd + (h - kHAdd));
+    if (h >= kHNeg && h <= kHFtoI)
+        return static_cast<uint16_t>(kTNeg + (h - kHNeg));
+    switch (h) {
+      case kHMov:      return kTMov;
+      case kHMovI:     return kTMovI;
+      case kHLoadReg:  return kTLoadRegGuard;
+      case kHLoadAbs:  return kTLoadAbs;
+      case kHStoreReg: return kTStoreRegGuard;
+      case kHStoreAbs: return kTStoreAbs;
+      case kHSelect:   return kTSelect;
+      case kHGetc:     return kTGetc;
+      case kHPutc:     return kTPutc;
+      case kHPutF:     return kTPutF;
+      case kHArg:      return kTArg;
+      case kHNop:      return kTNop;
+      case kHJmp:      return kTJmp;
+      case kHBr:       return kTGuard;
+      default:         return kNumTraceOps;
+    }
+}
+
+bool
+isIntCompareOp(uint16_t b)
+{
+    return b >= kTCmpEq && b <= kTCmpGe;
+}
+
+bool
+isFloatCompareOp(uint16_t b)
+{
+    return b >= kTFCmpEq && b <= kTFCmpGe;
+}
+
+/** compare + guard -> fused dispatch code. */
+uint16_t
+cmpGuardFuse(uint16_t b)
+{
+    if (isIntCompareOp(b))
+        return static_cast<uint16_t>(kTFuseCmpEqGuard + (b - kTCmpEq));
+    if (isFloatCompareOp(b))
+        return static_cast<uint16_t>(kTFuseFCmpEqGuard + (b - kTFCmpEq));
+    return kNumTraceOps;
+}
+
+/** movI + ALU -> fused dispatch code (non-trapping ALU ops only — the
+ *  same set the fast engine's decoder fuses). */
+uint16_t
+movIFuse(uint16_t b)
+{
+    switch (b) {
+      case kTAdd: return kTFuseMovIAdd;
+      case kTSub: return kTFuseMovISub;
+      case kTMul: return kTFuseMovIMul;
+      case kTAnd: return kTFuseMovIAnd;
+      case kTOr:  return kTFuseMovIOr;
+      case kTXor: return kTFuseMovIXor;
+      case kTShl: return kTFuseMovIShl;
+      case kTShr: return kTFuseMovIShr;
+      default:
+        if (isIntCompareOp(b))
+            return static_cast<uint16_t>(kTFuseMovICmpEq + (b - kTCmpEq));
+        return kNumTraceOps;
+    }
+}
+
+/** movI + test-against-constant + guard -> 3-wide fused dispatch. */
+uint16_t
+tripleFuse(uint16_t b)
+{
+    if (b == kTAnd)
+        return kTFuseMovIAndGuard;
+    if (isIntCompareOp(b))
+        return static_cast<uint16_t>(kTFuseMovICmpEqGuard +
+                                     (b - kTCmpEq));
+    return kNumTraceOps;
+}
+
+/** Accumulate one site touch into the per-pass delta table (first-touch
+ *  order; paths are short, so a linear probe beats a map). */
+void
+touchSite(CompiledTrace &ct, int64_t site, bool taken)
+{
+    for (SiteDelta &d : ct.site_deltas) {
+        if (d.site == static_cast<int32_t>(site)) {
+            ++d.executed;
+            d.taken += taken ? 1 : 0;
+            return;
+        }
+    }
+    SiteDelta d;
+    d.site = static_cast<int32_t>(site);
+    d.executed = 1;
+    d.taken = taken ? 1 : 0;
+    ct.site_deltas.push_back(d);
+}
+
+/**
+ * Re-walk one superblock over the decoded stream and lower it. Returns
+ * false when the walk no longer matches the plan (stale disk plan, or a
+ * guard-count mismatch) — the caller drops the block.
+ */
+bool
+lowerBlock(const DecodedProgram &decoded, const Superblock &sb,
+           CompiledTrace &ct)
+{
+    if (sb.func < 0 ||
+        sb.func >= static_cast<int32_t>(decoded.functions.size()))
+        return false;
+    const auto &dcode =
+        decoded.functions[static_cast<size_t>(sb.func)].code;
+    if (sb.head_pc < 0 ||
+        sb.head_pc >= static_cast<int32_t>(dcode.size()))
+        return false;
+    if (sb.steps <= 0 || sb.steps > static_cast<int32_t>(UINT16_MAX))
+        return false;
+
+    ct.func = sb.func;
+    ct.head_pc = sb.head_pc;
+    int32_t pc = sb.head_pc;
+    size_t gi = 0;
+    uint16_t count = 0;
+    ct.steps.reserve(static_cast<size_t>(sb.steps) + 1);
+    for (int32_t i = 0; i < sb.steps; ++i) {
+        if (pc < 0 || pc >= static_cast<int32_t>(dcode.size()))
+            return false;
+        const DecodedInsn &d = dcode[static_cast<size_t>(pc)];
+        const uint16_t op = baseTraceOp(d.unfused);
+        if (op == kNumTraceOps)
+            return false;
+        TraceStep st;
+        st.op = op;
+        st.base = op;
+        st.a = d.a;
+        st.b = d.b;
+        st.c = d.c;
+        st.imm = d.imm;
+        st.pc = pc;
+        st.end_icount = ++count;
+        int32_t next;
+        if (op == kTGuard) {
+            if (gi >= sb.guard_taken.size())
+                return false;
+            const bool pred = sb.guard_taken[gi++] != 0;
+            if (pred)
+                st.flags |= kStepPredTaken;
+            st.exit_pc = pred ? d.c : d.b;
+            next = pred ? d.b : d.c;
+            ++ct.agg_guards;
+            if (pred)
+                ++ct.agg_taken;
+            touchSite(ct, d.imm, pred);
+        } else if (op == kTJmp) {
+            next = d.a;
+            ++ct.agg_jumps;
+        } else {
+            if (op == kTSelect)
+                ++ct.agg_selects;
+            next = pc + 1;
+        }
+        ct.steps.push_back(st);
+        pc = next;
+    }
+    if (gi != sb.guard_taken.size())
+        return false;
+
+    ct.total_cost = sb.steps;
+    ct.loops = pc == sb.head_pc;
+    TraceStep end;
+    end.op = kTEnd;
+    end.base = kTEnd;
+    end.cost = 0;
+    end.end_icount = count;
+    end.exit_pc = pc;
+    end.pc = pc;
+    if (ct.loops)
+        end.flags |= kStepLoops;
+    ct.steps.push_back(end);
+    return true;
+}
+
+/**
+ * Plant the fast engine's superinstruction shapes over a lowered step
+ * array. Only the group head's dispatch code changes — component steps
+ * keep their single-op `base`, so side-exit replay and observer
+ * instruction counts are untouched. Trace entries always start at step
+ * 0, so unlike the decoder's first-slot-only rule there is no mid-group
+ * entry to protect.
+ */
+int64_t
+fuseTraceSteps(CompiledTrace &ct)
+{
+    int64_t fused = 0;
+    std::vector<TraceStep> &s = ct.steps;
+    const size_t n = s.size() - 1; // exclude the TEnd sentinel
+    size_t i = 0;
+    while (i < n) {
+        TraceStep &cur = s[i];
+        if (cur.base == kTMovI && i + 1 < n && s[i + 1].c == cur.a) {
+            const TraceStep &alu = s[i + 1];
+            if (i + 2 < n && s[i + 2].base == kTGuard &&
+                s[i + 2].a == alu.a) {
+                const uint16_t fop = tripleFuse(alu.base);
+                if (fop != kNumTraceOps) {
+                    cur.op = fop;
+                    cur.cost = 3;
+                    ++fused;
+                    i += 3;
+                    continue;
+                }
+            }
+            const uint16_t fop = movIFuse(alu.base);
+            if (fop != kNumTraceOps) {
+                cur.op = fop;
+                cur.cost = 2;
+                ++fused;
+                i += 2;
+                continue;
+            }
+        }
+        if ((isIntCompareOp(cur.base) || isFloatCompareOp(cur.base)) &&
+            i + 1 < n && s[i + 1].base == kTGuard &&
+            s[i + 1].a == cur.a) {
+            cur.op = cmpGuardFuse(cur.base);
+            cur.cost = 2;
+            ++fused;
+            i += 2;
+            continue;
+        }
+        ++i;
+    }
+    return fused;
+}
+
+} // namespace
+
+TraceProgram
+compileTraces(const isa::Program &program, const DecodedProgram &decoded,
+              const SuperblockPlan &plan, std::string_view source)
+{
+    (void)program;
+    const auto t0 = std::chrono::steady_clock::now();
+    TraceProgram tp;
+    tp.decoded = decoded;
+    tp.build.source = std::string(source);
+    tp.entry.resize(decoded.functions.size());
+    for (size_t fi = 0; fi < decoded.functions.size(); ++fi)
+        tp.entry[fi].assign(decoded.functions[fi].code.size(), -1);
+
+    for (const Superblock &sb : plan.blocks) {
+        CompiledTrace ct;
+        if (!lowerBlock(decoded, sb, ct))
+            continue; // stale plan entry: degrade, don't fail
+        auto &slot = tp.entry[static_cast<size_t>(sb.func)];
+        if (slot[static_cast<size_t>(sb.head_pc)] != -1)
+            continue; // duplicate head
+        tp.build.fused_steps += fuseTraceSteps(ct);
+        // Fuse the trace's closing transfer with the pass end, so the
+        // bottom of a loop costs one dispatch instead of two. Two
+        // shapes: a trailing unconditional jump (rare — jump threading
+        // removes most) becomes kTJmpEnd, and a trailing guard (the
+        // bottom test of a rotated loop, the common shape) is flagged
+        // kStepClosesPass so its predicted path skips the TEnd
+        // dispatch. `base` and guard semantics are untouched, so
+        // replay, aggregates, and side exits are unaffected.
+        if (ct.steps.size() >= 2) {
+            TraceStep &last = ct.steps[ct.steps.size() - 2];
+            if (last.op == kTJmp)
+                last.op = kTJmpEnd;
+            else if (last.base == kTGuard)
+                last.flags |= kStepClosesPass;
+        }
+        tp.build.steps += static_cast<int64_t>(ct.steps.size()) - 1;
+        tp.build.guards += ct.agg_guards;
+        if (ct.loops)
+            ++tp.build.loop_traces;
+
+        DecodedInsn &head =
+            tp.decoded.functions[static_cast<size_t>(sb.func)]
+                .code[static_cast<size_t>(sb.head_pc)];
+        ct.head_handler = head.handler;
+        head.handler = kHEnterTrace;
+        slot[static_cast<size_t>(sb.head_pc)] =
+            static_cast<int32_t>(tp.units.size());
+        tp.units.push_back(std::move(ct));
+    }
+    tp.build.traces = static_cast<int64_t>(tp.units.size());
+    tp.build.compile_micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return tp;
+}
+
+} // namespace ifprob::vm::jit

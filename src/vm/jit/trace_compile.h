@@ -1,0 +1,44 @@
+#ifndef IFPROB_VM_JIT_TRACE_COMPILE_H
+#define IFPROB_VM_JIT_TRACE_COMPILE_H
+
+#include "isa/program.h"
+#include "vm/decode.h"
+#include "vm/jit/superblock.h"
+#include "vm/jit/trace_unit.h"
+
+namespace ifprob::vm::jit {
+
+/** How the superblock walker treats one decoded operation. */
+enum class StepClass : uint8_t {
+    kStraight, ///< falls through to pc+1 (loads/stores/ALU/env included)
+    kBranch,   ///< kBr: becomes a guard when a trace crosses it
+    kJump,     ///< kJmp: linearized away inside a trace
+    kEnd,      ///< ends any trace (calls, returns, halt, static traps)
+};
+
+/** Classify the *unfused* handler @p h (superblock selection and trace
+ *  compilation must walk the same single-operation stream). */
+StepClass classifyStep(uint16_t h);
+
+/**
+ * Template-compile @p plan against the pre-decoded stream: each
+ * superblock is re-walked from its head applying the recorded guard
+ * directions and lowered to a straight-line TraceStep array (interior
+ * jumps disappear, branches become guards, a re-fusion peephole plants
+ * the same superinstruction shapes the fast engine uses), then the head
+ * slots of a *copy* of @p decoded are patched to dispatch kHEnterTrace.
+ *
+ * A superblock whose walk no longer matches the decoded stream (a stale
+ * on-disk plan) is dropped rather than compiled — the remaining blocks
+ * still form a valid tier, and a fully stale plan degrades to the plain
+ * fast engine. @p source tags JitBuildStats ("static" / "profile" /
+ * "disk").
+ */
+TraceProgram compileTraces(const isa::Program &program,
+                           const DecodedProgram &decoded,
+                           const SuperblockPlan &plan,
+                           std::string_view source);
+
+} // namespace ifprob::vm::jit
+
+#endif // IFPROB_VM_JIT_TRACE_COMPILE_H

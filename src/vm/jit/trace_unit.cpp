@@ -1,0 +1,18 @@
+#include "vm/jit/trace_unit.h"
+
+namespace ifprob::vm::jit {
+
+std::string_view
+traceOpName(TraceOp op)
+{
+    static constexpr std::string_view kNames[] = {
+#define IFPROB_JIT_TRACE_OP_NAME(o) #o,
+        IFPROB_JIT_TRACE_OPS(IFPROB_JIT_TRACE_OP_NAME)
+#undef IFPROB_JIT_TRACE_OP_NAME
+    };
+    if (op >= kNumTraceOps)
+        return "?";
+    return kNames[op];
+}
+
+} // namespace ifprob::vm::jit

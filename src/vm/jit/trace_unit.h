@@ -1,0 +1,183 @@
+#ifndef IFPROB_VM_JIT_TRACE_UNIT_H
+#define IFPROB_VM_JIT_TRACE_UNIT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/decode.h"
+
+namespace ifprob::vm::jit {
+
+/**
+ * The trace tier's compiled execution units (see docs/vm.md).
+ *
+ * A superblock — one hot path through the control-flow graph, selected
+ * from profile data or the BTFNT heuristic — is template-compiled into
+ * a straight-line array of TraceSteps. Interior dispatch disappears
+ * (steps fall through), per-instruction fuel accounting is hoisted to a
+ * single entry/iteration guard, and branches become *guards*: the
+ * branch fully commits (site counts, observer event) and execution
+ * falls through while the actual direction matches the predicted one,
+ * or side-exits back into the fast engine at the off-trace target.
+ *
+ * Statistics bookkeeping is batched: the hot path writes no counters at
+ * all. A fully committed pass applies the trace's precomputed per-pass
+ * aggregate (guards executed, jumps, selects, per-site deltas); a side
+ * exit replays the committed prefix step-by-step from the step array.
+ * Both reproduce the reference engine's counters bit for bit — the
+ * contract tests/test_vm_engines.cpp enforces three ways.
+ */
+
+/** X-macro over every trace-step op, keeping the enum, the executor's
+ *  computed-goto label table, and traceOpName in lockstep. The first
+ *  two groups must stay in isa::binaryAluIndex / isa::unaryAluIndex
+ *  order (mirroring IFPROB_VM_HANDLERS). Ops suffixed `Guard` can
+ *  side-exit *before* executing so the fast engine re-executes the
+ *  instruction and traps with the reference message. */
+#define IFPROB_JIT_TRACE_OPS(X)                                           \
+    /* two-source ALU */                                                  \
+    X(TAdd) X(TSub) X(TMul) X(TDivGuard) X(TRemGuard)                     \
+    X(TAnd) X(TOr) X(TXor) X(TShl) X(TShr)                                \
+    X(TCmpEq) X(TCmpNe) X(TCmpLt) X(TCmpLe) X(TCmpGt) X(TCmpGe)           \
+    X(TFAdd) X(TFSub) X(TFMul) X(TFDiv)                                   \
+    X(TFCmpEq) X(TFCmpNe) X(TFCmpLt) X(TFCmpLe) X(TFCmpGt) X(TFCmpGe)     \
+    /* single-source ALU */                                               \
+    X(TNeg) X(TNot) X(TFNeg) X(TFAbs) X(TFSqrt) X(TFExp) X(TFLog)         \
+    X(TFSin) X(TFCos) X(TItoF) X(TFtoI)                                   \
+    /* moves, memory, environment */                                      \
+    X(TMov) X(TMovI)                                                      \
+    X(TLoadRegGuard) X(TLoadAbs) X(TStoreRegGuard) X(TStoreAbs)           \
+    X(TSelect) X(TGetc) X(TPutc) X(TPutF) X(TArg) X(TNop)                 \
+    /* control inside the trace (TJmpEnd: a trailing jump fused with    \
+       the pass end, so a loop's bottom costs one dispatch, not two) */   \
+    X(TJmp) X(TJmpEnd) X(TGuard)                                          \
+    /* fused compare+guard (this step + the guard in the next step) */    \
+    X(TFuseCmpEqGuard) X(TFuseCmpNeGuard) X(TFuseCmpLtGuard)              \
+    X(TFuseCmpLeGuard) X(TFuseCmpGtGuard) X(TFuseCmpGeGuard)              \
+    X(TFuseFCmpEqGuard) X(TFuseFCmpNeGuard) X(TFuseFCmpLtGuard)           \
+    X(TFuseFCmpLeGuard) X(TFuseFCmpGtGuard) X(TFuseFCmpGeGuard)           \
+    /* fused movI+ALU (constant staged into the next step's src2) */      \
+    X(TFuseMovIAdd) X(TFuseMovISub) X(TFuseMovIMul) X(TFuseMovIAnd)       \
+    X(TFuseMovIOr) X(TFuseMovIXor) X(TFuseMovIShl) X(TFuseMovIShr)        \
+    X(TFuseMovICmpEq) X(TFuseMovICmpNe) X(TFuseMovICmpLt)                 \
+    X(TFuseMovICmpLe) X(TFuseMovICmpGt) X(TFuseMovICmpGe)                 \
+    /* fused movI+ALU+guard: test against a constant, then guard */       \
+    X(TFuseMovIAndGuard)                                                  \
+    X(TFuseMovICmpEqGuard) X(TFuseMovICmpNeGuard) X(TFuseMovICmpLtGuard)  \
+    X(TFuseMovICmpLeGuard) X(TFuseMovICmpGtGuard) X(TFuseMovICmpGeGuard)  \
+    /* sentinel terminating every step array */                           \
+    X(TEnd)
+
+enum TraceOp : uint16_t {
+#define IFPROB_JIT_TRACE_OP_ENUM(op) k##op,
+    IFPROB_JIT_TRACE_OPS(IFPROB_JIT_TRACE_OP_ENUM)
+#undef IFPROB_JIT_TRACE_OP_ENUM
+    kNumTraceOps
+};
+
+/** Trace-op mnemonic, for tests and debugging. */
+std::string_view traceOpName(TraceOp op);
+
+/** TraceStep::flags bits. */
+enum : uint8_t {
+    kStepPredTaken = 1, ///< guard steps: the predicted (fall-through) way
+    kStepLoops = 2,     ///< TEnd: the trace's tail falls back to its head
+    /** Guard steps: the predicted successor is the TEnd sentinel (the
+     *  loop-closing bottom test of a rotated loop). The executor's
+     *  guard tail falls straight into the end-of-pass logic, skipping
+     *  the TEnd dispatch. */
+    kStepClosesPass = 4,
+};
+
+/**
+ * One step of a compiled trace: 40 bytes, hot fields first.
+ *
+ * `op` is the dispatch code (a fused group's head carries the fused op;
+ * its component steps remain in the array as data with their own
+ * single-op codes). `base` is always the single-op code — the side-exit
+ * replay walks it to reconstruct exact counters. `end_icount` is the
+ * number of original instructions retired once this step's group has
+ * committed, relative to the pass's entry; the executor turns these
+ * prefix offsets into exact observer instruction counts and exit
+ * icounts without per-step increments.
+ */
+struct TraceStep
+{
+    uint16_t op = kTNop;
+    uint16_t base = kTNop;
+    uint16_t end_icount = 0;
+    uint8_t cost = 1;  ///< original instructions in this dispatch group
+    uint8_t flags = 0;
+    int32_t a = -1;
+    int32_t b = -1;
+    int32_t c = -1;
+    int64_t imm = 0;   ///< immediate; guards: the branch site id
+    int32_t exit_pc = -1; ///< guards: off-trace resume pc; TEnd: resume pc
+    int32_t pc = -1;      ///< original decoded pc of this instruction
+};
+static_assert(sizeof(TraceStep) == 40, "keep the step stream compact");
+
+/** Per-pass branch-site delta, applied in bulk on commit. */
+struct SiteDelta
+{
+    int32_t site = 0;
+    int32_t executed = 0;
+    int32_t taken = 0;
+};
+
+/** One compiled superblock. */
+struct CompiledTrace
+{
+    int32_t func = 0;
+    int32_t head_pc = 0;
+    /** The head slot's pre-patch fast-path handler: dispatched instead
+     *  of entering when the remaining fuel cannot cover a full pass. */
+    uint16_t head_handler = 0;
+    /** Original instructions retired by one full pass; the fuel guard
+     *  admits a pass only while icount + total_cost stays within the
+     *  fast engine's unchecked budget. */
+    int64_t total_cost = 0;
+    bool loops = false; ///< tail falls through to head (executor iterates)
+    std::vector<TraceStep> steps; ///< terminated by one TEnd step
+    /** Per-pass counter aggregate (see batched bookkeeping above). */
+    int64_t agg_guards = 0;
+    int64_t agg_taken = 0;
+    int64_t agg_jumps = 0;
+    int64_t agg_selects = 0;
+    std::vector<SiteDelta> site_deltas;
+};
+
+/** Compile-time accounting, surfaced through obs and bench/micro_vm. */
+struct JitBuildStats
+{
+    int64_t traces = 0;
+    int64_t steps = 0;        ///< step entries excluding TEnd sentinels
+    int64_t guards = 0;       ///< guard steps across all traces
+    int64_t fused_steps = 0;  ///< steps carrying a fused dispatch code
+    int64_t loop_traces = 0;
+    int64_t compile_micros = 0;
+    std::string source;       ///< "static" | "profile" | "disk"
+};
+
+/**
+ * A full trace tier for one program: a patched copy of the pre-decoded
+ * stream whose superblock-head slots dispatch kHEnterTrace (only the
+ * fast-path `handler` field is patched — `unfused` is untouched, so the
+ * budget-checked tail loop and trap parity are unaffected), plus the
+ * per-function entry index and the compiled units. Immutable after
+ * construction; the tier controller swaps whole TracePrograms.
+ */
+struct TraceProgram
+{
+    DecodedProgram decoded;
+    /** Per function, per decoded pc: unit index or -1. Sized like the
+     *  decoded stream (sentinel slot included). */
+    std::vector<std::vector<int32_t>> entry;
+    std::vector<CompiledTrace> units;
+    JitBuildStats build;
+};
+
+} // namespace ifprob::vm::jit
+
+#endif // IFPROB_VM_JIT_TRACE_UNIT_H

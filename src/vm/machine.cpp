@@ -7,13 +7,36 @@
 #include "obs/trace.h"
 #include "support/error.h"
 #include "vm/engine.h"
+#include "vm/jit/tier.h"
 
 namespace ifprob::vm {
 
 std::string_view
 engineName(Engine engine)
 {
-    return engine == Engine::kFast ? "fast" : "switch";
+    switch (engine) {
+      case Engine::kSwitch:
+        return "switch";
+      case Engine::kTrace:
+        return "trace";
+      case Engine::kFast:
+      default:
+        return "fast";
+    }
+}
+
+Engine
+parseEngineName(std::string_view name)
+{
+    if (name == "fast")
+        return Engine::kFast;
+    if (name == "switch" || name == "reference")
+        return Engine::kSwitch;
+    if (name == "trace")
+        return Engine::kTrace;
+    throw Error("IFPROB_VM_ENGINE: unknown engine \"" +
+                std::string(name) +
+                "\" (expected \"fast\", \"switch\", or \"trace\")");
 }
 
 Engine
@@ -23,13 +46,7 @@ defaultEngine()
         const char *env = std::getenv("IFPROB_VM_ENGINE");
         if (env == nullptr || *env == '\0')
             return Engine::kFast;
-        const std::string v(env);
-        if (v == "fast")
-            return Engine::kFast;
-        if (v == "switch" || v == "reference")
-            return Engine::kSwitch;
-        throw Error("IFPROB_VM_ENGINE: unknown engine \"" + v +
-                    "\" (expected \"fast\" or \"switch\")");
+        return parseEngineName(env);
     }();
     return cached;
 }
@@ -38,7 +55,7 @@ Machine::Machine(const isa::Program &program, Engine engine)
     : program_(program), engine_(engine)
 {
     program_.validate();
-    if (engine_ == Engine::kFast) {
+    if (engine_ == Engine::kFast || engine_ == Engine::kTrace) {
         obs::ScopedSpan span("vm.decode", "vm");
         const int64_t t0 = obs::nowMicros();
         decoded_ = decodeProgram(program_);
@@ -52,6 +69,31 @@ Machine::Machine(const isa::Program &program, Engine engine)
             span.arg("micros", decoded_.stats.decode_micros);
         }
     }
+    if (engine_ == Engine::kTrace) {
+        obs::ScopedSpan span("jit.compile", "vm");
+        tier_ = std::make_shared<jit::TierController>(program_, decoded_);
+        const jit::JitBuildStats build = tier_->buildStats();
+        obs::counter("jit.traces_compiled").add(build.traces);
+        obs::histogram("jit.compile_micros").record(build.compile_micros);
+        if (span.active()) {
+            span.arg("traces", build.traces);
+            span.arg("steps", build.steps);
+            span.arg("source", build.source);
+            span.arg("micros", build.compile_micros);
+        }
+    }
+}
+
+int64_t
+Machine::jitCompileMicros() const
+{
+    return tier_ != nullptr ? tier_->compileMicros() : 0;
+}
+
+jit::JitBuildStats
+Machine::jitBuildStats() const
+{
+    return tier_ != nullptr ? tier_->buildStats() : jit::JitBuildStats{};
 }
 
 RunResult
@@ -64,7 +106,8 @@ Machine::run(std::string_view input, const RunLimits &limits,
     obs::ScopedSpan span("vm.run", "vm");
     const int64_t t0 = obs::nowMicros();
 
-    auto record = [&](const RunStats &stats, bool trapped) {
+    auto record = [&](const RunResult &r, bool trapped) {
+        const RunStats &stats = r.stats;
         const int64_t micros = obs::nowMicros() - t0;
         obs::counter("vm.runs").add(1);
         obs::counter("vm.instructions").add(stats.instructions);
@@ -80,6 +123,13 @@ Machine::run(std::string_view input, const RunLimits &limits,
                      stats.indirect_returns);
         }
         obs::histogram("vm.run_micros").record(micros);
+        if (engine_ == Engine::kTrace) {
+            obs::counter("jit.trace_entries").add(r.jit.trace_entries);
+            obs::counter("jit.trace_instructions")
+                .add(r.jit.trace_instructions);
+            obs::counter("jit.side_exits").add(r.jit.side_exits);
+            obs::counter("jit.trap_exits").add(r.jit.trap_exits);
+        }
         if (span.active()) {
             span.arg("engine", engineName(engine_));
             span.arg("instructions", stats.instructions);
@@ -89,22 +139,39 @@ Machine::run(std::string_view input, const RunLimits &limits,
                                      static_cast<double>(micros));
             if (trapped)
                 span.arg("trapped", int64_t{1});
+            if (r.jit.trace_entries > 0)
+                span.arg("trace_instructions", r.jit.trace_instructions);
         }
     };
 
     RunResult result;
     try {
-        if (engine_ == Engine::kFast)
+        if (engine_ == Engine::kTrace) {
+            // Hold the tier for the whole run: a concurrent tier-up
+            // swap must not invalidate the stream we are executing.
+            const std::shared_ptr<const jit::TraceProgram> tier =
+                tier_->current();
+            runTraceEngine(program_, *tier, input, limits, observer,
+                           result);
+            const int64_t before = tier_->tierUps();
+            tier_->onRunCompleted(result.stats);
+            if (tier_->tierUps() != before) {
+                obs::counter("jit.tier_ups").add(1);
+                obs::counter("jit.traces_compiled")
+                    .add(tier_->buildStats().traces);
+            }
+        } else if (engine_ == Engine::kFast) {
             runFastEngine(program_, decoded_, input, limits, observer,
                           result);
-        else
+        } else {
             runSwitchEngine(program_, input, limits, observer, result);
-        record(result.stats, /*trapped=*/false);
+        }
+        record(result, /*trapped=*/false);
         return result;
     } catch (const RuntimeError &) {
         // The engines fill `result` in place, so the statistics (and
         // output) accumulated up to the trap site are recorded.
-        record(result.stats, /*trapped=*/true);
+        record(result, /*trapped=*/true);
         throw;
     }
 }

@@ -2,6 +2,7 @@
 #define IFPROB_VM_MACHINE_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -12,6 +13,11 @@
 
 namespace ifprob::vm {
 
+namespace jit {
+class TierController;
+struct JitBuildStats;
+}
+
 /** Execution limits; exceeding either raises RuntimeError. */
 struct RunLimits
 {
@@ -19,11 +25,30 @@ struct RunLimits
     int max_call_depth = 65536;
 };
 
+/**
+ * Trace-tier accounting for one run. Zero for the switch and fast
+ * engines. Deliberately OUTSIDE the engine contract: RunStats, output,
+ * observer events, and traps are bit-identical across engines, while
+ * these counters describe *how* the trace engine got there (entries,
+ * instructions retired inside compiled traces, completed passes, guard
+ * volume, side exits, pre-trap exits).
+ */
+struct JitRunStats
+{
+    int64_t trace_entries = 0;
+    int64_t trace_instructions = 0;
+    int64_t trace_loop_iterations = 0; ///< fully committed passes
+    int64_t guards = 0;                ///< guard (branch) executions
+    int64_t side_exits = 0;            ///< guard mispredict exits
+    int64_t trap_exits = 0;            ///< exits handing a trap back
+};
+
 /** The result of one run: counters plus everything the program printed. */
 struct RunResult
 {
     RunStats stats;
     std::string output;
+    JitRunStats jit; ///< trace engine only; zeros otherwise
 };
 
 /**
@@ -32,22 +57,32 @@ struct RunResult
  * kFast pre-decodes the instruction stream at Machine construction and
  * dispatches through a dense handler table (computed goto where the
  * compiler supports it); kSwitch is the original decode-on-the-fly
- * switch interpreter, kept as the behavioural reference. Both produce
- * bit-for-bit identical RunResults — the differential tests in
- * tests/test_vm_engines.cpp hold them to that.
+ * switch interpreter, kept as the behavioural reference; kTrace layers
+ * the profile-guided superblock tier (src/vm/jit/) on top of the fast
+ * core. All three produce bit-for-bit identical RunStats, output,
+ * observer event sequences, and trap messages — the differential tests
+ * in tests/test_vm_engines.cpp hold them to that.
  */
 enum class Engine : uint8_t {
     kFast,
     kSwitch,
+    kTrace,
 };
 
-/** Engine tag for reports and trace spans ("fast" / "switch"). */
+/** Engine tag for reports and trace spans ("fast"/"switch"/"trace"). */
 std::string_view engineName(Engine engine);
 
 /**
+ * Parse an engine name as IFPROB_VM_ENGINE spells them: "fast",
+ * "switch" (alias "reference"), "trace". Any other value — including
+ * empty — raises Error naming the valid engines.
+ */
+Engine parseEngineName(std::string_view name);
+
+/**
  * The process default: Engine::kFast, unless the IFPROB_VM_ENGINE
- * environment variable says "switch" (alias "reference"). Any other
- * value raises Error. Read once and cached.
+ * environment variable selects another engine (parseEngineName). An
+ * unknown value raises Error. Read once and cached.
  */
 Engine defaultEngine();
 
@@ -95,10 +130,18 @@ class Machine
     const DecodeStats &decodeStats() const { return decoded_.stats; }
     int64_t decodeMicros() const { return decoded_.stats.decode_micros; }
 
+    /** Trace-tier compile wall-clock so far; 0 for other engines. */
+    int64_t jitCompileMicros() const;
+
+    /** Build accounting of the live trace tier; zeros for other
+     *  engines. (Callers include vm/jit/trace_unit.h for the type.) */
+    jit::JitBuildStats jitBuildStats() const;
+
   private:
     const isa::Program &program_;
     Engine engine_;
-    DecodedProgram decoded_; ///< populated only for Engine::kFast
+    DecodedProgram decoded_; ///< populated for kFast and kTrace
+    std::shared_ptr<jit::TierController> tier_; ///< kTrace only
 };
 
 } // namespace ifprob::vm

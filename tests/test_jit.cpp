@@ -1,0 +1,614 @@
+/**
+ * @file
+ * Unit and integration tests for the trace-JIT tier (src/vm/jit/):
+ * superblock selection (BTFNT and profile-guided), template
+ * compilation and head-slot patching, the trace executor's side-exit
+ * and trap-exit paths, the on-disk code cache (round-trip, corruption
+ * fallback, cold-vs-warm determinism), and the hotness-triggered tier
+ * controller including its thread safety (these run under TSan in CI).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/pipeline.h"
+#include "isa/program.h"
+#include "support/error.h"
+#include "vm/decode.h"
+#include "vm/engine.h"
+#include "vm/jit/code_cache.h"
+#include "vm/jit/superblock.h"
+#include "vm/jit/tier.h"
+#include "vm/jit/trace_compile.h"
+#include "vm/jit/trace_unit.h"
+#include "vm/machine.h"
+#include "vm/observer.h"
+
+namespace ifprob {
+namespace {
+
+namespace fs = std::filesystem;
+
+isa::Program
+compileNoPrelude(std::string_view src)
+{
+    CompileOptions options;
+    options.include_prelude = false;
+    return compile(src, options);
+}
+
+/** Outcome of one engine run, trap message included. */
+struct Outcome
+{
+    vm::RunResult result;
+    std::string error;
+};
+
+Outcome
+runSwitch(const isa::Program &p, std::string_view input = "",
+          const vm::RunLimits &limits = {},
+          vm::BranchObserver *observer = nullptr)
+{
+    Outcome out;
+    try {
+        vm::runSwitchEngine(p, input, limits, observer, out.result);
+    } catch (const RuntimeError &e) {
+        out.error = e.what();
+    }
+    return out;
+}
+
+Outcome
+runTrace(const isa::Program &p, std::string_view input = "",
+         const vm::RunLimits &limits = {},
+         vm::BranchObserver *observer = nullptr,
+         const std::vector<vm::BranchCounts> *profile = nullptr)
+{
+    Outcome out;
+    try {
+        vm::DecodedProgram decoded = vm::decodeProgram(p);
+        vm::jit::SuperblockPlan plan =
+            vm::jit::selectSuperblocks(p, decoded, profile);
+        vm::jit::TraceProgram tier = vm::jit::compileTraces(
+            p, decoded, plan, profile != nullptr ? "profile" : "static");
+        vm::runTraceEngine(p, tier, input, limits, observer, out.result);
+    } catch (const RuntimeError &e) {
+        out.error = e.what();
+    }
+    return out;
+}
+
+void
+expectSameOutcome(const Outcome &trace, const Outcome &ref,
+                  const std::string &label)
+{
+    EXPECT_EQ(trace.error, ref.error) << label;
+    EXPECT_EQ(trace.result.output, ref.result.output) << label;
+    const vm::RunStats &a = trace.result.stats;
+    const vm::RunStats &b = ref.result.stats;
+    EXPECT_EQ(a.instructions, b.instructions) << label;
+    EXPECT_EQ(a.cond_branches, b.cond_branches) << label;
+    EXPECT_EQ(a.taken_branches, b.taken_branches) << label;
+    EXPECT_EQ(a.jumps, b.jumps) << label;
+    EXPECT_EQ(a.selects, b.selects) << label;
+    EXPECT_EQ(a.exit_code, b.exit_code) << label;
+    ASSERT_EQ(a.branches.size(), b.branches.size()) << label;
+    for (size_t i = 0; i < a.branches.size(); ++i) {
+        EXPECT_EQ(a.branches[i].executed, b.branches[i].executed)
+            << label << " site " << i;
+        EXPECT_EQ(a.branches[i].taken, b.branches[i].taken)
+            << label << " site " << i;
+    }
+}
+
+/** Scoped IFPROB_JIT_CACHE_DIR pointing at a fresh temp directory. */
+struct ScopedCacheDir
+{
+    fs::path dir;
+
+    explicit ScopedCacheDir(const std::string &tag)
+    {
+        dir = fs::temp_directory_path() /
+              ("ifprob_jit_" + tag + "_" + std::to_string(::getpid()));
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+        ::setenv("IFPROB_JIT_CACHE_DIR", dir.c_str(), 1);
+    }
+    ~ScopedCacheDir()
+    {
+        ::unsetenv("IFPROB_JIT_CACHE_DIR");
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+    }
+};
+
+constexpr const char *kHotLoopSrc = R"(
+    int main() {
+        int n = 0;
+        for (int i = 0; i < 25000; i++) {
+            if (i % 7 == 0)
+                n += 3;
+            else
+                n += 1;
+        }
+        return n & 255;
+    })";
+
+// --- superblock selection ---
+
+TEST(JitSelection, BtfntSeedsLoopHeadsAndPredictsBackwardTaken)
+{
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    vm::DecodedProgram decoded = vm::decodeProgram(p);
+    vm::jit::SuperblockPlan plan =
+        vm::jit::selectSuperblocks(p, decoded, nullptr);
+    EXPECT_FALSE(plan.profile_guided);
+    ASSERT_FALSE(plan.blocks.empty());
+    for (const auto &b : plan.blocks) {
+        EXPECT_GE(b.steps, 3) << "below min_steps";
+        EXPECT_LT(b.head_pc,
+                  static_cast<int32_t>(p.functions[b.func].code.size()));
+    }
+}
+
+TEST(JitSelection, ProfileBiasThresholdGatesGuardCrossing)
+{
+    // One branch alternating 50/50 inside a loop: the static plan
+    // guards through it (BTFNT calls the forward branch not-taken), but
+    // a measured 50/50 profile is below min_bias, so the profile-guided
+    // trace must end at the branch instead of guarding it.
+    isa::Program p = compileNoPrelude(R"(
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 1000; i++) {
+                if (i & 1)
+                    n += 2;
+                else
+                    n += 1;
+            }
+            return n & 255;
+        })");
+    vm::DecodedProgram decoded = vm::decodeProgram(p);
+    Outcome ref = runSwitch(p);
+    ASSERT_TRUE(ref.error.empty()) << ref.error;
+
+    vm::jit::SuperblockPlan fifty = vm::jit::selectSuperblocks(
+        p, decoded, &ref.result.stats.branches);
+    EXPECT_TRUE(fifty.profile_guided);
+    // Heavily bias the same shape: every site taken 100%.
+    std::vector<vm::BranchCounts> biased = ref.result.stats.branches;
+    for (auto &site : biased) {
+        site.executed = 1000;
+        site.taken = 1000;
+    }
+    vm::jit::SuperblockPlan hot =
+        vm::jit::selectSuperblocks(p, decoded, &biased);
+    auto guards = [](const vm::jit::SuperblockPlan &plan) {
+        size_t n = 0;
+        for (const auto &b : plan.blocks)
+            n += b.guard_taken.size();
+        return n;
+    };
+    // The fully biased profile crosses strictly more branches than the
+    // 50/50 one (which must stop at the alternating site).
+    EXPECT_GT(guards(hot), guards(fifty));
+}
+
+TEST(JitSelection, ColdSitesFallBackToEndingTheTrace)
+{
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    vm::DecodedProgram decoded = vm::decodeProgram(p);
+    // All-zero profile: every site is below min_site_executed, so no
+    // guard direction can be trusted; selection still terminates and
+    // produces a valid (possibly empty) plan.
+    std::vector<vm::BranchCounts> cold(64);
+    vm::jit::SuperblockPlan plan =
+        vm::jit::selectSuperblocks(p, decoded, &cold);
+    EXPECT_TRUE(plan.profile_guided);
+    Outcome trace = runTrace(p, "", {}, nullptr, &cold);
+    Outcome ref = runSwitch(p);
+    expectSameOutcome(trace, ref, "cold profile");
+}
+
+TEST(JitSelection, TraceOpNamesAreDistinct)
+{
+    for (uint16_t op = 0; op < vm::jit::kNumTraceOps; ++op)
+        EXPECT_FALSE(
+            vm::jit::traceOpName(static_cast<vm::jit::TraceOp>(op)).empty());
+    EXPECT_EQ(vm::jit::traceOpName(vm::jit::kTGuard), "TGuard");
+    EXPECT_EQ(vm::jit::traceOpName(vm::jit::kTEnd), "TEnd");
+}
+
+// --- template compilation ---
+
+TEST(JitCompile, PatchesOnlyHeadHandlersInACopy)
+{
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    vm::DecodedProgram decoded = vm::decodeProgram(p);
+    vm::jit::SuperblockPlan plan =
+        vm::jit::selectSuperblocks(p, decoded, nullptr);
+    vm::jit::TraceProgram tier =
+        vm::jit::compileTraces(p, decoded, plan, "static");
+    ASSERT_FALSE(tier.units.empty());
+    EXPECT_EQ(tier.build.traces,
+              static_cast<int64_t>(tier.units.size()));
+    EXPECT_EQ(tier.build.source, "static");
+
+    for (size_t u = 0; u < tier.units.size(); ++u) {
+        const vm::jit::CompiledTrace &t = tier.units[u];
+        const vm::DecodedInsn &patched =
+            tier.decoded.functions[t.func].code[t.head_pc];
+        const vm::DecodedInsn &original =
+            decoded.functions[t.func].code[t.head_pc];
+        // The copy's head slot dispatches into the trace; its unfused
+        // handler (the checked tail's path) is untouched, and the saved
+        // head_handler is exactly what the slot dispatched before.
+        EXPECT_EQ(patched.handler, vm::kHEnterTrace);
+        EXPECT_EQ(patched.unfused, original.unfused);
+        EXPECT_EQ(t.head_handler, original.handler);
+        EXPECT_NE(original.handler, vm::kHEnterTrace);
+        // The entry table maps the head back to this unit.
+        EXPECT_EQ(tier.entry[t.func][t.head_pc],
+                  static_cast<int32_t>(u));
+        // Steps end in exactly one TEnd carrying the pass cost.
+        ASSERT_FALSE(t.steps.empty());
+        EXPECT_EQ(t.steps.back().op, vm::jit::kTEnd);
+        EXPECT_GT(t.total_cost, 0);
+    }
+    // The source stream was not mutated: no slot dispatches the trace.
+    for (const auto &f : decoded.functions)
+        for (const auto &insn : f.code)
+            EXPECT_NE(insn.handler, vm::kHEnterTrace);
+}
+
+TEST(JitCompile, ClosingTransferFusesIntoThePassEnd)
+{
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    vm::DecodedProgram decoded = vm::decodeProgram(p);
+    vm::jit::SuperblockPlan plan =
+        vm::jit::selectSuperblocks(p, decoded, nullptr);
+    vm::jit::TraceProgram tier =
+        vm::jit::compileTraces(p, decoded, plan, "static");
+    ASSERT_FALSE(tier.units.empty());
+    bool saw_fused_close = false;
+    for (const vm::jit::CompiledTrace &t : tier.units) {
+        if (!t.loops || t.steps.size() < 2)
+            continue;
+        const vm::jit::TraceStep &last = t.steps[t.steps.size() - 2];
+        // Every looping trace ends the pass in one dispatch: a trailing
+        // jump dispatches the fused end, and a trailing guard (rotated
+        // loop's bottom test — the shape minic's jump threading leaves)
+        // carries the closes-pass flag. Base ops stay single-op so
+        // replay accounting is unchanged.
+        if (last.base == vm::jit::kTJmp) {
+            EXPECT_EQ(last.op, vm::jit::kTJmpEnd);
+            saw_fused_close = true;
+        } else if (last.base == vm::jit::kTGuard) {
+            EXPECT_NE(last.flags & vm::jit::kStepClosesPass, 0);
+            saw_fused_close = true;
+        }
+    }
+    EXPECT_TRUE(saw_fused_close);
+}
+
+TEST(JitCompile, StalePlanBlocksAreDroppedNotCompiled)
+{
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    vm::DecodedProgram decoded = vm::decodeProgram(p);
+    vm::jit::SuperblockPlan plan =
+        vm::jit::selectSuperblocks(p, decoded, nullptr);
+    ASSERT_FALSE(plan.blocks.empty());
+    // Corrupt the first block the way a stale disk plan would be: a
+    // guard-direction vector that no longer matches the walk.
+    vm::jit::SuperblockPlan stale = plan;
+    stale.blocks[0].guard_taken.push_back(1);
+    stale.blocks[0].guard_taken.push_back(0);
+    vm::jit::TraceProgram tier =
+        vm::jit::compileTraces(p, decoded, stale, "disk");
+    EXPECT_LT(tier.units.size(), plan.blocks.size() + 1);
+    // Whatever survived still executes to the reference outcome.
+    vm::RunResult result;
+    vm::runTraceEngine(p, tier, "", {}, nullptr, result);
+    Outcome ref = runSwitch(p);
+    EXPECT_EQ(result.stats.exit_code, ref.result.stats.exit_code);
+    EXPECT_EQ(result.stats.instructions, ref.result.stats.instructions);
+}
+
+// --- the trace executor's exit paths ---
+
+TEST(JitExecutor, HotLoopCommitsPassesWithoutSideExits)
+{
+    // 'n += i' loop with a single always-taken backward guard: every
+    // pass commits, so side exits only happen at the loop's final
+    // (mispredicted) iteration.
+    isa::Program p = compileNoPrelude(R"(
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 10000; i++)
+                n += i;
+            return n & 255;
+        })");
+    Outcome trace = runTrace(p);
+    Outcome ref = runSwitch(p);
+    expectSameOutcome(trace, ref, "hot loop");
+    EXPECT_GT(trace.result.jit.trace_entries, 0);
+    EXPECT_GT(trace.result.jit.trace_loop_iterations, 1000);
+    EXPECT_GT(trace.result.jit.trace_instructions, 10000);
+    // One mispredict per entry (the exit), not one per iteration.
+    EXPECT_LT(trace.result.jit.side_exits,
+              trace.result.jit.trace_loop_iterations / 10);
+}
+
+TEST(JitExecutor, MidTraceDivisionByZeroTrapsWithReferenceMessage)
+{
+    // The divide sits inside a hot loop trace and only traps at
+    // i == 500 — after hundreds of committed passes. The trap-guard
+    // side exit must replay the prefix, hand the instruction back to
+    // the fast engine, and trap with the reference message at the
+    // reference instruction count.
+    isa::Program p = compileNoPrelude(R"(
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 1000; i++)
+                n += 100 / (500 - i);
+            return n & 255;
+        })");
+    Outcome trace = runTrace(p);
+    Outcome ref = runSwitch(p);
+    expectSameOutcome(trace, ref, "mid-trace div zero");
+    ASSERT_FALSE(ref.error.empty());
+    EXPECT_NE(ref.error.find("division by zero"), std::string::npos);
+    EXPECT_GT(trace.result.jit.trace_entries, 0);
+    EXPECT_GT(trace.result.jit.trap_exits, 0);
+}
+
+TEST(JitExecutor, MidTraceLoadOutOfBoundsTrapsWithReferenceMessage)
+{
+    isa::Program p = compileNoPrelude(R"(
+        int a[10];
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 2000; i++)
+                n += a[i / 100];
+            return n & 255;
+        })");
+    Outcome trace = runTrace(p);
+    Outcome ref = runSwitch(p);
+    expectSameOutcome(trace, ref, "mid-trace load oob");
+    ASSERT_FALSE(ref.error.empty());
+    EXPECT_NE(ref.error.find("load address"), std::string::npos);
+    EXPECT_GT(trace.result.jit.trace_entries, 0);
+}
+
+TEST(JitExecutor, FuelExhaustionMidSuperblockTrapsAtExactInstruction)
+{
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    // Budgets landing at every phase: before the loop warms up, mid
+    // pass (the entry guard refuses and the checked tail finishes), and
+    // deep into committed passes.
+    for (int64_t budget :
+         {5, 23, 97, 1000, 10007, 50000, 100003, 140001}) {
+        vm::RunLimits limits;
+        limits.max_instructions = budget;
+        const std::string label = "budget " + std::to_string(budget);
+        Outcome trace = runTrace(p, "", limits);
+        Outcome ref = runSwitch(p, "", limits);
+        expectSameOutcome(trace, ref, label);
+        ASSERT_FALSE(ref.error.empty()) << label;
+        EXPECT_EQ(trace.result.stats.instructions, budget + 1) << label;
+    }
+}
+
+TEST(JitExecutor, MultiObserverFanOutSeesIdenticalEventsInTraces)
+{
+    struct Recorder : vm::BranchObserver
+    {
+        std::vector<std::tuple<int, bool, int64_t>> events;
+        void onBranch(int site, bool taken, int64_t at) override
+        {
+            events.emplace_back(site, taken, at);
+        }
+    };
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    Recorder ref_rec;
+    Outcome ref = runSwitch(p, "", {}, &ref_rec);
+    ASSERT_TRUE(ref.error.empty()) << ref.error;
+
+    Recorder a, b;
+    vm::MultiObserver fan({&a, &b});
+    Outcome trace = runTrace(p, "", {}, &fan);
+    expectSameOutcome(trace, ref, "multi-observer");
+    ASSERT_FALSE(ref_rec.events.empty());
+    EXPECT_EQ(a.events, ref_rec.events);
+    EXPECT_EQ(b.events, ref_rec.events);
+    EXPECT_GT(trace.result.jit.trace_entries, 0);
+}
+
+// --- on-disk code cache ---
+
+TEST(JitCodeCache, PlanRoundTripsThroughEncodeAndDecode)
+{
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    vm::DecodedProgram decoded = vm::decodeProgram(p);
+    Outcome ref = runSwitch(p);
+    vm::jit::SuperblockPlan plan = vm::jit::selectSuperblocks(
+        p, decoded, &ref.result.stats.branches);
+    ASSERT_FALSE(plan.blocks.empty());
+
+    const uint64_t fp = p.fingerprint();
+    const std::string payload = vm::jit::encodePlan(plan, fp);
+    std::optional<vm::jit::SuperblockPlan> loaded =
+        vm::jit::decodePlan(payload, fp);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->profile_guided);
+    ASSERT_EQ(loaded->blocks.size(), plan.blocks.size());
+    for (size_t i = 0; i < plan.blocks.size(); ++i) {
+        EXPECT_EQ(loaded->blocks[i].func, plan.blocks[i].func);
+        EXPECT_EQ(loaded->blocks[i].head_pc, plan.blocks[i].head_pc);
+        EXPECT_EQ(loaded->blocks[i].steps, plan.blocks[i].steps);
+        EXPECT_EQ(loaded->blocks[i].guard_taken,
+                  plan.blocks[i].guard_taken);
+    }
+}
+
+TEST(JitCodeCache, DecodeRejectsEveryCorruption)
+{
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    vm::DecodedProgram decoded = vm::decodeProgram(p);
+    Outcome ref = runSwitch(p);
+    vm::jit::SuperblockPlan plan = vm::jit::selectSuperblocks(
+        p, decoded, &ref.result.stats.branches);
+    const uint64_t fp = p.fingerprint();
+    const std::string good = vm::jit::encodePlan(plan, fp);
+
+    EXPECT_FALSE(vm::jit::decodePlan("", fp).has_value());
+    EXPECT_FALSE(vm::jit::decodePlan("garbage", fp).has_value());
+    // Fingerprint mismatch: a cache entry for another program.
+    EXPECT_FALSE(vm::jit::decodePlan(good, fp ^ 1).has_value());
+    // Truncation at every prefix length must fail cleanly.
+    for (size_t len : {size_t{4}, size_t{12}, good.size() / 2,
+                       good.size() - 1})
+        EXPECT_FALSE(
+            vm::jit::decodePlan(good.substr(0, len), fp).has_value())
+            << "truncated to " << len;
+    // A single flipped payload byte breaks the checksum.
+    std::string flipped = good;
+    flipped[flipped.size() / 2] =
+        static_cast<char>(flipped[flipped.size() / 2] ^ 0x40);
+    EXPECT_FALSE(vm::jit::decodePlan(flipped, fp).has_value());
+}
+
+TEST(JitCodeCache, CorruptCacheEntryFallsBackToFreshSelection)
+{
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    ScopedCacheDir cache("corrupt");
+    // Plant garbage exactly where the tier would look.
+    {
+        std::ofstream out(
+            vm::jit::codeCachePath(cache.dir.string(), p.fingerprint()),
+            std::ios::binary);
+        out << "IFPROBJC but definitely not a plan";
+    }
+    vm::Machine m(p, vm::Engine::kTrace);
+    // The corrupt entry is ignored: the tier compiled the BTFNT plan.
+    EXPECT_EQ(m.jitBuildStats().source, "static");
+    Outcome ref = runSwitch(p);
+    vm::RunResult result = m.run("");
+    EXPECT_EQ(result.stats.exit_code, ref.result.stats.exit_code);
+    EXPECT_EQ(result.stats.instructions, ref.result.stats.instructions);
+}
+
+TEST(JitCodeCache, ColdThenWarmMachinesAreBitIdentical)
+{
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    Outcome ref = runSwitch(p);
+    ScopedCacheDir cache("warm");
+
+    // Cold machine: starts on the static plan, crosses hot_threshold
+    // (25000 branches > 20000) after the first run, tiers up, persists
+    // the profile-guided plan.
+    vm::Machine cold(p, vm::Engine::kTrace);
+    EXPECT_EQ(cold.jitBuildStats().source, "static");
+    vm::RunResult first = cold.run("");
+    EXPECT_EQ(cold.jitBuildStats().source, "profile");
+    EXPECT_TRUE(fs::exists(
+        vm::jit::codeCachePath(cache.dir.string(), p.fingerprint())));
+    vm::RunResult second = cold.run("");
+
+    // Warm machine: picks the persisted plan straight up.
+    vm::Machine warm(p, vm::Engine::kTrace);
+    EXPECT_EQ(warm.jitBuildStats().source, "disk");
+    vm::RunResult warm_run = warm.run("");
+
+    for (const vm::RunResult *r : {&first, &second, &warm_run}) {
+        EXPECT_EQ(r->stats.exit_code, ref.result.stats.exit_code);
+        EXPECT_EQ(r->stats.instructions, ref.result.stats.instructions);
+        EXPECT_EQ(r->stats.taken_branches, ref.result.stats.taken_branches);
+        EXPECT_EQ(r->output, ref.result.output);
+    }
+    EXPECT_GT(warm_run.jit.trace_entries, 0);
+}
+
+// --- the tier controller ---
+
+TEST(JitTier, TierUpTriggersExactlyOnceAtThreshold)
+{
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    vm::DecodedProgram decoded = vm::decodeProgram(p);
+    Outcome ref = runSwitch(p);
+    ASSERT_TRUE(ref.error.empty()) << ref.error;
+
+    vm::jit::TierController::Config config;
+    config.hot_threshold = ref.result.stats.cond_branches + 1;
+    vm::jit::TierController tier(p, decoded, config);
+    EXPECT_EQ(tier.buildStats().source, "static");
+    EXPECT_EQ(tier.tierUps(), 0);
+
+    // First run lands just below the threshold; second crosses it.
+    tier.onRunCompleted(ref.result.stats);
+    EXPECT_EQ(tier.tierUps(), 0);
+    auto before = tier.current();
+    tier.onRunCompleted(ref.result.stats);
+    EXPECT_EQ(tier.tierUps(), 1);
+    EXPECT_EQ(tier.buildStats().source, "profile");
+    EXPECT_NE(tier.current(), before);
+    // Further profiles are ignored: the tier recompiles at most once.
+    tier.onRunCompleted(ref.result.stats);
+    EXPECT_EQ(tier.tierUps(), 1);
+    EXPECT_GE(tier.compileMicros(), 0);
+}
+
+TEST(JitTier, MachineTierUpKeepsResultsBitIdentical)
+{
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    Outcome ref = runSwitch(p);
+    vm::Machine m(p, vm::Engine::kTrace);
+    // Run enough times to cross the default threshold and keep going
+    // after the swap; every run must match the reference exactly.
+    for (int round = 0; round < 3; ++round) {
+        vm::RunResult r = m.run("");
+        EXPECT_EQ(r.stats.exit_code, ref.result.stats.exit_code) << round;
+        EXPECT_EQ(r.stats.instructions, ref.result.stats.instructions)
+            << round;
+        EXPECT_EQ(r.stats.taken_branches, ref.result.stats.taken_branches)
+            << round;
+    }
+    EXPECT_EQ(m.jitBuildStats().source, "profile");
+    EXPECT_GT(m.jitBuildStats().traces, 0);
+    EXPECT_GE(m.jitCompileMicros(), 0);
+}
+
+TEST(JitTier, ConcurrentRunsRaceTierSwapSafely)
+{
+    // Four threads run the machine while the tier controller swaps the
+    // live TraceProgram underneath them — the shared_ptr handoff must
+    // keep every in-flight run valid (TSan verifies in CI).
+    isa::Program p = compileNoPrelude(kHotLoopSrc);
+    Outcome ref = runSwitch(p);
+    vm::Machine m(p, vm::Engine::kTrace);
+    std::vector<std::thread> threads;
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 8; ++i) {
+                vm::RunResult r = m.run("");
+                if (r.stats.instructions != ref.result.stats.instructions ||
+                    r.stats.exit_code != ref.result.stats.exit_code)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(m.jitBuildStats().source, "profile");
+}
+
+} // namespace
+} // namespace ifprob

@@ -1,13 +1,14 @@
 /**
  * @file
- * Differential tests holding the two interpreter cores to the
+ * Differential tests holding the three interpreter cores to the
  * stats-equivalence contract (docs/vm.md): for every program, input,
- * and limit, the fast pre-decoded engine and the reference switch
- * engine must produce bit-for-bit identical RunResults — same counters,
- * same per-site branch counts, same output and exit code, the same
- * observer event sequence, and on trap paths the same RuntimeError
- * message with identical partial statistics (fuel exhaustion included,
- * at the exact same instruction count).
+ * and limit, the fast pre-decoded engine and the trace-compiling tier
+ * (both its BTFNT-static and profile-guided plans) must produce
+ * bit-for-bit identical RunResults to the reference switch engine —
+ * same counters, same per-site branch counts, same output and exit
+ * code, the same observer event sequence, and on trap paths the same
+ * RuntimeError message with identical partial statistics (fuel
+ * exhaustion included, at the exact same instruction count).
  */
 #include <gtest/gtest.h>
 
@@ -21,6 +22,9 @@
 #include "support/error.h"
 #include "vm/decode.h"
 #include "vm/engine.h"
+#include "vm/jit/superblock.h"
+#include "vm/jit/trace_compile.h"
+#include "vm/jit/trace_unit.h"
 #include "vm/machine.h"
 #include "workloads/workload.h"
 
@@ -36,6 +40,30 @@ struct EngineOutcome
     std::string error; ///< empty when the run completed
 };
 
+/** Run @p p through the full jit pipeline (selection, template
+ *  compilation, patched-stream execution). A null @p profile selects
+ *  with the BTFNT heuristic; a non-null one exercises the
+ *  profile-guided planner exactly as the tier controller does. */
+EngineOutcome
+runTraceTier(const isa::Program &p, std::string_view input,
+             const vm::RunLimits &limits = {},
+             vm::BranchObserver *observer = nullptr,
+             const std::vector<vm::BranchCounts> *profile = nullptr)
+{
+    EngineOutcome out;
+    try {
+        vm::DecodedProgram decoded = vm::decodeProgram(p);
+        vm::jit::SuperblockPlan plan =
+            vm::jit::selectSuperblocks(p, decoded, profile);
+        vm::jit::TraceProgram tier = vm::jit::compileTraces(
+            p, decoded, plan, profile != nullptr ? "profile" : "static");
+        vm::runTraceEngine(p, tier, input, limits, observer, out.result);
+    } catch (const RuntimeError &e) {
+        out.error = e.what();
+    }
+    return out;
+}
+
 EngineOutcome
 runEngine(const isa::Program &p, vm::Engine engine, std::string_view input,
           const vm::RunLimits &limits = {},
@@ -47,6 +75,8 @@ runEngine(const isa::Program &p, vm::Engine engine, std::string_view input,
             vm::DecodedProgram decoded = vm::decodeProgram(p);
             vm::runFastEngine(p, decoded, input, limits, observer,
                               out.result);
+        } else if (engine == vm::Engine::kTrace) {
+            return runTraceTier(p, input, limits, observer);
         } else {
             vm::runSwitchEngine(p, input, limits, observer, out.result);
         }
@@ -88,16 +118,25 @@ expectIdenticalOutcomes(const EngineOutcome &fast,
     expectIdenticalStats(fast.result.stats, ref.result.stats, label);
 }
 
-/** Run @p p on both engines and require identical outcomes; returns the
- *  (shared) outcome for further assertions. */
+/** Run @p p on all three engines (the trace tier twice: BTFNT-static
+ *  and profile-guided from the reference run's own site counts) and
+ *  require identical outcomes; returns the (shared) outcome for further
+ *  assertions. */
 EngineOutcome
 diffRun(const isa::Program &p, std::string_view input,
         const vm::RunLimits &limits = {}, const std::string &label = "")
 {
-    EngineOutcome fast = runEngine(p, vm::Engine::kFast, input, limits);
     EngineOutcome ref = runEngine(p, vm::Engine::kSwitch, input, limits);
-    expectIdenticalOutcomes(fast, ref, label);
-    return fast;
+    EngineOutcome fast = runEngine(p, vm::Engine::kFast, input, limits);
+    expectIdenticalOutcomes(fast, ref, label + " [fast]");
+    EngineOutcome trace = runTraceTier(p, input, limits);
+    expectIdenticalOutcomes(trace, ref, label + " [trace/static]");
+    // The reference run's per-site counts stand in for the tier
+    // controller's accumulated profile (same shape, same source).
+    EngineOutcome profiled = runTraceTier(p, input, limits, nullptr,
+                                          &ref.result.stats.branches);
+    expectIdenticalOutcomes(profiled, ref, label + " [trace/profile]");
+    return ref;
 }
 
 struct RecordingObserver : vm::BranchObserver
@@ -174,14 +213,56 @@ TEST(VmEngines, ObserverEventStreamsIdentical)
             }
             return n & 255;
         })");
-    RecordingObserver fast_obs, ref_obs;
+    RecordingObserver fast_obs, ref_obs, trace_obs, profiled_obs;
     EngineOutcome fast =
         runEngine(p, vm::Engine::kFast, "", {}, &fast_obs);
     EngineOutcome ref =
         runEngine(p, vm::Engine::kSwitch, "", {}, &ref_obs);
     expectIdenticalOutcomes(fast, ref, "observer run");
+    EngineOutcome trace = runTraceTier(p, "", {}, &trace_obs);
+    expectIdenticalOutcomes(trace, ref, "observer run [trace/static]");
+    EngineOutcome profiled = runTraceTier(p, "", {}, &profiled_obs,
+                                          &ref.result.stats.branches);
+    expectIdenticalOutcomes(profiled, ref, "observer run [trace/profile]");
     ASSERT_FALSE(fast_obs.events.empty());
     EXPECT_EQ(fast_obs.events, ref_obs.events);
+    EXPECT_EQ(trace_obs.events, ref_obs.events);
+    EXPECT_EQ(profiled_obs.events, ref_obs.events);
+}
+
+TEST(VmEngines, ObserverEventsIdenticalInsideHotLoopTraces)
+{
+    // A hot biased loop the superblock selector definitely compiles, so
+    // observer events fire from *inside* runTraceUnit — the inline
+    // callback path with prefix-derived instruction counts, both on
+    // predicted guards and on the mispredicted side exits every 7th
+    // iteration.
+    isa::Program p = compileNoPrelude(R"(
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 5000; i++) {
+                if (i % 7 == 0)
+                    n += 3;
+                else
+                    n += 1;
+            }
+            return n & 255;
+        })");
+    RecordingObserver ref_obs, trace_obs, profiled_obs;
+    EngineOutcome ref =
+        runEngine(p, vm::Engine::kSwitch, "", {}, &ref_obs);
+    EngineOutcome trace = runTraceTier(p, "", {}, &trace_obs);
+    expectIdenticalOutcomes(trace, ref, "hot loop [trace/static]");
+    EngineOutcome profiled = runTraceTier(p, "", {}, &profiled_obs,
+                                          &ref.result.stats.branches);
+    expectIdenticalOutcomes(profiled, ref, "hot loop [trace/profile]");
+    ASSERT_GT(ref_obs.events.size(), 5000u);
+    EXPECT_EQ(trace_obs.events, ref_obs.events);
+    EXPECT_EQ(profiled_obs.events, ref_obs.events);
+    // The compiled tier must actually have run traces, not degraded to
+    // plain fast-path dispatch.
+    EXPECT_GT(trace.result.jit.trace_entries, 0);
+    EXPECT_GT(profiled.result.jit.trace_entries, 0);
 }
 
 // --- trap-path parity ---
@@ -373,15 +454,45 @@ TEST(VmEngines, MachineEngineSelection)
     isa::Program p = compileNoPrelude("int main() { return 3; }");
     vm::Machine fast(p, vm::Engine::kFast);
     vm::Machine ref(p, vm::Engine::kSwitch);
+    vm::Machine trace(p, vm::Engine::kTrace);
     EXPECT_EQ(fast.engine(), vm::Engine::kFast);
     EXPECT_EQ(ref.engine(), vm::Engine::kSwitch);
+    EXPECT_EQ(trace.engine(), vm::Engine::kTrace);
     EXPECT_EQ(vm::engineName(fast.engine()), "fast");
     EXPECT_EQ(vm::engineName(ref.engine()), "switch");
-    // Only the fast engine pays for (and accounts) a decode.
+    EXPECT_EQ(vm::engineName(trace.engine()), "trace");
+    // Only the pre-decoding engines pay for (and account) a decode.
     EXPECT_GT(fast.decodeStats().instructions, 0);
     EXPECT_EQ(ref.decodeStats().instructions, 0);
+    EXPECT_GT(trace.decodeStats().instructions, 0);
     EXPECT_EQ(fast.run("").stats.exit_code, 3);
     EXPECT_EQ(ref.run("").stats.exit_code, 3);
+    EXPECT_EQ(trace.run("").stats.exit_code, 3);
+}
+
+TEST(VmEngines, ParseEngineNameRoundTrips)
+{
+    EXPECT_EQ(vm::parseEngineName("fast"), vm::Engine::kFast);
+    EXPECT_EQ(vm::parseEngineName("switch"), vm::Engine::kSwitch);
+    EXPECT_EQ(vm::parseEngineName("reference"), vm::Engine::kSwitch);
+    EXPECT_EQ(vm::parseEngineName("trace"), vm::Engine::kTrace);
+}
+
+TEST(VmEngines, UnknownEngineNameIsAHardErrorNamingTheValidEngines)
+{
+    // A typo'd IFPROB_VM_ENGINE must fail loudly, never fall back to a
+    // default — and the message must tell the user what is accepted.
+    try {
+        vm::parseEngineName("turbo");
+        FAIL() << "parseEngineName accepted an unknown engine";
+    } catch (const Error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown engine \"turbo\""), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("\"fast\""), std::string::npos) << msg;
+        EXPECT_NE(msg.find("\"switch\""), std::string::npos) << msg;
+        EXPECT_NE(msg.find("\"trace\""), std::string::npos) << msg;
+    }
 }
 
 TEST(VmEngines, TrappedRunRecordsPartialStats)
@@ -392,7 +503,8 @@ TEST(VmEngines, TrappedRunRecordsPartialStats)
         "int main() { while (1) {} return 0; }");
     vm::RunLimits limits;
     limits.max_instructions = 1000;
-    for (vm::Engine engine : {vm::Engine::kFast, vm::Engine::kSwitch}) {
+    for (vm::Engine engine : {vm::Engine::kFast, vm::Engine::kSwitch,
+                              vm::Engine::kTrace}) {
         vm::Machine m(p, engine);
         const int64_t before = obs::counter("vm.instructions").value();
         EXPECT_THROW(m.run("", limits), RuntimeError);

@@ -58,12 +58,21 @@ struct Totals
     int64_t binary_hits = 0;
     int64_t text_hits = 0;
 
-    /** Last ifprob.vm_bench.v1 record seen (micro_vm --ab). */
+    /** Last ifprob.vm_bench.v1/.v2 record seen (micro_vm --ab). The
+     *  v2 fields (trace tier) stay zero when only v1 records exist. */
     struct VmBench
     {
         int64_t records = 0;
+        int64_t version = 0; ///< highest schema version seen
         int64_t computed_goto = 0;
+        std::string dispatch;
+        int64_t trace_tier = 0;
         double worst_speedup = 0.0;
+        double worst_fast_speedup = 0.0;
+        double worst_trace_speedup = 0.0;
+        double worst_trace_vs_fast = 0.0;
+        double trace_coverage = 0.0;
+        double side_exit_rate = 0.0;
         int64_t pass = 0;
     } vm;
 
@@ -148,7 +157,8 @@ usage()
 const char *const kKnownSchemas[] = {
     "ifprob.run.v1",        "ifprob.table.v1",
     "ifprob.analysis_bench.v1", "ifprob.trace_bench.v1",
-    "ifprob.vm_bench.v1",   "ifprob.characterize.v1",
+    "ifprob.vm_bench.v1",   "ifprob.vm_bench.v2",
+    "ifprob.characterize.v1",
     "ifprob.ingest_bench.v1",
 };
 
@@ -263,9 +273,45 @@ consumeLine(const std::string &file, int64_t lineno,
             return it != rec.end() ? it->second.num : 0.0;
         };
         ++totals.vm.records;
+        totals.vm.version = std::max<int64_t>(totals.vm.version, 1);
         totals.vm.computed_goto =
             static_cast<int64_t>(num("computed_goto"));
         totals.vm.worst_speedup = num("worst_speedup");
+        totals.vm.pass = static_cast<int64_t>(num("pass"));
+        return;
+    }
+    if (schema == "ifprob.vm_bench.v2") {
+        // Strict: a v2 record missing any trace-tier field is a parse
+        // error, so a micro_vm/obsreport version skew cannot silently
+        // report zeros as measurements.
+        for (const char *k :
+             {"computed_goto", "dispatch", "trace_tier", "worst_speedup",
+              "worst_fast_speedup", "worst_trace_speedup",
+              "worst_trace_vs_fast", "trace_coverage", "side_exit_rate",
+              "pass"}) {
+            if (rec.find(k) == rec.end()) {
+                std::fprintf(stderr,
+                             "obsreport: %s:%lld: vm_bench.v2 record "
+                             "missing field \"%s\"\n",
+                             file.c_str(),
+                             static_cast<long long>(lineno), k);
+                ++totals.parse_errors;
+                return;
+            }
+        }
+        auto num = [&](const char *k) { return rec.find(k)->second.num; };
+        ++totals.vm.records;
+        totals.vm.version = std::max<int64_t>(totals.vm.version, 2);
+        totals.vm.computed_goto =
+            static_cast<int64_t>(num("computed_goto"));
+        totals.vm.dispatch = rec.find("dispatch")->second.str;
+        totals.vm.trace_tier = static_cast<int64_t>(num("trace_tier"));
+        totals.vm.worst_speedup = num("worst_speedup");
+        totals.vm.worst_fast_speedup = num("worst_fast_speedup");
+        totals.vm.worst_trace_speedup = num("worst_trace_speedup");
+        totals.vm.worst_trace_vs_fast = num("worst_trace_vs_fast");
+        totals.vm.trace_coverage = num("trace_coverage");
+        totals.vm.side_exit_rate = num("side_exit_rate");
         totals.vm.pass = static_cast<int64_t>(num("pass"));
         return;
     }
@@ -420,9 +466,21 @@ renderJsonReport(const std::vector<std::string> &files,
     if (totals.vm.records > 0) {
         obs::JsonObject vb;
         vb.field("records", totals.vm.records)
+            .field("version", totals.vm.version)
             .field("computed_goto", totals.vm.computed_goto)
             .field("worst_speedup", totals.vm.worst_speedup)
             .field("pass", totals.vm.pass);
+        if (totals.vm.version >= 2) {
+            vb.field("dispatch", totals.vm.dispatch)
+                .field("trace_tier", totals.vm.trace_tier)
+                .field("worst_fast_speedup", totals.vm.worst_fast_speedup)
+                .field("worst_trace_speedup",
+                       totals.vm.worst_trace_speedup)
+                .field("worst_trace_vs_fast",
+                       totals.vm.worst_trace_vs_fast)
+                .field("trace_coverage", totals.vm.trace_coverage)
+                .field("side_exit_rate", totals.vm.side_exit_rate);
+        }
         report.fieldRaw("vm_bench", vb.str());
     }
     if (totals.characterize.records > 0) {
@@ -568,12 +626,21 @@ main(int argc, char **argv)
                         totals.analysis.cached_warm_micros) /
                         1e3,
                     totals.analysis.speedup_warm);
-    if (totals.vm.records > 0)
+    if (totals.vm.records > 0) {
         std::printf("vm bench: worst speedup %.2fx (computed_goto=%lld): "
                     "%s\n",
                     totals.vm.worst_speedup,
                     static_cast<long long>(totals.vm.computed_goto),
                     totals.vm.pass ? "PASS" : "FAIL");
+        if (totals.vm.version >= 2)
+            std::printf("  trace tier: worst %.2fx vs switch, %.2fx vs "
+                        "fast (branchy), coverage %.1f%%, side-exit "
+                        "%.2f%%\n",
+                        totals.vm.worst_trace_speedup,
+                        totals.vm.worst_trace_vs_fast,
+                        100.0 * totals.vm.trace_coverage,
+                        100.0 * totals.vm.side_exit_rate);
+    }
     if (totals.characterize.records > 0) {
         std::printf("characterize: %zu workload(s)\n",
                     totals.characterize.workloads.size());
