@@ -180,18 +180,10 @@ analysisPhase(harness::Runner &runner)
     benchmark::DoNotOptimize(harness::coverageStudy(runner).size());
 }
 
-int64_t
-timedPhase(harness::Runner &runner)
-{
-    const int64_t t0 = obs::nowMicros();
-    analysisPhase(runner);
-    return obs::nowMicros() - t0;
-}
-
 int
 runAbMode(double min_speedup, const std::string &out_path)
 {
-    const int kRepetitions = 3;
+    const int kRepetitions = bench::kBestOfRepetitions;
 
     std::printf("micro_analysis --ab: reference vs cached analysis "
                 "plane (min_speedup=%.2f)\n\n",
@@ -218,29 +210,20 @@ runAbMode(double min_speedup, const std::string &out_path)
     // Reference path: the original per-call merge/evaluate plane. It
     // memoizes nothing, so plain repetitions measure steady state.
     ::setenv("IFPROB_ANALYSIS", "reference", 1);
-    int64_t ref_best = 0;
-    for (int i = 0; i < kRepetitions; ++i) {
-        const int64_t micros = timedPhase(runner);
-        ref_best = ref_best == 0 ? micros : std::min(ref_best, micros);
-    }
+    const int64_t ref_best = bench::bestOfMicros(
+        [](int) {}, [&] { analysisPhase(runner); }, kRepetitions);
 
     // Cached path, cold: drop the AnalysisCache before each repetition
     // so every materialization (profiles, SoA arrays, leave-one-out
     // tables) is paid inside the measurement.
     ::unsetenv("IFPROB_ANALYSIS");
-    int64_t cold_best = 0;
-    for (int i = 0; i < kRepetitions; ++i) {
-        runner.resetAnalysis();
-        const int64_t micros = timedPhase(runner);
-        cold_best = cold_best == 0 ? micros : std::min(cold_best, micros);
-    }
+    const int64_t cold_best = bench::bestOfMicros(
+        [&](int) { runner.resetAnalysis(); },
+        [&] { analysisPhase(runner); }, kRepetitions);
 
     // Cached path, warm: everything already materialized.
-    int64_t warm_best = 0;
-    for (int i = 0; i < kRepetitions; ++i) {
-        const int64_t micros = timedPhase(runner);
-        warm_best = warm_best == 0 ? micros : std::min(warm_best, micros);
-    }
+    const int64_t warm_best = bench::bestOfMicros(
+        [](int) {}, [&] { analysisPhase(runner); }, kRepetitions);
 
     const double speedup_cold =
         cold_best > 0 ? static_cast<double>(ref_best) /

@@ -249,23 +249,30 @@ BENCHMARK(BM_BreakAccounting);
 struct AbMeasurement
 {
     int64_t instructions = 0; ///< per single run
-    double mips = 0.0;        ///< best of the timed repetitions
+    int64_t best_micros = 0;  ///< min over the timed repetitions
     vm::JitRunStats jit;      ///< from the last timed run (trace engine)
+
+    /** Instruction counts are identical across repetitions (same
+     *  program, same input), so MIPS over the best micros equals the
+     *  best per-rep MIPS. */
+    double
+    mips() const
+    {
+        return best_micros > 0 ? static_cast<double>(instructions) /
+                                     static_cast<double>(best_micros)
+                               : 0.0;
+    }
 };
 
 /** One timed run folded into @p m (best-of across calls). */
 void
 timedRun(const vm::Machine &machine, AbMeasurement &m)
 {
-    const int64_t t0 = obs::nowMicros();
-    auto r = machine.run("");
-    const int64_t micros = obs::nowMicros() - t0;
-    if (micros > 0)
-        m.mips =
-            std::max(m.mips, static_cast<double>(r.stats.instructions) /
-                                 static_cast<double>(micros));
-    m.instructions = r.stats.instructions;
-    m.jit = r.jit;
+    bench::timeIntoBest(m.best_micros, [&] {
+        auto r = machine.run("");
+        m.instructions = r.stats.instructions;
+        m.jit = r.jit;
+    });
 }
 
 int
@@ -282,7 +289,6 @@ runAbMode(double min_speedup, double min_trace_vs_fast,
                               {"branch", kBranchKernel, false},
                               {"biased", kBiasedKernel, true},
                               {"chain", kChainKernel, true}};
-    const int kRepetitions = 7;
     const vm::jit::SuperblockConfig superblock_defaults;
     const vm::jit::TierConfig tier_defaults;
 
@@ -318,22 +324,20 @@ runAbMode(double min_speedup, double min_trace_vs_fast,
     bool first_branchy = true;
     for (const Kernel &k : kernels) {
         isa::Program p = compile(k.source);
-        // Each repetition gets a fresh trio of machines, all kept alive
-        // until the kernel is done: freed chunks would be handed back at
-        // the same addresses, but live ones force every rep's decoded
-        // stream / trace steps / memory image onto new heap placements.
-        // Best-of across reps then samples cache-set layouts as well as
-        // scheduling windows — on a one-core box either one alone can
-        // swing a single measurement by 10-25%. Within a rep the timed
-        // runs are interleaved across engines so a noisy window
-        // penalizes all three equally. The trace machine takes two
-        // warmups: the first crosses the hotness threshold and tiers
-        // up, the second re-warms on the profile-guided plan.
+        // Placement-sampled best-of-7 (see bench_util.h's
+        // kBestOfRepetitions rationale): each repetition gets a fresh
+        // trio of machines, all kept alive until the kernel is done, so
+        // every rep's decoded stream / trace steps / memory image lands
+        // on new heap placements. Within a rep the timed runs are
+        // interleaved across engines so a noisy window penalizes all
+        // three equally. The trace machine takes two warmups: the first
+        // crosses the hotness threshold and tiers up, the second
+        // re-warms on the profile-guided plan.
         std::vector<std::unique_ptr<vm::Machine>> alive;
         AbMeasurement ms, mf, mt;
         vm::Machine *fast = nullptr;
         vm::Machine *trace = nullptr;
-        for (int rep = 0; rep < kRepetitions; ++rep) {
+        for (int rep = 0; rep < bench::kBestOfRepetitions; ++rep) {
             auto &ref = *alive.emplace_back(std::make_unique<vm::Machine>(
                 p, vm::Engine::kSwitch));
             fast = alive
@@ -353,11 +357,11 @@ runAbMode(double min_speedup, double min_trace_vs_fast,
             timedRun(*trace, mt);
         }
         const double fast_speedup =
-            ms.mips > 0.0 ? mf.mips / ms.mips : 0.0;
+            ms.mips() > 0.0 ? mf.mips() / ms.mips() : 0.0;
         const double trace_speedup =
-            ms.mips > 0.0 ? mt.mips / ms.mips : 0.0;
+            ms.mips() > 0.0 ? mt.mips() / ms.mips() : 0.0;
         const double trace_vs_fast =
-            mf.mips > 0.0 ? mt.mips / mf.mips : 0.0;
+            mf.mips() > 0.0 ? mt.mips() / mf.mips() : 0.0;
         const double coverage =
             mt.instructions > 0
                 ? static_cast<double>(mt.jit.trace_instructions) /
@@ -395,8 +399,8 @@ runAbMode(double min_speedup, double min_trace_vs_fast,
             "MIPS  speedup %5.2fx/%5.2fx  trace/fast %5.2fx\n"
             "         traces %lld (%s)  coverage %5.1f%%  side-exit "
             "%6.3f%%  guards/pass %lld  fused %lld/%lld slots\n",
-            k.name, static_cast<long long>(mt.instructions), ms.mips,
-            mf.mips, mt.mips, fast_speedup, trace_speedup, trace_vs_fast,
+            k.name, static_cast<long long>(mt.instructions), ms.mips(),
+            mf.mips(), mt.mips(), fast_speedup, trace_speedup, trace_vs_fast,
             static_cast<long long>(build.traces), build.source.c_str(),
             100.0 * coverage, 100.0 * side_exit_rate,
             static_cast<long long>(build.guards),
@@ -406,9 +410,9 @@ runAbMode(double min_speedup, double min_trace_vs_fast,
         const std::string prefix = k.name;
         json.field(prefix + "_instructions", mt.instructions)
             .field(prefix + "_branchy", int64_t{k.branchy ? 1 : 0})
-            .field(prefix + "_switch_mips", ms.mips)
-            .field(prefix + "_fast_mips", mf.mips)
-            .field(prefix + "_trace_mips", mt.mips)
+            .field(prefix + "_switch_mips", ms.mips())
+            .field(prefix + "_fast_mips", mf.mips())
+            .field(prefix + "_trace_mips", mt.mips())
             .field(prefix + "_fast_speedup", fast_speedup)
             .field(prefix + "_trace_speedup", trace_speedup)
             .field(prefix + "_trace_vs_fast", trace_vs_fast)

@@ -31,6 +31,69 @@ SiteCounts::fromStats(const vm::RunStats &stats)
     return out;
 }
 
+void
+SiteCountObserver::onBatch(const vm::EventBlock &block)
+{
+    const auto limit = static_cast<uint32_t>(counts_.size());
+    if (limit == 0)
+        return; // every site is out of range; slot 0 below needs to exist
+    // Two interleaved banks of packed (executed << 32 | taken)
+    // accumulators: one read-modify-write per event instead of two, and
+    // consecutive events land in different banks so a site executing in
+    // a tight loop doesn't serialize on store-to-load forwarding of its
+    // own counter. A block holds at most kCapacity (< 2^32) events, so
+    // the packed taken field cannot carry into executed before the
+    // per-block unpack below.
+    uint64_t *bank0 = packed_.data();
+    uint64_t *bank1 = packed_.data() + counts_.size();
+    const int n = block.size;
+    int i = 0;
+    if (block.branch_count == n &&
+        static_cast<uint32_t>(block.max_site) < limit) {
+        // Break-free block whose dictionary bound fits the counter
+        // arrays: no event can be masked, so the range check (and its
+        // cmov) drops out of the loop entirely.
+        for (; i + 2 <= n; i += 2) {
+            bank0[block.site_id[i]] +=
+                (uint64_t{1} << 32) | block.taken[i];
+            bank1[block.site_id[i + 1]] +=
+                (uint64_t{1} << 32) | block.taken[i + 1];
+        }
+        if (i < n)
+            bank0[block.site_id[i]] +=
+                (uint64_t{1} << 32) | block.taken[i];
+        i = n;
+    }
+    for (; i + 2 <= n; i += 2) {
+        // -1 break markers wrap to UINT32_MAX, so one unsigned compare
+        // masks both breaks and out-of-range sites; the masked events
+        // add 0 to slot 0 rather than branching.
+        const auto sa = static_cast<uint32_t>(block.site_id[i]);
+        const auto sb = static_cast<uint32_t>(block.site_id[i + 1]);
+        const uint64_t oka = sa < limit;
+        const uint64_t okb = sb < limit;
+        bank0[oka ? sa : 0] +=
+            (oka << 32) | (oka & block.taken[i]);
+        bank1[okb ? sb : 0] +=
+            (okb << 32) | (okb & block.taken[i + 1]);
+    }
+    if (i < n) {
+        const auto s = static_cast<uint32_t>(block.site_id[i]);
+        const uint64_t ok = s < limit;
+        bank0[ok ? s : 0] += (ok << 32) | (ok & block.taken[i]);
+    }
+    int64_t *executed = counts_.executed.data();
+    int64_t *taken = counts_.taken.data();
+    const size_t sites = counts_.size();
+    for (size_t s = 0; s < sites; ++s) {
+        const uint64_t p = bank0[s] + bank1[s];
+        bank0[s] = 0;
+        bank1[s] = 0;
+        executed[s] += static_cast<int64_t>(p >> 32);
+        taken[s] += static_cast<int64_t>(p & 0xffffffffull);
+    }
+}
+
 int64_t
 mispredictsLowered(const SiteCounts &target, std::span<const uint8_t> dir)
 {

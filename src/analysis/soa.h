@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "vm/observer.h"
 #include "vm/run_stats.h"
 
 namespace ifprob::analysis {
@@ -25,6 +26,53 @@ struct SiteCounts
     size_t size() const { return executed.size(); }
 
     static SiteCounts fromStats(const vm::RunStats &stats);
+};
+
+/**
+ * Replay-side profile counter: rebuilds a run's per-site SiteCounts
+ * from its control-flow event stream instead of from embedded RunStats.
+ * This is the recorder-side consumer the batched replay path is tuned
+ * for — the counting-observer path micro_trace holds to the >= 10x
+ * hot-vs-live bar — so onBatch is fully branch-free: break events
+ * (site_id -1) and out-of-range sites fold into the same masked no-op
+ * instead of taking a per-event branch.
+ *
+ * Sites at or beyond @p num_sites are ignored (the FingerprintBuilder
+ * convention); pass program.branch_sites.size() to cover them all.
+ */
+class SiteCountObserver final : public vm::BranchObserver
+{
+  public:
+    explicit SiteCountObserver(size_t num_sites)
+    {
+        counts_.executed.assign(num_sites, 0);
+        counts_.taken.assign(num_sites, 0);
+        packed_.assign(num_sites * 2, 0);
+    }
+
+    void
+    onBranch(int site_id, bool taken, int64_t /*instructions*/) override
+    {
+        if (static_cast<uint32_t>(site_id) >=
+            static_cast<uint32_t>(counts_.size()))
+            return;
+        ++counts_.executed[static_cast<uint32_t>(site_id)];
+        counts_.taken[static_cast<uint32_t>(site_id)] += taken ? 1 : 0;
+    }
+
+    void onBatch(const vm::EventBlock &block) override;
+
+    /** Counting ignores instruction counts; the batched decoder may
+     *  skip materializing them. */
+    bool wantsInstructionCounts() const override { return false; }
+
+    const SiteCounts &counts() const { return counts_; }
+
+  private:
+    SiteCounts counts_;
+    /// onBatch scratch: two banks of (executed << 32 | taken) packed
+    /// accumulators, zeroed again before each onBatch returns.
+    std::vector<uint64_t> packed_;
 };
 
 /**

@@ -148,45 +148,38 @@ FingerprintBuilder::FingerprintBuilder(size_t num_sites)
 
 FingerprintBuilder::~FingerprintBuilder() = default;
 
-void
-FingerprintBuilder::onBranch(int site_id, bool taken,
-                             int64_t /*instructions*/)
+/**
+ * Per-event accumulation, shared by the scalar and batch entry points
+ * so the two paths cannot diverge. @p tk is 0/1. The history probes
+ * predict *before* seeing the outcome; the table updates are the
+ * branch-free form of the 2-bit saturating if-chain.
+ */
+inline void
+FingerprintBuilder::step(SiteState &s, uint32_t tk)
 {
-    if (site_id < 0 || static_cast<size_t>(site_id) >= sites_.size())
-        return;
-    SiteState &s = sites_[static_cast<size_t>(site_id)];
     BranchFingerprint &fp = s.fp;
 
-    // The history probes predict *before* seeing the outcome.
     for (size_t di = 0; di < kHistoryDepths.size(); ++di) {
         const uint32_t mask =
             (1u << kHistoryDepths[di]) - 1; // k <= 8 < 31 bits
         const size_t off = tableOffset(di);
         uint8_t &local = s.local_table[off + (s.local_history & mask)];
         uint8_t &global = s.global_table[off + (global_history_ & mask)];
-        if ((local >= 2) == taken)
-            ++fp.local_correct[di];
-        if ((global >= 2) == taken)
-            ++fp.global_correct[di];
-        if (taken) {
-            if (local < 3)
-                ++local;
-            if (global < 3)
-                ++global;
-        } else {
-            if (local > 0)
-                --local;
-            if (global > 0)
-                --global;
-        }
+        fp.local_correct[di] +=
+            (static_cast<uint32_t>(local >= 2) == tk);
+        fp.global_correct[di] +=
+            (static_cast<uint32_t>(global >= 2) == tk);
+        local = tk ? static_cast<uint8_t>(local + (local < 3))
+                   : static_cast<uint8_t>(local - (local > 0));
+        global = tk ? static_cast<uint8_t>(global + (global < 3))
+                    : static_cast<uint8_t>(global - (global > 0));
     }
 
     ++fp.executed;
-    if (taken)
-        ++fp.taken;
+    fp.taken += tk;
     if (s.prev >= 0) {
-        ++fp.transitions[s.prev][taken ? 1 : 0];
-        if ((s.prev != 0) == taken) {
+        ++fp.transitions[s.prev][tk];
+        if (static_cast<uint32_t>(s.prev != 0) == tk) {
             ++s.current_run;
         } else {
             fp.runs.add(s.current_run);
@@ -197,9 +190,34 @@ FingerprintBuilder::onBranch(int site_id, bool taken,
     } else {
         s.current_run = 1;
     }
-    s.prev = taken ? 1 : 0;
-    s.local_history = (s.local_history << 1) | (taken ? 1u : 0u);
-    global_history_ = (global_history_ << 1) | (taken ? 1u : 0u);
+    s.prev = static_cast<int8_t>(tk);
+    s.local_history = (s.local_history << 1) | tk;
+    global_history_ = (global_history_ << 1) | tk;
+}
+
+void
+FingerprintBuilder::onBranch(int site_id, bool taken,
+                             int64_t /*instructions*/)
+{
+    if (site_id < 0 || static_cast<size_t>(site_id) >= sites_.size())
+        return;
+    step(sites_[static_cast<size_t>(site_id)], taken ? 1u : 0u);
+}
+
+void
+FingerprintBuilder::onBatch(const vm::EventBlock &block)
+{
+    const auto limit = static_cast<uint32_t>(sites_.size());
+    SiteState *sites = sites_.data();
+    const int n = block.size;
+    for (int i = 0; i < n; ++i) {
+        // -1 break markers wrap past any site count, so one unsigned
+        // compare rejects breaks and out-of-range ids alike.
+        const auto s = static_cast<uint32_t>(block.site_id[i]);
+        if (s >= limit)
+            continue;
+        step(sites[s], block.taken[i]);
+    }
 }
 
 std::vector<BranchFingerprint>

@@ -112,6 +112,16 @@ class FingerprintBuilder : public vm::BranchObserver
 
     void onBranch(int site_id, bool taken, int64_t instructions) override;
 
+    /** Batch kernel: one virtual call per decoded block, branch-free
+     *  history-table updates. State after a block is bit-identical to
+     *  feeding the same events through onBranch one at a time (both
+     *  dispatch into the same per-event step). */
+    void onBatch(const vm::EventBlock &block) override;
+
+    /** Fingerprints consume (site, taken) only; the batched decoder
+     *  may skip materializing instruction counts. */
+    bool wantsInstructionCounts() const override { return false; }
+
     /**
      * Finalize (closes each site's open streak) and return fingerprints
      * for every site that executed at least once, ordered by site id.
@@ -120,6 +130,8 @@ class FingerprintBuilder : public vm::BranchObserver
 
   private:
     struct SiteState;
+    void step(SiteState &s, uint32_t tk);
+
     std::vector<SiteState> sites_;
     uint32_t global_history_ = 0;
 };

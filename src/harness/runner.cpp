@@ -11,6 +11,7 @@
 #include "obs/trace.h"
 #include "support/atomic_file.h"
 #include "support/error.h"
+#include "support/mapped_file.h"
 #include "support/str.h"
 #include "trace/trace.h"
 #include "vm/machine.h"
@@ -322,14 +323,20 @@ Runner::computeTrace(TraceSlot &slot, const std::string &workload,
     std::string path;
     if (!cache_dir_.empty()) {
         path = tracePath(workload, dataset, fingerprint);
-        std::ifstream in(path, std::ios::binary);
-        if (in) {
+        // mmap the cache entry so the loaded Trace keeps its event
+        // streams as views into the page cache (zero-copy warm replay);
+        // tryOpen falls back to one buffered read when mmap is
+        // unavailable, and nullptr means plain cache miss.
+        auto mapped = support::MappedFile::tryOpen(path);
+        if (mapped) {
             try {
                 const int64_t t0 = obs::nowMicros();
+                const int64_t bytes =
+                    static_cast<int64_t>(mapped->size());
                 auto loaded = std::make_shared<trace::Trace>(
-                    trace::Trace::load(in, fingerprint));
+                    trace::Trace::loadMapped(std::move(mapped),
+                                             fingerprint));
                 const int64_t load_micros = obs::nowMicros() - t0;
-                int64_t bytes = fileSizeOf(path);
                 {
                     std::lock_guard<std::mutex> lock(cache_stats_mu_);
                     ++cache_stats_.trace_hits;

@@ -38,6 +38,10 @@ class DynamicPredictor : public vm::BranchObserver
         onBranch(site_id, taken, 0);
     }
 
+    /** Dynamic predictors consume (site, taken) only; the batched
+     *  decoder may skip materializing instruction counts. */
+    bool wantsInstructionCounts() const override { return false; }
+
     int64_t total() const { return total_; }
     int64_t correct() const { return correct_; }
     int64_t mispredicted() const { return total_ - correct_; }
@@ -55,35 +59,66 @@ class DynamicPredictor : public vm::BranchObserver
     virtual bool predict(int site_id) const = 0;
     virtual void update(int site_id, bool taken) = 0;
 
+    /** Publish one decoded block's outcome from a batch kernel. The
+     *  kernels accumulate in locals and tally once per block, keeping
+     *  the running totals out of the inner loop. */
+    void
+    tally(int64_t total, int64_t correct)
+    {
+        total_ += total;
+        correct_ += correct;
+    }
+
   private:
     int64_t total_ = 0;
     int64_t correct_ = 0;
 };
 
-/** 1-bit last-direction predictor. */
+/** 1-bit last-direction predictor. One byte per site rather than a
+ *  packed bit-vector: the batch kernel reads and writes a site's slot
+ *  with plain loads/stores, and table size is not the point of an
+ *  idealized infinite-entry predictor. */
 class OneBitPredictor : public DynamicPredictor
 {
   public:
     explicit OneBitPredictor(size_t num_sites, bool initial_taken = false)
-        : last_(num_sites, initial_taken)
+        : last_(num_sites, initial_taken ? 1 : 0)
     {
+    }
+
+    void
+    onBatch(const vm::EventBlock &block) override
+    {
+        uint8_t *last = last_.data();
+        int64_t correct = 0;
+        const int n = block.size;
+        for (int i = 0; i < n; ++i) {
+            const int32_t site = block.site_id[i];
+            if (site < 0) // unavoidable break; statically predictable
+                continue;
+            const uint8_t tk = block.taken[i];
+            uint8_t &slot = last[static_cast<uint32_t>(site)];
+            correct += (slot == tk);
+            slot = tk;
+        }
+        tally(block.branch_count, correct);
     }
 
   protected:
     bool
     predict(int site_id) const override
     {
-        return last_[static_cast<size_t>(site_id)];
+        return last_[static_cast<size_t>(site_id)] != 0;
     }
 
     void
     update(int site_id, bool taken) override
     {
-        last_[static_cast<size_t>(site_id)] = taken;
+        last_[static_cast<size_t>(site_id)] = taken ? 1 : 0;
     }
 
   private:
-    std::vector<bool> last_;
+    std::vector<uint8_t> last_;
 };
 
 /** 2-bit saturating-counter predictor (counters start weakly not-taken). */
@@ -93,6 +128,26 @@ class TwoBitPredictor : public DynamicPredictor
     explicit TwoBitPredictor(size_t num_sites, uint8_t initial = 1)
         : counters_(num_sites, initial)
     {
+    }
+
+    void
+    onBatch(const vm::EventBlock &block) override
+    {
+        uint8_t *counters = counters_.data();
+        int64_t correct = 0;
+        const int n = block.size;
+        for (int i = 0; i < n; ++i) {
+            const int32_t site = block.site_id[i];
+            if (site < 0)
+                continue;
+            const uint8_t tk = block.taken[i];
+            uint8_t &c = counters[static_cast<uint32_t>(site)];
+            correct += ((c >= 2) == (tk != 0));
+            // Branch-free saturate, identical to update()'s if-chain.
+            c = tk ? static_cast<uint8_t>(c + (c < 3))
+                   : static_cast<uint8_t>(c - (c > 0));
+        }
+        tally(block.branch_count, correct);
     }
 
   protected:
@@ -137,6 +192,30 @@ class GSharePredictor : public DynamicPredictor
                             : (1u << history_bits) - 1),
           counters_(1u << log2_entries, 1)
     {
+    }
+
+    void
+    onBatch(const vm::EventBlock &block) override
+    {
+        uint8_t *counters = counters_.data();
+        uint32_t history = history_;
+        int64_t correct = 0;
+        const int n = block.size;
+        for (int i = 0; i < n; ++i) {
+            const int32_t site = block.site_id[i];
+            if (site < 0)
+                continue;
+            const uint32_t tk = block.taken[i];
+            const size_t idx =
+                (static_cast<uint32_t>(site) ^ history) & mask_;
+            const uint8_t c = counters[idx];
+            correct += ((c >= 2) == (tk != 0));
+            counters[idx] = tk ? static_cast<uint8_t>(c + (c < 3))
+                               : static_cast<uint8_t>(c - (c > 0));
+            history = ((history << 1) | tk) & history_mask_;
+        }
+        history_ = history;
+        tally(block.branch_count, correct);
     }
 
   protected:

@@ -1,0 +1,90 @@
+#include "support/mapped_file.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define IFPROB_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace ifprob::support {
+
+namespace {
+
+bool
+mmapDisabled()
+{
+    const char *env = std::getenv("IFPROB_NO_MMAP");
+    return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+bool
+readWholeFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return false;
+    const std::streamoff size = in.tellg();
+    if (size < 0)
+        return false;
+    out.resize(static_cast<size_t>(size));
+    in.seekg(0);
+    if (size > 0 && !in.read(out.data(), size))
+        return false;
+    return true;
+}
+
+} // namespace
+
+MappedFile::~MappedFile()
+{
+#ifdef IFPROB_HAVE_MMAP
+    if (mapped_)
+        ::munmap(const_cast<char *>(data_), size_);
+#endif
+}
+
+std::shared_ptr<MappedFile>
+MappedFile::tryOpen(const std::string &path)
+{
+    // Private constructor: make_shared can't reach it.
+    std::shared_ptr<MappedFile> file(new MappedFile());
+
+#ifdef IFPROB_HAVE_MMAP
+    if (!mmapDisabled()) {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd >= 0) {
+            struct stat st;
+            if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) &&
+                st.st_size > 0) {
+                void *addr =
+                    ::mmap(nullptr, static_cast<size_t>(st.st_size),
+                           PROT_READ, MAP_PRIVATE, fd, 0);
+                if (addr != MAP_FAILED) {
+                    ::close(fd);
+                    file->data_ = static_cast<const char *>(addr);
+                    file->size_ = static_cast<size_t>(st.st_size);
+                    file->mapped_ = true;
+                    return file;
+                }
+            }
+            ::close(fd);
+        }
+        // Fall through: unopenable files are retried below so the
+        // buffered path decides (it distinguishes missing from empty).
+    }
+#endif
+
+    if (!readWholeFile(path, file->fallback_))
+        return nullptr;
+    file->data_ = file->fallback_.data();
+    file->size_ = file->fallback_.size();
+    return file;
+}
+
+} // namespace ifprob::support

@@ -1,0 +1,73 @@
+#ifndef IFPROB_SUPPORT_MAPPED_FILE_H
+#define IFPROB_SUPPORT_MAPPED_FILE_H
+
+#include <cstddef>
+#include <memory>
+#include <streambuf>
+#include <string>
+#include <string_view>
+
+namespace ifprob::support {
+
+/**
+ * Read-only view of a whole file, backed by mmap when the platform
+ * allows it and by one buffered read of the full contents otherwise.
+ *
+ * The mapped variant is what makes the `IFPROBTR` disk cache zero-copy:
+ * a Trace loaded from a MappedFile keeps its four event streams as
+ * string_views into the mapping, so warm replay decodes straight out of
+ * the page cache without ever copying stream bytes. Consumers that hold
+ * views into data() must keep the MappedFile alive (the Trace does this
+ * with a shared_ptr).
+ *
+ * Setting IFPROB_NO_MMAP=1 forces the buffered-read fallback, which is
+ * also used automatically for empty files and when mmap fails.
+ */
+class MappedFile
+{
+  public:
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+    ~MappedFile();
+
+    /**
+     * Opens and maps @p path. Returns nullptr if the file cannot be
+     * opened or its size cannot be determined — callers treat that the
+     * same as a cache miss.
+     */
+    static std::shared_ptr<MappedFile> tryOpen(const std::string &path);
+
+    const char *data() const { return data_; }
+    size_t size() const { return size_; }
+    std::string_view view() const { return {data_, size_}; }
+
+    /** True when backed by mmap rather than the buffered-read copy. */
+    bool isMapped() const { return mapped_; }
+
+  private:
+    MappedFile() = default;
+
+    const char *data_ = nullptr;
+    size_t size_ = 0;
+    bool mapped_ = false;
+    std::string fallback_; // owns the bytes when !mapped_
+};
+
+/**
+ * Minimal read-only streambuf over a string_view, used to hand a
+ * mapped byte range to istream-based parsers (e.g. the RunStats blob
+ * embedded in a trace file) without copying it into a stringstream.
+ */
+class ViewStreamBuf final : public std::streambuf
+{
+  public:
+    explicit ViewStreamBuf(std::string_view bytes)
+    {
+        char *base = const_cast<char *>(bytes.data());
+        setg(base, base, base + bytes.size());
+    }
+};
+
+} // namespace ifprob::support
+
+#endif // IFPROB_SUPPORT_MAPPED_FILE_H

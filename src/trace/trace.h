@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "support/mapped_file.h"
 #include "vm/machine.h"
 #include "vm/observer.h"
 #include "vm/run_stats.h"
@@ -64,6 +66,38 @@ struct Trace
     std::string taken;  ///< bitstream, 1 bit/branch event
     std::string sites;  ///< varint dictionary indexes, 1/branch event
 
+    /**
+     * Zero-copy backing for traces loaded via loadMapped: the four
+     * streams live as views into the mapped file (the owned strings
+     * above stay empty), so warm replay decodes straight out of the
+     * page cache without copying stream bytes. Everything that reads
+     * stream bytes goes through the *Bytes() accessors, which pick the
+     * views when a backing file is present.
+     */
+    struct StreamViews
+    {
+        std::string_view deltas, tags, taken, sites;
+    };
+    std::shared_ptr<support::MappedFile> backing;
+    StreamViews views;
+
+    std::string_view deltasBytes() const
+    {
+        return backing ? views.deltas : std::string_view(deltas);
+    }
+    std::string_view tagsBytes() const
+    {
+        return backing ? views.tags : std::string_view(tags);
+    }
+    std::string_view takenBytes() const
+    {
+        return backing ? views.taken : std::string_view(taken);
+    }
+    std::string_view sitesBytes() const
+    {
+        return backing ? views.sites : std::string_view(sites);
+    }
+
     /** In-memory footprint of the encoded streams (metrics currency). */
     int64_t byteSize() const;
 
@@ -88,6 +122,16 @@ struct Trace
      * as a corrupt cache entry and fall back to re-recording.
      */
     static Trace load(std::istream &is, uint64_t expected_fingerprint = 0);
+
+    /**
+     * Parse the binary form straight out of @p file without copying the
+     * event streams: the returned Trace keeps them as views into the
+     * mapping (see StreamViews) and holds @p file alive via `backing`.
+     * Same validation and throw conditions as load(); the checksum pass
+     * faults the pages in but copies nothing.
+     */
+    static Trace loadMapped(std::shared_ptr<support::MappedFile> file,
+                            uint64_t expected_fingerprint = 0);
 };
 
 /**
@@ -116,6 +160,53 @@ class Recorder : public vm::BranchObserver
     /** site id -> dictionary index (-1 = not yet seen). */
     std::vector<int32_t> dict_index_;
 };
+
+/**
+ * Incremental block decoder for the batched replay path: decodes the
+ * deltas/tags/taken/sites streams vm::EventBlock::kCapacity events at a
+ * time into a caller-provided reusable block. The constructor validates
+ * the stream invariants against the Trace header (exact bitstream
+ * lengths, tag-bit population == break_events), so decode never reads
+ * past a stream; next() raises named errors for short varint streams,
+ * out-of-dictionary site indexes, and — once all header-declared events
+ * have decoded — trailing stream bytes.
+ */
+class BlockReader
+{
+  public:
+    /** @p materialize_instructions false (every observer declared
+     *  !wantsInstructionCounts()) skips computing cumulative
+     *  instruction counts; EventBlock::instructions is then
+     *  unspecified. The delta stream is still consumed and validated
+     *  identically, so error behavior does not depend on the flag. */
+    explicit BlockReader(const Trace &t,
+                         bool materialize_instructions = true);
+
+    /** Decode the next block; false when all events are consumed (the
+     *  false-returning call performs the trailing-bytes check). */
+    bool next(vm::EventBlock &block);
+
+  private:
+    const Trace &t_;
+    const unsigned char *dp_, *dend_; ///< deltas cursor
+    const unsigned char *sp_, *send_; ///< sites cursor
+    std::string_view tags_, taken_;
+    const int32_t *dict_;
+    size_t dict_size_;
+    int32_t dict_max_ = -1; ///< max site id in the dictionary
+    bool materialize_instructions_;
+    int64_t ev_ = 0, branch_ = 0, instructions_ = 0;
+};
+
+/**
+ * IFPROB_TRACE_BATCH=off (or =0) pins trace::replay to the original
+ * one-event-at-a-time scalar decode loop, kept verbatim as the
+ * differential oracle for the batched path (CI byte-diffs bench output
+ * under both settings). Anything else — the default — replays in
+ * EventBlock batches through BranchObserver::onBatch. Read per replay
+ * call so tests can flip it at runtime.
+ */
+bool batchReplay();
 
 /** Stream @p t's events through one observer, in recorded order. */
 void replay(const Trace &t, vm::BranchObserver &observer);

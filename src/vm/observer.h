@@ -8,6 +8,38 @@
 namespace ifprob::vm {
 
 /**
+ * A decoded block of control-flow events in structure-of-arrays form.
+ *
+ * The batched replay path (`trace::replay`) decodes the compressed
+ * streams ~4096 events at a time into one reusable EventBlock, then
+ * hands the whole block to each observer. Layout:
+ *
+ *   site_id[i]      dictionary-resolved branch site, or -1 for an
+ *                   unavoidable break (indirect call / matching return)
+ *   taken[i]        0/1; meaningful only when site_id[i] >= 0
+ *   instructions[i] cumulative instruction count at the event,
+ *                   including the instruction raising it
+ *
+ * `branch_count` counts the events with site_id >= 0. When
+ * `branch_count == size` the block is break-free, and batch kernels
+ * may skip the per-event break test entirely.
+ */
+struct EventBlock
+{
+    static constexpr int kCapacity = 4096;
+
+    int32_t size = 0;
+    int32_t branch_count = 0;
+    /// Upper bound on the site_id values in the block (not necessarily
+    /// attained): the decoder's dictionary maximum. -1 when unknown;
+    /// kernels must then fall back to per-event range checks.
+    int32_t max_site = -1;
+    int32_t site_id[kCapacity];
+    uint8_t taken[kCapacity];
+    int64_t instructions[kCapacity];
+};
+
+/**
  * Receives dynamic control-flow events in execution order.
  *
  * Aggregate counts (RunStats) suffice for evaluating *static* predictors,
@@ -35,6 +67,43 @@ class BranchObserver
     virtual void onUnavoidableBreak(int64_t instructions)
     {
         (void)instructions;
+    }
+
+    /**
+     * Whether this observer reads the @p instructions argument (or
+     * EventBlock::instructions). Observers that only consume
+     * (site, taken) — profile counters, direction predictors — override
+     * this to return false: when every observer in a batched replay
+     * opts out, the decoder skips materializing cumulative instruction
+     * counts entirely, and EventBlock::instructions holds unspecified
+     * values. An opted-out observer must therefore never read them.
+     */
+    virtual bool wantsInstructionCounts() const { return true; }
+
+    /**
+     * Called with a decoded block of events by the batched replay path.
+     * The default forwards each event to onBranch/onUnavoidableBreak in
+     * order, so any observer is correct without opting in; hot observers
+     * override this with a branch-free kernel. Overrides must produce
+     * state bit-identical to the scalar loop for the same event
+     * sequence.
+     */
+    virtual void onBatch(const EventBlock &block)
+    {
+        const int n = block.size;
+        if (block.branch_count == n) {
+            for (int i = 0; i < n; ++i)
+                onBranch(block.site_id[i], block.taken[i] != 0,
+                         block.instructions[i]);
+            return;
+        }
+        for (int i = 0; i < n; ++i) {
+            if (block.site_id[i] >= 0)
+                onBranch(block.site_id[i], block.taken[i] != 0,
+                         block.instructions[i]);
+            else
+                onUnavoidableBreak(block.instructions[i]);
+        }
     }
 };
 
@@ -69,6 +138,23 @@ class MultiObserver final : public BranchObserver
     {
         for (BranchObserver *o : observers_)
             o->onUnavoidableBreak(instructions);
+    }
+
+    void
+    onBatch(const EventBlock &block) override
+    {
+        for (BranchObserver *o : observers_)
+            o->onBatch(block);
+    }
+
+    bool
+    wantsInstructionCounts() const override
+    {
+        for (BranchObserver *o : observers_) {
+            if (o->wantsInstructionCounts())
+                return true;
+        }
+        return false;
     }
 
   private:

@@ -13,6 +13,7 @@
 #include "compiler/pipeline.h"
 #include "isa/disasm.h"
 #include "support/atomic_file.h"
+#include "support/mapped_file.h"
 #include "support/rng.h"
 #include "support/sharded_map.h"
 #include "support/str.h"
@@ -140,6 +141,37 @@ TEST(AtomicFile, WritesViaTempAndRename)
         [](std::ofstream &out) { out << "y"; });
     EXPECT_EQ(failed, 0);
     EXPECT_EQ(fileSizeOf(path), 5);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(MappedFile, MapsRegularFilesAndFallsBackWhenDisabled)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "ifprob_mapped_file_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / "blob.bin").string();
+    const std::string payload("mapped\0bytes\xff survive", 21);
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << payload;
+    }
+
+    auto mapped = support::MappedFile::tryOpen(path);
+    ASSERT_NE(mapped, nullptr);
+    EXPECT_EQ(mapped->view(), std::string_view(payload));
+
+    ::setenv("IFPROB_NO_MMAP", "1", 1);
+    auto buffered = support::MappedFile::tryOpen(path);
+    ::unsetenv("IFPROB_NO_MMAP");
+    ASSERT_NE(buffered, nullptr);
+    EXPECT_FALSE(buffered->isMapped());
+    EXPECT_EQ(buffered->view(), std::string_view(payload));
+
+    // Missing files return null rather than throwing — the cache-miss
+    // signal Runner::traceOf branches on.
+    EXPECT_EQ(support::MappedFile::tryOpen((dir / "absent").string()),
+              nullptr);
     std::filesystem::remove_all(dir);
 }
 

@@ -10,9 +10,12 @@
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <tuple>
 
 #include <unistd.h>
 
+#include "analysis/soa.h"
+#include "characterize/fingerprint.h"
 #include "compiler/pipeline.h"
 #include "exec/pool.h"
 #include "harness/runner.h"
@@ -24,6 +27,7 @@
 #include "predict/profile_predictor.h"
 #include "profile/profile_db.h"
 #include "support/error.h"
+#include "support/mapped_file.h"
 #include "trace/trace.h"
 #include "vm/machine.h"
 #include "vm/observer.h"
@@ -603,6 +607,297 @@ TEST(TracePlane, RecordsOnceUnderConcurrentTraceOf)
         EXPECT_EQ(runner.cacheStats().trace_hits, 0);
     }
     ::unsetenv("IFPROB_CACHE");
+}
+
+// ---------------------------------------------------------------------------
+// Batched replay: scalar differential, decode fuzz, mapped-cache hammer.
+// ---------------------------------------------------------------------------
+
+/** Scoped IFPROB_TRACE_BATCH override ("on"/"off"), restored on exit. */
+class BatchModeGuard
+{
+  public:
+    explicit BatchModeGuard(const char *mode)
+    {
+        ::setenv("IFPROB_TRACE_BATCH", mode, 1);
+    }
+    ~BatchModeGuard() { ::unsetenv("IFPROB_TRACE_BATCH"); }
+};
+
+/** Everything every in-tree observer accumulates over one replay. */
+struct AllObserverState
+{
+    int64_t one_total, one_correct;
+    int64_t two_total, two_correct;
+    int64_t gshare_total, gshare_correct;
+    int64_t static_total, static_correct;
+    analysis::SiteCounts counts;
+    std::vector<characterize::BranchFingerprint> fingerprints;
+    std::vector<EventLog::Event> log;
+    ilp::RunLengthSummary runlength;
+};
+
+/**
+ * Replay @p t through every in-tree observer under the given batch
+ * mode — first fanned out (a mixed set where EventLog and the
+ * run-length analyzer still want instruction counts), then the pure
+ * counting observer alone (the set where the decoder skips
+ * materializing instruction counts entirely).
+ */
+AllObserverState
+replayEverything(const trace::Trace &t, const isa::Program &p,
+                 const char *mode)
+{
+    BatchModeGuard guard(mode);
+    const size_t num_sites = p.branch_sites.size();
+    predict::OneBitPredictor one(num_sites);
+    predict::TwoBitPredictor two(num_sites);
+    predict::GSharePredictor gshare(12, 12);
+    profile::ProfileDb db("w", p.fingerprint(), t.stats);
+    predict::ProfilePredictor self(db);
+    predict::StaticAsDynamic as_dynamic(self);
+    characterize::FingerprintBuilder builder(num_sites);
+    EventLog log;
+    ilp::RunLengthAnalyzer runlength(self);
+    trace::replay(t, {&one, &two, &gshare, &as_dynamic, &builder, &log,
+                      &runlength});
+
+    analysis::SiteCountObserver counting(num_sites);
+    trace::replay(t, counting);
+
+    AllObserverState st{one.total(),
+                        one.correct(),
+                        two.total(),
+                        two.correct(),
+                        gshare.total(),
+                        gshare.correct(),
+                        as_dynamic.total(),
+                        as_dynamic.correct(),
+                        counting.counts(),
+                        std::move(builder).take(),
+                        log.events,
+                        std::move(runlength).summary(
+                            t.stats.instructions)};
+    return st;
+}
+
+void
+expectSameState(const AllObserverState &a, const AllObserverState &b)
+{
+    EXPECT_EQ(a.one_total, b.one_total);
+    EXPECT_EQ(a.one_correct, b.one_correct);
+    EXPECT_EQ(a.two_total, b.two_total);
+    EXPECT_EQ(a.two_correct, b.two_correct);
+    EXPECT_EQ(a.gshare_total, b.gshare_total);
+    EXPECT_EQ(a.gshare_correct, b.gshare_correct);
+    EXPECT_EQ(a.static_total, b.static_total);
+    EXPECT_EQ(a.static_correct, b.static_correct);
+    EXPECT_EQ(a.counts.executed, b.counts.executed);
+    EXPECT_EQ(a.counts.taken, b.counts.taken);
+    EXPECT_EQ(a.log, b.log);
+    EXPECT_EQ(a.runlength.runs, b.runlength.runs);
+    EXPECT_EQ(a.runlength.histogram, b.runlength.histogram);
+    EXPECT_EQ(a.runlength.breaks, b.runlength.breaks);
+    ASSERT_EQ(a.fingerprints.size(), b.fingerprints.size());
+    for (size_t i = 0; i < a.fingerprints.size(); ++i) {
+        const auto &fa = a.fingerprints[i];
+        const auto &fb = b.fingerprints[i];
+        EXPECT_EQ(fa.site_id, fb.site_id);
+        EXPECT_EQ(fa.executed, fb.executed);
+        EXPECT_EQ(fa.taken, fb.taken);
+        EXPECT_EQ(fa.transitions, fb.transitions);
+        EXPECT_EQ(fa.rle_bytes, fb.rle_bytes);
+        EXPECT_EQ(fa.local_correct, fb.local_correct);
+        EXPECT_EQ(fa.global_correct, fb.global_correct);
+        EXPECT_EQ(fa.runs.count, fb.runs.count);
+        EXPECT_EQ(fa.runs.sum, fb.runs.sum);
+        EXPECT_EQ(fa.runs.max, fb.runs.max);
+        EXPECT_EQ(fa.runs.histogram, fb.runs.histogram);
+    }
+}
+
+TEST(TracePlane, BatchMatchesScalarAcrossAllObservers)
+{
+    isa::Program p = compile(kBranchySource);
+    trace::Trace t =
+        trace::record(p, "", vm::RunLimits{}, "kernel", "builtin");
+    expectSameState(replayEverything(t, p, "off"),
+                    replayEverything(t, p, "on"));
+}
+
+TEST(TracePlane, BatchMatchesScalarParallel)
+{
+    // jobs=4: four cells' batch-vs-scalar differentials in flight at
+    // once, each pair replaying a Runner-cached trace from pool workers.
+    ::setenv("IFPROB_CACHE", "off", 1);
+    {
+        harness::Runner runner;
+        exec::Pool pool(4);
+        exec::parallelFor(pool, kMatrixSample.size(), [&](size_t i) {
+            const auto &[w, d] = kMatrixSample[i];
+            const isa::Program &prog = runner.program(w);
+            const trace::Trace &t = runner.traceOf(w, d);
+            expectSameState(replayEverything(t, prog, "off"),
+                            replayEverything(t, prog, "on"));
+        });
+    }
+    ::unsetenv("IFPROB_CACHE");
+}
+
+TEST(TracePlane, BatchHandlesBreaksAndMaskedSites)
+{
+    // Synthetic stream: breaks interleaved between branches, zero
+    // deltas, >2^32 deltas, and a site id far beyond the observers'
+    // tables (masked by SiteCountObserver/FingerprintBuilder under both
+    // paths). Scalar-vs-batch on the masking observers plus EventLog.
+    trace::Recorder recorder;
+    const int64_t kHuge = (int64_t{1} << 37) + 99;
+    recorder.onBranch(3, true, 10);
+    recorder.onUnavoidableBreak(12);
+    recorder.onBranch(1, false, 15);
+    recorder.onBranch(1, true, 15);
+    recorder.onBranch(900001, true, kHuge);
+    recorder.onUnavoidableBreak(kHuge + 7);
+    recorder.onBranch(3, false, kHuge + 9);
+    trace::Trace t = std::move(recorder).take();
+
+    auto run = [&](const char *mode) {
+        BatchModeGuard guard(mode);
+        analysis::SiteCountObserver counting(8);
+        characterize::FingerprintBuilder builder(8);
+        EventLog log;
+        trace::replay(t, {&counting, &builder, &log});
+        return std::tuple(counting.counts().executed,
+                          counting.counts().taken,
+                          std::move(builder).take().size(), log.events);
+    };
+    auto scalar = run("off");
+    auto batch = run("on");
+    EXPECT_EQ(std::get<0>(scalar), std::get<0>(batch));
+    EXPECT_EQ(std::get<1>(scalar), std::get<1>(batch));
+    EXPECT_EQ(std::get<2>(scalar), std::get<2>(batch));
+    EXPECT_EQ(std::get<3>(scalar), std::get<3>(batch));
+    // The masked site contributed nothing; site 1 counted both ways.
+    EXPECT_EQ(std::get<0>(batch)[1], 2);
+    EXPECT_EQ(std::get<1>(batch)[1], 1);
+    EXPECT_EQ(std::get<0>(batch)[3], 2);
+}
+
+TEST(TracePlane, ReplayRejectsCorruptStreamsUnderBothPaths)
+{
+    isa::Program p = compile(kBranchySource);
+    trace::Trace good =
+        trace::record(p, "", vm::RunLimits{}, "kernel", "builtin");
+
+    // Each mutation must raise Error from replay on the scalar path and
+    // the batched path alike — fuzz parity is what lets CI flip
+    // IFPROB_TRACE_BATCH=off as a pure differential oracle.
+    struct Case
+    {
+        const char *name;
+        void (*mutate)(trace::Trace &);
+    };
+    const Case kCases[] = {
+        {"truncated deltas",
+         [](trace::Trace &t) { t.deltas.resize(t.deltas.size() / 2); }},
+        {"truncated sites",
+         [](trace::Trace &t) { t.sites.resize(t.sites.size() / 2); }},
+        {"trailing delta bytes",
+         [](trace::Trace &t) { t.deltas.push_back('\x01'); }},
+        {"oversize taken bitstream",
+         [](trace::Trace &t) { t.taken.push_back('\x00'); }},
+        {"short tags bitstream",
+         [](trace::Trace &t) { t.tags.resize(t.tags.size() - 1); }},
+        {"tag population mismatch",
+         [](trace::Trace &t) { t.tags[0] ^= '\x01'; }},
+        {"site index out of dictionary",
+         [](trace::Trace &t) { t.sites[0] = '\x7f'; }},
+        {"dangling varint continuation",
+         [](trace::Trace &t) { t.deltas.back() = '\xff'; }},
+    };
+    for (const auto &c : kCases) {
+        SCOPED_TRACE(c.name);
+        trace::Trace bad = good;
+        c.mutate(bad);
+        {
+            BatchModeGuard guard("off");
+            EventLog log;
+            EXPECT_THROW(trace::replay(bad, log), Error);
+        }
+        {
+            BatchModeGuard guard("on");
+            EventLog log;
+            EXPECT_THROW(trace::replay(bad, log), Error);
+        }
+    }
+}
+
+TEST(TracePlane, MappedLoadMatchesStreamLoad)
+{
+    TraceCacheDirGuard cache;
+    harness::Runner recorder_runner;
+    trace::Trace expected = recorder_runner.traceOf("eqntott", "add4");
+    const auto path = cache.onlyTraceFile();
+
+    auto mapped = support::MappedFile::tryOpen(path.string());
+    ASSERT_NE(mapped, nullptr);
+    trace::Trace t = trace::Trace::loadMapped(mapped);
+    EXPECT_EQ(t.events, expected.events);
+    EXPECT_EQ(t.branch_events, expected.branch_events);
+    EXPECT_EQ(t.site_dict, expected.site_dict);
+    EXPECT_EQ(t.deltasBytes(), std::string_view(expected.deltas));
+    EXPECT_EQ(t.tagsBytes(), std::string_view(expected.tags));
+    EXPECT_EQ(t.takenBytes(), std::string_view(expected.taken));
+    EXPECT_EQ(t.sitesBytes(), std::string_view(expected.sites));
+    EXPECT_EQ(t.stats.instructions, expected.stats.instructions);
+
+    // The buffered fallback parses identically.
+    ::setenv("IFPROB_NO_MMAP", "1", 1);
+    auto buffered = support::MappedFile::tryOpen(path.string());
+    ::unsetenv("IFPROB_NO_MMAP");
+    ASSERT_NE(buffered, nullptr);
+    EXPECT_FALSE(buffered->isMapped());
+    trace::Trace b = trace::Trace::loadMapped(buffered);
+    EXPECT_EQ(b.deltasBytes(), t.deltasBytes());
+    EXPECT_EQ(b.events, t.events);
+}
+
+TEST(TracePlane, MappedCacheReplayHammer)
+{
+    // Eight threads replaying one mmap-backed trace concurrently: the
+    // decode cursors are per-BlockReader, so the only shared state is
+    // the read-only mapping itself. Run under TSan in CI.
+    TraceCacheDirGuard cache;
+    harness::Runner recorder_runner;
+    const isa::Program &p = recorder_runner.program("eqntott");
+    const int64_t events = recorder_runner.traceOf("eqntott", "add4").events;
+    const auto path = cache.onlyTraceFile();
+
+    auto mapped = support::MappedFile::tryOpen(path.string());
+    ASSERT_NE(mapped, nullptr);
+    const trace::Trace t = trace::Trace::loadMapped(mapped);
+
+    constexpr int kThreads = 8;
+    std::vector<int64_t> totals(kThreads, 0);
+    std::vector<int64_t> correct(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            predict::TwoBitPredictor two(p.branch_sites.size());
+            analysis::SiteCountObserver counting(p.branch_sites.size());
+            trace::replay(t, {&two, &counting});
+            totals[static_cast<size_t>(i)] = two.total();
+            correct[static_cast<size_t>(i)] = two.correct();
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (int i = 0; i < kThreads; ++i) {
+        EXPECT_EQ(totals[static_cast<size_t>(i)], totals[0]);
+        EXPECT_EQ(correct[static_cast<size_t>(i)], correct[0]);
+    }
+    EXPECT_EQ(t.events, events);
+    EXPECT_GT(totals[0], 0);
 }
 
 TEST(TracePlane, VariantTracesKeyedByFingerprint)

@@ -105,10 +105,13 @@ struct Totals
         int64_t cached_warm_micros = 0;
     } analysis;
 
-    /** Last ifprob.trace_bench.v1 record seen (micro_trace --ab). */
+    /** Last ifprob.trace_bench.v1/.v2 record seen (micro_trace --ab).
+     *  The v2 fields (counting path, decode/dispatch split, batch flag)
+     *  are only meaningful when version >= 2. */
     struct TraceBench
     {
         int64_t records = 0;
+        int64_t version = 0;
         double speedup_cold = 0.0;
         double speedup_warm = 0.0;
         double speedup_hot = 0.0;
@@ -121,6 +124,21 @@ struct Totals
         int64_t cache_hits = 0;
         int64_t cache_misses = 0;
         int64_t cache_read_failures = 0;
+        // v2: the batched-replay counting path and its phase split.
+        int64_t batch = 0;
+        double speedup_hot_counting = 0.0;
+        int64_t counting_live_micros = 0;
+        int64_t counting_hot_micros = 0;
+        int64_t cold_decode_micros = 0;
+        int64_t cold_dispatch_micros = 0;
+        int64_t warm_decode_micros = 0;
+        int64_t warm_dispatch_micros = 0;
+        int64_t hot_decode_micros = 0;
+        int64_t hot_dispatch_micros = 0;
+        int64_t counting_decode_micros = 0;
+        int64_t counting_dispatch_micros = 0;
+        int64_t replay_blocks = 0;
+        int64_t pass = 0;
     } trace;
 
     /** Last ifprob.ingest_bench.v1 record seen (micro_ingest --ab). */
@@ -157,6 +175,7 @@ usage()
 const char *const kKnownSchemas[] = {
     "ifprob.run.v1",        "ifprob.table.v1",
     "ifprob.analysis_bench.v1", "ifprob.trace_bench.v1",
+    "ifprob.trace_bench.v2",
     "ifprob.vm_bench.v1",   "ifprob.vm_bench.v2",
     "ifprob.characterize.v1",
     "ifprob.ingest_bench.v1",
@@ -221,6 +240,7 @@ consumeLine(const std::string &file, int64_t lineno,
             return it != rec.end() ? it->second.num : 0.0;
         };
         ++totals.trace.records;
+        totals.trace.version = std::max<int64_t>(totals.trace.version, 1);
         totals.trace.speedup_cold = num("speedup_cold");
         totals.trace.speedup_warm = num("speedup_warm");
         totals.trace.speedup_hot = num("speedup_hot");
@@ -241,6 +261,82 @@ consumeLine(const std::string &file, int64_t lineno,
             static_cast<int64_t>(num("trace_cache_misses"));
         totals.trace.cache_read_failures =
             static_cast<int64_t>(num("trace_cache_read_failures"));
+        return;
+    }
+    if (schema == "ifprob.trace_bench.v2") {
+        // Strict: a v2 record missing any batched-replay field is a
+        // parse error, so a micro_trace/obsreport version skew cannot
+        // silently report zeros as measurements.
+        for (const char *k :
+             {"batch", "live_micros", "cold_micros", "warm_micros",
+              "hot_micros", "counting_live_micros", "counting_hot_micros",
+              "speedup_cold", "speedup_warm", "speedup_hot",
+              "speedup_hot_counting", "cold_decode_micros",
+              "cold_dispatch_micros", "warm_decode_micros",
+              "warm_dispatch_micros", "hot_decode_micros",
+              "hot_dispatch_micros", "counting_decode_micros",
+              "counting_dispatch_micros", "replay_blocks", "events_total",
+              "trace_bytes_total", "trace_cache_hits",
+              "trace_cache_misses", "trace_cache_read_failures",
+              "pass"}) {
+            if (rec.find(k) == rec.end()) {
+                std::fprintf(stderr,
+                             "obsreport: %s:%lld: trace_bench.v2 record "
+                             "missing field \"%s\"\n",
+                             file.c_str(),
+                             static_cast<long long>(lineno), k);
+                ++totals.parse_errors;
+                return;
+            }
+        }
+        auto num = [&](const char *k) { return rec.find(k)->second.num; };
+        ++totals.trace.records;
+        totals.trace.version = std::max<int64_t>(totals.trace.version, 2);
+        totals.trace.batch = static_cast<int64_t>(num("batch"));
+        totals.trace.speedup_cold = num("speedup_cold");
+        totals.trace.speedup_warm = num("speedup_warm");
+        totals.trace.speedup_hot = num("speedup_hot");
+        totals.trace.speedup_hot_counting = num("speedup_hot_counting");
+        totals.trace.live_micros =
+            static_cast<int64_t>(num("live_micros"));
+        totals.trace.cold_micros =
+            static_cast<int64_t>(num("cold_micros"));
+        totals.trace.warm_micros =
+            static_cast<int64_t>(num("warm_micros"));
+        totals.trace.hot_micros = static_cast<int64_t>(num("hot_micros"));
+        totals.trace.counting_live_micros =
+            static_cast<int64_t>(num("counting_live_micros"));
+        totals.trace.counting_hot_micros =
+            static_cast<int64_t>(num("counting_hot_micros"));
+        totals.trace.cold_decode_micros =
+            static_cast<int64_t>(num("cold_decode_micros"));
+        totals.trace.cold_dispatch_micros =
+            static_cast<int64_t>(num("cold_dispatch_micros"));
+        totals.trace.warm_decode_micros =
+            static_cast<int64_t>(num("warm_decode_micros"));
+        totals.trace.warm_dispatch_micros =
+            static_cast<int64_t>(num("warm_dispatch_micros"));
+        totals.trace.hot_decode_micros =
+            static_cast<int64_t>(num("hot_decode_micros"));
+        totals.trace.hot_dispatch_micros =
+            static_cast<int64_t>(num("hot_dispatch_micros"));
+        totals.trace.counting_decode_micros =
+            static_cast<int64_t>(num("counting_decode_micros"));
+        totals.trace.counting_dispatch_micros =
+            static_cast<int64_t>(num("counting_dispatch_micros"));
+        totals.trace.replay_blocks =
+            static_cast<int64_t>(num("replay_blocks"));
+        totals.trace.events_total =
+            static_cast<int64_t>(num("events_total"));
+        totals.trace.trace_bytes_total =
+            static_cast<int64_t>(num("trace_bytes_total"));
+        totals.trace.cache_hits =
+            static_cast<int64_t>(num("trace_cache_hits"));
+        totals.trace.cache_misses =
+            static_cast<int64_t>(num("trace_cache_misses"));
+        totals.trace.cache_read_failures =
+            static_cast<int64_t>(num("trace_cache_read_failures"));
+        totals.trace.pass = static_cast<int64_t>(num("pass"));
         return;
     }
     if (schema == "ifprob.ingest_bench.v1") {
@@ -510,6 +606,7 @@ renderJsonReport(const std::vector<std::string> &files,
     if (totals.trace.records > 0) {
         obs::JsonObject tb;
         tb.field("records", totals.trace.records)
+            .field("version", totals.trace.version)
             .field("speedup_cold", totals.trace.speedup_cold)
             .field("speedup_warm", totals.trace.speedup_warm)
             .field("speedup_hot", totals.trace.speedup_hot)
@@ -523,6 +620,32 @@ renderJsonReport(const std::vector<std::string> &files,
             .field("trace_cache_misses", totals.trace.cache_misses)
             .field("trace_cache_read_failures",
                    totals.trace.cache_read_failures);
+        if (totals.trace.version >= 2) {
+            tb.field("batch", totals.trace.batch)
+                .field("speedup_hot_counting",
+                       totals.trace.speedup_hot_counting)
+                .field("counting_live_micros",
+                       totals.trace.counting_live_micros)
+                .field("counting_hot_micros",
+                       totals.trace.counting_hot_micros)
+                .field("cold_decode_micros",
+                       totals.trace.cold_decode_micros)
+                .field("cold_dispatch_micros",
+                       totals.trace.cold_dispatch_micros)
+                .field("warm_decode_micros",
+                       totals.trace.warm_decode_micros)
+                .field("warm_dispatch_micros",
+                       totals.trace.warm_dispatch_micros)
+                .field("hot_decode_micros", totals.trace.hot_decode_micros)
+                .field("hot_dispatch_micros",
+                       totals.trace.hot_dispatch_micros)
+                .field("counting_decode_micros",
+                       totals.trace.counting_decode_micros)
+                .field("counting_dispatch_micros",
+                       totals.trace.counting_dispatch_micros)
+                .field("replay_blocks", totals.trace.replay_blocks)
+                .field("pass", totals.trace.pass);
+        }
         report.fieldRaw("trace_bench", tb.str());
     }
     if (totals.ingest.records > 0) {
@@ -651,7 +774,7 @@ main(int argc, char **argv)
                         row.instr_per_mispredict, row.stable_branch_pct,
                         row.full_coverage_pct);
     }
-    if (totals.trace.records > 0)
+    if (totals.trace.records > 0) {
         std::printf("trace bench: live %.1fms, cold %.1fms (%.2fx), "
                     "warm %.1fms (%.2fx), hot %.1fms (%.2fx); "
                     "%s events in %s trace bytes\n",
@@ -664,6 +787,23 @@ main(int argc, char **argv)
                     totals.trace.speedup_hot,
                     withCommas(totals.trace.events_total).c_str(),
                     withCommas(totals.trace.trace_bytes_total).c_str());
+        if (totals.trace.version >= 2)
+            std::printf("  counting: live %.1fms, hot %.1fms (%.2fx), "
+                        "hot decode %.1fms + dispatch %.1fms, "
+                        "%s blocks, batch=%lld: %s\n",
+                        static_cast<double>(
+                            totals.trace.counting_live_micros) / 1e3,
+                        static_cast<double>(
+                            totals.trace.counting_hot_micros) / 1e3,
+                        totals.trace.speedup_hot_counting,
+                        static_cast<double>(
+                            totals.trace.counting_decode_micros) / 1e3,
+                        static_cast<double>(
+                            totals.trace.counting_dispatch_micros) / 1e3,
+                        withCommas(totals.trace.replay_blocks).c_str(),
+                        static_cast<long long>(totals.trace.batch),
+                        totals.trace.pass ? "PASS" : "FAIL");
+    }
 
     if (totals.ingest.records > 0)
         std::printf("ingest bench: %s events in %s batches, %s "
