@@ -196,9 +196,12 @@ bestOfMicros(Prepare &&prepare, Body &&body,
  * `--min-trace-vs-fast=X` (micro_vm only: the trace tier's bar against
  * the fast engine on the branchy kernels; 0 disables),
  * `--min-hot-speedup=X` (micro_trace only: the bar for hot replay vs
- * live on the counting-observer path; 0 disables), and `--out=PATH`
- * (where the JSON record goes). Unrecognized arguments land in
- * `passthrough` (argv[0] first) for the framework behind.
+ * live on the counting-observer path; 0 disables),
+ * `--min-zoo-speedup=X` (predictors only: the bar for the batched zoo
+ * fan-out vs the same roster as scalar per-event observers; 0
+ * disables), and `--out=PATH` (where the JSON record goes).
+ * Unrecognized arguments land in `passthrough` (argv[0] first) for the
+ * framework behind.
  */
 struct AbFlags
 {
@@ -206,6 +209,7 @@ struct AbFlags
     double min_speedup = 1.0;
     double min_trace_vs_fast = 0.0;
     double min_hot_speedup = 0.0;
+    double min_zoo_speedup = 0.0;
     std::string out_path;
     std::vector<char *> passthrough;
 };
@@ -228,6 +232,8 @@ parseAbFlags(int argc, char **argv, const char *default_out)
             flags.min_trace_vs_fast = std::atof(argv[i] + 20);
         } else if (std::strncmp(argv[i], "--min-hot-speedup=", 18) == 0) {
             flags.min_hot_speedup = std::atof(argv[i] + 18);
+        } else if (std::strncmp(argv[i], "--min-zoo-speedup=", 18) == 0) {
+            flags.min_zoo_speedup = std::atof(argv[i] + 18);
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
             flags.out_path = argv[i] + 6;
         } else {

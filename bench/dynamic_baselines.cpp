@@ -33,7 +33,10 @@ main(int argc, char **argv)
     bench::initJobs(argc, argv);
     bench::heading("Dynamic baselines (1-bit / 2-bit)",
                    "Smith 81 / Lee & Smith 84 cross-check",
-                   "Percent of conditional branches correctly predicted. "
+                   "Percent of conditional branches correctly predicted, "
+                   "plus the paper's\ninstructions-per-mispredict (i/mp) "
+                   "for the 2-bit hardware scheme and the\nstatic "
+                   "self-profile — the same units as Figures 1-3. "
                    "Expected shape:\nFORTRAN/FP programs 95-100%, "
                    "C/integer programs 80-95%; static profile\n"
                    "self-prediction is competitive with the 2-bit "
@@ -41,7 +44,8 @@ main(int argc, char **argv)
     harness::Runner runner;
     metrics::TextTable table;
     table.setHeader({"program", "dataset", "1-bit", "2-bit",
-                     "gshare-4k", "static self", "static others"});
+                     "gshare-4k", "static self", "static others",
+                     "2-bit i/mp", "self i/mp"});
     for (const auto &w : workloads::all()) {
         const auto &d = w.datasets.front();
         const isa::Program &prog = runner.program(w.name);
@@ -68,7 +72,8 @@ main(int argc, char **argv)
         const auto &stats = runner.stats(w.name, d.name);
         predict::ProfilePredictor self(
             harness::profileOf(runner, w.name, d.name));
-        double self_pct = predict::evaluate(stats, self).percentCorrect();
+        const auto self_quality = predict::evaluate(stats, self);
+        double self_pct = self_quality.percentCorrect();
         // A single-dataset workload has no "other" runs to merge; the
         // cell is empty rather than silently repeating self_pct.
         std::string others_cell = "—";
@@ -84,11 +89,23 @@ main(int argc, char **argv)
                 "%.1f%%",
                 predict::evaluate(stats, other_pred).percentCorrect());
         }
+        // The paper's figure of merit: executed instructions between
+        // mispredicted branches (no mispredicts at all renders as an
+        // empty cell rather than a made-up number).
+        auto instrPerMispredict = [&](int64_t mispredicts) -> std::string {
+            if (mispredicts <= 0)
+                return "—";
+            return bench::perBreak(
+                static_cast<double>(stats.instructions) /
+                static_cast<double>(mispredicts));
+        };
         table.addRow({w.name, d.name,
                       strPrintf("%.1f%%", one_bit.percentCorrect()),
                       strPrintf("%.1f%%", two_bit.percentCorrect()),
                       strPrintf("%.1f%%", gshare.percentCorrect()),
-                      strPrintf("%.1f%%", self_pct), others_cell});
+                      strPrintf("%.1f%%", self_pct), others_cell,
+                      instrPerMispredict(two_bit.mispredicted()),
+                      instrPerMispredict(self_quality.mispredicted)});
     }
     std::printf("%s\n", table.render().c_str());
     bench::footer();

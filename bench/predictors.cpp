@@ -1,0 +1,334 @@
+/**
+ * @file
+ * The predictor-zoo tournament (docs/predictors.md, ROADMAP item 1):
+ * every scheme in predict/zoo — the paper's 1992 profile/static
+ * predictors and the dynamic lineage that followed (Smith counters,
+ * two-level, gshare, perceptron, TAGE) — scored on the same recorded
+ * traces and ranked on the paper's own units: mispredict rate and
+ * instructions per mispredict.
+ *
+ * Default mode replays the full (workload, dataset) matrix, each trace
+ * decoded exactly once and fanned out to the whole roster, parallel
+ * across cells on the exec pool. The table is deterministic (counts
+ * only), so CI byte-diffs it at jobs=1 vs jobs=4 and with
+ * IFPROB_TRACE_BATCH=off.
+ *
+ * `predictors --ab` is the perf smoke: it times the batched zoo
+ * fan-out (one decode, N onBatch kernels per block) against the same
+ * roster run as scalar per-event observers (IFPROB_TRACE_BATCH=off),
+ * plus a standalone replay per predictor for ns/event, and writes
+ * BENCH_predictors.json ("ifprob.predictors.v1" JSONL: one record per
+ * predictor plus a rollup). Exits nonzero when the batched/scalar
+ * ratio falls below --min-zoo-speedup (0 disables).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/pool.h"
+#include "harness/runner.h"
+#include "metrics/report.h"
+#include "obs/json.h"
+#include "obs/run_report.h"
+#include "predict/zoo/scheduler.h"
+#include "predict/zoo/zoo.h"
+#include "support/str.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace ifprob;
+
+/** Set-and-restore guard for one environment variable. */
+struct EnvGuard
+{
+    explicit EnvGuard(const char *name) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old) {
+            had_ = true;
+            old_ = old;
+        }
+    }
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+/** Roster indexes ranked by ascending mispredicts (every member scores
+ *  the same branch stream, so this is accuracy order); roster order
+ *  breaks ties deterministically. */
+std::vector<size_t>
+rankByMispredicts(const std::vector<predict::zoo::PredictorScore> &scores)
+{
+    std::vector<size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return scores[a].mispredicts < scores[b].mispredicts;
+    });
+    return order;
+}
+
+std::string
+instrPerMispredictCell(const predict::zoo::PredictorScore &score,
+                       int64_t instructions)
+{
+    if (score.mispredicts <= 0)
+        return "—";
+    return bench::perBreak(score.instructionsPerMispredict(instructions));
+}
+
+/** One fan-out replay of @p trace through fresh roster instances;
+ *  returns the predictors so callers can harvest scores. */
+std::vector<std::unique_ptr<predict::DynamicPredictor>>
+replayRoster(const harness::Runner &, const trace::Trace &trace,
+             const predict::zoo::ZooContext &context,
+             const std::vector<predict::zoo::ZooSpec> &zoo)
+{
+    std::vector<std::unique_ptr<predict::DynamicPredictor>> predictors;
+    std::vector<vm::BranchObserver *> observers;
+    predictors.reserve(zoo.size());
+    observers.reserve(zoo.size());
+    for (const auto &spec : zoo) {
+        predictors.push_back(spec.make(context));
+        observers.push_back(predictors.back().get());
+    }
+    trace::replay(trace, observers);
+    return predictors;
+}
+
+int
+runTournamentMode()
+{
+    bench::heading(
+        "Predictor-zoo tournament",
+        "profile-guided static prediction vs the dynamic lineage",
+        "Every zoo scheme over the full (workload, dataset) matrix — "
+        "one decode per trace,\nN predictors per block — ranked on "
+        "aggregate mispredict rate and the paper's\ninstructions-per-"
+        "mispredict (i/mp). The 1992 static schemes compete in the "
+        "same\ntable as the hardware lineage that followed them.");
+
+    harness::Runner runner;
+    const auto cells = predict::zoo::allCells();
+    const auto &zoo = predict::zoo::defaultZoo();
+    const auto results = predict::zoo::runTournament(runner, cells, zoo);
+
+    int64_t instructions = 0;
+    const auto scores = predict::zoo::aggregate(results, zoo, &instructions);
+
+    metrics::TextTable table;
+    table.setHeader({"rank", "predictor", "family", "kind", "mispredict",
+                     "i/mp", "mispredicts"});
+    const auto order = rankByMispredicts(scores);
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+        const auto &score = scores[order[rank]];
+        table.addRow({strPrintf("%zu", rank + 1), score.name,
+                      score.family, score.dynamic ? "dynamic" : "static",
+                      strPrintf("%.2f%%", score.mispredictPercent()),
+                      instrPerMispredictCell(score, instructions),
+                      withCommas(score.mispredicts)});
+    }
+    bench::emitTable("predictors", table);
+    std::printf("  %zu cells, %s instructions per predictor\n",
+                cells.size(), withCommas(instructions).c_str());
+    bench::footer();
+    return 0;
+}
+
+int
+runAbMode(double min_zoo_speedup, const std::string &out_path)
+{
+    const int kRepetitions = bench::kBestOfRepetitions;
+    const int kStandaloneReps = 3;
+    const auto &zoo = predict::zoo::defaultZoo();
+
+    std::printf("predictors --ab: batched zoo fan-out vs scalar "
+                "per-event observers (min_zoo_speedup=%.2f, %zu "
+                "predictors)\n\n",
+                min_zoo_speedup, zoo.size());
+
+    harness::Runner runner;
+    const auto cells = predict::zoo::primaryCells();
+
+    // Warm every trace (record or disk load) before any timing: both
+    // phases replay the same memoized streams.
+    exec::parallelFor(exec::globalPool(), cells.size(), [&](size_t i) {
+        runner.traceOf(cells[i].workload, cells[i].dataset);
+    });
+
+    // Untimed accuracy pass: the tournament metrics the JSON reports.
+    const auto results = predict::zoo::runTournament(runner, cells, zoo);
+    int64_t instructions = 0;
+    const auto scores = predict::zoo::aggregate(results, zoo, &instructions);
+    int64_t events_total = 0;
+    for (const auto &cell : results)
+        events_total += cell.branch_events;
+
+    auto sweep = [&] {
+        for (const auto &cell : cells) {
+            const trace::Trace &trace =
+                runner.traceOf(cell.workload, cell.dataset);
+            const predict::zoo::ZooContext context{
+                runner.program(cell.workload), trace.stats,
+                trace.fingerprint, cell.workload};
+            replayRoster(runner, trace, context, zoo);
+        }
+    };
+
+    EnvGuard batch_guard("IFPROB_TRACE_BATCH");
+
+    // A: one decode per block, N batch kernels (the zoo scheduler path).
+    ::setenv("IFPROB_TRACE_BATCH", "1", 1);
+    const int64_t batched_best =
+        bench::bestOfMicros([](int) {}, sweep, kRepetitions);
+
+    // B: the same roster as scalar observers — every event delivered
+    // through N virtual onBranch calls (predict + update per event).
+    ::setenv("IFPROB_TRACE_BATCH", "off", 1);
+    const int64_t scalar_best =
+        bench::bestOfMicros([](int) {}, sweep, kRepetitions);
+
+    // Standalone ns/event per predictor, batched (decode included).
+    ::setenv("IFPROB_TRACE_BATCH", "1", 1);
+    std::vector<int64_t> standalone_micros(zoo.size(), 0);
+    for (size_t p = 0; p < zoo.size(); ++p) {
+        standalone_micros[p] = bench::bestOfMicros(
+            [](int) {},
+            [&] {
+                for (const auto &cell : cells) {
+                    const trace::Trace &trace =
+                        runner.traceOf(cell.workload, cell.dataset);
+                    const predict::zoo::ZooContext context{
+                        runner.program(cell.workload), trace.stats,
+                        trace.fingerprint, cell.workload};
+                    auto predictor = zoo[p].make(context);
+                    trace::replay(trace, *predictor);
+                }
+            },
+            kStandaloneReps);
+    }
+
+    const double zoo_speedup =
+        batched_best > 0 ? static_cast<double>(scalar_best) /
+                               static_cast<double>(batched_best)
+                         : 0.0;
+    const bool ok =
+        min_zoo_speedup <= 0.0 || zoo_speedup >= min_zoo_speedup;
+
+    auto nsPerEvent = [&](int64_t micros) {
+        return events_total > 0 ? 1000.0 * static_cast<double>(micros) /
+                                      static_cast<double>(events_total)
+                                : 0.0;
+    };
+
+    std::printf("  %zu cells, %s branch events/predictor, %zu-way "
+                "fan-out\n",
+                cells.size(), withCommas(events_total).c_str(),
+                zoo.size());
+    std::printf("  batched zoo  %8.1f ms   %6.2f ns/event/predictor  "
+                "(one decode, N kernels, best of %d)\n",
+                static_cast<double>(batched_best) / 1e3,
+                nsPerEvent(batched_best) /
+                    static_cast<double>(zoo.size()),
+                kRepetitions);
+    std::printf("  scalar zoo   %8.1f ms   %6.2f ns/event/predictor  "
+                "(N virtual calls/event, best of %d)\n",
+                static_cast<double>(scalar_best) / 1e3,
+                nsPerEvent(scalar_best) / static_cast<double>(zoo.size()),
+                kRepetitions);
+    std::printf("  zoo speedup  %.2fx\n\n", zoo_speedup);
+
+    std::printf("  %-18s %-12s %10s %12s %14s\n", "predictor", "family",
+                "mispredict", "i/mp", "ns/event");
+    obs::enableRunReportsDefault("bench/out");
+    auto &sink = obs::ReportSink::global();
+    std::string jsonl;
+    for (size_t rank_index :
+         rankByMispredicts(scores)) {
+        const auto &score = scores[rank_index];
+        obs::JsonObject record;
+        record.field("schema", "ifprob.predictors.v1")
+            .field("predictor", score.name)
+            .field("family", score.family)
+            .field("kind", score.dynamic ? "dynamic" : "static")
+            .field("branches", score.branches)
+            .field("mispredicts", score.mispredicts)
+            .field("mispredict_pct", score.mispredictPercent())
+            .field("instr_per_mispredict",
+                   score.instructionsPerMispredict(instructions))
+            .field("ns_per_event",
+                   nsPerEvent(standalone_micros[rank_index]));
+        jsonl += record.str();
+        jsonl += "\n";
+        if (sink.enabled())
+            sink.writeLine(record.str());
+        std::printf("  %-18s %-12s %9.2f%% %12s %11.2f\n",
+                    score.name.c_str(), score.family.c_str(),
+                    score.mispredictPercent(),
+                    instrPerMispredictCell(score, instructions).c_str(),
+                    nsPerEvent(standalone_micros[rank_index]));
+    }
+
+    obs::JsonObject rollup;
+    rollup.field("schema", "ifprob.predictors.v1")
+        .field("predictors", static_cast<int64_t>(zoo.size()))
+        .field("cells", static_cast<int64_t>(cells.size()))
+        .field("jobs", int64_t{exec::plannedJobs()})
+        .field("repetitions", int64_t{kRepetitions})
+        .field("events_total", events_total)
+        .field("instructions", instructions)
+        .field("batched_micros", batched_best)
+        .field("scalar_micros", scalar_best)
+        .field("zoo_speedup", zoo_speedup)
+        .field("min_zoo_speedup", min_zoo_speedup)
+        .field("pass", int64_t{ok ? 1 : 0});
+    jsonl += rollup.str();
+    jsonl += "\n";
+    if (sink.enabled())
+        sink.writeLine(rollup.str());
+
+    // BENCH_predictors.json is JSONL: per-predictor records plus the
+    // rollup, in rank order (emitBenchRecord writes single-line files,
+    // so this bench writes its own).
+    {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << jsonl;
+    }
+    std::printf("\n  wrote %s\n", out_path.c_str());
+
+    std::printf("  zoo speedup %.2fx (bar %.2fx): %s\n", zoo_speedup,
+                min_zoo_speedup, ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ifprob::bench::AbFlags flags =
+        ifprob::bench::parseAbFlags(argc, argv, "BENCH_predictors.json");
+    ifprob::bench::initJobs(argc, argv);
+    if (flags.ab)
+        return runAbMode(flags.min_zoo_speedup, flags.out_path);
+    return runTournamentMode();
+}

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "predict/sat2.h"
+
 namespace ifprob::characterize {
 
 namespace {
@@ -134,8 +136,8 @@ struct FingerprintBuilder::SiteState
 
     SiteState()
     {
-        local_table.fill(1);
-        global_table.fill(1);
+        local_table.fill(predict::kSat2WeaklyNotTaken);
+        global_table.fill(predict::kSat2WeaklyNotTaken);
     }
 };
 
@@ -151,8 +153,9 @@ FingerprintBuilder::~FingerprintBuilder() = default;
 /**
  * Per-event accumulation, shared by the scalar and batch entry points
  * so the two paths cannot diverge. @p tk is 0/1. The history probes
- * predict *before* seeing the outcome; the table updates are the
- * branch-free form of the 2-bit saturating if-chain.
+ * predict *before* seeing the outcome and advance through the shared
+ * predict::sat2 transition (the one 2-bit saturating-counter
+ * implementation the predictor zoo also runs on).
  */
 inline void
 FingerprintBuilder::step(SiteState &s, uint32_t tk)
@@ -166,13 +169,11 @@ FingerprintBuilder::step(SiteState &s, uint32_t tk)
         uint8_t &local = s.local_table[off + (s.local_history & mask)];
         uint8_t &global = s.global_table[off + (global_history_ & mask)];
         fp.local_correct[di] +=
-            (static_cast<uint32_t>(local >= 2) == tk);
+            (static_cast<uint32_t>(predict::sat2Taken(local)) == tk);
         fp.global_correct[di] +=
-            (static_cast<uint32_t>(global >= 2) == tk);
-        local = tk ? static_cast<uint8_t>(local + (local < 3))
-                   : static_cast<uint8_t>(local - (local > 0));
-        global = tk ? static_cast<uint8_t>(global + (global < 3))
-                    : static_cast<uint8_t>(global - (global > 0));
+            (static_cast<uint32_t>(predict::sat2Taken(global)) == tk);
+        local = predict::sat2Next(local, tk);
+        global = predict::sat2Next(global, tk);
     }
 
     ++fp.executed;

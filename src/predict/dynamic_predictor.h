@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "predict/sat2.h"
 #include "predict/static_predictor.h"
 #include "vm/observer.h"
 
@@ -98,8 +99,16 @@ class OneBitPredictor : public DynamicPredictor
                 continue;
             const uint8_t tk = block.taken[i];
             uint8_t &slot = last[static_cast<uint32_t>(site)];
-            correct += (slot == tk);
-            slot = tk;
+            // Store only on direction change: a repeating loop branch
+            // re-reads its own byte every iteration, and skipping the
+            // steady-state store keeps that load off the
+            // store-to-load forwarding path (same trick as
+            // zoo::BimodalPredictor::stepPacked).
+            if (slot == tk) {
+                ++correct;
+            } else {
+                slot = tk;
+            }
         }
         tally(block.branch_count, correct);
     }
@@ -121,11 +130,14 @@ class OneBitPredictor : public DynamicPredictor
     std::vector<uint8_t> last_;
 };
 
-/** 2-bit saturating-counter predictor (counters start weakly not-taken). */
+/** 2-bit saturating-counter predictor (counters start weakly not-taken;
+ *  the transition function lives in predict/sat2.h, shared with every
+ *  other counter-based scheme in the tree). */
 class TwoBitPredictor : public DynamicPredictor
 {
   public:
-    explicit TwoBitPredictor(size_t num_sites, uint8_t initial = 1)
+    explicit TwoBitPredictor(size_t num_sites,
+                             uint8_t initial = kSat2WeaklyNotTaken)
         : counters_(num_sites, initial)
     {
     }
@@ -142,10 +154,12 @@ class TwoBitPredictor : public DynamicPredictor
                 continue;
             const uint8_t tk = block.taken[i];
             uint8_t &c = counters[static_cast<uint32_t>(site)];
-            correct += ((c >= 2) == (tk != 0));
-            // Branch-free saturate, identical to update()'s if-chain.
-            c = tk ? static_cast<uint8_t>(c + (c < 3))
-                   : static_cast<uint8_t>(c - (c > 0));
+            const uint8_t cur = c;
+            correct += (sat2Taken(cur) == (tk != 0));
+            const uint8_t next = sat2Next(cur, tk);
+            // Saturated-counter skip: see zoo::BimodalPredictor.
+            if (cur != next)
+                c = next;
         }
         tally(block.branch_count, correct);
     }
@@ -154,20 +168,14 @@ class TwoBitPredictor : public DynamicPredictor
     bool
     predict(int site_id) const override
     {
-        return counters_[static_cast<size_t>(site_id)] >= 2;
+        return sat2Taken(counters_[static_cast<size_t>(site_id)]);
     }
 
     void
     update(int site_id, bool taken) override
     {
         uint8_t &c = counters_[static_cast<size_t>(site_id)];
-        if (taken) {
-            if (c < 3)
-                ++c;
-        } else {
-            if (c > 0)
-                --c;
-        }
+        c = sat2Next(c, taken ? 1u : 0u);
     }
 
   private:
@@ -190,7 +198,7 @@ class GSharePredictor : public DynamicPredictor
           history_mask_((history_bits >= 31)
                             ? 0x7fffffffu
                             : (1u << history_bits) - 1),
-          counters_(1u << log2_entries, 1)
+          counters_(1u << log2_entries, kSat2WeaklyNotTaken)
     {
     }
 
@@ -209,9 +217,11 @@ class GSharePredictor : public DynamicPredictor
             const size_t idx =
                 (static_cast<uint32_t>(site) ^ history) & mask_;
             const uint8_t c = counters[idx];
-            correct += ((c >= 2) == (tk != 0));
-            counters[idx] = tk ? static_cast<uint8_t>(c + (c < 3))
-                               : static_cast<uint8_t>(c - (c > 0));
+            correct += (sat2Taken(c) == (tk != 0));
+            const uint8_t next = sat2Next(c, tk);
+            // Saturated-counter skip: see zoo::BimodalPredictor.
+            if (c != next)
+                counters[idx] = next;
             history = ((history << 1) | tk) & history_mask_;
         }
         history_ = history;
@@ -222,20 +232,14 @@ class GSharePredictor : public DynamicPredictor
     bool
     predict(int site_id) const override
     {
-        return counters_[index(site_id)] >= 2;
+        return sat2Taken(counters_[index(site_id)]);
     }
 
     void
     update(int site_id, bool taken) override
     {
         uint8_t &c = counters_[index(site_id)];
-        if (taken) {
-            if (c < 3)
-                ++c;
-        } else {
-            if (c > 0)
-                --c;
-        }
+        c = sat2Next(c, taken ? 1u : 0u);
         history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
     }
 

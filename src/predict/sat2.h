@@ -1,0 +1,94 @@
+#ifndef IFPROB_PREDICT_SAT2_H
+#define IFPROB_PREDICT_SAT2_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ifprob::predict {
+
+/**
+ * The 2-bit saturating direction counter — the one primitive every
+ * counter-based predictor in this repo shares ([Smith 81] strategy 7,
+ * the paper's dynamic baseline, bimodal/gshare/TAGE base tables, and the
+ * characterize plane's local/global history probes).
+ *
+ * Conventions, fixed here so independent implementations cannot drift:
+ *
+ *  - state 0..3; predict taken iff state >= 2 (sat2Taken),
+ *  - fresh counters start *weakly not-taken* (kSat2WeaklyNotTaken == 1),
+ *  - updates saturate: +1 toward 3 on taken, -1 toward 0 on not-taken,
+ *    in the branch-free form `c + (c < 3)` / `c - (c > 0)` (sat2Next),
+ *  - scoring is predict-before-update: a consumer charges the
+ *    prediction from the *current* state, then advances it.
+ *
+ * Everything is constexpr-inlinable so batch kernels pay no call.
+ */
+
+/** Initial state of a fresh counter: weakly not-taken. */
+inline constexpr uint8_t kSat2WeaklyNotTaken = 1;
+
+/** Direction the counter predicts from its current state. */
+constexpr bool
+sat2Taken(uint8_t state)
+{
+    return state >= 2;
+}
+
+/** Saturating advance: @p tk must be 0 or 1. Branch-free and identical
+ *  to the if-chain (`if (tk) { if (c < 3) ++c; } else { if (c > 0) --c; }`). */
+constexpr uint8_t
+sat2Next(uint8_t state, uint32_t tk)
+{
+    return tk ? static_cast<uint8_t>(state + (state < 3))
+              : static_cast<uint8_t>(state - (state > 0));
+}
+
+/** One 64-bit word of 32 packed counters, all weakly not-taken. */
+inline constexpr uint64_t kSat2PackedInitWord = 0x5555555555555555ull;
+
+/**
+ * A flat table of 2-bit counters packed 32 per 64-bit word — the layout
+ * the zoo's finite-table batch kernels run on. A 4096-entry bimodal
+ * table is 1 KiB (vs 4 KiB byte-per-counter), so several predictors'
+ * working sets fit in L1 side by side during a fan-out replay.
+ *
+ * The accessors are the scalar reference; batch kernels inline the same
+ * shift arithmetic on words() directly (and stay bit-identical because
+ * both express the one sat2Next transition function).
+ */
+class PackedSat2Table
+{
+  public:
+    explicit PackedSat2Table(size_t entries)
+        : words_((entries + 31) / 32, kSat2PackedInitWord)
+    {
+    }
+
+    uint8_t
+    get(size_t index) const
+    {
+        return static_cast<uint8_t>(
+            (words_[index >> 5] >> ((index & 31) * 2)) & 3);
+    }
+
+    void
+    set(size_t index, uint8_t state)
+    {
+        uint64_t &word = words_[index >> 5];
+        const unsigned shift = static_cast<unsigned>((index & 31) * 2);
+        word = (word & ~(uint64_t{3} << shift)) |
+               (static_cast<uint64_t>(state) << shift);
+    }
+
+    /** Raw packed words for batch kernels. */
+    uint64_t *words() { return words_.data(); }
+    const uint64_t *words() const { return words_.data(); }
+
+  private:
+    std::vector<uint64_t> words_;
+};
+
+} // namespace ifprob::predict
+
+#endif // IFPROB_PREDICT_SAT2_H

@@ -1,0 +1,102 @@
+#ifndef IFPROB_PREDICT_ZOO_BIMODAL_H
+#define IFPROB_PREDICT_ZOO_BIMODAL_H
+
+#include <cstdint>
+
+#include "predict/dynamic_predictor.h"
+#include "predict/sat2.h"
+#include "vm/observer.h"
+
+namespace ifprob::predict::zoo {
+
+/**
+ * Finite-table bimodal predictor [Smith 81]: 2-bit saturating counters
+ * indexed by the low bits of the static site id, packed 32 counters per
+ * 64-bit word (predict/sat2.h). Unlike TwoBitPredictor's idealized
+ * per-site table, a small bimodal table aliases — the zoo runs two
+ * sizes so the tournament shows the aliasing penalty directly.
+ *
+ * The batch kernel inlines the packed read-modify-write: extract the
+ * 2-bit field, score predict-before-update, and XOR the changed bits
+ * back — branch-free except for the break-marker skip, which the dense
+ * (no-break) block path drops entirely.
+ */
+class BimodalPredictor : public DynamicPredictor
+{
+  public:
+    /** @p log2_entries in [5, 30] (at least one packed word). */
+    explicit BimodalPredictor(int log2_entries)
+        : mask_((1u << log2_entries) - 1),
+          table_(size_t{1} << log2_entries)
+    {
+    }
+
+    void
+    onBatch(const vm::EventBlock &block) override
+    {
+        uint64_t *words = table_.words();
+        int64_t correct = 0;
+        const int n = block.size;
+        if (block.branch_count == n) {
+            // Dense block: no break markers, no per-event skip test.
+            for (int i = 0; i < n; ++i)
+                correct += stepPacked(words, block.site_id[i],
+                                      block.taken[i]);
+        } else {
+            for (int i = 0; i < n; ++i) {
+                if (block.site_id[i] < 0)
+                    continue;
+                correct += stepPacked(words, block.site_id[i],
+                                      block.taken[i]);
+            }
+        }
+        tally(block.branch_count, correct);
+    }
+
+  protected:
+    bool
+    predict(int site_id) const override
+    {
+        return sat2Taken(table_.get(index(site_id)));
+    }
+
+    void
+    update(int site_id, bool taken) override
+    {
+        const size_t idx = index(site_id);
+        table_.set(idx, sat2Next(table_.get(idx), taken ? 1u : 0u));
+    }
+
+  private:
+    size_t
+    index(int site_id) const
+    {
+        return static_cast<uint32_t>(site_id) & mask_;
+    }
+
+    /** One packed predict-then-update; returns 1 when correct. The
+     *  store is skipped when the counter is already saturated in the
+     *  observed direction — the common steady state — because
+     *  neighbouring sites share a packed word, and an unconditional
+     *  read-modify-write chains consecutive loop branches through
+     *  store-to-load forwarding. */
+    int64_t
+    stepPacked(uint64_t *words, int32_t site, uint32_t tk) const
+    {
+        const uint32_t idx = static_cast<uint32_t>(site) & mask_;
+        uint64_t &word = words[idx >> 5];
+        const unsigned shift = (idx & 31) * 2;
+        const uint32_t c = static_cast<uint32_t>(word >> shift) & 3;
+        const uint32_t next = tk ? c + (c < 3) : c - (c > 0);
+        if (c != next)
+            word ^= static_cast<uint64_t>(c ^ next) << shift;
+        return (c >= 2) == tk;
+    }
+
+    uint32_t mask_;
+    PackedSat2Table table_;
+};
+
+} // namespace ifprob::predict::zoo
+
+#endif // IFPROB_PREDICT_ZOO_BIMODAL_H

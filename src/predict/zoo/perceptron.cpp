@@ -1,0 +1,353 @@
+#include "predict/zoo/perceptron.h"
+
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace ifprob::predict::zoo {
+
+namespace {
+
+/** Saturate into int8 range; weights must not wrap. */
+inline int8_t
+clampWeight(int v)
+{
+    if (v > 127)
+        return 127;
+    if (v < -128)
+        return -128;
+    return static_cast<int8_t>(v);
+}
+
+} // namespace
+
+PerceptronPredictor::PerceptronPredictor(int log2_rows, int history_bits)
+    : history_bits_(history_bits),
+      row_mask_((1u << log2_rows) - 1),
+      history_mask_((uint64_t{1} << history_bits) - 1),
+      theta_(static_cast<int32_t>(1.93 * history_bits + 14.0)),
+      weights_((size_t{1} << log2_rows) *
+                   (static_cast<size_t>(history_bits) + 1),
+               0)
+{
+}
+
+int32_t
+PerceptronPredictor::dot(const int8_t *row, uint64_t history) const
+{
+    int32_t sum = row[0]; // bias weight
+    for (int b = 0; b < history_bits_; ++b) {
+        const int32_t w = row[b + 1];
+        // +w when history bit b was taken, -w when not. m is 0 when
+        // taken and -1 when not, so (w ^ m) - m is the branch-free
+        // two's-complement sign select — no per-bit branch for the
+        // compiler to keep, and the reduction vectorizes.
+        const int32_t m =
+            static_cast<int32_t>((history >> b) & 1) - 1;
+        sum += (w ^ m) - m;
+    }
+    return sum;
+}
+
+void
+PerceptronPredictor::train(int8_t *row, uint64_t history, uint32_t tk)
+{
+    const int dir = tk ? 1 : -1;
+    row[0] = clampWeight(row[0] + dir);
+    for (int b = 0; b < history_bits_; ++b) {
+        // +1 when the history bit agrees with the outcome, -1 when it
+        // disagrees, as a branch-free expression on the XOR of the two.
+        const int delta =
+            1 - 2 * static_cast<int>(((history >> b) & 1) ^ tk);
+        row[b + 1] = clampWeight(row[b + 1] + delta);
+    }
+    ++trainings_;
+}
+
+bool
+PerceptronPredictor::predict(int site_id) const
+{
+    const size_t row = (static_cast<uint32_t>(site_id) & row_mask_) *
+                       (static_cast<size_t>(history_bits_) + 1);
+    return dot(&weights_[row], history_) >= 0;
+}
+
+void
+PerceptronPredictor::update(int site_id, bool taken)
+{
+    const uint32_t tk = taken ? 1u : 0u;
+    const size_t row = (static_cast<uint32_t>(site_id) & row_mask_) *
+                       (static_cast<size_t>(history_bits_) + 1);
+    const int32_t sum = dot(&weights_[row], history_);
+    const bool pred = sum >= 0;
+    if (pred != taken || (sum < 0 ? -sum : sum) <= theta_)
+        train(&weights_[row], history_, tk);
+    history_ = ((history_ << 1) | tk) & history_mask_;
+}
+
+namespace {
+
+/**
+ * The batched dot's sign state: the newest 16 history bits mirrored
+ * as byte lanes (0x00 = taken, 0xff = not taken, history bit 0 in
+ * lane 0) — the sign each weight contributes with, in the layout the
+ * wide dot consumes. Two implementations behind one tiny interface,
+ * both computing the scalar dot() bit for bit:
+ *
+ *  - SSE2 (x86-64 baseline): select (w ^ 0x80) into taken lanes and
+ *    the neutral bias byte 0x80 into the rest, psadbw each selection
+ *    against zero, subtract — the per-half +8*128 biases cancel,
+ *    leaving the exact signed dot with no multiplies and no int8
+ *    wrap cases.
+ *  - portable SWAR on two uint64 halves: lanewise sign-select and a
+ *    multiply-fold reduction, with an explicit correction for the one
+ *    unrepresentable lane value (negating a saturated -128 weight
+ *    should give +128; the byte lane wraps back to -128).
+ */
+#if defined(__SSE2__)
+
+using DotMask = __m128i;
+
+inline DotMask
+maskFromHalves(uint64_t m_lo, uint64_t m_hi)
+{
+    return _mm_set_epi64x(static_cast<long long>(m_hi),
+                          static_cast<long long>(m_lo));
+}
+
+/** Exact dot of 16 int8 weights against the sign lanes of @p m. */
+inline int32_t
+dot16(const int8_t *lanes, DotMask m)
+{
+    const __m128i k80 = _mm_set1_epi8(static_cast<char>(0x80));
+    const __m128i w =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(lanes));
+    const __m128i t = _mm_xor_si128(w, k80);
+    const __m128i taken =
+        _mm_or_si128(_mm_andnot_si128(m, t), _mm_and_si128(m, k80));
+    const __m128i not_taken =
+        _mm_or_si128(_mm_and_si128(m, t), _mm_andnot_si128(m, k80));
+    const __m128i d =
+        _mm_sub_epi32(_mm_sad_epu8(taken, _mm_setzero_si128()),
+                      _mm_sad_epu8(not_taken, _mm_setzero_si128()));
+    return _mm_cvtsi128_si32(d) +
+           _mm_cvtsi128_si32(_mm_shuffle_epi32(d, _MM_SHUFFLE(0, 0, 0, 2)));
+}
+
+/** Bit b set iff history bit b was not taken (for the train loop). */
+inline uint32_t
+notTakenBits(DotMask m)
+{
+    return static_cast<uint32_t>(_mm_movemask_epi8(m));
+}
+
+inline DotMask
+advanceMask(DotMask m, uint32_t tk)
+{
+    // New lane 0 byte: 0x00 when taken, 0xff when not — branch-free
+    // off tk - 1.
+    const __m128i newest =
+        _mm_cvtsi32_si128(static_cast<int>(0xffu & (tk - 1u)));
+    return _mm_or_si128(_mm_slli_si128(m, 1), newest);
+}
+
+#else // portable SWAR fallback
+
+/** Sum the eight signed-byte lanes of @p v exactly (SWAR widening:
+ *  bias each lane by +128, pairwise-widen to 16-bit lanes, fold with a
+ *  multiply, un-bias). */
+inline int32_t
+swarSumInt8(uint64_t v)
+{
+    constexpr uint64_t kLo8 = 0x00ff00ff00ff00ffull;
+    const uint64_t biased = v ^ 0x8080808080808080ull;
+    const uint64_t pairs = (biased & kLo8) + ((biased >> 8) & kLo8);
+    const uint32_t total = static_cast<uint32_t>(
+        (pairs * 0x0001000100010001ull) >> 48);
+    return static_cast<int32_t>(total) - 8 * 128;
+}
+
+/** Bytewise (w ^ m) - m where every @p m byte is 0x00 (taken history
+ *  bit: +w) or 0xff (not taken: -w) — the eight-lane version of the
+ *  scalar sign select. Subtracting 0xff is adding 1 mod 256, so the
+ *  borrow-free SWAR add of (m & 0x01..01) suffices. */
+inline uint64_t
+swarSignSelect(uint64_t w, uint64_t m)
+{
+    const uint64_t a = w ^ m;
+    const uint64_t one = m & 0x0101010101010101ull;
+    return ((a & 0x7f7f7f7f7f7f7f7full) + one) ^
+           (a & 0x8080808080808080ull);
+}
+
+/** Exact dot of eight int8 weights against sign-mask bytes. The one
+ *  case the lanewise select cannot represent is w == -128 under
+ *  negation (the true term, +128, wraps back to -128 in int8; the
+ *  scalar dot computes it in int32) — and saturated weights are the
+ *  common case on strongly biased branches, so detect those lanes and
+ *  add the missing 256 per wrap. */
+inline int32_t
+swarDot8(uint64_t w, uint64_t m)
+{
+    constexpr uint64_t k7f = 0x7f7f7f7f7f7f7f7full;
+    constexpr uint64_t k80 = 0x8080808080808080ull;
+    constexpr uint64_t k01 = 0x0101010101010101ull;
+    const uint64_t low7 = w & k7f;
+    // Byte == -128 (0x80): sign bit set, low seven bits zero. The
+    // zero test must not borrow or carry across lanes — low7 + 0x7f
+    // sets a lane's bit 7 iff the lane was nonzero, and stays within
+    // the lane because low7 <= 0x7f. (The usual (v - k01) & ~v detect
+    // is wrong here: a zero lane's borrow can mark the lane above.)
+    const uint64_t zeros = ~(low7 + k7f) & k80;
+    const uint64_t wraps = zeros & w & m;
+    const int32_t wrapped =
+        static_cast<int32_t>(((wraps >> 7) * k01) >> 56);
+    return swarSumInt8(swarSignSelect(w, m)) + (wrapped << 8);
+}
+
+struct DotMask
+{
+    uint64_t lo;
+    uint64_t hi;
+};
+
+inline DotMask
+maskFromHalves(uint64_t m_lo, uint64_t m_hi)
+{
+    return {m_lo, m_hi};
+}
+
+inline int32_t
+dot16(const int8_t *lanes, const DotMask &m)
+{
+    uint64_t w_lo, w_hi;
+    std::memcpy(&w_lo, lanes, sizeof(w_lo));
+    std::memcpy(&w_hi, lanes + 8, sizeof(w_hi));
+    return swarDot8(w_lo, m.lo) + swarDot8(w_hi, m.hi);
+}
+
+inline uint32_t
+notTakenBits(const DotMask &m)
+{
+    // movemask emulation: the lanes are 0x00/0xff, so gather each
+    // half's low lane bits into the top byte with one multiply.
+    constexpr uint64_t kGather = 0x0102040810204080ull;
+    constexpr uint64_t k01 = 0x0101010101010101ull;
+    const uint32_t lo =
+        static_cast<uint32_t>(((m.lo & k01) * kGather) >> 56);
+    const uint32_t hi =
+        static_cast<uint32_t>(((m.hi & k01) * kGather) >> 56);
+    return lo | (hi << 8);
+}
+
+inline DotMask
+advanceMask(const DotMask &m, uint32_t tk)
+{
+    return {(m.lo << 8) | (0xffull & (tk - 1u)),
+            (m.hi << 8) | (m.lo >> 56)};
+}
+
+#endif
+
+} // namespace
+
+template <int H>
+void
+PerceptronPredictor::onBatchFixed(const vm::EventBlock &block)
+{
+    static_assert(H == 16, "SWAR kernel assumes two 8-lane words");
+    constexpr size_t kRowWidth = static_cast<size_t>(H) + 1;
+    int8_t *weights = weights_.data();
+    uint64_t history = history_;
+    int64_t correct = 0;
+    int64_t trainings = 0;
+
+    // Sign-mask mirror of the history register: byte b is 0x00 when
+    // history bit b is set (taken: the dot adds +w) and 0xff when
+    // clear (-w), bit 0 (the newest outcome) in lane 0. Rebuilt from
+    // the history at block entry, shifted one lane per event — so the
+    // per-event dot needs no per-bit extraction at all.
+    uint64_t m_lo = 0;
+    uint64_t m_hi = 0;
+    for (int b = 7; b >= 0; --b) {
+        m_lo = (m_lo << 8) | (((history >> b) & 1) ? 0x00ull : 0xffull);
+        m_hi = (m_hi << 8) |
+               (((history >> (b + 8)) & 1) ? 0x00ull : 0xffull);
+    }
+    DotMask mask = maskFromHalves(m_lo, m_hi);
+
+    const int n = block.size;
+    for (int i = 0; i < n; ++i) {
+        const int32_t site = block.site_id[i];
+        if (site < 0)
+            continue;
+        const uint32_t tk = block.taken[i];
+        int8_t *row =
+            weights + (static_cast<uint32_t>(site) & row_mask_) * kRowWidth;
+        // One probe serves both the score and the training decision —
+        // the scalar path computes the same dot twice (predict, then
+        // update). dot16 is exact integer arithmetic, so the sum
+        // equals dot(row, history) bit for bit (the differential tests
+        // hold batch == scalar).
+        const int32_t sum =
+            static_cast<int32_t>(row[0]) + dot16(row + 1, mask);
+        const uint32_t pred = sum >= 0;
+        correct += (pred == tk);
+        if (pred != tk || (sum < 0 ? -sum : sum) <= theta_) {
+            const int dir = tk ? 1 : -1;
+            row[0] = clampWeight(row[0] + dir);
+            const uint32_t nb = notTakenBits(mask);
+            for (int b = 0; b < H; ++b) {
+                // Mask bit b is set for a not-taken history bit, so
+                // flip it to recover (history >> b) & 1 — identical
+                // deltas to train().
+                const int bit = static_cast<int>(((nb >> b) & 1u) ^ 1u);
+                const int delta = 1 - 2 * (bit ^ static_cast<int>(tk));
+                row[b + 1] = clampWeight(row[b + 1] + delta);
+            }
+            ++trainings;
+        }
+        history = ((history << 1) | tk) & history_mask_;
+        mask = advanceMask(mask, tk);
+    }
+    history_ = history;
+    trainings_ += trainings;
+    tally(block.branch_count, correct);
+}
+
+void
+PerceptronPredictor::onBatch(const vm::EventBlock &block)
+{
+    // The roster configuration gets the unrolled kernel; any other
+    // history length takes the generic loop below (same arithmetic,
+    // runtime trip counts).
+    if (history_bits_ == 16) {
+        onBatchFixed<16>(block);
+        return;
+    }
+    const size_t row_width = static_cast<size_t>(history_bits_) + 1;
+    int8_t *weights = weights_.data();
+    uint64_t history = history_;
+    int64_t correct = 0;
+    const int n = block.size;
+    for (int i = 0; i < n; ++i) {
+        const int32_t site = block.site_id[i];
+        if (site < 0)
+            continue;
+        const uint32_t tk = block.taken[i];
+        int8_t *row =
+            weights + (static_cast<uint32_t>(site) & row_mask_) * row_width;
+        const int32_t sum = dot(row, history);
+        const uint32_t pred = sum >= 0;
+        correct += (pred == tk);
+        if (pred != tk || (sum < 0 ? -sum : sum) <= theta_)
+            train(row, history, tk);
+        history = ((history << 1) | tk) & history_mask_;
+    }
+    history_ = history;
+    tally(block.branch_count, correct);
+}
+
+} // namespace ifprob::predict::zoo

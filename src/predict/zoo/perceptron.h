@@ -1,0 +1,61 @@
+#ifndef IFPROB_PREDICT_ZOO_PERCEPTRON_H
+#define IFPROB_PREDICT_ZOO_PERCEPTRON_H
+
+#include <cstdint>
+#include <vector>
+
+#include "predict/dynamic_predictor.h"
+#include "vm/observer.h"
+
+namespace ifprob::predict::zoo {
+
+/**
+ * Perceptron branch predictor [Jimenez and Lin 01]: one row of signed
+ * 8-bit weights per (hashed) site, dotted against the global history
+ * register; predict taken when the sum is non-negative, train on a
+ * mispredict or whenever |sum| <= theta (theta = 1.93 * history + 14,
+ * the paper's tuned threshold). The linearly-separable branches it
+ * captures are exactly the long-history correlations the counter
+ * schemes miss — and its per-event cost (a 17-term dot product) is why
+ * the batched kernel matters: the scalar observer pays the dot product
+ * twice (predict, then update re-probes), the batch kernel once.
+ */
+class PerceptronPredictor : public DynamicPredictor
+{
+  public:
+    /** @p log2_rows rows of @p history_bits+1 weights (bias first);
+     *  @p history_bits in [1, 62]. */
+    explicit PerceptronPredictor(int log2_rows = 9, int history_bits = 16);
+
+    void onBatch(const vm::EventBlock &block) override;
+
+    /** Training events (mispredict or below-threshold), for tests. */
+    int64_t trainings() const { return trainings_; }
+
+  protected:
+    bool predict(int site_id) const override;
+    void update(int site_id, bool taken) override;
+
+  private:
+    /** Dot product of a row against @p history: bias + sum of
+     *  (+w) for history-bit 1, (-w) for 0. */
+    int32_t dot(const int8_t *row, uint64_t history) const;
+    /** Clamped-weight training step toward outcome @p tk. */
+    void train(int8_t *row, uint64_t history, uint32_t tk);
+    /** Batch loop specialized on the history length: with H a compile-
+     *  time constant the dot/train loops fully unroll (the generic
+     *  onBatch body, instantiated for the roster's configuration). */
+    template <int H> void onBatchFixed(const vm::EventBlock &block);
+
+    int history_bits_;
+    uint32_t row_mask_;
+    uint64_t history_mask_;
+    int32_t theta_;
+    uint64_t history_ = 0;
+    std::vector<int8_t> weights_; ///< rows * (history_bits_ + 1)
+    int64_t trainings_ = 0;
+};
+
+} // namespace ifprob::predict::zoo
+
+#endif // IFPROB_PREDICT_ZOO_PERCEPTRON_H

@@ -1,0 +1,120 @@
+#include "predict/zoo/scheduler.h"
+
+#include <memory>
+
+#include "exec/pool.h"
+#include "obs/metrics.h"
+#include "trace/trace.h"
+#include "vm/observer.h"
+#include "workloads/workload.h"
+
+namespace ifprob::predict::zoo {
+
+double
+PredictorScore::mispredictPercent() const
+{
+    if (branches == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(mispredicts) /
+           static_cast<double>(branches);
+}
+
+double
+PredictorScore::instructionsPerMispredict(int64_t instructions) const
+{
+    if (mispredicts == 0)
+        return static_cast<double>(instructions);
+    return static_cast<double>(instructions) /
+           static_cast<double>(mispredicts);
+}
+
+std::vector<Cell>
+primaryCells()
+{
+    std::vector<Cell> cells;
+    for (const workloads::Workload &w : workloads::all())
+        cells.push_back({w.name, w.datasets.front().name});
+    return cells;
+}
+
+std::vector<Cell>
+allCells()
+{
+    std::vector<Cell> cells;
+    for (const workloads::Workload &w : workloads::all())
+        for (const workloads::Dataset &d : w.datasets)
+            cells.push_back({w.name, d.name});
+    return cells;
+}
+
+std::vector<CellScores>
+runTournament(harness::Runner &runner, const std::vector<Cell> &cells,
+              const std::vector<ZooSpec> &zoo, exec::Pool *pool)
+{
+    std::vector<CellScores> results(cells.size());
+    exec::Pool &workers = pool != nullptr ? *pool : exec::globalPool();
+    exec::parallelFor(workers, cells.size(), [&](size_t i) {
+        const Cell &cell = cells[i];
+        const trace::Trace &trace =
+            runner.traceOf(cell.workload, cell.dataset);
+        const ZooContext context{runner.program(cell.workload),
+                                 trace.stats, trace.fingerprint,
+                                 cell.workload};
+
+        std::vector<std::unique_ptr<DynamicPredictor>> predictors;
+        std::vector<vm::BranchObserver *> observers;
+        predictors.reserve(zoo.size());
+        observers.reserve(zoo.size());
+        for (const ZooSpec &spec : zoo) {
+            predictors.push_back(spec.make(context));
+            observers.push_back(predictors.back().get());
+        }
+
+        // One decode of the trace feeds every predictor's batch kernel.
+        trace::replay(trace, observers);
+
+        CellScores &out = results[i];
+        out.cell = cell;
+        out.instructions = trace.stats.instructions;
+        out.branch_events = trace.branch_events;
+        out.branches.reserve(zoo.size());
+        out.mispredicts.reserve(zoo.size());
+        for (const auto &p : predictors) {
+            out.branches.push_back(p->total());
+            out.mispredicts.push_back(p->mispredicted());
+        }
+
+        obs::counter("predict.cells").add(1);
+        obs::counter("predict.predictors")
+            .add(static_cast<int64_t>(zoo.size()));
+        obs::counter("predict.events")
+            .add(trace.branch_events *
+                 static_cast<int64_t>(zoo.size()));
+    });
+    return results;
+}
+
+std::vector<PredictorScore>
+aggregate(const std::vector<CellScores> &cells,
+          const std::vector<ZooSpec> &zoo, int64_t *instructions_out)
+{
+    std::vector<PredictorScore> scores(zoo.size());
+    for (size_t p = 0; p < zoo.size(); ++p) {
+        scores[p].name = zoo[p].name;
+        scores[p].family = zoo[p].family;
+        scores[p].dynamic = zoo[p].dynamic;
+    }
+    int64_t instructions = 0;
+    for (const CellScores &cell : cells) {
+        instructions += cell.instructions;
+        for (size_t p = 0; p < zoo.size(); ++p) {
+            scores[p].branches += cell.branches[p];
+            scores[p].mispredicts += cell.mispredicts[p];
+        }
+    }
+    if (instructions_out != nullptr)
+        *instructions_out = instructions;
+    return scores;
+}
+
+} // namespace ifprob::predict::zoo

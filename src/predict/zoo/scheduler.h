@@ -1,0 +1,88 @@
+#ifndef IFPROB_PREDICT_ZOO_SCHEDULER_H
+#define IFPROB_PREDICT_ZOO_SCHEDULER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/pool.h"
+#include "harness/runner.h"
+#include "predict/zoo/zoo.h"
+
+namespace ifprob::predict::zoo {
+
+/**
+ * The zoo scheduler: replays every (workload, dataset) trace exactly
+ * once through the whole roster — one decode pass fans each EventBlock
+ * out to N predictor batch kernels (trace::replay's observer-vector
+ * overload) — and parallelizes across the cell matrix on exec::Pool.
+ *
+ * Per-cell work is independent (fresh predictor instances per cell, no
+ * shared mutable state), results land in a slot vector indexed by cell,
+ * and aggregation is a serial fold afterwards, so jobs=1 and jobs=N
+ * produce bit-identical scores (tests/test_predictors.cpp holds this).
+ */
+
+/** One (workload, dataset) tournament cell. */
+struct Cell
+{
+    std::string workload;
+    std::string dataset;
+};
+
+/** One cell's scores: totals from the trace plus one (branches,
+ *  mispredicts) pair per zoo member, indexed like the roster. */
+struct CellScores
+{
+    Cell cell;
+    int64_t instructions = 0;
+    int64_t branch_events = 0;
+    std::vector<int64_t> branches;    ///< events each predictor scored
+    std::vector<int64_t> mispredicts; ///< of which mispredicted
+};
+
+/** Roster-aligned aggregate over all cells. */
+struct PredictorScore
+{
+    std::string name;
+    std::string family;
+    bool dynamic = false;
+    int64_t branches = 0;
+    int64_t mispredicts = 0;
+
+    double mispredictPercent() const;
+    /** The paper's figure of merit: executed instructions per
+     *  mispredicted branch (higher is better). */
+    double instructionsPerMispredict(int64_t instructions) const;
+};
+
+/** Every primary-dataset cell (workloads::all(), datasets.front()). */
+std::vector<Cell> primaryCells();
+
+/** Every (workload, dataset) cell of the full matrix. */
+std::vector<Cell> allCells();
+
+/**
+ * Record (or reuse) each cell's trace via @p runner and replay it once
+ * through fresh instances of every @p zoo member. Returns per-cell
+ * scores in input order. @p pool overrides the worker pool (nullptr =
+ * exec::globalPool(); tests pass explicit 1- and 4-worker pools to
+ * hold the scores bit-identical). Counters: predict.cells,
+ * predict.predictors, predict.events (events scored = cells x branch
+ * events), all bumped once per cell.
+ */
+std::vector<CellScores> runTournament(harness::Runner &runner,
+                                      const std::vector<Cell> &cells,
+                                      const std::vector<ZooSpec> &zoo,
+                                      exec::Pool *pool = nullptr);
+
+/** Fold per-cell scores into roster-aligned totals, plus the summed
+ *  instruction count (the instructions-per-mispredict denominator is
+ *  shared by every predictor: same traces, same instruction stream). */
+std::vector<PredictorScore> aggregate(const std::vector<CellScores> &cells,
+                                      const std::vector<ZooSpec> &zoo,
+                                      int64_t *instructions_out = nullptr);
+
+} // namespace ifprob::predict::zoo
+
+#endif // IFPROB_PREDICT_ZOO_SCHEDULER_H

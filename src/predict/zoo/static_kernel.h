@@ -1,0 +1,137 @@
+#ifndef IFPROB_PREDICT_ZOO_STATIC_KERNEL_H
+#define IFPROB_PREDICT_ZOO_STATIC_KERNEL_H
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "predict/dynamic_predictor.h"
+#include "vm/observer.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace ifprob::predict::zoo {
+
+/** Sum of @p n bytes. Exact for any byte values as long as the total
+ *  stays under 2^31 (a block is at most vm::EventBlock::kCapacity
+ *  bytes of 0/1 flags, nowhere close). */
+inline int64_t
+sumBytes(const uint8_t *p, int n)
+{
+    int64_t sum = 0;
+    int i = 0;
+#if defined(__SSE2__)
+    __m128i acc = _mm_setzero_si128();
+    for (; i + 16 <= n; i += 16) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p + i));
+        acc = _mm_add_epi64(acc, _mm_sad_epu8(v, _mm_setzero_si128()));
+    }
+    sum = _mm_cvtsi128_si32(acc) +
+          _mm_cvtsi128_si32(_mm_shuffle_epi32(acc, _MM_SHUFFLE(0, 0, 0, 2)));
+#else
+    for (; i + 8 <= n; i += 8) {
+        uint64_t x;
+        std::memcpy(&x, p + i, 8);
+        x = (x & 0x00ff00ff00ff00ffull) +
+            ((x >> 8) & 0x00ff00ff00ff00ffull);
+        x = (x & 0x0000ffff0000ffffull) +
+            ((x >> 16) & 0x0000ffff0000ffffull);
+        sum += static_cast<int64_t>((x & 0xffffffffull) + (x >> 32));
+    }
+#endif
+    for (; i < n; ++i)
+        sum += p[i];
+    return sum;
+}
+
+/**
+ * A lowered static predictor scored event-by-event: one direction byte
+ * per site (predict::lowerPredictor output), no state updates. This is
+ * how the 1992 schemes — the paper's profile predictor and the
+ * BTFNT/FNT/opcode heuristics — enter the tournament on equal footing
+ * with the dynamic zoo: same replay, same scoring, same table.
+ *
+ * StaticAsDynamic (dynamic_predictor.h) serves the same role through a
+ * virtual call per event against a borrowed StaticPredictor; this
+ * kernel owns the flat direction table, so a fan-out replay scores a
+ * static scheme at one load + compare per event — and an all-same
+ * table (the always-taken / always-not-taken baselines) at a SIMD
+ * byte sum of the block's taken flags.
+ */
+class StaticDirectionPredictor : public DynamicPredictor
+{
+  public:
+    /** @p directions: one 0/1 byte per static site, indexed by site id
+     *  (events at sites past the end are counted via predict() = false,
+     *  which cannot happen for traces of the lowered program). */
+    explicit StaticDirectionPredictor(std::vector<uint8_t> directions)
+        : directions_(std::move(directions))
+    {
+        // An all-same direction table (always-taken / always-not-taken)
+        // needs no site lookup at all: correct = sum(taken) for taken,
+        // branch_count - sum(taken) for not-taken. Break markers carry
+        // taken == 0 (trace decode zeroes them), so the raw byte sum
+        // over the block is already the branch-only sum.
+        constant_ = !directions_.empty();
+        const uint8_t first = directions_.empty() ? 0 : directions_[0];
+        for (uint8_t d : directions_) {
+            if (d != first) {
+                constant_ = false;
+                break;
+            }
+        }
+        constant_dir_ = first;
+    }
+
+    void
+    onBatch(const vm::EventBlock &block) override
+    {
+        if (constant_) {
+            const int64_t taken_sum = sumBytes(block.taken, block.size);
+            tally(block.branch_count,
+                  constant_dir_ ? taken_sum
+                                : block.branch_count - taken_sum);
+            return;
+        }
+        const uint8_t *dirs = directions_.data();
+        int64_t correct = 0;
+        const int n = block.size;
+        if (block.branch_count == n) {
+            for (int i = 0; i < n; ++i)
+                correct +=
+                    (dirs[static_cast<uint32_t>(block.site_id[i])] ==
+                     block.taken[i]);
+        } else {
+            for (int i = 0; i < n; ++i) {
+                const int32_t site = block.site_id[i];
+                if (site < 0)
+                    continue;
+                correct += (dirs[static_cast<uint32_t>(site)] ==
+                            block.taken[i]);
+            }
+        }
+        tally(block.branch_count, correct);
+    }
+
+  protected:
+    bool
+    predict(int site_id) const override
+    {
+        return directions_[static_cast<size_t>(site_id)] != 0;
+    }
+
+    void update(int, bool) override {}
+
+  private:
+    std::vector<uint8_t> directions_;
+    bool constant_ = false;
+    uint8_t constant_dir_ = 0;
+};
+
+} // namespace ifprob::predict::zoo
+
+#endif // IFPROB_PREDICT_ZOO_STATIC_KERNEL_H

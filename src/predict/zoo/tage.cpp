@@ -1,0 +1,339 @@
+#include "predict/zoo/tage.h"
+
+namespace ifprob::predict::zoo {
+
+namespace {
+
+/** Occupied-entry marker, OR'd above the tag bits so an empty entry
+ *  (tag == 0) can never match a computed tag. */
+constexpr uint16_t kTagValid = 0x8000;
+
+/** XOR-fold the low @p len bits of @p history into @p width bits. */
+inline uint32_t
+foldHistory(uint64_t history, int len, int width)
+{
+    uint64_t v = (len >= 64)
+                     ? history
+                     : (history & ((uint64_t{1} << len) - 1));
+    const uint32_t mask = (1u << width) - 1;
+    uint32_t folded = 0;
+    while (v != 0) {
+        folded ^= static_cast<uint32_t>(v) & mask;
+        v >>= width;
+    }
+    return folded;
+}
+
+/** XOR-fold the low LEN bits of @p h into W bits at compile time:
+ *  LEN <= W is the identity, otherwise ceil(LEN/W) chunk XORs with
+ *  constant shifts. Each fold depends only on the current history
+ *  word, so consecutive events' folds overlap in the pipeline — the
+ *  incremental folded-register alternative is fewer ops but chains
+ *  every event on the previous one, which costs more in practice. */
+template <int LEN, int W>
+inline uint32_t
+fold32(uint32_t h)
+{
+    static_assert(LEN >= 1 && LEN <= 32 && W >= 1);
+    const uint32_t v = (LEN < 32) ? (h & ((1u << LEN) - 1)) : h;
+    if constexpr (LEN <= W) {
+        return v;
+    } else {
+        uint32_t f = 0;
+        for (int k = 0; k * W < LEN; ++k)
+            f ^= v >> (k * W);
+        return f & ((1u << W) - 1);
+    }
+}
+
+} // namespace
+
+TagePredictor::TagePredictor() : TagePredictor(Config{}) {}
+
+TagePredictor::TagePredictor(const Config &config)
+    : config_(config),
+      base_mask_((1u << config.log2_base) - 1),
+      index_mask_((1u << config.log2_entries) - 1),
+      tag_mask_(static_cast<uint16_t>((1u << config.tag_bits) - 1)),
+      base_(size_t{1} << config.log2_base)
+{
+    for (auto &table : tables_)
+        table.assign(size_t{1} << config.log2_entries, Entry{});
+}
+
+TagePredictor::Probe
+TagePredictor::probe(uint32_t site, uint64_t history) const
+{
+    // The scalar reference path: fold the raw history from scratch on
+    // every probe. The fixed kernel's compile-time folds must always
+    // agree with this (the differential tests hold batch == scalar).
+    Probe p;
+    p.base_index = site & base_mask_;
+    const bool base_pred = sat2Taken(base_.get(p.base_index));
+    p.pred = base_pred;
+    p.alt_pred = base_pred;
+    for (int t = 0; t < kNumTables; ++t) {
+        const int len = config_.history_lengths[t];
+        const uint32_t fold_index =
+            foldHistory(history, len, config_.log2_entries);
+        const uint32_t fold_tag0 =
+            foldHistory(history, len, config_.tag_bits);
+        const uint32_t fold_tag1 =
+            foldHistory(history, len, config_.tag_bits - 1);
+        p.index[t] = (site ^ (site >> 5) ^ fold_index) & index_mask_;
+        p.tag[t] = static_cast<uint16_t>(
+                       (site ^ fold_tag0 ^ (fold_tag1 << 1)) &
+                       tag_mask_) |
+                   kTagValid;
+        const Entry &e = tables_[t][p.index[t]];
+        if (e.tag == p.tag[t]) {
+            p.alt_pred = p.pred;        // previous best becomes alternate
+            p.pred = e.ctr >= 4;
+            p.provider = t;
+        }
+    }
+    return p;
+}
+
+void
+TagePredictor::applyUpdate(const Probe &p, uint32_t tk)
+{
+    const bool taken = tk != 0;
+    const bool mispredict = p.pred != taken;
+
+    if (p.provider >= 0) {
+        Entry &e = tables_[p.provider][p.index[p.provider]];
+        ++stats_.tagged_hits;
+        // Useful counter tracks predictions where the provider beat the
+        // alternate — the classic replacement-worthiness signal.
+        if (p.pred != p.alt_pred) {
+            if (p.pred == taken)
+                e.u = static_cast<uint8_t>(e.u + (e.u < 3));
+            else
+                e.u = static_cast<uint8_t>(e.u - (e.u > 0));
+        }
+        e.ctr = taken ? static_cast<uint8_t>(e.ctr + (e.ctr < 7))
+                      : static_cast<uint8_t>(e.ctr - (e.ctr > 0));
+    } else {
+        base_.set(p.base_index, sat2Next(base_.get(p.base_index), tk));
+    }
+
+    // Allocate a longer-history entry on a mispredict (single-component
+    // allocation, first table whose slot's useful counter is zero).
+    if (mispredict && p.provider < kNumTables - 1) {
+        bool allocated = false;
+        for (int t = p.provider + 1; t < kNumTables; ++t) {
+            Entry &e = tables_[t][p.index[t]];
+            if (e.u == 0) {
+                e.tag = p.tag[t];
+                e.ctr = taken ? 4 : 3; // weak, in the observed direction
+                e.u = 0;
+                ++stats_.allocations;
+                allocated = true;
+                break;
+            }
+        }
+        if (!allocated) {
+            // All candidate slots defended themselves: decay their
+            // useful counters so persistent pressure eventually wins.
+            for (int t = p.provider + 1; t < kNumTables; ++t) {
+                Entry &e = tables_[t][p.index[t]];
+                e.u = static_cast<uint8_t>(e.u - (e.u > 0));
+            }
+            ++stats_.alloc_failures;
+        }
+    }
+
+    ++tick_;
+    if ((tick_ & (config_.useful_reset_period - 1)) == 0) {
+        for (auto &table : tables_)
+            for (Entry &e : table)
+                e.u >>= 1;
+        ++stats_.useful_resets;
+    }
+}
+
+bool
+TagePredictor::predict(int site_id) const
+{
+    return probe(static_cast<uint32_t>(site_id), history_).pred;
+}
+
+void
+TagePredictor::update(int site_id, bool taken)
+{
+    const uint32_t tk = taken ? 1u : 0u;
+    applyUpdate(probe(static_cast<uint32_t>(site_id), history_), tk);
+    history_ = (history_ << 1) | tk;
+}
+
+template <int L0, int L1, int L2, int L3, int WI, int WT0, int WT1>
+void
+TagePredictor::onBatchFixed(const vm::EventBlock &block)
+{
+    // Merged probe+update kernel: table pointers and packed-base words
+    // live in locals for the whole block; member state is read once and
+    // written back once. The table walk is a fixed-trip-count loop (it
+    // unrolls) with conditional-move provider selection — the only
+    // data-dependent branches are the update's, whose bias the global
+    // branch predictor resolves far better than it does the fold loops
+    // of the scalar path.
+    constexpr uint32_t kIndexMask = (1u << WI) - 1;
+    constexpr uint16_t kTagMask = static_cast<uint16_t>((1u << WT0) - 1);
+
+    Entry *tables[kNumTables];
+    for (int t = 0; t < kNumTables; ++t)
+        tables[t] = tables_[t].data();
+    uint64_t *base_words = base_.words();
+
+    uint64_t history = history_;
+    int64_t tick = tick_;
+    const int64_t reset_mask = config_.useful_reset_period - 1;
+    int64_t correct = 0;
+    int64_t tagged_hits = 0;
+    int64_t allocations = 0;
+    int64_t alloc_failures = 0;
+
+    const int n = block.size;
+    for (int i = 0; i < n; ++i) {
+        const int32_t site_raw = block.site_id[i];
+        if (site_raw < 0)
+            continue;
+        const uint32_t site = static_cast<uint32_t>(site_raw);
+        const uint32_t tk = block.taken[i];
+        const uint32_t site_hash = site ^ (site >> 5);
+
+        // All twelve folds, straight off the low history word as
+        // constant-shift XOR trees (see fold32).
+        const uint32_t h32 = static_cast<uint32_t>(history);
+        const uint32_t dfi[kNumTables] = {
+            fold32<L0, WI>(h32), fold32<L1, WI>(h32),
+            fold32<L2, WI>(h32), fold32<L3, WI>(h32)};
+        const uint32_t dft[kNumTables] = {
+            fold32<L0, WT0>(h32) ^ (fold32<L0, WT1>(h32) << 1),
+            fold32<L1, WT0>(h32) ^ (fold32<L1, WT1>(h32) << 1),
+            fold32<L2, WT0>(h32) ^ (fold32<L2, WT1>(h32) << 1),
+            fold32<L3, WT0>(h32) ^ (fold32<L3, WT1>(h32) << 1)};
+
+        // Probe: base read straight off the packed word...
+        const uint32_t base_index = site & base_mask_;
+        const uint32_t base_shift = (base_index & 31) * 2;
+        uint64_t &base_word = base_words[base_index >> 5];
+        const uint32_t base_c =
+            static_cast<uint32_t>(base_word >> base_shift) & 3;
+        bool pred = base_c >= 2;
+        bool alt_pred = pred;
+        int provider = -1;
+        uint32_t idx[kNumTables];
+        uint16_t tag[kNumTables];
+        // ...then the tagged walk, longest-match-wins via cmovs.
+        for (int t = 0; t < kNumTables; ++t) {
+            idx[t] = (site_hash ^ dfi[t]) & kIndexMask;
+            tag[t] = static_cast<uint16_t>((site ^ dft[t]) & kTagMask) |
+                     kTagValid;
+            const Entry e = tables[t][idx[t]];
+            const bool hit = e.tag == tag[t];
+            alt_pred = hit ? pred : alt_pred;
+            pred = hit ? (e.ctr >= 4) : pred;
+            provider = hit ? t : provider;
+        }
+
+        const bool taken = tk != 0;
+        correct += (pred == taken);
+        const bool mispredict = pred != taken;
+
+        // Update: identical transitions to applyUpdate(), on the
+        // hoisted pointers, with stats accumulated in locals.
+        if (provider >= 0) {
+            Entry &e = tables[provider][idx[provider]];
+            ++tagged_hits;
+            if (pred != alt_pred) {
+                if (!mispredict)
+                    e.u = static_cast<uint8_t>(e.u + (e.u < 3));
+                else
+                    e.u = static_cast<uint8_t>(e.u - (e.u > 0));
+            }
+            e.ctr = taken ? static_cast<uint8_t>(e.ctr + (e.ctr < 7))
+                          : static_cast<uint8_t>(e.ctr - (e.ctr > 0));
+        } else {
+            const uint32_t next =
+                tk ? base_c + (base_c < 3) : base_c - (base_c > 0);
+            // Saturated-counter skip: packed neighbours share the
+            // word; the steady state needs no store.
+            if (base_c != next)
+                base_word ^= static_cast<uint64_t>(base_c ^ next)
+                             << base_shift;
+        }
+
+        if (mispredict && provider < kNumTables - 1) {
+            bool allocated = false;
+            for (int t = provider + 1; t < kNumTables; ++t) {
+                Entry &e = tables[t][idx[t]];
+                if (e.u == 0) {
+                    e.tag = tag[t];
+                    e.ctr = taken ? 4 : 3;
+                    e.u = 0;
+                    ++allocations;
+                    allocated = true;
+                    break;
+                }
+            }
+            if (!allocated) {
+                for (int t = provider + 1; t < kNumTables; ++t) {
+                    Entry &e = tables[t][idx[t]];
+                    e.u = static_cast<uint8_t>(e.u - (e.u > 0));
+                }
+                ++alloc_failures;
+            }
+        }
+
+        ++tick;
+        if ((tick & reset_mask) == 0) {
+            constexpr size_t kEntries = size_t{1} << WI;
+            for (int t = 0; t < kNumTables; ++t)
+                for (size_t j = 0; j < kEntries; ++j)
+                    tables[t][j].u >>= 1;
+            ++stats_.useful_resets;
+        }
+
+        history = (history << 1) | tk;
+    }
+
+    history_ = history;
+    tick_ = tick;
+    stats_.tagged_hits += tagged_hits;
+    stats_.allocations += allocations;
+    stats_.alloc_failures += alloc_failures;
+    tally(block.branch_count, correct);
+}
+
+void
+TagePredictor::onBatch(const vm::EventBlock &block)
+{
+    // The roster geometry gets the compile-time kernel; every other
+    // configuration (tests use degenerate ones: zero-length histories,
+    // 1-entry tables) takes the reference loop — same transition
+    // function, per-event probes.
+    const Config &c = config_;
+    if (c.log2_entries == 10 && c.tag_bits == 8 &&
+        c.history_lengths == std::array<int, kNumTables>{4, 8, 16, 32}) {
+        onBatchFixed<4, 8, 16, 32, 10, 8, 7>(block);
+        return;
+    }
+
+    int64_t correct = 0;
+    const int n = block.size;
+    for (int i = 0; i < n; ++i) {
+        const int32_t site = block.site_id[i];
+        if (site < 0)
+            continue;
+        const uint32_t tk = block.taken[i];
+        const Probe p = probe(static_cast<uint32_t>(site), history_);
+        correct += (static_cast<uint32_t>(p.pred) == tk);
+        applyUpdate(p, tk);
+        history_ = (history_ << 1) | tk;
+    }
+    tally(block.branch_count, correct);
+}
+
+} // namespace ifprob::predict::zoo

@@ -1,0 +1,123 @@
+#ifndef IFPROB_PREDICT_ZOO_TAGE_H
+#define IFPROB_PREDICT_ZOO_TAGE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "predict/dynamic_predictor.h"
+#include "predict/sat2.h"
+#include "vm/observer.h"
+
+namespace ifprob::predict::zoo {
+
+/**
+ * A small TAGE predictor [Seznec and Michaud 06]: a packed 2-bit
+ * bimodal base table plus four partially-tagged tables indexed by the
+ * site id hashed with geometrically increasing global-history lengths
+ * (4, 8, 16, 32 by default). The longest-history table whose tag
+ * matches provides the prediction; mispredicts allocate an entry in a
+ * longer table whose useful counter has decayed to zero.
+ *
+ * Deliberately modest — single-component allocation, deterministic
+ * first-free-slot choice, periodic useful-counter halving — but it is
+ * the real mechanism: geometric history lengths, tag match, useful
+ * bits, provider/alternate bookkeeping. The point in this repo is the
+ * tournament axis ROADMAP item 1 asks for: how much of the gap between
+ * the paper's profile-static predictor and perfect prediction do
+ * history-capturing schemes close on the same traces?
+ *
+ * The scalar reference recomputes every XOR-fold from the raw history
+ * register on each probe, with data-dependent loops — and probes twice
+ * per event (predict(), then update() re-probes). The batch kernel is
+ * a template instantiated on the roster configuration's geometry, so
+ * all twelve folds per event become compile-time-unrolled chunk XORs
+ * of the low history word: no loop-carried fold state (the classic
+ * incremental folded-history registers lose to this on wide cores —
+ * their one-bit-per-event recurrence serializes the whole loop), one
+ * probe, no virtual dispatch. Counter transitions are shared logic,
+ * so mispredict counts are bit-identical across the three paths.
+ */
+class TagePredictor : public DynamicPredictor
+{
+  public:
+    static constexpr int kNumTables = 4;
+
+    struct Config
+    {
+        int log2_base = 12;    ///< bimodal base entries
+        int log2_entries = 10; ///< entries per tagged table
+        int tag_bits = 8;      ///< stored tag width
+        std::array<int, kNumTables> history_lengths = {4, 8, 16, 32};
+        /** Updates between useful-counter halvings (power of two). */
+        int64_t useful_reset_period = int64_t{1} << 16;
+    };
+
+    struct Stats
+    {
+        int64_t allocations = 0;   ///< entries claimed on mispredicts
+        int64_t alloc_failures = 0; ///< no u==0 slot; useful bits decayed
+        int64_t useful_resets = 0;  ///< periodic halvings
+        int64_t tagged_hits = 0;    ///< events predicted by a tagged table
+    };
+
+    TagePredictor(); ///< default Config (out of line: nested NSDMIs)
+    explicit TagePredictor(const Config &config);
+
+    void onBatch(const vm::EventBlock &block) override;
+
+    const Stats &tageStats() const { return stats_; }
+
+  protected:
+    bool predict(int site_id) const override;
+    void update(int site_id, bool taken) override;
+
+  private:
+    /** A tagged entry: tag (kTagValid-or'd when occupied), 3-bit
+     *  signed-style prediction counter (taken iff >= 4), 2-bit useful
+     *  counter gating replacement. */
+    struct Entry
+    {
+        uint16_t tag = 0;
+        uint8_t ctr = 0;
+        uint8_t u = 0;
+    };
+
+    /** Everything one event's table walk produces; computed once per
+     *  event on the batch path, twice on the scalar path (identically,
+     *  since tables do not change in between). */
+    struct Probe
+    {
+        std::array<uint32_t, kNumTables> index;
+        std::array<uint16_t, kNumTables> tag;
+        int provider = -1; ///< longest matching table, -1 = base
+        bool pred = false;
+        bool alt_pred = false; ///< next-longest match (or base)
+        uint32_t base_index = 0;
+    };
+
+    Probe probe(uint32_t site, uint64_t history) const;
+    void applyUpdate(const Probe &p, uint32_t tk);
+
+    /** The batch kernel, specialized on the table geometry: history
+     *  lengths L0..L3 (each in [1, 32]), index width WI and tag-hash
+     *  widths WT0/WT1 as compile-time constants, so every history fold
+     *  unrolls to a fixed XOR tree. onBatch() dispatches here when the
+     *  running Config matches an instantiated geometry. */
+    template <int L0, int L1, int L2, int L3, int WI, int WT0, int WT1>
+    void onBatchFixed(const vm::EventBlock &block);
+
+    Config config_;
+    uint32_t base_mask_;
+    uint32_t index_mask_;
+    uint16_t tag_mask_;
+    uint64_t history_ = 0;
+    int64_t tick_ = 0;
+    PackedSat2Table base_;
+    std::array<std::vector<Entry>, kNumTables> tables_;
+    Stats stats_;
+};
+
+} // namespace ifprob::predict::zoo
+
+#endif // IFPROB_PREDICT_ZOO_TAGE_H

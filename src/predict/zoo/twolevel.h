@@ -1,0 +1,103 @@
+#ifndef IFPROB_PREDICT_ZOO_TWOLEVEL_H
+#define IFPROB_PREDICT_ZOO_TWOLEVEL_H
+
+#include <cstdint>
+
+#include "predict/dynamic_predictor.h"
+#include "predict/sat2.h"
+#include "vm/observer.h"
+
+namespace ifprob::predict::zoo {
+
+/**
+ * Two-level adaptive predictor in the GAs configuration [Yeh and Patt
+ * 92] / gselect [McFarling 93]: one global history register selects
+ * among per-address pattern-table columns by *concatenating* site bits
+ * with history bits — index = (site << history_bits) | history — into a
+ * shared table of packed 2-bit counters. The sibling gshare scheme
+ * (XOR instead of concatenation) lives in predict/dynamic_predictor.h;
+ * running both in the zoo shows what the XOR fold buys.
+ *
+ * Scalar reference = predict()/update() through the PackedSat2Table
+ * accessors; the batch kernel inlines the same packed arithmetic with
+ * the history register hoisted into a local.
+ */
+class GSelectPredictor : public DynamicPredictor
+{
+  public:
+    /** @p log2_entries in [5, 30]; @p history_bits in [0, 16]. */
+    explicit GSelectPredictor(int log2_entries, int history_bits = 6)
+        : mask_((1u << log2_entries) - 1),
+          history_bits_(history_bits),
+          history_mask_((1u << history_bits) - 1),
+          table_(size_t{1} << log2_entries)
+    {
+    }
+
+    void
+    onBatch(const vm::EventBlock &block) override
+    {
+        uint64_t *words = table_.words();
+        uint32_t history = history_;
+        int64_t correct = 0;
+        const int n = block.size;
+        for (int i = 0; i < n; ++i) {
+            const int32_t site = block.site_id[i];
+            if (site < 0)
+                continue;
+            const uint32_t tk = block.taken[i];
+            const uint32_t idx =
+                ((static_cast<uint32_t>(site) << history_bits_) |
+                 history) &
+                mask_;
+            uint64_t &word = words[idx >> 5];
+            const unsigned shift = (idx & 31) * 2;
+            const uint32_t c = static_cast<uint32_t>(word >> shift) & 3;
+            correct += ((c >= 2) == tk);
+            const uint32_t next = tk ? c + (c < 3) : c - (c > 0);
+            // Saturated-counter skip: see BimodalPredictor::stepPacked —
+            // packed neighbours share the word, and the steady state
+            // needs no store.
+            if (c != next)
+                word ^= static_cast<uint64_t>(c ^ next) << shift;
+            history = ((history << 1) | tk) & history_mask_;
+        }
+        history_ = history;
+        tally(block.branch_count, correct);
+    }
+
+  protected:
+    bool
+    predict(int site_id) const override
+    {
+        return sat2Taken(table_.get(index(site_id)));
+    }
+
+    void
+    update(int site_id, bool taken) override
+    {
+        const uint32_t tk = taken ? 1u : 0u;
+        const size_t idx = index(site_id);
+        table_.set(idx, sat2Next(table_.get(idx), tk));
+        history_ = ((history_ << 1) | tk) & history_mask_;
+    }
+
+  private:
+    size_t
+    index(int site_id) const
+    {
+        return ((static_cast<uint32_t>(site_id) << history_bits_) |
+                history_) &
+               mask_;
+    }
+
+    uint32_t mask_;
+    int history_bits_;
+    uint32_t history_mask_;
+    uint32_t history_ = 0;
+    PackedSat2Table table_;
+};
+
+} // namespace ifprob::predict::zoo
+
+#endif // IFPROB_PREDICT_ZOO_TWOLEVEL_H

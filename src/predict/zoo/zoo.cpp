@@ -1,0 +1,136 @@
+#include "predict/zoo/zoo.h"
+
+#include "predict/evaluate.h"
+#include "predict/heuristic_predictor.h"
+#include "predict/profile_predictor.h"
+#include "predict/zoo/bimodal.h"
+#include "predict/zoo/perceptron.h"
+#include "predict/zoo/static_kernel.h"
+#include "predict/zoo/tage.h"
+#include "predict/zoo/twolevel.h"
+#include "profile/profile_db.h"
+#include "support/error.h"
+
+namespace ifprob::predict::zoo {
+
+namespace {
+
+size_t
+numSites(const ZooContext &context)
+{
+    return context.program.branch_sites.size();
+}
+
+/** Lower any StaticPredictor to a flat direction-byte observer. */
+std::unique_ptr<DynamicPredictor>
+lowered(const StaticPredictor &predictor, const ZooContext &context)
+{
+    return std::make_unique<StaticDirectionPredictor>(
+        lowerPredictor(predictor, numSites(context)));
+}
+
+template <Heuristic H>
+std::unique_ptr<DynamicPredictor>
+makeHeuristic(const ZooContext &context)
+{
+    return lowered(HeuristicPredictor(context.program, H), context);
+}
+
+std::unique_ptr<DynamicPredictor>
+makeProfileSelf(const ZooContext &context)
+{
+    const profile::ProfileDb db(context.workload, context.fingerprint,
+                                context.self_profile);
+    return lowered(ProfilePredictor(db), context);
+}
+
+std::unique_ptr<DynamicPredictor>
+makeLastDirection(const ZooContext &context)
+{
+    return std::make_unique<OneBitPredictor>(numSites(context));
+}
+
+std::unique_ptr<DynamicPredictor>
+makeTwoBitIdeal(const ZooContext &context)
+{
+    return std::make_unique<TwoBitPredictor>(numSites(context));
+}
+
+template <int Log2>
+std::unique_ptr<DynamicPredictor>
+makeBimodal(const ZooContext &)
+{
+    return std::make_unique<BimodalPredictor>(Log2);
+}
+
+template <int Log2, int HistoryBits>
+std::unique_ptr<DynamicPredictor>
+makeGShare(const ZooContext &)
+{
+    return std::make_unique<GSharePredictor>(Log2, HistoryBits);
+}
+
+template <int Log2, int HistoryBits>
+std::unique_ptr<DynamicPredictor>
+makeGSelect(const ZooContext &)
+{
+    return std::make_unique<GSelectPredictor>(Log2, HistoryBits);
+}
+
+std::unique_ptr<DynamicPredictor>
+makePerceptron(const ZooContext &)
+{
+    return std::make_unique<PerceptronPredictor>();
+}
+
+std::unique_ptr<DynamicPredictor>
+makeTage(const ZooContext &)
+{
+    return std::make_unique<TagePredictor>();
+}
+
+} // namespace
+
+const std::vector<ZooSpec> &
+defaultZoo()
+{
+    static const std::vector<ZooSpec> zoo = {
+        // The 1992 schemes: the paper's profile predictor and the
+        // static heuristics it compares against (Figure 1 / Table 4).
+        {"always-taken", "static-1992", false,
+         makeHeuristic<Heuristic::kAlwaysTaken>},
+        {"always-not-taken", "static-1992", false,
+         makeHeuristic<Heuristic::kAlwaysNotTaken>},
+        {"btfnt", "static-1992", false,
+         makeHeuristic<Heuristic::kBackwardTaken>},
+        {"opcode-rules", "static-1992", false,
+         makeHeuristic<Heuristic::kOpcodeRules>},
+        {"profile-self", "static-1992", false, makeProfileSelf},
+        // One-level counter schemes [Smith 81] / [Lee and Smith 84].
+        {"last-direction", "one-level", true, makeLastDirection},
+        {"two-bit-ideal", "one-level", true, makeTwoBitIdeal},
+        {"bimodal-1k", "one-level", true, makeBimodal<10>},
+        {"bimodal-4k", "one-level", true, makeBimodal<12>},
+        // Two-level / global-history schemes [Yeh and Patt 92],
+        // [McFarling 93].
+        {"gshare-4k", "two-level", true, makeGShare<12, 12>},
+        {"gshare-64k", "two-level", true, makeGShare<16, 14>},
+        {"gselect-16k", "two-level", true, makeGSelect<14, 6>},
+        // Long-history learners [Jimenez and Lin 01], [Seznec and
+        // Michaud 06].
+        {"perceptron-h16", "neural", true, makePerceptron},
+        {"tage-4x1k", "tage", true, makeTage},
+    };
+    return zoo;
+}
+
+const ZooSpec &
+zooSpec(const std::string &name)
+{
+    for (const ZooSpec &spec : defaultZoo())
+        if (spec.name == name)
+            return spec;
+    throw Error("unknown zoo predictor: " + name);
+}
+
+} // namespace ifprob::predict::zoo

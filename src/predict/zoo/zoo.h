@@ -1,0 +1,60 @@
+#ifndef IFPROB_PREDICT_ZOO_ZOO_H
+#define IFPROB_PREDICT_ZOO_ZOO_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "predict/dynamic_predictor.h"
+#include "vm/run_stats.h"
+
+namespace ifprob::predict::zoo {
+
+/**
+ * The predictor zoo (docs/predictors.md): one registry naming every
+ * scheme the tournament runs — the paper's 1992 static predictors, the
+ * Smith/Lee-and-Smith counter schemes the paper benchmarked against,
+ * and the lineage that came after (two-level, gshare, perceptron,
+ * TAGE) — all as DynamicPredictor observers so a single fan-out replay
+ * scores the whole family per (workload, dataset) trace.
+ */
+
+/** What a predictor factory may look at. Everything is derived from
+ *  the cell's own recorded trace: static predictors lower against the
+ *  program, "profile-self" trains on the trace's embedded RunStats. */
+struct ZooContext
+{
+    const isa::Program &program;
+    /** The cell's own recorded run counters (trace.stats). */
+    const vm::RunStats &self_profile;
+    /** Image fingerprint of the recorded run (profile identity). */
+    uint64_t fingerprint = 0;
+    /** Workload name (profile identity). */
+    std::string workload;
+};
+
+/** One zoo member: a stable name (table/JSON key), a taxonomy family
+ *  (docs/predictors.md), and a factory building a fresh instance for
+ *  one cell. Factories are stateless function pointers so a ZooSpec
+ *  can be copied freely across pool workers. */
+struct ZooSpec
+{
+    std::string name;
+    std::string family;
+    /** True for schemes that learn during the run (hardware-style). */
+    bool dynamic = false;
+    std::unique_ptr<DynamicPredictor> (*make)(const ZooContext &context);
+};
+
+/** The default tournament roster, in taxonomy order (statics first,
+ *  then counter schemes, then history-based). Order is stable: tables
+ *  and JSON records index into it. */
+const std::vector<ZooSpec> &defaultZoo();
+
+/** Look up one member by name; throws ifprob::Error when missing. */
+const ZooSpec &zooSpec(const std::string &name);
+
+} // namespace ifprob::predict::zoo
+
+#endif // IFPROB_PREDICT_ZOO_ZOO_H

@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Unit and differential tests for the predictor zoo (Predictors*,
+ * docs/predictors.md): shared sat2 primitives, per-predictor batched
+ * kernel vs scalar reference vs live-VM parity, TAGE allocation and
+ * useful-counter mechanics, perceptron learning, the MultiObserver
+ * batch-forwarding regression, and scheduler determinism across pool
+ * widths. The suite prefix matters: CI runs Predictors* under TSan.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.h"
+#include "exec/pool.h"
+#include "harness/runner.h"
+#include "predict/dynamic_predictor.h"
+#include "predict/sat2.h"
+#include "predict/zoo/bimodal.h"
+#include "predict/zoo/perceptron.h"
+#include "predict/zoo/scheduler.h"
+#include "predict/zoo/static_kernel.h"
+#include "predict/zoo/tage.h"
+#include "predict/zoo/twolevel.h"
+#include "predict/zoo/zoo.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "trace/trace.h"
+#include "vm/machine.h"
+#include "vm/observer.h"
+
+namespace ifprob::predict {
+namespace {
+
+/** Branchy program with a mix of patterns: a biased loop branch, a
+ *  data-dependent branch, an alternating branch, and a correlated pair
+ *  — enough to exercise counters, history tables, and allocation. */
+const char *kZooSource = R"(
+int main() {
+    int i, x, count, flip;
+    x = 12345;
+    count = 0;
+    flip = 0;
+    for (i = 0; i < 3000; i++) {
+        x = (x * 1103515245 + 12345) % 2147483648;
+        if (x & 1)
+            count = count + 1;
+        if ((x & 12) == 4)
+            count = count + 2;
+        flip = 1 - flip;
+        if (flip)
+            count = count - 1;
+        if (x & 1) {
+            if (x & 2)
+                count = count + 3;
+        }
+    }
+    return count & 255;
+})";
+
+struct ZooFixture
+{
+    isa::Program program;
+    trace::Trace trace;
+
+    ZooFixture()
+        : program(compile(kZooSource)),
+          trace(trace::record(program, "", vm::RunLimits{}, "zoo",
+                              "builtin"))
+    {
+    }
+
+    zoo::ZooContext
+    context() const
+    {
+        return {program, trace.stats, trace.fingerprint, "zoo"};
+    }
+};
+
+/** Batch on/off env toggle, restoring the prior value on scope exit. */
+struct BatchGuard
+{
+    explicit BatchGuard(const char *value)
+    {
+        const char *prev = ::getenv("IFPROB_TRACE_BATCH");
+        had_prev_ = prev != nullptr;
+        if (had_prev_)
+            prev_ = prev;
+        ::setenv("IFPROB_TRACE_BATCH", value, 1);
+    }
+    ~BatchGuard()
+    {
+        if (had_prev_)
+            ::setenv("IFPROB_TRACE_BATCH", prev_.c_str(), 1);
+        else
+            ::unsetenv("IFPROB_TRACE_BATCH");
+    }
+    bool had_prev_ = false;
+    std::string prev_;
+};
+
+// ---------------------------------------------------------------------------
+// PredictorsSat2: the shared 2-bit saturating-counter primitive.
+// ---------------------------------------------------------------------------
+
+TEST(PredictorsSat2, TransitionsSaturateAndPredict)
+{
+    EXPECT_FALSE(sat2Taken(0));
+    EXPECT_FALSE(sat2Taken(1));
+    EXPECT_TRUE(sat2Taken(2));
+    EXPECT_TRUE(sat2Taken(3));
+    // Saturation at both ends, +/-1 in between.
+    EXPECT_EQ(sat2Next(0, 0), 0);
+    EXPECT_EQ(sat2Next(0, 1), 1);
+    EXPECT_EQ(sat2Next(1, 0), 0);
+    EXPECT_EQ(sat2Next(1, 1), 2);
+    EXPECT_EQ(sat2Next(2, 0), 1);
+    EXPECT_EQ(sat2Next(2, 1), 3);
+    EXPECT_EQ(sat2Next(3, 0), 2);
+    EXPECT_EQ(sat2Next(3, 1), 3);
+}
+
+TEST(PredictorsSat2, PackedTableRoundTripsAllSlots)
+{
+    PackedSat2Table table(100);
+    for (size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(table.get(i), kSat2WeaklyNotTaken) << i;
+    for (size_t i = 0; i < 100; ++i)
+        table.set(i, static_cast<uint8_t>(i & 3));
+    for (size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(table.get(i), i & 3) << i;
+}
+
+// ---------------------------------------------------------------------------
+// PredictorsZoo: roster sanity plus the three-way differential the
+// acceptance criteria pin: batched kernel == scalar reference ==
+// live-VM observer, per predictor, bit-identical counts.
+// ---------------------------------------------------------------------------
+
+TEST(PredictorsZoo, RosterNamesAreUniqueAndLookupWorks)
+{
+    const auto &zoo = zoo::defaultZoo();
+    ASSERT_GE(zoo.size(), 14u);
+    for (size_t i = 0; i < zoo.size(); ++i)
+        for (size_t j = i + 1; j < zoo.size(); ++j)
+            EXPECT_NE(zoo[i].name, zoo[j].name);
+    EXPECT_EQ(zoo::zooSpec("tage-4x1k").family, "tage");
+    EXPECT_THROW(zoo::zooSpec("no-such-predictor"), Error);
+}
+
+TEST(PredictorsZoo, BatchedKernelMatchesScalarReference)
+{
+    ZooFixture fx;
+    const zoo::ZooContext context = fx.context();
+    for (const zoo::ZooSpec &spec : zoo::defaultZoo()) {
+        SCOPED_TRACE(spec.name);
+        auto batched = spec.make(context);
+        auto scalar = spec.make(context);
+        {
+            BatchGuard on("1");
+            trace::replay(fx.trace, *batched);
+        }
+        {
+            BatchGuard off("off");
+            trace::replay(fx.trace, *scalar);
+        }
+        EXPECT_EQ(batched->total(), scalar->total());
+        EXPECT_EQ(batched->correct(), scalar->correct());
+        EXPECT_EQ(batched->mispredicted(), scalar->mispredicted());
+        EXPECT_GT(batched->total(), 0);
+    }
+}
+
+TEST(PredictorsZoo, ReplayMatchesLiveVmObservation)
+{
+    ZooFixture fx;
+    const zoo::ZooContext context = fx.context();
+    vm::Machine machine(fx.program);
+    for (const zoo::ZooSpec &spec : zoo::defaultZoo()) {
+        SCOPED_TRACE(spec.name);
+        auto live = spec.make(context);
+        auto replayed = spec.make(context);
+        machine.run("", vm::RunLimits{}, live.get());
+        trace::replay(fx.trace, *replayed);
+        EXPECT_EQ(replayed->total(), live->total());
+        EXPECT_EQ(replayed->correct(), live->correct());
+    }
+}
+
+TEST(PredictorsZoo, FanOutMatchesSequentialReplays)
+{
+    ZooFixture fx;
+    const zoo::ZooContext context = fx.context();
+    const auto &zoo = zoo::defaultZoo();
+
+    std::vector<std::unique_ptr<DynamicPredictor>> fanout;
+    std::vector<vm::BranchObserver *> observers;
+    for (const zoo::ZooSpec &spec : zoo) {
+        fanout.push_back(spec.make(context));
+        observers.push_back(fanout.back().get());
+    }
+    trace::replay(fx.trace, observers);
+
+    for (size_t i = 0; i < zoo.size(); ++i) {
+        SCOPED_TRACE(zoo[i].name);
+        auto alone = zoo[i].make(context);
+        trace::replay(fx.trace, *alone);
+        EXPECT_EQ(fanout[i]->total(), alone->total());
+        EXPECT_EQ(fanout[i]->correct(), alone->correct());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PredictorsBimodal / PredictorsPerceptron / PredictorsTage: scheme
+// mechanics beyond the generic differentials.
+// ---------------------------------------------------------------------------
+
+TEST(PredictorsBimodal, PackedTableMatchesByteCountersWithoutAliasing)
+{
+    // 100 sites in a 128-entry table: no aliasing, so the packed
+    // bimodal must agree with the idealized byte-per-site TwoBit
+    // predictor event for event.
+    zoo::BimodalPredictor packed(7);
+    TwoBitPredictor bytes(100);
+    Rng rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        const int site = static_cast<int>(rng.next() % 100);
+        const bool taken = ((rng.next() >> 7) & 3) != 0; // ~75% taken
+        packed.onBranch(site, taken);
+        bytes.onBranch(site, taken);
+    }
+    EXPECT_EQ(packed.total(), bytes.total());
+    EXPECT_EQ(packed.correct(), bytes.correct());
+}
+
+TEST(PredictorsPerceptron, LearnsAlternationACounterCannot)
+{
+    zoo::PerceptronPredictor perceptron;
+    TwoBitPredictor counter(1);
+    for (int i = 0; i < 4000; ++i) {
+        const bool taken = (i & 1) != 0;
+        perceptron.onBranch(0, taken);
+        counter.onBranch(0, taken);
+    }
+    EXPECT_GT(perceptron.trainings(), 0);
+    // The perceptron reads the alternation out of its history register;
+    // a 2-bit counter on the same stream is wrong about half the time.
+    EXPECT_GT(perceptron.percentCorrect(), 95.0);
+    EXPECT_LT(counter.percentCorrect(), 60.0);
+}
+
+TEST(PredictorsPerceptron, BatchMatchesScalarOnWeightRailStreams)
+{
+    // Heavily biased streams drive the int8 weights onto the +127/-128
+    // rails with adjacent extreme lanes — the corner where an earlier
+    // batched dot-product diverged from the scalar reference even
+    // though random-stream differentials all agreed. Feed identical
+    // blocks through onBatch and the scalar onBranch path and demand
+    // bit-identical mispredict and training counts after every block.
+    uint64_t lcg = 0x2545f4914f6cdd1dull;
+    for (int config = 0; config < 3; ++config) {
+        SCOPED_TRACE(config);
+        zoo::PerceptronPredictor batch(9, 16);
+        zoo::PerceptronPredictor scalar(9, 16);
+        vm::EventBlock block;
+        for (int blk = 0; blk < 200; ++blk) {
+            block.size = 1024;
+            int branches = 0;
+            for (int i = 0; i < block.size; ++i) {
+                lcg = lcg * 6364136223846793005ull +
+                      1442695040888963407ull;
+                if (((lcg >> 40) & 63) == 0) {
+                    block.site_id[i] = -1; // break marker
+                    block.taken[i] = 0;
+                    continue;
+                }
+                ++branches;
+                uint32_t site, tk;
+                switch (config) {
+                case 0: // few sites, near-always-taken: +127 rail
+                    site = (lcg >> 33) & 7;
+                    tk = ((lcg >> 21) & 31) != 0;
+                    break;
+                case 1: // few sites, near-never-taken: -128 rail
+                    site = (lcg >> 33) & 7;
+                    tk = ((lcg >> 21) & 31) == 0;
+                    break;
+                default: // alternating bias per site: mixed rails
+                    site = (lcg >> 33) & 15;
+                    tk = (site & 1) ? (((lcg >> 21) & 15) != 0)
+                                    : (((lcg >> 21) & 15) == 0);
+                    break;
+                }
+                block.site_id[i] = static_cast<int32_t>(site);
+                block.taken[i] = static_cast<uint8_t>(tk);
+            }
+            block.branch_count = branches;
+            block.max_site = 15;
+            batch.onBatch(block);
+            for (int i = 0; i < block.size; ++i)
+                if (block.site_id[i] >= 0)
+                    scalar.onBranch(block.site_id[i],
+                                    block.taken[i] != 0);
+            ASSERT_EQ(batch.mispredicted(), scalar.mispredicted())
+                << "block " << blk;
+            ASSERT_EQ(batch.trainings(), scalar.trainings())
+                << "block " << blk;
+        }
+        EXPECT_GT(batch.trainings(), 0);
+    }
+}
+
+TEST(PredictorsTage, AllocatesAndBeatsBaseOnPeriodicPattern)
+{
+    // Period-4 pattern TTTN: the base bimodal saturates toward taken
+    // and eats the N every cycle; a 4-bit-history tagged table learns
+    // it exactly, so allocation must fire and accuracy must recover.
+    zoo::TagePredictor tage;
+    int64_t late_correct = 0;
+    const int kEvents = 8000;
+    for (int i = 0; i < kEvents; ++i) {
+        const bool taken = (i & 3) != 3;
+        const int64_t before = tage.correct();
+        tage.onBranch(0, taken);
+        if (i >= kEvents / 2)
+            late_correct += tage.correct() - before;
+    }
+    const auto &stats = tage.tageStats();
+    EXPECT_GT(stats.allocations, 0);
+    EXPECT_GT(stats.tagged_hits, 0);
+    // Second half: essentially perfect (>99%) once the tagged entries
+    // own the pattern; the base alone would sit near 75%.
+    EXPECT_GT(static_cast<double>(late_correct) / (kEvents / 2), 0.99);
+}
+
+TEST(PredictorsTage, UsefulCountersDefendOccupiedEntries)
+{
+    // Degenerate geometry — one entry per tagged table, zero-length
+    // histories — so every event contends for the same four slots and
+    // the replacement policy is fully observable. Four sites each
+    // claim one table with the sequence N then T x 6: the N trains the
+    // base not-taken, the first T mispredicts and allocates, and the
+    // remaining Ts are provider-correct while the (frozen) base
+    // alternate is wrong, driving the useful counter to saturation.
+    zoo::TagePredictor::Config config;
+    config.log2_entries = 0;
+    config.history_lengths = {0, 0, 0, 0};
+    zoo::TagePredictor tage(config);
+    for (int site = 1; site <= 4; ++site) {
+        tage.onBranch(site, false);
+        for (int i = 0; i < 6; ++i)
+            tage.onBranch(site, true);
+    }
+    ASSERT_EQ(tage.tageStats().allocations, 4); // one table per site
+    ASSERT_EQ(tage.tageStats().alloc_failures, 0);
+
+    // A fifth site alternates and mispredicts every event; all four
+    // slots defend themselves (u == 3), so three allocation attempts
+    // must fail — each decaying every candidate's u by one — before
+    // the fourth finally claims a slot.
+    for (int i = 0; i < 4; ++i)
+        tage.onBranch(5, (i & 1) == 0);
+    EXPECT_EQ(tage.tageStats().alloc_failures, 3);
+    EXPECT_EQ(tage.tageStats().allocations, 5);
+}
+
+TEST(PredictorsTage, PeriodicUsefulResetFiresOnSchedule)
+{
+    zoo::TagePredictor::Config config;
+    config.useful_reset_period = 256;
+    zoo::TagePredictor tage(config);
+    for (int i = 0; i < 1000; ++i)
+        tage.onBranch(0, (i & 7) != 7);
+    // Ticks 256, 512, 768 halve every useful counter.
+    EXPECT_EQ(tage.tageStats().useful_resets, 3);
+}
+
+TEST(PredictorsStatic, DirectionKernelScoresLoweredBytes)
+{
+    zoo::StaticDirectionPredictor predictor({1, 0, 1});
+    predictor.onBranch(0, true);  // correct
+    predictor.onBranch(0, false); // wrong
+    predictor.onBranch(1, false); // correct
+    predictor.onBranch(2, true);  // correct
+    EXPECT_EQ(predictor.total(), 4);
+    EXPECT_EQ(predictor.correct(), 3);
+    EXPECT_EQ(predictor.mispredicted(), 1);
+}
+
+TEST(PredictorsStatic, ConstantTableBatchMatchesScalar)
+{
+    // All-same direction tables (always-taken / always-not-taken) take
+    // the byte-sum fast path in onBatch; score the same block — break
+    // markers included — through the scalar path and compare.
+    for (const uint8_t dir : {uint8_t{1}, uint8_t{0}}) {
+        SCOPED_TRACE(static_cast<int>(dir));
+        zoo::StaticDirectionPredictor batch(
+            std::vector<uint8_t>(16, dir));
+        zoo::StaticDirectionPredictor scalar(
+            std::vector<uint8_t>(16, dir));
+        vm::EventBlock block;
+        block.size = 1000;
+        int branches = 0;
+        uint64_t lcg = 99;
+        for (int i = 0; i < block.size; ++i) {
+            lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+            if ((lcg >> 60) == 0) {
+                block.site_id[i] = -1; // break marker
+                block.taken[i] = 0;
+                continue;
+            }
+            ++branches;
+            block.site_id[i] = static_cast<int32_t>((lcg >> 33) & 15);
+            block.taken[i] = static_cast<uint8_t>((lcg >> 21) & 1);
+        }
+        block.branch_count = branches;
+        block.max_site = 15;
+        batch.onBatch(block);
+        for (int i = 0; i < block.size; ++i)
+            if (block.site_id[i] >= 0)
+                scalar.onBranch(block.site_id[i], block.taken[i] != 0);
+        EXPECT_EQ(batch.total(), scalar.total());
+        EXPECT_EQ(batch.correct(), scalar.correct());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PredictorsMultiObserver: the regression the zoo depends on — a
+// fan-out must forward each decoded block once per observer, not
+// degrade to one scalar loop per observer per event.
+// ---------------------------------------------------------------------------
+
+struct BatchCountingObserver final : vm::BranchObserver
+{
+    int batch_calls = 0;
+    int scalar_calls = 0;
+    int64_t events_seen = 0;
+
+    void
+    onBranch(int, bool, int64_t) override
+    {
+        ++scalar_calls;
+        ++events_seen;
+    }
+    void
+    onBatch(const vm::EventBlock &block) override
+    {
+        ++batch_calls;
+        events_seen += block.size;
+    }
+};
+
+TEST(PredictorsMultiObserver, ForwardsEachBlockOncePerObserver)
+{
+    vm::EventBlock block;
+    block.size = 3;
+    block.branch_count = 3;
+    block.max_site = 2;
+    block.site_id[0] = 0;
+    block.site_id[1] = 1;
+    block.site_id[2] = 2;
+    block.taken[0] = 1;
+    block.taken[1] = 0;
+    block.taken[2] = 1;
+
+    BatchCountingObserver a, b;
+    vm::MultiObserver fanout({&a, &b});
+    fanout.onBatch(block);
+    fanout.onBatch(block);
+
+    for (const BatchCountingObserver *o : {&a, &b}) {
+        EXPECT_EQ(o->batch_calls, 2);
+        EXPECT_EQ(o->scalar_calls, 0); // no per-event degradation
+        EXPECT_EQ(o->events_seen, 6);
+    }
+}
+
+TEST(PredictorsMultiObserver, BatchParityWithScalarPath)
+{
+    ZooFixture fx;
+    const zoo::ZooContext context = fx.context();
+
+    auto batched = zoo::zooSpec("tage-4x1k").make(context);
+    auto scalar = zoo::zooSpec("tage-4x1k").make(context);
+    vm::MultiObserver batched_fanout({batched.get()});
+    vm::MultiObserver scalar_fanout({scalar.get()});
+    {
+        BatchGuard on("1");
+        trace::replay(fx.trace, batched_fanout);
+    }
+    {
+        BatchGuard off("off");
+        trace::replay(fx.trace, scalar_fanout);
+    }
+    EXPECT_EQ(batched->total(), scalar->total());
+    EXPECT_EQ(batched->correct(), scalar->correct());
+}
+
+// ---------------------------------------------------------------------------
+// PredictorsScheduler: tournament determinism across pool widths.
+// ---------------------------------------------------------------------------
+
+TEST(PredictorsScheduler, ScoresBitIdenticalAtJobs1And4)
+{
+    ::setenv("IFPROB_CACHE", "off", 1);
+    {
+        const std::vector<zoo::Cell> cells = {
+            {"li", workloads::get("li").datasets.front().name},
+            {"eqntott", workloads::get("eqntott").datasets.front().name},
+            {"fpppp", workloads::get("fpppp").datasets.front().name},
+        };
+        const auto &zoo = zoo::defaultZoo();
+
+        harness::Runner runner_j1;
+        exec::Pool pool_j1(1);
+        const auto serial =
+            zoo::runTournament(runner_j1, cells, zoo, &pool_j1);
+
+        harness::Runner runner_j4;
+        exec::Pool pool_j4(4);
+        const auto parallel =
+            zoo::runTournament(runner_j4, cells, zoo, &pool_j4);
+
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].instructions, parallel[i].instructions);
+            EXPECT_EQ(serial[i].branch_events,
+                      parallel[i].branch_events);
+            EXPECT_EQ(serial[i].branches, parallel[i].branches);
+            EXPECT_EQ(serial[i].mispredicts, parallel[i].mispredicts);
+            EXPECT_GT(serial[i].branch_events, 0);
+        }
+
+        int64_t instructions = 0;
+        const auto scores = zoo::aggregate(serial, zoo, &instructions);
+        ASSERT_EQ(scores.size(), zoo.size());
+        EXPECT_GT(instructions, 0);
+        for (const auto &score : scores) {
+            EXPECT_EQ(score.branches,
+                      serial[0].branch_events + serial[1].branch_events +
+                          serial[2].branch_events);
+            EXPECT_GE(score.mispredicts, 0);
+            EXPECT_LE(score.mispredicts, score.branches);
+        }
+    }
+    ::unsetenv("IFPROB_CACHE");
+}
+
+} // namespace
+} // namespace ifprob::predict

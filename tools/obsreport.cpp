@@ -141,6 +141,35 @@ struct Totals
         int64_t pass = 0;
     } trace;
 
+    /** ifprob.predictors.v1 records (bench/predictors): one row per
+     *  zoo predictor (records with a "predictor" field) plus a rollup
+     *  line carrying the batched-vs-scalar zoo speedup. */
+    struct PredictorRow
+    {
+        std::string family;
+        std::string kind;
+        int64_t branches = 0;
+        int64_t mispredicts = 0;
+        double mispredict_pct = 0.0;
+        double instr_per_mispredict = 0.0;
+        double ns_per_event = 0.0;
+    };
+    struct Predictors
+    {
+        int64_t records = 0; ///< per-predictor + rollup lines
+        std::map<std::string, PredictorRow> rows;
+        int64_t predictors = 0;
+        int64_t cells = 0;
+        int64_t jobs = 0;
+        int64_t events_total = 0;
+        int64_t batched_micros = 0;
+        int64_t scalar_micros = 0;
+        double zoo_speedup = 0.0;
+        double min_zoo_speedup = 0.0;
+        int64_t pass = 0;
+        bool have_rollup = false;
+    } predictors;
+
     /** Last ifprob.ingest_bench.v1 record seen (micro_ingest --ab). */
     struct IngestBench
     {
@@ -179,6 +208,7 @@ const char *const kKnownSchemas[] = {
     "ifprob.vm_bench.v1",   "ifprob.vm_bench.v2",
     "ifprob.characterize.v1",
     "ifprob.ingest_bench.v1",
+    "ifprob.predictors.v1",
 };
 
 std::string
@@ -361,6 +391,65 @@ consumeLine(const std::string &file, int64_t lineno,
         totals.ingest.bit_identical =
             static_cast<int64_t>(num("bit_identical"));
         totals.ingest.pass = static_cast<int64_t>(num("pass"));
+        return;
+    }
+    if (schema == "ifprob.predictors.v1") {
+        // Strict: both record shapes carry a fixed field set; a missing
+        // field is a parse error so a bench/obsreport version skew
+        // cannot silently report zeros as measurements.
+        const bool is_row = rec.find("predictor") != rec.end();
+        auto require = [&](std::initializer_list<const char *> keys) {
+            for (const char *k : keys) {
+                if (rec.find(k) == rec.end()) {
+                    std::fprintf(stderr,
+                                 "obsreport: %s:%lld: predictors.v1 %s "
+                                 "record missing field \"%s\"\n",
+                                 file.c_str(),
+                                 static_cast<long long>(lineno),
+                                 is_row ? "predictor" : "rollup", k);
+                    ++totals.parse_errors;
+                    return false;
+                }
+            }
+            return true;
+        };
+        auto num = [&](const char *k) { return rec.find(k)->second.num; };
+        if (is_row) {
+            if (!require({"family", "kind", "branches", "mispredicts",
+                          "mispredict_pct", "instr_per_mispredict",
+                          "ns_per_event"}))
+                return;
+            ++totals.predictors.records;
+            Totals::PredictorRow &row =
+                totals.predictors.rows[rec.find("predictor")->second.str];
+            row.family = rec.find("family")->second.str;
+            row.kind = rec.find("kind")->second.str;
+            row.branches = static_cast<int64_t>(num("branches"));
+            row.mispredicts = static_cast<int64_t>(num("mispredicts"));
+            row.mispredict_pct = num("mispredict_pct");
+            row.instr_per_mispredict = num("instr_per_mispredict");
+            row.ns_per_event = num("ns_per_event");
+            return;
+        }
+        if (!require({"predictors", "cells", "jobs", "events_total",
+                      "batched_micros", "scalar_micros", "zoo_speedup",
+                      "min_zoo_speedup", "pass"}))
+            return;
+        ++totals.predictors.records;
+        totals.predictors.have_rollup = true;
+        totals.predictors.predictors =
+            static_cast<int64_t>(num("predictors"));
+        totals.predictors.cells = static_cast<int64_t>(num("cells"));
+        totals.predictors.jobs = static_cast<int64_t>(num("jobs"));
+        totals.predictors.events_total =
+            static_cast<int64_t>(num("events_total"));
+        totals.predictors.batched_micros =
+            static_cast<int64_t>(num("batched_micros"));
+        totals.predictors.scalar_micros =
+            static_cast<int64_t>(num("scalar_micros"));
+        totals.predictors.zoo_speedup = num("zoo_speedup");
+        totals.predictors.min_zoo_speedup = num("min_zoo_speedup");
+        totals.predictors.pass = static_cast<int64_t>(num("pass"));
         return;
     }
     if (schema == "ifprob.vm_bench.v1") {
@@ -648,6 +737,39 @@ renderJsonReport(const std::vector<std::string> &files,
         }
         report.fieldRaw("trace_bench", tb.str());
     }
+    if (totals.predictors.records > 0) {
+        std::string rows = "[";
+        bool first_row = true;
+        for (const auto &[name, row] : totals.predictors.rows) {
+            obs::JsonObject p;
+            p.field("predictor", name)
+                .field("family", row.family)
+                .field("kind", row.kind)
+                .field("branches", row.branches)
+                .field("mispredicts", row.mispredicts)
+                .field("mispredict_pct", row.mispredict_pct)
+                .field("instr_per_mispredict", row.instr_per_mispredict)
+                .field("ns_per_event", row.ns_per_event);
+            if (!first_row)
+                rows += ",";
+            first_row = false;
+            rows += "\n  " + p.str();
+        }
+        rows += "\n]";
+        obs::JsonObject pb;
+        pb.field("records", totals.predictors.records)
+            .field("predictors", totals.predictors.predictors)
+            .field("cells", totals.predictors.cells)
+            .field("jobs", totals.predictors.jobs)
+            .field("events_total", totals.predictors.events_total)
+            .field("batched_micros", totals.predictors.batched_micros)
+            .field("scalar_micros", totals.predictors.scalar_micros)
+            .field("zoo_speedup", totals.predictors.zoo_speedup)
+            .field("min_zoo_speedup", totals.predictors.min_zoo_speedup)
+            .field("pass", totals.predictors.pass)
+            .fieldRaw("rows", rows);
+        report.fieldRaw("predictors", pb.str());
+    }
     if (totals.ingest.records > 0) {
         obs::JsonObject ib;
         ib.field("records", totals.ingest.records)
@@ -805,6 +927,31 @@ main(int argc, char **argv)
                         totals.trace.pass ? "PASS" : "FAIL");
     }
 
+    if (totals.predictors.records > 0) {
+        std::printf("predictors: %zu predictor(s)",
+                    totals.predictors.rows.size());
+        if (totals.predictors.have_rollup)
+            std::printf(", %s events/predictor over %lld cells, "
+                        "batched %.1fms vs scalar %.1fms, zoo speedup "
+                        "%.2fx (bar %.2fx): %s",
+                        withCommas(totals.predictors.events_total).c_str(),
+                        static_cast<long long>(totals.predictors.cells),
+                        static_cast<double>(
+                            totals.predictors.batched_micros) / 1e3,
+                        static_cast<double>(
+                            totals.predictors.scalar_micros) / 1e3,
+                        totals.predictors.zoo_speedup,
+                        totals.predictors.min_zoo_speedup,
+                        totals.predictors.pass ? "PASS" : "FAIL");
+        std::printf("\n");
+        for (const auto &[name, row] : totals.predictors.rows)
+            std::printf("  %-18s %-12s mispredict %5.2f%%, i/mp %7.1f, "
+                        "%5.2f ns/event\n",
+                        name.c_str(), row.family.c_str(),
+                        row.mispredict_pct, row.instr_per_mispredict,
+                        row.ns_per_event);
+    }
+
     if (totals.ingest.records > 0)
         std::printf("ingest bench: %s events in %s batches, %s "
                     "events/sec, fold p99 %lldus, snapshot p99 %lldus, "
@@ -855,6 +1002,7 @@ main(int argc, char **argv)
                              totals.analysis.records +
                              totals.trace.records + totals.vm.records +
                              totals.characterize.records +
-                             totals.ingest.records;
+                             totals.ingest.records +
+                             totals.predictors.records;
     return consumed > 0 ? 0 : 1;
 }
